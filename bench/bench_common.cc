@@ -1,0 +1,49 @@
+#include "bench_common.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace vtsim::bench {
+
+RunResult
+runWorkload(const std::string &workload_name, const GpuConfig &config,
+            std::uint32_t scale)
+{
+    auto workload = makeWorkload(workload_name, scale);
+    const Kernel kernel = workload->buildKernel();
+
+    Gpu gpu(config);
+    const LaunchParams lp = workload->prepare(gpu.memory());
+
+    RunResult result;
+    result.workload = workload_name;
+    result.stats = gpu.launch(kernel, lp);
+    result.verified = workload->verify(gpu.memory());
+    if (!result.verified) {
+        VTSIM_FATAL("workload '", workload_name,
+                    "' produced wrong results — timing numbers void");
+    }
+    return result;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / values.size());
+}
+
+void
+printHeader(const std::string &experiment_id, const std::string &title)
+{
+    std::printf("==== %s: %s ====\n", experiment_id.c_str(),
+                title.c_str());
+}
+
+} // namespace vtsim::bench

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries: run a
+ * workload on a configuration, verify its results, and format rows.
+ */
+
+#ifndef VTSIM_BENCH_BENCH_COMMON_HH
+#define VTSIM_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "gpu/gpu.hh"
+#include "workloads/workload.hh"
+
+namespace vtsim::bench {
+
+/** Result of one simulated run. */
+struct RunResult
+{
+    std::string workload;
+    KernelStats stats;
+    bool verified = false;
+};
+
+/**
+ * Simulate @p workload_name at @p scale on a fresh GPU with @p config.
+ * The run always verifies functional results and aborts on mismatch —
+ * a timing experiment on wrong answers is meaningless.
+ */
+RunResult runWorkload(const std::string &workload_name,
+                      const GpuConfig &config, std::uint32_t scale = 1);
+
+/** Geometric mean of a vector of positive ratios. */
+double geomean(const std::vector<double> &values);
+
+/** Print a standard header naming the experiment. */
+void printHeader(const std::string &experiment_id,
+                 const std::string &title);
+
+/** Default problem scale for the figure benches (see bench/README note:
+ *  scale 1 keeps every figure regenerable in minutes on a laptop). */
+inline constexpr std::uint32_t benchScale = 1;
+
+} // namespace vtsim::bench
+
+#endif // VTSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * EXT-2 (extension study): does Virtual Thread still pay off on a
+ * bigger, Kepler-class baseline (64 warps / 16 CTA slots / 64K
+ * registers per SM)? The scheduling limit is twice as generous, so
+ * gains should shrink but persist on the low-occupancy kernels — the
+ * paper's argument that scheduling limits keep lagging capacity.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace vtsim;
+    using namespace vtsim::bench;
+
+    printHeader("EXT-2", "VT on a Kepler-class machine");
+    GpuConfig base = GpuConfig::keplerLike();
+    GpuConfig vt = base;
+    vt.vtEnabled = true;
+    vt.vtMaxVirtualCtasPerSm = 32; // 2x the 16 CTA slots
+
+    std::printf("%-14s %10s %10s %8s %8s\n", "benchmark", "base-IPC",
+                "vt-IPC", "speedup", "swaps");
+    std::vector<double> ratios;
+    for (const auto &name : benchmarkNames()) {
+        const RunResult b = runWorkload(name, base, benchScale);
+        const RunResult v = runWorkload(name, vt, benchScale);
+        const double ratio = double(b.stats.cycles) / v.stats.cycles;
+        ratios.push_back(ratio);
+        std::printf("%-14s %10.3f %10.3f %7.2fx %8llu\n", name.c_str(),
+                    b.stats.ipc, v.stats.ipc, ratio,
+                    (unsigned long long)v.stats.swapOuts);
+    }
+    std::printf("%-14s %10s %10s %7.2fx\n", "GMEAN", "", "",
+                geomean(ratios));
+    std::printf("(compare FIG-3: the Fermi-class machine)\n");
+    return 0;
+}

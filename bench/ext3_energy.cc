@@ -1,0 +1,55 @@
+/**
+ * @file
+ * EXT-3 (extension study): energy accounting of Virtual Thread. The
+ * paper argues VT's overhead is tiny because swaps move only scheduling
+ * state; here the whole-launch energy model quantifies it: the dynamic
+ * swap energy is negligible, and the *static* energy saved by finishing
+ * earlier dominates the balance.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/energy_model.hh"
+#include "core/overhead_model.hh"
+
+int
+main()
+{
+    using namespace vtsim;
+    using namespace vtsim::bench;
+
+    printHeader("EXT-3", "energy: baseline vs Virtual Thread");
+    const GpuConfig base = GpuConfig::fermiLike();
+    GpuConfig vt = base;
+    vt.vtEnabled = true;
+
+    std::printf("%-14s %9s %9s %8s %10s %12s\n", "benchmark",
+                "base(uJ)", "vt(uJ)", "ratio", "swap(nJ)", "EDP-ratio");
+    const char *subset[] = {"vecadd", "reduce", "histogram", "needle",
+                            "mummer", "stencil", "matmul"};
+    for (const char *name : subset) {
+        const RunResult b = runWorkload(name, base, benchScale);
+        const RunResult v = runWorkload(name, vt, benchScale);
+
+        // Swap state size from the workload's launch shape.
+        auto wl = makeWorkload(name, benchScale);
+        const Kernel k = wl->buildKernel();
+        GlobalMemory scratch;
+        const LaunchParams lp = wl->prepare(scratch);
+        const VtOverhead oh =
+            computeOverhead(vt, lp.warpsPerCta(), k.regsPerThread());
+
+        const EnergyBreakdown eb =
+            estimateEnergy(b.stats, base, oh.bytesPerCtaContext);
+        const EnergyBreakdown ev =
+            estimateEnergy(v.stats, vt, oh.bytesPerCtaContext);
+        std::printf("%-14s %9.1f %9.1f %7.2fx %10.2f %11.2fx\n", name,
+                    eb.total() / 1e6, ev.total() / 1e6,
+                    ev.total() / eb.total(), ev.vtSwap / 1e3,
+                    ev.edp(v.stats.cycles) / eb.edp(b.stats.cycles));
+    }
+    std::printf("(swap column: total dynamic energy of all context "
+                "switches; ratios < 1 favour VT)\n");
+    return 0;
+}

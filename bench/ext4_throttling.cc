@@ -1,0 +1,45 @@
+/**
+ * @file
+ * EXT-4 (related-work comparator): Virtual Thread versus DYNCTA-style
+ * CTA throttling. The two schemes pull in opposite directions —
+ * throttling *reduces* schedulable CTAs to protect locality; VT
+ * *increases* them to hide latency. The paper's positioning is that the
+ * scheduling limit, not cache contention, is what binds this workload
+ * class — so throttling should be roughly neutral here while VT gains.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace vtsim;
+    using namespace vtsim::bench;
+
+    printHeader("EXT-4", "VT vs DYNCTA-style CTA throttling");
+    const GpuConfig base = GpuConfig::fermiLike();
+
+    GpuConfig vt = base;
+    vt.vtEnabled = true;
+    GpuConfig thr = base;
+    thr.throttleEnabled = true;
+
+    std::printf("%-14s %10s %10s\n", "benchmark", "throttle", "vt");
+    std::vector<double> thr_ratios, vt_ratios;
+    for (const auto &name : benchmarkNames()) {
+        const RunResult b = runWorkload(name, base, benchScale);
+        const RunResult t = runWorkload(name, thr, benchScale);
+        const RunResult v = runWorkload(name, vt, benchScale);
+        const double st = double(b.stats.cycles) / t.stats.cycles;
+        const double sv = double(b.stats.cycles) / v.stats.cycles;
+        thr_ratios.push_back(st);
+        vt_ratios.push_back(sv);
+        std::printf("%-14s %9.2fx %9.2fx\n", name.c_str(), st, sv);
+    }
+    std::printf("%-14s %9.2fx %9.2fx\n", "GMEAN", geomean(thr_ratios),
+                geomean(vt_ratios));
+    std::printf("(both normalised to the unthrottled, VT-off baseline)\n");
+    return 0;
+}

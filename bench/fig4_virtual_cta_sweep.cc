@@ -1,0 +1,50 @@
+/**
+ * @file
+ * FIG-4 (sensitivity): speedup versus the virtual-CTA budget per SM,
+ * from the scheduling limit (8 = baseline-equivalent) up to
+ * capacity-bound admission. Expected shape: grows, then saturates when
+ * either capacity or the workload's latency-hiding demand is met.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace vtsim;
+    using namespace vtsim::bench;
+
+    printHeader("FIG-4", "speedup vs. virtual-CTA budget per SM");
+    const GpuConfig base = GpuConfig::fermiLike();
+    const std::uint32_t budgets[] = {8, 12, 16, 24, 32, 0 /* capacity */};
+    const char *subset[] = {"vecadd", "saxpy", "reduce", "stencil",
+                            "histogram", "blackscholes"};
+
+    std::printf("%-14s", "benchmark");
+    for (auto b : budgets) {
+        if (b)
+            std::printf("    m=%2u", b);
+        else
+            std::printf("  cap-bnd");
+    }
+    std::printf("\n");
+
+    for (const char *name : subset) {
+        const RunResult ref = runWorkload(name, base, benchScale);
+        std::printf("%-14s", name);
+        for (auto budget : budgets) {
+            GpuConfig vt = base;
+            vt.vtEnabled = true;
+            vt.vtMaxVirtualCtasPerSm = budget;
+            const RunResult r = runWorkload(name, vt, benchScale);
+            std::printf("  %6.2fx",
+                        double(ref.stats.cycles) / r.stats.cycles);
+        }
+        std::printf("\n");
+    }
+    std::printf("(8 virtual CTAs equals the hardware CTA-slot count: "
+                "expected ~1.00x)\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * FIG-5 (sensitivity): speedup versus context-switch latency. Because a
+ * swap moves only warp scheduling state, the paper's mechanism tolerates
+ * tens of cycles; the curve should degrade gracefully and stay positive
+ * well past realistic latencies.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace vtsim;
+    using namespace vtsim::bench;
+
+    printHeader("FIG-5", "speedup vs. swap (context switch) latency");
+    const GpuConfig base = GpuConfig::fermiLike();
+    const std::uint32_t latencies[] = {0, 5, 10, 25, 50, 100, 200};
+    const char *subset[] = {"vecadd", "reduce", "stencil", "histogram"};
+
+    std::printf("%-14s", "benchmark");
+    for (auto l : latencies)
+        std::printf("  L=%4u", l);
+    std::printf("   swaps@10\n");
+
+    for (const char *name : subset) {
+        const RunResult ref = runWorkload(name, base, benchScale);
+        std::printf("%-14s", name);
+        std::uint64_t swaps_at_10 = 0;
+        for (auto latency : latencies) {
+            GpuConfig vt = base;
+            vt.vtEnabled = true;
+            vt.vtSwapOutLatency = latency;
+            vt.vtSwapInLatency = latency;
+            const RunResult r = runWorkload(name, vt, benchScale);
+            if (latency == 10)
+                swaps_at_10 = r.stats.swapOuts;
+            std::printf(" %6.2fx",
+                        double(ref.stats.cycles) / r.stats.cycles);
+        }
+        std::printf("  %8llu\n", (unsigned long long)swaps_at_10);
+    }
+    std::printf("(L is applied to both save and restore; the default "
+                "machine uses 10+10 cycles)\n");
+    return 0;
+}

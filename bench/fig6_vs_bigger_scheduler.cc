@@ -1,0 +1,57 @@
+/**
+ * @file
+ * FIG-6: Virtual Thread versus idealised enlarged scheduling structures.
+ * The x2/x4 machines multiply warp slots, CTA slots and thread slots for
+ * free (no extra latency, no virtualisation) — an upper bound on what
+ * any scheme that exposes more resident CTAs could achieve. VT should
+ * capture most of the x2 machine's gain at a fraction of the hardware.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace vtsim;
+    using namespace vtsim::bench;
+
+    printHeader("FIG-6", "VT vs. idealised bigger scheduling structures");
+    const GpuConfig base = GpuConfig::fermiLike();
+
+    std::printf("%-14s %8s %8s %8s %10s\n", "benchmark", "vt",
+                "ideal-x2", "ideal-x4", "vt/ideal-x2");
+    std::vector<double> vt_ratios, x2_ratios, x4_ratios;
+    for (const auto &name : benchmarkNames()) {
+        const RunResult ref = runWorkload(name, base, benchScale);
+
+        GpuConfig vt_cfg = base;
+        vt_cfg.vtEnabled = true;
+        const RunResult vt = runWorkload(name, vt_cfg, benchScale);
+
+        GpuConfig x2 = base;
+        x2.schedLimitMultiplier = 2;
+        const RunResult r2 = runWorkload(name, x2, benchScale);
+
+        GpuConfig x4 = base;
+        x4.schedLimitMultiplier = 4;
+        const RunResult r4 = runWorkload(name, x4, benchScale);
+
+        const double sv = double(ref.stats.cycles) / vt.stats.cycles;
+        const double s2 = double(ref.stats.cycles) / r2.stats.cycles;
+        const double s4 = double(ref.stats.cycles) / r4.stats.cycles;
+        vt_ratios.push_back(sv);
+        x2_ratios.push_back(s2);
+        x4_ratios.push_back(s4);
+        std::printf("%-14s %7.2fx %7.2fx %7.2fx %9.0f%%\n", name.c_str(),
+                    sv, s2, s4,
+                    s2 > 1.0 ? 100.0 * (sv - 1.0) / (s2 - 1.0) : 100.0);
+    }
+    std::printf("%-14s %7.2fx %7.2fx %7.2fx\n", "GMEAN",
+                geomean(vt_ratios), geomean(x2_ratios),
+                geomean(x4_ratios));
+    std::printf("(VT's default budget is 2x the CTA slots: ideal-x2 is "
+                "its hardware-free upper bound)\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * FIG-7: interaction with the warp scheduling policy. VT is orthogonal
+ * to the intra-SM warp scheduler; its gain should persist under LRR,
+ * GTO and two-level scheduling.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace vtsim;
+    using namespace vtsim::bench;
+
+    printHeader("FIG-7", "VT speedup under different warp schedulers");
+    const SchedulerPolicy policies[] = {
+        SchedulerPolicy::LooseRoundRobin,
+        SchedulerPolicy::GreedyThenOldest,
+        SchedulerPolicy::TwoLevel,
+    };
+    const char *subset[] = {"vecadd", "saxpy", "reduce", "stencil",
+                            "histogram", "bfs"};
+
+    std::printf("%-14s", "benchmark");
+    for (auto p : policies)
+        std::printf(" %10s", toString(p).c_str());
+    std::printf("\n");
+
+    for (const char *name : subset) {
+        std::printf("%-14s", name);
+        for (auto policy : policies) {
+            GpuConfig base = GpuConfig::fermiLike();
+            base.schedulerPolicy = policy;
+            GpuConfig vt = base;
+            vt.vtEnabled = true;
+            const RunResult b = runWorkload(name, base, benchScale);
+            const RunResult v = runWorkload(name, vt, benchScale);
+            std::printf("     %5.2fx",
+                        double(b.stats.cycles) / v.stats.cycles);
+        }
+        std::printf("\n");
+    }
+    std::printf("(each column's baseline uses the same scheduler as its "
+                "VT machine)\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * FIG-8: issue-slot breakdown — where scheduler cycles go on the
+ * baseline versus under Virtual Thread, plus memory-system behaviour.
+ * Expected shape: VT converts memory-stall cycles into issue cycles on
+ * the scheduling-limited benchmarks.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+namespace {
+
+void
+printRow(const char *name, const char *machine,
+         const vtsim::KernelStats &s)
+{
+    const auto &b = s.stalls;
+    const double total = double(b.issued) + b.memStall + b.shortStall +
+                         b.barrierStall + b.swapStall + b.idle;
+    std::printf("%-14s %-5s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% "
+                "%7.1f%% | %5.1f%% %5.1f%%\n",
+                name, machine, 100 * b.issued / total,
+                100 * b.memStall / total, 100 * b.shortStall / total,
+                100 * b.barrierStall / total, 100 * b.swapStall / total,
+                100 * b.idle / total, 100 * s.l1HitRate(),
+                100 * s.l2HitRate());
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace vtsim;
+    using namespace vtsim::bench;
+
+    printHeader("FIG-8", "scheduler-cycle breakdown and cache behaviour");
+    const GpuConfig base = GpuConfig::fermiLike();
+    GpuConfig vt = base;
+    vt.vtEnabled = true;
+    const char *subset[] = {"vecadd", "saxpy", "stencil", "histogram",
+                            "reduce", "bfs", "matmul"};
+
+    std::printf("%-14s %-5s %8s %8s %8s %8s %8s %8s | %5s %5s\n",
+                "benchmark", "mach", "issue", "mem", "short", "barrier",
+                "swap", "idle", "l1", "l2");
+    for (const char *name : subset) {
+        printRow(name, "base", runWorkload(name, base, benchScale).stats);
+        printRow(name, "vt", runWorkload(name, vt, benchScale).stats);
+    }
+    return 0;
+}

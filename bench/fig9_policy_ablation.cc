@@ -1,0 +1,66 @@
+/**
+ * @file
+ * FIG-9 (ablation): the design choices inside the VT manager —
+ * swap-out trigger (all-warps-stalled vs any-warp-stalled) and swap-in
+ * selection (ready-first vs oldest-first) — plus the stall-threshold
+ * hysteresis. The paper's policy (all-stalled + ready-first) should win
+ * or tie everywhere.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace vtsim;
+    using namespace vtsim::bench;
+
+    printHeader("FIG-9", "swap-policy ablation (speedup over baseline)");
+    const GpuConfig base = GpuConfig::fermiLike();
+    const char *subset[] = {"vecadd", "saxpy", "reduce", "stencil",
+                            "histogram"};
+
+    struct Variant
+    {
+        const char *name;
+        VtSwapTrigger trigger;
+        VtSwapInPolicy pick;
+        std::uint32_t threshold;
+    };
+    const Variant variants[] = {
+        {"paper(all+ready)", VtSwapTrigger::AllWarpsStalled,
+         VtSwapInPolicy::ReadyFirst, 4},
+        {"any-warp", VtSwapTrigger::AnyWarpStalled,
+         VtSwapInPolicy::ReadyFirst, 4},
+        {"oldest-first", VtSwapTrigger::AllWarpsStalled,
+         VtSwapInPolicy::OldestFirst, 4},
+        {"no-hysteresis", VtSwapTrigger::AllWarpsStalled,
+         VtSwapInPolicy::ReadyFirst, 0},
+    };
+
+    std::printf("%-14s", "benchmark");
+    for (const auto &v : variants)
+        std::printf(" %17s", v.name);
+    std::printf("\n");
+
+    for (const char *name : subset) {
+        const RunResult ref = runWorkload(name, base, benchScale);
+        std::printf("%-14s", name);
+        for (const auto &v : variants) {
+            GpuConfig cfg = base;
+            cfg.vtEnabled = true;
+            cfg.vtSwapTrigger = v.trigger;
+            cfg.vtSwapInPolicy = v.pick;
+            cfg.vtStallThreshold = v.threshold;
+            const RunResult r = runWorkload(name, cfg, benchScale);
+            std::printf("    %6.2fx (%4llu)",
+                        double(ref.stats.cycles) / r.stats.cycles,
+                        (unsigned long long)r.stats.swapOuts);
+        }
+        std::printf("\n");
+    }
+    std::printf("(parenthesised: swap-outs performed)\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own hot paths:
+ * useful when working on vtsim itself (they measure the simulator, not
+ * the simulated machine).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "gpu/gpu.hh"
+#include "isa/assembler.hh"
+#include "mem/cache.hh"
+#include "mem/coalescer.hh"
+#include "sm/simt_stack.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace vtsim;
+
+void
+BM_AssembleVecAdd(benchmark::State &state)
+{
+    auto wl = makeWorkload("vecadd", 0);
+    for (auto _ : state) {
+        Kernel k = wl->buildKernel();
+        benchmark::DoNotOptimize(k.size());
+    }
+}
+BENCHMARK(BM_AssembleVecAdd);
+
+void
+BM_CoalesceStrided(benchmark::State &state)
+{
+    const auto stride = state.range(0);
+    std::vector<LaneAccess> acc;
+    for (std::uint32_t lane = 0; lane < warpSize; ++lane)
+        acc.push_back({lane, Addr(lane) * stride});
+    for (auto _ : state) {
+        auto txns = coalesce(acc, 128);
+        benchmark::DoNotOptimize(txns.size());
+    }
+}
+BENCHMARK(BM_CoalesceStrided)->Arg(4)->Arg(16)->Arg(128);
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    CacheParams p;
+    p.size = 16 * 1024;
+    p.assoc = 4;
+    p.lineSize = 128;
+    Cache c(p);
+    MemRequest req;
+    req.lineAddr = 0;
+    c.access(req);
+    c.fill(0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c.access(req));
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_SimtStackDivergence(benchmark::State &state)
+{
+    Instruction br;
+    br.op = Opcode::BRA;
+    br.src[0] = 0;
+    br.branchTarget = 5;
+    br.reconvergePc = 5;
+    for (auto _ : state) {
+        SimtStack s;
+        s.reset(ActiveMask::all());
+        s.branch(br, 0, ActiveMask(0xffff0000u));
+        for (int i = 1; i < 5; ++i)
+            s.advance();
+        benchmark::DoNotOptimize(s.depth());
+    }
+}
+BENCHMARK(BM_SimtStackDivergence);
+
+void
+BM_SimulateSmallKernel(benchmark::State &state)
+{
+    // End-to-end simulator throughput on a tiny workload; the reported
+    // rate is simulated-cycles per host-second.
+    std::uint64_t simulated = 0;
+    for (auto _ : state) {
+        auto wl = makeWorkload("vecadd", 0);
+        const Kernel k = wl->buildKernel();
+        GpuConfig cfg = GpuConfig::testMini();
+        Gpu gpu(cfg);
+        const LaunchParams lp = wl->prepare(gpu.memory());
+        const auto stats = gpu.launch(k, lp);
+        simulated += stats.cycles;
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(simulated), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateSmallKernel);
+
+void
+BM_SimulateVtKernel(benchmark::State &state)
+{
+    std::uint64_t simulated = 0;
+    for (auto _ : state) {
+        auto wl = makeWorkload("vecadd", 0);
+        const Kernel k = wl->buildKernel();
+        GpuConfig cfg = GpuConfig::testMini();
+        cfg.vtEnabled = true;
+        Gpu gpu(cfg);
+        const LaunchParams lp = wl->prepare(gpu.memory());
+        const auto stats = gpu.launch(k, lp);
+        simulated += stats.cycles;
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(simulated), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateVtKernel);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * TAB-1: the simulated machine configuration, as the paper's
+ * configuration table reports it — baseline and Virtual Thread variants.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace vtsim;
+    using namespace vtsim::bench;
+
+    printHeader("TAB-1", "simulator configuration");
+
+    std::cout << "--- Baseline (GTX480/Fermi-class) ---\n";
+    GpuConfig base = GpuConfig::fermiLike();
+    base.print(std::cout);
+
+    std::cout << "\n--- Virtual Thread machine ---\n";
+    GpuConfig vt = base;
+    vt.vtEnabled = true;
+    vt.print(std::cout);
+
+    std::cout << "\n--- Kepler-class variant (sensitivity) ---\n";
+    GpuConfig kepler = GpuConfig::keplerLike();
+    kepler.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * TAB-2: the benchmark table — per kernel: launch geometry, resource
+ * declaration, and the occupancy class it lands in on the baseline.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "occupancy/occupancy.hh"
+
+int
+main()
+{
+    using namespace vtsim;
+    using namespace vtsim::bench;
+
+    printHeader("TAB-2", "benchmark suite");
+    const GpuConfig cfg = GpuConfig::fermiLike();
+
+    std::printf("%-14s %8s %6s %6s %9s %8s %-12s %-20s\n", "benchmark",
+                "cta", "warps", "regs", "shmem(B)", "grid", "limiter",
+                "class");
+    for (const auto &name : benchmarkNames()) {
+        auto wl = makeWorkload(name, benchScale);
+        const Kernel k = wl->buildKernel();
+        GlobalMemory scratch;
+        const LaunchParams lp = wl->prepare(scratch);
+        const auto occ = computeOccupancy(cfg, k, lp);
+        std::printf("%-14s %8u %6u %6u %9u %8llu %-12s %-20s\n",
+                    name.c_str(), lp.threadsPerCta(), lp.warpsPerCta(),
+                    k.regsPerThread(), k.sharedBytesPerCta(),
+                    (unsigned long long)lp.numCtas(),
+                    toString(occ.limiter).c_str(),
+                    toString(wl->expectedClass()).c_str());
+    }
+    std::printf("\nPer-benchmark descriptions:\n");
+    for (const auto &name : benchmarkNames()) {
+        auto wl = makeWorkload(name, 0);
+        std::printf("  %-14s %s\n", name.c_str(),
+                    wl->description().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * TAB-3: Virtual Thread hardware storage overhead — the bytes of
+ * scheduling state kept per virtual CTA context, versus what a naive
+ * register-copying preemption scheme would move. This is the accounting
+ * behind the paper's claim that swaps are cheap because registers and
+ * shared memory never move.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/overhead_model.hh"
+
+int
+main()
+{
+    using namespace vtsim;
+    using namespace vtsim::bench;
+
+    printHeader("TAB-3", "VT storage overhead per SM");
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.vtEnabled = true;
+
+    // Representative kernel shapes: small streaming CTA, mid-size CTA,
+    // large tiled CTA.
+    struct Shape
+    {
+        const char *name;
+        std::uint32_t warpsPerCta;
+        std::uint32_t regsPerThread;
+    };
+    const Shape shapes[] = {
+        {"streaming (64 thr, 16 regs)", 2, 16},
+        {"mid (128 thr, 20 regs)", 4, 20},
+        {"tiled (256 thr, 34 regs)", 8, 34},
+    };
+
+    for (const Shape &s : shapes) {
+        std::printf("\n[%s]\n", s.name);
+        const VtOverhead o =
+            computeOverhead(cfg, s.warpsPerCta, s.regsPerThread);
+        printOverhead(std::cout, o);
+        std::cout.flush();
+        const double ratio = o.naiveSwapBytesPerCta
+            ? double(o.bytesPerCtaContext) / double(o.naiveSwapBytesPerCta)
+            : 0.0;
+        std::printf("  VT swap moves %.1f%% of what a register-copying "
+                    "swap would\n", 100.0 * ratio);
+    }
+
+    std::printf("\nObserved worst-case SIMT stack depth across the "
+                "benchmark suite (informs provisioning):\n");
+    for (const auto &name : benchmarkNames()) {
+        const GpuConfig base = GpuConfig::fermiLike();
+        auto wl = makeWorkload(name, 0);
+        const Kernel k = wl->buildKernel();
+        Gpu gpu(base);
+        const LaunchParams lp = wl->prepare(gpu.memory());
+        gpu.launch(k, lp);
+        std::uint32_t depth = 0;
+        for (std::uint32_t i = 0; i < gpu.numSms(); ++i)
+            depth = std::max(depth, gpu.sm(i).maxSimtDepthSeen());
+        std::printf("  %-14s max SIMT stack depth %u\n", name.c_str(),
+                    depth);
+    }
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Writing your own VASM kernel: a dot-product with a grid-stride loop, a
+ * shared-memory tree reduction and a global atomic — assembled from
+ * text, inspected via the disassembler, and validated against a host
+ * reference on both the baseline and the Virtual Thread machine.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "gpu/gpu.hh"
+#include "isa/assembler.hh"
+#include "isa/disassembler.hh"
+
+namespace {
+
+// Integer dot product: out += sum(a[i] * b[i]). Integer math keeps the
+// result order-independent, so the atomic combine is exactly checkable.
+const char *kDotSource = R"(
+.kernel dot
+.shared 512
+    ldp r0, 0            # a
+    ldp r1, 1            # b
+    ldp r2, 2            # out
+    ldp r3, 3            # n
+    ldp r4, 4            # total threads
+    s2r r5, ctaid.x
+    s2r r6, ntid.x
+    s2r r7, tid.x
+    imad r8, r5, r6, r7  # i
+    movi r9, 0           # acc
+loop:
+    isetp.ge r10, r8, r3
+    bra r10, reduce_shared
+    shl r11, r8, 2
+    iadd r12, r11, r0
+    ldg r13, [r12]
+    iadd r14, r11, r1
+    ldg r15, [r14]
+    imad r9, r13, r15, r9
+    iadd r8, r8, r4
+    jmp loop
+reduce_shared:
+    shl r16, r7, 2
+    sts [r16], r9
+    bar
+    shr r17, r6, 1       # s = ntid / 2
+tree:
+    isetp.ge r18, r7, r17
+    bra r18, skip
+    iadd r19, r7, r17
+    shl r19, r19, 2
+    lds r20, [r19]
+    lds r21, [r16]
+    iadd r21, r21, r20
+    sts [r16], r21
+skip:
+    bar
+    shr r17, r17, 1
+    isetp.gt r22, r17, 0
+    bra r22, tree
+    isetp.ne r23, r7, 0
+    bra r23, fin
+    lds r24, [r16]
+    atomg.add r25, [r2], r24
+fin:
+    exit
+)";
+
+} // namespace
+
+int
+main()
+try {
+    using namespace vtsim;
+
+    const Kernel kernel = assemble(kDotSource);
+    std::printf("assembled '%s': %u instructions, %u regs/thread, %u B "
+                "shared\n\n", kernel.name().c_str(), kernel.size(),
+                kernel.regsPerThread(), kernel.sharedBytesPerCta());
+    std::printf("disassembly round trip:\n%s\n",
+                disassemble(kernel).c_str());
+
+    const std::uint32_t n = 1 << 16;
+    Rng rng(2026);
+    std::vector<std::uint32_t> a(n), b(n);
+    std::uint32_t expected = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        a[i] = rng.nextBelow(100);
+        b[i] = rng.nextBelow(100);
+        expected += a[i] * b[i];
+    }
+
+    for (bool vt_on : {false, true}) {
+        GpuConfig cfg = GpuConfig::fermiLike();
+        cfg.vtEnabled = vt_on;
+        Gpu gpu(cfg);
+        const Addr a_addr = gpu.memory().alloc(n * 4);
+        const Addr b_addr = gpu.memory().alloc(n * 4);
+        const Addr out_addr = gpu.memory().alloc(4);
+        gpu.memory().writeWords(a_addr, a);
+        gpu.memory().writeWords(b_addr, b);
+
+        LaunchParams lp;
+        lp.cta = Dim3(128);
+        const std::uint32_t total_threads = n / 4;
+        lp.grid = Dim3(total_threads / 128);
+        lp.params = {std::uint32_t(a_addr), std::uint32_t(b_addr),
+                     std::uint32_t(out_addr), n, total_threads};
+        const KernelStats stats = gpu.launch(kernel, lp);
+
+        const std::uint32_t got = gpu.memory().read32(out_addr);
+        if (got != expected)
+            VTSIM_FATAL("dot product wrong: ", got, " != ", expected);
+        std::printf("%-14s %8llu cycles, IPC %6.3f, result %u (ok)\n",
+                    vt_on ? "virtual-thread" : "baseline",
+                    (unsigned long long)stats.cycles, stats.ipc, got);
+    }
+    return 0;
+} catch (const vtsim::FatalError &e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+}

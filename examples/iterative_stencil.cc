@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Iterative (multi-launch) usage: a Jacobi-style smoothing stencil run
+ * for K time steps, ping-ponging two buffers across launches on one Gpu
+ * — the pattern Rodinia's hotspot/srad-class applications use. Shows
+ * that caches stay warm across launches, per-launch statistics are
+ * deltas, and Virtual Thread keeps paying off every step.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/log.hh"
+#include "gpu/gpu.hh"
+#include "isa/assembler.hh"
+
+namespace {
+
+// out[i] = (in[i-1] + 2*in[i] + in[i+1]) / 4 over integers (exactly
+// checkable on the host); boundaries copied through.
+const char *kSmoothSource = R"(
+.kernel smooth
+    ldp r0, 0            # in
+    ldp r1, 1            # out
+    ldp r2, 2            # n
+    s2r r3, ctaid.x
+    s2r r4, ntid.x
+    s2r r5, tid.x
+    imad r6, r3, r4, r5  # i
+    isetp.ge r7, r6, r2
+    bra r7, done
+    shl r8, r6, 2
+    iadd r9, r8, r0
+    ldg r10, [r9]        # in[i]
+    # interior?
+    isetp.eq r11, r6, 0
+    isub r12, r2, 1
+    isetp.eq r13, r6, r12
+    or r11, r11, r13
+    bra r11, copy, join=store
+    ldg r14, [r9-4]
+    ldg r15, [r9+4]
+    iadd r16, r10, r10
+    iadd r16, r16, r14
+    iadd r16, r16, r15
+    shr r10, r16, 2
+    jmp store
+copy:
+    nop
+store:
+    iadd r17, r8, r1
+    stg [r17], r10
+done:
+    exit
+)";
+
+} // namespace
+
+int
+main()
+try {
+    using namespace vtsim;
+
+    const std::uint32_t n = 1 << 15;
+    const std::uint32_t steps = 8;
+
+    for (bool vt_on : {false, true}) {
+        GpuConfig cfg = GpuConfig::fermiLike();
+        cfg.vtEnabled = vt_on;
+        Gpu gpu(cfg);
+        const Kernel kernel = assemble(kSmoothSource);
+
+        Addr buf_a = gpu.memory().alloc(n * 4);
+        Addr buf_b = gpu.memory().alloc(n * 4);
+        std::vector<std::uint32_t> host(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            host[i] = (i * 2654435761u) % 1000;
+        gpu.memory().writeWords(buf_a, host);
+
+        Cycle total_cycles = 0;
+        std::uint64_t total_swaps = 0;
+        for (std::uint32_t step = 0; step < steps; ++step) {
+            LaunchParams lp;
+            lp.cta = Dim3(128);
+            lp.grid = Dim3(n / 128);
+            lp.params = {std::uint32_t(buf_a), std::uint32_t(buf_b), n};
+            const KernelStats stats = gpu.launch(kernel, lp);
+            total_cycles += stats.cycles;
+            total_swaps += stats.swapOuts;
+            std::swap(buf_a, buf_b);
+
+            // Host reference for the same step.
+            std::vector<std::uint32_t> next(host);
+            for (std::uint32_t i = 1; i + 1 < n; ++i)
+                next[i] = (host[i - 1] + 2 * host[i] + host[i + 1]) / 4;
+            host = next;
+        }
+
+        // buf_a holds the final result after the last swap.
+        const auto device = gpu.memory().readWords(buf_a, n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (device[i] != host[i])
+                VTSIM_FATAL("mismatch at ", i, " after ", steps,
+                            " steps: ", device[i], " != ", host[i]);
+        }
+        std::printf("%-14s %u smoothing steps over %u points: "
+                    "%llu total cycles (%llu swaps) — VERIFIED\n",
+                    vt_on ? "virtual-thread" : "baseline", steps, n,
+                    (unsigned long long)total_cycles,
+                    (unsigned long long)total_swaps);
+    }
+    return 0;
+} catch (const vtsim::FatalError &e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: build a GPU, assemble a kernel, run it on the baseline and
+ * on the Virtual Thread machine, and compare.
+ *
+ * This is the 60-second tour of the public API:
+ *   GpuConfig -> Gpu -> memory() -> assemble() -> launch() -> KernelStats.
+ */
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "gpu/gpu.hh"
+#include "isa/assembler.hh"
+#include "occupancy/occupancy.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+try {
+    using namespace vtsim;
+
+    // A memory-latency-bound workload with small CTAs: the shape the
+    // Virtual Thread architecture targets.
+    auto workload = makeWorkload("bfs");
+    const Kernel kernel = workload->buildKernel();
+
+    // --- Baseline: a Fermi-class GPU ------------------------------------
+    GpuConfig base_cfg = GpuConfig::fermiLike();
+    Gpu baseline(base_cfg);
+    LaunchParams lp = workload->prepare(baseline.memory());
+
+    const OccupancyResult occ = computeOccupancy(base_cfg, kernel, lp);
+    std::printf("kernel '%s': %u CTAs/SM (limited by %s), "
+                "capacity alone would allow %u\n",
+                kernel.name().c_str(), occ.ctasPerSm,
+                toString(occ.limiter).c_str(), occ.ctasCapacityOnly);
+
+    const KernelStats base = baseline.launch(kernel, lp);
+    if (!workload->verify(baseline.memory()))
+        VTSIM_FATAL("baseline results are wrong");
+    std::printf("baseline      : %8llu cycles, IPC %.3f\n",
+                (unsigned long long)base.cycles, base.ipc);
+
+    // --- Virtual Thread: same machine, CTAs admitted to capacity --------
+    GpuConfig vt_cfg = base_cfg;
+    vt_cfg.vtEnabled = true;
+    Gpu vt_gpu(vt_cfg);
+    auto workload_vt = makeWorkload("bfs"); // fresh problem instance
+    const Kernel kernel_vt = workload_vt->buildKernel();
+    LaunchParams lp_vt = workload_vt->prepare(vt_gpu.memory());
+
+    const KernelStats vt = vt_gpu.launch(kernel_vt, lp_vt);
+    if (!workload_vt->verify(vt_gpu.memory()))
+        VTSIM_FATAL("VT results are wrong");
+    std::printf("virtual-thread: %8llu cycles, IPC %.3f "
+                "(%llu swap-outs, %llu swap-ins)\n",
+                (unsigned long long)vt.cycles, vt.ipc,
+                (unsigned long long)vt.swapOuts,
+                (unsigned long long)vt.swapIns);
+
+    std::printf("speedup: %.2fx\n", double(base.cycles) / vt.cycles);
+    return 0;
+} catch (const vtsim::FatalError &e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+}

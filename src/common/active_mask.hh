@@ -1,0 +1,111 @@
+/**
+ * @file
+ * 32-lane active mask used throughout the SIMT pipeline.
+ */
+
+#ifndef VTSIM_COMMON_ACTIVE_MASK_HH
+#define VTSIM_COMMON_ACTIVE_MASK_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace vtsim {
+
+/**
+ * A set of active lanes within one warp.
+ *
+ * Thin wrapper over a 32-bit word so divergence handling reads as set
+ * algebra rather than raw bit fiddling.
+ */
+class ActiveMask
+{
+  public:
+    constexpr ActiveMask() = default;
+    constexpr explicit ActiveMask(std::uint32_t bits) : bits_(bits) {}
+
+    /** Mask with the low @p n lanes set (n <= warpSize). */
+    static constexpr ActiveMask
+    firstLanes(std::uint32_t n)
+    {
+        if (n >= warpSize)
+            return all();
+        return ActiveMask((1u << n) - 1u);
+    }
+
+    /** Mask with every lane set. */
+    static constexpr ActiveMask all() { return ActiveMask(~0u); }
+
+    /** Mask with no lane set. */
+    static constexpr ActiveMask none() { return ActiveMask(0u); }
+
+    constexpr bool test(std::uint32_t lane) const
+    { return (bits_ >> lane) & 1u; }
+
+    constexpr void set(std::uint32_t lane) { bits_ |= (1u << lane); }
+    constexpr void clear(std::uint32_t lane) { bits_ &= ~(1u << lane); }
+
+    constexpr bool any() const { return bits_ != 0; }
+    constexpr bool empty() const { return bits_ == 0; }
+    constexpr bool full() const { return bits_ == ~0u; }
+
+    /** Number of set lanes. */
+    std::uint32_t count() const { return std::popcount(bits_); }
+
+    /** Index of the lowest set lane; warpSize when empty. */
+    std::uint32_t
+    firstLane() const
+    {
+        return bits_ ? std::countr_zero(bits_) : warpSize;
+    }
+
+    constexpr std::uint32_t bits() const { return bits_; }
+
+    constexpr ActiveMask
+    operator&(const ActiveMask &o) const
+    { return ActiveMask(bits_ & o.bits_); }
+
+    constexpr ActiveMask
+    operator|(const ActiveMask &o) const
+    { return ActiveMask(bits_ | o.bits_); }
+
+    constexpr ActiveMask
+    operator~() const
+    { return ActiveMask(~bits_); }
+
+    constexpr ActiveMask &
+    operator&=(const ActiveMask &o)
+    { bits_ &= o.bits_; return *this; }
+
+    constexpr ActiveMask &
+    operator|=(const ActiveMask &o)
+    { bits_ |= o.bits_; return *this; }
+
+    constexpr bool
+    operator==(const ActiveMask &o) const = default;
+
+    /** Lanes in this mask but not in @p o. */
+    constexpr ActiveMask
+    minus(const ActiveMask &o) const
+    { return ActiveMask(bits_ & ~o.bits_); }
+
+    /** Render as a 32-character bit string, lane 0 rightmost. */
+    std::string
+    toString() const
+    {
+        std::string s(warpSize, '0');
+        for (std::uint32_t lane = 0; lane < warpSize; ++lane)
+            if (test(lane))
+                s[warpSize - 1 - lane] = '1';
+        return s;
+    }
+
+  private:
+    std::uint32_t bits_ = 0;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_COMMON_ACTIVE_MASK_HH

@@ -1,0 +1,85 @@
+#include "common/rng.hh"
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+namespace {
+
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Seed the four state words with SplitMix64 as the xoshiro authors
+    // recommend; guards against the all-zero state.
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+    if (!(state_[0] | state_[1] | state_[2] | state_[3]))
+        state_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    VTSIM_ASSERT(bound != 0, "nextBelow(0)");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    VTSIM_ASSERT(lo <= hi, "empty range");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span ? nextBelow(span) : next());
+}
+
+float
+Rng::nextFloat()
+{
+    return static_cast<float>(next() >> 40) * (1.0f / (1 << 24));
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextFloat() < p;
+}
+
+} // namespace vtsim

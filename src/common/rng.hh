@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workload inputs.
+ *
+ * vtsim never uses std::rand or hardware entropy: every simulation must be
+ * exactly reproducible from its seed so that baseline and Virtual Thread
+ * runs see identical input data.
+ */
+
+#ifndef VTSIM_COMMON_RNG_HH
+#define VTSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace vtsim {
+
+/**
+ * xoshiro256** generator. Small, fast, and good enough for synthesising
+ * benchmark inputs and property-test stimulus.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform float in [0, 1). */
+    float nextFloat();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_COMMON_RNG_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fundamental scalar types and constants shared by every vtsim module.
+ */
+
+#ifndef VTSIM_COMMON_TYPES_HH
+#define VTSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace vtsim {
+
+/** Byte address in the simulated global memory space. */
+using Addr = std::uint64_t;
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Program counter: index of an instruction within a kernel. */
+using Pc = std::uint32_t;
+
+/** Architectural register index within a thread's register window. */
+using RegIndex = std::uint16_t;
+
+/** Identifier types. Plain integers, but named for readability. */
+using SmId = std::uint32_t;
+using WarpSlotId = std::uint32_t;
+using CtaSlotId = std::uint32_t;
+using VirtualCtaId = std::uint32_t;
+
+/** Number of SIMT lanes per warp. Fixed at 32 as on NVIDIA hardware. */
+inline constexpr std::uint32_t warpSize = 32;
+
+/** Sentinel for "no PC" / kernel exit. */
+inline constexpr Pc invalidPc = std::numeric_limits<Pc>::max();
+
+/** Sentinel identifier. */
+inline constexpr std::uint32_t invalidId =
+    std::numeric_limits<std::uint32_t>::max();
+
+/** Sentinel cycle meaning "never". */
+inline constexpr Cycle neverCycle = std::numeric_limits<Cycle>::max();
+
+/**
+ * Three-dimensional extent used for grid and CTA shapes.
+ *
+ * Mirrors CUDA's dim3: unspecified components default to 1.
+ */
+struct Dim3
+{
+    std::uint32_t x = 1;
+    std::uint32_t y = 1;
+    std::uint32_t z = 1;
+
+    constexpr Dim3() = default;
+    constexpr Dim3(std::uint32_t xx, std::uint32_t yy = 1,
+                   std::uint32_t zz = 1)
+        : x(xx), y(yy), z(zz)
+    {}
+
+    /** Total number of elements in the box. */
+    constexpr std::uint64_t
+    count() const
+    {
+        return std::uint64_t(x) * y * z;
+    }
+
+    constexpr bool
+    operator==(const Dim3 &other) const
+    {
+        return x == other.x && y == other.y && z == other.z;
+    }
+};
+
+/** Round @p value up to the next multiple of @p align (align > 0). */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) / align * align;
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** True when @p value is a power of two (zero is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Floor of log2 for a nonzero value. */
+constexpr std::uint32_t
+floorLog2(std::uint64_t value)
+{
+    std::uint32_t result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+} // namespace vtsim
+
+#endif // VTSIM_COMMON_TYPES_HH

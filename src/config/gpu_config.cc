@@ -1,0 +1,180 @@
+#include "config/gpu_config.hh"
+
+#include <iomanip>
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+std::string
+toString(SchedulerPolicy policy)
+{
+    switch (policy) {
+      case SchedulerPolicy::LooseRoundRobin: return "lrr";
+      case SchedulerPolicy::GreedyThenOldest: return "gto";
+      case SchedulerPolicy::TwoLevel: return "two-level";
+    }
+    return "?";
+}
+
+std::string
+toString(VtSwapTrigger trigger)
+{
+    switch (trigger) {
+      case VtSwapTrigger::AllWarpsStalled: return "all-warps-stalled";
+      case VtSwapTrigger::AnyWarpStalled: return "any-warp-stalled";
+    }
+    return "?";
+}
+
+std::string
+toString(VtSwapInPolicy policy)
+{
+    switch (policy) {
+      case VtSwapInPolicy::ReadyFirst: return "ready-first";
+      case VtSwapInPolicy::OldestFirst: return "oldest-first";
+    }
+    return "?";
+}
+
+GpuConfig
+GpuConfig::fermiLike()
+{
+    // The struct defaults *are* the Fermi-class machine; spelled out as a
+    // named constructor so call sites document their intent.
+    return GpuConfig{};
+}
+
+GpuConfig
+GpuConfig::keplerLike()
+{
+    GpuConfig cfg;
+    cfg.numSms = 13;
+    cfg.maxWarpsPerSm = 64;
+    cfg.maxCtasPerSm = 16;
+    cfg.maxThreadsPerSm = 2048;
+    cfg.registersPerSm = 65536;
+    cfg.numSchedulers = 4;
+    cfg.aluThroughputPerSm = 4;
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::testMini()
+{
+    GpuConfig cfg;
+    cfg.numSms = 1;
+    cfg.numMemPartitions = 1;
+    cfg.maxWarpsPerSm = 8;
+    cfg.maxCtasPerSm = 2;
+    cfg.maxThreadsPerSm = 256;
+    cfg.registersPerSm = 8192;
+    cfg.sharedMemPerSm = 16 * 1024;
+    cfg.numSchedulers = 1;
+    cfg.l1Size = 4 * 1024;
+    cfg.l2SlicePerPartition = 16 * 1024;
+    cfg.vtMaxVirtualCtasPerSm = 8;
+    cfg.maxCycles = 2'000'000;
+    return cfg;
+}
+
+void
+GpuConfig::validate() const
+{
+    if (numSms == 0)
+        VTSIM_FATAL("numSms must be nonzero");
+    if (numMemPartitions == 0)
+        VTSIM_FATAL("numMemPartitions must be nonzero");
+    if (maxWarpsPerSm == 0 || maxCtasPerSm == 0 || maxThreadsPerSm == 0)
+        VTSIM_FATAL("per-SM scheduling limits must be nonzero");
+    if (maxThreadsPerSm < warpSize)
+        VTSIM_FATAL("maxThreadsPerSm smaller than one warp");
+    if (registersPerSm == 0)
+        VTSIM_FATAL("registersPerSm must be nonzero");
+    if (!isPowerOfTwo(l1LineSize) || !isPowerOfTwo(l2LineSize))
+        VTSIM_FATAL("cache line sizes must be powers of two");
+    if (l1LineSize != l2LineSize)
+        VTSIM_FATAL("L1 and L2 line sizes must match (no sectoring)");
+    if (l1Size % (l1LineSize * l1Assoc) != 0)
+        VTSIM_FATAL("L1 size not divisible by assoc * line size");
+    if (l2SlicePerPartition % (l2LineSize * l2Assoc) != 0)
+        VTSIM_FATAL("L2 slice size not divisible by assoc * line size");
+    if (!isPowerOfTwo(sharedMemBanks) || sharedMemBanks == 0)
+        VTSIM_FATAL("sharedMemBanks must be a nonzero power of two");
+    if (numSchedulers == 0 || issueWidth == 0)
+        VTSIM_FATAL("scheduler shape must be nonzero");
+    if (schedLimitMultiplier == 0)
+        VTSIM_FATAL("schedLimitMultiplier must be >= 1");
+    if (vtEnabled && vtMaxVirtualCtasPerSm != 0 &&
+        vtMaxVirtualCtasPerSm < maxCtasPerSm) {
+        VTSIM_FATAL("vtMaxVirtualCtasPerSm (", vtMaxVirtualCtasPerSm,
+                    ") below the scheduling limit (", maxCtasPerSm,
+                    ") would *reduce* concurrency");
+    }
+    if (vtEnabled && schedLimitMultiplier != 1)
+        VTSIM_FATAL("VT and schedLimitMultiplier are mutually exclusive");
+    if (throttleEnabled && vtEnabled)
+        VTSIM_FATAL("CTA throttling and VT are mutually exclusive");
+    if (throttleEnabled && throttleEpochCycles == 0)
+        VTSIM_FATAL("throttleEpochCycles must be nonzero");
+    if (dramBanksPerPartition == 0 || dramBytesPerCycle == 0)
+        VTSIM_FATAL("DRAM shape must be nonzero");
+}
+
+void
+GpuConfig::print(std::ostream &os) const
+{
+    auto row = [&os](const std::string &key, const std::string &value) {
+        os << "  " << std::left << std::setw(34) << key << value << '\n';
+    };
+    os << "GPU configuration\n";
+    row("SMs", std::to_string(numSms));
+    row("Memory partitions", std::to_string(numMemPartitions));
+    row("Warp slots / SM (sched limit)",
+        std::to_string(effMaxWarpsPerSm()));
+    row("CTA slots / SM (sched limit)", std::to_string(effMaxCtasPerSm()));
+    row("Thread slots / SM", std::to_string(effMaxThreadsPerSm()));
+    row("Registers / SM (capacity)", std::to_string(registersPerSm) +
+        " (" + std::to_string(registersPerSm * 4 / 1024) + " KB)");
+    row("Shared memory / SM (capacity)",
+        std::to_string(sharedMemPerSm / 1024) + " KB, " +
+        std::to_string(sharedMemBanks) + " banks");
+    row("Warp schedulers / SM", std::to_string(numSchedulers) +
+        " x issue " + std::to_string(issueWidth) + ", " +
+        toString(schedulerPolicy));
+    row("ALU / SFU latency", std::to_string(aluLatency) + " / " +
+        std::to_string(sfuLatency) + " cycles");
+    row("L1D / SM", std::to_string(l1Size / 1024) + " KB, " +
+        std::to_string(l1Assoc) + "-way, " +
+        std::to_string(l1LineSize) + "B lines, " +
+        std::to_string(l1Mshrs) + " MSHRs, hit " +
+        std::to_string(l1HitLatency) + " cyc");
+    row("Shared mem latency", std::to_string(sharedMemLatency) + " cyc");
+    row("NoC latency", std::to_string(nocLatency) + " cyc each way");
+    row("L2 slice / partition", std::to_string(l2SlicePerPartition / 1024) +
+        " KB, " + std::to_string(l2Assoc) + "-way, hit +" +
+        std::to_string(l2HitLatency) + " cyc, " +
+        (l2WriteBack ? "write-back" : "write-through"));
+    row("DRAM / partition", std::to_string(dramBanksPerPartition) +
+        " banks, row hit/miss " + std::to_string(dramRowHitLatency) + "/" +
+        std::to_string(dramRowMissLatency) + " cyc, " +
+        std::to_string(dramBytesPerCycle) + " B/cyc");
+    row("Virtual Thread", vtEnabled ? "ENABLED" : "disabled");
+    if (vtEnabled) {
+        row("  max virtual CTAs / SM", vtMaxVirtualCtasPerSm
+            ? std::to_string(vtMaxVirtualCtasPerSm) : "capacity-bound");
+        row("  swap out / in latency", std::to_string(vtSwapOutLatency) +
+            " / " + std::to_string(vtSwapInLatency) + " cyc");
+        row("  swap trigger", toString(vtSwapTrigger));
+        row("  swap-in policy", toString(vtSwapInPolicy));
+        row("  stall threshold", std::to_string(vtStallThreshold) + " cyc");
+    }
+    if (schedLimitMultiplier != 1)
+        row("Sched-limit multiplier", std::to_string(schedLimitMultiplier));
+    if (throttleEnabled) {
+        row("CTA throttling", "ENABLED, epoch " +
+            std::to_string(throttleEpochCycles) + " cyc");
+    }
+}
+
+} // namespace vtsim

@@ -1,0 +1,48 @@
+#include "core/energy_model.hh"
+
+#include <iomanip>
+
+namespace vtsim {
+
+EnergyBreakdown
+estimateEnergy(const KernelStats &stats, const GpuConfig &config,
+               std::uint32_t swap_bytes_per_cta,
+               const EnergyParams &params)
+{
+    EnergyBreakdown e;
+    e.core = params.warpInstruction *
+             static_cast<double>(stats.warpInstructions);
+    e.l1 = params.l1Access *
+           static_cast<double>(stats.l1Hits + stats.l1Misses);
+    e.l2 = params.l2Access *
+           static_cast<double>(stats.l2Hits + stats.l2Misses);
+    e.dram = params.dramPerByte * static_cast<double>(stats.dramBytes);
+    // Responses dominate NoC traffic (one full line back per L1 miss).
+    e.noc = params.nocPerResponse *
+            static_cast<double>(stats.l1Misses + stats.l2Misses);
+    // A swap saves one context and restores another.
+    e.vtSwap = params.vtSwapPerByte * 2.0 * swap_bytes_per_cta *
+               static_cast<double>(stats.swapOuts);
+    e.staticEnergy = params.staticPerSmCycle *
+                     static_cast<double>(stats.cycles) * config.numSms;
+    return e;
+}
+
+void
+printEnergy(std::ostream &os, const EnergyBreakdown &energy)
+{
+    auto row = [&os](const char *key, double pj) {
+        os << "  " << std::left << std::setw(10) << key << std::fixed
+           << std::setprecision(2) << pj / 1e6 << " uJ\n";
+    };
+    row("core", energy.core);
+    row("l1", energy.l1);
+    row("l2", energy.l2);
+    row("dram", energy.dram);
+    row("noc", energy.noc);
+    row("vt-swap", energy.vtSwap);
+    row("static", energy.staticEnergy);
+    row("TOTAL", energy.total());
+}
+
+} // namespace vtsim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Event-based energy accounting for a kernel launch — the stand-in for
+ * the paper's CACTI/McPAT-derived overhead numbers. Per-event energies
+ * are order-of-magnitude constants for a 40 nm-class GPU; what the
+ * model is for is *relative* comparison (baseline vs Virtual Thread,
+ * including the energy VT's context swaps add), not absolute joules.
+ */
+
+#ifndef VTSIM_CORE_ENERGY_MODEL_HH
+#define VTSIM_CORE_ENERGY_MODEL_HH
+
+#include <ostream>
+
+#include "config/gpu_config.hh"
+#include "gpu/gpu.hh"
+
+namespace vtsim {
+
+/** Per-event energies in picojoules. */
+struct EnergyParams
+{
+    double warpInstruction = 60.0; ///< Fetch/decode/RF/execute average.
+    double l1Access = 50.0;        ///< Per L1 lookup (hit or miss).
+    double l2Access = 150.0;       ///< Per L2 lookup.
+    double dramPerByte = 20.0;     ///< Per byte moved on the DRAM bus.
+    double nocPerResponse = 200.0; ///< Per 128B flit across the crossbar.
+    double vtSwapPerByte = 1.0;    ///< SRAM move of saved sched state.
+    double staticPerSmCycle = 15.0;///< Leakage+clock per SM per cycle.
+};
+
+/** Energy split by component, in picojoules. */
+struct EnergyBreakdown
+{
+    double core = 0.0;
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double dram = 0.0;
+    double noc = 0.0;
+    double vtSwap = 0.0;
+    double staticEnergy = 0.0;
+
+    double
+    total() const
+    {
+        return core + l1 + l2 + dram + noc + vtSwap + staticEnergy;
+    }
+
+    /** Energy-delay product (pJ x cycles). */
+    double edp(Cycle cycles) const { return total() * cycles; }
+};
+
+/**
+ * Estimate the energy of one launch from its statistics.
+ *
+ * @param stats The launch's KernelStats.
+ * @param config The machine that produced them.
+ * @param swap_bytes_per_cta Scheduling-state bytes one swap moves
+ *        (from computeOverhead().bytesPerCtaContext).
+ * @param params Per-event energies.
+ */
+EnergyBreakdown estimateEnergy(const KernelStats &stats,
+                               const GpuConfig &config,
+                               std::uint32_t swap_bytes_per_cta,
+                               const EnergyParams &params = {});
+
+/** Print the breakdown as labelled rows (uJ). */
+void printEnergy(std::ostream &os, const EnergyBreakdown &energy);
+
+} // namespace vtsim
+
+#endif // VTSIM_CORE_ENERGY_MODEL_HH

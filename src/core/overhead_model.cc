@@ -1,0 +1,82 @@
+#include "core/overhead_model.hh"
+
+#include <iomanip>
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+VtOverhead
+computeOverhead(const GpuConfig &config, std::uint32_t warps_per_cta,
+                std::uint32_t regs_per_thread,
+                std::uint32_t simt_stack_depth)
+{
+    VTSIM_ASSERT(warps_per_cta > 0 && regs_per_thread > 0,
+                 "degenerate kernel shape");
+    VtOverhead o;
+
+    // Per-warp scheduling state a context switch must preserve:
+    //  - SIMT stack: each entry is {pc, reconverge pc, 32-bit mask}.
+    //    PCs sized for a 24-bit instruction space -> 3 bytes each.
+    const std::uint32_t simt_entry_bytes = 3 + 3 + 4;
+    const std::uint32_t simt_bytes = simt_stack_depth * simt_entry_bytes;
+    //  - Scoreboard: 2 bits (pending, long-latency) per register.
+    const std::uint32_t sb_bytes = (regs_per_thread * 2 + 7) / 8;
+    //  - Barrier flag + misc warp status: 1 byte.
+    const std::uint32_t status_bytes = 1;
+    o.bytesPerWarpContext = simt_bytes + sb_bytes + status_bytes;
+
+    // Per-CTA state: barrier arrival count + CTA status byte.
+    const std::uint32_t cta_bytes = 2;
+    o.bytesPerCtaContext =
+        warps_per_cta * o.bytesPerWarpContext + cta_bytes;
+
+    const std::uint32_t virtual_ctas =
+        config.vtMaxVirtualCtasPerSm ? config.vtMaxVirtualCtasPerSm
+                                     : config.maxCtasPerSm;
+    o.extraContextsPerSm = virtual_ctas > config.maxCtasPerSm
+                               ? virtual_ctas - config.maxCtasPerSm
+                               : 0;
+    o.totalBytesPerSm =
+        std::uint64_t(o.extraContextsPerSm) * o.bytesPerCtaContext;
+
+    o.registerFileBytesPerSm = std::uint64_t(config.registersPerSm) * 4;
+
+    // What a conventional preemption mechanism would have to move per CTA
+    // swap: every live register plus the CTA's shared memory.
+    o.naiveSwapBytesPerCta =
+        std::uint64_t(warps_per_cta) * warpSize * regs_per_thread * 4 +
+        config.sharedMemPerSm / config.maxCtasPerSm;
+
+    return o;
+}
+
+void
+printOverhead(std::ostream &os, const VtOverhead &overhead)
+{
+    auto row = [&os](const std::string &key, std::uint64_t bytes) {
+        os << "  " << std::left << std::setw(44) << key << bytes
+           << " B\n";
+    };
+    os << "Virtual Thread storage overhead\n";
+    row("Saved scheduling state per warp context",
+        overhead.bytesPerWarpContext);
+    row("Saved scheduling state per CTA context",
+        overhead.bytesPerCtaContext);
+    os << "  " << std::left << std::setw(44)
+       << "Extra CTA contexts per SM" << overhead.extraContextsPerSm
+       << '\n';
+    row("Total added storage per SM", overhead.totalBytesPerSm);
+    row("Register file per SM (for scale)",
+        overhead.registerFileBytesPerSm);
+    row("Bytes a register-copying swap would move",
+        overhead.naiveSwapBytesPerCta);
+    const double pct = overhead.registerFileBytesPerSm
+        ? 100.0 * double(overhead.totalBytesPerSm) /
+              double(overhead.registerFileBytesPerSm)
+        : 0.0;
+    os << "  VT storage = " << std::fixed << std::setprecision(2) << pct
+       << "% of the register file\n";
+}
+
+} // namespace vtsim

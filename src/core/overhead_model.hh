@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Analytical model of the Virtual Thread hardware storage overhead: the
+ * bytes of scheduling state the architecture must keep per virtual CTA
+ * context beyond the baseline (TAB-3). The paper's key saving — not
+ * copying registers or shared memory — appears here as the absence of
+ * those terms from the per-context cost.
+ */
+
+#ifndef VTSIM_CORE_OVERHEAD_MODEL_HH
+#define VTSIM_CORE_OVERHEAD_MODEL_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "config/gpu_config.hh"
+
+namespace vtsim {
+
+/** Storage bill for one configuration. */
+struct VtOverhead
+{
+    std::uint32_t bytesPerWarpContext = 0; ///< PC+SIMT stack+scoreboard+...
+    std::uint32_t bytesPerCtaContext = 0;  ///< warpsPerCta contexts + CTA.
+    std::uint32_t extraContextsPerSm = 0;  ///< Beyond the scheduling limit.
+    std::uint64_t totalBytesPerSm = 0;
+    std::uint64_t registerFileBytesPerSm = 0; ///< For scale comparison.
+    /** Bytes a naive (register-copying) context switch would move. */
+    std::uint64_t naiveSwapBytesPerCta = 0;
+};
+
+/**
+ * Compute the storage overhead of supporting the configured number of
+ * virtual CTA contexts.
+ *
+ * @param config The machine.
+ * @param warps_per_cta Warps per CTA of the kernel of interest.
+ * @param regs_per_thread Registers per thread of that kernel.
+ * @param simt_stack_depth Provisioned SIMT stack entries per warp.
+ */
+VtOverhead computeOverhead(const GpuConfig &config,
+                           std::uint32_t warps_per_cta,
+                           std::uint32_t regs_per_thread,
+                           std::uint32_t simt_stack_depth = 16);
+
+/** Pretty-print as the TAB-3 rows. */
+void printOverhead(std::ostream &os, const VtOverhead &overhead);
+
+} // namespace vtsim
+
+#endif // VTSIM_CORE_OVERHEAD_MODEL_HH

@@ -1,0 +1,307 @@
+#include "core/virtual_thread.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+#include "common/trace.hh"
+
+namespace vtsim {
+
+std::string
+toString(CtaState state)
+{
+    switch (state) {
+      case CtaState::Active: return "active";
+      case CtaState::SwappingOut: return "swapping-out";
+      case CtaState::Inactive: return "inactive";
+      case CtaState::SwappingIn: return "swapping-in";
+    }
+    return "?";
+}
+
+VirtualThreadManager::VirtualThreadManager(const GpuConfig &config,
+                                           VtCtaQuery &query, SmId sm_id)
+    : config_(config), query_(query),
+      stats_("sm" + std::to_string(sm_id) + ".vt")
+{
+    stats_.addCounter("swap_outs", &swapOuts_, "CTA swap-outs");
+    stats_.addCounter("swap_ins", &swapIns_, "CTA swap-ins");
+    stats_.addCounter("fresh_activations", &freshActivations_,
+                      "CTAs activated straight from launch");
+    stats_.addCounter("swap_in_not_ready", &swapInNotReady_,
+                      "swap-ins of CTAs with data still outstanding");
+    stats_.addScalar("resident_ctas", &residentSamples_,
+                     "resident CTAs sampled per cycle");
+    stats_.addScalar("active_ctas", &activeSamples_,
+                     "active CTAs sampled per cycle");
+}
+
+void
+VirtualThreadManager::configureKernel(const CtaFootprint &footprint)
+{
+    VTSIM_ASSERT(ctas_.empty(), "kernel reconfigured with CTAs resident");
+    VTSIM_ASSERT(footprint.warpsPerCta > 0 && footprint.threadsPerCta > 0,
+                 "degenerate CTA footprint");
+    fp_ = footprint;
+}
+
+bool
+VirtualThreadManager::activeSlotFree() const
+{
+    return activeCtas_ < std::min(config_.effMaxCtasPerSm(),
+                                  dynamicCap_) &&
+           warpsActive_ + fp_.warpsPerCta <= config_.effMaxWarpsPerSm() &&
+           threadsActive_ + fp_.threadsPerCta <=
+               config_.effMaxThreadsPerSm();
+}
+
+bool
+VirtualThreadManager::canAdmit() const
+{
+    VTSIM_ASSERT(fp_.warpsPerCta > 0, "canAdmit before configureKernel");
+    // Capacity limit binds in both machines: registers and shared memory
+    // are physically allocated per resident CTA.
+    if (regsInUse_ + fp_.regsPerCta > config_.registersPerSm)
+        return false;
+    if (sharedInUse_ + fp_.sharedPerCta > config_.sharedMemPerSm)
+        return false;
+
+    if (!config_.vtEnabled) {
+        // Baseline: the scheduling limit also gates admission.
+        return activeSlotFree();
+    }
+    // VT: admit past the scheduling limit, up to the virtual-CTA budget.
+    const std::uint32_t limit =
+        config_.vtMaxVirtualCtasPerSm
+            ? config_.vtMaxVirtualCtasPerSm
+            : std::numeric_limits<std::uint32_t>::max();
+    return ctas_.size() < limit;
+}
+
+void
+VirtualThreadManager::activate(CtaRec &rec, Cycle now)
+{
+    VTSIM_ASSERT(activeSlotFree(), "activate without a free slot");
+    ++activeCtas_;
+    warpsActive_ += fp_.warpsPerCta;
+    threadsActive_ += fp_.threadsPerCta;
+    rec.stalledFor = 0;
+    if (rec.everSwapped) {
+        // Restoring saved scheduling state costs the swap-in latency.
+        rec.state = CtaState::SwappingIn;
+        rec.transitionAt = now + config_.vtSwapInLatency;
+        ++swapIns_;
+    } else {
+        rec.state = CtaState::Active;
+        ++freshActivations_;
+    }
+}
+
+void
+VirtualThreadManager::releaseActiveSlot()
+{
+    VTSIM_ASSERT(activeCtas_ > 0, "active slot underflow");
+    --activeCtas_;
+    warpsActive_ -= fp_.warpsPerCta;
+    threadsActive_ -= fp_.threadsPerCta;
+}
+
+void
+VirtualThreadManager::onAdmit(VirtualCtaId id, Cycle now)
+{
+    VTSIM_ASSERT(canAdmit(), "onAdmit without canAdmit");
+    VTSIM_ASSERT(!ctas_.count(id), "CTA ", id, " already resident");
+
+    regsInUse_ += fp_.regsPerCta;
+    sharedInUse_ += fp_.sharedPerCta;
+
+    CtaRec rec;
+    rec.age = nextAge_++;
+    rec.state = CtaState::Inactive;
+    auto [it, inserted] = ctas_.emplace(id, rec);
+    VTSIM_ASSERT(inserted, "duplicate CTA id");
+
+    VTSIM_TRACE(TraceFlag::Cta, now, stats_.name(), "admit cta ", id,
+                " (resident ", ctas_.size(), ")");
+    if (activeSlotFree())
+        activate(it->second, now);
+}
+
+void
+VirtualThreadManager::onCtaFinished(VirtualCtaId id, Cycle now)
+{
+    auto it = ctas_.find(id);
+    VTSIM_ASSERT(it != ctas_.end(), "finish of unknown CTA ", id);
+    VTSIM_ASSERT(it->second.state == CtaState::Active,
+                 "CTA ", id, " finished while ", toString(it->second.state));
+    VTSIM_TRACE(TraceFlag::Cta, now, stats_.name(), "finish cta ", id);
+    releaseActiveSlot();
+    regsInUse_ -= fp_.regsPerCta;
+    sharedInUse_ -= fp_.sharedPerCta;
+    ctas_.erase(it);
+
+    // The freed slot goes to the best inactive CTA right away.
+    const VirtualCtaId incoming = pickSwapIn(false);
+    if (incoming != invalidId && activeSlotFree())
+        activate(ctas_.at(incoming), now);
+}
+
+bool
+VirtualThreadManager::isIssuable(VirtualCtaId id) const
+{
+    const auto it = ctas_.find(id);
+    return it != ctas_.end() && it->second.state == CtaState::Active;
+}
+
+CtaState
+VirtualThreadManager::state(VirtualCtaId id) const
+{
+    const auto it = ctas_.find(id);
+    VTSIM_ASSERT(it != ctas_.end(), "state() of unknown CTA ", id);
+    return it->second.state;
+}
+
+VirtualCtaId
+VirtualThreadManager::pickSwapIn(bool require_ready) const
+{
+    VirtualCtaId best = invalidId;
+    bool best_ready = false;
+    std::uint64_t best_age = ~0ull;
+    for (const auto &[id, rec] : ctas_) {
+        if (rec.state != CtaState::Inactive)
+            continue;
+        const bool ready = query_.ctaPendingOffChip(id) == 0;
+        if (config_.vtSwapInPolicy == VtSwapInPolicy::ReadyFirst) {
+            // Prefer ready CTAs; oldest first within each class.
+            if (best == invalidId || (ready && !best_ready) ||
+                (ready == best_ready && rec.age < best_age)) {
+                best = id;
+                best_ready = ready;
+                best_age = rec.age;
+            }
+        } else {
+            // OldestFirst ablation: strict age order.
+            if (rec.age < best_age) {
+                best = id;
+                best_ready = ready;
+                best_age = rec.age;
+            }
+        }
+    }
+    // Under the paper's policy a swap only pays off when the incoming CTA
+    // is ready: never swap in a CTA that would immediately stall. Filling
+    // an already-free slot (require_ready == false) takes any CTA.
+    if (require_ready &&
+        config_.vtSwapInPolicy == VtSwapInPolicy::ReadyFirst &&
+        !best_ready) {
+        return invalidId;
+    }
+    return best;
+}
+
+bool
+VirtualThreadManager::swapTriggered(VirtualCtaId id,
+                                    const CtaRec &rec) const
+{
+    if (rec.stalledFor < config_.vtStallThreshold)
+        return false;
+    switch (config_.vtSwapTrigger) {
+      case VtSwapTrigger::AllWarpsStalled:
+        return query_.ctaFullyStalled(id) &&
+               query_.ctaAnyWarpLongStalled(id);
+      case VtSwapTrigger::AnyWarpStalled:
+        return query_.ctaAnyWarpLongStalled(id);
+    }
+    return false;
+}
+
+void
+VirtualThreadManager::tick(Cycle now)
+{
+    residentSamples_.sample(ctas_.size());
+    activeSamples_.sample(activeCtas_);
+
+    if (!config_.vtEnabled)
+        return;
+
+    // 1. Complete in-flight transitions.
+    for (auto &[id, rec] : ctas_) {
+        if (rec.transitionAt > now)
+            continue;
+        if (rec.state == CtaState::SwappingOut) {
+            rec.state = CtaState::Inactive;
+        } else if (rec.state == CtaState::SwappingIn) {
+            rec.state = CtaState::Active;
+            rec.stalledFor = 0;
+        }
+    }
+
+    // 2. Fill any free active slots (e.g. freed by admissions racing).
+    while (activeSlotFree()) {
+        const VirtualCtaId incoming = pickSwapIn(false);
+        if (incoming == invalidId)
+            break;
+        activate(ctas_.at(incoming), now);
+    }
+
+    // 3. Track stall streaks of active CTAs. The streak follows the
+    //    configured trigger's own condition so the AnyWarpStalled
+    //    ablation genuinely fires earlier than the paper's policy.
+    for (auto &[id, rec] : ctas_) {
+        if (rec.state != CtaState::Active)
+            continue;
+        const bool stalled =
+            config_.vtSwapTrigger == VtSwapTrigger::AnyWarpStalled
+                ? query_.ctaAnyWarpLongStalled(id)
+                : query_.ctaFullyStalled(id);
+        if (stalled)
+            ++rec.stalledFor;
+        else
+            rec.stalledFor = 0;
+    }
+
+    // 4. At most one swap pair per cycle (one context-switch port).
+    VirtualCtaId victim = invalidId;
+    std::uint32_t victim_stall = 0;
+    for (const auto &[id, rec] : ctas_) {
+        if (rec.state != CtaState::Active)
+            continue;
+        if (swapTriggered(id, rec) && rec.stalledFor >= victim_stall) {
+            victim = id;
+            victim_stall = rec.stalledFor;
+        }
+    }
+    if (victim == invalidId)
+        return;
+    const VirtualCtaId incoming = pickSwapIn(true);
+    if (incoming == invalidId)
+        return; // Nobody to run instead: swapping out would only hurt.
+
+    VTSIM_TRACE(TraceFlag::Swap, now, stats_.name(), "swap out cta ",
+                victim, " (stalled ", ctas_.at(victim).stalledFor,
+                " cycles), swap in cta ", incoming);
+    CtaRec &out = ctas_.at(victim);
+    out.state = CtaState::SwappingOut;
+    out.transitionAt = now + config_.vtSwapOutLatency;
+    out.everSwapped = true;
+    ++swapOuts_;
+    releaseActiveSlot();
+
+    CtaRec &in = ctas_.at(incoming);
+    if (query_.ctaPendingOffChip(incoming) != 0)
+        ++swapInNotReady_;
+    VTSIM_ASSERT(activeSlotFree(), "no slot for incoming CTA");
+    ++activeCtas_;
+    warpsActive_ += fp_.warpsPerCta;
+    threadsActive_ += fp_.threadsPerCta;
+    in.stalledFor = 0;
+    in.everSwapped = true;
+    in.state = CtaState::SwappingIn;
+    // Restore begins after the outgoing state is saved.
+    in.transitionAt = now + config_.vtSwapOutLatency +
+                      config_.vtSwapInLatency;
+    ++swapIns_;
+}
+
+} // namespace vtsim

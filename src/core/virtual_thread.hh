@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The Virtual Thread (VT) architecture of Yoon et al., ISCA 2016 — the
+ * paper's primary contribution.
+ *
+ * One VirtualThreadManager per SM owns the CTA residency state machine:
+ *
+ *   admit -> Active ----------------------------> finished
+ *              | all warps long-latency stalled
+ *              v
+ *        SwappingOut -(swapOutLatency)-> Inactive
+ *                                           | chosen for swap-in
+ *                                           v
+ *                                       SwappingIn -(swapInLatency)-> Active
+ *
+ * CTAs are admitted up to the *capacity* limit (register file + shared
+ * memory), ignoring the scheduling limit; only the *active* subset
+ * respects the scheduling limit (warp slots, CTA slots, thread slots).
+ * Because inactive CTAs keep their registers and shared memory resident,
+ * a swap moves only the small scheduling state, whose cost is the
+ * configured swap latencies.
+ *
+ * With vtEnabled == false the same class degrades to the baseline
+ * machine: admission respects the scheduling limit and every resident
+ * CTA is Active.
+ */
+
+#ifndef VTSIM_CORE_VIRTUAL_THREAD_HH
+#define VTSIM_CORE_VIRTUAL_THREAD_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "common/types.hh"
+#include "config/gpu_config.hh"
+#include "stats/stats.hh"
+
+namespace vtsim {
+
+/**
+ * What the VT manager needs to observe about CTAs; implemented by SmCore
+ * (and by mocks in unit tests).
+ */
+class VtCtaQuery
+{
+  public:
+    virtual ~VtCtaQuery() = default;
+
+    /** True when no live warp of the CTA could issue this cycle for
+     *  warp-local reasons (dependences, barrier), ignoring per-cycle
+     *  structural ports. */
+    virtual bool ctaFullyStalled(VirtualCtaId id) const = 0;
+
+    /** True when at least one warp of the CTA is blocked waiting on an
+     *  off-chip (long-latency) memory dependence. */
+    virtual bool ctaAnyWarpLongStalled(VirtualCtaId id) const = 0;
+
+    /** Outstanding off-chip transactions across the CTA's warps. */
+    virtual std::uint32_t ctaPendingOffChip(VirtualCtaId id) const = 0;
+};
+
+/** Residency state of one virtual CTA. */
+enum class CtaState : std::uint8_t
+{
+    Active,      ///< Occupies scheduling structures; warps may issue.
+    SwappingOut, ///< Scheduling state being saved; frozen.
+    Inactive,    ///< Resident in RF/shared memory only; frozen.
+    SwappingIn,  ///< Scheduling state being restored; frozen.
+};
+
+std::string toString(CtaState state);
+
+/** Per-kernel CTA resource footprint, in the SM's allocation units. */
+struct CtaFootprint
+{
+    std::uint32_t warpsPerCta = 0;
+    std::uint32_t threadsPerCta = 0;
+    std::uint32_t regsPerCta = 0;    ///< After warp-granularity rounding.
+    std::uint32_t sharedPerCta = 0;  ///< After allocation rounding.
+};
+
+class VirtualThreadManager
+{
+  public:
+    VirtualThreadManager(const GpuConfig &config, VtCtaQuery &query,
+                         SmId sm_id);
+
+    /** Set the footprint all CTAs of the running kernel share. */
+    void configureKernel(const CtaFootprint &footprint);
+
+    /** Can one more CTA be admitted (VT: capacity limit only; baseline:
+     *  scheduling and capacity limits)? */
+    bool canAdmit() const;
+
+    /** A new CTA arrived from the dispatcher. Freshly launched CTAs
+     *  activate immediately when an active slot is free (CTA launch
+     *  initialisation is free in baseline and VT alike). */
+    void onAdmit(VirtualCtaId id, Cycle now);
+
+    /** The CTA retired all its warps. */
+    void onCtaFinished(VirtualCtaId id, Cycle now);
+
+    /** Advance the state machine one cycle. */
+    void tick(Cycle now);
+
+    /** Warps of @p id may issue only when it is Active. */
+    bool isIssuable(VirtualCtaId id) const;
+
+    /**
+     * Externally imposed cap on active CTAs (CTA throttling). Applied
+     * lazily: already-active CTAs are unaffected; activations above the
+     * cap are deferred.
+     */
+    void setActiveCap(std::uint32_t cap) { dynamicCap_ = cap; }
+    std::uint32_t activeCap() const { return dynamicCap_; }
+
+    CtaState state(VirtualCtaId id) const;
+    std::uint32_t residentCtas() const { return ctas_.size(); }
+    std::uint32_t activeCtas() const { return activeCtas_; }
+
+    // --- Capacity bookkeeping (for FIG-2 utilisation) ---------------------
+    std::uint32_t regsInUse() const { return regsInUse_; }
+    std::uint32_t sharedInUse() const { return sharedInUse_; }
+    std::uint32_t warpsActive() const { return warpsActive_; }
+    std::uint32_t threadsActive() const { return threadsActive_; }
+
+    // --- Stats -------------------------------------------------------------
+    std::uint64_t swapOuts() const { return swapOuts_.value(); }
+    std::uint64_t swapIns() const { return swapIns_.value(); }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct CtaRec
+    {
+        CtaState state = CtaState::Active;
+        Cycle transitionAt = 0;  ///< When the current Swapping* finishes.
+        std::uint64_t age = 0;   ///< Admission order.
+        std::uint32_t stalledFor = 0; ///< Consecutive fully-stalled cycles.
+        bool everSwapped = false;
+    };
+
+    bool activeSlotFree() const;
+    void activate(CtaRec &rec, Cycle now);
+    void releaseActiveSlot();
+    /** Best inactive CTA to bring in, or invalidId. When
+     *  @p require_ready is set (swap decisions under ReadyFirst), only a
+     *  CTA with no outstanding data qualifies. */
+    VirtualCtaId pickSwapIn(bool require_ready) const;
+    bool swapTriggered(VirtualCtaId id, const CtaRec &rec) const;
+
+    const GpuConfig &config_;
+    VtCtaQuery &query_;
+    CtaFootprint fp_;
+
+    std::map<VirtualCtaId, CtaRec> ctas_;
+    std::uint64_t nextAge_ = 0;
+    std::uint32_t dynamicCap_ =
+        std::numeric_limits<std::uint32_t>::max();
+
+    std::uint32_t activeCtas_ = 0;
+    std::uint32_t warpsActive_ = 0;
+    std::uint32_t threadsActive_ = 0;
+    std::uint32_t regsInUse_ = 0;
+    std::uint32_t sharedInUse_ = 0;
+
+    StatGroup stats_;
+    Counter swapOuts_;
+    Counter swapIns_;
+    Counter freshActivations_;
+    Counter swapInNotReady_; ///< Swap-ins of CTAs still awaiting data.
+    ScalarStat residentSamples_;
+    ScalarStat activeSamples_;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_CORE_VIRTUAL_THREAD_HH

@@ -1,0 +1,27 @@
+#include "cta/cta_dispatcher.hh"
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+CtaDispatcher::CtaDispatcher(const LaunchParams &launch)
+    : grid_(launch.grid), total_(launch.numCtas())
+{
+    VTSIM_ASSERT(total_ > 0, "empty grid");
+}
+
+CtaAssignment
+CtaDispatcher::next()
+{
+    VTSIM_ASSERT(hasWork(), "dispatcher exhausted");
+    const std::uint64_t id = next_++;
+    CtaAssignment a;
+    a.linearId = id;
+    a.idx.x = static_cast<std::uint32_t>(id % grid_.x);
+    a.idx.y = static_cast<std::uint32_t>((id / grid_.x) % grid_.y);
+    a.idx.z = static_cast<std::uint32_t>(id / (std::uint64_t(grid_.x) *
+                                               grid_.y));
+    return a;
+}
+
+} // namespace vtsim

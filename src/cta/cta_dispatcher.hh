@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Grid-level CTA work distribution (the "GigaThread engine"): hands CTAs
+ * to SMs in launch order, one per SM per cycle, as hardware does.
+ */
+
+#ifndef VTSIM_CTA_CTA_DISPATCHER_HH
+#define VTSIM_CTA_CTA_DISPATCHER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/kernel.hh"
+
+namespace vtsim {
+
+/** One CTA picked off the grid. */
+struct CtaAssignment
+{
+    std::uint64_t linearId;
+    Dim3 idx;
+};
+
+class CtaDispatcher
+{
+  public:
+    explicit CtaDispatcher(const LaunchParams &launch);
+
+    /** CTAs not yet handed out. */
+    bool hasWork() const { return next_ < total_; }
+
+    std::uint64_t remaining() const { return total_ - next_; }
+    std::uint64_t dispatched() const { return next_; }
+
+    /** Take the next CTA in row-major launch order. */
+    CtaAssignment next();
+
+  private:
+    Dim3 grid_;
+    std::uint64_t total_;
+    std::uint64_t next_ = 0;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_CTA_CTA_DISPATCHER_HH

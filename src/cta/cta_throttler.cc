@@ -1,0 +1,46 @@
+#include "cta/cta_throttler.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+CtaThrottler::CtaThrottler(const ThrottleParams &params,
+                           std::uint32_t max_cap, SmId sm_id)
+    : params_(params), maxCap_(max_cap), cap_(max_cap),
+      stats_("sm" + std::to_string(sm_id) + ".throttle")
+{
+    VTSIM_ASSERT(params.epochCycles > 0, "zero epoch");
+    VTSIM_ASSERT(params.minCap >= 1 && params.minCap <= max_cap,
+                 "bad throttle cap range");
+    stats_.addCounter("decreases", &decreases_, "cap decrements");
+    stats_.addCounter("increases", &increases_, "cap increments");
+    stats_.addScalar("cap", &capSamples_, "active-CTA cap per epoch");
+}
+
+void
+CtaThrottler::sample(bool issued, bool mem_stalled)
+{
+    ++epochSamples_;
+    epochIssued_ += issued;
+    epochMemStalled_ += mem_stalled;
+    if (epochSamples_ < params_.epochCycles)
+        return;
+
+    const double mem_frac =
+        double(epochMemStalled_) / double(epochSamples_);
+    if (mem_frac > params_.highWater && cap_ > params_.minCap) {
+        --cap_;
+        ++decreases_;
+    } else if (mem_frac < params_.lowWater && cap_ < maxCap_) {
+        ++cap_;
+        ++increases_;
+    }
+    capSamples_.sample(cap_);
+    epochSamples_ = 0;
+    epochIssued_ = 0;
+    epochMemStalled_ = 0;
+}
+
+} // namespace vtsim

@@ -1,0 +1,83 @@
+#include "func/global_memory.hh"
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+std::uint8_t
+GlobalMemory::read8(Addr addr) const
+{
+    const auto it = pages_.find(addr / pageSize);
+    if (it == pages_.end())
+        return 0;
+    return it->second[addr % pageSize];
+}
+
+void
+GlobalMemory::write8(Addr addr, std::uint8_t value)
+{
+    auto &page = pages_[addr / pageSize];
+    if (page.empty())
+        page.resize(pageSize, 0);
+    page[addr % pageSize] = value;
+}
+
+std::uint32_t
+GlobalMemory::read32(Addr addr) const
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | read8(addr + i);
+    return v;
+}
+
+void
+GlobalMemory::write32(Addr addr, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        write8(addr + i, (value >> (8 * i)) & 0xff);
+}
+
+void
+GlobalMemory::writeWords(Addr addr, const std::vector<std::uint32_t> &words)
+{
+    for (std::size_t i = 0; i < words.size(); ++i)
+        write32(addr + 4 * i, words[i]);
+}
+
+void
+GlobalMemory::writeFloats(Addr addr, const std::vector<float> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i)
+        writeF32(addr + 4 * i, values[i]);
+}
+
+std::vector<std::uint32_t>
+GlobalMemory::readWords(Addr addr, std::uint64_t count) const
+{
+    std::vector<std::uint32_t> out(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        out[i] = read32(addr + 4 * i);
+    return out;
+}
+
+std::vector<float>
+GlobalMemory::readFloats(Addr addr, std::uint64_t count) const
+{
+    std::vector<float> out(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        out[i] = readF32(addr + 4 * i);
+    return out;
+}
+
+Addr
+GlobalMemory::alloc(std::uint64_t bytes, std::uint64_t align)
+{
+    VTSIM_ASSERT(align != 0 && isPowerOfTwo(align), "bad alignment");
+    allocNext_ = roundUp(allocNext_, align);
+    const Addr base = allocNext_;
+    allocNext_ += bytes ? bytes : 1;
+    return base;
+}
+
+} // namespace vtsim

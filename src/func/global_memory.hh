@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Functional backing store for the simulated global memory space, plus a
+ * bump allocator the host-side workload code uses to place buffers.
+ */
+
+#ifndef VTSIM_FUNC_GLOBAL_MEMORY_HH
+#define VTSIM_FUNC_GLOBAL_MEMORY_HH
+
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace vtsim {
+
+/**
+ * Sparse, paged, byte-addressable memory. Pages materialise zero-filled on
+ * first touch, so terabyte-scale address spaces cost only what is used.
+ */
+class GlobalMemory
+{
+  public:
+    static constexpr std::uint32_t pageSize = 4096;
+
+    /** Read one byte (zero if untouched). */
+    std::uint8_t read8(Addr addr) const;
+    void write8(Addr addr, std::uint8_t value);
+
+    /** Little-endian 32-bit accessors (no alignment requirement). */
+    std::uint32_t read32(Addr addr) const;
+    void write32(Addr addr, std::uint32_t value);
+
+    float
+    readF32(Addr addr) const
+    {
+        return std::bit_cast<float>(read32(addr));
+    }
+
+    void
+    writeF32(Addr addr, float value)
+    {
+        write32(addr, std::bit_cast<std::uint32_t>(value));
+    }
+
+    /** Bulk copy-in of 32-bit words starting at @p addr. */
+    void writeWords(Addr addr, const std::vector<std::uint32_t> &words);
+    void writeFloats(Addr addr, const std::vector<float> &values);
+
+    /** Bulk copy-out of @p count words starting at @p addr. */
+    std::vector<std::uint32_t> readWords(Addr addr,
+                                         std::uint64_t count) const;
+    std::vector<float> readFloats(Addr addr, std::uint64_t count) const;
+
+    /**
+     * Device-side buffer allocation (bump allocator).
+     *
+     * @param bytes Region size.
+     * @param align Alignment, default one cache line generation (256 B).
+     * @return Base address of the region.
+     */
+    Addr alloc(std::uint64_t bytes, std::uint64_t align = 256);
+
+    /** Number of pages materialised so far. */
+    std::uint64_t touchedPages() const { return pages_.size(); }
+
+  private:
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
+    Addr allocNext_ = 0x1000; ///< Keep address 0 unmapped, as a null page.
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_FUNC_GLOBAL_MEMORY_HH

@@ -1,0 +1,178 @@
+#include "gpu/gpu.hh"
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+Gpu::Gpu(const GpuConfig &config)
+    : config_(config),
+      noc_(NocParams{config.nocLatency, config.nocFlitsPerCycle,
+                     config.numSms, config.numMemPartitions})
+{
+    config_.validate();
+    for (std::uint32_t p = 0; p < config_.numMemPartitions; ++p) {
+        partitions_.push_back(
+            std::make_unique<MemoryPartition>(p, config_, noc_));
+    }
+    for (std::uint32_t s = 0; s < config_.numSms; ++s)
+        sms_.push_back(std::make_unique<SmCore>(s, config_, noc_));
+
+    noc_.setRequestSink([this](const MemRequest &req, Cycle now) {
+        partitions_[partitionOf(req.lineAddr)]->receive(req, now);
+    });
+    noc_.setResponseSink([](const MemRequest &req, Cycle) {
+        VTSIM_ASSERT(req.sink, "response with no sink");
+        req.sink->memResponse(req.token);
+    });
+    noc_.setRouter([this](Addr line_addr) { return partitionOf(line_addr); });
+}
+
+std::uint32_t
+Gpu::partitionOf(Addr line_addr) const
+{
+    return (line_addr / config_.l2LineSize) % config_.numMemPartitions;
+}
+
+bool
+Gpu::allIdle() const
+{
+    for (const auto &sm : sms_)
+        if (!sm->idle())
+            return false;
+    for (const auto &p : partitions_)
+        if (!p->idle())
+            return false;
+    return noc_.idle();
+}
+
+void
+Gpu::dumpStats(std::ostream &os)
+{
+    for (auto &sm : sms_) {
+        sm->stats().dump(os);
+        sm->vt().stats().dump(os);
+        sm->ldst().stats().dump(os);
+        sm->ldst().l1().stats().dump(os);
+    }
+    for (auto &p : partitions_) {
+        p->l2().stats().dump(os);
+        p->dram().stats().dump(os);
+    }
+    noc_.stats().dump(os);
+}
+
+void
+Gpu::flushCaches()
+{
+    for (auto &sm : sms_)
+        sm->flushCaches();
+    for (auto &p : partitions_)
+        p->flushCaches();
+}
+
+KernelStats
+Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
+{
+    if (launch.numCtas() == 0)
+        VTSIM_FATAL("empty grid");
+    if (launch.threadsPerCta() == 0)
+        VTSIM_FATAL("empty CTA");
+
+    CtaDispatcher dispatcher(launch);
+    for (auto &sm : sms_)
+        sm->launchKernel(kernel, launch, gmem_);
+
+    // Snapshot counters so stats are per-launch deltas.
+    struct Snapshot
+    {
+        std::uint64_t instr, tinstr, ctas, swapOuts, swapIns;
+        std::uint64_t l1h, l1m;
+        StallBreakdown stalls;
+    };
+    std::vector<Snapshot> before(sms_.size());
+    for (std::size_t i = 0; i < sms_.size(); ++i) {
+        auto &sm = *sms_[i];
+        before[i] = {sm.instructionsIssued(), sm.threadInstructions(),
+                     sm.ctasCompleted(), sm.vt().swapOuts(),
+                     sm.vt().swapIns(), sm.ldst().l1().hits(),
+                     sm.ldst().l1().misses(), sm.stallBreakdown()};
+    }
+    std::uint64_t l2h0 = 0, l2m0 = 0, drh0 = 0, drm0 = 0, drb0 = 0;
+    for (auto &p : partitions_) {
+        l2h0 += p->l2().hits();
+        l2m0 += p->l2().misses();
+        drh0 += p->dram().rowHits();
+        drm0 += p->dram().rowMisses();
+        drb0 += p->dram().bytesTransferred();
+    }
+
+    const Cycle start = cycle_;
+    const Cycle deadline = start + config_.maxCycles;
+    while (true) {
+        // CTA work distribution: one CTA per SM per cycle, round-robin.
+        for (auto &sm : sms_) {
+            if (dispatcher.hasWork() && sm->canAdmitCta())
+                sm->admitCta(dispatcher.next(), cycle_);
+        }
+
+        noc_.tick(cycle_);
+        for (auto &p : partitions_)
+            p->tick(cycle_);
+        for (auto &sm : sms_)
+            sm->tick(cycle_);
+
+        ++cycle_;
+        if (!dispatcher.hasWork() && allIdle())
+            break;
+        if (cycle_ >= deadline) {
+            VTSIM_FATAL("watchdog: kernel '", kernel.name(),
+                        "' exceeded ", config_.maxCycles, " cycles");
+        }
+    }
+
+    KernelStats stats;
+    stats.cycles = cycle_ - start;
+    for (std::size_t i = 0; i < sms_.size(); ++i) {
+        auto &sm = *sms_[i];
+        stats.warpInstructions +=
+            sm.instructionsIssued() - before[i].instr;
+        stats.threadInstructions +=
+            sm.threadInstructions() - before[i].tinstr;
+        stats.ctasCompleted += sm.ctasCompleted() - before[i].ctas;
+        stats.swapOuts += sm.vt().swapOuts() - before[i].swapOuts;
+        stats.swapIns += sm.vt().swapIns() - before[i].swapIns;
+        stats.l1Hits += sm.ldst().l1().hits() - before[i].l1h;
+        stats.l1Misses += sm.ldst().l1().misses() - before[i].l1m;
+        const StallBreakdown &sb = sm.stallBreakdown();
+        const StallBreakdown &b0 = before[i].stalls;
+        stats.stalls.issued += sb.issued - b0.issued;
+        stats.stalls.memStall += sb.memStall - b0.memStall;
+        stats.stalls.shortStall += sb.shortStall - b0.shortStall;
+        stats.stalls.barrierStall += sb.barrierStall - b0.barrierStall;
+        stats.stalls.swapStall += sb.swapStall - b0.swapStall;
+        stats.stalls.idle += sb.idle - b0.idle;
+    }
+    std::uint64_t l2h = 0, l2m = 0, drh = 0, drm = 0, drb = 0;
+    for (auto &p : partitions_) {
+        l2h += p->l2().hits();
+        l2m += p->l2().misses();
+        drh += p->dram().rowHits();
+        drm += p->dram().rowMisses();
+        drb += p->dram().bytesTransferred();
+    }
+    stats.l2Hits = l2h - l2h0;
+    stats.l2Misses = l2m - l2m0;
+    stats.dramRowHits = drh - drh0;
+    stats.dramRowMisses = drm - drm0;
+    stats.dramBytes = drb - drb0;
+
+    VTSIM_ASSERT(stats.ctasCompleted == launch.numCtas(),
+                 "CTA completion mismatch: ", stats.ctasCompleted, " of ",
+                 launch.numCtas());
+    stats.ipc = stats.cycles
+                    ? double(stats.warpInstructions) / stats.cycles
+                    : 0.0;
+    return stats;
+}
+
+} // namespace vtsim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The top-level simulated GPU — the public API of vtsim. Construct one
+ * with a GpuConfig, fill device memory through memory(), then launch()
+ * kernels and read back results and statistics.
+ */
+
+#ifndef VTSIM_GPU_GPU_HH
+#define VTSIM_GPU_GPU_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "func/global_memory.hh"
+#include "isa/kernel.hh"
+#include "mem/interconnect.hh"
+#include "mem/memory_partition.hh"
+#include "sm/sm_core.hh"
+
+namespace vtsim {
+
+/** Aggregate statistics of one kernel launch. */
+struct KernelStats
+{
+    Cycle cycles = 0;
+    std::uint64_t warpInstructions = 0;
+    std::uint64_t threadInstructions = 0;
+    std::uint64_t ctasCompleted = 0;
+    /** Warp instructions per cycle, summed over SMs. */
+    double ipc = 0.0;
+
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t dramRowHits = 0;
+    std::uint64_t dramRowMisses = 0;
+    std::uint64_t dramBytes = 0;
+
+    std::uint64_t swapOuts = 0;
+    std::uint64_t swapIns = 0;
+
+    StallBreakdown stalls;
+
+    double l1HitRate() const
+    {
+        const auto total = l1Hits + l1Misses;
+        return total ? double(l1Hits) / total : 0.0;
+    }
+
+    double l2HitRate() const
+    {
+        const auto total = l2Hits + l2Misses;
+        return total ? double(l2Hits) / total : 0.0;
+    }
+};
+
+class Gpu
+{
+  public:
+    explicit Gpu(const GpuConfig &config);
+
+    /** Device global memory (allocate and fill before launching). */
+    GlobalMemory &memory() { return gmem_; }
+
+    /**
+     * Launch @p kernel over @p launch and simulate to completion.
+     * @return The launch's statistics.
+     * @throws FatalError on invalid configuration or watchdog expiry.
+     */
+    KernelStats launch(const Kernel &kernel, const LaunchParams &launch);
+
+    /** Invalidate all caches (between unrelated kernels). */
+    void flushCaches();
+
+    const GpuConfig &config() const { return config_; }
+    std::uint32_t numSms() const { return sms_.size(); }
+    SmCore &sm(std::uint32_t i) { return *sms_.at(i); }
+    MemoryPartition &partition(std::uint32_t i)
+    { return *partitions_.at(i); }
+    Interconnect &noc() { return noc_; }
+
+    /** Total cycles simulated across all launches. */
+    Cycle totalCycles() const { return cycle_; }
+
+    /**
+     * Dump every component's statistics (SMs, VT managers, L1s, L2
+     * slices, DRAM channels, NoC) as `group.stat value` lines — the
+     * gem5-style post-simulation record.
+     */
+    void dumpStats(std::ostream &os);
+
+  private:
+    bool allIdle() const;
+    std::uint32_t partitionOf(Addr line_addr) const;
+
+    GpuConfig config_;
+    GlobalMemory gmem_;
+    Interconnect noc_;
+    std::vector<std::unique_ptr<MemoryPartition>> partitions_;
+    std::vector<std::unique_ptr<SmCore>> sms_;
+    Cycle cycle_ = 0;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_GPU_GPU_HH

@@ -1,0 +1,446 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hh"
+#include "isa/kernel_builder.hh"
+
+namespace vtsim {
+
+namespace {
+
+/** One parsed operand: register, immediate, memory ref, or symbol. */
+struct Operand
+{
+    enum class Kind { Reg, Imm, Mem, Symbol } kind;
+    RegIndex reg = noReg;       ///< Reg / Mem base register.
+    std::int32_t imm = 0;       ///< Imm value / Mem offset.
+    std::string symbol;         ///< Label or keyword argument.
+};
+
+struct ParseError
+{
+    std::string message;
+};
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+std::optional<RegIndex>
+parseReg(const std::string &tok)
+{
+    if (tok.size() < 2 || tok[0] != 'r')
+        return std::nullopt;
+    for (std::size_t i = 1; i < tok.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            return std::nullopt;
+    const long v = std::stol(tok.substr(1));
+    if (v < 0 || v >= 0xffff)
+        return std::nullopt;
+    return static_cast<RegIndex>(v);
+}
+
+std::optional<std::int32_t>
+parseImm(const std::string &tok)
+{
+    if (tok.empty())
+        return std::nullopt;
+    std::size_t i = (tok[0] == '-' || tok[0] == '+') ? 1 : 0;
+    if (i == tok.size())
+        return std::nullopt;
+    int base = 10;
+    if (tok.size() > i + 2 && tok[i] == '0' &&
+        (tok[i + 1] == 'x' || tok[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+    }
+    for (; i < tok.size(); ++i) {
+        const auto c = static_cast<unsigned char>(tok[i]);
+        if (base == 16 ? !std::isxdigit(c) : !std::isdigit(c))
+            return std::nullopt;
+    }
+    try {
+        return static_cast<std::int32_t>(std::stoll(tok, nullptr, base));
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+Operand
+parseOperand(const std::string &raw)
+{
+    const std::string tok = trim(raw);
+    if (tok.empty())
+        throw ParseError{"empty operand"};
+
+    if (tok.front() == '[') {
+        if (tok.back() != ']')
+            throw ParseError{"unterminated memory operand '" + tok + "'"};
+        std::string inner = trim(tok.substr(1, tok.size() - 2));
+        std::int32_t sign = 1;
+        std::string base = inner, off;
+        const std::size_t plus = inner.find_first_of("+-", 1);
+        if (plus != std::string::npos) {
+            base = trim(inner.substr(0, plus));
+            off = trim(inner.substr(plus + 1));
+            sign = inner[plus] == '-' ? -1 : 1;
+        }
+        const auto reg = parseReg(base);
+        if (!reg)
+            throw ParseError{"memory operand base must be a register: '" +
+                             inner + "'"};
+        Operand op;
+        op.kind = Operand::Kind::Mem;
+        op.reg = *reg;
+        if (!off.empty()) {
+            const auto imm = parseImm(off);
+            if (!imm)
+                throw ParseError{"bad memory offset '" + off + "'"};
+            op.imm = sign * *imm;
+        }
+        return op;
+    }
+
+    if (const auto reg = parseReg(tok)) {
+        Operand op;
+        op.kind = Operand::Kind::Reg;
+        op.reg = *reg;
+        return op;
+    }
+    if (const auto imm = parseImm(tok)) {
+        Operand op;
+        op.kind = Operand::Kind::Imm;
+        op.imm = *imm;
+        return op;
+    }
+    Operand op;
+    op.kind = Operand::Kind::Symbol;
+    op.symbol = tok;
+    return op;
+}
+
+std::vector<Operand>
+parseOperands(const std::string &rest)
+{
+    std::vector<Operand> ops;
+    std::string cur;
+    int bracket = 0;
+    auto flush = [&]() {
+        if (!trim(cur).empty())
+            ops.push_back(parseOperand(cur));
+        cur.clear();
+    };
+    for (char c : rest) {
+        if (c == '[')
+            ++bracket;
+        if (c == ']')
+            --bracket;
+        if (c == ',' && bracket == 0) {
+            flush();
+        } else {
+            cur += c;
+        }
+    }
+    flush();
+    return ops;
+}
+
+const Operand &
+wantReg(const std::vector<Operand> &ops, std::size_t i)
+{
+    if (i >= ops.size() || ops[i].kind != Operand::Kind::Reg)
+        throw ParseError{"operand " + std::to_string(i + 1) +
+                         " must be a register"};
+    return ops[i];
+}
+
+const Operand &
+wantMem(const std::vector<Operand> &ops, std::size_t i)
+{
+    if (i >= ops.size() || ops[i].kind != Operand::Kind::Mem)
+        throw ParseError{"operand " + std::to_string(i + 1) +
+                         " must be a [reg+off] memory reference"};
+    return ops[i];
+}
+
+void
+wantCount(const std::vector<Operand> &ops, std::size_t n)
+{
+    if (ops.size() != n)
+        throw ParseError{"expected " + std::to_string(n) + " operands, got " +
+                         std::to_string(ops.size())};
+}
+
+/** Dispatch one parsed instruction line into the builder. */
+void
+emitLine(KernelBuilder &kb, const std::string &mnemonic,
+         const std::vector<Operand> &ops)
+{
+    // Compare ops carry a ".cmp" suffix: isetp.lt / fsetp.ge
+    std::string base = mnemonic;
+    CmpOp cmp = CmpOp::EQ;
+    CacheOp cache_op = CacheOp::CacheAll;
+    if (base == "ldg.cg") {
+        base = "ldg";
+        cache_op = CacheOp::Streaming;
+    }
+    if (base.rfind("isetp.", 0) == 0 || base.rfind("fsetp.", 0) == 0) {
+        const std::string suffix = base.substr(6);
+        if (!cmpFromString(suffix, cmp))
+            throw ParseError{"unknown compare suffix '" + suffix + "'"};
+        base = base.substr(0, 5);
+    }
+
+    // "jmp" is assembler sugar for an unconditional BRA.
+    if (base == "jmp") {
+        if (ops.size() != 1 || ops[0].kind != Operand::Kind::Symbol)
+            throw ParseError{"jmp needs a single label operand"};
+        kb.jmp(ops[0].symbol);
+        return;
+    }
+
+    const Opcode op = opcodeFromString(base);
+    if (op == Opcode::NumOpcodes)
+        throw ParseError{"unknown mnemonic '" + base + "'"};
+
+    switch (op) {
+      case Opcode::NOP:
+        wantCount(ops, 0);
+        kb.nop();
+        return;
+      case Opcode::MOV:
+        wantCount(ops, 2);
+        if (ops[1].kind == Operand::Kind::Imm) {
+            kb.movi(wantReg(ops, 0).reg, ops[1].imm);
+        } else {
+            kb.mov(wantReg(ops, 0).reg, wantReg(ops, 1).reg);
+        }
+        return;
+      case Opcode::MOVI:
+        wantCount(ops, 2);
+        if (ops[1].kind != Operand::Kind::Imm)
+            throw ParseError{"movi needs an immediate"};
+        kb.movi(wantReg(ops, 0).reg, ops[1].imm);
+        return;
+      case Opcode::IADD: case Opcode::ISUB: case Opcode::IMUL:
+      case Opcode::IMIN: case Opcode::IMAX: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SHL:
+      case Opcode::SHR: case Opcode::FADD: case Opcode::FSUB:
+      case Opcode::FMUL: case Opcode::FMIN: case Opcode::FMAX:
+      case Opcode::IDIV: case Opcode::IREM:
+        wantCount(ops, 3);
+        if (ops[2].kind == Operand::Kind::Imm) {
+            kb.alui(op, wantReg(ops, 0).reg, wantReg(ops, 1).reg,
+                    ops[2].imm);
+        } else {
+            kb.alu(op, wantReg(ops, 0).reg, wantReg(ops, 1).reg,
+                   wantReg(ops, 2).reg);
+        }
+        return;
+      case Opcode::NOT: case Opcode::I2F: case Opcode::F2I:
+      case Opcode::FRCP: case Opcode::FSQRT: case Opcode::FEXP:
+      case Opcode::FLOG:
+        wantCount(ops, 2);
+        kb.unary(op, wantReg(ops, 0).reg, wantReg(ops, 1).reg);
+        return;
+      case Opcode::IMAD: case Opcode::FFMA:
+        wantCount(ops, 4);
+        kb.mad(op, wantReg(ops, 0).reg, wantReg(ops, 1).reg,
+               wantReg(ops, 2).reg, wantReg(ops, 3).reg);
+        return;
+      case Opcode::ISETP: case Opcode::FSETP:
+        wantCount(ops, 3);
+        if (ops[2].kind == Operand::Kind::Imm) {
+            kb.setpi(op, cmp, wantReg(ops, 0).reg, wantReg(ops, 1).reg,
+                     ops[2].imm);
+        } else {
+            kb.setp(op, cmp, wantReg(ops, 0).reg, wantReg(ops, 1).reg,
+                    wantReg(ops, 2).reg);
+        }
+        return;
+      case Opcode::SEL:
+        wantCount(ops, 4);
+        kb.sel(wantReg(ops, 0).reg, wantReg(ops, 1).reg,
+               wantReg(ops, 2).reg, wantReg(ops, 3).reg);
+        return;
+      case Opcode::S2R: {
+        wantCount(ops, 2);
+        if (ops[1].kind != Operand::Kind::Symbol)
+            throw ParseError{"s2r needs a special-register name"};
+        SpecialReg sreg;
+        if (!sregFromString(ops[1].symbol, sreg))
+            throw ParseError{"unknown special register '" +
+                             ops[1].symbol + "'"};
+        kb.s2r(wantReg(ops, 0).reg, sreg);
+        return;
+      }
+      case Opcode::LDP:
+        wantCount(ops, 2);
+        if (ops[1].kind != Operand::Kind::Imm || ops[1].imm < 0)
+            throw ParseError{"ldp needs a non-negative parameter index"};
+        kb.ldp(wantReg(ops, 0).reg, ops[1].imm);
+        return;
+      case Opcode::LDG:
+        wantCount(ops, 2);
+        kb.ldg(wantReg(ops, 0).reg, wantMem(ops, 1).reg, ops[1].imm,
+               cache_op);
+        return;
+      case Opcode::LDS:
+        wantCount(ops, 2);
+        kb.lds(wantReg(ops, 0).reg, wantMem(ops, 1).reg, ops[1].imm);
+        return;
+      case Opcode::STG:
+        wantCount(ops, 2);
+        kb.stg(wantMem(ops, 0).reg, wantReg(ops, 1).reg, ops[0].imm);
+        return;
+      case Opcode::STS:
+        wantCount(ops, 2);
+        kb.sts(wantMem(ops, 0).reg, wantReg(ops, 1).reg, ops[0].imm);
+        return;
+      case Opcode::ATOMG_ADD:
+        wantCount(ops, 3);
+        kb.atomgAdd(wantReg(ops, 0).reg, wantMem(ops, 1).reg,
+                    wantReg(ops, 2).reg, ops[1].imm);
+        return;
+      case Opcode::BRA: {
+        if (ops.size() < 2 || ops.size() > 3)
+            throw ParseError{"bra needs: pred, target [, join=LABEL]"};
+        if (ops[1].kind != Operand::Kind::Symbol)
+            throw ParseError{"bra target must be a label"};
+        std::string join;
+        if (ops.size() == 3) {
+            if (ops[2].kind != Operand::Kind::Symbol ||
+                ops[2].symbol.rfind("join=", 0) != 0) {
+                throw ParseError{"third bra operand must be join=LABEL"};
+            }
+            join = ops[2].symbol.substr(5);
+        }
+        kb.bra(wantReg(ops, 0).reg, ops[1].symbol, join);
+        return;
+      }
+      case Opcode::BAR:
+        wantCount(ops, 0);
+        kb.bar();
+        return;
+      case Opcode::EXIT:
+        wantCount(ops, 0);
+        kb.exit();
+        return;
+      default:
+        throw ParseError{"mnemonic '" + base + "' not assemblable"};
+    }
+}
+
+} // namespace
+
+Kernel
+assemble(const std::string &source)
+{
+    std::istringstream in(source);
+    std::string line;
+    int line_no = 0;
+
+    std::string kernel_name;
+    std::uint32_t min_regs = 0;
+    std::uint32_t shared_bytes = 0;
+    std::unique_ptr<KernelBuilder> kb;
+
+    auto fail = [&](const std::string &msg) {
+        VTSIM_FATAL("assembly error at line ", line_no, ": ", msg);
+    };
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        try {
+            if (line[0] == '.') {
+                std::istringstream ls(line);
+                std::string directive, arg;
+                ls >> directive >> arg;
+                if (directive == ".kernel") {
+                    if (kb)
+                        fail("duplicate .kernel directive");
+                    if (arg.empty())
+                        fail(".kernel needs a name");
+                    kernel_name = arg;
+                    kb = std::make_unique<KernelBuilder>(kernel_name);
+                } else if (directive == ".regs") {
+                    const auto v = parseImm(arg);
+                    if (!v || *v <= 0)
+                        fail(".regs needs a positive integer");
+                    min_regs = *v;
+                } else if (directive == ".shared") {
+                    const auto v = parseImm(arg);
+                    if (!v || *v < 0)
+                        fail(".shared needs a non-negative integer");
+                    shared_bytes = *v;
+                } else {
+                    fail("unknown directive '" + directive + "'");
+                }
+                continue;
+            }
+
+            if (!kb)
+                fail("instruction before .kernel directive");
+
+            // Labels: one or more "name:" prefixes on the line.
+            while (true) {
+                const std::size_t colon = line.find(':');
+                if (colon == std::string::npos)
+                    break;
+                const std::string head = trim(line.substr(0, colon));
+                // Don't mistake "join=x" (no colon use) — heads must be
+                // plain identifiers.
+                bool ident = !head.empty();
+                for (char c : head) {
+                    if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                        c != '_' && c != '.') {
+                        ident = false;
+                    }
+                }
+                if (!ident)
+                    fail("bad label '" + head + "'");
+                kb->label(head);
+                line = trim(line.substr(colon + 1));
+            }
+            if (line.empty())
+                continue;
+
+            std::istringstream ls(line);
+            std::string mnemonic;
+            ls >> mnemonic;
+            std::string rest;
+            std::getline(ls, rest);
+            emitLine(*kb, mnemonic, parseOperands(rest));
+        } catch (const ParseError &e) {
+            fail(e.message);
+        }
+    }
+
+    if (!kb)
+        VTSIM_FATAL("assembly error: no .kernel directive found");
+    if (min_regs)
+        kb->minRegs(min_regs);
+    if (shared_bytes)
+        kb->shared(shared_bytes);
+    return kb->build();
+}
+
+} // namespace vtsim

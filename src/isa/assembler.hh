@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Text assembler for VASM — the front-end that stands in for a PTX
+ * toolchain. Grammar (one instruction per line, '#' comments):
+ *
+ *   .kernel NAME            kernel name (required, first)
+ *   .regs N                 minimum registers per thread (optional)
+ *   .shared BYTES           static shared memory per CTA (optional)
+ *   LABEL:                  label
+ *   op dst, src...          instruction; immediates are bare integers,
+ *                           registers are rN, memory operands are
+ *                           [rN] or [rN+imm] or [rN-imm]
+ *   isetp.lt r1, r2, r3     compare ops carry the predicate suffix
+ *   bra r1, target          conditional branch
+ *   bra r1, target, join=L  explicit reconvergence label
+ *   jmp target              unconditional branch
+ */
+
+#ifndef VTSIM_ISA_ASSEMBLER_HH
+#define VTSIM_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/kernel.hh"
+
+namespace vtsim {
+
+/**
+ * Assemble VASM source into a Kernel.
+ *
+ * @param source The assembly text.
+ * @return The verified kernel.
+ * @throws FatalError on any syntax or semantic error, with line number.
+ */
+Kernel assemble(const std::string &source);
+
+} // namespace vtsim
+
+#endif // VTSIM_ISA_ASSEMBLER_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Pretty-printer for kernels — the inverse of the assembler, used by
+ * debugging tools and round-trip tests.
+ */
+
+#ifndef VTSIM_ISA_DISASSEMBLER_HH
+#define VTSIM_ISA_DISASSEMBLER_HH
+
+#include <string>
+
+#include "isa/kernel.hh"
+
+namespace vtsim {
+
+/** Render one instruction as assembly text (no label column). */
+std::string disassemble(const Instruction &inst);
+
+/** Render a full kernel, including directives and labels, such that
+ *  assemble(disassemble(k)) reproduces an equivalent kernel. */
+std::string disassemble(const Kernel &kernel);
+
+} // namespace vtsim
+
+#endif // VTSIM_ISA_DISASSEMBLER_HH

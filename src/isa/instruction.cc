@@ -1,0 +1,135 @@
+#include "isa/instruction.hh"
+
+#include <array>
+#include <map>
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+FuncUnit
+Instruction::funcUnit() const
+{
+    switch (op) {
+      case Opcode::IDIV:
+      case Opcode::IREM:
+      case Opcode::FRCP:
+      case Opcode::FSQRT:
+      case Opcode::FEXP:
+      case Opcode::FLOG:
+        return FuncUnit::Sfu;
+      case Opcode::LDG:
+      case Opcode::STG:
+      case Opcode::LDS:
+      case Opcode::STS:
+      case Opcode::ATOMG_ADD:
+        return FuncUnit::Mem;
+      case Opcode::BRA:
+      case Opcode::BAR:
+      case Opcode::EXIT:
+        return FuncUnit::Control;
+      default:
+        return FuncUnit::Alu;
+    }
+}
+
+std::uint32_t
+Instruction::numSrcs() const
+{
+    std::uint32_t n = 0;
+    for (auto s : src)
+        if (s != noReg)
+            ++n;
+    return n;
+}
+
+namespace {
+
+const std::array<const char *,
+                 static_cast<std::size_t>(Opcode::NumOpcodes)> opcodeNames = {
+    "nop",
+    "mov", "movi", "iadd", "isub", "imul", "imad", "imin", "imax",
+    "and", "or", "xor", "not", "shl", "shr", "isetp", "sel",
+    "fadd", "fsub", "fmul", "ffma", "fmin", "fmax", "fsetp", "i2f", "f2i",
+    "idiv", "irem", "frcp", "fsqrt", "fexp", "flog",
+    "s2r", "ldp",
+    "ldg", "stg", "lds", "sts", "atomg.add",
+    "bra", "bar", "exit",
+};
+
+const std::map<std::string, CmpOp> cmpNames = {
+    {"eq", CmpOp::EQ}, {"ne", CmpOp::NE}, {"lt", CmpOp::LT},
+    {"le", CmpOp::LE}, {"gt", CmpOp::GT}, {"ge", CmpOp::GE},
+};
+
+const std::map<std::string, SpecialReg> sregNames = {
+    {"tid.x", SpecialReg::TidX}, {"tid.y", SpecialReg::TidY},
+    {"tid.z", SpecialReg::TidZ},
+    {"ntid.x", SpecialReg::NTidX}, {"ntid.y", SpecialReg::NTidY},
+    {"ntid.z", SpecialReg::NTidZ},
+    {"ctaid.x", SpecialReg::CtaIdX}, {"ctaid.y", SpecialReg::CtaIdY},
+    {"ctaid.z", SpecialReg::CtaIdZ},
+    {"nctaid.x", SpecialReg::NCtaIdX}, {"nctaid.y", SpecialReg::NCtaIdY},
+    {"nctaid.z", SpecialReg::NCtaIdZ},
+    {"laneid", SpecialReg::LaneId},
+    {"warpid", SpecialReg::WarpIdInCta},
+};
+
+} // namespace
+
+std::string
+toString(Opcode op)
+{
+    const auto idx = static_cast<std::size_t>(op);
+    VTSIM_ASSERT(idx < opcodeNames.size(), "bad opcode ", idx);
+    return opcodeNames[idx];
+}
+
+std::string
+toString(CmpOp cmp)
+{
+    for (const auto &[name, value] : cmpNames)
+        if (value == cmp)
+            return name;
+    return "?";
+}
+
+std::string
+toString(SpecialReg sreg)
+{
+    for (const auto &[name, value] : sregNames)
+        if (value == sreg)
+            return name;
+    return "?";
+}
+
+Opcode
+opcodeFromString(const std::string &name)
+{
+    for (std::size_t i = 0; i < opcodeNames.size(); ++i)
+        if (name == opcodeNames[i])
+            return static_cast<Opcode>(i);
+    return Opcode::NumOpcodes;
+}
+
+bool
+cmpFromString(const std::string &name, CmpOp &out)
+{
+    auto it = cmpNames.find(name);
+    if (it == cmpNames.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+bool
+sregFromString(const std::string &name, SpecialReg &out)
+{
+    auto it = sregNames.find(name);
+    if (it == sregNames.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+} // namespace vtsim

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The VASM instruction set: a compact warp-level SIMT ISA standing in for
+ * PTX/SASS. Rich enough to express the paper's benchmark archetypes
+ * (streaming, tiled shared-memory kernels, reductions, irregular loads,
+ * divergent control flow, barriers, atomics).
+ */
+
+#ifndef VTSIM_ISA_INSTRUCTION_HH
+#define VTSIM_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace vtsim {
+
+/** Operation codes. Register values are untyped 32-bit words; F-prefixed
+ *  ops reinterpret them as IEEE-754 floats. */
+enum class Opcode : std::uint8_t
+{
+    NOP,
+    // --- ALU (integer) --------------------------------------------------
+    MOV,    ///< dst = src0
+    MOVI,   ///< dst = imm
+    IADD,   ///< dst = src0 + src1/imm
+    ISUB,   ///< dst = src0 - src1/imm
+    IMUL,   ///< dst = src0 * src1/imm (low 32 bits)
+    IMAD,   ///< dst = src0 * src1 + src2
+    IMIN,   ///< dst = min(signed)
+    IMAX,   ///< dst = max(signed)
+    AND,
+    OR,
+    XOR,
+    NOT,    ///< dst = ~src0
+    SHL,
+    SHR,    ///< logical right shift
+    ISETP,  ///< dst = (src0 cmp src1/imm) ? 1 : 0, signed compare
+    SEL,    ///< dst = src2 ? src0 : src1
+    // --- ALU (float, bit-cast) -------------------------------------------
+    FADD,
+    FSUB,
+    FMUL,
+    FFMA,   ///< dst = src0 * src1 + src2
+    FMIN,
+    FMAX,
+    FSETP,  ///< dst = (src0 cmp src1) ? 1 : 0, float compare
+    I2F,    ///< dst = float(int(src0))
+    F2I,    ///< dst = int(trunc(float(src0)))
+    // --- SFU (long fixed latency) ------------------------------------------
+    IDIV,   ///< signed division (0 divisor -> 0)
+    IREM,   ///< signed remainder (0 divisor -> 0)
+    FRCP,   ///< 1/x
+    FSQRT,
+    FEXP,   ///< e^x
+    FLOG,   ///< ln(x); non-positive -> 0
+    // --- Special / parameters ----------------------------------------------
+    S2R,    ///< dst = special register (sreg field)
+    LDP,    ///< dst = kernel parameter word [imm]
+    // --- Memory --------------------------------------------------------------
+    LDG,    ///< dst = global[src0 + imm]
+    STG,    ///< global[src0 + imm] = src1
+    LDS,    ///< dst = shared[src0 + imm]
+    STS,    ///< shared[src0 + imm] = src1
+    ATOMG_ADD, ///< dst = old global[src0 + imm]; mem += src1 (bypasses L1)
+    // --- Control -----------------------------------------------------------
+    BRA,    ///< branch to target for lanes where src0 != 0 (or all lanes
+            ///< when src0 is unset); reconverge at reconvergePc
+    BAR,    ///< CTA-wide barrier
+    EXIT,   ///< terminate lanes
+    NumOpcodes,
+};
+
+/** Comparison operator used by ISETP/FSETP. */
+enum class CmpOp : std::uint8_t { EQ, NE, LT, LE, GT, GE };
+
+/**
+ * Cache operator on global loads (PTX-style). CacheAll is the default
+ * (allocate in L1); Streaming (.cg) bypasses the L1 and caches only at
+ * the L2 — the idiom compilers use for data with no temporal reuse.
+ */
+enum class CacheOp : std::uint8_t { CacheAll, Streaming };
+
+/** Special registers readable through S2R. */
+enum class SpecialReg : std::uint8_t
+{
+    TidX, TidY, TidZ,
+    NTidX, NTidY, NTidZ,
+    CtaIdX, CtaIdY, CtaIdZ,
+    NCtaIdX, NCtaIdY, NCtaIdZ,
+    LaneId,
+    WarpIdInCta,
+};
+
+/** Functional-unit class an opcode occupies. */
+enum class FuncUnit : std::uint8_t { Alu, Sfu, Mem, Control };
+
+/** Sentinel for "operand not present". */
+inline constexpr RegIndex noReg = 0xffff;
+
+/**
+ * One decoded VASM instruction.
+ *
+ * A fixed-shape record: at most one destination, three register sources,
+ * and one 32-bit immediate. When useImm is set the immediate replaces the
+ * *second* source operand (src[1]) for ALU ops, or acts as the address
+ * offset for memory ops (where it is always live).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    RegIndex dst = noReg;
+    RegIndex src[3] = {noReg, noReg, noReg};
+    bool useImm = false;
+    std::int32_t imm = 0;
+    CmpOp cmp = CmpOp::EQ;
+    CacheOp cacheOp = CacheOp::CacheAll;
+    SpecialReg sreg = SpecialReg::TidX;
+    Pc branchTarget = invalidPc;
+    /** Where diverged lanes reconverge; filled by the builder/assembler. */
+    Pc reconvergePc = invalidPc;
+
+    /** Functional unit this opcode issues to. */
+    FuncUnit funcUnit() const;
+
+    bool isBranch() const { return op == Opcode::BRA; }
+    bool isBarrier() const { return op == Opcode::BAR; }
+    bool isExit() const { return op == Opcode::EXIT; }
+
+    bool
+    isLoad() const
+    {
+        return op == Opcode::LDG || op == Opcode::LDS ||
+               op == Opcode::ATOMG_ADD;
+    }
+
+    bool
+    isStore() const
+    {
+        return op == Opcode::STG || op == Opcode::STS;
+    }
+
+    bool
+    isGlobalMem() const
+    {
+        return op == Opcode::LDG || op == Opcode::STG ||
+               op == Opcode::ATOMG_ADD;
+    }
+
+    bool
+    isSharedMem() const
+    {
+        return op == Opcode::LDS || op == Opcode::STS;
+    }
+
+    bool isMem() const { return isGlobalMem() || isSharedMem(); }
+
+    bool hasDst() const { return dst != noReg; }
+
+    /** Number of live register source operands. */
+    std::uint32_t numSrcs() const;
+};
+
+/** Mnemonic, e.g. "iadd". */
+std::string toString(Opcode op);
+std::string toString(CmpOp cmp);
+std::string toString(SpecialReg sreg);
+
+/** Parse a mnemonic; returns NumOpcodes on failure. */
+Opcode opcodeFromString(const std::string &name);
+/** Parse a comparison name ("eq".."ge"); true on success. */
+bool cmpFromString(const std::string &name, CmpOp &out);
+/** Parse a special-register name ("tid.x", "laneid", ...). */
+bool sregFromString(const std::string &name, SpecialReg &out);
+
+} // namespace vtsim
+
+#endif // VTSIM_ISA_INSTRUCTION_HH

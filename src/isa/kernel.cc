@@ -1,0 +1,68 @@
+#include "isa/kernel.hh"
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+Kernel::Kernel(std::string name, std::vector<Instruction> instructions,
+               std::uint32_t regs_per_thread, std::uint32_t shared_bytes,
+               std::map<Pc, std::string> labels)
+    : name_(std::move(name)), instrs_(std::move(instructions)),
+      regsPerThread_(regs_per_thread), sharedBytes_(shared_bytes),
+      labels_(std::move(labels))
+{
+    verify();
+}
+
+std::string
+Kernel::labelAt(Pc pc) const
+{
+    auto it = labels_.find(pc);
+    return it == labels_.end() ? std::string() : it->second;
+}
+
+void
+Kernel::verify() const
+{
+    if (instrs_.empty())
+        VTSIM_FATAL("kernel '", name_, "' has no instructions");
+    if (regsPerThread_ == 0)
+        VTSIM_FATAL("kernel '", name_, "' declares zero registers");
+
+    bool has_exit = false;
+    for (Pc pc = 0; pc < instrs_.size(); ++pc) {
+        const Instruction &inst = instrs_[pc];
+        if (inst.isExit())
+            has_exit = true;
+        if (inst.isBranch()) {
+            if (inst.branchTarget >= instrs_.size()) {
+                VTSIM_FATAL("kernel '", name_, "': branch at pc ", pc,
+                            " targets out-of-range pc ", inst.branchTarget);
+            }
+            if (inst.reconvergePc == invalidPc ||
+                inst.reconvergePc > instrs_.size()) {
+                VTSIM_FATAL("kernel '", name_, "': branch at pc ", pc,
+                            " lacks a valid reconvergence pc");
+            }
+        }
+        auto check_reg = [&](RegIndex r) {
+            if (r != noReg && r >= regsPerThread_) {
+                VTSIM_FATAL("kernel '", name_, "': pc ", pc, " uses r", r,
+                            " but only ", regsPerThread_,
+                            " registers are declared");
+            }
+        };
+        check_reg(inst.dst);
+        for (auto s : inst.src)
+            check_reg(s);
+    }
+    if (!has_exit)
+        VTSIM_FATAL("kernel '", name_, "' has no EXIT instruction");
+    if (!instrs_.back().isExit() && !instrs_.back().isBranch()) {
+        // Falling off the end is a programming error we catch statically.
+        VTSIM_FATAL("kernel '", name_,
+                    "' does not end in EXIT or an unconditional branch");
+    }
+}
+
+} // namespace vtsim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A compiled VASM kernel plus its static resource declaration — the unit
+ * the occupancy calculator and the CTA dispatcher reason about.
+ */
+
+#ifndef VTSIM_ISA_KERNEL_HH
+#define VTSIM_ISA_KERNEL_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace vtsim {
+
+/**
+ * An immutable kernel: instruction stream + resource metadata.
+ *
+ * The resource declaration (registers per thread, static shared memory per
+ * CTA) plays the role of the `.reg`/`.shared` directives a PTX kernel
+ * carries; together with the CTA shape chosen at launch it determines
+ * which hardware limit — scheduling or capacity — binds.
+ */
+class Kernel
+{
+  public:
+    Kernel(std::string name, std::vector<Instruction> instructions,
+           std::uint32_t regs_per_thread, std::uint32_t shared_bytes,
+           std::map<Pc, std::string> labels = {});
+
+    const std::string &name() const { return name_; }
+    const std::vector<Instruction> &instructions() const { return instrs_; }
+    const Instruction &at(Pc pc) const { return instrs_.at(pc); }
+    std::uint32_t size() const { return instrs_.size(); }
+
+    /** Architectural registers each thread of this kernel uses. */
+    std::uint32_t regsPerThread() const { return regsPerThread_; }
+
+    /** Static shared memory footprint of one CTA, in bytes. */
+    std::uint32_t sharedBytesPerCta() const { return sharedBytes_; }
+
+    /** Label attached to @p pc, or empty. Used by the disassembler. */
+    std::string labelAt(Pc pc) const;
+
+    /**
+     * Structural sanity check: branch targets in range, reconvergence PCs
+     * set on every branch, terminating EXIT reachable. Throws FatalError.
+     */
+    void verify() const;
+
+  private:
+    std::string name_;
+    std::vector<Instruction> instrs_;
+    std::uint32_t regsPerThread_;
+    std::uint32_t sharedBytes_;
+    std::map<Pc, std::string> labels_;
+};
+
+/** Kernel launch geometry and parameter block (the <<<grid, cta>>>). */
+struct LaunchParams
+{
+    Dim3 grid;
+    Dim3 cta;
+    std::vector<std::uint32_t> params; ///< Kernel parameter words (LDP).
+
+    /** Threads in one CTA. */
+    std::uint32_t threadsPerCta() const { return cta.count(); }
+
+    /** Warps in one CTA (rounded up). */
+    std::uint32_t
+    warpsPerCta() const
+    {
+        return ceilDiv(threadsPerCta(), warpSize);
+    }
+
+    /** Total CTAs in the grid. */
+    std::uint64_t numCtas() const { return grid.count(); }
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_ISA_KERNEL_HH

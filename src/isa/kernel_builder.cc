@@ -1,0 +1,345 @@
+#include "isa/kernel_builder.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+KernelBuilder &
+KernelBuilder::minRegs(std::uint32_t n)
+{
+    minRegs_ = std::max(minRegs_, n);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::shared(std::uint32_t bytes)
+{
+    sharedBytes_ = bytes;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::label(const std::string &name)
+{
+    if (labels_.count(name))
+        VTSIM_FATAL("kernel '", name_, "': duplicate label '", name, "'");
+    nextLabels_.push_back(name);
+    return *this;
+}
+
+Instruction &
+KernelBuilder::emit(Opcode op)
+{
+    VTSIM_ASSERT(!built_, "builder reused after build()");
+    const Pc pc = instrs_.size();
+    for (const auto &l : nextLabels_) {
+        labels_[l] = pc;
+        labelByPc_[pc] = l;
+    }
+    nextLabels_.clear();
+    instrs_.emplace_back();
+    instrs_.back().op = op;
+    return instrs_.back();
+}
+
+void
+KernelBuilder::touch(RegIndex reg)
+{
+    if (reg != noReg)
+        maxRegTouched_ = std::max<std::uint32_t>(maxRegTouched_, reg + 1u);
+}
+
+KernelBuilder &
+KernelBuilder::mov(RegIndex dst, RegIndex src)
+{
+    auto &i = emit(Opcode::MOV);
+    i.dst = dst;
+    i.src[0] = src;
+    touch(dst);
+    touch(src);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::movi(RegIndex dst, std::int32_t imm)
+{
+    auto &i = emit(Opcode::MOVI);
+    i.dst = dst;
+    i.useImm = true;
+    i.imm = imm;
+    touch(dst);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::alu(Opcode op, RegIndex dst, RegIndex a, RegIndex b)
+{
+    auto &i = emit(op);
+    i.dst = dst;
+    i.src[0] = a;
+    i.src[1] = b;
+    touch(dst);
+    touch(a);
+    touch(b);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::alui(Opcode op, RegIndex dst, RegIndex a, std::int32_t imm)
+{
+    auto &i = emit(op);
+    i.dst = dst;
+    i.src[0] = a;
+    i.useImm = true;
+    i.imm = imm;
+    touch(dst);
+    touch(a);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::unary(Opcode op, RegIndex dst, RegIndex a)
+{
+    auto &i = emit(op);
+    i.dst = dst;
+    i.src[0] = a;
+    touch(dst);
+    touch(a);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::mad(Opcode op, RegIndex dst, RegIndex a, RegIndex b,
+                   RegIndex c)
+{
+    VTSIM_ASSERT(op == Opcode::IMAD || op == Opcode::FFMA,
+                 "mad() expects IMAD or FFMA");
+    auto &i = emit(op);
+    i.dst = dst;
+    i.src[0] = a;
+    i.src[1] = b;
+    i.src[2] = c;
+    touch(dst);
+    touch(a);
+    touch(b);
+    touch(c);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::setp(Opcode op, CmpOp cmp, RegIndex dst, RegIndex a,
+                    RegIndex b)
+{
+    VTSIM_ASSERT(op == Opcode::ISETP || op == Opcode::FSETP,
+                 "setp() expects ISETP or FSETP");
+    auto &i = emit(op);
+    i.dst = dst;
+    i.src[0] = a;
+    i.src[1] = b;
+    i.cmp = cmp;
+    touch(dst);
+    touch(a);
+    touch(b);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::setpi(Opcode op, CmpOp cmp, RegIndex dst, RegIndex a,
+                     std::int32_t imm)
+{
+    VTSIM_ASSERT(op == Opcode::ISETP || op == Opcode::FSETP,
+                 "setpi() expects ISETP or FSETP");
+    auto &i = emit(op);
+    i.dst = dst;
+    i.src[0] = a;
+    i.useImm = true;
+    i.imm = imm;
+    i.cmp = cmp;
+    touch(dst);
+    touch(a);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::sel(RegIndex dst, RegIndex a, RegIndex b, RegIndex cond)
+{
+    auto &i = emit(Opcode::SEL);
+    i.dst = dst;
+    i.src[0] = a;
+    i.src[1] = b;
+    i.src[2] = cond;
+    touch(dst);
+    touch(a);
+    touch(b);
+    touch(cond);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::s2r(RegIndex dst, SpecialReg sreg)
+{
+    auto &i = emit(Opcode::S2R);
+    i.dst = dst;
+    i.sreg = sreg;
+    touch(dst);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::ldp(RegIndex dst, std::uint32_t param_index)
+{
+    auto &i = emit(Opcode::LDP);
+    i.dst = dst;
+    i.useImm = true;
+    i.imm = static_cast<std::int32_t>(param_index);
+    touch(dst);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::ldg(RegIndex dst, RegIndex addr, std::int32_t offset,
+                   CacheOp cache_op)
+{
+    auto &i = emit(Opcode::LDG);
+    i.dst = dst;
+    i.src[0] = addr;
+    i.imm = offset;
+    i.cacheOp = cache_op;
+    touch(dst);
+    touch(addr);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::stg(RegIndex addr, RegIndex value, std::int32_t offset)
+{
+    auto &i = emit(Opcode::STG);
+    i.src[0] = addr;
+    i.src[1] = value;
+    i.imm = offset;
+    touch(addr);
+    touch(value);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::lds(RegIndex dst, RegIndex addr, std::int32_t offset)
+{
+    auto &i = emit(Opcode::LDS);
+    i.dst = dst;
+    i.src[0] = addr;
+    i.imm = offset;
+    touch(dst);
+    touch(addr);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::sts(RegIndex addr, RegIndex value, std::int32_t offset)
+{
+    auto &i = emit(Opcode::STS);
+    i.src[0] = addr;
+    i.src[1] = value;
+    i.imm = offset;
+    touch(addr);
+    touch(value);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::atomgAdd(RegIndex dst, RegIndex addr, RegIndex value,
+                        std::int32_t offset)
+{
+    auto &i = emit(Opcode::ATOMG_ADD);
+    i.dst = dst;
+    i.src[0] = addr;
+    i.src[1] = value;
+    i.imm = offset;
+    touch(dst);
+    touch(addr);
+    touch(value);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::bra(RegIndex pred, const std::string &target,
+                   const std::string &join)
+{
+    const Pc pc = instrs_.size();
+    auto &i = emit(Opcode::BRA);
+    i.src[0] = pred;
+    touch(pred);
+    pending_.push_back({pc, target, join});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::jmp(const std::string &target)
+{
+    const Pc pc = instrs_.size();
+    emit(Opcode::BRA); // src[0] stays noReg: unconditional
+    pending_.push_back({pc, target, ""});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::bar()
+{
+    emit(Opcode::BAR);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::exit()
+{
+    emit(Opcode::EXIT);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::nop()
+{
+    emit(Opcode::NOP);
+    return *this;
+}
+
+Kernel
+KernelBuilder::build()
+{
+    VTSIM_ASSERT(!built_, "builder reused after build()");
+    built_ = true;
+    if (!nextLabels_.empty())
+        VTSIM_FATAL("kernel '", name_, "': trailing label '",
+                    nextLabels_.front(), "' attached to no instruction");
+
+    for (const auto &pb : pending_) {
+        auto it = labels_.find(pb.target);
+        if (it == labels_.end())
+            VTSIM_FATAL("kernel '", name_, "': undefined label '",
+                        pb.target, "'");
+        Instruction &inst = instrs_[pb.pc];
+        inst.branchTarget = it->second;
+        if (!pb.join.empty()) {
+            auto jt = labels_.find(pb.join);
+            if (jt == labels_.end())
+                VTSIM_FATAL("kernel '", name_, "': undefined join label '",
+                            pb.join, "'");
+            inst.reconvergePc = jt->second;
+        } else if (inst.branchTarget > pb.pc) {
+            // Forward branch, if-then idiom: reconverge at the target.
+            inst.reconvergePc = inst.branchTarget;
+        } else {
+            // Backward branch, loop idiom: reconverge at fall-through.
+            inst.reconvergePc = pb.pc + 1;
+        }
+    }
+
+    const std::uint32_t regs = std::max(minRegs_,
+                                        std::max(maxRegTouched_, 1u));
+    return Kernel(name_, std::move(instrs_), regs, sharedBytes_,
+                  std::move(labelByPc_));
+}
+
+} // namespace vtsim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fluent programmatic construction of VASM kernels with label resolution
+ * and automatic reconvergence-point computation.
+ */
+
+#ifndef VTSIM_ISA_KERNEL_BUILDER_HH
+#define VTSIM_ISA_KERNEL_BUILDER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace vtsim {
+
+/**
+ * Builds a Kernel instruction by instruction.
+ *
+ * Register pressure is inferred from the highest register touched, but can
+ * be padded upward with minRegs() — benchmarks use that to place
+ * themselves on either side of the capacity limit, which is exactly the
+ * knob the paper's workload classification turns on.
+ *
+ * Branch reconvergence PCs: for `bra` with an explicit join label, the
+ * label's PC; for a forward branch without one, the branch target (the
+ * if-then idiom); for a backward branch, the fall-through PC (the loop
+ * idiom). These are the immediate post-dominators for those shapes.
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name) : name_(std::move(name)) {}
+
+    /** Declare at least @p n registers per thread (pads pressure). */
+    KernelBuilder &minRegs(std::uint32_t n);
+
+    /** Declare @p bytes of static shared memory per CTA. */
+    KernelBuilder &shared(std::uint32_t bytes);
+
+    /** Attach a label to the next emitted instruction. */
+    KernelBuilder &label(const std::string &name);
+
+    // --- ALU -------------------------------------------------------------
+    KernelBuilder &mov(RegIndex dst, RegIndex src);
+    KernelBuilder &movi(RegIndex dst, std::int32_t imm);
+    /** Three-operand register form: dst = src0 <op> src1. */
+    KernelBuilder &alu(Opcode op, RegIndex dst, RegIndex a, RegIndex b);
+    /** Register-immediate form: dst = src0 <op> imm. */
+    KernelBuilder &alui(Opcode op, RegIndex dst, RegIndex a,
+                        std::int32_t imm);
+    /** Unary form (NOT, I2F, F2I, FRCP, FSQRT, FEXP, FLOG). */
+    KernelBuilder &unary(Opcode op, RegIndex dst, RegIndex a);
+    /** dst = a * b + c (IMAD / FFMA). */
+    KernelBuilder &mad(Opcode op, RegIndex dst, RegIndex a, RegIndex b,
+                       RegIndex c);
+    KernelBuilder &setp(Opcode op, CmpOp cmp, RegIndex dst, RegIndex a,
+                        RegIndex b);
+    KernelBuilder &setpi(Opcode op, CmpOp cmp, RegIndex dst, RegIndex a,
+                         std::int32_t imm);
+    KernelBuilder &sel(RegIndex dst, RegIndex a, RegIndex b, RegIndex cond);
+
+    // --- Special ----------------------------------------------------------
+    KernelBuilder &s2r(RegIndex dst, SpecialReg sreg);
+    KernelBuilder &ldp(RegIndex dst, std::uint32_t param_index);
+
+    // --- Memory -------------------------------------------------------------
+    KernelBuilder &ldg(RegIndex dst, RegIndex addr, std::int32_t offset = 0,
+                       CacheOp cache_op = CacheOp::CacheAll);
+    KernelBuilder &stg(RegIndex addr, RegIndex value,
+                       std::int32_t offset = 0);
+    KernelBuilder &lds(RegIndex dst, RegIndex addr, std::int32_t offset = 0);
+    KernelBuilder &sts(RegIndex addr, RegIndex value,
+                       std::int32_t offset = 0);
+    KernelBuilder &atomgAdd(RegIndex dst, RegIndex addr, RegIndex value,
+                            std::int32_t offset = 0);
+
+    // --- Control -------------------------------------------------------------
+    /** Branch to @p target for lanes where @p pred != 0. */
+    KernelBuilder &bra(RegIndex pred, const std::string &target,
+                       const std::string &join = "");
+    /** Unconditional jump (all active lanes). */
+    KernelBuilder &jmp(const std::string &target);
+    KernelBuilder &bar();
+    KernelBuilder &exit();
+    KernelBuilder &nop();
+
+    /** Resolve labels, compute reconvergence PCs, and build. */
+    Kernel build();
+
+  private:
+    Instruction &emit(Opcode op);
+    void touch(RegIndex reg);
+
+    struct PendingBranch
+    {
+        Pc pc;
+        std::string target;
+        std::string join; ///< empty = compute default
+    };
+
+    std::string name_;
+    std::vector<Instruction> instrs_;
+    std::map<std::string, Pc> labels_;
+    std::map<Pc, std::string> labelByPc_;
+    std::vector<PendingBranch> pending_;
+    std::vector<std::string> nextLabels_;
+    std::uint32_t minRegs_ = 0;
+    std::uint32_t maxRegTouched_ = 0;
+    std::uint32_t sharedBytes_ = 0;
+    bool built_ = false;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_ISA_KERNEL_BUILDER_HH

@@ -1,0 +1,192 @@
+#include "mem/cache.hh"
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+Cache::Cache(const CacheParams &params)
+    : params_(params),
+      numSets_(params.size / (params.lineSize * params.assoc)),
+      lines_(std::size_t(numSets_) * params.assoc),
+      stats_(params.name)
+{
+    VTSIM_ASSERT(numSets_ > 0, "cache '", params.name, "' has zero sets");
+    VTSIM_ASSERT(isPowerOfTwo(params_.lineSize), "line size not pow2");
+    stats_.addCounter("hits", &hits_, "load hits");
+    stats_.addCounter("misses", &misses_, "load misses (MSHR allocations)");
+    stats_.addCounter("mshr_merges", &mshrMerges_,
+                      "loads merged into an in-flight miss");
+    stats_.addCounter("mshr_rejects", &mshrRejects_,
+                      "loads rejected for MSHR/target capacity");
+    stats_.addCounter("evictions", &evictions_, "lines evicted");
+    stats_.addCounter("dirty_evictions", &dirtyEvictions_,
+                      "dirty lines written back on eviction");
+    stats_.addCounter("store_hits", &storeHits_, "write-through store hits");
+    stats_.addCounter("store_misses", &storeMisses_,
+                      "write-through store misses (no allocate)");
+}
+
+std::uint32_t
+Cache::setIndex(Addr line_addr) const
+{
+    return (line_addr / params_.lineSize) % numSets_;
+}
+
+Cache::Line *
+Cache::findLine(Addr line_addr)
+{
+    const std::uint32_t set = setIndex(line_addr);
+    for (std::uint32_t way = 0; way < params_.assoc; ++way) {
+        Line &line = lines_[std::size_t(set) * params_.assoc + way];
+        if (line.valid && line.tag == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->findLine(line_addr);
+}
+
+CacheOutcome
+Cache::access(const MemRequest &req)
+{
+    VTSIM_ASSERT(req.lineAddr % params_.lineSize == 0,
+                 "unaligned line address");
+    ++useClock_;
+    if (Line *line = findLine(req.lineAddr)) {
+        line->lastUse = useClock_;
+        ++hits_;
+        return CacheOutcome::Hit;
+    }
+
+    auto it = mshrs_.find(req.lineAddr);
+    if (it != mshrs_.end()) {
+        if (it->second.targets.size() >= params_.mshrTargets) {
+            ++mshrRejects_;
+            return CacheOutcome::RejectTargets;
+        }
+        it->second.targets.push_back(req);
+        ++mshrMerges_;
+        return CacheOutcome::MissMerged;
+    }
+
+    if (mshrs_.size() >= params_.numMshrs) {
+        ++mshrRejects_;
+        return CacheOutcome::RejectMshrFull;
+    }
+
+    MshrEntry entry;
+    entry.lineAddr = req.lineAddr;
+    entry.targets.push_back(req);
+    mshrs_.emplace(req.lineAddr, std::move(entry));
+    ++misses_;
+    return CacheOutcome::MissNew;
+}
+
+bool
+Cache::storeAccess(Addr line_addr)
+{
+    ++useClock_;
+    if (Line *line = findLine(line_addr)) {
+        line->lastUse = useClock_;
+        ++storeHits_;
+        return true;
+    }
+    ++storeMisses_;
+    return false;
+}
+
+bool
+Cache::probe(Addr line_addr) const
+{
+    return findLine(line_addr) != nullptr;
+}
+
+Cache::Line *
+Cache::insertLine(Addr line_addr, FillResult &result)
+{
+    const std::uint32_t set = setIndex(line_addr);
+    Line *victim = nullptr;
+    for (std::uint32_t way = 0; way < params_.assoc; ++way) {
+        Line &line = lines_[std::size_t(set) * params_.assoc + way];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    if (victim->valid) {
+        ++evictions_;
+        if (victim->dirty) {
+            ++dirtyEvictions_;
+            result.evictedDirty = true;
+            result.evictedLine = victim->tag;
+        }
+    }
+    victim->valid = true;
+    victim->dirty = false;
+    victim->tag = line_addr;
+    victim->lastUse = ++useClock_;
+    return victim;
+}
+
+FillResult
+Cache::fill(Addr line_addr)
+{
+    auto it = mshrs_.find(line_addr);
+    VTSIM_ASSERT(it != mshrs_.end(),
+                 "fill for line with no MSHR in ", params_.name);
+    FillResult result;
+    result.targets = std::move(it->second.targets);
+    mshrs_.erase(it);
+    Line *line = insertLine(line_addr, result);
+    // Parked stores (write-back merges) dirty the line on arrival.
+    for (const MemRequest &target : result.targets)
+        if (target.kind == MemAccessKind::Store)
+            line->dirty = true;
+    return result;
+}
+
+FillResult
+Cache::storeAllocate(Addr line_addr)
+{
+    ++useClock_;
+    FillResult result;
+    if (Line *line = findLine(line_addr)) {
+        line->lastUse = useClock_;
+        line->dirty = true;
+        ++storeHits_;
+        return result;
+    }
+    ++storeMisses_;
+    // No-fetch write-allocate: install the line immediately and dirty it.
+    Line *line = insertLine(line_addr, result);
+    line->dirty = true;
+    return result;
+}
+
+bool
+Cache::probeDirty(Addr line_addr) const
+{
+    const Line *line = findLine(line_addr);
+    return line && line->dirty;
+}
+
+void
+Cache::flush()
+{
+    VTSIM_ASSERT(mshrs_.empty(),
+                 "flush of ", params_.name, " with MSHRs in flight");
+    // Tag-only model: dirty data lives in the functional memory, so a
+    // flush needs no writeback traffic (timing approximation).
+    for (auto &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+} // namespace vtsim

@@ -1,0 +1,63 @@
+#include "mem/coalescer.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+std::vector<CoalescedAccess>
+coalesce(const std::vector<LaneAccess> &accesses, std::uint32_t line_size)
+{
+    VTSIM_ASSERT(isPowerOfTwo(line_size), "line size must be power of two");
+    std::vector<CoalescedAccess> out;
+    // Order of first touch matters for determinism; map line -> out index.
+    std::map<Addr, std::size_t> index;
+    // Track touched 4-byte words per line to report payload size.
+    std::map<Addr, std::set<Addr>> words;
+
+    for (const auto &acc : accesses) {
+        const Addr line = acc.addr & ~static_cast<Addr>(line_size - 1);
+        auto it = index.find(line);
+        if (it == index.end()) {
+            index[line] = out.size();
+            out.push_back({line, 0, 1});
+        } else {
+            ++out[it->second].lanes;
+        }
+        // A 4-byte access can straddle two words within the line; count
+        // both (straddling the line itself is rare and we fold it into
+        // this line's payload — the shape, not exactness, matters).
+        words[line].insert(acc.addr / 4);
+        words[line].insert((acc.addr + 3) / 4);
+    }
+    for (auto &ca : out) {
+        const auto w = static_cast<std::uint32_t>(words[ca.lineAddr].size());
+        ca.bytes = std::min(w * 4u, line_size);
+    }
+    return out;
+}
+
+std::uint32_t
+sharedMemPasses(const std::vector<LaneAccess> &accesses,
+                std::uint32_t num_banks)
+{
+    VTSIM_ASSERT(isPowerOfTwo(num_banks), "bank count must be power of two");
+    if (accesses.empty())
+        return 0;
+    // bank -> set of distinct word addresses touched in that bank.
+    std::map<std::uint32_t, std::set<Addr>> banks;
+    for (const auto &acc : accesses) {
+        const Addr word = acc.addr / 4;
+        banks[word & (num_banks - 1)].insert(word);
+    }
+    std::uint32_t passes = 1;
+    for (const auto &[bank, word_set] : banks) {
+        passes = std::max<std::uint32_t>(passes, word_set.size());
+    }
+    return passes;
+}
+
+} // namespace vtsim

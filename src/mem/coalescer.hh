@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Global-memory access coalescer: collapses the per-lane addresses of one
+ * warp memory instruction into the minimal set of line-granular
+ * transactions, exactly as the hardware coalescing stage does.
+ */
+
+#ifndef VTSIM_MEM_COALESCER_HH
+#define VTSIM_MEM_COALESCER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "func/exec_context.hh"
+
+namespace vtsim {
+
+/** One coalesced transaction: a line plus the bytes actually touched. */
+struct CoalescedAccess
+{
+    Addr lineAddr;
+    std::uint32_t bytes;   ///< Touched bytes within the line (<= lineSize).
+    std::uint32_t lanes;   ///< Number of lanes folded into this line.
+};
+
+/**
+ * Coalesce @p accesses (4-byte lane accesses) into unique
+ * @p line_size-aligned transactions, preserving first-touch order.
+ */
+std::vector<CoalescedAccess> coalesce(const std::vector<LaneAccess> &accesses,
+                                      std::uint32_t line_size);
+
+/**
+ * Shared-memory bank-conflict model: the number of serialised passes the
+ * access needs. Same-word accesses broadcast (one pass); distinct words
+ * mapping to the same bank serialise.
+ *
+ * @param accesses Per-lane byte addresses within shared memory.
+ * @param num_banks Number of 4-byte-interleaved banks (power of two).
+ * @return Number of passes (>= 1 when any access present, else 0).
+ */
+std::uint32_t sharedMemPasses(const std::vector<LaneAccess> &accesses,
+                              std::uint32_t num_banks);
+
+} // namespace vtsim
+
+#endif // VTSIM_MEM_COALESCER_HH

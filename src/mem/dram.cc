@@ -1,0 +1,127 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/trace.hh"
+
+namespace vtsim {
+
+Dram::Dram(const DramParams &params)
+    : params_(params), banks_(params.numBanks), stats_(params.name)
+{
+    VTSIM_ASSERT(params.numBanks > 0 && params.bytesPerCycle > 0,
+                 "degenerate DRAM shape");
+    stats_.addCounter("row_hits", &rowHits_, "row-buffer hits");
+    stats_.addCounter("row_misses", &rowMisses_,
+                      "row-buffer misses (activate+precharge)");
+    stats_.addCounter("bytes", &bytes_, "bytes moved over the data bus");
+    stats_.addScalar("queue_depth", &queueDepth_,
+                     "scheduler queue depth per enqueue");
+}
+
+void
+Dram::enqueue(Addr line_addr, std::uint32_t bytes, bool needs_completion,
+              Cycle now)
+{
+    (void)now;
+    Request req;
+    req.lineAddr = line_addr;
+    req.bytes = std::max(bytes, 1u);
+    req.needsCompletion = needs_completion;
+    // Renumber lines partition-locally (disjoint bits from partition
+    // selection), then interleave across banks; rows stack above that.
+    const std::uint64_t local_line =
+        line_addr / params_.lineSize / std::max(params_.addressStride, 1u);
+    const std::uint64_t lines_per_row =
+        std::max(params_.rowBufferBytes / params_.lineSize, 1u);
+    req.bank = local_line % params_.numBanks;
+    req.row = local_line / (params_.numBanks * lines_per_row);
+    queue_.push_back(req);
+    queueDepth_.sample(static_cast<double>(queue_.size()));
+}
+
+bool
+Dram::issueOne(Cycle now)
+{
+    // FR-FCFS over a bounded window: first pass prefers row hits at free
+    // banks, second pass takes the oldest request at any free bank.
+    const std::size_t window =
+        std::min<std::size_t>(queue_.size(), params_.schedWindow);
+
+    std::size_t chosen = window;
+    for (std::size_t i = 0; i < window; ++i) {
+        const Request &req = queue_[i];
+        const Bank &bank = banks_[req.bank];
+        if (bank.readyAt <= now && bank.openRow == req.row) {
+            chosen = i;
+            break;
+        }
+    }
+    if (chosen == window) {
+        for (std::size_t i = 0; i < window; ++i) {
+            if (banks_[queue_[i].bank].readyAt <= now) {
+                chosen = i;
+                break;
+            }
+        }
+    }
+    if (chosen == window)
+        return false;
+
+    const Request req = queue_[chosen];
+    queue_.erase(queue_.begin() + chosen);
+    Bank &bank = banks_[req.bank];
+
+    VTSIM_TRACE(TraceFlag::Dram, now, stats_.name(), "issue line 0x",
+                std::hex, req.lineAddr, std::dec, " bank ", req.bank,
+                bank.openRow == req.row ? " (row hit)" : " (row miss)");
+    Cycle latency;
+    Cycle occupancy;
+    if (bank.openRow == req.row) {
+        latency = params_.rowHitLatency;
+        occupancy = params_.rowHitOccupancy;
+        ++rowHits_;
+    } else {
+        latency = params_.rowMissLatency;
+        occupancy = params_.rowMissOccupancy;
+        bank.openRow = req.row;
+        ++rowMisses_;
+    }
+
+    // The bank is occupied only while its commands issue; the access
+    // latency itself is pipelined and overlaps with other banks.
+    const Cycle data_cycles = ceilDiv(req.bytes, params_.bytesPerCycle);
+    bank.readyAt = now + occupancy;
+    const Cycle bus_start = std::max(now + latency, busReadyAt_);
+    const Cycle done = bus_start + data_cycles;
+    busReadyAt_ = bus_start + data_cycles;
+    bytes_ += req.bytes;
+
+    inFlight_.push({done, req.lineAddr, req.needsCompletion});
+    return true;
+}
+
+std::vector<Addr>
+Dram::tick(Cycle now)
+{
+    std::vector<Addr> completed;
+    while (!inFlight_.empty() && inFlight_.top().readyAt <= now) {
+        if (inFlight_.top().needsCompletion)
+            completed.push_back(inFlight_.top().lineAddr);
+        inFlight_.pop();
+    }
+    for (std::uint32_t c = 0; c < params_.commandsPerCycle; ++c) {
+        if (!issueOne(now))
+            break;
+    }
+    return completed;
+}
+
+bool
+Dram::idle() const
+{
+    return queue_.empty() && inFlight_.empty();
+}
+
+} // namespace vtsim

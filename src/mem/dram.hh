@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Per-partition DRAM channel model: banked, open-row, FR-FCFS scheduled.
+ *
+ * Requests queue at the channel; each cycle the scheduler issues up to
+ * two commands, preferring row-buffer hits within a bounded reorder
+ * window (First-Ready FCFS) — the policy GPUs rely on to keep row
+ * locality when many CTAs' streams interleave, and therefore essential
+ * for evaluating Virtual Thread's extra thread-level parallelism fairly.
+ */
+
+#ifndef VTSIM_MEM_DRAM_HH
+#define VTSIM_MEM_DRAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace vtsim {
+
+/** DRAM channel parameters. */
+struct DramParams
+{
+    std::string name = "dram";
+    std::uint32_t numBanks = 8;
+    std::uint32_t rowBufferBytes = 2048;
+    std::uint32_t rowHitLatency = 200;   ///< Request-to-data latency.
+    std::uint32_t rowMissLatency = 350;
+    /** Cycles the bank itself is occupied (commands pipeline; the rest
+     *  of the latency overlaps with other banks' work). */
+    std::uint32_t rowHitOccupancy = 4;
+    std::uint32_t rowMissOccupancy = 40;
+    std::uint32_t bytesPerCycle = 32;
+    std::uint32_t lineSize = 128;
+    std::uint32_t schedWindow = 32;   ///< FR-FCFS reorder window.
+    std::uint32_t commandsPerCycle = 2;
+    /** Line-interleave factor of the chip (number of partitions): lines
+     *  are renumbered partition-locally before bank/row decomposition so
+     *  partition and bank selection use disjoint address bits. */
+    std::uint32_t addressStride = 1;
+};
+
+class Dram
+{
+  public:
+    explicit Dram(const DramParams &params);
+
+    /**
+     * Queue one line transaction arriving at @p now.
+     * @param needs_completion True for reads: the line address will be
+     *        reported by tick() when the data transfer finishes.
+     */
+    void enqueue(Addr line_addr, std::uint32_t bytes,
+                 bool needs_completion, Cycle now);
+
+    /**
+     * Advance one cycle: issue commands (FR-FCFS) and collect finished
+     * reads.
+     * @return Line addresses of reads whose data completed this cycle.
+     */
+    std::vector<Addr> tick(Cycle now);
+
+    /** No requests queued or in flight. */
+    bool idle() const;
+
+    StatGroup &stats() { return stats_; }
+    std::uint64_t rowHits() const { return rowHits_.value(); }
+    std::uint64_t rowMisses() const { return rowMisses_.value(); }
+    std::uint64_t bytesTransferred() const { return bytes_.value(); }
+
+  private:
+    struct Request
+    {
+        Addr lineAddr;
+        std::uint32_t bytes;
+        bool needsCompletion;
+        std::uint32_t bank;
+        std::uint64_t row;
+    };
+
+    struct Completion
+    {
+        Cycle readyAt;
+        Addr lineAddr;
+        bool needsCompletion;
+        bool operator>(const Completion &o) const
+        { return readyAt > o.readyAt; }
+    };
+
+    struct Bank
+    {
+        std::uint64_t openRow = ~0ull;
+        Cycle readyAt = 0;
+    };
+
+    bool issueOne(Cycle now);
+
+    DramParams params_;
+    std::vector<Bank> banks_;
+    std::deque<Request> queue_;
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<>> inFlight_;
+    Cycle busReadyAt_ = 0;
+
+    StatGroup stats_;
+    Counter rowHits_;
+    Counter rowMisses_;
+    Counter bytes_;
+    ScalarStat queueDepth_;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_MEM_DRAM_HH

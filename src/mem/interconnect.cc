@@ -1,0 +1,78 @@
+#include "mem/interconnect.hh"
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+Interconnect::Interconnect(const NocParams &params)
+    : params_(params), reqQueues_(params.numPartitions),
+      respQueues_(params.numSms), stats_("noc")
+{
+    VTSIM_ASSERT(params.numSms > 0 && params.numPartitions > 0,
+                 "degenerate NoC shape");
+    stats_.addCounter("req_flits", &reqFlits_, "request flits delivered");
+    stats_.addCounter("resp_flits", &respFlits_, "response flits delivered");
+    stats_.addCounter("bw_stall_cycles", &stallCycles_,
+                      "port-cycles a ready flit waited for bandwidth");
+}
+
+void
+Interconnect::sendRequest(const MemRequest &req, Cycle now)
+{
+    VTSIM_ASSERT(router_, "interconnect router not wired");
+    const std::uint32_t dst = router_(req.lineAddr);
+    VTSIM_ASSERT(dst < reqQueues_.size(), "router returned bad partition");
+    reqQueues_[dst].push_back({req, now + params_.latency});
+}
+
+void
+Interconnect::sendResponse(const MemRequest &req, Cycle now)
+{
+    VTSIM_ASSERT(req.srcSm < respQueues_.size(),
+                 "response for unknown SM ", req.srcSm);
+    respQueues_[req.srcSm].push_back({req, now + params_.latency});
+}
+
+void
+Interconnect::drain(std::deque<InFlight> &queue, const Deliver &deliver,
+                    Cycle now)
+{
+    std::uint32_t budget = params_.flitsPerCycle;
+    while (budget && !queue.empty() && queue.front().readyAt <= now) {
+        deliver(queue.front().req, now);
+        queue.pop_front();
+        --budget;
+    }
+    if (!budget && !queue.empty() && queue.front().readyAt <= now)
+        ++stallCycles_;
+}
+
+void
+Interconnect::tick(Cycle now)
+{
+    VTSIM_ASSERT(toMem_ && toSm_, "interconnect endpoints not wired");
+    for (auto &queue : reqQueues_) {
+        const std::size_t before = queue.size();
+        drain(queue, toMem_, now);
+        reqFlits_ += before - queue.size();
+    }
+    for (auto &queue : respQueues_) {
+        const std::size_t before = queue.size();
+        drain(queue, toSm_, now);
+        respFlits_ += before - queue.size();
+    }
+}
+
+bool
+Interconnect::idle() const
+{
+    for (const auto &queue : reqQueues_)
+        if (!queue.empty())
+            return false;
+    for (const auto &queue : respQueues_)
+        if (!queue.empty())
+            return false;
+    return true;
+}
+
+} // namespace vtsim

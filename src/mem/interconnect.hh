@@ -1,0 +1,89 @@
+/**
+ * @file
+ * SM <-> memory-partition interconnect: a crossbar with per-endpoint
+ * output queues. Requests queue at their destination partition's port and
+ * responses at their source SM's port; each port delivers a bounded
+ * number of flits per cycle after a fixed traversal latency. Contention
+ * is therefore per-port, as in the Fermi crossbar, not chip-global.
+ */
+
+#ifndef VTSIM_MEM_INTERCONNECT_HH
+#define VTSIM_MEM_INTERCONNECT_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/mem_request.hh"
+#include "stats/stats.hh"
+
+namespace vtsim {
+
+/** Interconnect parameters. */
+struct NocParams
+{
+    std::uint32_t latency = 12;      ///< Traversal cycles, each way.
+    std::uint32_t flitsPerCycle = 2; ///< Deliveries per port per cycle.
+    std::uint32_t numSms = 1;
+    std::uint32_t numPartitions = 1;
+};
+
+class Interconnect
+{
+  public:
+    using Deliver = std::function<void(const MemRequest &, Cycle)>;
+    using Router = std::function<std::uint32_t(Addr)>;
+
+    explicit Interconnect(const NocParams &params);
+
+    /** Wire the endpoints (Gpu does this once). */
+    void setRequestSink(Deliver d) { toMem_ = std::move(d); }
+    void setResponseSink(Deliver d) { toSm_ = std::move(d); }
+    /** Address -> partition index mapping for request routing. */
+    void setRouter(Router r) { router_ = std::move(r); }
+
+    /** Enqueue an SM -> memory request at cycle @p now. */
+    void sendRequest(const MemRequest &req, Cycle now);
+
+    /** Enqueue a memory -> SM response at cycle @p now. */
+    void sendResponse(const MemRequest &req, Cycle now);
+
+    /** Deliver everything whose traversal completed by @p now, respecting
+     *  per-port bandwidth. */
+    void tick(Cycle now);
+
+    bool idle() const;
+
+    StatGroup &stats() { return stats_; }
+    std::uint64_t requestFlits() const { return reqFlits_.value(); }
+    std::uint64_t responseFlits() const { return respFlits_.value(); }
+
+  private:
+    struct InFlight
+    {
+        MemRequest req;
+        Cycle readyAt;
+    };
+
+    void drain(std::deque<InFlight> &queue, const Deliver &deliver,
+               Cycle now);
+
+    NocParams params_;
+    /** One request queue per destination partition. */
+    std::vector<std::deque<InFlight>> reqQueues_;
+    /** One response queue per destination SM. */
+    std::vector<std::deque<InFlight>> respQueues_;
+    Deliver toMem_;
+    Deliver toSm_;
+    Router router_;
+
+    StatGroup stats_;
+    Counter reqFlits_;
+    Counter respFlits_;
+    Counter stallCycles_; ///< Port-cycles a ready flit waited on bw.
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_MEM_INTERCONNECT_HH

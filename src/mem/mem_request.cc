@@ -1,0 +1,8 @@
+#include "mem/mem_request.hh"
+
+// MemRequest is a plain record; this translation unit anchors the
+// MemResponseSink vtable.
+
+namespace vtsim {
+
+} // namespace vtsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The memory transaction type that flows between the SM's LDST unit, the
+ * caches, the interconnect and DRAM.
+ */
+
+#ifndef VTSIM_MEM_MEM_REQUEST_HH
+#define VTSIM_MEM_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace vtsim {
+
+/**
+ * Receiver of memory responses. The SM-side LDST unit implements this; a
+ * request carries a (sink, token) pair so the response can be routed back
+ * without the memory system knowing anything about warps.
+ */
+class MemResponseSink
+{
+  public:
+    virtual ~MemResponseSink() = default;
+
+    /** Called when the transaction identified by @p token completes. */
+    virtual void memResponse(std::uint64_t token) = 0;
+};
+
+/** Kind of global-memory transaction. */
+enum class MemAccessKind : std::uint8_t
+{
+    Load,   ///< Read that fills caches and unblocks a register.
+    Store,  ///< Write-through; fire-and-forget from the warp's view.
+    Atomic, ///< Read-modify-write performed at the L2; bypasses L1.
+};
+
+/** One line-granular memory transaction. */
+struct MemRequest
+{
+    Addr lineAddr = 0;           ///< Line-aligned byte address.
+    std::uint32_t bytes = 0;     ///< Payload size (for DRAM bandwidth).
+    MemAccessKind kind = MemAccessKind::Load;
+    SmId srcSm = 0;
+    MemResponseSink *sink = nullptr; ///< Null for stores (no response).
+    std::uint64_t token = 0;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_MEM_MEM_REQUEST_HH

@@ -1,0 +1,118 @@
+#include "mem/memory_partition.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "mem/interconnect.hh"
+
+namespace vtsim {
+
+MemoryPartition::MemoryPartition(std::uint32_t id, const GpuConfig &config,
+                                 Interconnect &noc)
+    : id_(id), config_(config), noc_(noc),
+      l2_(CacheParams{"l2_" + std::to_string(id), config.l2SlicePerPartition,
+                      config.l2Assoc, config.l2LineSize, config.l2Mshrs,
+                      config.l2MshrTargets}),
+      dram_([&config, id] {
+          DramParams dp;
+          dp.name = "dram_" + std::to_string(id);
+          dp.numBanks = config.dramBanksPerPartition;
+          dp.rowBufferBytes = config.dramRowBufferSize;
+          dp.rowHitLatency = config.dramRowHitLatency;
+          dp.rowMissLatency = config.dramRowMissLatency;
+          dp.bytesPerCycle = config.dramBytesPerCycle;
+          dp.lineSize = config.l2LineSize;
+          dp.schedWindow = std::max(config.dramSchedWindow, 1u);
+          dp.addressStride = config.numMemPartitions;
+          return dp;
+      }())
+{
+}
+
+void
+MemoryPartition::receive(const MemRequest &req, Cycle now)
+{
+    (void)now;
+    input_.push_back(req);
+}
+
+void
+MemoryPartition::serviceRequest(const MemRequest &req, Cycle now)
+{
+    if (req.kind == MemAccessKind::Store) {
+        if (config_.l2WriteBack) {
+            // Write-back, write-allocate (no fetch): the store lands in
+            // the L2; DRAM sees it only when the dirty line is evicted.
+            const FillResult res = l2_.storeAllocate(req.lineAddr);
+            if (res.evictedDirty) {
+                dram_.enqueue(res.evictedLine, config_.l2LineSize, false,
+                              now);
+            }
+        } else {
+            // Write-through, no-write-allocate: touch the L2 tag (keeps
+            // a hot line hot) and spend DRAM write bandwidth.
+            l2_.storeAccess(req.lineAddr);
+            dram_.enqueue(req.lineAddr, req.bytes, false, now);
+        }
+        return;
+    }
+
+    switch (l2_.access(req)) {
+      case CacheOutcome::Hit:
+        respPending_.push({now + config_.l2HitLatency, req});
+        break;
+      case CacheOutcome::MissNew:
+        dram_.enqueue(req.lineAddr, config_.l2LineSize, true, now);
+        break;
+      case CacheOutcome::MissMerged:
+        break; // Will be answered by the in-flight fill.
+      case CacheOutcome::RejectMshrFull:
+      case CacheOutcome::RejectTargets:
+        // Out of miss resources: put it back and stall this cycle.
+        input_.push_front(req);
+        break;
+    }
+}
+
+void
+MemoryPartition::tick(Cycle now)
+{
+    // 1. DRAM fills that completed: install in L2 and answer waiters.
+    for (Addr line : dram_.tick(now)) {
+        const FillResult res = l2_.fill(line);
+        for (const MemRequest &target : res.targets)
+            respPending_.push({now + config_.l2HitLatency, target});
+        if (res.evictedDirty) {
+            dram_.enqueue(res.evictedLine, config_.l2LineSize, false,
+                          now);
+        }
+    }
+
+    // 2. Responses whose L2 pipeline delay elapsed go to the NoC.
+    while (!respPending_.empty() && respPending_.top().readyAt <= now) {
+        noc_.sendResponse(respPending_.top().req, now);
+        respPending_.pop();
+    }
+
+    // 3. Service requests through the L2 ports. A rejected request is
+    //    pushed back to the queue head; stop for this cycle when that
+    //    happens to avoid spinning on it.
+    for (std::uint32_t port = 0;
+         port < config_.l2PortsPerCycle && !input_.empty(); ++port) {
+        const MemRequest req = input_.front();
+        input_.pop_front();
+        const std::size_t depth_before = input_.size();
+        serviceRequest(req, now);
+        if (input_.size() > depth_before)
+            break;
+    }
+}
+
+bool
+MemoryPartition::idle() const
+{
+    return input_.empty() && dram_.idle() && respPending_.empty() &&
+           l2_.mshrsInUse() == 0;
+}
+
+} // namespace vtsim

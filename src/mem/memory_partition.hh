@@ -1,0 +1,67 @@
+/**
+ * @file
+ * One memory partition: an L2 slice fronting a DRAM channel. Requests
+ * arrive from the interconnect, responses leave through it.
+ */
+
+#ifndef VTSIM_MEM_MEMORY_PARTITION_HH
+#define VTSIM_MEM_MEMORY_PARTITION_HH
+
+#include <deque>
+#include <queue>
+
+#include "config/gpu_config.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/mem_request.hh"
+
+namespace vtsim {
+
+class Interconnect;
+
+class MemoryPartition
+{
+  public:
+    MemoryPartition(std::uint32_t id, const GpuConfig &config,
+                    Interconnect &noc);
+
+    /** Accept a request delivered by the interconnect. */
+    void receive(const MemRequest &req, Cycle now);
+
+    /** Advance one cycle: service the input queue and DRAM completions. */
+    void tick(Cycle now);
+
+    /** True when no work is queued or in flight. */
+    bool idle() const;
+
+    /** Invalidate the L2 slice (kernel boundary). */
+    void flushCaches() { l2_.flush(); }
+
+    Cache &l2() { return l2_; }
+    Dram &dram() { return dram_; }
+
+  private:
+    void serviceRequest(const MemRequest &req, Cycle now);
+
+    std::uint32_t id_;
+    const GpuConfig &config_;
+    Interconnect &noc_;
+    Cache l2_;
+    Dram dram_;
+
+    std::deque<MemRequest> input_;
+
+    struct PendingResponse
+    {
+        Cycle readyAt;
+        MemRequest req;
+        bool operator>(const PendingResponse &o) const
+        { return readyAt > o.readyAt; }
+    };
+    std::priority_queue<PendingResponse, std::vector<PendingResponse>,
+                        std::greater<>> respPending_;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_MEM_MEMORY_PARTITION_HH

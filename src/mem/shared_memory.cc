@@ -1,0 +1,31 @@
+#include "mem/shared_memory.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+SharedMemoryModel::SharedMemoryModel(std::uint32_t latency,
+                                     const std::string &name)
+    : latency_(latency), stats_(name)
+{
+    stats_.addCounter("accesses", &accesses_, "warp shared-mem accesses");
+    stats_.addCounter("conflict_passes", &conflictPasses_,
+                      "extra serialised passes from bank conflicts");
+}
+
+Cycle
+SharedMemoryModel::access(std::uint32_t passes, Cycle now)
+{
+    VTSIM_ASSERT(passes >= 1, "shared access with zero passes");
+    ++accesses_;
+    conflictPasses_ += passes - 1;
+    const Cycle start = std::max(now, portReadyAt_);
+    // The port is occupied for one cycle per pass; the result returns a
+    // fixed pipe latency after the last pass.
+    portReadyAt_ = start + passes;
+    return start + passes - 1 + latency_;
+}
+
+} // namespace vtsim

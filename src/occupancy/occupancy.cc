@@ -1,0 +1,103 @@
+#include "occupancy/occupancy.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+std::string
+toString(OccupancyLimiter limiter)
+{
+    switch (limiter) {
+      case OccupancyLimiter::WarpSlots: return "warp-slots";
+      case OccupancyLimiter::CtaSlots: return "cta-slots";
+      case OccupancyLimiter::ThreadSlots: return "thread-slots";
+      case OccupancyLimiter::Registers: return "registers";
+      case OccupancyLimiter::SharedMem: return "shared-mem";
+    }
+    return "?";
+}
+
+bool
+isSchedulingLimit(OccupancyLimiter limiter)
+{
+    return limiter == OccupancyLimiter::WarpSlots ||
+           limiter == OccupancyLimiter::CtaSlots ||
+           limiter == OccupancyLimiter::ThreadSlots;
+}
+
+OccupancyResult
+computeOccupancy(const GpuConfig &config, const Kernel &kernel,
+                 const LaunchParams &launch)
+{
+    const std::uint32_t warps_per_cta = launch.warpsPerCta();
+    const std::uint32_t threads_per_cta = launch.threadsPerCta();
+    const std::uint32_t regs_per_warp =
+        roundUp(std::uint64_t(kernel.regsPerThread()) * warpSize,
+                config.regAllocGranularity);
+    const std::uint32_t regs_per_cta = warps_per_cta * regs_per_warp;
+    const std::uint32_t shared_per_cta =
+        roundUp(kernel.sharedBytesPerCta(), config.sharedAllocGranularity);
+
+    OccupancyResult r;
+    r.ctasByWarpSlots = config.effMaxWarpsPerSm() / warps_per_cta;
+    r.ctasByCtaSlots = config.effMaxCtasPerSm();
+    r.ctasByThreadSlots = config.effMaxThreadsPerSm() / threads_per_cta;
+    r.ctasByRegisters = config.registersPerSm / regs_per_cta;
+    r.ctasBySharedMem = shared_per_cta
+                            ? config.sharedMemPerSm / shared_per_cta
+                            : std::numeric_limits<std::uint32_t>::max();
+
+    struct Bound
+    {
+        std::uint32_t ctas;
+        OccupancyLimiter limiter;
+    };
+    // Priority order resolves ties the way the paper classifies:
+    // a kernel equally bound by a scheduling and a capacity structure is
+    // reported against the scheduling one (VT cannot help it less).
+    const Bound bounds[] = {
+        {r.ctasByRegisters, OccupancyLimiter::Registers},
+        {r.ctasBySharedMem, OccupancyLimiter::SharedMem},
+        {r.ctasByThreadSlots, OccupancyLimiter::ThreadSlots},
+        {r.ctasByCtaSlots, OccupancyLimiter::CtaSlots},
+        {r.ctasByWarpSlots, OccupancyLimiter::WarpSlots},
+    };
+    r.ctasPerSm = bounds[0].ctas;
+    r.limiter = bounds[0].limiter;
+    for (const Bound &b : bounds) {
+        if (b.ctas <= r.ctasPerSm) {
+            r.ctasPerSm = b.ctas;
+            r.limiter = b.limiter;
+        }
+    }
+    if (r.ctasPerSm == 0)
+        VTSIM_FATAL("kernel '", kernel.name(),
+                    "' cannot fit a single CTA on an SM");
+
+    r.ctasCapacityOnly =
+        std::min(r.ctasByRegisters, r.ctasBySharedMem);
+
+    // Grid smaller than the per-SM bound caps everything.
+    const std::uint64_t grid = launch.numCtas();
+    const std::uint64_t per_sm_grid = ceilDiv(grid, config.numSms);
+    r.ctasPerSm = std::min<std::uint64_t>(r.ctasPerSm, per_sm_grid);
+    r.ctasCapacityOnly =
+        std::min<std::uint64_t>(r.ctasCapacityOnly, per_sm_grid);
+
+    r.warpOccupancy = double(r.ctasPerSm) * warps_per_cta /
+                      config.effMaxWarpsPerSm();
+    r.registerUtilization = double(r.ctasPerSm) * regs_per_cta /
+                            config.registersPerSm;
+    r.sharedMemUtilization = double(r.ctasPerSm) * shared_per_cta /
+                             config.sharedMemPerSm;
+    r.registerUtilizationVt = double(r.ctasCapacityOnly) * regs_per_cta /
+                              config.registersPerSm;
+    r.sharedMemUtilizationVt = double(r.ctasCapacityOnly) *
+                               shared_per_cta / config.sharedMemPerSm;
+    return r;
+}
+
+} // namespace vtsim

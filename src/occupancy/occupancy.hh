@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Static occupancy calculator: given a kernel's resource declaration and a
+ * machine, how many CTAs fit per SM and which limit binds. This
+ * reproduces the paper's motivation study (FIG-1/FIG-2): the claim that
+ * most general-purpose workloads are throttled by the *scheduling* limit
+ * while the *capacity* limit still has headroom.
+ */
+
+#ifndef VTSIM_OCCUPANCY_OCCUPANCY_HH
+#define VTSIM_OCCUPANCY_OCCUPANCY_HH
+
+#include <string>
+
+#include "config/gpu_config.hh"
+#include "isa/kernel.hh"
+
+namespace vtsim {
+
+/** Which hardware limit bounds concurrent CTAs per SM. */
+enum class OccupancyLimiter
+{
+    WarpSlots,   ///< Scheduling: hardware warp contexts.
+    CtaSlots,    ///< Scheduling: hardware CTA slots.
+    ThreadSlots, ///< Scheduling: thread slots.
+    Registers,   ///< Capacity: register file.
+    SharedMem,   ///< Capacity: shared memory.
+};
+
+std::string toString(OccupancyLimiter limiter);
+
+/** True for the limits the Virtual Thread architecture virtualises. */
+bool isSchedulingLimit(OccupancyLimiter limiter);
+
+/** Full occupancy analysis of one kernel on one machine. */
+struct OccupancyResult
+{
+    std::uint32_t ctasByWarpSlots = 0;
+    std::uint32_t ctasByCtaSlots = 0;
+    std::uint32_t ctasByThreadSlots = 0;
+    std::uint32_t ctasByRegisters = 0;
+    std::uint32_t ctasBySharedMem = 0;
+
+    /** CTAs/SM under all limits (the baseline machine). */
+    std::uint32_t ctasPerSm = 0;
+    /** CTAs/SM under the capacity limit only (the VT admission rule). */
+    std::uint32_t ctasCapacityOnly = 0;
+
+    OccupancyLimiter limiter = OccupancyLimiter::WarpSlots;
+
+    /** Warp-slot occupancy of the baseline: resident warps / warp slots. */
+    double warpOccupancy = 0.0;
+
+    /** Fraction of the register file the baseline leaves populated. */
+    double registerUtilization = 0.0;
+    /** Fraction of shared memory the baseline leaves populated. */
+    double sharedMemUtilization = 0.0;
+    /** Same, under capacity-only admission (what VT achieves). */
+    double registerUtilizationVt = 0.0;
+    double sharedMemUtilizationVt = 0.0;
+
+    /** Scheduling-limited kernels are VT's target population. */
+    bool
+    schedulingLimited() const
+    {
+        return isSchedulingLimit(limiter) &&
+               ctasCapacityOnly > ctasPerSm;
+    }
+};
+
+/**
+ * Analyse @p kernel launched with @p launch on @p config.
+ * @throws FatalError if a single CTA cannot fit at all.
+ */
+OccupancyResult computeOccupancy(const GpuConfig &config,
+                                 const Kernel &kernel,
+                                 const LaunchParams &launch);
+
+} // namespace vtsim
+
+#endif // VTSIM_OCCUPANCY_OCCUPANCY_HH

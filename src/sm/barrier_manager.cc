@@ -1,0 +1,63 @@
+#include "sm/barrier_manager.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+void
+BarrierManager::ctaLaunched(VirtualCtaId id)
+{
+    VTSIM_ASSERT(!waiting_.count(id), "CTA ", id, " already tracked");
+    waiting_[id] = {};
+}
+
+void
+BarrierManager::arrive(VirtualCtaId id, std::uint32_t warp_in_cta)
+{
+    auto it = waiting_.find(id);
+    VTSIM_ASSERT(it != waiting_.end(), "arrive for untracked CTA ", id);
+    auto &warps = it->second;
+    VTSIM_ASSERT(std::find(warps.begin(), warps.end(), warp_in_cta) ==
+                 warps.end(), "double barrier arrival of warp ",
+                 warp_in_cta);
+    warps.push_back(warp_in_cta);
+}
+
+std::uint32_t
+BarrierManager::arrivedCount(VirtualCtaId id) const
+{
+    auto it = waiting_.find(id);
+    return it == waiting_.end() ? 0 : it->second.size();
+}
+
+bool
+BarrierManager::shouldRelease(VirtualCtaId id,
+                              std::uint32_t alive_warps) const
+{
+    const std::uint32_t arrived = arrivedCount(id);
+    return arrived != 0 && arrived >= alive_warps;
+}
+
+std::vector<std::uint32_t>
+BarrierManager::release(VirtualCtaId id)
+{
+    auto it = waiting_.find(id);
+    VTSIM_ASSERT(it != waiting_.end(), "release for untracked CTA ", id);
+    std::vector<std::uint32_t> out = std::move(it->second);
+    it->second.clear();
+    return out;
+}
+
+void
+BarrierManager::ctaFinished(VirtualCtaId id)
+{
+    auto it = waiting_.find(id);
+    VTSIM_ASSERT(it != waiting_.end(), "finish for untracked CTA ", id);
+    VTSIM_ASSERT(it->second.empty(),
+                 "CTA ", id, " finished with warps parked at a barrier");
+    waiting_.erase(it);
+}
+
+} // namespace vtsim

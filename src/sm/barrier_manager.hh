@@ -1,0 +1,49 @@
+/**
+ * @file
+ * CTA-wide barrier bookkeeping. Barrier arrival state is part of the
+ * *scheduling* state a Virtual Thread swap preserves: warps parked at a
+ * barrier stay parked across a swap-out/swap-in pair.
+ */
+
+#ifndef VTSIM_SM_BARRIER_MANAGER_HH
+#define VTSIM_SM_BARRIER_MANAGER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace vtsim {
+
+class BarrierManager
+{
+  public:
+    /** Begin tracking a CTA. */
+    void ctaLaunched(VirtualCtaId id);
+
+    /** Warp @p warp_in_cta reached a BAR. */
+    void arrive(VirtualCtaId id, std::uint32_t warp_in_cta);
+
+    /** Number of warps currently parked at the CTA's barrier. */
+    std::uint32_t arrivedCount(VirtualCtaId id) const;
+
+    /**
+     * True when every live warp has arrived: @p alive_warps is the number
+     * of warps of the CTA that have not exited.
+     */
+    bool shouldRelease(VirtualCtaId id, std::uint32_t alive_warps) const;
+
+    /** Release the barrier: returns the parked warps and clears state. */
+    std::vector<std::uint32_t> release(VirtualCtaId id);
+
+    /** Stop tracking a finished CTA. */
+    void ctaFinished(VirtualCtaId id);
+
+  private:
+    std::unordered_map<VirtualCtaId, std::vector<std::uint32_t>> waiting_;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_SM_BARRIER_MANAGER_HH

@@ -1,0 +1,296 @@
+#include "sm/ldst_unit.hh"
+
+#include "common/log.hh"
+#include "common/trace.hh"
+#include "mem/interconnect.hh"
+
+namespace vtsim {
+
+LdstUnit::LdstUnit(SmId sm_id, const GpuConfig &config, Interconnect &noc,
+                   LdstClient &client)
+    : smId_(sm_id), config_(config), noc_(noc), client_(client),
+      l1_(CacheParams{"sm" + std::to_string(sm_id) + ".l1d", config.l1Size,
+                      config.l1Assoc, config.l1LineSize, config.l1Mshrs,
+                      config.l1MshrTargets}),
+      stats_("sm" + std::to_string(sm_id) + ".ldst")
+{
+    stats_.addCounter("transactions", &transactions_,
+                      "coalesced global transactions");
+    stats_.addCounter("store_txns", &storeTxns_, "store transactions");
+    stats_.addCounter("atom_txns", &atomTxns_, "atomic transactions");
+    stats_.addCounter("bypass_txns", &bypassTxns_,
+                      "streaming loads routed around the L1");
+    stats_.addCounter("inject_stalls", &injectStalls_,
+                      "cycles the inject queue head was rejected");
+    stats_.addScalar("mlp", &mlp_,
+                     "outstanding off-chip loads sampled per cycle");
+    stats_.addScalar("queue_wait", &queueWait_,
+                     "cycles a transaction waited to enter the L1/NoC");
+    stats_.addScalar("round_trip", &roundTrip_,
+                     "cycles from injection to completion");
+}
+
+bool
+LdstUnit::canAccept() const
+{
+    // Leave room for a fully diverged instruction (32 transactions).
+    return injectQueue_.size() + warpSize <= maxInjectQueue;
+}
+
+std::uint32_t
+LdstUnit::allocPending(VirtualCtaId vcta, std::uint32_t warp, RegIndex dst,
+                       std::uint32_t remaining)
+{
+    std::uint32_t idx;
+    if (!pendingFree_.empty()) {
+        idx = pendingFree_.back();
+        pendingFree_.pop_back();
+    } else {
+        idx = pendingSlab_.size();
+        pendingSlab_.emplace_back();
+    }
+    PendingWarpMem &p = pendingSlab_[idx];
+    p.vcta = vcta;
+    p.warpInCta = warp;
+    p.dst = dst;
+    p.remaining = remaining;
+    p.inUse = true;
+    return idx;
+}
+
+std::uint64_t
+LdstUnit::allocTransaction(const Transaction &t)
+{
+    std::uint64_t token;
+    if (!txnFree_.empty()) {
+        token = txnFree_.back();
+        txnFree_.pop_back();
+    } else {
+        token = txnSlab_.size();
+        txnSlab_.emplace_back();
+    }
+    txnSlab_[token] = t;
+    txnSlab_[token].inUse = true;
+    ++inFlight_;
+    return token;
+}
+
+void
+LdstUnit::issueGlobal(VirtualCtaId vcta, std::uint32_t warp_in_cta,
+                      const Instruction &inst,
+                      const std::vector<LaneAccess> &accesses)
+{
+    VTSIM_ASSERT(inst.isGlobalMem(), "issueGlobal with non-global op");
+    VTSIM_ASSERT(!accesses.empty(), "issueGlobal with no accesses");
+
+    const auto coalesced = coalesce(accesses, config_.l1LineSize);
+    transactions_ += coalesced.size();
+
+    MemAccessKind kind = MemAccessKind::Load;
+    if (inst.op == Opcode::STG)
+        kind = MemAccessKind::Store;
+    else if (inst.op == Opcode::ATOMG_ADD)
+        kind = MemAccessKind::Atomic;
+
+    const bool bypass = kind == MemAccessKind::Load &&
+                        (config_.l1BypassGlobalLoads ||
+                         inst.cacheOp == CacheOp::Streaming);
+
+    std::uint32_t pending_idx = 0;
+    if (kind != MemAccessKind::Store) {
+        pending_idx = allocPending(vcta, warp_in_cta, inst.dst,
+                                   coalesced.size());
+    }
+
+    for (const auto &ca : coalesced) {
+        Transaction t;
+        t.pendingIdx = pending_idx;
+        t.lineAddr = ca.lineAddr;
+        t.bytes = ca.bytes;
+        t.kind = kind;
+        t.bypassL1 = bypass;
+        t.createdAt = now_;
+        injectQueue_.push_back(allocTransaction(t));
+        if (kind == MemAccessKind::Store)
+            ++storeTxns_;
+        else if (kind == MemAccessKind::Atomic)
+            ++atomTxns_;
+    }
+}
+
+void
+LdstUnit::markOffChip(std::uint64_t token)
+{
+    Transaction &t = txnSlab_[token];
+    VTSIM_ASSERT(!t.offChip, "transaction already off-chip");
+    t.offChip = true;
+    ++offChipOutstanding_;
+    const PendingWarpMem &p = pendingSlab_[t.pendingIdx];
+    client_.offChipIssued(p.vcta, p.warpInCta);
+}
+
+bool
+LdstUnit::injectOne(Cycle now)
+{
+    if (injectQueue_.empty())
+        return false;
+    const std::uint64_t token = injectQueue_.front();
+    Transaction &t = txnSlab_[token];
+    t.injectedAt = now;
+    queueWait_.sample(static_cast<double>(now - t.createdAt));
+
+    if (t.kind == MemAccessKind::Store) {
+        // Write-through, no allocate, no response.
+        l1_.storeAccess(t.lineAddr);
+        MemRequest req;
+        req.lineAddr = t.lineAddr;
+        req.bytes = t.bytes;
+        req.kind = MemAccessKind::Store;
+        req.srcSm = smId_;
+        noc_.sendRequest(req, now);
+        injectQueue_.pop_front();
+        // Stores carry no pending entry; retire the transaction now.
+        t.inUse = false;
+        txnFree_.push_back(token);
+        --inFlight_;
+        return true;
+    }
+
+    if (t.kind == MemAccessKind::Atomic) {
+        // Atomics are performed at the L2: bypass the L1 entirely.
+        MemRequest req;
+        req.lineAddr = t.lineAddr;
+        req.bytes = t.bytes;
+        req.kind = MemAccessKind::Atomic;
+        req.srcSm = smId_;
+        req.sink = this;
+        req.token = token;
+        markOffChip(token);
+        noc_.sendRequest(req, now);
+        injectQueue_.pop_front();
+        return true;
+    }
+
+    if (t.kind == MemAccessKind::Load && t.bypassL1) {
+        // Streaming load: straight to the L2, no L1 allocation.
+        MemRequest req;
+        req.lineAddr = t.lineAddr;
+        req.bytes = t.bytes;
+        req.kind = MemAccessKind::Load;
+        req.srcSm = smId_;
+        req.sink = this;
+        req.token = token;
+        markOffChip(token);
+        ++bypassTxns_;
+        noc_.sendRequest(req, now);
+        injectQueue_.pop_front();
+        return true;
+    }
+
+    // Load: try the L1.
+    MemRequest probe;
+    probe.lineAddr = t.lineAddr;
+    probe.bytes = t.bytes;
+    probe.kind = MemAccessKind::Load;
+    probe.srcSm = smId_;
+    probe.sink = this;
+    probe.token = token;
+
+    switch (l1_.access(probe)) {
+      case CacheOutcome::Hit:
+        VTSIM_TRACE(TraceFlag::Mem, now, stats_.name(), "L1 hit line 0x",
+                    std::hex, t.lineAddr);
+        hitPending_.push({now + config_.l1HitLatency, token});
+        injectQueue_.pop_front();
+        return true;
+      case CacheOutcome::MissNew: {
+        VTSIM_TRACE(TraceFlag::Mem, now, stats_.name(),
+                    "L1 miss line 0x", std::hex, t.lineAddr);
+        t.throughL1 = true;
+        markOffChip(token);
+        MemRequest req = probe;
+        req.bytes = config_.l1LineSize; // Fetch the whole line.
+        noc_.sendRequest(req, now);
+        injectQueue_.pop_front();
+        return true;
+      }
+      case CacheOutcome::MissMerged:
+        // Parked in the MSHR; completes when the fill arrives.
+        markOffChip(token);
+        injectQueue_.pop_front();
+        return true;
+      case CacheOutcome::RejectMshrFull:
+      case CacheOutcome::RejectTargets:
+        ++injectStalls_;
+        return false; // Head stays; retry next cycle.
+    }
+    return false;
+}
+
+void
+LdstUnit::tick(Cycle now)
+{
+    now_ = now;
+    mlp_.sample(offChipOutstanding_);
+    while (!hitPending_.empty() && hitPending_.top().readyAt <= now) {
+        const std::uint64_t token = hitPending_.top().token;
+        hitPending_.pop();
+        completeTransaction(token);
+    }
+    for (std::uint32_t i = 0; i < config_.ldstThroughputPerSm; ++i) {
+        if (!injectOne(now))
+            break;
+    }
+}
+
+void
+LdstUnit::memResponse(std::uint64_t token)
+{
+    VTSIM_ASSERT(token < txnSlab_.size() && txnSlab_[token].inUse,
+                 "response for unknown transaction ", token);
+    Transaction &t = txnSlab_[token];
+    if (t.throughL1) {
+        // This response is a line fill: complete every merged waiter.
+        // The L1 is write-through, so evicted victims are never dirty.
+        const Addr line = t.lineAddr;
+        for (const MemRequest &target : l1_.fill(line).targets)
+            completeTransaction(target.token);
+    } else {
+        completeTransaction(token);
+    }
+}
+
+void
+LdstUnit::completeTransaction(std::uint64_t token)
+{
+    Transaction &t = txnSlab_[token];
+    VTSIM_ASSERT(t.inUse, "double completion of transaction ", token);
+    PendingWarpMem &p = pendingSlab_[t.pendingIdx];
+    VTSIM_ASSERT(p.inUse, "completion for retired warp-mem entry");
+
+    if (t.offChip) {
+        VTSIM_ASSERT(offChipOutstanding_ > 0, "off-chip underflow");
+        --offChipOutstanding_;
+        roundTrip_.sample(static_cast<double>(now_ - t.injectedAt));
+        client_.offChipReturned(p.vcta, p.warpInCta);
+    }
+
+    t.inUse = false;
+    txnFree_.push_back(token);
+    --inFlight_;
+
+    VTSIM_ASSERT(p.remaining > 0, "warp-mem remaining underflow");
+    if (--p.remaining == 0) {
+        client_.loadComplete(p.vcta, p.warpInCta, p.dst);
+        p.inUse = false;
+        pendingFree_.push_back(t.pendingIdx);
+    }
+}
+
+bool
+LdstUnit::idle() const
+{
+    return injectQueue_.empty() && inFlight_ == 0 && hitPending_.empty();
+}
+
+} // namespace vtsim

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The SM's load/store unit: coalesced global transactions through the L1
+ * (with MSHR merging), write-through stores, L1-bypassing atomics, and
+ * the completion plumbing that clears warp scoreboards. Off-chip
+ * transaction tracking here produces the "long-latency stall" signal the
+ * Virtual Thread swap trigger consumes.
+ */
+
+#ifndef VTSIM_SM_LDST_UNIT_HH
+#define VTSIM_SM_LDST_UNIT_HH
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "func/exec_context.hh"
+#include "mem/cache.hh"
+#include "mem/coalescer.hh"
+#include "mem/mem_request.hh"
+
+namespace vtsim {
+
+class Interconnect;
+
+/** Callbacks from the LDST unit into the SM core. */
+class LdstClient
+{
+  public:
+    virtual ~LdstClient() = default;
+
+    /** Every transaction of a warp load completed: clear its dst. */
+    virtual void loadComplete(VirtualCtaId vcta, std::uint32_t warp_in_cta,
+                              RegIndex dst) = 0;
+
+    /** A transaction of this warp left the SM (post-L1). */
+    virtual void offChipIssued(VirtualCtaId vcta,
+                               std::uint32_t warp_in_cta) = 0;
+
+    /** A previously off-chip transaction of this warp returned. */
+    virtual void offChipReturned(VirtualCtaId vcta,
+                                 std::uint32_t warp_in_cta) = 0;
+};
+
+class LdstUnit : public MemResponseSink
+{
+  public:
+    LdstUnit(SmId sm_id, const GpuConfig &config, Interconnect &noc,
+             LdstClient &client);
+
+    /** Room for one more warp memory instruction's transactions? */
+    bool canAccept() const;
+
+    /**
+     * Accept one warp global-memory instruction (already functionally
+     * executed). Coalesces into line transactions and queues them.
+     * The SM must have reserved @p inst.dst beforehand for loads.
+     */
+    void issueGlobal(VirtualCtaId vcta, std::uint32_t warp_in_cta,
+                     const Instruction &inst,
+                     const std::vector<LaneAccess> &accesses);
+
+    /** Drive injections and L1-hit completions for cycle @p now. */
+    void tick(Cycle now);
+
+    /** Interconnect response delivery. */
+    void memResponse(std::uint64_t token) override;
+
+    /** No transactions queued or in flight. */
+    bool idle() const;
+
+    Cache &l1() { return l1_; }
+    const Cache &l1() const { return l1_; }
+
+    /** Coalesced transactions generated (stat). */
+    std::uint64_t transactions() const { return transactions_.value(); }
+
+    /** Mean outstanding off-chip loads per cycle (memory parallelism). */
+    double meanMlp() const { return mlp_.mean(); }
+    double meanQueueWait() const { return queueWait_.mean(); }
+    double meanRoundTrip() const { return roundTrip_.mean(); }
+    StatGroup &stats() { return stats_; }
+
+    /** Invalidate L1 (kernel boundary). */
+    void flushCaches() { l1_.flush(); }
+
+  private:
+    /** One warp memory instruction awaiting its transactions. */
+    struct PendingWarpMem
+    {
+        VirtualCtaId vcta = invalidId;
+        std::uint32_t warpInCta = 0;
+        RegIndex dst = noReg;
+        std::uint32_t remaining = 0;
+        bool inUse = false;
+    };
+
+    /** One line transaction in flight. */
+    struct Transaction
+    {
+        std::uint32_t pendingIdx = 0;
+        Addr lineAddr = 0;
+        std::uint32_t bytes = 0;
+        MemAccessKind kind = MemAccessKind::Load;
+        bool bypassL1 = false;  ///< Streaming (.cg) load: skip the L1.
+        bool throughL1 = false; ///< Response must fill our L1.
+        bool offChip = false;   ///< Counted in the warp's off-chip total.
+        bool inUse = false;
+        Cycle createdAt = 0;    ///< When the warp instruction issued.
+        Cycle injectedAt = 0;   ///< When it entered the L1/NoC.
+    };
+
+    std::uint32_t allocPending(VirtualCtaId vcta, std::uint32_t warp,
+                               RegIndex dst, std::uint32_t remaining);
+    std::uint64_t allocTransaction(const Transaction &t);
+    void completeTransaction(std::uint64_t token);
+    void markOffChip(std::uint64_t token);
+    bool injectOne(Cycle now);
+
+    SmId smId_;
+    const GpuConfig &config_;
+    Interconnect &noc_;
+    LdstClient &client_;
+    Cache l1_;
+
+    std::vector<PendingWarpMem> pendingSlab_;
+    std::vector<std::uint32_t> pendingFree_;
+    std::vector<Transaction> txnSlab_;
+    std::vector<std::uint64_t> txnFree_;
+
+    /** Transactions waiting to enter the L1 / NoC, in order. */
+    std::deque<std::uint64_t> injectQueue_;
+    static constexpr std::size_t maxInjectQueue = 64;
+
+    /** L1-hit completions scheduled for the future. */
+    struct HitCompletion
+    {
+        Cycle readyAt;
+        std::uint64_t token;
+        bool operator>(const HitCompletion &o) const
+        { return readyAt > o.readyAt; }
+    };
+    std::priority_queue<HitCompletion, std::vector<HitCompletion>,
+                        std::greater<>> hitPending_;
+
+    Cycle now_ = 0;
+    std::uint32_t inFlight_ = 0; ///< Live transactions (all kinds).
+    std::uint32_t offChipOutstanding_ = 0; ///< Post-L1 loads in flight.
+
+    StatGroup stats_;
+    Counter transactions_;
+    Counter storeTxns_;
+    Counter atomTxns_;
+    Counter bypassTxns_;
+    Counter injectStalls_;
+    ScalarStat mlp_; ///< Outstanding off-chip loads, sampled per cycle.
+    ScalarStat queueWait_;   ///< Cycles from creation to injection.
+    ScalarStat roundTrip_;   ///< Cycles from injection to completion.
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_SM_LDST_UNIT_HH

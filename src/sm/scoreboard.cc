@@ -1,0 +1,56 @@
+#include "sm/scoreboard.hh"
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+void
+Scoreboard::reset(std::uint32_t num_regs)
+{
+    pending_.assign(num_regs, false);
+    pendingLong_.assign(num_regs, false);
+    pendingCount_ = 0;
+    pendingLongCount_ = 0;
+}
+
+bool
+Scoreboard::hasHazard(const Instruction &inst) const
+{
+    if (pendingCount_ == 0)
+        return false;
+    if (inst.dst != noReg && pending_[inst.dst])
+        return true; // WAW
+    for (RegIndex src : inst.src) {
+        if (src != noReg && pending_[src])
+            return true; // RAW
+    }
+    return false;
+}
+
+void
+Scoreboard::reserve(RegIndex reg, bool long_latency)
+{
+    VTSIM_ASSERT(reg < pending_.size(), "scoreboard reserve out of range");
+    VTSIM_ASSERT(!pending_[reg], "double reserve of r", reg);
+    pending_[reg] = true;
+    ++pendingCount_;
+    if (long_latency) {
+        pendingLong_[reg] = true;
+        ++pendingLongCount_;
+    }
+}
+
+void
+Scoreboard::release(RegIndex reg)
+{
+    VTSIM_ASSERT(reg < pending_.size(), "scoreboard release out of range");
+    VTSIM_ASSERT(pending_[reg], "release of idle r", reg);
+    pending_[reg] = false;
+    --pendingCount_;
+    if (pendingLong_[reg]) {
+        pendingLong_[reg] = false;
+        --pendingLongCount_;
+    }
+}
+
+} // namespace vtsim

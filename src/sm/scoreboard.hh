@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-warp register scoreboard. Tracks which destination registers have a
+ * write in flight, and which of those writes come from long-latency
+ * (global memory) operations — the signal the Virtual Thread swap trigger
+ * reads.
+ */
+
+#ifndef VTSIM_SM_SCOREBOARD_HH
+#define VTSIM_SM_SCOREBOARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace vtsim {
+
+class Scoreboard
+{
+  public:
+    /** Size for @p num_regs architectural registers. */
+    void reset(std::uint32_t num_regs);
+
+    /** True when @p inst has a RAW or WAW hazard against pending writes. */
+    bool hasHazard(const Instruction &inst) const;
+
+    /** Mark @p reg as having a write in flight. */
+    void reserve(RegIndex reg, bool long_latency);
+
+    /** The in-flight write to @p reg completed. */
+    void release(RegIndex reg);
+
+    bool pending(RegIndex reg) const { return pending_[reg]; }
+    bool pendingLong(RegIndex reg) const { return pendingLong_[reg]; }
+
+    /** Number of registers with any write in flight. */
+    std::uint32_t pendingCount() const { return pendingCount_; }
+
+    /** Number of registers with a long-latency write in flight. */
+    std::uint32_t pendingLongCount() const { return pendingLongCount_; }
+
+  private:
+    std::vector<bool> pending_;
+    std::vector<bool> pendingLong_;
+    std::uint32_t pendingCount_ = 0;
+    std::uint32_t pendingLongCount_ = 0;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_SM_SCOREBOARD_HH

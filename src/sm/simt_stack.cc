@@ -1,0 +1,104 @@
+#include "sm/simt_stack.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+void
+SimtStack::reset(ActiveMask initial, Pc entry_pc)
+{
+    stack_.clear();
+    if (initial.any())
+        stack_.push_back({entry_pc, invalidPc, initial});
+    maxDepth_ = stack_.size();
+}
+
+Pc
+SimtStack::pc() const
+{
+    VTSIM_ASSERT(!stack_.empty(), "pc() on finished warp");
+    return stack_.back().pc;
+}
+
+ActiveMask
+SimtStack::activeMask() const
+{
+    VTSIM_ASSERT(!stack_.empty(), "activeMask() on finished warp");
+    return stack_.back().mask;
+}
+
+void
+SimtStack::popReconverged()
+{
+    while (!stack_.empty()) {
+        const Entry &top = stack_.back();
+        if (top.reconvergePc == invalidPc || top.pc != top.reconvergePc)
+            break;
+        stack_.pop_back();
+        VTSIM_ASSERT(!stack_.empty(),
+                     "bottom frame must never carry a reconvergence pc");
+    }
+}
+
+void
+SimtStack::advance()
+{
+    VTSIM_ASSERT(!stack_.empty(), "advance() on finished warp");
+    ++stack_.back().pc;
+    popReconverged();
+}
+
+void
+SimtStack::branch(const Instruction &inst, Pc branch_pc, ActiveMask taken)
+{
+    VTSIM_ASSERT(!stack_.empty(), "branch() on finished warp");
+    VTSIM_ASSERT(inst.isBranch(), "branch() with non-branch instruction");
+    Entry &top = stack_.back();
+    VTSIM_ASSERT(top.pc == branch_pc, "branch pc mismatch");
+    const ActiveMask active = top.mask;
+    VTSIM_ASSERT((taken & ~active).empty(),
+                 "taken lanes outside active mask");
+
+    const ActiveMask not_taken = active.minus(taken);
+    if (not_taken.empty()) {
+        // Uniformly taken.
+        top.pc = inst.branchTarget;
+        popReconverged();
+        return;
+    }
+    if (taken.empty()) {
+        // Uniformly not taken.
+        top.pc = branch_pc + 1;
+        popReconverged();
+        return;
+    }
+
+    // Divergence: current frame becomes the reconvergence frame; the two
+    // sides execute in turn (taken side first, being pushed last).
+    const Pc rpc = inst.reconvergePc;
+    top.pc = rpc;
+    stack_.push_back({branch_pc + 1, rpc, not_taken});
+    stack_.push_back({inst.branchTarget, rpc, taken});
+    maxDepth_ = std::max<std::uint32_t>(maxDepth_, stack_.size());
+    popReconverged(); // Handles degenerate branches targeting their rpc.
+}
+
+void
+SimtStack::exitActiveLanes()
+{
+    VTSIM_ASSERT(!stack_.empty(), "exitActiveLanes() on finished warp");
+    const ActiveMask exiting = stack_.back().mask;
+    for (Entry &entry : stack_)
+        entry.mask &= ~exiting;
+    while (!stack_.empty() && stack_.back().mask.empty())
+        stack_.pop_back();
+    // Non-top frames with empty masks would be a stack-discipline bug:
+    // lanes lower in the stack are supersets of those above.
+    for (const Entry &entry : stack_)
+        VTSIM_ASSERT(entry.mask.any(), "empty interior SIMT frame");
+    popReconverged();
+}
+
+} // namespace vtsim

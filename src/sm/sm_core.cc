@@ -1,0 +1,451 @@
+#include "sm/sm_core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/trace.hh"
+#include "isa/disassembler.hh"
+#include "func/global_memory.hh"
+
+namespace vtsim {
+
+SmCore::SmCore(SmId id, const GpuConfig &config, Interconnect &noc)
+    : id_(id), config_(config), ldst_(id, config, noc, *this),
+      shmem_(config.sharedMemLatency, "sm" + std::to_string(id) + ".shmem"),
+      vt_(config, *this, id),
+      stats_("sm" + std::to_string(id))
+{
+    for (std::uint32_t s = 0; s < config.numSchedulers; ++s) {
+        // Two-level active set: a quarter of the warp slots per scheduler.
+        const std::uint32_t active_set =
+            std::max(1u, config.effMaxWarpsPerSm() /
+                             (4 * config.numSchedulers));
+        schedulers_.push_back(
+            WarpScheduler::create(config.schedulerPolicy, active_set));
+    }
+    stats_.addCounter("instructions", &instructionsIssued_,
+                      "warp instructions issued");
+    stats_.addCounter("thread_instructions", &threadInstructions_,
+                      "per-thread instructions (mask population)");
+    stats_.addCounter("ctas_completed", &ctasCompleted_, "CTAs retired");
+    if (config.throttleEnabled) {
+        ThrottleParams tp;
+        tp.epochCycles = config.throttleEpochCycles;
+        tp.highWater = config.throttleHighWater;
+        tp.lowWater = config.throttleLowWater;
+        throttler_ = std::make_unique<CtaThrottler>(
+            tp, config.effMaxCtasPerSm(), id);
+    }
+}
+
+void
+SmCore::launchKernel(const Kernel &kernel, const LaunchParams &launch,
+                     GlobalMemory &gmem)
+{
+    VTSIM_ASSERT(residentCount_ == 0, "kernel launch with CTAs resident");
+    kernel_ = &kernel;
+    launch_ = &launch;
+    gmem_ = &gmem;
+
+    const std::uint32_t warps_per_cta = launch.warpsPerCta();
+    const std::uint32_t regs_per_warp =
+        roundUp(std::uint64_t(kernel.regsPerThread()) * warpSize,
+                config_.regAllocGranularity);
+    CtaFootprint fp;
+    fp.warpsPerCta = warps_per_cta;
+    fp.threadsPerCta = launch.threadsPerCta();
+    fp.regsPerCta = warps_per_cta * regs_per_warp;
+    fp.sharedPerCta = roundUp(kernel.sharedBytesPerCta(),
+                              config_.sharedAllocGranularity);
+
+    if (fp.warpsPerCta > config_.effMaxWarpsPerSm() ||
+        fp.threadsPerCta > config_.effMaxThreadsPerSm()) {
+        VTSIM_FATAL("CTA shape of kernel '", kernel.name(),
+                    "' exceeds the SM scheduling limit");
+    }
+    if (fp.regsPerCta > config_.registersPerSm ||
+        fp.sharedPerCta > config_.sharedMemPerSm) {
+        VTSIM_FATAL("one CTA of kernel '", kernel.name(),
+                    "' exceeds the SM capacity limit");
+    }
+    vt_.configureKernel(fp);
+}
+
+bool
+SmCore::canAdmitCta() const
+{
+    return kernel_ != nullptr && vt_.canAdmit();
+}
+
+void
+SmCore::admitCta(const CtaAssignment &assignment, Cycle now)
+{
+    VTSIM_ASSERT(canAdmitCta(), "admitCta without canAdmitCta");
+
+    VirtualCtaId slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = ctas_.size();
+        ctas_.emplace_back();
+    }
+
+    VirtualCta &cta = ctas_[slot];
+    cta.valid = true;
+    cta.age = nextCtaAge_++;
+    const std::uint32_t tpc = launch_->threadsPerCta();
+    cta.func.init(assignment.linearId, assignment.idx, tpc,
+                  kernel_->regsPerThread(), kernel_->sharedBytesPerCta());
+
+    const std::uint32_t warps = launch_->warpsPerCta();
+    cta.warps.assign(warps, WarpContext());
+    cta.warpsAlive = warps;
+    for (std::uint32_t w = 0; w < warps; ++w) {
+        const std::uint32_t first = w * warpSize;
+        const std::uint32_t live = std::min(warpSize, tpc - first);
+        cta.warps[w].init(slot, w, ActiveMask::firstLanes(live),
+                          kernel_->regsPerThread());
+    }
+
+    ++residentCount_;
+    barriers_.ctaLaunched(slot);
+    vt_.onAdmit(slot, now);
+}
+
+bool
+SmCore::warpCanIssueLocal(const WarpContext &warp, Cycle now,
+                          bool ignore_structural) const
+{
+    if (warp.done() || warp.atBarrier() || warp.readyAt() > now)
+        return false;
+    const Instruction &inst = kernel_->at(warp.stack().pc());
+    if (inst.isExit() && warp.scoreboard().pendingCount() > 0)
+        return false; // Retire only with all writes landed.
+    if (warp.scoreboard().hasHazard(inst))
+        return false;
+    if (!ignore_structural) {
+        if (inst.isGlobalMem() && !ldst_.canAccept())
+            return false;
+        if (inst.isSharedMem() && !shmem_.canAccept(now))
+            return false;
+    }
+    return true;
+}
+
+bool
+SmCore::budgetAllows(const Instruction &inst,
+                     const IssueBudgets &budgets) const
+{
+    switch (inst.funcUnit()) {
+      case FuncUnit::Alu: return budgets.alu > 0;
+      case FuncUnit::Sfu: return budgets.sfu > 0;
+      case FuncUnit::Mem: return budgets.mem > 0;
+      case FuncUnit::Control: return true;
+    }
+    return false;
+}
+
+void
+SmCore::chargeBudget(const Instruction &inst, IssueBudgets &budgets) const
+{
+    switch (inst.funcUnit()) {
+      case FuncUnit::Alu: --budgets.alu; break;
+      case FuncUnit::Sfu: --budgets.sfu; break;
+      case FuncUnit::Mem: --budgets.mem; break;
+      case FuncUnit::Control: break;
+    }
+}
+
+void
+SmCore::tick(Cycle now)
+{
+    now_ = now;
+
+    // 1. Memory completions (unblocks warps for this cycle's issue).
+    ldst_.tick(now);
+
+    // 2. ALU/SFU/shared writebacks that mature this cycle.
+    while (!wbQueue_.empty() && wbQueue_.top().at <= now) {
+        const Writeback wb = wbQueue_.top();
+        wbQueue_.pop();
+        ctas_[wb.vcta].warps[wb.warpInCta].scoreboard().release(wb.reg);
+    }
+
+    // 3. Virtual Thread state machine: swap completions and decisions,
+    //    based on the state warps are in *before* this cycle's issue.
+    vt_.tick(now);
+
+    // 4. Issue: each scheduler picks one warp among its ready ones.
+    const StallBreakdown before_issue = stalls_;
+    IssueBudgets budgets{config_.aluThroughputPerSm,
+                         config_.sfuThroughputPerSm,
+                         config_.ldstThroughputPerSm};
+    for (std::uint32_t s = 0; s < config_.numSchedulers; ++s) {
+        std::vector<WarpCandidate> cands;
+        std::vector<std::pair<VirtualCtaId, std::uint32_t>> refs;
+        for (VirtualCtaId slot = 0; slot < ctas_.size(); ++slot) {
+            VirtualCta &cta = ctas_[slot];
+            if (!cta.valid || !vt_.isIssuable(slot))
+                continue;
+            for (std::uint32_t w = 0; w < cta.warps.size(); ++w) {
+                if ((cta.age * cta.warps.size() + w) %
+                        config_.numSchedulers != s) {
+                    continue;
+                }
+                WarpContext &warp = cta.warps[w];
+                if (!warpCanIssueLocal(warp, now))
+                    continue;
+                if (!budgetAllows(kernel_->at(warp.stack().pc()), budgets))
+                    continue;
+                const std::uint64_t key = cta.age * 256 + w;
+                cands.push_back({key, key});
+                refs.emplace_back(slot, w);
+            }
+        }
+        if (cands.empty()) {
+            classifyStall(s, now);
+            continue;
+        }
+        const std::size_t chosen = schedulers_[s]->pick(cands);
+        const auto [slot, w] = refs.at(chosen);
+        VirtualCta &cta = ctas_[slot];
+        chargeBudget(kernel_->at(cta.warps[w].stack().pc()), budgets);
+        ++stalls_.issued;
+        issueWarp(cta, slot, cta.warps[w], now);
+    }
+
+    // 5. DYNCTA-style throttling: feed this cycle's observation into the
+    //    epoch machinery and apply the (possibly new) active-CTA cap.
+    if (throttler_) {
+        const bool issued = stalls_.issued != before_issue.issued;
+        const bool mem = stalls_.memStall != before_issue.memStall;
+        throttler_->sample(issued, !issued && mem);
+        vt_.setActiveCap(throttler_->cap());
+    }
+}
+
+void
+SmCore::classifyStall(std::uint32_t scheduler, Cycle now)
+{
+    // Nothing issued from this scheduler slot: attribute the bubble.
+    bool any_warp = false;
+    bool any_frozen = false;
+    bool any_mem_blocked = false;
+    bool all_barrier = true;
+    for (VirtualCtaId slot = 0; slot < ctas_.size(); ++slot) {
+        const VirtualCta &cta = ctas_[slot];
+        if (!cta.valid)
+            continue;
+        const bool frozen = !vt_.isIssuable(slot);
+        for (std::uint32_t w = 0; w < cta.warps.size(); ++w) {
+            if ((cta.age * cta.warps.size() + w) %
+                    config_.numSchedulers != scheduler) {
+                continue;
+            }
+            const WarpContext &warp = cta.warps[w];
+            if (warp.done())
+                continue;
+            any_warp = true;
+            if (frozen) {
+                any_frozen = true;
+                continue;
+            }
+            if (!warp.atBarrier())
+                all_barrier = false;
+            if (warp.pendingOffChip() > 0 && !warpCanIssueLocal(warp, now))
+                any_mem_blocked = true;
+        }
+    }
+    if (!any_warp)
+        ++stalls_.idle;
+    else if (any_mem_blocked)
+        ++stalls_.memStall;
+    else if (all_barrier && !any_frozen)
+        ++stalls_.barrierStall;
+    else if (any_frozen)
+        ++stalls_.swapStall;
+    else
+        ++stalls_.shortStall;
+}
+
+void
+SmCore::issueWarp(VirtualCta &cta, VirtualCtaId slot, WarpContext &warp,
+                  Cycle now)
+{
+    const Pc pc = warp.stack().pc();
+    const Instruction &inst = kernel_->at(pc);
+    const ActiveMask mask = warp.stack().activeMask();
+
+    VTSIM_TRACE(TraceFlag::Issue, now, stats_.name(), "cta ", slot, " w",
+                warp.warpInCta(), " pc ", pc, " [",
+                mask.count(), " lanes] ", disassemble(inst));
+    ExecResult res = execute(inst, warp.warpInCta(), mask, cta.func,
+                             *gmem_, *launch_);
+    warp.countIssue();
+    ++instructionsIssued_;
+    threadInstructions_ += mask.count();
+    warp.setReadyAt(now + 1);
+
+    switch (inst.funcUnit()) {
+      case FuncUnit::Control:
+        if (inst.isBranch()) {
+            warp.stack().branch(inst, pc, res.branchTaken);
+            maxSimtDepth_ = std::max(maxSimtDepth_,
+                                     warp.stack().maxDepth());
+        } else if (inst.isBarrier()) {
+            warp.stack().advance();
+            warp.setAtBarrier(true);
+            barriers_.arrive(slot, warp.warpInCta());
+            maybeReleaseBarrier(slot, now);
+        } else { // EXIT
+            warp.stack().exitActiveLanes();
+            if (warp.done()) {
+                VTSIM_ASSERT(cta.warpsAlive > 0, "alive underflow");
+                --cta.warpsAlive;
+                if (cta.warpsAlive == 0)
+                    finishCta(slot, now);
+                else
+                    maybeReleaseBarrier(slot, now);
+            }
+        }
+        break;
+
+      case FuncUnit::Alu:
+      case FuncUnit::Sfu: {
+        const std::uint32_t latency = inst.funcUnit() == FuncUnit::Sfu
+                                          ? config_.sfuLatency
+                                          : config_.aluLatency;
+        if (inst.hasDst()) {
+            warp.scoreboard().reserve(inst.dst, false);
+            wbQueue_.push({now + latency, slot, warp.warpInCta(),
+                           inst.dst});
+        }
+        warp.stack().advance();
+        break;
+      }
+
+      case FuncUnit::Mem:
+        if (inst.isSharedMem()) {
+            std::uint32_t passes =
+                sharedMemPasses(res.sharedAccesses,
+                                config_.sharedMemBanks);
+            if (passes == 0)
+                passes = 1;
+            const Cycle done = shmem_.access(passes, now);
+            if (inst.hasDst()) {
+                warp.scoreboard().reserve(inst.dst, false);
+                wbQueue_.push({done, slot, warp.warpInCta(), inst.dst});
+            }
+        } else if (!res.globalAccesses.empty()) {
+            if (inst.hasDst())
+                warp.scoreboard().reserve(inst.dst, true);
+            ldst_.issueGlobal(slot, warp.warpInCta(), inst,
+                              res.globalAccesses);
+        }
+        warp.stack().advance();
+        break;
+    }
+}
+
+void
+SmCore::maybeReleaseBarrier(VirtualCtaId slot, Cycle now)
+{
+    VirtualCta &cta = ctas_[slot];
+    if (!barriers_.shouldRelease(slot, cta.warpsAlive))
+        return;
+    for (std::uint32_t w : barriers_.release(slot)) {
+        cta.warps[w].setAtBarrier(false);
+        cta.warps[w].setReadyAt(now + 1);
+    }
+}
+
+void
+SmCore::finishCta(VirtualCtaId slot, Cycle now)
+{
+    VirtualCta &cta = ctas_[slot];
+    for (const WarpContext &warp : cta.warps) {
+        VTSIM_ASSERT(warp.pendingOffChip() == 0,
+                     "CTA retired with off-chip transactions in flight");
+        maxSimtDepth_ = std::max(maxSimtDepth_, warp.stack().maxDepth());
+    }
+    vt_.onCtaFinished(slot, now);
+    barriers_.ctaFinished(slot);
+    cta.valid = false;
+    cta.warps.clear();
+    freeSlots_.push_back(slot);
+    VTSIM_ASSERT(residentCount_ > 0, "resident underflow");
+    --residentCount_;
+    ++ctasCompleted_;
+}
+
+bool
+SmCore::idle() const
+{
+    return residentCount_ == 0 && ldst_.idle() && wbQueue_.empty();
+}
+
+void
+SmCore::loadComplete(VirtualCtaId vcta, std::uint32_t warp_in_cta,
+                     RegIndex dst)
+{
+    VTSIM_ASSERT(vcta < ctas_.size() && ctas_[vcta].valid,
+                 "load completion for retired CTA");
+    if (dst != noReg)
+        ctas_[vcta].warps[warp_in_cta].scoreboard().release(dst);
+}
+
+void
+SmCore::offChipIssued(VirtualCtaId vcta, std::uint32_t warp_in_cta)
+{
+    ctas_[vcta].warps[warp_in_cta].addOffChip();
+}
+
+void
+SmCore::offChipReturned(VirtualCtaId vcta, std::uint32_t warp_in_cta)
+{
+    ctas_[vcta].warps[warp_in_cta].removeOffChip();
+}
+
+bool
+SmCore::ctaFullyStalled(VirtualCtaId id) const
+{
+    const VirtualCta &cta = ctas_[id];
+    VTSIM_ASSERT(cta.valid, "query on retired CTA");
+    for (const WarpContext &warp : cta.warps) {
+        if (warp.done())
+            continue;
+        if (warpCanIssueLocal(warp, now_, true))
+            return false;
+    }
+    return true;
+}
+
+bool
+SmCore::ctaAnyWarpLongStalled(VirtualCtaId id) const
+{
+    const VirtualCta &cta = ctas_[id];
+    VTSIM_ASSERT(cta.valid, "query on retired CTA");
+    for (const WarpContext &warp : cta.warps) {
+        if (warp.done())
+            continue;
+        if (warp.pendingOffChip() > 0 &&
+            !warpCanIssueLocal(warp, now_, true)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint32_t
+SmCore::ctaPendingOffChip(VirtualCtaId id) const
+{
+    const VirtualCta &cta = ctas_[id];
+    VTSIM_ASSERT(cta.valid, "query on retired CTA");
+    std::uint32_t total = 0;
+    for (const WarpContext &warp : cta.warps)
+        total += warp.pendingOffChip();
+    return total;
+}
+
+} // namespace vtsim

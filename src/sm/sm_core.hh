@@ -1,0 +1,175 @@
+/**
+ * @file
+ * One streaming multiprocessor: warp contexts grouped into virtual CTAs,
+ * warp schedulers, execution timing, the LDST unit, barriers, and the
+ * Virtual Thread manager that decides which CTAs may issue.
+ */
+
+#ifndef VTSIM_SM_SM_CORE_HH
+#define VTSIM_SM_SM_CORE_HH
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "core/virtual_thread.hh"
+#include "cta/cta_dispatcher.hh"
+#include "cta/cta_throttler.hh"
+#include "func/exec_context.hh"
+#include "isa/kernel.hh"
+#include "mem/shared_memory.hh"
+#include "sm/barrier_manager.hh"
+#include "sm/ldst_unit.hh"
+#include "sm/warp_context.hh"
+#include "sm/warp_scheduler.hh"
+#include "stats/stats.hh"
+
+namespace vtsim {
+
+class GlobalMemory;
+class Interconnect;
+
+/** Why a scheduler slot issued nothing in a cycle (FIG-8 breakdown). */
+struct StallBreakdown
+{
+    std::uint64_t issued = 0;       ///< Scheduler-cycles that issued.
+    std::uint64_t memStall = 0;     ///< Blocked on off-chip memory.
+    std::uint64_t shortStall = 0;   ///< Blocked on short dependences/ports.
+    std::uint64_t barrierStall = 0; ///< Everyone parked at a barrier.
+    std::uint64_t swapStall = 0;    ///< Only swap-frozen CTAs resident.
+    std::uint64_t idle = 0;         ///< No warps at all.
+};
+
+class SmCore : public LdstClient, public VtCtaQuery
+{
+  public:
+    SmCore(SmId id, const GpuConfig &config, Interconnect &noc);
+
+    /** Bind the kernel this SM will run (Gpu calls this at launch). */
+    void launchKernel(const Kernel &kernel, const LaunchParams &launch,
+                      GlobalMemory &gmem);
+
+    /** True when another CTA can be admitted right now. */
+    bool canAdmitCta() const;
+
+    /** Admit one CTA from the dispatcher. */
+    void admitCta(const CtaAssignment &assignment, Cycle now);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** No resident CTAs and no memory traffic in flight. */
+    bool idle() const;
+
+    /** Invalidate L1 (kernel boundary). */
+    void flushCaches() { ldst_.flushCaches(); }
+
+    SmId id() const { return id_; }
+    LdstUnit &ldst() { return ldst_; }
+    VirtualThreadManager &vt() { return vt_; }
+    const VirtualThreadManager &vt() const { return vt_; }
+    /** Null unless throttleEnabled. */
+    CtaThrottler *throttler() { return throttler_.get(); }
+
+    std::uint64_t instructionsIssued() const
+    { return instructionsIssued_.value(); }
+    std::uint64_t threadInstructions() const
+    { return threadInstructions_.value(); }
+    std::uint64_t ctasCompleted() const { return ctasCompleted_.value(); }
+    const StallBreakdown &stallBreakdown() const { return stalls_; }
+    std::uint32_t maxSimtDepthSeen() const { return maxSimtDepth_; }
+    StatGroup &stats() { return stats_; }
+
+    // --- LdstClient ---------------------------------------------------------
+    void loadComplete(VirtualCtaId vcta, std::uint32_t warp_in_cta,
+                      RegIndex dst) override;
+    void offChipIssued(VirtualCtaId vcta,
+                       std::uint32_t warp_in_cta) override;
+    void offChipReturned(VirtualCtaId vcta,
+                         std::uint32_t warp_in_cta) override;
+
+    // --- VtCtaQuery ---------------------------------------------------------
+    bool ctaFullyStalled(VirtualCtaId id) const override;
+    bool ctaAnyWarpLongStalled(VirtualCtaId id) const override;
+    std::uint32_t ctaPendingOffChip(VirtualCtaId id) const override;
+
+  private:
+    /** One resident (virtual) CTA: functional state + warp contexts. */
+    struct VirtualCta
+    {
+        bool valid = false;
+        std::uint64_t age = 0;
+        CtaFuncState func;
+        std::vector<WarpContext> warps;
+        std::uint32_t warpsAlive = 0;
+    };
+
+    /** Per-cycle structural budgets, reset each tick. */
+    struct IssueBudgets
+    {
+        std::uint32_t alu = 0;
+        std::uint32_t sfu = 0;
+        std::uint32_t mem = 0;
+    };
+
+    /**
+     * Warp-local issuability. With @p ignore_structural the per-SM port
+     * constraints (LDST queue space, shared-mem port) are ignored: the VT
+     * swap trigger must not mistake structural back-pressure — which
+     * clears in a few cycles — for a long-latency stall.
+     */
+    bool warpCanIssueLocal(const WarpContext &warp, Cycle now,
+                           bool ignore_structural = false) const;
+    bool budgetAllows(const Instruction &inst,
+                      const IssueBudgets &budgets) const;
+    void chargeBudget(const Instruction &inst, IssueBudgets &budgets) const;
+    void issueWarp(VirtualCta &cta, VirtualCtaId slot, WarpContext &warp,
+                   Cycle now);
+    void maybeReleaseBarrier(VirtualCtaId slot, Cycle now);
+    void finishCta(VirtualCtaId slot, Cycle now);
+    void classifyStall(std::uint32_t scheduler, Cycle now);
+
+    SmId id_;
+    const GpuConfig &config_;
+    const Kernel *kernel_ = nullptr;
+    const LaunchParams *launch_ = nullptr;
+    GlobalMemory *gmem_ = nullptr;
+
+    LdstUnit ldst_;
+    SharedMemoryModel shmem_;
+    BarrierManager barriers_;
+    VirtualThreadManager vt_;
+    std::unique_ptr<CtaThrottler> throttler_;
+
+    std::vector<VirtualCta> ctas_;
+    std::vector<VirtualCtaId> freeSlots_;
+    std::uint32_t residentCount_ = 0;
+    std::uint64_t nextCtaAge_ = 0;
+
+    std::vector<std::unique_ptr<WarpScheduler>> schedulers_;
+
+    struct Writeback
+    {
+        Cycle at;
+        VirtualCtaId vcta;
+        std::uint32_t warpInCta;
+        RegIndex reg;
+        bool operator>(const Writeback &o) const { return at > o.at; }
+    };
+    std::priority_queue<Writeback, std::vector<Writeback>,
+                        std::greater<>> wbQueue_;
+
+    Cycle now_ = 0;
+    std::uint32_t maxSimtDepth_ = 0;
+
+    StatGroup stats_;
+    Counter instructionsIssued_;
+    Counter threadInstructions_;
+    Counter ctasCompleted_;
+    StallBreakdown stalls_;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_SM_SM_CORE_HH

@@ -1,0 +1,29 @@
+#include "sm/warp_context.hh"
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+void
+WarpContext::init(VirtualCtaId vcta, std::uint32_t warp_in_cta,
+                  ActiveMask live_lanes, std::uint32_t num_regs)
+{
+    vcta_ = vcta;
+    warpInCta_ = warp_in_cta;
+    liveLanes_ = live_lanes;
+    stack_.reset(live_lanes);
+    scoreboard_.reset(num_regs);
+    atBarrier_ = false;
+    readyAt_ = 0;
+    pendingOffChip_ = 0;
+    issued_ = 0;
+}
+
+void
+WarpContext::removeOffChip()
+{
+    VTSIM_ASSERT(pendingOffChip_ > 0, "off-chip underflow");
+    --pendingOffChip_;
+}
+
+} // namespace vtsim

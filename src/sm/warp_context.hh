@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The scheduling state of one warp — exactly the state a Virtual Thread
+ * context switch saves and restores (PC / SIMT stack / scoreboard /
+ * barrier flag), as opposed to the capacity state (register values,
+ * shared memory) that stays put in CtaFuncState.
+ */
+
+#ifndef VTSIM_SM_WARP_CONTEXT_HH
+#define VTSIM_SM_WARP_CONTEXT_HH
+
+#include "common/active_mask.hh"
+#include "common/types.hh"
+#include "sm/scoreboard.hh"
+#include "sm/simt_stack.hh"
+
+namespace vtsim {
+
+class WarpContext
+{
+  public:
+    /** (Re)initialise for a fresh CTA launch. */
+    void init(VirtualCtaId vcta, std::uint32_t warp_in_cta,
+              ActiveMask live_lanes, std::uint32_t num_regs);
+
+    VirtualCtaId vcta() const { return vcta_; }
+    std::uint32_t warpInCta() const { return warpInCta_; }
+    ActiveMask liveLanes() const { return liveLanes_; }
+
+    SimtStack &stack() { return stack_; }
+    const SimtStack &stack() const { return stack_; }
+    Scoreboard &scoreboard() { return scoreboard_; }
+    const Scoreboard &scoreboard() const { return scoreboard_; }
+
+    bool done() const { return stack_.done(); }
+
+    // --- Barrier state ----------------------------------------------------
+    bool atBarrier() const { return atBarrier_; }
+    void setAtBarrier(bool v) { atBarrier_ = v; }
+
+    // --- Pipeline availability --------------------------------------------
+    /** Earliest cycle the warp may issue again (structural delay). */
+    Cycle readyAt() const { return readyAt_; }
+    void setReadyAt(Cycle c) { readyAt_ = c; }
+
+    // --- Long-latency tracking for the VT swap trigger ---------------------
+    /** Outstanding off-chip (post-L1) transactions of this warp. */
+    std::uint32_t pendingOffChip() const { return pendingOffChip_; }
+    void addOffChip() { ++pendingOffChip_; }
+    void removeOffChip();
+
+    /** Instructions this warp has issued (stat). */
+    std::uint64_t issued() const { return issued_; }
+    void countIssue() { ++issued_; }
+
+  private:
+    VirtualCtaId vcta_ = invalidId;
+    std::uint32_t warpInCta_ = 0;
+    ActiveMask liveLanes_;
+    SimtStack stack_;
+    Scoreboard scoreboard_;
+    bool atBarrier_ = false;
+    Cycle readyAt_ = 0;
+    std::uint32_t pendingOffChip_ = 0;
+    std::uint64_t issued_ = 0;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_SM_WARP_CONTEXT_HH

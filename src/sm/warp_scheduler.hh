@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Warp scheduling policies (LRR, GTO, two-level). A policy ranks the
+ * warps that are issuable this cycle; it holds no warp state of its own
+ * beyond the rotation/greed bookkeeping.
+ */
+
+#ifndef VTSIM_SM_WARP_SCHEDULER_HH
+#define VTSIM_SM_WARP_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/types.hh"
+#include "config/gpu_config.hh"
+
+namespace vtsim {
+
+/**
+ * A schedulable warp as the policy sees it. The key is unique and stable
+ * for the lifetime of the warp's CTA residency; age orders warps oldest
+ * first (CTA admission order, then warp index).
+ */
+struct WarpCandidate
+{
+    std::uint64_t key;  ///< Stable identity.
+    std::uint64_t age;  ///< Lower = older.
+};
+
+class WarpScheduler
+{
+  public:
+    virtual ~WarpScheduler() = default;
+
+    /**
+     * Choose among @p candidates (nonempty, deterministic order).
+     * @return Index into @p candidates.
+     */
+    virtual std::size_t pick(const std::vector<WarpCandidate> &candidates)
+        = 0;
+
+    /** Factory for the configured policy. */
+    static std::unique_ptr<WarpScheduler> create(SchedulerPolicy policy,
+                                                 std::uint32_t active_set);
+};
+
+/** Loose round-robin: rotate fairly through issuable warps. */
+class LrrScheduler : public WarpScheduler
+{
+  public:
+    std::size_t pick(const std::vector<WarpCandidate> &candidates) override;
+
+  private:
+    std::uint64_t lastKey_ = 0;
+};
+
+/** Greedy-then-oldest: stay on the same warp until it stalls, then take
+ *  the oldest ready warp. */
+class GtoScheduler : public WarpScheduler
+{
+  public:
+    std::size_t pick(const std::vector<WarpCandidate> &candidates) override;
+
+  private:
+    std::uint64_t greedyKey_ = ~0ull;
+};
+
+/** Two-level: a small active set scheduled LRR; stalled members are
+ *  replaced from the pending pool oldest-first. */
+class TwoLevelScheduler : public WarpScheduler
+{
+  public:
+    explicit TwoLevelScheduler(std::uint32_t active_set_size)
+        : activeSetSize_(active_set_size ? active_set_size : 1)
+    {}
+
+    std::size_t pick(const std::vector<WarpCandidate> &candidates) override;
+
+  private:
+    std::uint32_t activeSetSize_;
+    std::set<std::uint64_t> activeSet_;
+    std::uint64_t lastKey_ = 0;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_SM_WARP_SCHEDULER_HH

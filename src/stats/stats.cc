@@ -1,0 +1,106 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+void
+ScalarStat::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+ScalarStat::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+Histogram::Histogram(std::uint32_t bucket_count, double bucket_width)
+    : buckets_(bucket_count, 0), bucketWidth_(bucket_width)
+{
+    VTSIM_ASSERT(bucket_count > 0 && bucket_width > 0,
+                 "degenerate histogram shape");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    if (v < 0) {
+        ++overflow_;
+        return;
+    }
+    const auto idx = static_cast<std::uint64_t>(v / bucketWidth_);
+    if (idx >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+}
+
+void
+StatGroup::addCounter(const std::string &name, const Counter *c,
+                      const std::string &desc)
+{
+    counters_[name] = {c, desc};
+}
+
+void
+StatGroup::addScalar(const std::string &name, const ScalarStat *s,
+                     const std::string &desc)
+{
+    scalars_[name] = {s, desc};
+}
+
+void
+StatGroup::addHistogram(const std::string &name, const Histogram *h,
+                        const std::string &desc)
+{
+    histograms_[name] = {h, desc};
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.stat->value();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, entry] : counters_) {
+        os << name_ << '.' << name << ' ' << entry.stat->value()
+           << "  # " << entry.desc << '\n';
+    }
+    for (const auto &[name, entry] : scalars_) {
+        os << name_ << '.' << name << ".mean " << std::setprecision(6)
+           << entry.stat->mean() << "  # " << entry.desc << '\n';
+    }
+    for (const auto &[name, entry] : histograms_) {
+        os << name_ << '.' << name << ".total " << entry.stat->total()
+           << "  # " << entry.desc << '\n';
+    }
+}
+
+} // namespace vtsim

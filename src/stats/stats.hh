@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Lightweight statistics registry in the spirit of gem5's Stats package.
+ *
+ * Components own Counter/Histogram members and register them with a
+ * StatGroup so the whole tree can be dumped as text after simulation.
+ */
+
+#ifndef VTSIM_STATS_STATS_HH
+#define VTSIM_STATS_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace vtsim {
+
+/** A simple monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void operator+=(std::uint64_t n) { value_ += n; }
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running scalar statistic: count, sum, min, max, mean. */
+class ScalarStat
+{
+  public:
+    void sample(double v);
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minValue() const { return count_ ? min_ : 0.0; }
+    double maxValue() const { return count_ ? max_ : 0.0; }
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-bucket histogram over [0, bucketCount * bucketWidth). */
+class Histogram
+{
+  public:
+    Histogram(std::uint32_t bucket_count = 16, double bucket_width = 1.0);
+
+    void sample(double v);
+    std::uint64_t total() const { return total_; }
+    std::uint64_t bucket(std::uint32_t i) const { return buckets_.at(i); }
+    std::uint32_t bucketCount() const { return buckets_.size(); }
+    double bucketWidth() const { return bucketWidth_; }
+    std::uint64_t overflow() const { return overflow_; }
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    double bucketWidth_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Named collection of statistics owned by one component.
+ *
+ * Registration stores pointers; the registering component must outlive the
+ * group (both normally live inside the same object).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void addCounter(const std::string &name, const Counter *c,
+                    const std::string &desc);
+    void addScalar(const std::string &name, const ScalarStat *s,
+                   const std::string &desc);
+    void addHistogram(const std::string &name, const Histogram *h,
+                      const std::string &desc);
+
+    const std::string &name() const { return name_; }
+
+    /** Look up a registered counter value by name; 0 when unknown. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Dump every registered stat, one per line, prefixed by group name. */
+    void dump(std::ostream &os) const;
+
+  private:
+    struct CounterEntry { const Counter *stat; std::string desc; };
+    struct ScalarEntry { const ScalarStat *stat; std::string desc; };
+    struct HistEntry { const Histogram *stat; std::string desc; };
+
+    std::string name_;
+    std::map<std::string, CounterEntry> counters_;
+    std::map<std::string, ScalarEntry> scalars_;
+    std::map<std::string, HistEntry> histograms_;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_STATS_STATS_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * BFS-style pointer chasing: each thread follows `hops` successive hops
+ * through a random permutation. Every hop is a dependent, uncoalesced,
+ * cache-hostile load — the most latency-bound member of the suite and the
+ * strongest Virtual Thread beneficiary.
+ */
+
+#include <numeric>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/factories.hh"
+
+namespace vtsim {
+
+namespace {
+
+class Bfs : public Workload
+{
+  public:
+    explicit Bfs(std::uint32_t scale)
+        : n_(scale == 0 ? 512 : 24576 * scale),
+          hops_(scale == 0 ? 4 : 8)
+    {}
+
+    std::string name() const override { return "bfs"; }
+
+    std::string
+    description() const override
+    {
+        return "graph-frontier pointer chase over a random permutation";
+    }
+
+    WorkloadClass
+    expectedClass() const override
+    {
+        return WorkloadClass::SchedulingLimited;
+    }
+
+    Kernel
+    buildKernel() const override
+    {
+        return assemble(R"(
+.kernel bfs
+    ldp r0, 0            # next[]
+    ldp r1, 1            # out[]
+    ldp r2, 2            # n
+    ldp r3, 3            # hops
+    s2r r4, ctaid.x
+    s2r r5, ntid.x
+    s2r r6, tid.x
+    imad r7, r4, r5, r6  # i
+    isetp.ge r8, r7, r2
+    bra r8, done
+    mov r9, r7           # cur
+    movi r10, 0          # hop
+hop:
+    shl r11, r9, 2
+    iadd r11, r11, r0
+    ldg r9, [r11]        # cur = next[cur]
+    iadd r10, r10, 1
+    isetp.lt r12, r10, r3
+    bra r12, hop
+    shl r13, r7, 2
+    iadd r13, r13, r1
+    stg [r13], r9
+done:
+    exit
+)");
+    }
+
+    LaunchParams
+    prepare(GlobalMemory &gmem) override
+    {
+        Rng rng(0xabcd07);
+        // A random permutation guarantees full-period chains.
+        std::vector<std::uint32_t> next(n_);
+        std::iota(next.begin(), next.end(), 0u);
+        for (std::uint32_t i = n_ - 1; i > 0; --i) {
+            const std::uint32_t j = rng.nextBelow(i + 1);
+            std::swap(next[i], next[j]);
+        }
+        nextAddr_ = gmem.alloc(n_ * 4);
+        outAddr_ = gmem.alloc(n_ * 4);
+        gmem.writeWords(nextAddr_, next);
+
+        expected_.resize(n_);
+        for (std::uint32_t i = 0; i < n_; ++i) {
+            std::uint32_t cur = i;
+            for (std::uint32_t h = 0; h < hops_; ++h)
+                cur = next[cur];
+            expected_[i] = cur;
+        }
+
+        LaunchParams lp;
+        lp.cta = Dim3(64);
+        lp.grid = Dim3(ceilDiv(n_, 64));
+        lp.params = {std::uint32_t(nextAddr_), std::uint32_t(outAddr_), n_,
+                     hops_};
+        return lp;
+    }
+
+    bool
+    verify(const GlobalMemory &gmem) const override
+    {
+        const auto got = gmem.readWords(outAddr_, n_);
+        for (std::uint32_t i = 0; i < n_; ++i)
+            if (got[i] != expected_[i])
+                return false;
+        return true;
+    }
+
+  private:
+    std::uint32_t n_;
+    std::uint32_t hops_;
+    Addr nextAddr_ = 0, outAddr_ = 0;
+    std::vector<std::uint32_t> expected_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBfs(std::uint32_t scale)
+{
+    return std::make_unique<Bfs>(scale);
+}
+
+} // namespace vtsim

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Bitonic sort of per-CTA chunks in shared memory — the barrier-bound
+ * archetype: log^2(n) compare-exchange stages with a CTA barrier after
+ * every stage. Memory traffic is one load and one store per element;
+ * nearly all stall time is barrier synchronisation, which Virtual
+ * Thread cannot (and should not) hide — the suite's control for
+ * barrier-limited behaviour.
+ */
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/factories.hh"
+
+namespace vtsim {
+
+namespace {
+
+constexpr std::uint32_t kChunk = 256;
+
+class Bitonic : public Workload
+{
+  public:
+    explicit Bitonic(std::uint32_t scale)
+        : n_(scale == 0 ? 512 : 65536 * scale)
+    {}
+
+    std::string name() const override { return "bitonic"; }
+
+    std::string
+    description() const override
+    {
+        return "per-CTA bitonic sort in shared memory, barrier-bound";
+    }
+
+    WorkloadClass
+    expectedClass() const override
+    {
+        return WorkloadClass::SchedulingLimited;
+    }
+
+    Kernel
+    buildKernel() const override
+    {
+        // One element per thread; the lower-index thread of each pair
+        // performs the compare-exchange, so every slot has one writer
+        // per stage and the single barrier per stage suffices.
+        return assemble(R"(
+.kernel bitonic
+.shared 1024
+    ldp r0, 0            # in
+    ldp r1, 1            # out
+    s2r r2, ctaid.x
+    s2r r3, ntid.x
+    s2r r4, tid.x
+    imad r5, r2, r3, r4  # gid
+    shl r6, r5, 2
+    iadd r6, r6, r0
+    ldg r7, [r6]
+    shl r8, r4, 2        # my slot (bytes)
+    sts [r8], r7
+    bar
+    movi r9, 2           # k
+kloop:
+    shr r10, r9, 1       # j
+jloop:
+    xor r11, r4, r10     # partner index
+    isetp.le r12, r11, r4
+    bra r12, skip, join=sync
+    shl r11, r11, 2      # partner slot (bytes)
+    lds r12, [r11]       # partner value
+    lds r13, [r8]        # my value
+    and r14, r4, r9
+    isetp.eq r14, r14, 0 # ascending when (tid & k) == 0
+    isetp.gt r15, r13, r12
+    isetp.lt r2, r13, r12
+    sel r14, r15, r2, r14    # out of order?
+    sel r15, r12, r13, r14   # new mine
+    sel r2, r13, r12, r14    # new partner
+    sts [r8], r15
+    sts [r11], r2
+skip:
+    nop
+sync:
+    bar
+    shr r10, r10, 1
+    isetp.gt r2, r10, 0
+    bra r2, jloop
+    shl r9, r9, 1
+    isetp.le r2, r9, r3
+    bra r2, kloop
+    lds r6, [r8]
+    shl r7, r5, 2
+    iadd r7, r7, r1
+    stg [r7], r6
+    exit
+)");
+    }
+
+    LaunchParams
+    prepare(GlobalMemory &gmem) override
+    {
+        Rng rng(0xabcd10);
+        std::vector<std::uint32_t> in(n_);
+        for (auto &v : in)
+            v = rng.nextBelow(1u << 30); // positive under signed compare
+        inAddr_ = gmem.alloc(n_ * 4);
+        outAddr_ = gmem.alloc(n_ * 4);
+        gmem.writeWords(inAddr_, in);
+
+        expected_ = in;
+        for (std::uint32_t c = 0; c < n_ / kChunk; ++c) {
+            std::sort(expected_.begin() + std::size_t(c) * kChunk,
+                      expected_.begin() + std::size_t(c + 1) * kChunk);
+        }
+
+        LaunchParams lp;
+        lp.cta = Dim3(kChunk);
+        lp.grid = Dim3(n_ / kChunk);
+        lp.params = {std::uint32_t(inAddr_), std::uint32_t(outAddr_)};
+        return lp;
+    }
+
+    bool
+    verify(const GlobalMemory &gmem) const override
+    {
+        const auto got = gmem.readWords(outAddr_, n_);
+        for (std::uint32_t i = 0; i < n_; ++i)
+            if (got[i] != expected_[i])
+                return false;
+        return true;
+    }
+
+  private:
+    std::uint32_t n_;
+    Addr inAddr_ = 0, outAddr_ = 0;
+    std::vector<std::uint32_t> expected_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBitonic(std::uint32_t scale)
+{
+    return std::make_unique<Bitonic>(scale);
+}
+
+} // namespace vtsim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Black-Scholes-style per-element pricing: a long chain of transcendental
+ * (SFU) operations per streaming element. Compute-bound — the control
+ * workload on which Virtual Thread should be roughly performance-neutral.
+ */
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/factories.hh"
+
+namespace vtsim {
+
+namespace {
+
+class Blackscholes : public Workload
+{
+  public:
+    explicit Blackscholes(std::uint32_t scale)
+        : n_(scale == 0 ? 512 : 32768 * scale)
+    {}
+
+    std::string name() const override { return "blackscholes"; }
+
+    std::string
+    description() const override
+    {
+        return "transcendental-heavy option pricing (SFU-bound)";
+    }
+
+    WorkloadClass
+    expectedClass() const override
+    {
+        return WorkloadClass::SchedulingLimited;
+    }
+
+    Kernel
+    buildKernel() const override
+    {
+        // price = log(s)*0.5 + sqrt(s)*0.3 + 1/(s+1) + exp(-0.25*s)
+        // (a stand-in with the real kernel's operation mix).
+        return assemble(R"(
+.kernel blackscholes
+    ldp r0, 0            # s[]
+    ldp r1, 1            # out[]
+    ldp r2, 2            # n
+    ldp r3, 3            # 0.5f
+    ldp r4, 4            # 0.3f
+    ldp r5, 5            # 1.0f
+    ldp r6, 6            # -0.25f
+    s2r r7, ctaid.x
+    s2r r8, ntid.x
+    s2r r9, tid.x
+    imad r10, r7, r8, r9
+    isetp.ge r11, r10, r2
+    bra r11, done
+    shl r12, r10, 2
+    iadd r13, r12, r0
+    ldg r14, [r13]       # s
+    flog r15, r14
+    fmul r15, r15, r3
+    fsqrt r16, r14
+    ffma r15, r16, r4, r15
+    fadd r17, r14, r5
+    frcp r17, r17
+    fadd r15, r15, r17
+    fmul r18, r14, r6
+    fexp r18, r18
+    fadd r15, r15, r18
+    iadd r19, r12, r1
+    stg [r19], r15
+done:
+    exit
+)");
+    }
+
+    LaunchParams
+    prepare(GlobalMemory &gmem) override
+    {
+        Rng rng(0xabcd0d);
+        std::vector<float> s(n_);
+        for (auto &v : s)
+            v = 1.0f + 99.0f * rng.nextFloat();
+        sAddr_ = gmem.alloc(n_ * 4);
+        outAddr_ = gmem.alloc(n_ * 4);
+        gmem.writeFloats(sAddr_, s);
+
+        expected_.resize(n_);
+        for (std::uint32_t i = 0; i < n_; ++i) {
+            const float x = s[i];
+            float v = std::log(x) * 0.5f;
+            v = std::sqrt(x) * 0.3f + v;
+            v = v + 1.0f / (x + 1.0f);
+            v = v + std::exp(x * -0.25f);
+            expected_[i] = v;
+        }
+
+        LaunchParams lp;
+        lp.cta = Dim3(128);
+        lp.grid = Dim3(ceilDiv(n_, 128));
+        lp.params = {std::uint32_t(sAddr_), std::uint32_t(outAddr_), n_,
+                     0x3f000000u, 0x3e99999au, 0x3f800000u, 0xbe800000u};
+        return lp;
+    }
+
+    bool
+    verify(const GlobalMemory &gmem) const override
+    {
+        const auto got = gmem.readFloats(outAddr_, n_);
+        for (std::uint32_t i = 0; i < n_; ++i) {
+            // Transcendental host/device agreement is exact here (same
+            // libm), but allow one ULP of slack for portability.
+            const float diff = std::fabs(got[i] - expected_[i]);
+            if (diff > std::fabs(expected_[i]) * 1e-6f + 1e-6f)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::uint32_t n_;
+    Addr sAddr_ = 0, outAddr_ = 0;
+    std::vector<float> expected_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBlackscholes(std::uint32_t scale)
+{
+    return std::make_unique<Blackscholes>(scale);
+}
+
+} // namespace vtsim

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Internal: per-benchmark factory functions wired into the registry in
+ * workload.cc. Each returns a fresh problem instance at the given scale.
+ */
+
+#ifndef VTSIM_WORKLOADS_FACTORIES_HH
+#define VTSIM_WORKLOADS_FACTORIES_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace vtsim {
+
+std::unique_ptr<Workload> makeVecAdd(std::uint32_t scale);
+std::unique_ptr<Workload> makeSaxpy(std::uint32_t scale);
+std::unique_ptr<Workload> makeReduction(std::uint32_t scale);
+std::unique_ptr<Workload> makeMatmul(std::uint32_t scale);
+std::unique_ptr<Workload> makeStencil(std::uint32_t scale);
+std::unique_ptr<Workload> makeSpmv(std::uint32_t scale);
+std::unique_ptr<Workload> makeBfs(std::uint32_t scale);
+std::unique_ptr<Workload> makeHistogram(std::uint32_t scale);
+std::unique_ptr<Workload> makeTranspose(std::uint32_t scale);
+std::unique_ptr<Workload> makePathfinder(std::uint32_t scale);
+std::unique_ptr<Workload> makeHotspot(std::uint32_t scale);
+std::unique_ptr<Workload> makeKmeans(std::uint32_t scale);
+std::unique_ptr<Workload> makeBlackscholes(std::uint32_t scale);
+std::unique_ptr<Workload> makeNeedle(std::uint32_t scale);
+std::unique_ptr<Workload> makeMummer(std::uint32_t scale);
+std::unique_ptr<Workload> makeBitonic(std::uint32_t scale);
+
+} // namespace vtsim
+
+#endif // VTSIM_WORKLOADS_FACTORIES_HH

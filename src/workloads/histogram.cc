@@ -1,0 +1,116 @@
+/**
+ * @file
+ * 256-bin histogram via global atomics (performed at the L2, as on real
+ * GPUs): long-latency RMW traffic with bin contention.
+ */
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/factories.hh"
+
+namespace vtsim {
+
+namespace {
+
+class HistogramWl : public Workload
+{
+  public:
+    explicit HistogramWl(std::uint32_t scale)
+        : n_(scale == 0 ? 1024 : 65536 * scale)
+    {}
+
+    std::string name() const override { return "histogram"; }
+
+    std::string
+    description() const override
+    {
+        return "256-bin histogram with global atomics";
+    }
+
+    WorkloadClass
+    expectedClass() const override
+    {
+        return WorkloadClass::SchedulingLimited;
+    }
+
+    Kernel
+    buildKernel() const override
+    {
+        return assemble(R"(
+.kernel histogram
+    ldp r0, 0            # data
+    ldp r1, 1            # hist
+    ldp r2, 2            # n
+    ldp r3, 3            # total threads
+    s2r r4, ctaid.x
+    s2r r5, ntid.x
+    s2r r6, tid.x
+    imad r7, r4, r5, r6  # i
+loop:
+    isetp.ge r8, r7, r2
+    bra r8, done
+    shl r9, r7, 2
+    iadd r9, r9, r0
+    ldg r10, [r9]
+    and r11, r10, 255    # bin
+    shl r11, r11, 2
+    iadd r11, r11, r1
+    movi r12, 1
+    atomg.add r13, [r11], r12
+    iadd r7, r7, r3
+    jmp loop
+done:
+    exit
+)");
+    }
+
+    LaunchParams
+    prepare(GlobalMemory &gmem) override
+    {
+        Rng rng(0xabcd08);
+        std::vector<std::uint32_t> data(n_);
+        expected_.assign(256, 0);
+        for (std::uint32_t i = 0; i < n_; ++i) {
+            data[i] = rng.next() & 0xffffffffu;
+            ++expected_[data[i] & 255];
+        }
+        dataAddr_ = gmem.alloc(n_ * 4);
+        histAddr_ = gmem.alloc(256 * 4);
+        gmem.writeWords(dataAddr_, data);
+        for (std::uint32_t b = 0; b < 256; ++b)
+            gmem.write32(histAddr_ + 4 * b, 0);
+
+        const std::uint32_t total_threads = roundUp(n_ / 4, 128);
+        LaunchParams lp;
+        lp.cta = Dim3(128);
+        lp.grid = Dim3(total_threads / 128);
+        lp.params = {std::uint32_t(dataAddr_), std::uint32_t(histAddr_),
+                     n_, total_threads};
+        return lp;
+    }
+
+    bool
+    verify(const GlobalMemory &gmem) const override
+    {
+        for (std::uint32_t b = 0; b < 256; ++b)
+            if (gmem.read32(histAddr_ + 4 * b) != expected_[b])
+                return false;
+        return true;
+    }
+
+  private:
+    std::uint32_t n_;
+    Addr dataAddr_ = 0, histAddr_ = 0;
+    std::vector<std::uint32_t> expected_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeHistogram(std::uint32_t scale)
+{
+    return std::make_unique<HistogramWl>(scale);
+}
+
+} // namespace vtsim

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Hotspot-style 2-D thermal stencil: five temperature loads plus a power
+ * load per interior cell, all from global memory. Lean register use keeps
+ * it CTA-slot (scheduling) limited, and the 2-D neighbour traffic makes
+ * it strongly memory-latency bound.
+ */
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/factories.hh"
+
+namespace vtsim {
+
+namespace {
+
+class Hotspot : public Workload
+{
+  public:
+    explicit Hotspot(std::uint32_t scale)
+        : width_(scale == 0 ? 32 : 256),
+          height_(scale == 0 ? 16 : 256 * scale)
+    {}
+
+    std::string name() const override { return "hotspot"; }
+
+    std::string
+    description() const override
+    {
+        return "2-D 5-point thermal stencil (temp + power grids)";
+    }
+
+    WorkloadClass
+    expectedClass() const override
+    {
+        return WorkloadClass::SchedulingLimited;
+    }
+
+    Kernel
+    buildKernel() const override
+    {
+        // Registers are reused aggressively (as a real compiler would) so
+        // that the kernel stays in the scheduling-limited class: 20 regs
+        // x 4 warps admits 12 CTAs of register capacity vs 8 CTA slots.
+        return assemble(R"(
+.kernel hotspot
+    ldp r0, 0            # temp
+    ldp r1, 1            # power
+    ldp r2, 2            # out
+    ldp r3, 3            # W
+    ldp r4, 4            # H
+    ldp r5, 5            # k1 bits
+    ldp r6, 6            # k2 bits
+    s2r r7, ctaid.x
+    s2r r8, ntid.x
+    s2r r9, tid.x
+    imad r7, r7, r8, r9  # gid
+    idiv r8, r7, r3      # y
+    irem r9, r7, r3      # x
+    # skip border cells
+    isetp.eq r10, r9, 0
+    bra r10, done
+    isub r11, r3, 1
+    isetp.ge r10, r9, r11
+    bra r10, done
+    isetp.eq r10, r8, 0
+    bra r10, done
+    isub r11, r4, 1
+    isetp.ge r10, r8, r11
+    bra r10, done
+    shl r10, r7, 2       # byte offset
+    iadd r11, r10, r0    # &temp[gid]
+    ldg r12, [r11]       # t
+    shl r13, r3, 2       # row stride in bytes
+    isub r14, r11, r13
+    ldg r15, [r14]       # up
+    iadd r14, r11, r13
+    ldg r16, [r14]       # down
+    ldg r13, [r11-4]     # left
+    ldg r14, [r11+4]     # right
+    iadd r17, r10, r1
+    ldg r17, [r17]       # p
+    fadd r18, r15, r16
+    fadd r18, r18, r13
+    fadd r18, r18, r14
+    fadd r19, r12, r12
+    fadd r19, r19, r19   # 4t
+    fsub r18, r18, r19   # laplacian
+    fmul r18, r18, r5
+    ffma r18, r17, r6, r18
+    fadd r18, r18, r12
+    iadd r10, r10, r2
+    stg [r10], r18
+done:
+    exit
+)");
+    }
+
+    LaunchParams
+    prepare(GlobalMemory &gmem) override
+    {
+        Rng rng(0xabcd0b);
+        const std::size_t n = std::size_t(width_) * height_;
+        std::vector<float> temp(n), power(n);
+        for (auto &v : temp)
+            v = 20.0f + 60.0f * rng.nextFloat();
+        for (auto &v : power)
+            v = rng.nextFloat();
+        tempAddr_ = gmem.alloc(n * 4);
+        powerAddr_ = gmem.alloc(n * 4);
+        outAddr_ = gmem.alloc(n * 4);
+        gmem.writeFloats(tempAddr_, temp);
+        gmem.writeFloats(powerAddr_, power);
+
+        const float k1 = 0.1f, k2 = 0.05f;
+        expected_.assign(n, 0.0f);
+        for (std::uint32_t y = 1; y + 1 < height_; ++y) {
+            for (std::uint32_t x = 1; x + 1 < width_; ++x) {
+                const std::size_t i = std::size_t(y) * width_ + x;
+                const float t = temp[i];
+                float lap = temp[i - width_] + temp[i + width_];
+                lap = lap + temp[i - 1];
+                lap = lap + temp[i + 1];
+                float four_t = t + t;
+                four_t = four_t + four_t;
+                lap = lap - four_t;
+                float v = lap * k1;
+                v = power[i] * k2 + v;
+                v = v + t;
+                expected_[i] = v;
+            }
+        }
+
+        LaunchParams lp;
+        lp.cta = Dim3(128);
+        lp.grid = Dim3(ceilDiv(n, 128));
+        lp.params = {std::uint32_t(tempAddr_), std::uint32_t(powerAddr_),
+                     std::uint32_t(outAddr_), width_, height_,
+                     0x3dcccccdu /* 0.1f */, 0x3d4ccccdu /* 0.05f */};
+        return lp;
+    }
+
+    bool
+    verify(const GlobalMemory &gmem) const override
+    {
+        const std::size_t n = std::size_t(width_) * height_;
+        const auto got = gmem.readFloats(outAddr_, n);
+        for (std::uint32_t y = 1; y + 1 < height_; ++y)
+            for (std::uint32_t x = 1; x + 1 < width_; ++x) {
+                const std::size_t i = std::size_t(y) * width_ + x;
+                if (got[i] != expected_[i])
+                    return false;
+            }
+        return true;
+    }
+
+  private:
+    std::uint32_t width_;
+    std::uint32_t height_;
+    Addr tempAddr_ = 0, powerAddr_ = 0, outAddr_ = 0;
+    std::vector<float> expected_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeHotspot(std::uint32_t scale)
+{
+    return std::make_unique<Hotspot>(scale);
+}
+
+} // namespace vtsim

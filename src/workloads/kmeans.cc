@@ -1,0 +1,169 @@
+/**
+ * @file
+ * K-means assignment step: each thread finds the nearest of K centroids
+ * (4-D points). Centroids stay hot in the L1, so the kernel mixes
+ * streaming loads with cache-friendly compute.
+ */
+
+#include <bit>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/factories.hh"
+
+namespace vtsim {
+
+namespace {
+
+constexpr std::uint32_t kDims = 4;
+constexpr std::uint32_t kClusters = 8;
+
+class Kmeans : public Workload
+{
+  public:
+    explicit Kmeans(std::uint32_t scale)
+        : n_(scale == 0 ? 512 : 65536 * scale)
+    {}
+
+    std::string name() const override { return "kmeans"; }
+
+    std::string
+    description() const override
+    {
+        return "nearest-centroid assignment, 4-D points, 8 clusters";
+    }
+
+    WorkloadClass
+    expectedClass() const override
+    {
+        return WorkloadClass::SchedulingLimited;
+    }
+
+    Kernel
+    buildKernel() const override
+    {
+        return assemble(R"(
+.kernel kmeans
+    ldp r0, 0            # points (n x 4 floats)
+    ldp r1, 1            # centroids (8 x 4 floats)
+    ldp r2, 2            # assign
+    ldp r3, 3            # n
+    s2r r4, ctaid.x
+    s2r r5, ntid.x
+    s2r r6, tid.x
+    imad r4, r4, r5, r6  # i
+    isetp.ge r5, r4, r3
+    bra r5, done
+    shl r5, r4, 4        # i*16 bytes
+    iadd r5, r5, r0
+    ldg r6, [r5]         # p0
+    ldg r7, [r5+4]       # p1
+    ldg r8, [r5+8]       # p2
+    ldg r9, [r5+12]      # p3
+    movi r10, 0x7f000000 # bestd = huge float
+    movi r11, 0          # best = 0
+    movi r12, 0          # k
+kloop:
+    shl r13, r12, 4
+    iadd r13, r13, r1
+    ldg r14, [r13]
+    ldg r15, [r13+4]
+    ldg r16, [r13+8]
+    ldg r17, [r13+12]
+    fsub r14, r6, r14
+    fsub r15, r7, r15
+    fsub r16, r8, r16
+    fsub r17, r9, r17
+    fmul r18, r14, r14
+    ffma r18, r15, r15, r18
+    ffma r18, r16, r16, r18
+    ffma r18, r17, r17, r18  # dist
+    fsetp.lt r19, r18, r10
+    sel r10, r18, r10, r19
+    sel r11, r12, r11, r19
+    iadd r12, r12, 1
+    isetp.lt r19, r12, 8
+    bra r19, kloop
+    shl r13, r4, 2
+    iadd r13, r13, r2
+    stg [r13], r11
+done:
+    exit
+)");
+    }
+
+    LaunchParams
+    prepare(GlobalMemory &gmem) override
+    {
+        Rng rng(0xabcd0c);
+        std::vector<float> points(std::size_t(n_) * kDims);
+        std::vector<float> centroids(kClusters * kDims);
+        for (auto &v : points)
+            v = rng.nextFloat() * 10.0f;
+        for (auto &v : centroids)
+            v = rng.nextFloat() * 10.0f;
+        pointsAddr_ = gmem.alloc(points.size() * 4);
+        centroidsAddr_ = gmem.alloc(centroids.size() * 4);
+        assignAddr_ = gmem.alloc(n_ * 4);
+        gmem.writeFloats(pointsAddr_, points);
+        gmem.writeFloats(centroidsAddr_, centroids);
+
+        expected_.resize(n_);
+        for (std::uint32_t i = 0; i < n_; ++i) {
+            float bestd = std::bit_cast<float>(0x7f000000u);
+            std::uint32_t best = 0;
+            for (std::uint32_t k = 0; k < kClusters; ++k) {
+                float d0 = points[i * kDims] - centroids[k * kDims];
+                float d1 = points[i * kDims + 1] -
+                           centroids[k * kDims + 1];
+                float d2 = points[i * kDims + 2] -
+                           centroids[k * kDims + 2];
+                float d3 = points[i * kDims + 3] -
+                           centroids[k * kDims + 3];
+                float dist = d0 * d0;
+                dist = d1 * d1 + dist;
+                dist = d2 * d2 + dist;
+                dist = d3 * d3 + dist;
+                if (dist < bestd) {
+                    bestd = dist;
+                    best = k;
+                }
+            }
+            expected_[i] = best;
+        }
+
+        LaunchParams lp;
+        lp.cta = Dim3(128);
+        lp.grid = Dim3(ceilDiv(n_, 128));
+        lp.params = {std::uint32_t(pointsAddr_),
+                     std::uint32_t(centroidsAddr_),
+                     std::uint32_t(assignAddr_), n_};
+        return lp;
+    }
+
+    bool
+    verify(const GlobalMemory &gmem) const override
+    {
+        const auto got = gmem.readWords(assignAddr_, n_);
+        for (std::uint32_t i = 0; i < n_; ++i)
+            if (got[i] != expected_[i])
+                return false;
+        return true;
+    }
+
+  private:
+    std::uint32_t n_;
+    Addr pointsAddr_ = 0, centroidsAddr_ = 0, assignAddr_ = 0;
+    std::vector<std::uint32_t> expected_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeKmeans(std::uint32_t scale)
+{
+    return std::make_unique<Kmeans>(scale);
+}
+
+} // namespace vtsim

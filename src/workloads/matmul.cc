@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tiled dense matrix multiply with shared-memory A/B tiles and barriers —
+ * the classic register-hungry kernel. On the Fermi-class baseline its
+ * occupancy is bounded by the register file (capacity limit), so it is a
+ * member of the population Virtual Thread does *not* speed up.
+ */
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/factories.hh"
+
+namespace vtsim {
+
+namespace {
+
+class Matmul : public Workload
+{
+  public:
+    explicit Matmul(std::uint32_t scale) : n_(scale == 0 ? 32 : 96)
+    {
+        if (scale > 1)
+            n_ = 96 + 32 * (scale - 1);
+    }
+
+    std::string name() const override { return "matmul"; }
+
+    std::string
+    description() const override
+    {
+        return "16x16-tiled dense matmul, shared-mem tiles + barriers";
+    }
+
+    WorkloadClass
+    expectedClass() const override
+    {
+        return WorkloadClass::CapacityLimited;
+    }
+
+    Kernel
+    buildKernel() const override
+    {
+        return assemble(R"(
+.kernel matmul
+.regs 34
+.shared 2048
+    ldp r0, 0            # A
+    ldp r1, 1            # B
+    ldp r2, 2            # C
+    ldp r3, 3            # N
+    s2r r4, ctaid.x
+    s2r r5, ctaid.y
+    s2r r6, tid.x
+    s2r r7, tid.y
+    movi r8, 16
+    imad r9, r5, r8, r7  # row
+    imad r10, r4, r8, r6 # col
+    movi r11, 0          # acc = 0.0f
+    movi r12, 0          # tile t
+    shr r13, r3, 4       # numTiles
+tloop:
+    shl r14, r12, 4      # t*16
+    iadd r15, r14, r6
+    imad r16, r9, r3, r15
+    shl r16, r16, 2
+    iadd r16, r16, r0
+    ldg r17, [r16]       # A[row][t*16+tx]
+    imad r18, r7, r8, r6 # ty*16+tx
+    shl r18, r18, 2
+    sts [r18], r17
+    iadd r19, r14, r7
+    imad r20, r19, r3, r10
+    shl r20, r20, 2
+    iadd r20, r20, r1
+    ldg r21, [r20]       # B[t*16+ty][col]
+    sts [r18+1024], r21
+    bar
+    movi r22, 0          # k
+kloop:
+    imad r23, r7, r8, r22
+    shl r23, r23, 2
+    lds r24, [r23]       # As[ty][k]
+    imad r25, r22, r8, r6
+    shl r25, r25, 2
+    lds r26, [r25+1024]  # Bs[k][tx]
+    ffma r11, r24, r26, r11
+    iadd r22, r22, 1
+    isetp.lt r27, r22, r8
+    bra r27, kloop
+    bar
+    iadd r12, r12, 1
+    isetp.lt r28, r12, r13
+    bra r28, tloop
+    imad r29, r9, r3, r10
+    shl r29, r29, 2
+    iadd r29, r29, r2
+    stg [r29], r11
+    exit
+)");
+    }
+
+    LaunchParams
+    prepare(GlobalMemory &gmem) override
+    {
+        Rng rng(0xabcd04);
+        std::vector<float> a(std::size_t(n_) * n_);
+        std::vector<float> b(std::size_t(n_) * n_);
+        for (auto &v : a)
+            v = rng.nextFloat();
+        for (auto &v : b)
+            v = rng.nextFloat();
+        aAddr_ = gmem.alloc(a.size() * 4);
+        bAddr_ = gmem.alloc(b.size() * 4);
+        cAddr_ = gmem.alloc(a.size() * 4);
+        gmem.writeFloats(aAddr_, a);
+        gmem.writeFloats(bAddr_, b);
+
+        // Host reference with identical operation order (k ascending FMA).
+        expected_.assign(std::size_t(n_) * n_, 0.0f);
+        for (std::uint32_t r = 0; r < n_; ++r) {
+            for (std::uint32_t c = 0; c < n_; ++c) {
+                float acc = 0.0f;
+                for (std::uint32_t k = 0; k < n_; ++k) {
+                    acc = a[std::size_t(r) * n_ + k] *
+                              b[std::size_t(k) * n_ + c] + acc;
+                }
+                expected_[std::size_t(r) * n_ + c] = acc;
+            }
+        }
+
+        LaunchParams lp;
+        lp.cta = Dim3(16, 16);
+        lp.grid = Dim3(n_ / 16, n_ / 16);
+        lp.params = {std::uint32_t(aAddr_), std::uint32_t(bAddr_),
+                     std::uint32_t(cAddr_), n_};
+        return lp;
+    }
+
+    bool
+    verify(const GlobalMemory &gmem) const override
+    {
+        const auto got = gmem.readFloats(cAddr_, std::size_t(n_) * n_);
+        for (std::size_t i = 0; i < got.size(); ++i)
+            if (got[i] != expected_[i])
+                return false;
+        return true;
+    }
+
+  private:
+    std::uint32_t n_;
+    Addr aAddr_ = 0, bAddr_ = 0, cAddr_ = 0;
+    std::vector<float> expected_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMatmul(std::uint32_t scale)
+{
+    return std::make_unique<Matmul>(scale);
+}
+
+} // namespace vtsim

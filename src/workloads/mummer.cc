@@ -1,0 +1,151 @@
+/**
+ * @file
+ * MUMmerGPU-style suffix-tree traversal: each warp walks one query down
+ * a binary trie stored in global memory, one dependent (but
+ * warp-uniform, so fully coalesced) load per level. With 32-thread CTAs
+ * the baseline holds only 8 concurrent traversals per SM — pure
+ * pointer-chase latency with nothing to hide it behind, the archetype
+ * of the paper's biggest Virtual Thread winners.
+ */
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/factories.hh"
+
+namespace vtsim {
+
+namespace {
+
+constexpr std::uint32_t kDepth = 16;
+constexpr std::uint32_t kNodes = 1 << 17; // 128K nodes x 2 words = 1 MB
+
+class Mummer : public Workload
+{
+  public:
+    explicit Mummer(std::uint32_t scale)
+        : queries_(scale == 0 ? 256 : 12288 * scale)
+    {}
+
+    std::string name() const override { return "mummer"; }
+
+    std::string
+    description() const override
+    {
+        return "warp-uniform trie walk, dependent loads per level";
+    }
+
+    WorkloadClass
+    expectedClass() const override
+    {
+        return WorkloadClass::SchedulingLimited;
+    }
+
+    Kernel
+    buildKernel() const override
+    {
+        // One query per thread; all lanes of a warp share the same key
+        // (warp-synchronous traversal), so each hop is one transaction.
+        return assemble(R"(
+.kernel mummer
+    ldp r0, 0            # children (node*2 + bit)
+    ldp r1, 1            # keys (one per warp)
+    ldp r2, 2            # out (one per thread)
+    ldp r3, 3            # numWarps
+    ldp r4, 4            # depth
+    s2r r5, ctaid.x
+    s2r r6, ntid.x
+    s2r r7, tid.x
+    imad r8, r5, r6, r7  # global thread id
+    shr r9, r8, 5        # global warp id
+    isetp.ge r10, r9, r3
+    bra r10, done
+    shl r11, r9, 2
+    iadd r11, r11, r1
+    ldg r12, [r11]       # key
+    movi r13, 0          # cur node
+    movi r14, 0          # level
+walk:
+    shr r15, r12, r14
+    and r15, r15, 1      # bit
+    shl r16, r13, 1
+    iadd r16, r16, r15   # cur*2 + bit
+    shl r16, r16, 2
+    iadd r16, r16, r0
+    ldg r13, [r16]       # cur = children[...]
+    iadd r14, r14, 1
+    isetp.lt r17, r14, r4
+    bra r17, walk
+    shl r18, r8, 2
+    iadd r18, r18, r2
+    stg [r18], r13
+done:
+    exit
+)");
+    }
+
+    LaunchParams
+    prepare(GlobalMemory &gmem) override
+    {
+        Rng rng(0xabcd0f);
+        // A random functional trie: children[n][b] is a uniform random
+        // node, so every hop lands on a fresh cache line.
+        std::vector<std::uint32_t> children(std::size_t(kNodes) * 2);
+        for (auto &v : children)
+            v = rng.nextBelow(kNodes);
+        const std::uint32_t num_warps = ceilDiv(queries_, warpSize);
+        std::vector<std::uint32_t> keys(num_warps);
+        for (auto &v : keys)
+            v = static_cast<std::uint32_t>(rng.next());
+
+        childrenAddr_ = gmem.alloc(children.size() * 4);
+        keysAddr_ = gmem.alloc(keys.size() * 4);
+        outAddr_ = gmem.alloc(queries_ * 4);
+        gmem.writeWords(childrenAddr_, children);
+        gmem.writeWords(keysAddr_, keys);
+
+        expected_.resize(queries_);
+        for (std::uint32_t t = 0; t < queries_; ++t) {
+            const std::uint32_t key = keys[t / warpSize];
+            std::uint32_t cur = 0;
+            for (std::uint32_t level = 0; level < kDepth; ++level) {
+                const std::uint32_t bit = (key >> level) & 1;
+                cur = children[std::size_t(cur) * 2 + bit];
+            }
+            expected_[t] = cur;
+        }
+
+        LaunchParams lp;
+        lp.cta = Dim3(32);
+        lp.grid = Dim3(ceilDiv(queries_, 32));
+        lp.params = {std::uint32_t(childrenAddr_),
+                     std::uint32_t(keysAddr_), std::uint32_t(outAddr_),
+                     num_warps, kDepth};
+        return lp;
+    }
+
+    bool
+    verify(const GlobalMemory &gmem) const override
+    {
+        const auto got = gmem.readWords(outAddr_, queries_);
+        for (std::uint32_t t = 0; t < queries_; ++t)
+            if (got[t] != expected_[t])
+                return false;
+        return true;
+    }
+
+  private:
+    std::uint32_t queries_;
+    Addr childrenAddr_ = 0, keysAddr_ = 0, outAddr_ = 0;
+    std::vector<std::uint32_t> expected_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMummer(std::uint32_t scale)
+{
+    return std::make_unique<Mummer>(scale);
+}
+
+} // namespace vtsim

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Needleman-Wunsch-style row sweep (Rodinia "nw" archetype): each thread
+ * advances one column of a banded alignment DP across L rows, streaming
+ * the previous row from global memory with a serial dependence through
+ * the running cell. One outstanding load per warp, no reusable working
+ * set: the purest latency-bound shape. Tiny 32-thread CTAs hold the
+ * baseline at 8 warps per SM — the paper's worst-case occupancy — so
+ * this is the archetype of its biggest Virtual Thread winners.
+ */
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/factories.hh"
+
+namespace vtsim {
+
+namespace {
+
+constexpr std::uint32_t kRows = 24;
+
+class Needle : public Workload
+{
+  public:
+    explicit Needle(std::uint32_t scale)
+        : n_(scale == 0 ? 256 : 8192 * scale)
+    {}
+
+    std::string name() const override { return "needle"; }
+
+    std::string
+    description() const override
+    {
+        return "banded alignment row sweep, serial dependent loads";
+    }
+
+    WorkloadClass
+    expectedClass() const override
+    {
+        return WorkloadClass::SchedulingLimited;
+    }
+
+    Kernel
+    buildKernel() const override
+    {
+        // prev is laid out row-major as prev[j * n + t]: a warp's load of
+        // one row is a single coalesced line, consumed exactly once.
+        return assemble(R"(
+.kernel needle
+    ldp r0, 0            # prev rows (L x n words)
+    ldp r1, 1            # out
+    ldp r2, 2            # n
+    ldp r3, 3            # L
+    s2r r4, ctaid.x
+    s2r r5, ntid.x
+    s2r r6, tid.x
+    imad r7, r4, r5, r6  # t
+    isetp.ge r8, r7, r2
+    bra r8, done
+    movi r9, 0           # cell
+    movi r10, 0          # j
+    shl r11, r7, 2
+    iadd r11, r11, r0    # &prev[0*n + t]
+    shl r12, r2, 2       # row stride in bytes
+jloop:
+    ldg r13, [r11]       # p = prev[j*n + t]
+    xor r14, r13, r7
+    and r14, r14, 1
+    movi r15, -1
+    movi r16, 2
+    sel r14, r16, r15, r14   # score = ((p ^ t) & 1) ? 2 : -1
+    iadd r14, r13, r14       # p + score
+    iadd r9, r9, -1          # cell - 1
+    imax r9, r9, r14         # cell = max(cell - 1, p + score)
+    iadd r11, r11, r12
+    iadd r10, r10, 1
+    isetp.lt r17, r10, r3
+    bra r17, jloop
+    shl r18, r7, 2
+    iadd r18, r18, r1
+    stg [r18], r9
+done:
+    exit
+)");
+    }
+
+    LaunchParams
+    prepare(GlobalMemory &gmem) override
+    {
+        Rng rng(0xabcd0e);
+        std::vector<std::uint32_t> prev(std::size_t(kRows) * n_);
+        for (auto &v : prev)
+            v = rng.nextBelow(64);
+        prevAddr_ = gmem.alloc(prev.size() * 4);
+        outAddr_ = gmem.alloc(n_ * 4);
+        gmem.writeWords(prevAddr_, prev);
+
+        expected_.resize(n_);
+        for (std::uint32_t t = 0; t < n_; ++t) {
+            std::int32_t cell = 0;
+            for (std::uint32_t j = 0; j < kRows; ++j) {
+                const std::uint32_t p = prev[std::size_t(j) * n_ + t];
+                const std::int32_t score = ((p ^ t) & 1) ? 2 : -1;
+                cell = std::max(cell - 1,
+                                static_cast<std::int32_t>(p) + score);
+            }
+            expected_[t] = static_cast<std::uint32_t>(cell);
+        }
+
+        LaunchParams lp;
+        lp.cta = Dim3(32);
+        lp.grid = Dim3(ceilDiv(n_, 32));
+        lp.params = {std::uint32_t(prevAddr_), std::uint32_t(outAddr_),
+                     n_, kRows};
+        return lp;
+    }
+
+    bool
+    verify(const GlobalMemory &gmem) const override
+    {
+        const auto got = gmem.readWords(outAddr_, n_);
+        for (std::uint32_t t = 0; t < n_; ++t)
+            if (got[t] != expected_[t])
+                return false;
+        return true;
+    }
+
+  private:
+    std::uint32_t n_;
+    Addr prevAddr_ = 0, outAddr_ = 0;
+    std::vector<std::uint32_t> expected_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeNeedle(std::uint32_t scale)
+{
+    return std::make_unique<Needle>(scale);
+}
+
+} // namespace vtsim

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Pathfinder-style dynamic programming: each CTA sweeps its block of
+ * columns down the grid, holding the previous row in a shared-memory
+ * double buffer with a barrier per row. The kernel declares a large
+ * shared allocation, so its occupancy is bounded by shared-memory
+ * capacity — the second member of the capacity-limited class.
+ */
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/factories.hh"
+
+namespace vtsim {
+
+namespace {
+
+class Pathfinder : public Workload
+{
+  public:
+    explicit Pathfinder(std::uint32_t scale)
+        : cols_(scale == 0 ? 512 : 16384 * scale),
+          rows_(scale == 0 ? 4 : 8)
+    {}
+
+    std::string name() const override { return "pathfinder"; }
+
+    std::string
+    description() const override
+    {
+        return "row-sweep DP, shared double buffer, 12 KB/CTA";
+    }
+
+    WorkloadClass
+    expectedClass() const override
+    {
+        return WorkloadClass::CapacityLimited;
+    }
+
+    Kernel
+    buildKernel() const override
+    {
+        // Buffer A at byte 0, buffer B at byte 6144 (256 words each is
+        // plenty; the rest of the 12 KB allocation models the real
+        // benchmark's block-sized pyramid storage).
+        return assemble(R"(
+.kernel pathfinder
+.shared 12288
+    ldp r0, 0            # data
+    ldp r1, 1            # out
+    ldp r2, 2            # totalCols
+    ldp r3, 3            # rows
+    s2r r4, ctaid.x
+    s2r r5, ntid.x
+    s2r r6, tid.x
+    imad r7, r4, r5, r6  # col
+    # load row 0 into buffer A
+    shl r8, r7, 2
+    iadd r8, r8, r0
+    ldg r9, [r8]
+    shl r10, r6, 2       # tid*4
+    sts [r10], r9
+    bar
+    movi r11, 0          # curBase = 0 (buffer A)
+    movi r12, 6144       # nxtBase
+    movi r13, 1          # r
+rloop:
+    # cur = data[r][col]
+    imad r14, r13, r2, r7
+    shl r14, r14, 2
+    iadd r14, r14, r0
+    ldg r15, [r14]
+    # neighbour indices clamped to the CTA block
+    isub r16, r6, 1
+    imax r16, r16, 0     # max handles the imm form: r16 = max(tid-1, 0)
+    isub r17, r5, 1
+    iadd r18, r6, 1
+    imin r18, r18, r17   # min(tid+1, ntid-1)
+    shl r16, r16, 2
+    iadd r16, r16, r11
+    lds r19, [r16]       # left
+    iadd r20, r10, r11
+    lds r21, [r20]       # mid
+    shl r18, r18, 2
+    iadd r18, r18, r11
+    lds r22, [r18]       # right
+    imin r23, r19, r21
+    imin r23, r23, r22
+    iadd r24, r15, r23   # value
+    iadd r25, r10, r12
+    sts [r25], r24
+    bar
+    # swap buffers
+    mov r26, r11
+    mov r11, r12
+    mov r12, r26
+    iadd r13, r13, 1
+    isetp.lt r27, r13, r3
+    bra r27, rloop
+    # result: current buffer holds the last row's values
+    iadd r28, r10, r11
+    lds r29, [r28]
+    shl r30, r7, 2
+    iadd r30, r30, r1
+    stg [r30], r29
+    exit
+)");
+    }
+
+    LaunchParams
+    prepare(GlobalMemory &gmem) override
+    {
+        Rng rng(0xabcd0a);
+        std::vector<std::uint32_t> data(std::size_t(rows_) * cols_);
+        for (auto &v : data)
+            v = rng.nextBelow(100);
+        dataAddr_ = gmem.alloc(data.size() * 4);
+        outAddr_ = gmem.alloc(cols_ * 4);
+        gmem.writeWords(dataAddr_, data);
+
+        // Host reference with the same per-block clamped semantics.
+        const std::uint32_t block = 256;
+        std::vector<std::uint32_t> prev(data.begin(), data.begin() + cols_);
+        std::vector<std::uint32_t> cur(cols_);
+        for (std::uint32_t r = 1; r < rows_; ++r) {
+            for (std::uint32_t c = 0; c < cols_; ++c) {
+                const std::uint32_t lo = c / block * block;
+                const std::uint32_t hi = lo + block - 1;
+                const std::uint32_t left = prev[c > lo ? c - 1 : lo];
+                const std::uint32_t right = prev[c < hi ? c + 1 : hi];
+                const std::uint32_t best =
+                    std::min(left, std::min(prev[c], right));
+                cur[c] = data[std::size_t(r) * cols_ + c] + best;
+            }
+            prev = cur;
+        }
+        expected_ = prev;
+
+        LaunchParams lp;
+        lp.cta = Dim3(block);
+        lp.grid = Dim3(cols_ / block);
+        lp.params = {std::uint32_t(dataAddr_), std::uint32_t(outAddr_),
+                     cols_, rows_};
+        return lp;
+    }
+
+    bool
+    verify(const GlobalMemory &gmem) const override
+    {
+        const auto got = gmem.readWords(outAddr_, cols_);
+        for (std::uint32_t c = 0; c < cols_; ++c)
+            if (got[c] != expected_[c])
+                return false;
+        return true;
+    }
+
+  private:
+    std::uint32_t cols_;
+    std::uint32_t rows_;
+    Addr dataAddr_ = 0, outAddr_ = 0;
+    std::vector<std::uint32_t> expected_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makePathfinder(std::uint32_t scale)
+{
+    return std::make_unique<Pathfinder>(scale);
+}
+
+} // namespace vtsim

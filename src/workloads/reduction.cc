@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Parallel reduction: grid-stride partial sums, shared-memory tree within
+ * the CTA (barriers every level), and a global atomic to combine CTA
+ * results. Integer data keeps the result order-independent and therefore
+ * exactly checkable.
+ */
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/factories.hh"
+
+namespace vtsim {
+
+namespace {
+
+class Reduction : public Workload
+{
+  public:
+    explicit Reduction(std::uint32_t scale)
+        : n_(scale == 0 ? 2048 : 131072 * scale)
+    {}
+
+    std::string name() const override { return "reduce"; }
+
+    std::string
+    description() const override
+    {
+        return "integer sum: shared-mem tree + global atomic";
+    }
+
+    WorkloadClass
+    expectedClass() const override
+    {
+        return WorkloadClass::SchedulingLimited;
+    }
+
+    Kernel
+    buildKernel() const override
+    {
+        return assemble(R"(
+.kernel reduce
+.shared 512
+    ldp r0, 0            # in
+    ldp r2, 2            # n
+    ldp r8, 3            # total threads
+    s2r r3, ctaid.x
+    s2r r4, ntid.x
+    s2r r5, tid.x
+    imad r6, r3, r4, r5  # gid
+    movi r7, 0           # acc
+loop:
+    isetp.ge r9, r6, r2
+    bra r9, loaded
+    shl r10, r6, 2
+    iadd r10, r10, r0
+    ldg r11, [r10]
+    iadd r7, r7, r11
+    iadd r6, r6, r8
+    jmp loop
+loaded:
+    shl r12, r5, 2       # my shared slot
+    sts [r12], r7
+    bar
+    shr r13, r4, 1       # s = ntid/2
+tree:
+    isetp.ge r14, r5, r13
+    bra r14, skip
+    iadd r15, r5, r13
+    shl r15, r15, 2
+    lds r16, [r15]
+    lds r17, [r12]
+    iadd r17, r17, r16
+    sts [r12], r17
+skip:
+    bar
+    shr r13, r13, 1
+    isetp.gt r18, r13, 0
+    bra r18, tree
+    isetp.ne r19, r5, 0
+    bra r19, fin
+    lds r20, [r12]
+    ldp r1, 1            # out
+    atomg.add r21, [r1], r20
+fin:
+    exit
+)");
+    }
+
+    LaunchParams
+    prepare(GlobalMemory &gmem) override
+    {
+        Rng rng(0xabcd03);
+        std::vector<std::uint32_t> in(n_);
+        expected_ = 0;
+        for (std::uint32_t i = 0; i < n_; ++i) {
+            in[i] = rng.nextBelow(1000);
+            expected_ += in[i];
+        }
+        inAddr_ = gmem.alloc(n_ * 4);
+        outAddr_ = gmem.alloc(4);
+        gmem.writeWords(inAddr_, in);
+        gmem.write32(outAddr_, 0);
+
+        const std::uint32_t total_threads = roundUp(n_ / 4, 128);
+        LaunchParams lp;
+        lp.cta = Dim3(128);
+        lp.grid = Dim3(total_threads / 128);
+        lp.params = {std::uint32_t(inAddr_), std::uint32_t(outAddr_), n_,
+                     total_threads};
+        return lp;
+    }
+
+    bool
+    verify(const GlobalMemory &gmem) const override
+    {
+        return gmem.read32(outAddr_) == expected_;
+    }
+
+  private:
+    std::uint32_t n_;
+    Addr inAddr_ = 0, outAddr_ = 0;
+    std::uint32_t expected_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeReduction(std::uint32_t scale)
+{
+    return std::make_unique<Reduction>(scale);
+}
+
+} // namespace vtsim

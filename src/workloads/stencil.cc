@@ -1,0 +1,123 @@
+/**
+ * @file
+ * 1-D 3-point stencil: neighbouring loads give L1 reuse, small CTAs keep
+ * the kernel CTA-slot (scheduling) limited.
+ */
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/factories.hh"
+
+namespace vtsim {
+
+namespace {
+
+class Stencil : public Workload
+{
+  public:
+    explicit Stencil(std::uint32_t scale)
+        : n_(scale == 0 ? 1024 : 98304 * scale)
+    {}
+
+    std::string name() const override { return "stencil"; }
+
+    std::string
+    description() const override
+    {
+        return "1-D 3-point float stencil, interior points";
+    }
+
+    WorkloadClass
+    expectedClass() const override
+    {
+        return WorkloadClass::SchedulingLimited;
+    }
+
+    Kernel
+    buildKernel() const override
+    {
+        // out[i] = 0.25*in[i-1] + 0.5*in[i] + 0.25*in[i+1], 1 <= i < n-1
+        return assemble(R"(
+.kernel stencil
+    ldp r0, 0            # in
+    ldp r1, 1            # out
+    ldp r2, 2            # n
+    ldp r3, 3            # 0.25f bits
+    ldp r4, 4            # 0.5f bits
+    s2r r5, ctaid.x
+    s2r r6, ntid.x
+    s2r r7, tid.x
+    imad r8, r5, r6, r7  # i - 1 base
+    iadd r8, r8, 1       # i
+    isub r9, r2, 1
+    isetp.ge r10, r8, r9
+    bra r10, done
+    shl r11, r8, 2
+    iadd r11, r11, r0    # &in[i]
+    ldg r12, [r11-4]
+    ldg r13, [r11]
+    ldg r14, [r11+4]
+    fmul r15, r12, r3
+    ffma r15, r13, r4, r15
+    ffma r15, r14, r3, r15
+    shl r16, r8, 2
+    iadd r16, r16, r1
+    stg [r16], r15
+done:
+    exit
+)");
+    }
+
+    LaunchParams
+    prepare(GlobalMemory &gmem) override
+    {
+        Rng rng(0xabcd05);
+        std::vector<float> in(n_);
+        for (auto &v : in)
+            v = rng.nextFloat();
+        inAddr_ = gmem.alloc(n_ * 4);
+        outAddr_ = gmem.alloc(n_ * 4);
+        gmem.writeFloats(inAddr_, in);
+
+        expected_.assign(n_, 0.0f);
+        for (std::uint32_t i = 1; i + 1 < n_; ++i) {
+            float acc = in[i - 1] * 0.25f;
+            acc = in[i] * 0.5f + acc;
+            acc = in[i + 1] * 0.25f + acc;
+            expected_[i] = acc;
+        }
+
+        LaunchParams lp;
+        lp.cta = Dim3(128);
+        lp.grid = Dim3(ceilDiv(n_, 128));
+        lp.params = {std::uint32_t(inAddr_), std::uint32_t(outAddr_), n_,
+                     0x3e800000u /* 0.25f */, 0x3f000000u /* 0.5f */};
+        return lp;
+    }
+
+    bool
+    verify(const GlobalMemory &gmem) const override
+    {
+        const auto got = gmem.readFloats(outAddr_, n_);
+        for (std::uint32_t i = 1; i + 1 < n_; ++i)
+            if (got[i] != expected_[i])
+                return false;
+        return true;
+    }
+
+  private:
+    std::uint32_t n_;
+    Addr inAddr_ = 0, outAddr_ = 0;
+    std::vector<float> expected_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeStencil(std::uint32_t scale)
+{
+    return std::make_unique<Stencil>(scale);
+}
+
+} // namespace vtsim

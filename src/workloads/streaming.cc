@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Streaming benchmarks: vecadd and saxpy. Small CTAs with low register
+ * pressure — the canonical scheduling-limited (CTA-slot-bound),
+ * memory-latency-bound workloads the Virtual Thread paper targets.
+ */
+
+#include <bit>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/factories.hh"
+
+namespace vtsim {
+
+namespace {
+
+/** c[i] = a[i] + b[i] over n floats; 64-thread CTAs. */
+class VecAdd : public Workload
+{
+  public:
+    explicit VecAdd(std::uint32_t scale)
+        : n_(scale == 0 ? 512 : 49152 * scale)
+    {}
+
+    std::string name() const override { return "vecadd"; }
+
+    std::string
+    description() const override
+    {
+        return "streaming float vector add, 64-thread CTAs";
+    }
+
+    WorkloadClass
+    expectedClass() const override
+    {
+        return WorkloadClass::SchedulingLimited;
+    }
+
+    Kernel
+    buildKernel() const override
+    {
+        return assemble(R"(
+.kernel vecadd
+    ldp r0, 0            # a
+    ldp r1, 1            # b
+    ldp r2, 2            # c
+    ldp r3, 3            # n
+    s2r r4, ctaid.x
+    s2r r5, ntid.x
+    s2r r6, tid.x
+    imad r7, r4, r5, r6  # gid
+    isetp.ge r8, r7, r3
+    bra r8, done
+    shl r9, r7, 2
+    iadd r10, r0, r9
+    ldg r11, [r10]
+    iadd r12, r1, r9
+    ldg r13, [r12]
+    fadd r14, r11, r13
+    iadd r15, r2, r9
+    stg [r15], r14
+done:
+    exit
+)");
+    }
+
+    LaunchParams
+    prepare(GlobalMemory &gmem) override
+    {
+        Rng rng(0xabcd01);
+        std::vector<float> a(n_), b(n_);
+        for (std::uint32_t i = 0; i < n_; ++i) {
+            a[i] = rng.nextFloat();
+            b[i] = rng.nextFloat();
+        }
+        aAddr_ = gmem.alloc(n_ * 4);
+        bAddr_ = gmem.alloc(n_ * 4);
+        cAddr_ = gmem.alloc(n_ * 4);
+        gmem.writeFloats(aAddr_, a);
+        gmem.writeFloats(bAddr_, b);
+        expected_.resize(n_);
+        for (std::uint32_t i = 0; i < n_; ++i)
+            expected_[i] = a[i] + b[i];
+
+        LaunchParams lp;
+        lp.cta = Dim3(64);
+        lp.grid = Dim3(ceilDiv(n_, 64));
+        lp.params = {std::uint32_t(aAddr_), std::uint32_t(bAddr_),
+                     std::uint32_t(cAddr_), n_};
+        return lp;
+    }
+
+    bool
+    verify(const GlobalMemory &gmem) const override
+    {
+        const auto got = gmem.readFloats(cAddr_, n_);
+        for (std::uint32_t i = 0; i < n_; ++i)
+            if (got[i] != expected_[i])
+                return false;
+        return true;
+    }
+
+  private:
+    std::uint32_t n_;
+    Addr aAddr_ = 0, bAddr_ = 0, cAddr_ = 0;
+    std::vector<float> expected_;
+};
+
+/** y[i] = alpha * x[i] + y[i], grid-stride loop; 128-thread CTAs. */
+class Saxpy : public Workload
+{
+  public:
+    explicit Saxpy(std::uint32_t scale)
+        : n_(scale == 0 ? 1024 : 98304 * scale)
+    {}
+
+    std::string name() const override { return "saxpy"; }
+
+    std::string
+    description() const override
+    {
+        return "grid-stride saxpy, 128-thread CTAs";
+    }
+
+    WorkloadClass
+    expectedClass() const override
+    {
+        return WorkloadClass::SchedulingLimited;
+    }
+
+    Kernel
+    buildKernel() const override
+    {
+        return assemble(R"(
+.kernel saxpy
+    ldp r0, 0            # x
+    ldp r1, 1            # y
+    ldp r2, 2            # n
+    ldp r3, 3            # alpha bits
+    ldp r4, 4            # total threads
+    s2r r5, ctaid.x
+    s2r r6, ntid.x
+    s2r r7, tid.x
+    imad r8, r5, r6, r7  # i
+loop:
+    isetp.ge r9, r8, r2
+    bra r9, done
+    shl r10, r8, 2
+    iadd r11, r0, r10
+    ldg r12, [r11]
+    iadd r13, r1, r10
+    ldg r14, [r13]
+    ffma r15, r3, r12, r14
+    stg [r13], r15
+    iadd r8, r8, r4
+    jmp loop
+done:
+    exit
+)");
+    }
+
+    LaunchParams
+    prepare(GlobalMemory &gmem) override
+    {
+        Rng rng(0xabcd02);
+        std::vector<float> x(n_), y(n_);
+        for (std::uint32_t i = 0; i < n_; ++i) {
+            x[i] = rng.nextFloat();
+            y[i] = rng.nextFloat();
+        }
+        xAddr_ = gmem.alloc(n_ * 4);
+        yAddr_ = gmem.alloc(n_ * 4);
+        gmem.writeFloats(xAddr_, x);
+        gmem.writeFloats(yAddr_, y);
+
+        const float alpha = 2.5f;
+        expected_.resize(n_);
+        for (std::uint32_t i = 0; i < n_; ++i)
+            expected_[i] = alpha * x[i] + y[i];
+
+        // Oversubscribe ~2 iterations per thread.
+        const std::uint32_t total_threads = roundUp(n_ / 2, 128);
+        LaunchParams lp;
+        lp.cta = Dim3(128);
+        lp.grid = Dim3(total_threads / 128);
+        lp.params = {std::uint32_t(xAddr_), std::uint32_t(yAddr_), n_,
+                     std::bit_cast<std::uint32_t>(alpha), total_threads};
+        return lp;
+    }
+
+    bool
+    verify(const GlobalMemory &gmem) const override
+    {
+        const auto got = gmem.readFloats(yAddr_, n_);
+        for (std::uint32_t i = 0; i < n_; ++i)
+            if (got[i] != expected_[i])
+                return false;
+        return true;
+    }
+
+  private:
+    std::uint32_t n_;
+    Addr xAddr_ = 0, yAddr_ = 0;
+    std::vector<float> expected_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeVecAdd(std::uint32_t scale)
+{
+    return std::make_unique<VecAdd>(scale);
+}
+
+std::unique_ptr<Workload>
+makeSaxpy(std::uint32_t scale)
+{
+    return std::make_unique<Saxpy>(scale);
+}
+
+} // namespace vtsim

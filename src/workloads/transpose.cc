@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared-memory tiled matrix transpose (16x16 tiles, padded to dodge bank
+ * conflicts): coalesced loads and stores with a barrier between phases.
+ */
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/factories.hh"
+
+namespace vtsim {
+
+namespace {
+
+class Transpose : public Workload
+{
+  public:
+    explicit Transpose(std::uint32_t scale) : n_(scale == 0 ? 32 : 256)
+    {
+        if (scale > 1)
+            n_ = 256 + 64 * (scale - 1);
+    }
+
+    std::string name() const override { return "transpose"; }
+
+    std::string
+    description() const override
+    {
+        return "16x16 shared-mem tiled transpose, padded tiles";
+    }
+
+    WorkloadClass
+    expectedClass() const override
+    {
+        return WorkloadClass::SchedulingLimited;
+    }
+
+    Kernel
+    buildKernel() const override
+    {
+        // Tile stride is 17 words to avoid shared-memory bank conflicts.
+        return assemble(R"(
+.kernel transpose
+.shared 1088
+    ldp r0, 0            # in
+    ldp r1, 1            # out
+    ldp r2, 2            # N
+    s2r r3, ctaid.x
+    s2r r4, ctaid.y
+    s2r r5, tid.x
+    s2r r6, tid.y
+    movi r7, 16
+    imad r8, r3, r7, r5  # x = bx*16 + tx
+    imad r9, r4, r7, r6  # y = by*16 + ty
+    imad r10, r9, r2, r8 # y*N + x
+    shl r10, r10, 2
+    iadd r10, r10, r0
+    ldg r10, [r10]
+    movi r11, 17
+    imad r12, r6, r11, r5 # ty*17 + tx
+    shl r12, r12, 2
+    sts [r12], r10
+    bar
+    imad r8, r4, r7, r5  # xo = by*16 + tx
+    imad r9, r3, r7, r6  # yo = bx*16 + ty
+    imad r9, r9, r2, r8
+    shl r9, r9, 2
+    iadd r9, r9, r1
+    imad r12, r5, r11, r6 # tx*17 + ty
+    shl r12, r12, 2
+    lds r12, [r12]
+    stg [r9], r12
+    exit
+)");
+    }
+
+    LaunchParams
+    prepare(GlobalMemory &gmem) override
+    {
+        Rng rng(0xabcd09);
+        std::vector<std::uint32_t> in(std::size_t(n_) * n_);
+        for (auto &v : in)
+            v = static_cast<std::uint32_t>(rng.next());
+        inAddr_ = gmem.alloc(in.size() * 4);
+        outAddr_ = gmem.alloc(in.size() * 4);
+        gmem.writeWords(inAddr_, in);
+
+        expected_.resize(in.size());
+        for (std::uint32_t y = 0; y < n_; ++y)
+            for (std::uint32_t x = 0; x < n_; ++x)
+                expected_[std::size_t(x) * n_ + y] =
+                    in[std::size_t(y) * n_ + x];
+
+        LaunchParams lp;
+        lp.cta = Dim3(16, 16);
+        lp.grid = Dim3(n_ / 16, n_ / 16);
+        lp.params = {std::uint32_t(inAddr_), std::uint32_t(outAddr_), n_};
+        return lp;
+    }
+
+    bool
+    verify(const GlobalMemory &gmem) const override
+    {
+        const auto got = gmem.readWords(outAddr_, expected_.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            if (got[i] != expected_[i])
+                return false;
+        return true;
+    }
+
+  private:
+    std::uint32_t n_;
+    Addr inAddr_ = 0, outAddr_ = 0;
+    std::vector<std::uint32_t> expected_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeTranspose(std::uint32_t scale)
+{
+    return std::make_unique<Transpose>(scale);
+}
+
+} // namespace vtsim

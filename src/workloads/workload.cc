@@ -1,0 +1,74 @@
+#include "workloads/workload.hh"
+
+#include "common/log.hh"
+#include "workloads/factories.hh"
+
+namespace vtsim {
+
+std::string
+toString(WorkloadClass cls)
+{
+    switch (cls) {
+      case WorkloadClass::SchedulingLimited: return "scheduling-limited";
+      case WorkloadClass::CapacityLimited: return "capacity-limited";
+    }
+    return "?";
+}
+
+namespace {
+
+struct RegistryEntry
+{
+    const char *name;
+    std::unique_ptr<Workload> (*factory)(std::uint32_t);
+};
+
+const RegistryEntry registry[] = {
+    {"vecadd", makeVecAdd},
+    {"saxpy", makeSaxpy},
+    {"reduce", makeReduction},
+    {"stencil", makeStencil},
+    {"spmv", makeSpmv},
+    {"bfs", makeBfs},
+    {"histogram", makeHistogram},
+    {"transpose", makeTranspose},
+    {"hotspot", makeHotspot},
+    {"kmeans", makeKmeans},
+    {"blackscholes", makeBlackscholes},
+    {"needle", makeNeedle},
+    {"mummer", makeMummer},
+    {"bitonic", makeBitonic},
+    {"matmul", makeMatmul},
+    {"pathfinder", makePathfinder},
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, std::uint32_t scale)
+{
+    for (const auto &entry : registry)
+        if (name == entry.name)
+            return entry.factory(scale);
+    VTSIM_FATAL("unknown workload '", name, "'");
+}
+
+std::vector<std::string>
+benchmarkNames()
+{
+    std::vector<std::string> names;
+    for (const auto &entry : registry)
+        names.emplace_back(entry.name);
+    return names;
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeBenchmarkSuite(std::uint32_t scale)
+{
+    std::vector<std::unique_ptr<Workload>> suite;
+    for (const auto &entry : registry)
+        suite.push_back(entry.factory(scale));
+    return suite;
+}
+
+} // namespace vtsim

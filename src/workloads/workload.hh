@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The benchmark-workload abstraction and the suite registry. Each
+ * workload packages a VASM kernel, input synthesis, launch geometry and a
+ * host-side reference checker — the role the paper's CUDA benchmarks
+ * (Rodinia/Parboil/ISPASS class) play in its evaluation.
+ */
+
+#ifndef VTSIM_WORKLOADS_WORKLOAD_HH
+#define VTSIM_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "func/global_memory.hh"
+#include "isa/kernel.hh"
+
+namespace vtsim {
+
+/** Expected occupancy class of a workload (TAB-2 column). */
+enum class WorkloadClass
+{
+    SchedulingLimited, ///< VT's target population.
+    CapacityLimited,   ///< Bounded by registers/shared memory.
+};
+
+std::string toString(WorkloadClass cls);
+
+/**
+ * One benchmark: owns its problem instance. Use as:
+ *   auto w = makeWorkload("vecadd", scale);
+ *   Kernel k = w->buildKernel();
+ *   LaunchParams lp = w->prepare(gpu.memory());
+ *   gpu.launch(k, lp);
+ *   bool ok = w->verify(gpu.memory());
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+    virtual std::string description() const = 0;
+    virtual WorkloadClass expectedClass() const = 0;
+
+    /** Assemble the kernel. */
+    virtual Kernel buildKernel() const = 0;
+
+    /**
+     * Allocate and fill device buffers; remember addresses for verify().
+     * @return Launch geometry and parameter block.
+     */
+    virtual LaunchParams prepare(GlobalMemory &gmem) = 0;
+
+    /** Check device results against the host reference. */
+    virtual bool verify(const GlobalMemory &gmem) const = 0;
+};
+
+/**
+ * Construct one workload by name with a problem-size scale:
+ * scale 0 = unit-test tiny, 1 = benchmark default, 2+ = larger.
+ * @throws FatalError for an unknown name.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       std::uint32_t scale = 1);
+
+/** All benchmark names, in the canonical TAB-2 order. */
+std::vector<std::string> benchmarkNames();
+
+/** Build the whole suite at @p scale. */
+std::vector<std::unique_ptr<Workload>>
+makeBenchmarkSuite(std::uint32_t scale = 1);
+
+} // namespace vtsim
+
+#endif // VTSIM_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the VASM text assembler and the disassembler round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "isa/assembler.hh"
+#include "isa/disassembler.hh"
+#include "workloads/workload.hh"
+
+namespace vtsim {
+namespace {
+
+TEST(Assembler, MinimalKernel)
+{
+    const Kernel k = assemble(".kernel t\n  exit\n");
+    EXPECT_EQ(k.name(), "t");
+    EXPECT_EQ(k.size(), 1u);
+    EXPECT_TRUE(k.at(0).isExit());
+}
+
+TEST(Assembler, Directives)
+{
+    const Kernel k = assemble(R"(
+.kernel t
+.regs 24
+.shared 2048
+    exit
+)");
+    EXPECT_EQ(k.regsPerThread(), 24u);
+    EXPECT_EQ(k.sharedBytesPerCta(), 2048u);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const Kernel k = assemble(R"(
+# full-line comment
+.kernel t
+
+    movi r0, 1   # trailing comment
+    exit
+)");
+    EXPECT_EQ(k.size(), 2u);
+}
+
+TEST(Assembler, AluRegisterAndImmediateForms)
+{
+    const Kernel k = assemble(R"(
+.kernel t
+    iadd r2, r0, r1
+    iadd r3, r0, 42
+    iadd r4, r0, -7
+    shl r5, r0, 0x10
+    exit
+)");
+    EXPECT_FALSE(k.at(0).useImm);
+    EXPECT_TRUE(k.at(1).useImm);
+    EXPECT_EQ(k.at(1).imm, 42);
+    EXPECT_EQ(k.at(2).imm, -7);
+    EXPECT_EQ(k.at(3).imm, 16);
+    EXPECT_EQ(k.regsPerThread(), 6u);
+}
+
+TEST(Assembler, MovWithImmediateBecomesMovi)
+{
+    const Kernel k = assemble(".kernel t\n mov r0, 9\n exit\n");
+    EXPECT_EQ(k.at(0).op, Opcode::MOVI);
+    EXPECT_EQ(k.at(0).imm, 9);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    const Kernel k = assemble(R"(
+.kernel t
+    ldg r1, [r0]
+    ldg r2, [r0+8]
+    ldg r3, [r0-4]
+    stg [r0+12], r1
+    lds r4, [r0]
+    sts [r0+128], r4
+    atomg.add r5, [r0], r1
+    exit
+)");
+    EXPECT_EQ(k.at(0).imm, 0);
+    EXPECT_EQ(k.at(1).imm, 8);
+    EXPECT_EQ(k.at(2).imm, -4);
+    EXPECT_EQ(k.at(3).op, Opcode::STG);
+    EXPECT_EQ(k.at(3).imm, 12);
+    EXPECT_EQ(k.at(4).op, Opcode::LDS);
+    EXPECT_EQ(k.at(5).op, Opcode::STS);
+    EXPECT_EQ(k.at(6).op, Opcode::ATOMG_ADD);
+}
+
+TEST(Assembler, CompareSuffixes)
+{
+    const Kernel k = assemble(R"(
+.kernel t
+    isetp.lt r1, r0, 5
+    isetp.ge r2, r0, r1
+    fsetp.ne r3, r0, r1
+    exit
+)");
+    EXPECT_EQ(k.at(0).op, Opcode::ISETP);
+    EXPECT_EQ(k.at(0).cmp, CmpOp::LT);
+    EXPECT_EQ(k.at(1).cmp, CmpOp::GE);
+    EXPECT_EQ(k.at(2).op, Opcode::FSETP);
+    EXPECT_EQ(k.at(2).cmp, CmpOp::NE);
+}
+
+TEST(Assembler, SpecialRegisters)
+{
+    const Kernel k = assemble(R"(
+.kernel t
+    s2r r0, tid.x
+    s2r r1, ctaid.y
+    s2r r2, laneid
+    exit
+)");
+    EXPECT_EQ(k.at(0).sreg, SpecialReg::TidX);
+    EXPECT_EQ(k.at(1).sreg, SpecialReg::CtaIdY);
+    EXPECT_EQ(k.at(2).sreg, SpecialReg::LaneId);
+}
+
+TEST(Assembler, BranchesAndLabels)
+{
+    const Kernel k = assemble(R"(
+.kernel t
+top:
+    iadd r0, r0, 1
+    bra r1, top
+    jmp end
+end:
+    exit
+)");
+    EXPECT_EQ(k.at(1).branchTarget, 0u);
+    EXPECT_EQ(k.at(1).reconvergePc, 2u); // backward: fall-through
+    EXPECT_EQ(k.at(2).branchTarget, 3u);
+    EXPECT_EQ(k.at(2).src[0], noReg); // jmp is unconditional
+}
+
+TEST(Assembler, JoinKeyword)
+{
+    const Kernel k = assemble(R"(
+.kernel t
+    bra r0, else_p, join=merge
+    movi r1, 1
+    jmp merge
+else_p:
+    movi r1, 2
+merge:
+    exit
+)");
+    EXPECT_EQ(k.at(0).branchTarget, 3u);
+    EXPECT_EQ(k.at(0).reconvergePc, 4u);
+}
+
+TEST(Assembler, ErrorUnknownMnemonic)
+{
+    EXPECT_THROW(assemble(".kernel t\n frob r0, r1\n exit\n"), FatalError);
+}
+
+TEST(Assembler, ErrorMissingKernelDirective)
+{
+    EXPECT_THROW(assemble("  movi r0, 1\n  exit\n"), FatalError);
+}
+
+TEST(Assembler, ErrorDuplicateKernelDirective)
+{
+    EXPECT_THROW(assemble(".kernel a\n.kernel b\n exit\n"), FatalError);
+}
+
+TEST(Assembler, ErrorUndefinedLabel)
+{
+    EXPECT_THROW(assemble(".kernel t\n jmp nowhere\n exit\n"), FatalError);
+}
+
+TEST(Assembler, ErrorBadOperandCount)
+{
+    EXPECT_THROW(assemble(".kernel t\n iadd r0, r1\n exit\n"), FatalError);
+}
+
+TEST(Assembler, ErrorBadMemoryOperand)
+{
+    EXPECT_THROW(assemble(".kernel t\n ldg r0, [5]\n exit\n"), FatalError);
+    EXPECT_THROW(assemble(".kernel t\n ldg r0, r1\n exit\n"), FatalError);
+}
+
+TEST(Assembler, ErrorBadCompareSuffix)
+{
+    EXPECT_THROW(assemble(".kernel t\n isetp.zz r0, r1, r2\n exit\n"),
+                 FatalError);
+}
+
+TEST(Assembler, ErrorEmptySource)
+{
+    EXPECT_THROW(assemble(""), FatalError);
+}
+
+TEST(Assembler, ErrorLineNumberReported)
+{
+    try {
+        assemble(".kernel t\n movi r0, 1\n bogus\n exit\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(Disassembler, SingleInstructionForms)
+{
+    Instruction i;
+    i.op = Opcode::IADD;
+    i.dst = 2;
+    i.src[0] = 0;
+    i.useImm = true;
+    i.imm = 5;
+    EXPECT_EQ(disassemble(i), "iadd r2, r0, 5");
+
+    i = Instruction();
+    i.op = Opcode::LDG;
+    i.dst = 1;
+    i.src[0] = 0;
+    i.imm = -8;
+    EXPECT_EQ(disassemble(i), "ldg r1, [r0-8]");
+
+    i = Instruction();
+    i.op = Opcode::BAR;
+    EXPECT_EQ(disassemble(i), "bar");
+}
+
+/** Structural equality of two kernels, ignoring label names. */
+void
+expectEquivalent(const Kernel &a, const Kernel &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.regsPerThread(), b.regsPerThread());
+    EXPECT_EQ(a.sharedBytesPerCta(), b.sharedBytesPerCta());
+    for (Pc pc = 0; pc < a.size(); ++pc) {
+        const Instruction &x = a.at(pc);
+        const Instruction &y = b.at(pc);
+        EXPECT_EQ(x.op, y.op) << "pc " << pc;
+        EXPECT_EQ(x.dst, y.dst) << "pc " << pc;
+        EXPECT_EQ(x.src[0], y.src[0]) << "pc " << pc;
+        EXPECT_EQ(x.src[1], y.src[1]) << "pc " << pc;
+        EXPECT_EQ(x.src[2], y.src[2]) << "pc " << pc;
+        EXPECT_EQ(x.useImm, y.useImm) << "pc " << pc;
+        EXPECT_EQ(x.imm, y.imm) << "pc " << pc;
+        EXPECT_EQ(x.cmp, y.cmp) << "pc " << pc;
+        EXPECT_EQ(x.sreg, y.sreg) << "pc " << pc;
+        EXPECT_EQ(x.branchTarget, y.branchTarget) << "pc " << pc;
+        EXPECT_EQ(x.reconvergePc, y.reconvergePc) << "pc " << pc;
+    }
+}
+
+/** Round-trip property over every benchmark kernel in the suite. */
+class DisasmRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DisasmRoundTrip, AssembleDisassembleAssemble)
+{
+    const auto wl = makeWorkload(GetParam(), 0);
+    const Kernel original = wl->buildKernel();
+    const std::string text = disassemble(original);
+    const Kernel rebuilt = assemble(text);
+    expectEquivalent(original, rebuilt);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, DisasmRoundTrip,
+                         ::testing::ValuesIn(benchmarkNames()));
+
+} // namespace
+} // namespace vtsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for CTA barrier bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sm/barrier_manager.hh"
+
+namespace vtsim {
+namespace {
+
+TEST(Barrier, ReleaseWhenAllAlivArrive)
+{
+    BarrierManager bm;
+    bm.ctaLaunched(0);
+    bm.arrive(0, 0);
+    bm.arrive(0, 1);
+    EXPECT_FALSE(bm.shouldRelease(0, 3));
+    bm.arrive(0, 2);
+    EXPECT_TRUE(bm.shouldRelease(0, 3));
+    const auto released = bm.release(0);
+    EXPECT_EQ(released.size(), 3u);
+    EXPECT_EQ(bm.arrivedCount(0), 0u);
+    bm.ctaFinished(0);
+}
+
+TEST(Barrier, WarpExitLowersThreshold)
+{
+    BarrierManager bm;
+    bm.ctaLaunched(5);
+    bm.arrive(5, 0);
+    // Initially 3 alive: not releasable. One warp exits -> 2 alive.
+    EXPECT_FALSE(bm.shouldRelease(5, 3));
+    bm.arrive(5, 1);
+    EXPECT_TRUE(bm.shouldRelease(5, 2));
+    bm.release(5);
+    bm.ctaFinished(5);
+}
+
+TEST(Barrier, NoArrivalsNeverReleases)
+{
+    BarrierManager bm;
+    bm.ctaLaunched(1);
+    EXPECT_FALSE(bm.shouldRelease(1, 0));
+    bm.ctaFinished(1);
+}
+
+TEST(Barrier, ReusableAcrossIterations)
+{
+    BarrierManager bm;
+    bm.ctaLaunched(0);
+    for (int iter = 0; iter < 5; ++iter) {
+        bm.arrive(0, 0);
+        bm.arrive(0, 1);
+        ASSERT_TRUE(bm.shouldRelease(0, 2));
+        EXPECT_EQ(bm.release(0).size(), 2u);
+    }
+    bm.ctaFinished(0);
+}
+
+TEST(Barrier, IndependentCtas)
+{
+    BarrierManager bm;
+    bm.ctaLaunched(0);
+    bm.ctaLaunched(1);
+    bm.arrive(0, 0);
+    EXPECT_EQ(bm.arrivedCount(0), 1u);
+    EXPECT_EQ(bm.arrivedCount(1), 0u);
+    EXPECT_TRUE(bm.shouldRelease(0, 1));
+    EXPECT_FALSE(bm.shouldRelease(1, 1));
+    bm.release(0);
+    bm.ctaFinished(0);
+    bm.ctaFinished(1);
+}
+
+TEST(BarrierDeath, DoubleArrivalPanics)
+{
+    BarrierManager bm;
+    bm.ctaLaunched(0);
+    bm.arrive(0, 3);
+    EXPECT_DEATH(bm.arrive(0, 3), "double barrier arrival");
+}
+
+TEST(BarrierDeath, FinishWithParkedWarpsPanics)
+{
+    BarrierManager bm;
+    bm.ctaLaunched(0);
+    bm.arrive(0, 0);
+    EXPECT_DEATH(bm.ctaFinished(0), "parked");
+}
+
+TEST(BarrierDeath, UntrackedCtaPanics)
+{
+    BarrierManager bm;
+    EXPECT_DEATH(bm.arrive(9, 0), "untracked");
+}
+
+} // namespace
+} // namespace vtsim

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache with MSHRs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "mem/cache.hh"
+
+namespace vtsim {
+namespace {
+
+CacheParams
+tinyParams()
+{
+    CacheParams p;
+    p.name = "t";
+    p.size = 1024;     // 2 sets x 4 ways x 128B
+    p.assoc = 4;
+    p.lineSize = 128;
+    p.numMshrs = 2;
+    p.mshrTargets = 2;
+    return p;
+}
+
+MemRequest
+load(Addr line, std::uint64_t token = 0)
+{
+    MemRequest r;
+    r.lineAddr = line;
+    r.token = token;
+    return r;
+}
+
+TEST(Cache, MissThenFillThenHit)
+{
+    Cache c(tinyParams());
+    EXPECT_EQ(c.access(load(0)), CacheOutcome::MissNew);
+    EXPECT_FALSE(c.probe(0));
+    const auto targets = c.fill(0).targets;
+    EXPECT_EQ(targets.size(), 1u);
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_EQ(c.access(load(0)), CacheOutcome::Hit);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, MshrMergeReturnsAllTargets)
+{
+    Cache c(tinyParams());
+    EXPECT_EQ(c.access(load(0, 1)), CacheOutcome::MissNew);
+    EXPECT_EQ(c.access(load(0, 2)), CacheOutcome::MissMerged);
+    const auto targets = c.fill(0).targets;
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_EQ(targets[0].token, 1u);
+    EXPECT_EQ(targets[1].token, 2u);
+}
+
+TEST(Cache, RejectWhenMshrsFull)
+{
+    Cache c(tinyParams());
+    EXPECT_EQ(c.access(load(0)), CacheOutcome::MissNew);
+    EXPECT_EQ(c.access(load(128)), CacheOutcome::MissNew);
+    EXPECT_EQ(c.access(load(256)), CacheOutcome::RejectMshrFull);
+    EXPECT_EQ(c.mshrsInUse(), 2u);
+    c.fill(0);
+    EXPECT_EQ(c.access(load(256)), CacheOutcome::MissNew);
+}
+
+TEST(Cache, RejectWhenTargetsFull)
+{
+    Cache c(tinyParams());
+    EXPECT_EQ(c.access(load(0, 1)), CacheOutcome::MissNew);
+    EXPECT_EQ(c.access(load(0, 2)), CacheOutcome::MissMerged);
+    EXPECT_EQ(c.access(load(0, 3)), CacheOutcome::RejectTargets);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(tinyParams());
+    // Set 0 holds lines 0, 256, 512, ... (2 sets, 128B lines).
+    for (Addr line : {0u, 256u, 512u, 768u}) {
+        c.access(load(line));
+        c.fill(line);
+    }
+    // Touch line 0 so line 256 becomes LRU.
+    EXPECT_EQ(c.access(load(0)), CacheOutcome::Hit);
+    c.access(load(1024));
+    c.fill(1024);
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(256)); // evicted
+    EXPECT_TRUE(c.probe(512));
+    EXPECT_TRUE(c.probe(1024));
+}
+
+TEST(Cache, SetsAreIndependent)
+{
+    Cache c(tinyParams());
+    // Lines 0 and 128 land in different sets.
+    c.access(load(0));
+    c.fill(0);
+    c.access(load(128));
+    c.fill(128);
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_TRUE(c.probe(128));
+    EXPECT_EQ(c.numSets(), 2u);
+}
+
+TEST(Cache, StoreAccessNeverAllocates)
+{
+    Cache c(tinyParams());
+    EXPECT_FALSE(c.storeAccess(0));
+    EXPECT_FALSE(c.probe(0));
+    c.access(load(0));
+    c.fill(0);
+    EXPECT_TRUE(c.storeAccess(0));
+}
+
+TEST(Cache, StoreTouchKeepsLineHot)
+{
+    Cache c(tinyParams());
+    for (Addr line : {0u, 256u, 512u, 768u}) {
+        c.access(load(line));
+        c.fill(line);
+    }
+    c.storeAccess(0); // refresh line 0's LRU position
+    c.access(load(1024));
+    c.fill(1024);
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(256));
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Cache c(tinyParams());
+    c.access(load(0));
+    c.fill(0);
+    c.flush();
+    EXPECT_FALSE(c.probe(0));
+    EXPECT_EQ(c.access(load(0)), CacheOutcome::MissNew);
+}
+
+TEST(Cache, MergesCountedSeparatelyFromMisses)
+{
+    Cache c(tinyParams());
+    c.access(load(0, 1));
+    c.access(load(0, 2));
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.stats().counterValue("mshr_merges"), 1u);
+    EXPECT_EQ(c.stats().counterValue("mshr_rejects"), 0u);
+}
+
+/** Parameterised sweep over geometries: fill the whole cache, everything
+ *  present; one more set-conflicting line evicts exactly one. */
+struct Geometry
+{
+    std::uint32_t size, assoc, line;
+};
+
+class CacheGeometrySweep : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CacheGeometrySweep, FillAllThenEvictOne)
+{
+    const Geometry g = GetParam();
+    CacheParams p;
+    p.size = g.size;
+    p.assoc = g.assoc;
+    p.lineSize = g.line;
+    p.numMshrs = 4096;
+    p.mshrTargets = 4;
+    Cache c(p);
+    const std::uint32_t lines = g.size / g.line;
+    for (std::uint32_t i = 0; i < lines; ++i) {
+        ASSERT_EQ(c.access(load(Addr(i) * g.line)), CacheOutcome::MissNew);
+        c.fill(Addr(i) * g.line);
+    }
+    for (std::uint32_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(c.probe(Addr(i) * g.line));
+    // One more line aliasing set 0 evicts exactly one resident line.
+    const Addr extra = Addr(lines) * g.line;
+    c.access(load(extra));
+    c.fill(extra);
+    std::uint32_t present = 0;
+    for (std::uint32_t i = 0; i <= lines; ++i)
+        present += c.probe(Addr(i) * g.line);
+    EXPECT_EQ(present, lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometrySweep,
+    ::testing::Values(Geometry{1024, 1, 128}, Geometry{1024, 4, 64},
+                      Geometry{16384, 4, 128}, Geometry{32768, 8, 128},
+                      Geometry{4096, 2, 32}));
+
+} // namespace
+} // namespace vtsim

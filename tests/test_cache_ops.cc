@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the cache-operator extension: ldg.cg streaming loads and
+ * the global l1BypassGlobalLoads policy knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/disassembler.hh"
+#include "test_util.hh"
+#include "workloads/workload.hh"
+
+namespace vtsim {
+namespace {
+
+TEST(CacheOps, AssemblerParsesStreamingLoads)
+{
+    const Kernel k = assemble(R"(
+.kernel t
+    ldg r1, [r0]
+    ldg.cg r2, [r0+4]
+    exit
+)");
+    EXPECT_EQ(k.at(0).cacheOp, CacheOp::CacheAll);
+    EXPECT_EQ(k.at(1).cacheOp, CacheOp::Streaming);
+    EXPECT_EQ(k.at(1).op, Opcode::LDG);
+}
+
+TEST(CacheOps, DisassemblerRoundTripsSuffix)
+{
+    const Kernel k = assemble(R"(
+.kernel t
+    ldg.cg r1, [r0+8]
+    exit
+)");
+    const std::string text = disassemble(k);
+    EXPECT_NE(text.find("ldg.cg r1, [r0+8]"), std::string::npos);
+    const Kernel again = assemble(text);
+    EXPECT_EQ(again.at(0).cacheOp, CacheOp::Streaming);
+}
+
+TEST(CacheOps, BuilderDefaultsToCacheAll)
+{
+    KernelBuilder kb("t");
+    kb.ldg(1, 0);
+    kb.ldg(2, 0, 4, CacheOp::Streaming);
+    kb.exit();
+    const Kernel k = kb.build();
+    EXPECT_EQ(k.at(0).cacheOp, CacheOp::CacheAll);
+    EXPECT_EQ(k.at(1).cacheOp, CacheOp::Streaming);
+}
+
+/** Kernel loading in[gid] twice with the given mnemonic. */
+Kernel
+doubleLoadKernel(const char *ld)
+{
+    std::string src = R"(
+.kernel dbl
+    ldp r0, 0
+    ldp r1, 1
+    s2r r2, ctaid.x
+    s2r r3, ntid.x
+    s2r r4, tid.x
+    imad r5, r2, r3, r4
+    shl r5, r5, 2
+    iadd r5, r5, r0
+    LD r6, [r5]
+    LD r7, [r5]
+    iadd r6, r6, r7
+    isub r5, r5, r0
+    iadd r5, r5, r1
+    stg [r5], r6
+    exit
+)";
+    std::string out;
+    std::size_t pos = 0, found;
+    while ((found = src.find("LD ", pos)) != std::string::npos) {
+        out += src.substr(pos, found - pos);
+        out += ld;
+        out += ' ';
+        pos = found + 3;
+    }
+    out += src.substr(pos);
+    return assemble(out);
+}
+
+TEST(CacheOps, StreamingLoadsNeverTouchL1)
+{
+    GpuConfig cfg = test::smallConfig();
+    cfg.numSms = 1;
+    cfg.numMemPartitions = 1;
+    Gpu gpu(cfg);
+    const Kernel k = doubleLoadKernel("ldg.cg");
+    const std::uint32_t n = 128;
+    const Addr in = gpu.memory().alloc(n * 4);
+    const Addr out = gpu.memory().alloc(n * 4);
+    for (std::uint32_t i = 0; i < n; ++i)
+        gpu.memory().write32(in + 4 * i, i);
+    LaunchParams lp;
+    lp.cta = Dim3(n);
+    lp.grid = Dim3(1);
+    lp.params = {std::uint32_t(in), std::uint32_t(out)};
+    gpu.launch(k, lp);
+    EXPECT_EQ(gpu.sm(0).ldst().l1().hits(), 0u);
+    EXPECT_EQ(gpu.sm(0).ldst().l1().misses(), 0u);
+    EXPECT_GT(gpu.sm(0).ldst().stats().counterValue("bypass_txns"), 0u);
+    for (std::uint32_t i = 0; i < n; ++i)
+        ASSERT_EQ(gpu.memory().read32(out + 4 * i), 2 * i);
+}
+
+TEST(CacheOps, DefaultLoadsHitL1OnReuse)
+{
+    GpuConfig cfg = test::smallConfig();
+    cfg.numSms = 1;
+    cfg.numMemPartitions = 1;
+    Gpu gpu(cfg);
+    const Kernel k = doubleLoadKernel("ldg");
+    const std::uint32_t n = 128;
+    const Addr in = gpu.memory().alloc(n * 4);
+    const Addr out = gpu.memory().alloc(n * 4);
+    LaunchParams lp;
+    lp.cta = Dim3(n);
+    lp.grid = Dim3(1);
+    lp.params = {std::uint32_t(in), std::uint32_t(out)};
+    gpu.launch(k, lp);
+    // The second load of each line hits (or at least merges); some L1
+    // activity must exist.
+    EXPECT_GT(gpu.sm(0).ldst().l1().hits() +
+                  gpu.sm(0).ldst().l1().misses(), 0u);
+    EXPECT_EQ(gpu.sm(0).ldst().stats().counterValue("bypass_txns"), 0u);
+}
+
+TEST(CacheOps, GlobalBypassKnobForcesAllLoadsAround)
+{
+    GpuConfig cfg = test::smallConfig();
+    cfg.numSms = 1;
+    cfg.numMemPartitions = 1;
+    cfg.l1BypassGlobalLoads = true;
+    Gpu gpu(cfg);
+    const Kernel k = doubleLoadKernel("ldg"); // default op, policy bypass
+    const std::uint32_t n = 128;
+    const Addr in = gpu.memory().alloc(n * 4);
+    const Addr out = gpu.memory().alloc(n * 4);
+    LaunchParams lp;
+    lp.cta = Dim3(n);
+    lp.grid = Dim3(1);
+    lp.params = {std::uint32_t(in), std::uint32_t(out)};
+    gpu.launch(k, lp);
+    EXPECT_EQ(gpu.sm(0).ldst().l1().hits(), 0u);
+    EXPECT_EQ(gpu.sm(0).ldst().l1().misses(), 0u);
+}
+
+TEST(CacheOps, ResultsIdenticalWithAndWithoutBypass)
+{
+    for (const char *name : {"vecadd", "spmv", "reduce"}) {
+        GpuConfig cfg = test::smallVtConfig();
+        cfg.l1BypassGlobalLoads = true;
+        auto wl = makeWorkload(name, 0);
+        const Kernel k = wl->buildKernel();
+        Gpu gpu(cfg);
+        const LaunchParams lp = wl->prepare(gpu.memory());
+        gpu.launch(k, lp);
+        EXPECT_TRUE(wl->verify(gpu.memory())) << name;
+    }
+}
+
+} // namespace
+} // namespace vtsim

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for src/common: ActiveMask, integer helpers, Dim3, Rng.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/active_mask.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace vtsim {
+namespace {
+
+TEST(ActiveMask, DefaultIsEmpty)
+{
+    ActiveMask m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_FALSE(m.any());
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_EQ(m.firstLane(), warpSize);
+}
+
+TEST(ActiveMask, AllAndNone)
+{
+    EXPECT_TRUE(ActiveMask::all().full());
+    EXPECT_EQ(ActiveMask::all().count(), warpSize);
+    EXPECT_TRUE(ActiveMask::none().empty());
+}
+
+TEST(ActiveMask, FirstLanes)
+{
+    EXPECT_EQ(ActiveMask::firstLanes(0).count(), 0u);
+    EXPECT_EQ(ActiveMask::firstLanes(5).count(), 5u);
+    EXPECT_EQ(ActiveMask::firstLanes(32).count(), 32u);
+    EXPECT_EQ(ActiveMask::firstLanes(99).count(), 32u);
+    for (std::uint32_t lane = 0; lane < 5; ++lane)
+        EXPECT_TRUE(ActiveMask::firstLanes(5).test(lane));
+    EXPECT_FALSE(ActiveMask::firstLanes(5).test(5));
+}
+
+TEST(ActiveMask, SetClearTest)
+{
+    ActiveMask m;
+    m.set(3);
+    m.set(31);
+    EXPECT_TRUE(m.test(3));
+    EXPECT_TRUE(m.test(31));
+    EXPECT_FALSE(m.test(0));
+    EXPECT_EQ(m.count(), 2u);
+    EXPECT_EQ(m.firstLane(), 3u);
+    m.clear(3);
+    EXPECT_FALSE(m.test(3));
+    EXPECT_EQ(m.firstLane(), 31u);
+}
+
+TEST(ActiveMask, SetAlgebra)
+{
+    const ActiveMask a(0b1100u);
+    const ActiveMask b(0b1010u);
+    EXPECT_EQ((a & b).bits(), 0b1000u);
+    EXPECT_EQ((a | b).bits(), 0b1110u);
+    EXPECT_EQ(a.minus(b).bits(), 0b0100u);
+    EXPECT_EQ((~a & ActiveMask::firstLanes(4)).bits(), 0b0011u);
+}
+
+TEST(ActiveMask, ToStringPutsLaneZeroRightmost)
+{
+    ActiveMask m;
+    m.set(0);
+    const std::string s = m.toString();
+    ASSERT_EQ(s.size(), warpSize);
+    EXPECT_EQ(s.back(), '1');
+    EXPECT_EQ(s.front(), '0');
+}
+
+TEST(ActiveMask, Equality)
+{
+    EXPECT_EQ(ActiveMask(5u), ActiveMask(5u));
+    EXPECT_NE(ActiveMask(5u), ActiveMask(4u));
+}
+
+TEST(Types, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 4), 0u);
+    EXPECT_EQ(roundUp(1, 4), 4u);
+    EXPECT_EQ(roundUp(4, 4), 4u);
+    EXPECT_EQ(roundUp(5, 4), 8u);
+    EXPECT_EQ(roundUp(63, 64), 64u);
+}
+
+TEST(Types, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 3), 0u);
+    EXPECT_EQ(ceilDiv(1, 3), 1u);
+    EXPECT_EQ(ceilDiv(3, 3), 1u);
+    EXPECT_EQ(ceilDiv(4, 3), 2u);
+}
+
+TEST(Types, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(Types, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(Types, Dim3Count)
+{
+    EXPECT_EQ(Dim3().count(), 1u);
+    EXPECT_EQ(Dim3(7).count(), 7u);
+    EXPECT_EQ(Dim3(2, 3, 4).count(), 24u);
+    EXPECT_EQ(Dim3(2, 3), Dim3(2, 3, 1));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const auto v = rng.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextFloatUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const float f = rng.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(Rng, NextBoolRespectsProbability)
+{
+    Rng rng(17);
+    int trues = 0;
+    for (int i = 0; i < 10000; ++i)
+        trues += rng.nextBool(0.25);
+    EXPECT_NEAR(trues / 10000.0, 0.25, 0.03);
+}
+
+/** Property sweep: nextBelow never escapes its bound across bounds. */
+class RngBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundSweep, AlwaysBelowBound)
+{
+    const std::uint64_t bound = GetParam();
+    Rng rng(bound * 2654435761u + 1);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_LT(rng.nextBelow(bound), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(1, 2, 3, 7, 16, 100, 1u << 20,
+                                           (1ull << 63) + 5));
+
+} // namespace
+} // namespace vtsim

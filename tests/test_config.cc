@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for GpuConfig: presets, validation, printing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "config/gpu_config.hh"
+
+namespace vtsim {
+namespace {
+
+TEST(GpuConfig, PresetsValidate)
+{
+    EXPECT_NO_THROW(GpuConfig::fermiLike().validate());
+    EXPECT_NO_THROW(GpuConfig::keplerLike().validate());
+    EXPECT_NO_THROW(GpuConfig::testMini().validate());
+}
+
+TEST(GpuConfig, FermiShape)
+{
+    const GpuConfig cfg = GpuConfig::fermiLike();
+    EXPECT_EQ(cfg.numSms, 15u);
+    EXPECT_EQ(cfg.maxWarpsPerSm, 48u);
+    EXPECT_EQ(cfg.maxCtasPerSm, 8u);
+    EXPECT_EQ(cfg.maxThreadsPerSm, 1536u);
+    EXPECT_EQ(cfg.registersPerSm, 32768u);
+    EXPECT_EQ(cfg.sharedMemPerSm, 48u * 1024);
+    EXPECT_FALSE(cfg.vtEnabled);
+}
+
+TEST(GpuConfig, KeplerIsBigger)
+{
+    const GpuConfig f = GpuConfig::fermiLike();
+    const GpuConfig k = GpuConfig::keplerLike();
+    EXPECT_GT(k.maxWarpsPerSm, f.maxWarpsPerSm);
+    EXPECT_GT(k.maxCtasPerSm, f.maxCtasPerSm);
+    EXPECT_GT(k.registersPerSm, f.registersPerSm);
+}
+
+TEST(GpuConfig, EffectiveLimitsScaleWithMultiplier)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.schedLimitMultiplier = 2;
+    EXPECT_EQ(cfg.effMaxWarpsPerSm(), 96u);
+    EXPECT_EQ(cfg.effMaxCtasPerSm(), 16u);
+    EXPECT_EQ(cfg.effMaxThreadsPerSm(), 3072u);
+}
+
+TEST(GpuConfig, RejectsZeroSms)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.numSms = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(GpuConfig, RejectsMismatchedLineSizes)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.l2LineSize = 64;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(GpuConfig, RejectsNonPow2LineSize)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.l1LineSize = 100;
+    cfg.l2LineSize = 100;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(GpuConfig, RejectsIndivisibleCacheShape)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.l1Size = 1000;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(GpuConfig, RejectsNonPow2SharedBanks)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.sharedMemBanks = 12;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(GpuConfig, RejectsVtBudgetBelowSchedulingLimit)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.vtEnabled = true;
+    cfg.vtMaxVirtualCtasPerSm = 4; // < maxCtasPerSm = 8
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(GpuConfig, RejectsVtPlusMultiplier)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.vtEnabled = true;
+    cfg.schedLimitMultiplier = 2;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(GpuConfig, RejectsZeroMultiplier)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.schedLimitMultiplier = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(GpuConfig, VtBudgetZeroMeansCapacityBound)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.vtEnabled = true;
+    cfg.vtMaxVirtualCtasPerSm = 0;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(GpuConfig, PrintMentionsKeyParameters)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.vtEnabled = true;
+    std::ostringstream os;
+    cfg.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("SMs"), std::string::npos);
+    EXPECT_NE(out.find("48"), std::string::npos);
+    EXPECT_NE(out.find("Virtual Thread"), std::string::npos);
+    EXPECT_NE(out.find("ENABLED"), std::string::npos);
+    EXPECT_NE(out.find("swap"), std::string::npos);
+}
+
+TEST(GpuConfig, PolicyNames)
+{
+    EXPECT_EQ(toString(SchedulerPolicy::LooseRoundRobin), "lrr");
+    EXPECT_EQ(toString(SchedulerPolicy::GreedyThenOldest), "gto");
+    EXPECT_EQ(toString(SchedulerPolicy::TwoLevel), "two-level");
+    EXPECT_EQ(toString(VtSwapTrigger::AllWarpsStalled),
+              "all-warps-stalled");
+    EXPECT_EQ(toString(VtSwapTrigger::AnyWarpStalled), "any-warp-stalled");
+    EXPECT_EQ(toString(VtSwapInPolicy::ReadyFirst), "ready-first");
+    EXPECT_EQ(toString(VtSwapInPolicy::OldestFirst), "oldest-first");
+}
+
+} // namespace
+} // namespace vtsim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the energy accounting model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/energy_model.hh"
+
+namespace vtsim {
+namespace {
+
+KernelStats
+someStats()
+{
+    KernelStats s;
+    s.cycles = 1000;
+    s.warpInstructions = 5000;
+    s.l1Hits = 100;
+    s.l1Misses = 50;
+    s.l2Hits = 30;
+    s.l2Misses = 20;
+    s.dramBytes = 6400;
+    s.swapOuts = 10;
+    return s;
+}
+
+TEST(EnergyModel, ComponentsFollowCounts)
+{
+    const GpuConfig cfg = GpuConfig::fermiLike();
+    const EnergyParams p;
+    const auto e = estimateEnergy(someStats(), cfg, 332, p);
+    EXPECT_DOUBLE_EQ(e.core, p.warpInstruction * 5000);
+    EXPECT_DOUBLE_EQ(e.l1, p.l1Access * 150);
+    EXPECT_DOUBLE_EQ(e.l2, p.l2Access * 50);
+    EXPECT_DOUBLE_EQ(e.dram, p.dramPerByte * 6400);
+    EXPECT_DOUBLE_EQ(e.noc, p.nocPerResponse * 70);
+    EXPECT_DOUBLE_EQ(e.vtSwap, p.vtSwapPerByte * 2 * 332 * 10);
+    EXPECT_DOUBLE_EQ(e.staticEnergy,
+                     p.staticPerSmCycle * 1000 * cfg.numSms);
+    EXPECT_DOUBLE_EQ(e.total(), e.core + e.l1 + e.l2 + e.dram + e.noc +
+                                    e.vtSwap + e.staticEnergy);
+}
+
+TEST(EnergyModel, ZeroStatsZeroEnergy)
+{
+    const auto e = estimateEnergy(KernelStats{}, GpuConfig::fermiLike(),
+                                  0);
+    EXPECT_DOUBLE_EQ(e.total(), 0.0);
+}
+
+TEST(EnergyModel, SwapEnergyIsTinyVersusTotal)
+{
+    // The paper's point: moving ~hundreds of bytes of scheduling state
+    // per swap is invisible next to everything else a launch does.
+    const GpuConfig cfg = GpuConfig::fermiLike();
+    const auto e = estimateEnergy(someStats(), cfg, 332);
+    EXPECT_LT(e.vtSwap, 0.05 * e.total());
+}
+
+TEST(EnergyModel, EdpScalesWithCycles)
+{
+    const auto e = estimateEnergy(someStats(), GpuConfig::fermiLike(), 0);
+    EXPECT_DOUBLE_EQ(e.edp(2000), 2 * e.edp(1000));
+}
+
+TEST(EnergyModel, PrintShowsAllRows)
+{
+    const auto e = estimateEnergy(someStats(), GpuConfig::fermiLike(),
+                                  332);
+    std::ostringstream os;
+    printEnergy(os, e);
+    const std::string out = os.str();
+    for (const char *key : {"core", "l1", "l2", "dram", "noc", "vt-swap",
+                            "static", "TOTAL"}) {
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(EnergyModel, FasterRunWinsOnStaticEnergy)
+{
+    // Same work, fewer cycles: total energy must drop (static term).
+    KernelStats slow = someStats();
+    KernelStats fast = slow;
+    fast.cycles = slow.cycles / 2;
+    const GpuConfig cfg = GpuConfig::fermiLike();
+    const auto es = estimateEnergy(slow, cfg, 0);
+    const auto ef = estimateEnergy(fast, cfg, 0);
+    EXPECT_LT(ef.total(), es.total());
+}
+
+} // namespace
+} // namespace vtsim

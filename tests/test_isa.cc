@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit tests for the VASM ISA: opcode tables, instruction predicates,
+ * kernel container verification, and the KernelBuilder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "isa/instruction.hh"
+#include "isa/kernel.hh"
+#include "isa/kernel_builder.hh"
+
+namespace vtsim {
+namespace {
+
+TEST(Opcode, NamesRoundTrip)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Opcode::NumOpcodes); ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const std::string name = toString(op);
+        EXPECT_FALSE(name.empty());
+        EXPECT_EQ(opcodeFromString(name), op) << name;
+    }
+    EXPECT_EQ(opcodeFromString("bogus"), Opcode::NumOpcodes);
+}
+
+TEST(Opcode, CmpNamesRoundTrip)
+{
+    for (CmpOp cmp : {CmpOp::EQ, CmpOp::NE, CmpOp::LT, CmpOp::LE,
+                      CmpOp::GT, CmpOp::GE}) {
+        CmpOp parsed;
+        ASSERT_TRUE(cmpFromString(toString(cmp), parsed));
+        EXPECT_EQ(parsed, cmp);
+    }
+    CmpOp dummy;
+    EXPECT_FALSE(cmpFromString("zz", dummy));
+}
+
+TEST(Opcode, SregNamesRoundTrip)
+{
+    for (SpecialReg sreg : {SpecialReg::TidX, SpecialReg::TidY,
+                            SpecialReg::NTidX, SpecialReg::CtaIdX,
+                            SpecialReg::NCtaIdZ, SpecialReg::LaneId,
+                            SpecialReg::WarpIdInCta}) {
+        SpecialReg parsed;
+        ASSERT_TRUE(sregFromString(toString(sreg), parsed));
+        EXPECT_EQ(parsed, sreg);
+    }
+    SpecialReg dummy;
+    EXPECT_FALSE(sregFromString("tid.w", dummy));
+}
+
+TEST(Instruction, FuncUnitClassification)
+{
+    Instruction i;
+    i.op = Opcode::IADD;
+    EXPECT_EQ(i.funcUnit(), FuncUnit::Alu);
+    i.op = Opcode::FSQRT;
+    EXPECT_EQ(i.funcUnit(), FuncUnit::Sfu);
+    i.op = Opcode::IDIV;
+    EXPECT_EQ(i.funcUnit(), FuncUnit::Sfu);
+    i.op = Opcode::LDG;
+    EXPECT_EQ(i.funcUnit(), FuncUnit::Mem);
+    i.op = Opcode::STS;
+    EXPECT_EQ(i.funcUnit(), FuncUnit::Mem);
+    i.op = Opcode::BRA;
+    EXPECT_EQ(i.funcUnit(), FuncUnit::Control);
+    i.op = Opcode::BAR;
+    EXPECT_EQ(i.funcUnit(), FuncUnit::Control);
+    i.op = Opcode::EXIT;
+    EXPECT_EQ(i.funcUnit(), FuncUnit::Control);
+}
+
+TEST(Instruction, MemPredicates)
+{
+    Instruction i;
+    i.op = Opcode::LDG;
+    EXPECT_TRUE(i.isLoad());
+    EXPECT_TRUE(i.isGlobalMem());
+    EXPECT_FALSE(i.isSharedMem());
+    i.op = Opcode::STS;
+    EXPECT_TRUE(i.isStore());
+    EXPECT_TRUE(i.isSharedMem());
+    i.op = Opcode::ATOMG_ADD;
+    EXPECT_TRUE(i.isLoad());
+    EXPECT_TRUE(i.isGlobalMem());
+    i.op = Opcode::IADD;
+    EXPECT_FALSE(i.isMem());
+}
+
+TEST(Instruction, NumSrcs)
+{
+    Instruction i;
+    EXPECT_EQ(i.numSrcs(), 0u);
+    i.src[0] = 1;
+    i.src[2] = 3;
+    EXPECT_EQ(i.numSrcs(), 2u);
+}
+
+TEST(KernelBuilder, SimpleKernel)
+{
+    KernelBuilder kb("k");
+    kb.movi(0, 5).alui(Opcode::IADD, 1, 0, 2).exit();
+    const Kernel k = kb.build();
+    EXPECT_EQ(k.name(), "k");
+    EXPECT_EQ(k.size(), 3u);
+    EXPECT_EQ(k.regsPerThread(), 2u); // r0, r1
+    EXPECT_EQ(k.at(0).op, Opcode::MOVI);
+    EXPECT_EQ(k.at(1).op, Opcode::IADD);
+    EXPECT_TRUE(k.at(1).useImm);
+    EXPECT_TRUE(k.at(2).isExit());
+}
+
+TEST(KernelBuilder, MinRegsPadsPressure)
+{
+    KernelBuilder kb("k");
+    kb.minRegs(40).movi(0, 1).exit();
+    EXPECT_EQ(kb.build().regsPerThread(), 40u);
+}
+
+TEST(KernelBuilder, SharedBytes)
+{
+    KernelBuilder kb("k");
+    kb.shared(4096).movi(0, 1).exit();
+    EXPECT_EQ(kb.build().sharedBytesPerCta(), 4096u);
+}
+
+TEST(KernelBuilder, ForwardBranchReconvergesAtTarget)
+{
+    KernelBuilder kb("k");
+    kb.movi(0, 1)
+      .bra(0, "end")
+      .movi(1, 2)
+      .label("end")
+      .exit();
+    const Kernel k = kb.build();
+    EXPECT_EQ(k.at(1).branchTarget, 3u);
+    EXPECT_EQ(k.at(1).reconvergePc, 3u);
+}
+
+TEST(KernelBuilder, BackwardBranchReconvergesAtFallThrough)
+{
+    KernelBuilder kb("k");
+    kb.label("top")
+      .alui(Opcode::IADD, 0, 0, 1)
+      .bra(0, "top")
+      .exit();
+    const Kernel k = kb.build();
+    EXPECT_EQ(k.at(1).branchTarget, 0u);
+    EXPECT_EQ(k.at(1).reconvergePc, 2u);
+}
+
+TEST(KernelBuilder, ExplicitJoinLabel)
+{
+    KernelBuilder kb("k");
+    kb.movi(0, 1)
+      .bra(0, "else_part", "join_pt")
+      .movi(1, 2)
+      .jmp("join_pt")
+      .label("else_part")
+      .movi(1, 3)
+      .label("join_pt")
+      .exit();
+    const Kernel k = kb.build();
+    EXPECT_EQ(k.at(1).branchTarget, 4u);
+    EXPECT_EQ(k.at(1).reconvergePc, 5u);
+}
+
+TEST(KernelBuilder, UndefinedLabelIsFatal)
+{
+    KernelBuilder kb("k");
+    kb.jmp("nowhere").exit();
+    EXPECT_THROW(kb.build(), FatalError);
+}
+
+TEST(KernelBuilder, DuplicateLabelIsFatal)
+{
+    KernelBuilder kb("k");
+    kb.label("a").movi(0, 1);
+    EXPECT_THROW(kb.label("a"), FatalError);
+}
+
+TEST(KernelBuilder, TrailingLabelIsFatal)
+{
+    KernelBuilder kb("k");
+    kb.exit().label("tail");
+    EXPECT_THROW(kb.build(), FatalError);
+}
+
+TEST(KernelBuilder, LabelAtPcResolvable)
+{
+    KernelBuilder kb("k");
+    kb.label("start").movi(0, 1).exit();
+    const Kernel k = kb.build();
+    EXPECT_EQ(k.labelAt(0), "start");
+    EXPECT_EQ(k.labelAt(1), "");
+}
+
+TEST(Kernel, VerifyRejectsMissingExit)
+{
+    std::vector<Instruction> instrs(1);
+    instrs[0].op = Opcode::NOP;
+    EXPECT_THROW(Kernel("k", std::move(instrs), 1, 0), FatalError);
+}
+
+TEST(Kernel, VerifyRejectsEmpty)
+{
+    EXPECT_THROW(Kernel("k", {}, 1, 0), FatalError);
+}
+
+TEST(Kernel, VerifyRejectsOutOfRangeRegister)
+{
+    std::vector<Instruction> instrs(2);
+    instrs[0].op = Opcode::MOV;
+    instrs[0].dst = 9; // only 2 regs declared
+    instrs[0].src[0] = 0;
+    instrs[1].op = Opcode::EXIT;
+    EXPECT_THROW(Kernel("k", std::move(instrs), 2, 0), FatalError);
+}
+
+TEST(Kernel, VerifyRejectsBadBranchTarget)
+{
+    std::vector<Instruction> instrs(2);
+    instrs[0].op = Opcode::BRA;
+    instrs[0].branchTarget = 50;
+    instrs[0].reconvergePc = 1;
+    instrs[1].op = Opcode::EXIT;
+    EXPECT_THROW(Kernel("k", std::move(instrs), 1, 0), FatalError);
+}
+
+TEST(Kernel, VerifyRejectsBranchWithoutReconvergence)
+{
+    std::vector<Instruction> instrs(2);
+    instrs[0].op = Opcode::BRA;
+    instrs[0].branchTarget = 1;
+    instrs[1].op = Opcode::EXIT;
+    EXPECT_THROW(Kernel("k", std::move(instrs), 1, 0), FatalError);
+}
+
+TEST(Kernel, VerifyRejectsFallOffEnd)
+{
+    std::vector<Instruction> instrs(2);
+    instrs[0].op = Opcode::EXIT;
+    instrs[1].op = Opcode::NOP;
+    EXPECT_THROW(Kernel("k", std::move(instrs), 1, 0), FatalError);
+}
+
+TEST(LaunchParams, DerivedQuantities)
+{
+    LaunchParams lp;
+    lp.grid = Dim3(4, 2);
+    lp.cta = Dim3(48);
+    EXPECT_EQ(lp.threadsPerCta(), 48u);
+    EXPECT_EQ(lp.warpsPerCta(), 2u); // 48 threads = 1.5 warps -> 2
+    EXPECT_EQ(lp.numCtas(), 8u);
+}
+
+} // namespace
+} // namespace vtsim

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the coalescer, shared-memory bank model, global memory
+ * backing store, and the interconnect.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/global_memory.hh"
+#include "mem/coalescer.hh"
+#include "mem/interconnect.hh"
+
+namespace vtsim {
+namespace {
+
+std::vector<LaneAccess>
+consecutiveWords(Addr base, std::uint32_t count)
+{
+    std::vector<LaneAccess> out;
+    for (std::uint32_t lane = 0; lane < count; ++lane)
+        out.push_back({lane, base + 4 * lane});
+    return out;
+}
+
+TEST(Coalescer, FullyCoalescedWarpIsOneTransaction)
+{
+    const auto txns = coalesce(consecutiveWords(0x1000, 32), 128);
+    ASSERT_EQ(txns.size(), 1u);
+    EXPECT_EQ(txns[0].lineAddr, 0x1000u);
+    EXPECT_EQ(txns[0].lanes, 32u);
+    EXPECT_EQ(txns[0].bytes, 128u);
+}
+
+TEST(Coalescer, MisalignedWarpSpansTwoLines)
+{
+    const auto txns = coalesce(consecutiveWords(0x1040, 32), 128);
+    ASSERT_EQ(txns.size(), 2u);
+    EXPECT_EQ(txns[0].lineAddr, 0x1000u);
+    EXPECT_EQ(txns[1].lineAddr, 0x1080u);
+    EXPECT_EQ(txns[0].lanes + txns[1].lanes, 32u);
+}
+
+TEST(Coalescer, SameAddressBroadcastsToOneLine)
+{
+    std::vector<LaneAccess> acc;
+    for (std::uint32_t lane = 0; lane < 32; ++lane)
+        acc.push_back({lane, 0x2004});
+    const auto txns = coalesce(acc, 128);
+    ASSERT_EQ(txns.size(), 1u);
+    EXPECT_EQ(txns[0].lanes, 32u);
+    EXPECT_EQ(txns[0].bytes, 4u);
+}
+
+TEST(Coalescer, StridedAccessScatters)
+{
+    std::vector<LaneAccess> acc;
+    for (std::uint32_t lane = 0; lane < 32; ++lane)
+        acc.push_back({lane, Addr(lane) * 128});
+    const auto txns = coalesce(acc, 128);
+    EXPECT_EQ(txns.size(), 32u);
+}
+
+TEST(Coalescer, PreservesFirstTouchOrder)
+{
+    std::vector<LaneAccess> acc = {
+        {0, 0x5000}, {1, 0x1000}, {2, 0x5004}, {3, 0x3000},
+    };
+    const auto txns = coalesce(acc, 128);
+    ASSERT_EQ(txns.size(), 3u);
+    EXPECT_EQ(txns[0].lineAddr, 0x5000u);
+    EXPECT_EQ(txns[1].lineAddr, 0x1000u);
+    EXPECT_EQ(txns[2].lineAddr, 0x3000u);
+    EXPECT_EQ(txns[0].lanes, 2u);
+}
+
+TEST(Coalescer, PartialWarp)
+{
+    const auto txns = coalesce(consecutiveWords(0x1000, 7), 128);
+    ASSERT_EQ(txns.size(), 1u);
+    EXPECT_EQ(txns[0].lanes, 7u);
+    EXPECT_EQ(txns[0].bytes, 28u);
+}
+
+TEST(Coalescer, EmptyInput)
+{
+    EXPECT_TRUE(coalesce({}, 128).empty());
+}
+
+TEST(SharedMemPasses, NoAccessesIsZero)
+{
+    EXPECT_EQ(sharedMemPasses({}, 32), 0u);
+}
+
+TEST(SharedMemPasses, ConflictFreeIsOnePass)
+{
+    std::vector<LaneAccess> acc;
+    for (std::uint32_t lane = 0; lane < 32; ++lane)
+        acc.push_back({lane, Addr(lane) * 4});
+    EXPECT_EQ(sharedMemPasses(acc, 32), 1u);
+}
+
+TEST(SharedMemPasses, BroadcastIsOnePass)
+{
+    std::vector<LaneAccess> acc;
+    for (std::uint32_t lane = 0; lane < 32; ++lane)
+        acc.push_back({lane, 44});
+    EXPECT_EQ(sharedMemPasses(acc, 32), 1u);
+}
+
+TEST(SharedMemPasses, TwoWayConflict)
+{
+    std::vector<LaneAccess> acc;
+    for (std::uint32_t lane = 0; lane < 32; ++lane)
+        acc.push_back({lane, Addr(lane) * 8}); // stride 2 words
+    EXPECT_EQ(sharedMemPasses(acc, 32), 2u);
+}
+
+TEST(SharedMemPasses, WorstCaseAllSameBankDistinctWords)
+{
+    std::vector<LaneAccess> acc;
+    for (std::uint32_t lane = 0; lane < 32; ++lane)
+        acc.push_back({lane, Addr(lane) * 32 * 4}); // stride 32 words
+    EXPECT_EQ(sharedMemPasses(acc, 32), 32u);
+}
+
+TEST(SharedMemPasses, PaddedTransposeColumnIsConflictFree)
+{
+    // Column access of a 17-word-padded tile: lane i touches word i*17.
+    std::vector<LaneAccess> acc;
+    for (std::uint32_t lane = 0; lane < 32; ++lane)
+        acc.push_back({lane, Addr(lane) * 17 * 4});
+    EXPECT_EQ(sharedMemPasses(acc, 32), 1u);
+}
+
+TEST(GlobalMemory, ZeroFilledByDefault)
+{
+    GlobalMemory m;
+    EXPECT_EQ(m.read32(0x123456), 0u);
+    EXPECT_EQ(m.read8(99), 0u);
+    EXPECT_EQ(m.touchedPages(), 0u);
+}
+
+TEST(GlobalMemory, ReadWriteRoundTrip)
+{
+    GlobalMemory m;
+    m.write32(0x1000, 0xcafebabe);
+    EXPECT_EQ(m.read32(0x1000), 0xcafebabeu);
+    EXPECT_EQ(m.read8(0x1000), 0xbeu); // little endian
+    EXPECT_EQ(m.read8(0x1003), 0xcau);
+}
+
+TEST(GlobalMemory, UnalignedAndPageStraddling)
+{
+    GlobalMemory m;
+    const Addr addr = GlobalMemory::pageSize - 2;
+    m.write32(addr, 0x11223344);
+    EXPECT_EQ(m.read32(addr), 0x11223344u);
+    EXPECT_EQ(m.touchedPages(), 2u);
+}
+
+TEST(GlobalMemory, FloatAccessors)
+{
+    GlobalMemory m;
+    m.writeF32(64, 3.25f);
+    EXPECT_EQ(m.readF32(64), 3.25f);
+}
+
+TEST(GlobalMemory, BulkTransfers)
+{
+    GlobalMemory m;
+    m.writeWords(0x100, {1, 2, 3});
+    const auto words = m.readWords(0x100, 3);
+    EXPECT_EQ(words, (std::vector<std::uint32_t>{1, 2, 3}));
+    m.writeFloats(0x200, {1.5f, -2.0f});
+    const auto floats = m.readFloats(0x200, 2);
+    EXPECT_EQ(floats[0], 1.5f);
+    EXPECT_EQ(floats[1], -2.0f);
+}
+
+TEST(GlobalMemory, AllocatorAlignsAndAdvances)
+{
+    GlobalMemory m;
+    const Addr a = m.alloc(100, 256);
+    const Addr b = m.alloc(10, 256);
+    EXPECT_EQ(a % 256, 0u);
+    EXPECT_EQ(b % 256, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_NE(m.alloc(0), m.alloc(0)); // zero-size allocs still distinct
+}
+
+class NocTest : public ::testing::Test
+{
+  protected:
+    NocTest() : noc_(NocParams{10, 1, 2, 2})
+    {
+        noc_.setRouter([](Addr a) {
+            return static_cast<std::uint32_t>((a / 128) % 2);
+        });
+        noc_.setRequestSink([this](const MemRequest &r, Cycle) {
+            deliveredReqs_.push_back(r.lineAddr);
+        });
+        noc_.setResponseSink([this](const MemRequest &r, Cycle) {
+            deliveredResps_.push_back(r.srcSm);
+        });
+    }
+
+    MemRequest
+    req(Addr line, SmId sm = 0)
+    {
+        MemRequest r;
+        r.lineAddr = line;
+        r.srcSm = sm;
+        return r;
+    }
+
+    Interconnect noc_;
+    std::vector<Addr> deliveredReqs_;
+    std::vector<SmId> deliveredResps_;
+};
+
+TEST_F(NocTest, LatencyRespected)
+{
+    noc_.sendRequest(req(0), 0);
+    for (Cycle c = 0; c < 10; ++c) {
+        noc_.tick(c);
+        EXPECT_TRUE(deliveredReqs_.empty()) << "cycle " << c;
+    }
+    noc_.tick(10);
+    EXPECT_EQ(deliveredReqs_.size(), 1u);
+}
+
+TEST_F(NocTest, PerPortBandwidthLimit)
+{
+    // Three requests to the same partition, one flit/cycle.
+    noc_.sendRequest(req(0), 0);
+    noc_.sendRequest(req(256), 0);
+    noc_.sendRequest(req(512), 0);
+    noc_.tick(10);
+    EXPECT_EQ(deliveredReqs_.size(), 1u);
+    noc_.tick(11);
+    EXPECT_EQ(deliveredReqs_.size(), 2u);
+    noc_.tick(12);
+    EXPECT_EQ(deliveredReqs_.size(), 3u);
+}
+
+TEST_F(NocTest, DistinctPortsDeliverInParallel)
+{
+    noc_.sendRequest(req(0), 0);   // partition 0
+    noc_.sendRequest(req(128), 0); // partition 1
+    noc_.tick(10);
+    EXPECT_EQ(deliveredReqs_.size(), 2u);
+}
+
+TEST_F(NocTest, ResponsesRouteBySourceSm)
+{
+    MemRequest r0 = req(0, 0), r1 = req(0, 1);
+    noc_.sendResponse(r0, 0);
+    noc_.sendResponse(r1, 0);
+    noc_.tick(10);
+    ASSERT_EQ(deliveredResps_.size(), 2u); // distinct SM ports
+    EXPECT_EQ(deliveredResps_[0], 0u);
+    EXPECT_EQ(deliveredResps_[1], 1u);
+}
+
+TEST_F(NocTest, IdleTracksQueues)
+{
+    EXPECT_TRUE(noc_.idle());
+    noc_.sendRequest(req(0), 0);
+    EXPECT_FALSE(noc_.idle());
+    noc_.tick(10);
+    EXPECT_TRUE(noc_.idle());
+}
+
+} // namespace
+} // namespace vtsim

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Remaining-coverage tests: WarpContext lifecycle, the storage-overhead
+ * model, whole-machine stats dump, and config printing variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/overhead_model.hh"
+#include "sm/warp_context.hh"
+#include "test_util.hh"
+#include "workloads/workload.hh"
+
+namespace vtsim {
+namespace {
+
+TEST(WarpContext, InitResetsEverything)
+{
+    WarpContext w;
+    w.init(3, 1, ActiveMask::firstLanes(16), 8);
+    EXPECT_EQ(w.vcta(), 3u);
+    EXPECT_EQ(w.warpInCta(), 1u);
+    EXPECT_EQ(w.liveLanes().count(), 16u);
+    EXPECT_FALSE(w.done());
+    EXPECT_FALSE(w.atBarrier());
+    EXPECT_EQ(w.readyAt(), 0u);
+    EXPECT_EQ(w.pendingOffChip(), 0u);
+    EXPECT_EQ(w.issued(), 0u);
+
+    w.setAtBarrier(true);
+    w.setReadyAt(55);
+    w.addOffChip();
+    w.countIssue();
+    w.init(4, 0, ActiveMask::all(), 8);
+    EXPECT_FALSE(w.atBarrier());
+    EXPECT_EQ(w.readyAt(), 0u);
+    EXPECT_EQ(w.pendingOffChip(), 0u);
+    EXPECT_EQ(w.issued(), 0u);
+}
+
+TEST(WarpContext, OffChipCounting)
+{
+    WarpContext w;
+    w.init(0, 0, ActiveMask::all(), 4);
+    w.addOffChip();
+    w.addOffChip();
+    EXPECT_EQ(w.pendingOffChip(), 2u);
+    w.removeOffChip();
+    EXPECT_EQ(w.pendingOffChip(), 1u);
+}
+
+TEST(WarpContextDeath, OffChipUnderflowPanics)
+{
+    WarpContext w;
+    w.init(0, 0, ActiveMask::all(), 4);
+    EXPECT_DEATH(w.removeOffChip(), "underflow");
+}
+
+TEST(OverheadModel, ScalesWithWarpsAndRegisters)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.vtEnabled = true;
+    const auto small = computeOverhead(cfg, 2, 16);
+    const auto more_warps = computeOverhead(cfg, 8, 16);
+    const auto more_regs = computeOverhead(cfg, 2, 64);
+    EXPECT_GT(more_warps.bytesPerCtaContext, small.bytesPerCtaContext);
+    EXPECT_GT(more_regs.bytesPerWarpContext, small.bytesPerWarpContext);
+    // Warp count does not change the per-warp context size.
+    EXPECT_EQ(more_warps.bytesPerWarpContext, small.bytesPerWarpContext);
+}
+
+TEST(OverheadModel, ExtraContextsBeyondSchedulingLimit)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.vtEnabled = true;
+    cfg.vtMaxVirtualCtasPerSm = 24;
+    const auto o = computeOverhead(cfg, 2, 16);
+    EXPECT_EQ(o.extraContextsPerSm, 24u - cfg.maxCtasPerSm);
+    EXPECT_EQ(o.totalBytesPerSm,
+              std::uint64_t(o.extraContextsPerSm) * o.bytesPerCtaContext);
+}
+
+TEST(OverheadModel, SwapMovesFarLessThanRegisterCopy)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.vtEnabled = true;
+    const auto o = computeOverhead(cfg, 4, 20);
+    EXPECT_LT(o.bytesPerCtaContext, o.naiveSwapBytesPerCta / 10);
+}
+
+TEST(OverheadModel, PrintMentionsKeyRows)
+{
+    const auto o = computeOverhead(GpuConfig::fermiLike(), 2, 16);
+    std::ostringstream os;
+    printOverhead(os, o);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("per warp context"), std::string::npos);
+    EXPECT_NE(out.find("register file"), std::string::npos);
+}
+
+TEST(GpuStats, DumpContainsEveryComponentGroup)
+{
+    GpuConfig cfg = test::smallConfig();
+    cfg.vtEnabled = true;
+    Gpu gpu(cfg);
+    const Kernel k = test::storeConstKernel();
+    const Addr out = gpu.memory().alloc(256 * 4);
+    LaunchParams lp;
+    lp.cta = Dim3(64);
+    lp.grid = Dim3(4);
+    lp.params = {std::uint32_t(out), 256, 1};
+    gpu.launch(k, lp);
+
+    std::ostringstream os;
+    gpu.dumpStats(os);
+    const std::string dump = os.str();
+    for (const char *key :
+         {"sm0.instructions", "sm1.instructions", "sm0.vt.swap_outs",
+          "sm0.ldst.transactions", "sm0.l1d.hits", "l2_0.misses",
+          "dram_0.row_misses", "noc.req_flits"}) {
+        EXPECT_NE(dump.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(GpuConfig, PrintShowsWritePolicyAndThrottle)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    std::ostringstream os;
+    cfg.print(os);
+    EXPECT_NE(os.str().find("write-back"), std::string::npos);
+
+    cfg.l2WriteBack = false;
+    cfg.throttleEnabled = true;
+    std::ostringstream os2;
+    cfg.print(os2);
+    EXPECT_NE(os2.str().find("write-through"), std::string::npos);
+    EXPECT_NE(os2.str().find("throttling"), std::string::npos);
+}
+
+} // namespace
+} // namespace vtsim

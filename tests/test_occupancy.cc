@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the static occupancy calculator / limiter classifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "isa/kernel_builder.hh"
+#include "occupancy/occupancy.hh"
+
+namespace vtsim {
+namespace {
+
+Kernel
+kernelWith(std::uint32_t regs, std::uint32_t shared)
+{
+    KernelBuilder kb("k");
+    kb.minRegs(regs).shared(shared).movi(0, 1).exit();
+    return kb.build();
+}
+
+LaunchParams
+launchOf(std::uint32_t cta_threads, std::uint32_t grid = 10000)
+{
+    LaunchParams lp;
+    lp.cta = Dim3(cta_threads);
+    lp.grid = Dim3(grid);
+    return lp;
+}
+
+TEST(Occupancy, CtaSlotLimited)
+{
+    // 64-thread CTAs, tiny resources: 8 CTA slots bind on Fermi.
+    const auto r = computeOccupancy(GpuConfig::fermiLike(),
+                                    kernelWith(8, 0), launchOf(64));
+    EXPECT_EQ(r.limiter, OccupancyLimiter::CtaSlots);
+    EXPECT_EQ(r.ctasPerSm, 8u);
+    EXPECT_GT(r.ctasCapacityOnly, 8u);
+    EXPECT_TRUE(r.schedulingLimited());
+    EXPECT_NEAR(r.warpOccupancy, 8.0 * 2 / 48, 1e-9);
+}
+
+TEST(Occupancy, WarpSlotLimited)
+{
+    // 256-thread CTAs (8 warps): 48/8 = 6 CTAs by warps, slots allow 8.
+    const auto r = computeOccupancy(GpuConfig::fermiLike(),
+                                    kernelWith(8, 0), launchOf(256));
+    EXPECT_EQ(r.limiter, OccupancyLimiter::WarpSlots);
+    EXPECT_EQ(r.ctasPerSm, 6u);
+}
+
+TEST(Occupancy, RegisterLimited)
+{
+    // 40 regs * 32 lanes = 1280/warp; 8 warps/CTA = 10240 regs ->
+    // 3 CTAs of 32768.
+    const auto r = computeOccupancy(GpuConfig::fermiLike(),
+                                    kernelWith(40, 0), launchOf(256));
+    EXPECT_EQ(r.limiter, OccupancyLimiter::Registers);
+    EXPECT_EQ(r.ctasPerSm, 3u);
+    EXPECT_FALSE(r.schedulingLimited());
+    EXPECT_EQ(r.ctasCapacityOnly, 3u);
+}
+
+TEST(Occupancy, SharedMemLimited)
+{
+    // 12 KB of shared per CTA -> 4 CTAs of 48 KB.
+    const auto r = computeOccupancy(GpuConfig::fermiLike(),
+                                    kernelWith(8, 12 * 1024),
+                                    launchOf(256));
+    EXPECT_EQ(r.limiter, OccupancyLimiter::SharedMem);
+    EXPECT_EQ(r.ctasPerSm, 4u);
+    EXPECT_FALSE(r.schedulingLimited());
+}
+
+TEST(Occupancy, ThreadSlotLimited)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.maxThreadsPerSm = 512;
+    cfg.maxCtasPerSm = 16;
+    const auto r = computeOccupancy(cfg, kernelWith(8, 0), launchOf(96));
+    // 512 / 96 = 5 CTAs by threads; warps: 48/3 = 16.
+    EXPECT_EQ(r.limiter, OccupancyLimiter::ThreadSlots);
+    EXPECT_EQ(r.ctasPerSm, 5u);
+}
+
+TEST(Occupancy, SmallGridCapsEverything)
+{
+    const GpuConfig cfg = GpuConfig::fermiLike(); // 15 SMs
+    const auto r = computeOccupancy(cfg, kernelWith(8, 0),
+                                    launchOf(64, 15));
+    EXPECT_EQ(r.ctasPerSm, 1u);
+    EXPECT_EQ(r.ctasCapacityOnly, 1u);
+}
+
+TEST(Occupancy, OversizedCtaIsFatal)
+{
+    // 2 KB of registers per thread can't fit.
+    EXPECT_THROW(computeOccupancy(GpuConfig::fermiLike(),
+                                  kernelWith(600, 0), launchOf(256)),
+                 FatalError);
+}
+
+TEST(Occupancy, UtilizationNumbers)
+{
+    const auto r = computeOccupancy(GpuConfig::fermiLike(),
+                                    kernelWith(16, 1024), launchOf(64));
+    // 8 CTAs (cta-slot limited), 2 warps each.
+    // regs/CTA = 2 * 512 = 1024; util = 8 * 1024 / 32768 = 0.25.
+    EXPECT_EQ(r.ctasPerSm, 8u);
+    EXPECT_NEAR(r.registerUtilization, 0.25, 1e-9);
+    EXPECT_NEAR(r.sharedMemUtilization, 8.0 * 1024 / (48 * 1024), 1e-9);
+    EXPECT_GT(r.registerUtilizationVt, r.registerUtilization);
+}
+
+TEST(Occupancy, SchedulingLimitHelpers)
+{
+    EXPECT_TRUE(isSchedulingLimit(OccupancyLimiter::WarpSlots));
+    EXPECT_TRUE(isSchedulingLimit(OccupancyLimiter::CtaSlots));
+    EXPECT_TRUE(isSchedulingLimit(OccupancyLimiter::ThreadSlots));
+    EXPECT_FALSE(isSchedulingLimit(OccupancyLimiter::Registers));
+    EXPECT_FALSE(isSchedulingLimit(OccupancyLimiter::SharedMem));
+}
+
+TEST(Occupancy, LimiterNames)
+{
+    EXPECT_EQ(toString(OccupancyLimiter::WarpSlots), "warp-slots");
+    EXPECT_EQ(toString(OccupancyLimiter::Registers), "registers");
+    EXPECT_EQ(toString(OccupancyLimiter::SharedMem), "shared-mem");
+}
+
+TEST(Occupancy, MultiplierRaisesSchedulingBounds)
+{
+    GpuConfig cfg = GpuConfig::fermiLike();
+    cfg.schedLimitMultiplier = 2;
+    const auto r = computeOccupancy(cfg, kernelWith(8, 0), launchOf(64));
+    EXPECT_EQ(r.ctasByCtaSlots, 16u);
+    EXPECT_EQ(r.ctasByWarpSlots, 48u);
+}
+
+} // namespace
+} // namespace vtsim

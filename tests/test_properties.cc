@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Property-based tests: randomly generated structured kernels must
+ * produce bit-identical results on every machine variant — baseline,
+ * Virtual Thread, every warp scheduler, and different chip shapes.
+ * Timing models may differ; architectural results may not.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "gpu/gpu.hh"
+#include "isa/kernel_builder.hh"
+#include "test_util.hh"
+
+namespace vtsim {
+namespace {
+
+constexpr std::uint32_t kInWords = 1024; // power of two
+constexpr std::uint32_t kOutWords = 512; // one per thread
+
+/**
+ * Generate a random but well-structured kernel:
+ *  - a data-dependent prologue (load from the input buffer),
+ *  - a random mix of ALU blocks, divergent if-thens, divergent bounded
+ *    loops, private shared-memory round trips, and extra loads,
+ *  - an epilogue storing a mixing hash of the working registers.
+ * The kernel only writes out[gid] and shared[tid], so results are
+ * schedule-independent.
+ */
+Kernel
+randomKernel(std::uint64_t seed)
+{
+    Rng rng(seed);
+    KernelBuilder kb("rand" + std::to_string(seed));
+    kb.shared(512);
+
+    kb.ldp(0, 0).ldp(1, 1); // in, out
+    kb.s2r(2, SpecialReg::CtaIdX)
+      .s2r(3, SpecialReg::NTidX)
+      .s2r(4, SpecialReg::TidX);
+    kb.mad(Opcode::IMAD, 5, 2, 3, 4); // r5 = gid
+    kb.alui(Opcode::AND, 6, 5, kInWords - 1);
+    kb.alui(Opcode::SHL, 6, 6, 2);
+    kb.alu(Opcode::IADD, 6, 6, 0);
+    kb.ldg(7, 6); // r7 = in[gid & mask]
+
+    // Working registers r8..r12 seeded from gid and the loaded word.
+    for (RegIndex r = 8; r <= 12; ++r) {
+        kb.alui(Opcode::XOR, r, (r % 2) ? 5 : 7,
+                static_cast<std::int32_t>(rng.next() & 0xffff));
+    }
+
+    const Opcode alu_ops[] = {Opcode::IADD, Opcode::ISUB, Opcode::IMUL,
+                              Opcode::AND, Opcode::OR, Opcode::XOR,
+                              Opcode::IMIN, Opcode::IMAX};
+    int label_id = 0;
+    auto rand_work_reg = [&rng]() -> RegIndex {
+        return 8 + rng.nextBelow(5);
+    };
+    auto emit_alu_run = [&](std::uint32_t len) {
+        for (std::uint32_t i = 0; i < len; ++i) {
+            const Opcode op = alu_ops[rng.nextBelow(8)];
+            if (rng.nextBool()) {
+                kb.alui(op, rand_work_reg(), rand_work_reg(),
+                        static_cast<std::int32_t>(rng.next() & 0xff) + 1);
+            } else {
+                kb.alu(op, rand_work_reg(), rand_work_reg(),
+                       rand_work_reg());
+            }
+        }
+    };
+
+    const std::uint32_t segments = 3 + rng.nextBelow(5);
+    for (std::uint32_t s = 0; s < segments; ++s) {
+        switch (rng.nextBelow(5)) {
+          case 0: // plain ALU block
+            emit_alu_run(2 + rng.nextBelow(6));
+            break;
+          case 1: { // divergent if-then
+            const std::string skip = "skip" + std::to_string(label_id++);
+            kb.alui(Opcode::AND, 13, rand_work_reg(),
+                    static_cast<std::int32_t>(1 + rng.nextBelow(7)));
+            kb.bra(13, skip);
+            emit_alu_run(1 + rng.nextBelow(4));
+            kb.label(skip);
+            break;
+          }
+          case 2: { // divergent bounded loop: trips = (tid & 3) + 1
+            const std::string top = "loop" + std::to_string(label_id++);
+            kb.alui(Opcode::AND, 14, 4, 3);
+            kb.alui(Opcode::IADD, 14, 14, 1);
+            kb.label(top);
+            emit_alu_run(1 + rng.nextBelow(3));
+            kb.alui(Opcode::ISUB, 14, 14, 1);
+            kb.setpi(Opcode::ISETP, CmpOp::GT, 15, 14, 0);
+            kb.bra(15, top);
+            break;
+          }
+          case 3: { // private shared round trip
+            kb.alui(Opcode::SHL, 13, 4, 2); // tid * 4
+            kb.sts(13, rand_work_reg());
+            kb.lds(rand_work_reg(), 13);
+            break;
+          }
+          case 4: { // extra data-dependent load
+            kb.alui(Opcode::AND, 13, rand_work_reg(), kInWords - 1);
+            kb.alui(Opcode::SHL, 13, 13, 2);
+            kb.alu(Opcode::IADD, 13, 13, 0);
+            kb.ldg(rand_work_reg(), 13);
+            break;
+          }
+        }
+    }
+
+    // Epilogue: out[gid] = r8 ^ r9 ^ r10 ^ r11 ^ r12.
+    kb.alu(Opcode::XOR, 8, 8, 9);
+    kb.alu(Opcode::XOR, 8, 8, 10);
+    kb.alu(Opcode::XOR, 8, 8, 11);
+    kb.alu(Opcode::XOR, 8, 8, 12);
+    kb.alui(Opcode::SHL, 13, 5, 2);
+    kb.alu(Opcode::IADD, 13, 13, 1);
+    kb.stg(13, 8);
+    kb.exit();
+    return kb.build();
+}
+
+/** Run @p kernel on @p cfg; return the full output buffer. */
+std::vector<std::uint32_t>
+runAndDump(const GpuConfig &cfg, const Kernel &kernel, std::uint64_t seed)
+{
+    Gpu gpu(cfg);
+    Rng rng(seed * 7919 + 3);
+    std::vector<std::uint32_t> in(kInWords);
+    for (auto &v : in)
+        v = static_cast<std::uint32_t>(rng.next());
+    const Addr in_addr = gpu.memory().alloc(kInWords * 4);
+    const Addr out_addr = gpu.memory().alloc(kOutWords * 4);
+    gpu.memory().writeWords(in_addr, in);
+
+    LaunchParams lp;
+    lp.cta = Dim3(64);
+    lp.grid = Dim3(kOutWords / 64);
+    lp.params = {std::uint32_t(in_addr), std::uint32_t(out_addr)};
+    gpu.launch(kernel, lp);
+    return gpu.memory().readWords(out_addr, kOutWords);
+}
+
+class RandomKernelProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomKernelProperty, AllMachineVariantsAgree)
+{
+    const std::uint64_t seed = GetParam();
+    const Kernel kernel = randomKernel(seed);
+
+    GpuConfig base = test::smallConfig();
+    const auto reference = runAndDump(base, kernel, seed);
+
+    std::map<std::string, GpuConfig> variants;
+    {
+        GpuConfig c = base;
+        c.vtEnabled = true;
+        variants["vt"] = c;
+    }
+    {
+        GpuConfig c = base;
+        c.vtEnabled = true;
+        c.vtSwapTrigger = VtSwapTrigger::AnyWarpStalled;
+        c.vtSwapInPolicy = VtSwapInPolicy::OldestFirst;
+        c.vtStallThreshold = 0;
+        variants["vt-aggressive"] = c;
+    }
+    {
+        GpuConfig c = base;
+        c.schedulerPolicy = SchedulerPolicy::LooseRoundRobin;
+        variants["lrr"] = c;
+    }
+    {
+        GpuConfig c = base;
+        c.schedulerPolicy = SchedulerPolicy::TwoLevel;
+        variants["two-level"] = c;
+    }
+    {
+        GpuConfig c = base;
+        c.numSms = 1;
+        c.numMemPartitions = 1;
+        variants["one-sm"] = c;
+    }
+    {
+        GpuConfig c = base;
+        c.schedLimitMultiplier = 4;
+        variants["big-sched"] = c;
+    }
+
+    for (const auto &[name, cfg] : variants) {
+        const auto got = runAndDump(cfg, kernel, seed);
+        ASSERT_EQ(got.size(), reference.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            ASSERT_EQ(got[i], reference[i])
+                << "variant " << name << " seed " << seed << " word " << i;
+        }
+    }
+}
+
+TEST_P(RandomKernelProperty, TimingIsDeterministic)
+{
+    const std::uint64_t seed = GetParam();
+    const Kernel kernel = randomKernel(seed);
+    GpuConfig cfg = test::smallConfig();
+    cfg.vtEnabled = true;
+
+    Gpu a(cfg), b(cfg);
+    // Identical setup on both.
+    auto prep = [&](Gpu &gpu) {
+        Rng rng(seed);
+        std::vector<std::uint32_t> in(kInWords);
+        for (auto &v : in)
+            v = static_cast<std::uint32_t>(rng.next());
+        const Addr in_addr = gpu.memory().alloc(kInWords * 4);
+        const Addr out_addr = gpu.memory().alloc(kOutWords * 4);
+        gpu.memory().writeWords(in_addr, in);
+        LaunchParams lp;
+        lp.cta = Dim3(64);
+        lp.grid = Dim3(kOutWords / 64);
+        lp.params = {std::uint32_t(in_addr), std::uint32_t(out_addr)};
+        return lp;
+    };
+    const auto lpa = prep(a);
+    const auto lpb = prep(b);
+    const auto sa = a.launch(kernel, lpa);
+    const auto sb = b.launch(kernel, lpb);
+    EXPECT_EQ(sa.cycles, sb.cycles);
+    EXPECT_EQ(sa.swapOuts, sb.swapOuts);
+    EXPECT_EQ(sa.warpInstructions, sb.warpInstructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKernelProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+} // namespace
+} // namespace vtsim

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Property tests for the memory components against simple reference
+ * models: LRU cache behaviour, coalescer invariants, DRAM work
+ * conservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/cache.hh"
+#include "mem/coalescer.hh"
+#include "mem/dram.hh"
+
+namespace vtsim {
+namespace {
+
+/** Straightforward reference LRU cache over (set -> list of tags). */
+class RefLru
+{
+  public:
+    RefLru(std::uint32_t sets, std::uint32_t assoc, std::uint32_t line)
+        : sets_(sets), assoc_(assoc), line_(line)
+    {}
+
+    bool
+    probe(Addr line_addr) const
+    {
+        const auto &set = sets_map_[setOf(line_addr)];
+        for (Addr t : set)
+            if (t == line_addr)
+                return true;
+        return false;
+    }
+
+    /** Touch on hit; insert-with-LRU-eviction on fill. */
+    void
+    touch(Addr line_addr)
+    {
+        auto &set = sets_map_[setOf(line_addr)];
+        set.remove(line_addr);
+        set.push_front(line_addr);
+    }
+
+    void
+    fill(Addr line_addr)
+    {
+        auto &set = sets_map_[setOf(line_addr)];
+        set.remove(line_addr);
+        set.push_front(line_addr);
+        while (set.size() > assoc_)
+            set.pop_back();
+    }
+
+  private:
+    std::uint32_t
+    setOf(Addr line_addr) const
+    {
+        return (line_addr / line_) % sets_;
+    }
+
+    std::uint32_t sets_, assoc_, line_;
+    mutable std::map<std::uint32_t, std::list<Addr>> sets_map_;
+};
+
+class CacheLruProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheLruProperty, MatchesReferenceModel)
+{
+    CacheParams p;
+    p.size = 2048; // 4 sets x 4 ways x 128B
+    p.assoc = 4;
+    p.lineSize = 128;
+    p.numMshrs = 1;
+    p.mshrTargets = 1;
+    Cache cache(p);
+    RefLru ref(p.size / (p.assoc * p.lineSize), p.assoc, p.lineSize);
+
+    Rng rng(GetParam());
+    for (int step = 0; step < 2000; ++step) {
+        // 16 lines aliasing heavily over 4 sets.
+        const Addr line = rng.nextBelow(16) * p.lineSize;
+        ASSERT_EQ(cache.probe(line), ref.probe(line))
+            << "step " << step << " line " << line;
+        MemRequest req;
+        req.lineAddr = line;
+        const auto outcome = cache.access(req);
+        if (outcome == CacheOutcome::Hit) {
+            ref.touch(line);
+        } else {
+            ASSERT_EQ(outcome, CacheOutcome::MissNew);
+            cache.fill(line); // Immediate fill keeps the models aligned.
+            ref.fill(line);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheLruProperty,
+                         ::testing::Range<std::uint64_t>(100, 106));
+
+class CoalescerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoalescerProperty, InvariantsOnRandomAccessPatterns)
+{
+    Rng rng(GetParam());
+    for (int round = 0; round < 200; ++round) {
+        const std::uint32_t line_size = 1u << (5 + rng.nextBelow(3));
+        std::vector<LaneAccess> acc;
+        const std::uint32_t lanes = 1 + rng.nextBelow(warpSize);
+        for (std::uint32_t lane = 0; lane < lanes; ++lane)
+            acc.push_back({lane, rng.nextBelow(1 << 16)});
+
+        const auto txns = coalesce(acc, line_size);
+
+        // (a) Lane counts are conserved.
+        std::uint32_t total_lanes = 0;
+        for (const auto &t : txns)
+            total_lanes += t.lanes;
+        EXPECT_EQ(total_lanes, lanes);
+
+        // (b) Lines are unique and aligned.
+        std::set<Addr> lines;
+        for (const auto &t : txns) {
+            EXPECT_EQ(t.lineAddr % line_size, 0u);
+            EXPECT_TRUE(lines.insert(t.lineAddr).second);
+            EXPECT_GE(t.bytes, 4u);
+            EXPECT_LE(t.bytes, line_size);
+        }
+
+        // (c) Every access's line is covered.
+        for (const auto &a : acc) {
+            const Addr line = a.addr & ~Addr(line_size - 1);
+            EXPECT_TRUE(lines.count(line));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoalescerProperty,
+                         ::testing::Range<std::uint64_t>(200, 206));
+
+class DramProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DramProperty, AllReadsCompleteAndWorkIsConserved)
+{
+    DramParams p;
+    p.numBanks = 4;
+    p.rowBufferBytes = 1024;
+    p.rowHitLatency = 50;
+    p.rowMissLatency = 100;
+    p.rowHitOccupancy = 4;
+    p.rowMissOccupancy = 20;
+    p.bytesPerCycle = 32;
+    p.lineSize = 128;
+    Dram dram(p);
+
+    Rng rng(GetParam());
+    std::uint32_t reads = 0;
+    std::uint64_t bytes = 0;
+    Cycle c = 0;
+    for (int i = 0; i < 300; ++i) {
+        const Addr line = rng.nextBelow(256) * p.lineSize;
+        const bool is_read = rng.nextBool(0.7);
+        const std::uint32_t sz = is_read ? p.lineSize
+                                         : 4u * (1 + rng.nextBelow(32));
+        dram.enqueue(line, sz, is_read, c);
+        reads += is_read;
+        bytes += sz;
+        // Random arrival spacing, including bursts.
+        c += rng.nextBelow(3);
+    }
+    std::uint32_t completed = 0;
+    for (Cycle end = c + 200000; c < end && !dram.idle(); ++c)
+        completed += dram.tick(c).size();
+    EXPECT_TRUE(dram.idle());
+    EXPECT_EQ(completed, reads);
+    EXPECT_EQ(dram.bytesTransferred(), bytes);
+    EXPECT_EQ(dram.rowHits() + dram.rowMisses(), 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DramProperty,
+                         ::testing::Range<std::uint64_t>(300, 306));
+
+} // namespace
+} // namespace vtsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The sample .vasm kernels shipped in examples/kernels/ must keep
+ * assembling and producing correct results (they are the first thing a
+ * new user runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "test_util.hh"
+
+#ifndef VTSIM_SOURCE_DIR
+#define VTSIM_SOURCE_DIR "."
+#endif
+
+namespace vtsim {
+namespace {
+
+Kernel
+loadKernel(const std::string &rel_path)
+{
+    const std::string path = std::string(VTSIM_SOURCE_DIR) + "/" +
+                             rel_path;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return assemble(text.str());
+}
+
+TEST(SampleKernels, Scale3ComputesRampTimes3Plus1)
+{
+    const Kernel k = loadKernel("examples/kernels/scale3.vasm");
+    Gpu gpu(test::smallVtConfig());
+    const std::uint32_t n = 512;
+    const Addr in = gpu.memory().alloc(n * 4);
+    const Addr out = gpu.memory().alloc(n * 4);
+    for (std::uint32_t i = 0; i < n; ++i)
+        gpu.memory().write32(in + 4 * i, i);
+    LaunchParams lp;
+    lp.cta = Dim3(64);
+    lp.grid = Dim3(n / 64);
+    lp.params = {std::uint32_t(in), std::uint32_t(out), n};
+    gpu.launch(k, lp);
+    for (std::uint32_t i = 0; i < n; ++i)
+        ASSERT_EQ(gpu.memory().read32(out + 4 * i), i * 3 + 1) << i;
+}
+
+TEST(SampleKernels, PrefixChunkComputesPerCtaInclusiveScan)
+{
+    const Kernel k = loadKernel("examples/kernels/prefix_chunk.vasm");
+    Gpu gpu(test::smallConfig());
+    const std::uint32_t cta = 64, n = 256;
+    const Addr in = gpu.memory().alloc(n * 4);
+    const Addr out = gpu.memory().alloc(n * 4);
+    for (std::uint32_t i = 0; i < n; ++i)
+        gpu.memory().write32(in + 4 * i, i % 7 + 1);
+    LaunchParams lp;
+    lp.cta = Dim3(cta);
+    lp.grid = Dim3(n / cta);
+    lp.params = {std::uint32_t(in), std::uint32_t(out), n};
+    gpu.launch(k, lp);
+    for (std::uint32_t c = 0; c < n / cta; ++c) {
+        std::uint32_t acc = 0;
+        for (std::uint32_t t = 0; t < cta; ++t) {
+            const std::uint32_t i = c * cta + t;
+            acc += i % 7 + 1;
+            ASSERT_EQ(gpu.memory().read32(out + 4 * i), acc) << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace vtsim

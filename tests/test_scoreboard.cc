@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the per-warp register scoreboard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sm/scoreboard.hh"
+
+namespace vtsim {
+namespace {
+
+Instruction
+instr(RegIndex dst, RegIndex a = noReg, RegIndex b = noReg)
+{
+    Instruction i;
+    i.op = Opcode::IADD;
+    i.dst = dst;
+    i.src[0] = a;
+    i.src[1] = b;
+    return i;
+}
+
+TEST(Scoreboard, CleanAfterReset)
+{
+    Scoreboard sb;
+    sb.reset(16);
+    EXPECT_EQ(sb.pendingCount(), 0u);
+    EXPECT_EQ(sb.pendingLongCount(), 0u);
+    EXPECT_FALSE(sb.hasHazard(instr(0, 1, 2)));
+}
+
+TEST(Scoreboard, RawHazard)
+{
+    Scoreboard sb;
+    sb.reset(16);
+    sb.reserve(3, false);
+    EXPECT_TRUE(sb.hasHazard(instr(0, 3, 1)));
+    EXPECT_TRUE(sb.hasHazard(instr(0, 1, 3)));
+    EXPECT_FALSE(sb.hasHazard(instr(0, 1, 2)));
+}
+
+TEST(Scoreboard, WawHazard)
+{
+    Scoreboard sb;
+    sb.reset(16);
+    sb.reserve(5, false);
+    EXPECT_TRUE(sb.hasHazard(instr(5, 1, 2)));
+}
+
+TEST(Scoreboard, ReleaseClearsHazard)
+{
+    Scoreboard sb;
+    sb.reset(16);
+    sb.reserve(5, false);
+    sb.release(5);
+    EXPECT_FALSE(sb.hasHazard(instr(0, 5, 5)));
+    EXPECT_EQ(sb.pendingCount(), 0u);
+}
+
+TEST(Scoreboard, LongLatencyTracking)
+{
+    Scoreboard sb;
+    sb.reset(16);
+    sb.reserve(1, true);
+    sb.reserve(2, false);
+    EXPECT_EQ(sb.pendingCount(), 2u);
+    EXPECT_EQ(sb.pendingLongCount(), 1u);
+    EXPECT_TRUE(sb.pendingLong(1));
+    EXPECT_FALSE(sb.pendingLong(2));
+    sb.release(1);
+    EXPECT_EQ(sb.pendingLongCount(), 0u);
+    EXPECT_EQ(sb.pendingCount(), 1u);
+}
+
+TEST(Scoreboard, ThirdSourceChecked)
+{
+    Scoreboard sb;
+    sb.reset(16);
+    sb.reserve(9, false);
+    Instruction i = instr(0, 1, 2);
+    i.src[2] = 9;
+    EXPECT_TRUE(sb.hasHazard(i));
+}
+
+TEST(Scoreboard, ResetClearsState)
+{
+    Scoreboard sb;
+    sb.reset(8);
+    sb.reserve(7, true);
+    sb.reset(8);
+    EXPECT_EQ(sb.pendingCount(), 0u);
+    EXPECT_EQ(sb.pendingLongCount(), 0u);
+    EXPECT_FALSE(sb.pending(7));
+}
+
+TEST(ScoreboardDeath, DoubleReservePanics)
+{
+    Scoreboard sb;
+    sb.reset(8);
+    sb.reserve(1, false);
+    EXPECT_DEATH(sb.reserve(1, false), "double reserve");
+}
+
+TEST(ScoreboardDeath, ReleaseIdlePanics)
+{
+    Scoreboard sb;
+    sb.reset(8);
+    EXPECT_DEATH(sb.release(1), "release of idle");
+}
+
+} // namespace
+} // namespace vtsim

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the PDOM SIMT reconvergence stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sm/simt_stack.hh"
+
+namespace vtsim {
+namespace {
+
+Instruction
+branch(Pc target, Pc reconverge)
+{
+    Instruction i;
+    i.op = Opcode::BRA;
+    i.src[0] = 0;
+    i.branchTarget = target;
+    i.reconvergePc = reconverge;
+    return i;
+}
+
+TEST(SimtStack, ResetAndAdvance)
+{
+    SimtStack s;
+    s.reset(ActiveMask::firstLanes(8));
+    EXPECT_FALSE(s.done());
+    EXPECT_EQ(s.pc(), 0u);
+    EXPECT_EQ(s.activeMask().count(), 8u);
+    s.advance();
+    EXPECT_EQ(s.pc(), 1u);
+}
+
+TEST(SimtStack, ResetWithEmptyMaskIsDone)
+{
+    SimtStack s;
+    s.reset(ActiveMask::none());
+    EXPECT_TRUE(s.done());
+}
+
+TEST(SimtStack, UniformTakenBranch)
+{
+    SimtStack s;
+    s.reset(ActiveMask::all());
+    s.branch(branch(10, 10), 0, ActiveMask::all());
+    EXPECT_EQ(s.pc(), 10u);
+    EXPECT_EQ(s.activeMask(), ActiveMask::all());
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, UniformNotTakenBranch)
+{
+    SimtStack s;
+    s.reset(ActiveMask::all());
+    s.branch(branch(10, 10), 0, ActiveMask::none());
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, IfThenDivergenceAndReconvergence)
+{
+    // bra at pc 0 -> target 5 == reconverge 5 (if-then idiom).
+    SimtStack s;
+    s.reset(ActiveMask::all());
+    const ActiveMask taken(0xffff0000u);
+    s.branch(branch(5, 5), 0, taken);
+    // Taken side target == rpc pops immediately; not-taken runs first.
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.activeMask().bits(), 0x0000ffffu);
+    EXPECT_EQ(s.depth(), 2u);
+    for (Pc pc = 1; pc < 5; ++pc)
+        s.advance();
+    // Reached pc 5: reconverged to the full mask.
+    EXPECT_EQ(s.pc(), 5u);
+    EXPECT_EQ(s.activeMask(), ActiveMask::all());
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, IfElseWithExplicitJoin)
+{
+    // pc0: bra taken->3 (else), rpc 5; pc1..2 then-side; pc3..4 else.
+    SimtStack s;
+    s.reset(ActiveMask::all());
+    const ActiveMask taken(0x000000ffu);
+    s.branch(branch(3, 5), 0, taken);
+    // Taken (else at pc 3) executes first per push order.
+    EXPECT_EQ(s.pc(), 3u);
+    EXPECT_EQ(s.activeMask(), taken);
+    EXPECT_EQ(s.depth(), 3u);
+    s.advance(); // pc 4
+    s.advance(); // pc 5 == rpc -> pop to not-taken side
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.activeMask().bits(), 0xffffff00u);
+    s.advance(); // 2
+    s.advance(); // 3
+    s.advance(); // 4
+    s.advance(); // 5 == rpc -> pop to reconverged frame
+    EXPECT_EQ(s.pc(), 5u);
+    EXPECT_EQ(s.activeMask(), ActiveMask::all());
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, LoopDivergence)
+{
+    // pc2: bra back to 0, rpc = 3 (fall-through).
+    SimtStack s;
+    s.reset(ActiveMask::firstLanes(4));
+    s.advance();
+    s.advance(); // at pc 2
+    const ActiveMask continuing(0b0011u);
+    s.branch(branch(0, 3), 2, continuing);
+    // Continuing lanes loop; exited lanes wait at pc 3.
+    EXPECT_EQ(s.pc(), 0u);
+    EXPECT_EQ(s.activeMask(), continuing);
+    s.advance();
+    s.advance(); // at pc 2 again
+    // Now everyone exits the loop.
+    s.branch(branch(0, 3), 2, ActiveMask::none());
+    EXPECT_EQ(s.pc(), 3u);
+    EXPECT_EQ(s.activeMask(), ActiveMask::firstLanes(4));
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, NestedDivergence)
+{
+    SimtStack s;
+    s.reset(ActiveMask::all());
+    // Outer: diverge at 0, rpc 10.
+    s.branch(branch(10, 10), 0, ActiveMask(0xffff0000u));
+    EXPECT_EQ(s.pc(), 1u); // lower half first
+    // Inner: diverge at 1, rpc 5.
+    s.branch(branch(5, 5), 1, ActiveMask(0x000000ffu));
+    EXPECT_EQ(s.pc(), 2u);
+    EXPECT_EQ(s.activeMask().bits(), 0x0000ff00u);
+    EXPECT_GE(s.maxDepth(), 3u);
+    for (Pc pc = 2; pc < 5; ++pc)
+        s.advance();
+    // Inner reconverged.
+    EXPECT_EQ(s.pc(), 5u);
+    EXPECT_EQ(s.activeMask().bits(), 0x0000ffffu);
+    for (Pc pc = 5; pc < 10; ++pc)
+        s.advance();
+    // Outer reconverged.
+    EXPECT_EQ(s.pc(), 10u);
+    EXPECT_EQ(s.activeMask(), ActiveMask::all());
+}
+
+TEST(SimtStack, ExitAllLanes)
+{
+    SimtStack s;
+    s.reset(ActiveMask::all());
+    s.exitActiveLanes();
+    EXPECT_TRUE(s.done());
+}
+
+TEST(SimtStack, ExitOneSideOfDivergence)
+{
+    SimtStack s;
+    s.reset(ActiveMask::all());
+    const ActiveMask taken(0xffff0000u);
+    // Diverge: taken -> 5, rpc 7 (explicit join beyond target).
+    s.branch(branch(5, 7), 0, taken);
+    EXPECT_EQ(s.pc(), 5u); // taken side first here (target != rpc)
+    s.exitActiveLanes();   // upper half exits inside the branch
+    EXPECT_FALSE(s.done());
+    EXPECT_EQ(s.pc(), 1u); // not-taken side resumes
+    EXPECT_EQ(s.activeMask().bits(), 0x0000ffffu);
+    for (Pc pc = 1; pc < 7; ++pc)
+        s.advance();
+    EXPECT_EQ(s.pc(), 7u);
+    EXPECT_EQ(s.activeMask().bits(), 0x0000ffffu);
+    s.exitActiveLanes();
+    EXPECT_TRUE(s.done());
+}
+
+TEST(SimtStack, MaxDepthTracksHighWater)
+{
+    SimtStack s;
+    s.reset(ActiveMask::all());
+    EXPECT_EQ(s.maxDepth(), 1u);
+    s.branch(branch(5, 7), 0, ActiveMask(1u));
+    EXPECT_EQ(s.maxDepth(), 3u);
+    s.exitActiveLanes(); // pop taken side
+    EXPECT_EQ(s.maxDepth(), 3u);
+}
+
+} // namespace
+} // namespace vtsim

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Integration tests: small kernels through the full Gpu (SMs + NoC + L2 +
+ * DRAM), checking functional results and timing-model sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "test_util.hh"
+
+namespace vtsim {
+namespace {
+
+using test::smallConfig;
+using test::smallVtConfig;
+
+TEST(SmIntegration, StoreConstant)
+{
+    Gpu gpu(smallConfig());
+    const Kernel k = test::storeConstKernel();
+    const Addr out = gpu.memory().alloc(100 * 4);
+    LaunchParams lp;
+    lp.cta = Dim3(64);
+    lp.grid = Dim3(2);
+    lp.params = {std::uint32_t(out), 100, 0xabcd};
+    const KernelStats stats = gpu.launch(k, lp);
+    for (std::uint32_t i = 0; i < 100; ++i)
+        ASSERT_EQ(gpu.memory().read32(out + 4 * i), 0xabcdu) << i;
+    // Lanes past n==100 must not have stored.
+    EXPECT_EQ(gpu.memory().read32(out + 4 * 100), 0u);
+    EXPECT_EQ(stats.ctasCompleted, 2u);
+    EXPECT_GT(stats.cycles, 0u);
+}
+
+TEST(SmIntegration, LoadComputeStore)
+{
+    Gpu gpu(smallConfig());
+    const Kernel k = test::mul3Add7Kernel();
+    const std::uint32_t n = 256;
+    const Addr in = gpu.memory().alloc(n * 4);
+    const Addr out = gpu.memory().alloc(n * 4);
+    for (std::uint32_t i = 0; i < n; ++i)
+        gpu.memory().write32(in + 4 * i, i);
+    LaunchParams lp;
+    lp.cta = Dim3(128);
+    lp.grid = Dim3(2);
+    lp.params = {std::uint32_t(in), std::uint32_t(out), n};
+    gpu.launch(k, lp);
+    for (std::uint32_t i = 0; i < n; ++i)
+        ASSERT_EQ(gpu.memory().read32(out + 4 * i), i * 3 + 7) << i;
+}
+
+TEST(SmIntegration, DivergentBranchBothSidesExecute)
+{
+    // Even gids write 1, odd gids write 2.
+    const Kernel k = assemble(R"(
+.kernel evenodd
+    ldp r0, 0
+    s2r r1, ctaid.x
+    s2r r2, ntid.x
+    s2r r3, tid.x
+    imad r4, r1, r2, r3
+    and r5, r4, 1
+    shl r6, r4, 2
+    iadd r6, r6, r0
+    bra r5, odd, join=fin
+    movi r7, 1
+    stg [r6], r7
+    jmp fin
+odd:
+    movi r7, 2
+    stg [r6], r7
+fin:
+    exit
+)");
+    Gpu gpu(smallConfig());
+    const Addr out = gpu.memory().alloc(64 * 4);
+    LaunchParams lp;
+    lp.cta = Dim3(64);
+    lp.grid = Dim3(1);
+    lp.params = {std::uint32_t(out)};
+    gpu.launch(k, lp);
+    for (std::uint32_t i = 0; i < 64; ++i)
+        ASSERT_EQ(gpu.memory().read32(out + 4 * i), 1u + (i & 1)) << i;
+}
+
+TEST(SmIntegration, LoopWithDifferentTripCounts)
+{
+    // out[gid] = sum of 1..(gid%5 + 1); per-lane trip counts diverge.
+    const Kernel k = assemble(R"(
+.kernel trips
+    ldp r0, 0
+    s2r r1, tid.x
+    irem r2, r1, 5
+    iadd r2, r2, 1      # trips = gid%5 + 1
+    movi r3, 0          # acc
+    movi r4, 1          # i
+loop:
+    iadd r3, r3, r4
+    iadd r4, r4, 1
+    isetp.le r5, r4, r2
+    bra r5, loop
+    shl r6, r1, 2
+    iadd r6, r6, r0
+    stg [r6], r3
+    exit
+)");
+    Gpu gpu(smallConfig());
+    const Addr out = gpu.memory().alloc(32 * 4);
+    LaunchParams lp;
+    lp.cta = Dim3(32);
+    lp.grid = Dim3(1);
+    lp.params = {std::uint32_t(out)};
+    gpu.launch(k, lp);
+    for (std::uint32_t i = 0; i < 32; ++i) {
+        const std::uint32_t t = i % 5 + 1;
+        ASSERT_EQ(gpu.memory().read32(out + 4 * i), t * (t + 1) / 2) << i;
+    }
+}
+
+TEST(SmIntegration, BarrierOrdersSharedMemory)
+{
+    // Thread i writes shared[i]; after the barrier, reads shared[ntid-1-i].
+    const Kernel k = assemble(R"(
+.kernel shreverse
+.shared 256
+    ldp r0, 0
+    s2r r1, tid.x
+    s2r r2, ntid.x
+    shl r3, r1, 2
+    sts [r3], r1
+    bar
+    isub r4, r2, 1
+    isub r4, r4, r1      # ntid-1-i
+    shl r5, r4, 2
+    lds r6, [r5]
+    shl r7, r1, 2
+    iadd r7, r7, r0
+    stg [r7], r6
+    exit
+)");
+    Gpu gpu(smallConfig());
+    const Addr out = gpu.memory().alloc(64 * 4);
+    LaunchParams lp;
+    lp.cta = Dim3(64); // 2 warps: barrier genuinely orders them
+    lp.grid = Dim3(1);
+    lp.params = {std::uint32_t(out)};
+    gpu.launch(k, lp);
+    for (std::uint32_t i = 0; i < 64; ++i)
+        ASSERT_EQ(gpu.memory().read32(out + 4 * i), 63 - i) << i;
+}
+
+TEST(SmIntegration, AtomicsAccumulateAcrossCtas)
+{
+    const Kernel k = assemble(R"(
+.kernel atominc
+    ldp r0, 0
+    movi r1, 1
+    atomg.add r2, [r0], r1
+    exit
+)");
+    Gpu gpu(smallConfig());
+    const Addr counter = gpu.memory().alloc(4);
+    LaunchParams lp;
+    lp.cta = Dim3(64);
+    lp.grid = Dim3(4);
+    lp.params = {std::uint32_t(counter)};
+    gpu.launch(k, lp);
+    EXPECT_EQ(gpu.memory().read32(counter), 256u);
+}
+
+TEST(SmIntegration, TailWarpPartialLanes)
+{
+    Gpu gpu(smallConfig());
+    const Kernel k = test::storeConstKernel();
+    const Addr out = gpu.memory().alloc(50 * 4);
+    LaunchParams lp;
+    lp.cta = Dim3(40); // warp 1 has only 8 live lanes
+    lp.grid = Dim3(1);
+    lp.params = {std::uint32_t(out), 40, 7};
+    const auto stats = gpu.launch(k, lp);
+    for (std::uint32_t i = 0; i < 40; ++i)
+        ASSERT_EQ(gpu.memory().read32(out + 4 * i), 7u);
+    EXPECT_EQ(gpu.memory().read32(out + 4 * 40), 0u);
+    EXPECT_EQ(stats.ctasCompleted, 1u);
+}
+
+TEST(SmIntegration, InstructionCountExact)
+{
+    // store_const is 13 instructions; with n == all threads the guard
+    // branch never diverges, so every warp executes all 13.
+    Gpu gpu(smallConfig());
+    const Kernel k = test::storeConstKernel();
+    const Addr out = gpu.memory().alloc(64 * 4);
+    LaunchParams lp;
+    lp.cta = Dim3(64);
+    lp.grid = Dim3(1);
+    lp.params = {std::uint32_t(out), 64, 1};
+    const auto stats = gpu.launch(k, lp);
+    EXPECT_EQ(stats.warpInstructions, 2u * 13u);
+    EXPECT_EQ(stats.threadInstructions, 64u * 13u);
+}
+
+TEST(SmIntegration, MultiKernelLaunchesAccumulate)
+{
+    Gpu gpu(smallConfig());
+    const Kernel k = test::storeConstKernel();
+    const Addr out = gpu.memory().alloc(64 * 4);
+    LaunchParams lp;
+    lp.cta = Dim3(64);
+    lp.grid = Dim3(1);
+    lp.params = {std::uint32_t(out), 64, 5};
+    const auto s1 = gpu.launch(k, lp);
+    lp.params[2] = 9;
+    const auto s2 = gpu.launch(k, lp);
+    EXPECT_EQ(gpu.memory().read32(out), 9u);
+    EXPECT_EQ(s1.ctasCompleted, 1u);
+    EXPECT_EQ(s2.ctasCompleted, 1u);
+    EXPECT_GT(gpu.totalCycles(), s2.cycles);
+}
+
+TEST(SmIntegration, WatchdogCatchesInfiniteLoop)
+{
+    const Kernel k = assemble(R"(
+.kernel spin
+top:
+    iadd r0, r0, 1
+    jmp top
+    exit            # unreachable; satisfies the static verifier
+)");
+    GpuConfig cfg = smallConfig();
+    cfg.maxCycles = 5000;
+    Gpu gpu(cfg);
+    LaunchParams lp;
+    lp.cta = Dim3(32);
+    lp.grid = Dim3(1);
+    EXPECT_THROW(gpu.launch(k, lp), FatalError);
+}
+
+TEST(SmIntegration, EmptyGridRejected)
+{
+    Gpu gpu(smallConfig());
+    const Kernel k = test::storeConstKernel();
+    LaunchParams lp;
+    lp.cta = Dim3(32);
+    lp.grid.x = 0;
+    lp.params = {0, 0, 0};
+    EXPECT_THROW(gpu.launch(k, lp), FatalError);
+}
+
+TEST(SmIntegration, OversizedCtaRejected)
+{
+    Gpu gpu(smallConfig());
+    const Kernel k = test::storeConstKernel();
+    LaunchParams lp;
+    lp.cta = Dim3(2048); // > 1536 thread slots
+    lp.grid = Dim3(1);
+    lp.params = {0, 0, 0};
+    EXPECT_THROW(gpu.launch(k, lp), FatalError);
+}
+
+TEST(SmIntegration, SfuOpsExecute)
+{
+    const Kernel k = assemble(R"(
+.kernel sfu
+    ldp r0, 0
+    s2r r1, tid.x
+    iadd r2, r1, 1
+    i2f r3, r2
+    fsqrt r4, r3
+    fmul r5, r4, r4
+    f2i r6, r5
+    shl r7, r1, 2
+    iadd r7, r7, r0
+    stg [r7], r6
+    exit
+)");
+    Gpu gpu(smallConfig());
+    const Addr out = gpu.memory().alloc(32 * 4);
+    LaunchParams lp;
+    lp.cta = Dim3(32);
+    lp.grid = Dim3(1);
+    lp.params = {std::uint32_t(out)};
+    gpu.launch(k, lp);
+    // sqrt(i+1)^2 truncates back to ~i+1 (allow 1 off for fp rounding).
+    for (std::uint32_t i = 0; i < 32; ++i) {
+        const auto v = static_cast<std::int32_t>(
+            gpu.memory().read32(out + 4 * i));
+        EXPECT_NEAR(v, static_cast<std::int32_t>(i + 1), 1) << i;
+    }
+}
+
+TEST(SmIntegration, CachesWarmAcrossLaunchesUnlessFlushed)
+{
+    Gpu gpu(smallConfig());
+    const Kernel k = test::mul3Add7Kernel();
+    const std::uint32_t n = 256;
+    const Addr in = gpu.memory().alloc(n * 4);
+    const Addr out = gpu.memory().alloc(n * 4);
+    LaunchParams lp;
+    lp.cta = Dim3(128);
+    lp.grid = Dim3(2);
+    lp.params = {std::uint32_t(in), std::uint32_t(out), n};
+    const auto cold = gpu.launch(k, lp);
+    const auto warm = gpu.launch(k, lp);
+    EXPECT_GT(warm.l1Hits + warm.l2Hits, cold.l1Hits + cold.l2Hits);
+    gpu.flushCaches();
+    const auto flushed = gpu.launch(k, lp);
+    EXPECT_LT(flushed.l1HitRate(), warm.l1HitRate() + 1e-9);
+}
+
+} // namespace
+} // namespace vtsim

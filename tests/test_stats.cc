@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace vtsim {
+namespace {
+
+TEST(Counter, StartsAtZeroAndCounts)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c++;
+    c += 5;
+    EXPECT_EQ(c.value(), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ScalarStat, EmptyIsZero)
+{
+    ScalarStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.minValue(), 0.0);
+    EXPECT_DOUBLE_EQ(s.maxValue(), 0.0);
+}
+
+TEST(ScalarStat, TracksMinMaxMean)
+{
+    ScalarStat s;
+    s.sample(4.0);
+    s.sample(-2.0);
+    s.sample(10.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.minValue(), -2.0);
+    EXPECT_DOUBLE_EQ(s.maxValue(), 10.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4, 10.0); // [0,10) [10,20) [20,30) [30,40)
+    h.sample(0.0);
+    h.sample(9.99);
+    h.sample(10.0);
+    h.sample(35.0);
+    h.sample(40.0);  // overflow
+    h.sample(-1.0);  // negative counts as overflow
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.bucket(0), 0u);
+}
+
+TEST(Histogram, Shape)
+{
+    Histogram h(8, 2.5);
+    EXPECT_EQ(h.bucketCount(), 8u);
+    EXPECT_DOUBLE_EQ(h.bucketWidth(), 2.5);
+}
+
+TEST(StatGroup, CounterValueLookup)
+{
+    StatGroup g("grp");
+    Counter c;
+    c += 3;
+    g.addCounter("events", &c, "some events");
+    EXPECT_EQ(g.counterValue("events"), 3u);
+    EXPECT_EQ(g.counterValue("missing"), 0u);
+}
+
+TEST(StatGroup, DumpContainsAllStats)
+{
+    StatGroup g("sm0");
+    Counter c;
+    c += 42;
+    ScalarStat s;
+    s.sample(2.0);
+    Histogram h(2, 1.0);
+    h.sample(0.5);
+    g.addCounter("instr", &c, "instructions");
+    g.addScalar("occ", &s, "occupancy");
+    g.addHistogram("lat", &h, "latency");
+
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("sm0.instr 42"), std::string::npos);
+    EXPECT_NE(out.find("sm0.occ.mean 2"), std::string::npos);
+    EXPECT_NE(out.find("sm0.lat.total 1"), std::string::npos);
+    EXPECT_NE(out.find("instructions"), std::string::npos);
+}
+
+TEST(StatGroup, NameAccessor)
+{
+    StatGroup g("abc");
+    EXPECT_EQ(g.name(), "abc");
+}
+
+} // namespace
+} // namespace vtsim

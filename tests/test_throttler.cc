@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit and end-to-end tests for the DYNCTA-style CTA throttler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "cta/cta_throttler.hh"
+#include "test_util.hh"
+#include "workloads/workload.hh"
+
+namespace vtsim {
+namespace {
+
+ThrottleParams
+fastParams()
+{
+    ThrottleParams p;
+    p.epochCycles = 10;
+    p.highWater = 0.55;
+    p.lowWater = 0.30;
+    p.minCap = 1;
+    return p;
+}
+
+TEST(Throttler, StartsAtMaxCap)
+{
+    CtaThrottler t(fastParams(), 8, 0);
+    EXPECT_EQ(t.cap(), 8u);
+}
+
+TEST(Throttler, HighMemStallShrinksCap)
+{
+    CtaThrottler t(fastParams(), 8, 0);
+    for (int i = 0; i < 10; ++i)
+        t.sample(false, true); // 100% memory stall
+    EXPECT_EQ(t.cap(), 7u);
+    EXPECT_EQ(t.decreases(), 1u);
+}
+
+TEST(Throttler, LowMemStallGrowsCapBack)
+{
+    CtaThrottler t(fastParams(), 8, 0);
+    for (int i = 0; i < 20; ++i)
+        t.sample(false, true);
+    EXPECT_EQ(t.cap(), 6u);
+    for (int i = 0; i < 10; ++i)
+        t.sample(true, false); // all issue
+    EXPECT_EQ(t.cap(), 7u);
+    EXPECT_EQ(t.increases(), 1u);
+}
+
+TEST(Throttler, NeverBelowMinCap)
+{
+    ThrottleParams p = fastParams();
+    p.minCap = 2;
+    CtaThrottler t(p, 4, 0);
+    for (int i = 0; i < 1000; ++i)
+        t.sample(false, true);
+    EXPECT_EQ(t.cap(), 2u);
+}
+
+TEST(Throttler, NeverAboveMaxCap)
+{
+    CtaThrottler t(fastParams(), 4, 0);
+    for (int i = 0; i < 1000; ++i)
+        t.sample(true, false);
+    EXPECT_EQ(t.cap(), 4u);
+    EXPECT_EQ(t.increases(), 0u);
+}
+
+TEST(Throttler, MidRangeHoldsSteady)
+{
+    CtaThrottler t(fastParams(), 8, 0);
+    // 40% mem stall: between the watermarks.
+    for (int i = 0; i < 100; ++i)
+        t.sample(i % 10 < 6, i % 10 >= 6 && i % 10 < 10 && i % 5 < 2);
+    // 4 of 10 samples mem-stalled per epoch = 0.4 -> no change.
+    EXPECT_EQ(t.cap(), 8u);
+}
+
+TEST(ThrottlerEndToEnd, RunsCorrectlyAndAdjustsCap)
+{
+    GpuConfig cfg = test::smallConfig();
+    cfg.throttleEnabled = true;
+    cfg.throttleEpochCycles = 256;
+    auto wl = makeWorkload("bfs", 0); // memory-stall heavy
+    const Kernel k = wl->buildKernel();
+    Gpu gpu(cfg);
+    const LaunchParams lp = wl->prepare(gpu.memory());
+    gpu.launch(k, lp);
+    EXPECT_TRUE(wl->verify(gpu.memory()));
+    ASSERT_NE(gpu.sm(0).throttler(), nullptr);
+    // bfs stalls on memory constantly: the cap must have moved down.
+    EXPECT_GT(gpu.sm(0).throttler()->decreases(), 0u);
+}
+
+TEST(ThrottlerEndToEnd, DisabledByDefault)
+{
+    Gpu gpu(test::smallConfig());
+    EXPECT_EQ(gpu.sm(0).throttler(), nullptr);
+}
+
+TEST(ThrottlerEndToEnd, MutuallyExclusiveWithVt)
+{
+    GpuConfig cfg = test::smallVtConfig();
+    cfg.throttleEnabled = true;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+} // namespace
+} // namespace vtsim

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Timing-precision tests: the latency/throughput knobs of the SM
+ * pipeline must be visible, cycle-accurately, in measured runtimes.
+ * Each test builds two kernels differing by a known amount of work and
+ * checks the cycle delta against the configured parameter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hh"
+#include "isa/kernel_builder.hh"
+
+namespace vtsim {
+namespace {
+
+GpuConfig
+oneWarpConfig()
+{
+    GpuConfig cfg = GpuConfig::testMini(); // 1 SM, 1 scheduler
+    return cfg;
+}
+
+/** Run @p kernel with one warp and return the cycle count. */
+Cycle
+runOneWarp(const Kernel &kernel)
+{
+    Gpu gpu(oneWarpConfig());
+    LaunchParams lp;
+    lp.cta = Dim3(32);
+    lp.grid = Dim3(1);
+    return gpu.launch(kernel, lp).cycles;
+}
+
+/** movi r0 then @p n DEPENDENT iadd r0, r0, 1 then exit. */
+Kernel
+dependentAluChain(std::uint32_t n)
+{
+    KernelBuilder kb("chain" + std::to_string(n));
+    kb.movi(0, 0);
+    for (std::uint32_t i = 0; i < n; ++i)
+        kb.alui(Opcode::IADD, 0, 0, 1);
+    kb.exit();
+    return kb.build();
+}
+
+/** @p n INDEPENDENT movi instructions then exit. */
+Kernel
+independentAluRun(std::uint32_t n)
+{
+    KernelBuilder kb("indep" + std::to_string(n));
+    for (std::uint32_t i = 0; i < n; ++i)
+        kb.movi(i % 8, static_cast<std::int32_t>(i));
+    kb.exit();
+    return kb.build();
+}
+
+TEST(Timing, DependentAluChainPaysFullLatencyPerLink)
+{
+    const GpuConfig cfg = oneWarpConfig();
+    const Cycle short_run = runOneWarp(dependentAluChain(10));
+    const Cycle long_run = runOneWarp(dependentAluChain(40));
+    // 30 extra dependent adds, each serialised by the ALU latency.
+    EXPECT_EQ(long_run - short_run, 30u * cfg.aluLatency);
+}
+
+TEST(Timing, IndependentAluIssuesOnePerCycle)
+{
+    const Cycle short_run = runOneWarp(independentAluRun(10));
+    const Cycle long_run = runOneWarp(independentAluRun(50));
+    // 40 extra independent instructions, single warp, 1 issue/cycle.
+    EXPECT_EQ(long_run - short_run, 40u);
+}
+
+TEST(Timing, SfuChainPaysSfuLatency)
+{
+    const GpuConfig cfg = oneWarpConfig();
+    auto chain = [](std::uint32_t n) {
+        KernelBuilder kb("sfu" + std::to_string(n));
+        kb.movi(0, 4);
+        kb.unary(Opcode::I2F, 1, 0);
+        for (std::uint32_t i = 0; i < n; ++i)
+            kb.unary(Opcode::FSQRT, 1, 1);
+        kb.exit();
+        return kb.build();
+    };
+    const Cycle short_run = runOneWarp(chain(5));
+    const Cycle long_run = runOneWarp(chain(15));
+    EXPECT_EQ(long_run - short_run, 10u * cfg.sfuLatency);
+}
+
+TEST(Timing, SharedMemoryBankConflictsSerialise)
+{
+    const GpuConfig cfg = oneWarpConfig();
+    // Dependent LDS chain, conflict-free (stride 1 word per lane)
+    // versus full 32-way conflict (stride 32 words per lane).
+    auto kernel = [](std::uint32_t word_stride, std::uint32_t n) {
+        KernelBuilder kb("sh");
+        kb.shared(32 * 32 * 4);
+        kb.s2r(0, SpecialReg::LaneId);
+        kb.alui(Opcode::IMUL, 0, 0, 4 * word_stride); // byte address
+        kb.movi(1, 0);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            kb.lds(2, 0);                      // load (timed)
+            kb.alu(Opcode::IADD, 1, 1, 2);     // consume: serialises
+        }
+        kb.exit();
+        return kb.build();
+    };
+    const Cycle fast10 = runOneWarp(kernel(1, 10));
+    const Cycle fast30 = runOneWarp(kernel(1, 30));
+    const Cycle slow10 = runOneWarp(kernel(32, 10));
+    const Cycle slow30 = runOneWarp(kernel(32, 30));
+    // Per additional access, the conflicted version pays 31 extra
+    // serialisation passes.
+    const Cycle fast_per = (fast30 - fast10) / 20;
+    const Cycle slow_per = (slow30 - slow10) / 20;
+    EXPECT_EQ(slow_per - fast_per, 31u);
+    (void)cfg;
+}
+
+TEST(Timing, L1HitLatencyVisibleInLoadChain)
+{
+    const GpuConfig cfg = oneWarpConfig();
+    // Warm one line, then a dependent chain of loads hitting it.
+    auto kernel = [](std::uint32_t n) {
+        KernelBuilder kb("l1");
+        kb.ldp(0, 0); // base address
+        kb.movi(1, 0);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            kb.ldg(2, 0);
+            kb.alu(Opcode::IADD, 1, 1, 2);
+        }
+        kb.exit();
+        return kb.build();
+    };
+    auto run = [](const Kernel &k) {
+        Gpu gpu(oneWarpConfig());
+        const Addr buf = gpu.memory().alloc(128);
+        LaunchParams lp;
+        lp.cta = Dim3(32);
+        lp.grid = Dim3(1);
+        lp.params = {std::uint32_t(buf)};
+        return gpu.launch(k, lp).cycles;
+    };
+    const Cycle short_run = run(kernel(5));
+    const Cycle long_run = run(kernel(25));
+    // After the first (miss) access, each extra load pays roughly the
+    // L1 hit latency plus its consume add.
+    const Cycle per = (long_run - short_run) / 20;
+    EXPECT_GE(per, cfg.l1HitLatency);
+    EXPECT_LE(per, cfg.l1HitLatency + cfg.aluLatency + 4);
+}
+
+TEST(Timing, MemoryLatencyDominatesColdLoad)
+{
+    const GpuConfig cfg = oneWarpConfig();
+    // One cold load's round trip must reflect NoC + L2 + DRAM latency.
+    KernelBuilder kb("cold");
+    kb.ldp(0, 0);
+    kb.ldg(1, 0);
+    kb.alu(Opcode::IADD, 1, 1, 1); // consume
+    kb.exit();
+    Gpu gpu(cfg);
+    const Addr buf = gpu.memory().alloc(128);
+    LaunchParams lp;
+    lp.cta = Dim3(32);
+    lp.grid = Dim3(1);
+    lp.params = {std::uint32_t(buf)};
+    const Cycle cycles = gpu.launch(kb.build(), lp).cycles;
+    const Cycle floor = 2 * cfg.nocLatency + cfg.l2HitLatency +
+                        cfg.dramRowMissLatency;
+    EXPECT_GT(cycles, floor);
+    EXPECT_LT(cycles, floor + 200);
+}
+
+} // namespace
+} // namespace vtsim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the debug-trace subsystem. The sink is process-global, so
+ * each test restores the disabled state on exit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/trace.hh"
+#include "test_util.hh"
+
+namespace vtsim {
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { Trace::instance().disable(); }
+};
+
+TEST_F(TraceTest, DisabledByDefault)
+{
+    EXPECT_FALSE(Trace::instance().enabled(TraceFlag::Issue));
+}
+
+TEST_F(TraceTest, LogsOnlyEnabledFlags)
+{
+    std::ostringstream os;
+    Trace::instance().enable(TraceFlag::Swap, &os);
+    VTSIM_TRACE(TraceFlag::Swap, 42, "sm0.vt", "swap out cta ", 3);
+    VTSIM_TRACE(TraceFlag::Issue, 43, "sm0", "should not appear");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("42: sm0.vt: swap out cta 3"), std::string::npos);
+    EXPECT_EQ(out.find("should not appear"), std::string::npos);
+}
+
+TEST_F(TraceTest, CombinedFlags)
+{
+    std::ostringstream os;
+    Trace::instance().enable(TraceFlag::Issue | TraceFlag::Mem, &os);
+    EXPECT_TRUE(Trace::instance().enabled(TraceFlag::Issue));
+    EXPECT_TRUE(Trace::instance().enabled(TraceFlag::Mem));
+    EXPECT_FALSE(Trace::instance().enabled(TraceFlag::Dram));
+}
+
+TEST_F(TraceTest, ParseFlags)
+{
+    EXPECT_TRUE(Trace::parseFlags("issue,swap") ==
+                (TraceFlag::Issue | TraceFlag::Swap));
+    EXPECT_TRUE(Trace::parseFlags("all") == TraceFlag::All);
+    EXPECT_TRUE(Trace::parseFlags("") == TraceFlag::None);
+    EXPECT_THROW(Trace::parseFlags("bogus"), FatalError);
+}
+
+TEST_F(TraceTest, SimulationEmitsSwapAndCtaEvents)
+{
+    std::ostringstream os;
+    Trace::instance().enable(TraceFlag::Swap | TraceFlag::Cta, &os);
+
+    GpuConfig cfg = test::smallConfig();
+    cfg.numSms = 1;
+    cfg.numMemPartitions = 1;
+    cfg.vtEnabled = true;
+    Gpu gpu(cfg);
+    const Kernel k = test::mul3Add7Kernel();
+    const std::uint32_t n = 2048;
+    const Addr in = gpu.memory().alloc(n * 4);
+    const Addr out = gpu.memory().alloc(n * 4);
+    LaunchParams lp;
+    lp.cta = Dim3(64);
+    lp.grid = Dim3(n / 64);
+    lp.params = {std::uint32_t(in), std::uint32_t(out), n};
+    gpu.launch(k, lp);
+    Trace::instance().disable();
+
+    const std::string trace = os.str();
+    EXPECT_NE(trace.find("admit cta"), std::string::npos);
+    EXPECT_NE(trace.find("finish cta"), std::string::npos);
+    EXPECT_NE(trace.find("swap out cta"), std::string::npos);
+}
+
+TEST_F(TraceTest, IssueTraceShowsDisassembly)
+{
+    std::ostringstream os;
+    Trace::instance().enable(TraceFlag::Issue, &os);
+
+    Gpu gpu(test::smallConfig());
+    const Kernel k = test::storeConstKernel();
+    const Addr out = gpu.memory().alloc(64 * 4);
+    LaunchParams lp;
+    lp.cta = Dim3(64);
+    lp.grid = Dim3(1);
+    lp.params = {std::uint32_t(out), 64, 1};
+    gpu.launch(k, lp);
+    Trace::instance().disable();
+
+    const std::string trace = os.str();
+    EXPECT_NE(trace.find("ldp r0, 0"), std::string::npos);
+    EXPECT_NE(trace.find("exit"), std::string::npos);
+    EXPECT_NE(trace.find("[32 lanes]"), std::string::npos);
+}
+
+TEST_F(TraceTest, TracingDoesNotChangeTiming)
+{
+    auto run = [](bool traced) {
+        std::ostringstream os;
+        if (traced)
+            Trace::instance().enable(TraceFlag::All, &os);
+        Gpu gpu(test::smallVtConfig());
+        const Kernel k = test::mul3Add7Kernel();
+        const Addr in = gpu.memory().alloc(1024 * 4);
+        const Addr out = gpu.memory().alloc(1024 * 4);
+        LaunchParams lp;
+        lp.cta = Dim3(64);
+        lp.grid = Dim3(16);
+        lp.params = {std::uint32_t(in), std::uint32_t(out), 1024};
+        const auto stats = gpu.launch(k, lp);
+        Trace::instance().disable();
+        return stats.cycles;
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+} // namespace
+} // namespace vtsim

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * End-to-end Virtual Thread tests on the full simulator: functional
+ * equivalence with the baseline, swap activity on latency-bound
+ * workloads, budget semantics, and consistency of the VT counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "gpu/gpu.hh"
+#include "test_util.hh"
+#include "workloads/workload.hh"
+
+namespace vtsim {
+namespace {
+
+using test::smallConfig;
+
+/** Run one workload instance and return its stats + output check. */
+KernelStats
+runOn(const GpuConfig &cfg, const std::string &name, bool *ok = nullptr)
+{
+    auto wl = makeWorkload(name, 0);
+    const Kernel k = wl->buildKernel();
+    Gpu gpu(cfg);
+    const LaunchParams lp = wl->prepare(gpu.memory());
+    const KernelStats stats = gpu.launch(k, lp);
+    if (ok)
+        *ok = wl->verify(gpu.memory());
+    return stats;
+}
+
+TEST(VtEndToEnd, SameInstructionCountAsBaseline)
+{
+    // VT changes timing, never the work performed.
+    GpuConfig base = smallConfig();
+    GpuConfig vt = base;
+    vt.vtEnabled = true;
+    for (const auto &name : {"vecadd", "reduce", "bfs", "matmul"}) {
+        const auto b = runOn(base, name);
+        const auto v = runOn(vt, name);
+        EXPECT_EQ(b.warpInstructions, v.warpInstructions) << name;
+        EXPECT_EQ(b.threadInstructions, v.threadInstructions) << name;
+        EXPECT_EQ(b.ctasCompleted, v.ctasCompleted) << name;
+    }
+}
+
+TEST(VtEndToEnd, SwapsOccurOnLatencyBoundWorkload)
+{
+    // A single SM with many small, load-dependent CTAs: the canonical
+    // swap-friendly shape.
+    GpuConfig vt = smallConfig();
+    vt.numSms = 1;
+    vt.numMemPartitions = 1;
+    vt.vtEnabled = true;
+    Gpu gpu(vt);
+    const Kernel k = test::mul3Add7Kernel();
+    const std::uint32_t n = 2048; // 32 CTAs of 64 threads
+    const Addr in = gpu.memory().alloc(n * 4);
+    const Addr out = gpu.memory().alloc(n * 4);
+    LaunchParams lp;
+    lp.cta = Dim3(64);
+    lp.grid = Dim3(n / 64);
+    lp.params = {std::uint32_t(in), std::uint32_t(out), n};
+    const auto stats = gpu.launch(k, lp);
+    EXPECT_GT(stats.swapOuts, 0u);
+    EXPECT_GE(stats.swapIns, stats.swapOuts);
+    for (std::uint32_t i = 0; i < n; ++i)
+        ASSERT_EQ(gpu.memory().read32(out + 4 * i), 7u) << i;
+}
+
+TEST(VtEndToEnd, NoSwapsWhenCapacityLimited)
+{
+    GpuConfig vt = smallConfig();
+    vt.vtEnabled = true;
+    const auto stats = runOn(vt, "pathfinder");
+    // Capacity admits no more CTAs than the scheduling limit would:
+    // nothing to swap with.
+    EXPECT_EQ(stats.swapOuts, 0u);
+}
+
+TEST(VtEndToEnd, BudgetEqualToSchedulingLimitMatchesBaselineTiming)
+{
+    GpuConfig base = smallConfig();
+    GpuConfig vt = base;
+    vt.vtEnabled = true;
+    vt.vtMaxVirtualCtasPerSm = base.maxCtasPerSm; // no extra CTAs
+    const auto b = runOn(base, "vecadd");
+    const auto v = runOn(vt, "vecadd");
+    // Same resident set and no swap candidates -> identical schedule.
+    EXPECT_EQ(b.cycles, v.cycles);
+    EXPECT_EQ(v.swapOuts, 0u);
+}
+
+TEST(VtEndToEnd, DeterministicAcrossRuns)
+{
+    GpuConfig vt = smallConfig();
+    vt.vtEnabled = true;
+    const auto a = runOn(vt, "stencil");
+    const auto b = runOn(vt, "stencil");
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.swapOuts, b.swapOuts);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+}
+
+TEST(VtEndToEnd, ZeroSwapLatencyNeverSlowerThanHighLatency)
+{
+    GpuConfig fast = smallConfig();
+    fast.vtEnabled = true;
+    fast.vtSwapOutLatency = 0;
+    fast.vtSwapInLatency = 0;
+    GpuConfig slow = fast;
+    slow.vtSwapOutLatency = 200;
+    slow.vtSwapInLatency = 200;
+    const auto f = runOn(fast, "bfs");
+    const auto s = runOn(slow, "bfs");
+    EXPECT_LE(f.cycles, s.cycles + s.cycles / 10);
+}
+
+TEST(VtEndToEnd, IdealisedBiggerSchedulerBeatsBaseline)
+{
+    // One SM with 32 small load-dependent CTAs: the enlarged scheduling
+    // structures expose 4x the CTAs and must hide more latency.
+    GpuConfig base = smallConfig();
+    base.numSms = 1;
+    base.numMemPartitions = 1;
+    GpuConfig big = base;
+    big.schedLimitMultiplier = 4;
+
+    auto run = [](const GpuConfig &cfg) {
+        Gpu gpu(cfg);
+        const Kernel k = test::mul3Add7Kernel();
+        const std::uint32_t n = 2048;
+        const Addr in = gpu.memory().alloc(n * 4);
+        const Addr out = gpu.memory().alloc(n * 4);
+        LaunchParams lp;
+        lp.cta = Dim3(64);
+        lp.grid = Dim3(n / 64);
+        lp.params = {std::uint32_t(in), std::uint32_t(out), n};
+        return gpu.launch(k, lp);
+    };
+    EXPECT_LT(run(big).cycles, run(base).cycles);
+}
+
+TEST(VtEndToEnd, StallBreakdownCoversAllCycles)
+{
+    GpuConfig vt = smallConfig();
+    vt.vtEnabled = true;
+    const auto s = runOn(vt, "reduce");
+    const std::uint64_t total = s.stalls.issued + s.stalls.memStall +
+                                s.stalls.shortStall +
+                                s.stalls.barrierStall +
+                                s.stalls.swapStall + s.stalls.idle;
+    // Every scheduler-cycle of the launch is classified exactly once.
+    EXPECT_EQ(total, std::uint64_t(s.cycles) * vt.numSms *
+                         vt.numSchedulers);
+}
+
+TEST(VtEndToEnd, SchedulerPoliciesAllProduceCorrectResults)
+{
+    for (auto policy : {SchedulerPolicy::LooseRoundRobin,
+                        SchedulerPolicy::GreedyThenOldest,
+                        SchedulerPolicy::TwoLevel}) {
+        GpuConfig cfg = smallConfig();
+        cfg.vtEnabled = true;
+        cfg.schedulerPolicy = policy;
+        bool ok = false;
+        runOn(cfg, "reduce", &ok);
+        EXPECT_TRUE(ok) << toString(policy);
+    }
+}
+
+TEST(VtEndToEnd, SwapPolicyVariantsProduceCorrectResults)
+{
+    for (auto trigger : {VtSwapTrigger::AllWarpsStalled,
+                         VtSwapTrigger::AnyWarpStalled}) {
+        for (auto pick : {VtSwapInPolicy::ReadyFirst,
+                          VtSwapInPolicy::OldestFirst}) {
+            GpuConfig cfg = smallConfig();
+            cfg.vtEnabled = true;
+            cfg.vtSwapTrigger = trigger;
+            cfg.vtSwapInPolicy = pick;
+            bool ok = false;
+            runOn(cfg, "bfs", &ok);
+            EXPECT_TRUE(ok) << toString(trigger) << "/" << toString(pick);
+        }
+    }
+}
+
+TEST(VtEndToEnd, HeadlineSpeedupRegressionGuard)
+{
+    // The canonical latency-bound shape must keep a solid VT win; this
+    // guards the FIG-3 result against timing-model regressions.
+    auto run = [](bool vt_on) {
+        GpuConfig cfg = smallConfig();
+        cfg.numSms = 1;
+        cfg.numMemPartitions = 1;
+        cfg.vtEnabled = vt_on;
+        Gpu gpu(cfg);
+        const Kernel k = test::mul3Add7Kernel();
+        const std::uint32_t n = 4096; // 64 CTAs of 64 threads
+        const Addr in = gpu.memory().alloc(n * 4);
+        const Addr out = gpu.memory().alloc(n * 4);
+        LaunchParams lp;
+        lp.cta = Dim3(64);
+        lp.grid = Dim3(n / 64);
+        lp.params = {std::uint32_t(in), std::uint32_t(out), n};
+        return gpu.launch(k, lp).cycles;
+    };
+    const double speedup = double(run(false)) / run(true);
+    EXPECT_GT(speedup, 1.15);
+}
+
+TEST(VtEndToEnd, KeplerConfigRunsVt)
+{
+    GpuConfig cfg = GpuConfig::keplerLike();
+    cfg.numSms = 2;
+    cfg.numMemPartitions = 2;
+    cfg.vtEnabled = true;
+    bool ok = false;
+    runOn(cfg, "vecadd", &ok);
+    EXPECT_TRUE(ok);
+}
+
+} // namespace
+} // namespace vtsim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the benchmark workload suite: every workload must produce
+ * verified results on the baseline machine, and its occupancy class on
+ * the Fermi baseline must match its declared class (the TAB-2 claim).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "gpu/gpu.hh"
+#include "occupancy/occupancy.hh"
+#include "test_util.hh"
+#include "workloads/workload.hh"
+
+namespace vtsim {
+namespace {
+
+class WorkloadSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadSuite, RunsAndVerifiesOnBaseline)
+{
+    auto wl = makeWorkload(GetParam(), 0); // tiny problem
+    const Kernel kernel = wl->buildKernel();
+    Gpu gpu(test::smallConfig());
+    const LaunchParams lp = wl->prepare(gpu.memory());
+    const KernelStats stats = gpu.launch(kernel, lp);
+    EXPECT_TRUE(wl->verify(gpu.memory())) << GetParam();
+    EXPECT_EQ(stats.ctasCompleted, lp.numCtas());
+    EXPECT_GT(stats.warpInstructions, 0u);
+}
+
+TEST_P(WorkloadSuite, RunsAndVerifiesUnderVirtualThread)
+{
+    auto wl = makeWorkload(GetParam(), 0);
+    const Kernel kernel = wl->buildKernel();
+    Gpu gpu(test::smallVtConfig());
+    const LaunchParams lp = wl->prepare(gpu.memory());
+    gpu.launch(kernel, lp);
+    EXPECT_TRUE(wl->verify(gpu.memory())) << GetParam();
+}
+
+TEST_P(WorkloadSuite, DeclaredClassMatchesOccupancyAnalysis)
+{
+    auto wl = makeWorkload(GetParam(), 1); // benchmark-size geometry
+    const Kernel kernel = wl->buildKernel();
+    // prepare() is needed to know the launch geometry; use a scratch
+    // memory so nothing expensive is simulated.
+    GlobalMemory scratch;
+    const LaunchParams lp = wl->prepare(scratch);
+    const auto occ = computeOccupancy(GpuConfig::fermiLike(), kernel, lp);
+    if (wl->expectedClass() == WorkloadClass::SchedulingLimited) {
+        EXPECT_TRUE(occ.schedulingLimited())
+            << GetParam() << " limiter=" << toString(occ.limiter)
+            << " ctas=" << occ.ctasPerSm
+            << " capacity=" << occ.ctasCapacityOnly;
+    } else {
+        EXPECT_FALSE(occ.schedulingLimited())
+            << GetParam() << " limiter=" << toString(occ.limiter);
+    }
+}
+
+TEST_P(WorkloadSuite, MetadataIsPopulated)
+{
+    auto wl = makeWorkload(GetParam(), 0);
+    EXPECT_EQ(wl->name(), GetParam());
+    EXPECT_FALSE(wl->description().empty());
+    const Kernel k = wl->buildKernel();
+    EXPECT_GT(k.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadSuite,
+                         ::testing::ValuesIn(benchmarkNames()));
+
+TEST(WorkloadRegistry, UnknownNameIsFatal)
+{
+    EXPECT_THROW(makeWorkload("no_such_benchmark"), FatalError);
+}
+
+TEST(WorkloadRegistry, SuiteContainsBothClasses)
+{
+    auto suite = makeBenchmarkSuite(0);
+    ASSERT_GE(suite.size(), 10u);
+    int sched = 0, cap = 0;
+    for (const auto &wl : suite) {
+        if (wl->expectedClass() == WorkloadClass::SchedulingLimited)
+            ++sched;
+        else
+            ++cap;
+    }
+    // The paper's motivating observation: most benchmarks are
+    // scheduling-limited, a minority capacity-limited.
+    EXPECT_GT(sched, cap);
+    EXPECT_GE(cap, 2);
+}
+
+TEST(WorkloadRegistry, NamesMatchSuiteOrder)
+{
+    const auto names = benchmarkNames();
+    const auto suite = makeBenchmarkSuite(0);
+    ASSERT_EQ(names.size(), suite.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(suite[i]->name(), names[i]);
+}
+
+TEST(WorkloadRegistry, ClassNames)
+{
+    EXPECT_EQ(toString(WorkloadClass::SchedulingLimited),
+              "scheduling-limited");
+    EXPECT_EQ(toString(WorkloadClass::CapacityLimited),
+              "capacity-limited");
+}
+
+} // namespace
+} // namespace vtsim
