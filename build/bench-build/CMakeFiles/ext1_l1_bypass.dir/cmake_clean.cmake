@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext1_l1_bypass"
+  "../bench/ext1_l1_bypass.pdb"
+  "CMakeFiles/ext1_l1_bypass.dir/ext1_l1_bypass.cc.o"
+  "CMakeFiles/ext1_l1_bypass.dir/ext1_l1_bypass.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext1_l1_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

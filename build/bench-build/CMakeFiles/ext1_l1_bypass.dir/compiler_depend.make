@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext1_l1_bypass.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext2_kepler"
+  "../bench/ext2_kepler.pdb"
+  "CMakeFiles/ext2_kepler.dir/ext2_kepler.cc.o"
+  "CMakeFiles/ext2_kepler.dir/ext2_kepler.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext2_kepler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext3_energy"
+  "../bench/ext3_energy.pdb"
+  "CMakeFiles/ext3_energy.dir/ext3_energy.cc.o"
+  "CMakeFiles/ext3_energy.dir/ext3_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext3_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext4_throttling"
+  "../bench/ext4_throttling.pdb"
+  "CMakeFiles/ext4_throttling.dir/ext4_throttling.cc.o"
+  "CMakeFiles/ext4_throttling.dir/ext4_throttling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext4_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext5_l2_policy"
+  "../bench/ext5_l2_policy.pdb"
+  "CMakeFiles/ext5_l2_policy.dir/ext5_l2_policy.cc.o"
+  "CMakeFiles/ext5_l2_policy.dir/ext5_l2_policy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext5_l2_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

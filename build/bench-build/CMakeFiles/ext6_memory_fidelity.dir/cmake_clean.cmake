@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext6_memory_fidelity"
+  "../bench/ext6_memory_fidelity.pdb"
+  "CMakeFiles/ext6_memory_fidelity.dir/ext6_memory_fidelity.cc.o"
+  "CMakeFiles/ext6_memory_fidelity.dir/ext6_memory_fidelity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext6_memory_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_limiter_classification"
+  "../bench/fig1_limiter_classification.pdb"
+  "CMakeFiles/fig1_limiter_classification.dir/fig1_limiter_classification.cc.o"
+  "CMakeFiles/fig1_limiter_classification.dir/fig1_limiter_classification.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_limiter_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_resource_utilization"
+  "../bench/fig2_resource_utilization.pdb"
+  "CMakeFiles/fig2_resource_utilization.dir/fig2_resource_utilization.cc.o"
+  "CMakeFiles/fig2_resource_utilization.dir/fig2_resource_utilization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_resource_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

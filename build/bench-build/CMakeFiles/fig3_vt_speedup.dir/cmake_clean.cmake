@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_vt_speedup"
+  "../bench/fig3_vt_speedup.pdb"
+  "CMakeFiles/fig3_vt_speedup.dir/fig3_vt_speedup.cc.o"
+  "CMakeFiles/fig3_vt_speedup.dir/fig3_vt_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vt_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_virtual_cta_sweep"
+  "../bench/fig4_virtual_cta_sweep.pdb"
+  "CMakeFiles/fig4_virtual_cta_sweep.dir/fig4_virtual_cta_sweep.cc.o"
+  "CMakeFiles/fig4_virtual_cta_sweep.dir/fig4_virtual_cta_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_virtual_cta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

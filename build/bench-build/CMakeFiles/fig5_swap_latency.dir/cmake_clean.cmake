@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_swap_latency"
+  "../bench/fig5_swap_latency.pdb"
+  "CMakeFiles/fig5_swap_latency.dir/fig5_swap_latency.cc.o"
+  "CMakeFiles/fig5_swap_latency.dir/fig5_swap_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_swap_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

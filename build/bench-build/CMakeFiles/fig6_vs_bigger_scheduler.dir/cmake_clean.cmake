@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_vs_bigger_scheduler"
+  "../bench/fig6_vs_bigger_scheduler.pdb"
+  "CMakeFiles/fig6_vs_bigger_scheduler.dir/fig6_vs_bigger_scheduler.cc.o"
+  "CMakeFiles/fig6_vs_bigger_scheduler.dir/fig6_vs_bigger_scheduler.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_vs_bigger_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_scheduler_interaction"
+  "../bench/fig7_scheduler_interaction.pdb"
+  "CMakeFiles/fig7_scheduler_interaction.dir/fig7_scheduler_interaction.cc.o"
+  "CMakeFiles/fig7_scheduler_interaction.dir/fig7_scheduler_interaction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_scheduler_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab1_config"
+  "../bench/tab1_config.pdb"
+  "CMakeFiles/tab1_config.dir/tab1_config.cc.o"
+  "CMakeFiles/tab1_config.dir/tab1_config.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

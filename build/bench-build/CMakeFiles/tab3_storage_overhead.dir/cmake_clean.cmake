@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab3_storage_overhead"
+  "../bench/tab3_storage_overhead.pdb"
+  "CMakeFiles/tab3_storage_overhead.dir/tab3_storage_overhead.cc.o"
+  "CMakeFiles/tab3_storage_overhead.dir/tab3_storage_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_storage_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_stats.dir/inspect_stats.cc.o"
+  "CMakeFiles/inspect_stats.dir/inspect_stats.cc.o.d"
+  "inspect_stats"
+  "inspect_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

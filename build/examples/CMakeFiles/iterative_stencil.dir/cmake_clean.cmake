@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_stencil.dir/iterative_stencil.cc.o"
+  "CMakeFiles/iterative_stencil.dir/iterative_stencil.cc.o.d"
+  "iterative_stencil"
+  "iterative_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

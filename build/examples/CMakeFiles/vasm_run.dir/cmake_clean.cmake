@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vasm_run.dir/vasm_run.cc.o"
+  "CMakeFiles/vasm_run.dir/vasm_run.cc.o.d"
+  "vasm_run"
+  "vasm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vasm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/vtsim.dir/common/log.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/vtsim.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/trace.cc" "src/CMakeFiles/vtsim.dir/common/trace.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/common/trace.cc.o.d"
+  "/root/repo/src/config/gpu_config.cc" "src/CMakeFiles/vtsim.dir/config/gpu_config.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/config/gpu_config.cc.o.d"
+  "/root/repo/src/core/energy_model.cc" "src/CMakeFiles/vtsim.dir/core/energy_model.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/core/energy_model.cc.o.d"
+  "/root/repo/src/core/overhead_model.cc" "src/CMakeFiles/vtsim.dir/core/overhead_model.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/core/overhead_model.cc.o.d"
+  "/root/repo/src/core/virtual_thread.cc" "src/CMakeFiles/vtsim.dir/core/virtual_thread.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/core/virtual_thread.cc.o.d"
+  "/root/repo/src/cta/cta_dispatcher.cc" "src/CMakeFiles/vtsim.dir/cta/cta_dispatcher.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/cta/cta_dispatcher.cc.o.d"
+  "/root/repo/src/cta/cta_throttler.cc" "src/CMakeFiles/vtsim.dir/cta/cta_throttler.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/cta/cta_throttler.cc.o.d"
+  "/root/repo/src/func/exec_context.cc" "src/CMakeFiles/vtsim.dir/func/exec_context.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/func/exec_context.cc.o.d"
+  "/root/repo/src/func/global_memory.cc" "src/CMakeFiles/vtsim.dir/func/global_memory.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/func/global_memory.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/vtsim.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/vtsim.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/disassembler.cc" "src/CMakeFiles/vtsim.dir/isa/disassembler.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/isa/disassembler.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/vtsim.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/kernel.cc" "src/CMakeFiles/vtsim.dir/isa/kernel.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/isa/kernel.cc.o.d"
+  "/root/repo/src/isa/kernel_builder.cc" "src/CMakeFiles/vtsim.dir/isa/kernel_builder.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/isa/kernel_builder.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/vtsim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/coalescer.cc" "src/CMakeFiles/vtsim.dir/mem/coalescer.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/mem/coalescer.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/vtsim.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/interconnect.cc" "src/CMakeFiles/vtsim.dir/mem/interconnect.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/mem/interconnect.cc.o.d"
+  "/root/repo/src/mem/mem_request.cc" "src/CMakeFiles/vtsim.dir/mem/mem_request.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/mem/mem_request.cc.o.d"
+  "/root/repo/src/mem/memory_partition.cc" "src/CMakeFiles/vtsim.dir/mem/memory_partition.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/mem/memory_partition.cc.o.d"
+  "/root/repo/src/mem/shared_memory.cc" "src/CMakeFiles/vtsim.dir/mem/shared_memory.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/mem/shared_memory.cc.o.d"
+  "/root/repo/src/occupancy/occupancy.cc" "src/CMakeFiles/vtsim.dir/occupancy/occupancy.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/occupancy/occupancy.cc.o.d"
+  "/root/repo/src/sm/barrier_manager.cc" "src/CMakeFiles/vtsim.dir/sm/barrier_manager.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/sm/barrier_manager.cc.o.d"
+  "/root/repo/src/sm/ldst_unit.cc" "src/CMakeFiles/vtsim.dir/sm/ldst_unit.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/sm/ldst_unit.cc.o.d"
+  "/root/repo/src/sm/scoreboard.cc" "src/CMakeFiles/vtsim.dir/sm/scoreboard.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/sm/scoreboard.cc.o.d"
+  "/root/repo/src/sm/simt_stack.cc" "src/CMakeFiles/vtsim.dir/sm/simt_stack.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/sm/simt_stack.cc.o.d"
+  "/root/repo/src/sm/sm_core.cc" "src/CMakeFiles/vtsim.dir/sm/sm_core.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/sm/sm_core.cc.o.d"
+  "/root/repo/src/sm/warp_context.cc" "src/CMakeFiles/vtsim.dir/sm/warp_context.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/sm/warp_context.cc.o.d"
+  "/root/repo/src/sm/warp_scheduler.cc" "src/CMakeFiles/vtsim.dir/sm/warp_scheduler.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/sm/warp_scheduler.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/vtsim.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/stats/stats.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/CMakeFiles/vtsim.dir/workloads/bfs.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/bfs.cc.o.d"
+  "/root/repo/src/workloads/bitonic.cc" "src/CMakeFiles/vtsim.dir/workloads/bitonic.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/bitonic.cc.o.d"
+  "/root/repo/src/workloads/blackscholes.cc" "src/CMakeFiles/vtsim.dir/workloads/blackscholes.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/blackscholes.cc.o.d"
+  "/root/repo/src/workloads/histogram.cc" "src/CMakeFiles/vtsim.dir/workloads/histogram.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/histogram.cc.o.d"
+  "/root/repo/src/workloads/hotspot.cc" "src/CMakeFiles/vtsim.dir/workloads/hotspot.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/hotspot.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/CMakeFiles/vtsim.dir/workloads/kmeans.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/kmeans.cc.o.d"
+  "/root/repo/src/workloads/matmul.cc" "src/CMakeFiles/vtsim.dir/workloads/matmul.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/matmul.cc.o.d"
+  "/root/repo/src/workloads/mummer.cc" "src/CMakeFiles/vtsim.dir/workloads/mummer.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/mummer.cc.o.d"
+  "/root/repo/src/workloads/needle.cc" "src/CMakeFiles/vtsim.dir/workloads/needle.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/needle.cc.o.d"
+  "/root/repo/src/workloads/pathfinder.cc" "src/CMakeFiles/vtsim.dir/workloads/pathfinder.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/pathfinder.cc.o.d"
+  "/root/repo/src/workloads/reduction.cc" "src/CMakeFiles/vtsim.dir/workloads/reduction.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/reduction.cc.o.d"
+  "/root/repo/src/workloads/spmv.cc" "src/CMakeFiles/vtsim.dir/workloads/spmv.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/spmv.cc.o.d"
+  "/root/repo/src/workloads/stencil.cc" "src/CMakeFiles/vtsim.dir/workloads/stencil.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/stencil.cc.o.d"
+  "/root/repo/src/workloads/streaming.cc" "src/CMakeFiles/vtsim.dir/workloads/streaming.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/streaming.cc.o.d"
+  "/root/repo/src/workloads/transpose.cc" "src/CMakeFiles/vtsim.dir/workloads/transpose.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/transpose.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/vtsim.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/vtsim.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

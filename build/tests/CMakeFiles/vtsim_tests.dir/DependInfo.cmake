@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cc" "tests/CMakeFiles/vtsim_tests.dir/test_assembler.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_assembler.cc.o.d"
+  "/root/repo/tests/test_barrier.cc" "tests/CMakeFiles/vtsim_tests.dir/test_barrier.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_barrier.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/vtsim_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cache_ops.cc" "tests/CMakeFiles/vtsim_tests.dir/test_cache_ops.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_cache_ops.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/vtsim_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/vtsim_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/vtsim_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/vtsim_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_func.cc" "tests/CMakeFiles/vtsim_tests.dir/test_func.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_func.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/vtsim_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_ldst.cc" "tests/CMakeFiles/vtsim_tests.dir/test_ldst.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_ldst.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/vtsim_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_misc.cc" "tests/CMakeFiles/vtsim_tests.dir/test_misc.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_misc.cc.o.d"
+  "/root/repo/tests/test_occupancy.cc" "tests/CMakeFiles/vtsim_tests.dir/test_occupancy.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_occupancy.cc.o.d"
+  "/root/repo/tests/test_opcode_semantics.cc" "tests/CMakeFiles/vtsim_tests.dir/test_opcode_semantics.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_opcode_semantics.cc.o.d"
+  "/root/repo/tests/test_partition.cc" "tests/CMakeFiles/vtsim_tests.dir/test_partition.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_partition.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/vtsim_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_properties_mem.cc" "tests/CMakeFiles/vtsim_tests.dir/test_properties_mem.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_properties_mem.cc.o.d"
+  "/root/repo/tests/test_sample_kernels.cc" "tests/CMakeFiles/vtsim_tests.dir/test_sample_kernels.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_sample_kernels.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/vtsim_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_scoreboard.cc" "tests/CMakeFiles/vtsim_tests.dir/test_scoreboard.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_scoreboard.cc.o.d"
+  "/root/repo/tests/test_simt_stack.cc" "tests/CMakeFiles/vtsim_tests.dir/test_simt_stack.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_simt_stack.cc.o.d"
+  "/root/repo/tests/test_sm_integration.cc" "tests/CMakeFiles/vtsim_tests.dir/test_sm_integration.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_sm_integration.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/vtsim_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_throttler.cc" "tests/CMakeFiles/vtsim_tests.dir/test_throttler.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_throttler.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/vtsim_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_timing.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/vtsim_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_vt_end_to_end.cc" "tests/CMakeFiles/vtsim_tests.dir/test_vt_end_to_end.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_vt_end_to_end.cc.o.d"
+  "/root/repo/tests/test_vt_manager.cc" "tests/CMakeFiles/vtsim_tests.dir/test_vt_manager.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_vt_manager.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/vtsim_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_workloads.cc.o.d"
+  "/root/repo/tests/test_writeback.cc" "tests/CMakeFiles/vtsim_tests.dir/test_writeback.cc.o" "gcc" "tests/CMakeFiles/vtsim_tests.dir/test_writeback.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vtsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
