@@ -1,5 +1,7 @@
 #include "bench_common.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -19,7 +21,20 @@ runWorkload(const std::string &workload_name, const GpuConfig &config,
 
     RunResult result;
     result.workload = workload_name;
+    const auto start = std::chrono::steady_clock::now();
     result.stats = gpu.launch(kernel, lp);
+    result.wallSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    for (std::uint32_t i = 0; i < gpu.numSms(); ++i) {
+        result.maxSimtDepth =
+            std::max(result.maxSimtDepth, gpu.sm(i).maxSimtDepthSeen());
+    }
+    // Simulator-speed row (stderr: stdout stays byte-stable across
+    // hosts so figure output remains diffable).
+    std::fprintf(stderr,
+                 "[sim-rate] %-14s wall %8.3fs %10.1f Kcyc/s %8.2f MIPS\n",
+                 workload_name.c_str(), result.wallSeconds,
+                 result.kcyclesPerSec(), result.mips());
     result.verified = workload->verify(gpu.memory());
     if (!result.verified) {
         VTSIM_FATAL("workload '", workload_name,

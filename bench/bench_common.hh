@@ -22,6 +22,25 @@ struct RunResult
     std::string workload;
     KernelStats stats;
     bool verified = false;
+    /** Host wall-clock seconds spent inside Gpu::launch. */
+    double wallSeconds = 0.0;
+    /** Deepest SIMT reconvergence stack observed on any SM. */
+    std::uint32_t maxSimtDepth = 0;
+
+    /** Simulator speed: simulated kilocycles per host second. */
+    double kcyclesPerSec() const
+    {
+        return wallSeconds > 0.0 ? stats.cycles / wallSeconds / 1e3 : 0.0;
+    }
+
+    /** Simulator speed: millions of simulated thread instructions per
+     *  host second. */
+    double mips() const
+    {
+        return wallSeconds > 0.0
+                   ? stats.threadInstructions / wallSeconds / 1e6
+                   : 0.0;
+    }
 };
 
 /**

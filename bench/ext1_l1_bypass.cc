@@ -9,39 +9,50 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_common.hh"
+#include "parallel_runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vtsim;
     using namespace vtsim::bench;
 
     printHeader("EXT-1", "VT x L1-bypass interaction");
     const GpuConfig base = GpuConfig::fermiLike();
+    GpuConfig vt = base;
+    vt.vtEnabled = true;
+    GpuConfig byp = base;
+    byp.l1BypassGlobalLoads = true;
+    GpuConfig both = vt;
+    both.l1BypassGlobalLoads = true;
+
+    const char *subset[] = {"vecadd", "spmv", "stencil", "kmeans",
+                            "needle", "mummer"};
+
+    std::vector<RunSpec> specs;
+    for (const char *name : subset) {
+        specs.push_back({name, base, benchScale});
+        specs.push_back({name, vt, benchScale});
+        specs.push_back({name, byp, benchScale});
+        specs.push_back({name, both, benchScale});
+    }
+    const auto results = runAll(specs, resolveJobs(argc, argv));
 
     std::printf("%-14s %10s %10s %10s\n", "benchmark", "vt",
                 "bypass", "vt+bypass");
-    const char *subset[] = {"vecadd", "spmv", "stencil", "kmeans",
-                            "needle", "mummer"};
-    for (const char *name : subset) {
-        const RunResult ref = runWorkload(name, base, benchScale);
-
-        GpuConfig vt = base;
-        vt.vtEnabled = true;
-        GpuConfig byp = base;
-        byp.l1BypassGlobalLoads = true;
-        GpuConfig both = vt;
-        both.l1BypassGlobalLoads = true;
-
-        const double sv = double(ref.stats.cycles) /
-                          runWorkload(name, vt, benchScale).stats.cycles;
-        const double sb = double(ref.stats.cycles) /
-                          runWorkload(name, byp, benchScale).stats.cycles;
-        const double s2 = double(ref.stats.cycles) /
-                          runWorkload(name, both, benchScale).stats.cycles;
-        std::printf("%-14s %9.2fx %9.2fx %9.2fx\n", name, sv, sb, s2);
+    for (std::size_t w = 0; w < std::size(subset); ++w) {
+        const RunResult &ref = results[4 * w];
+        const double sv =
+            double(ref.stats.cycles) / results[4 * w + 1].stats.cycles;
+        const double sb =
+            double(ref.stats.cycles) / results[4 * w + 2].stats.cycles;
+        const double s2 =
+            double(ref.stats.cycles) / results[4 * w + 3].stats.cycles;
+        std::printf("%-14s %9.2fx %9.2fx %9.2fx\n", subset[w], sv, sb,
+                    s2);
     }
     std::printf("(all columns normalised to the L1-enabled, VT-off "
                 "baseline)\n");

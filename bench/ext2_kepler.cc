@@ -10,9 +10,10 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "parallel_runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vtsim;
     using namespace vtsim::bench;
@@ -23,16 +24,24 @@ main()
     vt.vtEnabled = true;
     vt.vtMaxVirtualCtasPerSm = 32; // 2x the 16 CTA slots
 
+    const auto names = benchmarkNames();
+    std::vector<RunSpec> specs;
+    for (const auto &name : names) {
+        specs.push_back({name, base, benchScale});
+        specs.push_back({name, vt, benchScale});
+    }
+    const auto results = runAll(specs, resolveJobs(argc, argv));
+
     std::printf("%-14s %10s %10s %8s %8s\n", "benchmark", "base-IPC",
                 "vt-IPC", "speedup", "swaps");
     std::vector<double> ratios;
-    for (const auto &name : benchmarkNames()) {
-        const RunResult b = runWorkload(name, base, benchScale);
-        const RunResult v = runWorkload(name, vt, benchScale);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const RunResult &b = results[2 * i];
+        const RunResult &v = results[2 * i + 1];
         const double ratio = double(b.stats.cycles) / v.stats.cycles;
         ratios.push_back(ratio);
-        std::printf("%-14s %10.3f %10.3f %7.2fx %8llu\n", name.c_str(),
-                    b.stats.ipc, v.stats.ipc, ratio,
+        std::printf("%-14s %10.3f %10.3f %7.2fx %8llu\n",
+                    names[i].c_str(), b.stats.ipc, v.stats.ipc, ratio,
                     (unsigned long long)v.stats.swapOuts);
     }
     std::printf("%-14s %10s %10s %7.2fx\n", "GMEAN", "", "",

@@ -8,13 +8,15 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_common.hh"
 #include "core/energy_model.hh"
 #include "core/overhead_model.hh"
+#include "parallel_runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vtsim;
     using namespace vtsim::bench;
@@ -24,13 +26,22 @@ main()
     GpuConfig vt = base;
     vt.vtEnabled = true;
 
-    std::printf("%-14s %9s %9s %8s %10s %12s\n", "benchmark",
-                "base(uJ)", "vt(uJ)", "ratio", "swap(nJ)", "EDP-ratio");
     const char *subset[] = {"vecadd", "reduce", "histogram", "needle",
                             "mummer", "stencil", "matmul"};
+
+    std::vector<RunSpec> specs;
     for (const char *name : subset) {
-        const RunResult b = runWorkload(name, base, benchScale);
-        const RunResult v = runWorkload(name, vt, benchScale);
+        specs.push_back({name, base, benchScale});
+        specs.push_back({name, vt, benchScale});
+    }
+    const auto results = runAll(specs, resolveJobs(argc, argv));
+
+    std::printf("%-14s %9s %9s %8s %10s %12s\n", "benchmark",
+                "base(uJ)", "vt(uJ)", "ratio", "swap(nJ)", "EDP-ratio");
+    for (std::size_t w = 0; w < std::size(subset); ++w) {
+        const char *name = subset[w];
+        const RunResult &b = results[2 * w];
+        const RunResult &v = results[2 * w + 1];
 
         // Swap state size from the workload's launch shape.
         auto wl = makeWorkload(name, benchScale);

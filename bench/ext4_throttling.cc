@@ -11,9 +11,10 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "parallel_runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vtsim;
     using namespace vtsim::bench;
@@ -26,17 +27,26 @@ main()
     GpuConfig thr = base;
     thr.throttleEnabled = true;
 
+    const auto names = benchmarkNames();
+    std::vector<RunSpec> specs;
+    for (const auto &name : names) {
+        specs.push_back({name, base, benchScale});
+        specs.push_back({name, thr, benchScale});
+        specs.push_back({name, vt, benchScale});
+    }
+    const auto results = runAll(specs, resolveJobs(argc, argv));
+
     std::printf("%-14s %10s %10s\n", "benchmark", "throttle", "vt");
     std::vector<double> thr_ratios, vt_ratios;
-    for (const auto &name : benchmarkNames()) {
-        const RunResult b = runWorkload(name, base, benchScale);
-        const RunResult t = runWorkload(name, thr, benchScale);
-        const RunResult v = runWorkload(name, vt, benchScale);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const RunResult &b = results[3 * i];
+        const RunResult &t = results[3 * i + 1];
+        const RunResult &v = results[3 * i + 2];
         const double st = double(b.stats.cycles) / t.stats.cycles;
         const double sv = double(b.stats.cycles) / v.stats.cycles;
         thr_ratios.push_back(st);
         vt_ratios.push_back(sv);
-        std::printf("%-14s %9.2fx %9.2fx\n", name.c_str(), st, sv);
+        std::printf("%-14s %9.2fx %9.2fx\n", names[i].c_str(), st, sv);
     }
     std::printf("%-14s %9.2fx %9.2fx\n", "GMEAN", geomean(thr_ratios),
                 geomean(vt_ratios));

@@ -8,29 +8,41 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_common.hh"
+#include "parallel_runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vtsim;
     using namespace vtsim::bench;
 
     printHeader("EXT-5", "VT speedup under both L2 write policies");
-    std::printf("%-14s %14s %14s\n", "benchmark", "write-through",
-                "write-back");
     const char *subset[] = {"vecadd", "saxpy", "reduce", "stencil",
                             "histogram", "needle", "mummer"};
+
+    std::vector<RunSpec> specs;
     for (const char *name : subset) {
-        std::printf("%-14s", name);
         for (bool wb : {false, true}) {
             GpuConfig base = GpuConfig::fermiLike();
             base.l2WriteBack = wb;
             GpuConfig vt = base;
             vt.vtEnabled = true;
-            const RunResult b = runWorkload(name, base, benchScale);
-            const RunResult v = runWorkload(name, vt, benchScale);
+            specs.push_back({name, base, benchScale});
+            specs.push_back({name, vt, benchScale});
+        }
+    }
+    const auto results = runAll(specs, resolveJobs(argc, argv));
+
+    std::printf("%-14s %14s %14s\n", "benchmark", "write-through",
+                "write-back");
+    for (std::size_t w = 0; w < std::size(subset); ++w) {
+        std::printf("%-14s", subset[w]);
+        for (std::size_t p = 0; p < 2; ++p) {
+            const RunResult &b = results[4 * w + 2 * p];
+            const RunResult &v = results[4 * w + 2 * p + 1];
             std::printf("        %5.2fx ",
                         double(b.stats.cycles) / v.stats.cycles);
         }

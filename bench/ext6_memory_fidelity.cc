@@ -9,43 +9,49 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_common.hh"
-
-namespace {
-
-double
-vtSpeedup(const char *name, vtsim::GpuConfig base)
-{
-    using namespace vtsim::bench;
-    vtsim::GpuConfig vt = base;
-    vt.vtEnabled = true;
-    const RunResult b = runWorkload(name, base, benchScale);
-    const RunResult v = runWorkload(name, vt, benchScale);
-    return double(b.stats.cycles) / v.stats.cycles;
-}
-
-} // namespace
+#include "parallel_runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vtsim;
     using namespace vtsim::bench;
 
     printHeader("EXT-6", "memory-fidelity ablation of VT's speedup");
+    const char *subset[] = {"vecadd", "stencil", "histogram", "needle"};
+
+    const GpuConfig faithful = GpuConfig::fermiLike();
+    GpuConfig fcfs = faithful;
+    fcfs.dramSchedWindow = 1;
+    GpuConfig small_mshr = faithful;
+    small_mshr.l1Mshrs = 32;
+    const GpuConfig models[] = {faithful, fcfs, small_mshr};
+    constexpr std::size_t stride = 2 * std::size(models);
+
+    std::vector<RunSpec> specs;
+    for (const char *name : subset) {
+        for (const GpuConfig &model : models) {
+            GpuConfig vt = model;
+            vt.vtEnabled = true;
+            specs.push_back({name, model, benchScale});
+            specs.push_back({name, vt, benchScale});
+        }
+    }
+    const auto results = runAll(specs, resolveJobs(argc, argv));
+
     std::printf("%-14s %10s %12s %12s\n", "benchmark", "faithful",
                 "fcfs-dram", "32-mshr-l1");
-    const char *subset[] = {"vecadd", "stencil", "histogram", "needle"};
-    for (const char *name : subset) {
-        const GpuConfig faithful = GpuConfig::fermiLike();
-        GpuConfig fcfs = faithful;
-        fcfs.dramSchedWindow = 1;
-        GpuConfig small_mshr = faithful;
-        small_mshr.l1Mshrs = 32;
-        std::printf("%-14s %9.2fx %11.2fx %11.2fx\n", name,
-                    vtSpeedup(name, faithful), vtSpeedup(name, fcfs),
-                    vtSpeedup(name, small_mshr));
+    for (std::size_t w = 0; w < std::size(subset); ++w) {
+        const auto speedup = [&](std::size_t model) {
+            const RunResult &b = results[w * stride + 2 * model];
+            const RunResult &v = results[w * stride + 2 * model + 1];
+            return double(b.stats.cycles) / v.stats.cycles;
+        };
+        std::printf("%-14s %9.2fx %11.2fx %11.2fx\n", subset[w],
+                    speedup(0), speedup(1), speedup(2));
     }
     std::printf("(each column compares VT to a baseline with the SAME "
                 "memory model)\n");

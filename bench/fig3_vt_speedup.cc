@@ -10,9 +10,10 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "parallel_runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vtsim;
     using namespace vtsim::bench;
@@ -23,19 +24,28 @@ main()
     GpuConfig vt_cfg = base_cfg;
     vt_cfg.vtEnabled = true;
 
+    const auto names = benchmarkNames();
+    std::vector<RunSpec> specs;
+    for (const auto &name : names) {
+        specs.push_back({name, base_cfg, benchScale});
+        specs.push_back({name, vt_cfg, benchScale});
+    }
+    const auto results = runAll(specs, resolveJobs(argc, argv));
+
     std::printf("%-14s %-20s %10s %10s %8s %8s\n", "benchmark", "class",
                 "base-IPC", "vt-IPC", "speedup", "swaps");
     std::vector<double> ratios;
-    for (const auto &name : benchmarkNames()) {
-        const auto wl = makeWorkload(name, benchScale);
-        const RunResult base = runWorkload(name, base_cfg, benchScale);
-        const RunResult vt = runWorkload(name, vt_cfg, benchScale);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto wl = makeWorkload(names[i], benchScale);
+        const RunResult &base = results[2 * i];
+        const RunResult &vt = results[2 * i + 1];
         const double ratio =
             double(base.stats.cycles) / double(vt.stats.cycles);
         ratios.push_back(ratio);
         std::printf("%-14s %-20s %10.3f %10.3f %7.2fx %8llu\n",
-                    name.c_str(), toString(wl->expectedClass()).c_str(),
-                    base.stats.ipc, vt.stats.ipc, ratio,
+                    names[i].c_str(),
+                    toString(wl->expectedClass()).c_str(), base.stats.ipc,
+                    vt.stats.ipc, ratio,
                     (unsigned long long)vt.stats.swapOuts);
     }
     std::printf("%-14s %-20s %10s %10s %7.2fx\n", "GMEAN", "", "", "",

@@ -7,11 +7,13 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_common.hh"
+#include "parallel_runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vtsim;
     using namespace vtsim::bench;
@@ -21,6 +23,19 @@ main()
     const std::uint32_t budgets[] = {8, 12, 16, 24, 32, 0 /* capacity */};
     const char *subset[] = {"vecadd", "saxpy", "reduce", "stencil",
                             "histogram", "blackscholes"};
+    constexpr std::size_t stride = 1 + std::size(budgets);
+
+    std::vector<RunSpec> specs;
+    for (const char *name : subset) {
+        specs.push_back({name, base, benchScale});
+        for (auto budget : budgets) {
+            GpuConfig vt = base;
+            vt.vtEnabled = true;
+            vt.vtMaxVirtualCtasPerSm = budget;
+            specs.push_back({name, vt, benchScale});
+        }
+    }
+    const auto results = runAll(specs, resolveJobs(argc, argv));
 
     std::printf("%-14s", "benchmark");
     for (auto b : budgets) {
@@ -31,14 +46,11 @@ main()
     }
     std::printf("\n");
 
-    for (const char *name : subset) {
-        const RunResult ref = runWorkload(name, base, benchScale);
-        std::printf("%-14s", name);
-        for (auto budget : budgets) {
-            GpuConfig vt = base;
-            vt.vtEnabled = true;
-            vt.vtMaxVirtualCtasPerSm = budget;
-            const RunResult r = runWorkload(name, vt, benchScale);
+    for (std::size_t w = 0; w < std::size(subset); ++w) {
+        const RunResult &ref = results[w * stride];
+        std::printf("%-14s", subset[w]);
+        for (std::size_t b = 0; b < std::size(budgets); ++b) {
+            const RunResult &r = results[w * stride + 1 + b];
             std::printf("  %6.2fx",
                         double(ref.stats.cycles) / r.stats.cycles);
         }

@@ -7,11 +7,13 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_common.hh"
+#include "parallel_runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vtsim;
     using namespace vtsim::bench;
@@ -20,23 +22,33 @@ main()
     const GpuConfig base = GpuConfig::fermiLike();
     const std::uint32_t latencies[] = {0, 5, 10, 25, 50, 100, 200};
     const char *subset[] = {"vecadd", "reduce", "stencil", "histogram"};
+    constexpr std::size_t stride = 1 + std::size(latencies);
+
+    std::vector<RunSpec> specs;
+    for (const char *name : subset) {
+        specs.push_back({name, base, benchScale});
+        for (auto latency : latencies) {
+            GpuConfig vt = base;
+            vt.vtEnabled = true;
+            vt.vtSwapOutLatency = latency;
+            vt.vtSwapInLatency = latency;
+            specs.push_back({name, vt, benchScale});
+        }
+    }
+    const auto results = runAll(specs, resolveJobs(argc, argv));
 
     std::printf("%-14s", "benchmark");
     for (auto l : latencies)
         std::printf("  L=%4u", l);
     std::printf("   swaps@10\n");
 
-    for (const char *name : subset) {
-        const RunResult ref = runWorkload(name, base, benchScale);
-        std::printf("%-14s", name);
+    for (std::size_t w = 0; w < std::size(subset); ++w) {
+        const RunResult &ref = results[w * stride];
+        std::printf("%-14s", subset[w]);
         std::uint64_t swaps_at_10 = 0;
-        for (auto latency : latencies) {
-            GpuConfig vt = base;
-            vt.vtEnabled = true;
-            vt.vtSwapOutLatency = latency;
-            vt.vtSwapInLatency = latency;
-            const RunResult r = runWorkload(name, vt, benchScale);
-            if (latency == 10)
+        for (std::size_t l = 0; l < std::size(latencies); ++l) {
+            const RunResult &r = results[w * stride + 1 + l];
+            if (latencies[l] == 10)
                 swaps_at_10 = r.stats.swapOuts;
             std::printf(" %6.2fx",
                         double(ref.stats.cycles) / r.stats.cycles);

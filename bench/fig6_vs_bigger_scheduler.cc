@@ -10,33 +10,41 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "parallel_runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vtsim;
     using namespace vtsim::bench;
 
     printHeader("FIG-6", "VT vs. idealised bigger scheduling structures");
     const GpuConfig base = GpuConfig::fermiLike();
+    GpuConfig vt_cfg = base;
+    vt_cfg.vtEnabled = true;
+    GpuConfig x2 = base;
+    x2.schedLimitMultiplier = 2;
+    GpuConfig x4 = base;
+    x4.schedLimitMultiplier = 4;
+
+    const auto names = benchmarkNames();
+    std::vector<RunSpec> specs;
+    for (const auto &name : names) {
+        specs.push_back({name, base, benchScale});
+        specs.push_back({name, vt_cfg, benchScale});
+        specs.push_back({name, x2, benchScale});
+        specs.push_back({name, x4, benchScale});
+    }
+    const auto results = runAll(specs, resolveJobs(argc, argv));
 
     std::printf("%-14s %8s %8s %8s %10s\n", "benchmark", "vt",
                 "ideal-x2", "ideal-x4", "vt/ideal-x2");
     std::vector<double> vt_ratios, x2_ratios, x4_ratios;
-    for (const auto &name : benchmarkNames()) {
-        const RunResult ref = runWorkload(name, base, benchScale);
-
-        GpuConfig vt_cfg = base;
-        vt_cfg.vtEnabled = true;
-        const RunResult vt = runWorkload(name, vt_cfg, benchScale);
-
-        GpuConfig x2 = base;
-        x2.schedLimitMultiplier = 2;
-        const RunResult r2 = runWorkload(name, x2, benchScale);
-
-        GpuConfig x4 = base;
-        x4.schedLimitMultiplier = 4;
-        const RunResult r4 = runWorkload(name, x4, benchScale);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const RunResult &ref = results[4 * i];
+        const RunResult &vt = results[4 * i + 1];
+        const RunResult &r2 = results[4 * i + 2];
+        const RunResult &r4 = results[4 * i + 3];
 
         const double sv = double(ref.stats.cycles) / vt.stats.cycles;
         const double s2 = double(ref.stats.cycles) / r2.stats.cycles;
@@ -44,8 +52,8 @@ main()
         vt_ratios.push_back(sv);
         x2_ratios.push_back(s2);
         x4_ratios.push_back(s4);
-        std::printf("%-14s %7.2fx %7.2fx %7.2fx %9.0f%%\n", name.c_str(),
-                    sv, s2, s4,
+        std::printf("%-14s %7.2fx %7.2fx %7.2fx %9.0f%%\n",
+                    names[i].c_str(), sv, s2, s4,
                     s2 > 1.0 ? 100.0 * (sv - 1.0) / (s2 - 1.0) : 100.0);
     }
     std::printf("%-14s %7.2fx %7.2fx %7.2fx\n", "GMEAN",

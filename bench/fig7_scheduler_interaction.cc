@@ -6,11 +6,13 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_common.hh"
+#include "parallel_runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vtsim;
     using namespace vtsim::bench;
@@ -23,21 +25,31 @@ main()
     };
     const char *subset[] = {"vecadd", "saxpy", "reduce", "stencil",
                             "histogram", "bfs"};
+    constexpr std::size_t stride = 2 * std::size(policies);
+
+    std::vector<RunSpec> specs;
+    for (const char *name : subset) {
+        for (auto policy : policies) {
+            GpuConfig base = GpuConfig::fermiLike();
+            base.schedulerPolicy = policy;
+            GpuConfig vt = base;
+            vt.vtEnabled = true;
+            specs.push_back({name, base, benchScale});
+            specs.push_back({name, vt, benchScale});
+        }
+    }
+    const auto results = runAll(specs, resolveJobs(argc, argv));
 
     std::printf("%-14s", "benchmark");
     for (auto p : policies)
         std::printf(" %10s", toString(p).c_str());
     std::printf("\n");
 
-    for (const char *name : subset) {
-        std::printf("%-14s", name);
-        for (auto policy : policies) {
-            GpuConfig base = GpuConfig::fermiLike();
-            base.schedulerPolicy = policy;
-            GpuConfig vt = base;
-            vt.vtEnabled = true;
-            const RunResult b = runWorkload(name, base, benchScale);
-            const RunResult v = runWorkload(name, vt, benchScale);
+    for (std::size_t w = 0; w < std::size(subset); ++w) {
+        std::printf("%-14s", subset[w]);
+        for (std::size_t p = 0; p < std::size(policies); ++p) {
+            const RunResult &b = results[w * stride + 2 * p];
+            const RunResult &v = results[w * stride + 2 * p + 1];
             std::printf("     %5.2fx",
                         double(b.stats.cycles) / v.stats.cycles);
         }

@@ -7,8 +7,10 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_common.hh"
+#include "parallel_runner.hh"
 
 namespace {
 
@@ -31,7 +33,7 @@ printRow(const char *name, const char *machine,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vtsim;
     using namespace vtsim::bench;
@@ -43,12 +45,19 @@ main()
     const char *subset[] = {"vecadd", "saxpy", "stencil", "histogram",
                             "reduce", "bfs", "matmul"};
 
+    std::vector<RunSpec> specs;
+    for (const char *name : subset) {
+        specs.push_back({name, base, benchScale});
+        specs.push_back({name, vt, benchScale});
+    }
+    const auto results = runAll(specs, resolveJobs(argc, argv));
+
     std::printf("%-14s %-5s %8s %8s %8s %8s %8s %8s | %5s %5s\n",
                 "benchmark", "mach", "issue", "mem", "short", "barrier",
                 "swap", "idle", "l1", "l2");
-    for (const char *name : subset) {
-        printRow(name, "base", runWorkload(name, base, benchScale).stats);
-        printRow(name, "vt", runWorkload(name, vt, benchScale).stats);
+    for (std::size_t w = 0; w < std::size(subset); ++w) {
+        printRow(subset[w], "base", results[2 * w].stats);
+        printRow(subset[w], "vt", results[2 * w + 1].stats);
     }
     return 0;
 }

@@ -8,11 +8,13 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_common.hh"
+#include "parallel_runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vtsim;
     using namespace vtsim::bench;
@@ -39,22 +41,32 @@ main()
         {"no-hysteresis", VtSwapTrigger::AllWarpsStalled,
          VtSwapInPolicy::ReadyFirst, 0},
     };
+    constexpr std::size_t stride = 1 + std::size(variants);
 
-    std::printf("%-14s", "benchmark");
-    for (const auto &v : variants)
-        std::printf(" %17s", v.name);
-    std::printf("\n");
-
+    std::vector<RunSpec> specs;
     for (const char *name : subset) {
-        const RunResult ref = runWorkload(name, base, benchScale);
-        std::printf("%-14s", name);
+        specs.push_back({name, base, benchScale});
         for (const auto &v : variants) {
             GpuConfig cfg = base;
             cfg.vtEnabled = true;
             cfg.vtSwapTrigger = v.trigger;
             cfg.vtSwapInPolicy = v.pick;
             cfg.vtStallThreshold = v.threshold;
-            const RunResult r = runWorkload(name, cfg, benchScale);
+            specs.push_back({name, cfg, benchScale});
+        }
+    }
+    const auto results = runAll(specs, resolveJobs(argc, argv));
+
+    std::printf("%-14s", "benchmark");
+    for (const auto &v : variants)
+        std::printf(" %17s", v.name);
+    std::printf("\n");
+
+    for (std::size_t w = 0; w < std::size(subset); ++w) {
+        const RunResult &ref = results[w * stride];
+        std::printf("%-14s", subset[w]);
+        for (std::size_t v = 0; v < std::size(variants); ++v) {
+            const RunResult &r = results[w * stride + 1 + v];
             std::printf("    %6.2fx (%4llu)",
                         double(ref.stats.cycles) / r.stats.cycles,
                         (unsigned long long)r.stats.swapOuts);

@@ -1,0 +1,98 @@
+#include "parallel_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string_view>
+#include <thread>
+
+namespace vtsim::bench {
+
+namespace {
+
+unsigned
+clampJobs(long n)
+{
+    return n < 1 ? 1u : static_cast<unsigned>(n);
+}
+
+} // namespace
+
+unsigned
+resolveJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc)
+            return clampJobs(std::atol(argv[i + 1]));
+        if (arg.substr(0, 7) == "--jobs=")
+            return clampJobs(std::atol(argv[i] + 7));
+    }
+    if (const char *env = std::getenv("VTSIM_JOBS"))
+        return clampJobs(std::atol(env));
+    return clampJobs(std::thread::hardware_concurrency());
+}
+
+std::vector<RunResult>
+runAll(const std::vector<RunSpec> &specs, unsigned jobs)
+{
+    std::vector<RunResult> results(specs.size());
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= specs.size())
+                return;
+            try {
+                results[i] = runWorkload(specs[i].workload,
+                                         specs[i].config, specs[i].scale);
+            } catch (...) {
+                const std::lock_guard<std::mutex> guard(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    const unsigned pool_size = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, specs.size()));
+    if (pool_size <= 1) {
+        worker(); // Sequential: no threads, easiest to debug.
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(pool_size);
+        for (unsigned t = 0; t < pool_size; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    const double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+
+    std::uint64_t cycles = 0;
+    std::uint64_t thread_instructions = 0;
+    for (const RunResult &r : results) {
+        cycles += r.stats.cycles;
+        thread_instructions += r.stats.threadInstructions;
+    }
+    const double safe_wall = wall > 0.0 ? wall : 1e-9;
+    std::fprintf(stderr,
+                 "[parallel-runner] %zu runs, jobs=%u: wall %.3fs, "
+                 "%.1f Kcyc/s, %.2f MIPS\n",
+                 specs.size(), pool_size ? pool_size : 1, wall,
+                 cycles / safe_wall / 1e3,
+                 thread_instructions / safe_wall / 1e6);
+    return results;
+}
+
+} // namespace vtsim::bench

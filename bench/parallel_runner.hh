@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Parallel experiment runner: fan independent runWorkload() simulations
+ * across a fixed-size thread pool. Every simulation point is hermetic —
+ * its own Workload, Kernel, Gpu and GlobalMemory — so runs never share
+ * mutable state and the results are bit-identical to a sequential run;
+ * only wall-clock time depends on the job count.
+ *
+ * Job-count resolution (first match wins):
+ *   1. `--jobs N` / `--jobs=N` on the binary's command line,
+ *   2. the `VTSIM_JOBS` environment variable,
+ *   3. std::thread::hardware_concurrency().
+ *
+ * Result rows keep their spec order regardless of completion order, so
+ * figure output is deterministic. Telemetry (per-run sim rate, batch
+ * wall clock) goes to stderr; stdout stays byte-stable for diffing.
+ */
+
+#ifndef VTSIM_BENCH_PARALLEL_RUNNER_HH
+#define VTSIM_BENCH_PARALLEL_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace vtsim::bench {
+
+/** One simulation point of an experiment. */
+struct RunSpec
+{
+    std::string workload;
+    GpuConfig config;
+    std::uint32_t scale = benchScale;
+};
+
+/** Resolve the worker count (see file comment); always >= 1. */
+unsigned resolveJobs(int argc, char **argv);
+
+/**
+ * Simulate every spec, at most @p jobs concurrently, each on its own
+ * Gpu. results[i] corresponds to specs[i]. Prints a batch wall-clock /
+ * sim-rate summary to stderr. The first worker exception is rethrown
+ * on the calling thread after the pool drains.
+ */
+std::vector<RunResult> runAll(const std::vector<RunSpec> &specs,
+                              unsigned jobs);
+
+} // namespace vtsim::bench
+
+#endif // VTSIM_BENCH_PARALLEL_RUNNER_HH

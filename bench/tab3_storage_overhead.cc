@@ -7,15 +7,15 @@
  * shared memory never move.
  */
 
-#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.hh"
 #include "core/overhead_model.hh"
+#include "parallel_runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vtsim;
     using namespace vtsim::bench;
@@ -53,18 +53,15 @@ main()
 
     std::printf("\nObserved worst-case SIMT stack depth across the "
                 "benchmark suite (informs provisioning):\n");
-    for (const auto &name : benchmarkNames()) {
-        const GpuConfig base = GpuConfig::fermiLike();
-        auto wl = makeWorkload(name, 0);
-        const Kernel k = wl->buildKernel();
-        Gpu gpu(base);
-        const LaunchParams lp = wl->prepare(gpu.memory());
-        gpu.launch(k, lp);
-        std::uint32_t depth = 0;
-        for (std::uint32_t i = 0; i < gpu.numSms(); ++i)
-            depth = std::max(depth, gpu.sm(i).maxSimtDepthSeen());
-        std::printf("  %-14s max SIMT stack depth %u\n", name.c_str(),
-                    depth);
+    const GpuConfig base = GpuConfig::fermiLike();
+    const auto names = benchmarkNames();
+    std::vector<RunSpec> specs;
+    for (const auto &name : names)
+        specs.push_back({name, base, 0});
+    const auto results = runAll(specs, resolveJobs(argc, argv));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        std::printf("  %-14s max SIMT stack depth %u\n",
+                    names[i].c_str(), results[i].maxSimtDepth);
     }
     return 0;
 }

@@ -175,6 +175,7 @@ GpuConfig::print(std::ostream &os) const
         row("CTA throttling", "ENABLED, epoch " +
             std::to_string(throttleEpochCycles) + " cyc");
     }
+    row("Fast-forward", fastForwardEnabled ? "enabled" : "disabled");
 }
 
 } // namespace vtsim

@@ -149,6 +149,14 @@ struct GpuConfig
     // --- Bookkeeping -------------------------------------------------------
     std::uint64_t maxCycles = 50'000'000; ///< Watchdog for runaway sims.
 
+    /**
+     * Event-horizon fast-forward: when no component can make progress,
+     * jump the clock to the earliest next event instead of ticking empty
+     * cycles. Pure simulator-speed optimisation — every statistic is
+     * bit-identical with it on or off.
+     */
+    bool fastForwardEnabled = true;
+
     /** GTX480-class baseline used throughout the evaluation. */
     static GpuConfig fermiLike();
 

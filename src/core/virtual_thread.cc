@@ -40,7 +40,8 @@ VirtualThreadManager::VirtualThreadManager(const GpuConfig &config,
 void
 VirtualThreadManager::configureKernel(const CtaFootprint &footprint)
 {
-    VTSIM_ASSERT(ctas_.empty(), "kernel reconfigured with CTAs resident");
+    VTSIM_ASSERT(residentCount_ == 0,
+                 "kernel reconfigured with CTAs resident");
     VTSIM_ASSERT(footprint.warpsPerCta > 0 && footprint.threadsPerCta > 0,
                  "degenerate CTA footprint");
     fp_ = footprint;
@@ -76,7 +77,7 @@ VirtualThreadManager::canAdmit() const
         config_.vtMaxVirtualCtasPerSm
             ? config_.vtMaxVirtualCtasPerSm
             : std::numeric_limits<std::uint32_t>::max();
-    return ctas_.size() < limit;
+    return residentCount_ < limit;
 }
 
 void
@@ -111,55 +112,52 @@ void
 VirtualThreadManager::onAdmit(VirtualCtaId id, Cycle now)
 {
     VTSIM_ASSERT(canAdmit(), "onAdmit without canAdmit");
-    VTSIM_ASSERT(!ctas_.count(id), "CTA ", id, " already resident");
+    if (id >= ctas_.size())
+        ctas_.resize(id + 1);
+    VTSIM_ASSERT(!ctas_[id].resident, "CTA ", id, " already resident");
 
     regsInUse_ += fp_.regsPerCta;
     sharedInUse_ += fp_.sharedPerCta;
 
-    CtaRec rec;
+    CtaRec &rec = ctas_[id];
+    rec = CtaRec{};
+    rec.resident = true;
     rec.age = nextAge_++;
     rec.state = CtaState::Inactive;
-    auto [it, inserted] = ctas_.emplace(id, rec);
-    VTSIM_ASSERT(inserted, "duplicate CTA id");
+    ++residentCount_;
 
     VTSIM_TRACE(TraceFlag::Cta, now, stats_.name(), "admit cta ", id,
-                " (resident ", ctas_.size(), ")");
+                " (resident ", residentCount_, ")");
     if (activeSlotFree())
-        activate(it->second, now);
+        activate(rec, now);
 }
 
 void
 VirtualThreadManager::onCtaFinished(VirtualCtaId id, Cycle now)
 {
-    auto it = ctas_.find(id);
-    VTSIM_ASSERT(it != ctas_.end(), "finish of unknown CTA ", id);
-    VTSIM_ASSERT(it->second.state == CtaState::Active,
-                 "CTA ", id, " finished while ", toString(it->second.state));
+    VTSIM_ASSERT(id < ctas_.size() && ctas_[id].resident,
+                 "finish of unknown CTA ", id);
+    VTSIM_ASSERT(ctas_[id].state == CtaState::Active,
+                 "CTA ", id, " finished while ", toString(ctas_[id].state));
     VTSIM_TRACE(TraceFlag::Cta, now, stats_.name(), "finish cta ", id);
     releaseActiveSlot();
     regsInUse_ -= fp_.regsPerCta;
     sharedInUse_ -= fp_.sharedPerCta;
-    ctas_.erase(it);
+    ctas_[id].resident = false;
+    --residentCount_;
 
     // The freed slot goes to the best inactive CTA right away.
     const VirtualCtaId incoming = pickSwapIn(false);
     if (incoming != invalidId && activeSlotFree())
-        activate(ctas_.at(incoming), now);
-}
-
-bool
-VirtualThreadManager::isIssuable(VirtualCtaId id) const
-{
-    const auto it = ctas_.find(id);
-    return it != ctas_.end() && it->second.state == CtaState::Active;
+        activate(ctas_[incoming], now);
 }
 
 CtaState
 VirtualThreadManager::state(VirtualCtaId id) const
 {
-    const auto it = ctas_.find(id);
-    VTSIM_ASSERT(it != ctas_.end(), "state() of unknown CTA ", id);
-    return it->second.state;
+    VTSIM_ASSERT(id < ctas_.size() && ctas_[id].resident,
+                 "state() of unknown CTA ", id);
+    return ctas_[id].state;
 }
 
 VirtualCtaId
@@ -168,8 +166,9 @@ VirtualThreadManager::pickSwapIn(bool require_ready) const
     VirtualCtaId best = invalidId;
     bool best_ready = false;
     std::uint64_t best_age = ~0ull;
-    for (const auto &[id, rec] : ctas_) {
-        if (rec.state != CtaState::Inactive)
+    for (VirtualCtaId id = 0; id < ctas_.size(); ++id) {
+        const CtaRec &rec = ctas_[id];
+        if (!rec.resident || rec.state != CtaState::Inactive)
             continue;
         const bool ready = query_.ctaPendingOffChip(id) == 0;
         if (config_.vtSwapInPolicy == VtSwapInPolicy::ReadyFirst) {
@@ -200,34 +199,80 @@ VirtualThreadManager::pickSwapIn(bool require_ready) const
     return best;
 }
 
-bool
-VirtualThreadManager::swapTriggered(VirtualCtaId id,
-                                    const CtaRec &rec) const
+Cycle
+VirtualThreadManager::nextEventCycle(Cycle now) const
 {
-    if (rec.stalledFor < config_.vtStallThreshold)
-        return false;
-    switch (config_.vtSwapTrigger) {
-      case VtSwapTrigger::AllWarpsStalled:
-        return query_.ctaFullyStalled(id) &&
-               query_.ctaAnyWarpLongStalled(id);
-      case VtSwapTrigger::AnyWarpStalled:
-        return query_.ctaAnyWarpLongStalled(id);
+    if (!config_.vtEnabled)
+        return neverCycle;
+
+    // A free active slot with an inactive CTA waiting (possible after a
+    // throttle-cap raise) activates at the very next tick, and so does
+    // the next pair of an already-eligible swap (one pair per cycle).
+    if (activeSlotFree() && pickSwapIn(false) != invalidId)
+        return now;
+    for (VirtualCtaId id = 0; id < ctas_.size(); ++id) {
+        const CtaRec &rec = ctas_[id];
+        if (rec.resident && rec.state == CtaState::Active &&
+            rec.triggeredNow && rec.stalledFor >= config_.vtStallThreshold) {
+            if (pickSwapIn(true) != invalidId)
+                return now;
+            break; // No ready incoming; the same answer for any victim.
+        }
     }
-    return false;
+
+    Cycle next = neverCycle;
+    for (VirtualCtaId id = 0; id < ctas_.size(); ++id) {
+        const CtaRec &rec = ctas_[id];
+        if (!rec.resident)
+            continue;
+        if (rec.state == CtaState::SwappingOut ||
+            rec.state == CtaState::SwappingIn) {
+            next = std::min(next, std::max(now, rec.transitionAt));
+        } else if (rec.state == CtaState::Active &&
+                   rec.stalledFor < config_.vtStallThreshold &&
+                   rec.stalledNow) {
+            // With the stall condition holding steady, the streak first
+            // reaches the swap threshold at this cycle's tick. A streak
+            // already at/past the threshold generates no event: the
+            // trigger was evaluated above and whatever blocked it only
+            // changes on an external event.
+            next = std::min(
+                next,
+                now + (config_.vtStallThreshold - 1 - rec.stalledFor));
+        }
+    }
+    return next;
+}
+
+void
+VirtualThreadManager::fastForwardIdle(std::uint64_t n)
+{
+    residentSamples_.sampleN(residentCount_, n);
+    activeSamples_.sampleN(activeCtas_, n);
+    if (!config_.vtEnabled)
+        return;
+    // Replicate tick()'s streak tracking: stalled Active CTAs count the
+    // window's cycles; everyone else's streak is already 0 and stays 0.
+    for (CtaRec &rec : ctas_) {
+        if (rec.resident && rec.state == CtaState::Active &&
+            rec.stalledNow) {
+            rec.stalledFor += n;
+        }
+    }
 }
 
 void
 VirtualThreadManager::tick(Cycle now)
 {
-    residentSamples_.sample(ctas_.size());
+    residentSamples_.sample(residentCount_);
     activeSamples_.sample(activeCtas_);
 
     if (!config_.vtEnabled)
         return;
 
     // 1. Complete in-flight transitions.
-    for (auto &[id, rec] : ctas_) {
-        if (rec.transitionAt > now)
+    for (CtaRec &rec : ctas_) {
+        if (!rec.resident || rec.transitionAt > now)
             continue;
         if (rec.state == CtaState::SwappingOut) {
             rec.state = CtaState::Inactive;
@@ -242,32 +287,39 @@ VirtualThreadManager::tick(Cycle now)
         const VirtualCtaId incoming = pickSwapIn(false);
         if (incoming == invalidId)
             break;
-        activate(ctas_.at(incoming), now);
+        activate(ctas_[incoming], now);
     }
 
     // 3. Track stall streaks of active CTAs. The streak follows the
     //    configured trigger's own condition so the AnyWarpStalled
     //    ablation genuinely fires earlier than the paper's policy.
-    for (auto &[id, rec] : ctas_) {
-        if (rec.state != CtaState::Active)
+    // 4. At most one swap pair per cycle (one context-switch port).
+    //    One pass evaluates both, reusing the streak's warp-scan for the
+    //    trigger (identical decisions to swapTriggered()).
+    const bool any_trigger =
+        config_.vtSwapTrigger == VtSwapTrigger::AnyWarpStalled;
+    VirtualCtaId victim = invalidId;
+    std::uint32_t victim_stall = 0;
+    for (VirtualCtaId id = 0; id < ctas_.size(); ++id) {
+        CtaRec &rec = ctas_[id];
+        if (!rec.resident || rec.state != CtaState::Active)
             continue;
-        const bool stalled =
-            config_.vtSwapTrigger == VtSwapTrigger::AnyWarpStalled
-                ? query_.ctaAnyWarpLongStalled(id)
-                : query_.ctaFullyStalled(id);
+        const bool stalled = any_trigger
+                                 ? query_.ctaAnyWarpLongStalled(id)
+                                 : query_.ctaFullyStalled(id);
+        rec.stalledNow = stalled;
+        rec.triggeredNow = false;
         if (stalled)
             ++rec.stalledFor;
         else
             rec.stalledFor = 0;
-    }
-
-    // 4. At most one swap pair per cycle (one context-switch port).
-    VirtualCtaId victim = invalidId;
-    std::uint32_t victim_stall = 0;
-    for (const auto &[id, rec] : ctas_) {
-        if (rec.state != CtaState::Active)
+        if (rec.stalledFor < config_.vtStallThreshold)
             continue;
-        if (swapTriggered(id, rec) && rec.stalledFor >= victim_stall) {
+        const bool triggered =
+            stalled &&
+            (any_trigger || query_.ctaAnyWarpLongStalled(id));
+        rec.triggeredNow = triggered;
+        if (triggered && rec.stalledFor >= victim_stall) {
             victim = id;
             victim_stall = rec.stalledFor;
         }
@@ -279,16 +331,16 @@ VirtualThreadManager::tick(Cycle now)
         return; // Nobody to run instead: swapping out would only hurt.
 
     VTSIM_TRACE(TraceFlag::Swap, now, stats_.name(), "swap out cta ",
-                victim, " (stalled ", ctas_.at(victim).stalledFor,
+                victim, " (stalled ", ctas_[victim].stalledFor,
                 " cycles), swap in cta ", incoming);
-    CtaRec &out = ctas_.at(victim);
+    CtaRec &out = ctas_[victim];
     out.state = CtaState::SwappingOut;
     out.transitionAt = now + config_.vtSwapOutLatency;
     out.everSwapped = true;
     ++swapOuts_;
     releaseActiveSlot();
 
-    CtaRec &in = ctas_.at(incoming);
+    CtaRec &in = ctas_[incoming];
     if (query_.ctaPendingOffChip(incoming) != 0)
         ++swapInNotReady_;
     VTSIM_ASSERT(activeSlotFree(), "no slot for incoming CTA");

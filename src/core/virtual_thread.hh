@@ -30,8 +30,8 @@
 
 #include <cstdint>
 #include <limits>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 #include "config/gpu_config.hh"
@@ -105,8 +105,31 @@ class VirtualThreadManager
     /** Advance the state machine one cycle. */
     void tick(Cycle now);
 
-    /** Warps of @p id may issue only when it is Active. */
-    bool isIssuable(VirtualCtaId id) const;
+    /**
+     * Earliest cycle >= @p now at which tick() might change state given
+     * no external event (memory completion, issue, admission) happens
+     * first: a Swapping* transition completing, or a stalled Active
+     * CTA's streak first reaching the swap threshold. neverCycle when
+     * only external events can change the machine.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Account @p n ticked-but-eventless cycles in one step: per-cycle
+     * residency samples, and stall-streak growth of stalled Active
+     * CTAs. Only valid over a window where every input the state
+     * machine reads is constant and no transition or threshold
+     * crossing occurs (i.e. nextEventCycle() lies beyond the window).
+     */
+    void fastForwardIdle(std::uint64_t n);
+
+    /** Warps of @p id may issue only when it is Active.
+     *  Inline: this sits on the per-warp issue fast path. */
+    bool isIssuable(VirtualCtaId id) const
+    {
+        return id < ctas_.size() && ctas_[id].resident &&
+               ctas_[id].state == CtaState::Active;
+    }
 
     /**
      * Externally imposed cap on active CTAs (CTA throttling). Applied
@@ -117,7 +140,7 @@ class VirtualThreadManager
     std::uint32_t activeCap() const { return dynamicCap_; }
 
     CtaState state(VirtualCtaId id) const;
-    std::uint32_t residentCtas() const { return ctas_.size(); }
+    std::uint32_t residentCtas() const { return residentCount_; }
     std::uint32_t activeCtas() const { return activeCtas_; }
 
     // --- Capacity bookkeeping (for FIG-2 utilisation) ---------------------
@@ -134,11 +157,22 @@ class VirtualThreadManager
   private:
     struct CtaRec
     {
+        bool resident = false;   ///< Slot holds a live CTA.
         CtaState state = CtaState::Active;
         Cycle transitionAt = 0;  ///< When the current Swapping* finishes.
         std::uint64_t age = 0;   ///< Admission order.
         std::uint32_t stalledFor = 0; ///< Consecutive fully-stalled cycles.
         bool everSwapped = false;
+        /**
+         * The streak condition / swap trigger as tick() last evaluated
+         * them. nextEventCycle() and fastForwardIdle() run either in the
+         * same cycle as that tick or across a window where the inputs
+         * are constant (external events can only clear a stall, which
+         * makes a horizon built from these caches conservative), so they
+         * read the caches instead of re-scanning the CTA's warps.
+         */
+        bool stalledNow = false;
+        bool triggeredNow = false;
     };
 
     bool activeSlotFree() const;
@@ -148,13 +182,15 @@ class VirtualThreadManager
      *  @p require_ready is set (swap decisions under ReadyFirst), only a
      *  CTA with no outstanding data qualifies. */
     VirtualCtaId pickSwapIn(bool require_ready) const;
-    bool swapTriggered(VirtualCtaId id, const CtaRec &rec) const;
 
     const GpuConfig &config_;
     VtCtaQuery &query_;
     CtaFootprint fp_;
 
-    std::map<VirtualCtaId, CtaRec> ctas_;
+    /** Slot-indexed (SmCore hands out dense, reused slot ids); iterating
+     *  in index order matches the admission-map order it replaces. */
+    std::vector<CtaRec> ctas_;
+    std::uint32_t residentCount_ = 0;
     std::uint64_t nextAge_ = 0;
     std::uint32_t dynamicCap_ =
         std::numeric_limits<std::uint32_t>::max();

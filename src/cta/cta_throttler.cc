@@ -43,4 +43,14 @@ CtaThrottler::sample(bool issued, bool mem_stalled)
     epochMemStalled_ = 0;
 }
 
+void
+CtaThrottler::sampleIdleN(std::uint64_t n, bool mem_stalled)
+{
+    VTSIM_ASSERT(epochSamples_ + n < params_.epochCycles,
+                 "bulk sample crosses an epoch boundary");
+    epochSamples_ += n;
+    if (mem_stalled)
+        epochMemStalled_ += n;
+}
+
 } // namespace vtsim

@@ -50,6 +50,21 @@ class CtaThrottler
      */
     void sample(bool issued, bool mem_stalled);
 
+    /**
+     * Record @p n consecutive no-issue observations in one step —
+     * equivalent to calling sample(false, mem_stalled) @p n times. The
+     * window must not reach an epoch boundary (the caller's horizon
+     * stops there, since a boundary may change the cap).
+     */
+    void sampleIdleN(std::uint64_t n, bool mem_stalled);
+
+    /**
+     * The cycle whose sample() call completes the current epoch (and
+     * may change the cap), assuming the last sample was at @p now - 1.
+     */
+    Cycle epochBoundaryCycle(Cycle now) const
+    { return now + (params_.epochCycles - 1 - epochSamples_); }
+
     /** Current cap on active CTAs. */
     std::uint32_t cap() const { return cap_; }
 

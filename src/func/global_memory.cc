@@ -25,6 +25,19 @@ GlobalMemory::write8(Addr addr, std::uint8_t value)
 std::uint32_t
 GlobalMemory::read32(Addr addr) const
 {
+    // Fast path: all four (little-endian) bytes on one page — a single
+    // page lookup instead of four.
+    const std::uint32_t off = addr % pageSize;
+    if (off + 4 <= pageSize) {
+        const auto it = pages_.find(addr / pageSize);
+        if (it == pages_.end())
+            return 0;
+        const std::uint8_t *p = it->second.data() + off;
+        return static_cast<std::uint32_t>(p[0]) |
+               static_cast<std::uint32_t>(p[1]) << 8 |
+               static_cast<std::uint32_t>(p[2]) << 16 |
+               static_cast<std::uint32_t>(p[3]) << 24;
+    }
     std::uint32_t v = 0;
     for (int i = 3; i >= 0; --i)
         v = (v << 8) | read8(addr + i);
@@ -34,6 +47,18 @@ GlobalMemory::read32(Addr addr) const
 void
 GlobalMemory::write32(Addr addr, std::uint32_t value)
 {
+    const std::uint32_t off = addr % pageSize;
+    if (off + 4 <= pageSize) {
+        auto &page = pages_[addr / pageSize];
+        if (page.empty())
+            page.resize(pageSize, 0);
+        std::uint8_t *p = page.data() + off;
+        p[0] = value & 0xff;
+        p[1] = (value >> 8) & 0xff;
+        p[2] = (value >> 16) & 0xff;
+        p[3] = (value >> 24) & 0xff;
+        return;
+    }
     for (int i = 0; i < 4; ++i)
         write8(addr + i, (value >> (8 * i)) & 0xff);
 }

@@ -1,13 +1,17 @@
 #include "gpu/gpu.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
+#include "gpu/stats_snapshot.hh"
 
 namespace vtsim {
 
 Gpu::Gpu(const GpuConfig &config)
     : config_(config),
       noc_(NocParams{config.nocLatency, config.nocFlitsPerCycle,
-                     config.numSms, config.numMemPartitions})
+                     config.numSms, config.numMemPartitions,
+                     config.fastForwardEnabled})
 {
     config_.validate();
     for (std::uint32_t p = 0; p < config_.numMemPartitions; ++p) {
@@ -49,6 +53,7 @@ void
 Gpu::dumpStats(std::ostream &os)
 {
     for (auto &sm : sms_) {
+        sm->flushFastForward();
         sm->stats().dump(os);
         sm->vt().stats().dump(os);
         sm->ldst().stats().dump(os);
@@ -83,38 +88,28 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
         sm->launchKernel(kernel, launch, gmem_);
 
     // Snapshot counters so stats are per-launch deltas.
-    struct Snapshot
-    {
-        std::uint64_t instr, tinstr, ctas, swapOuts, swapIns;
-        std::uint64_t l1h, l1m;
-        StallBreakdown stalls;
+    const StatsSnapshot before = StatsSnapshot::capture(sms_, partitions_);
+
+    const auto total_issued = [this] {
+        std::uint64_t total = 0;
+        for (const auto &sm : sms_)
+            total += sm->instructionsIssued();
+        return total;
     };
-    std::vector<Snapshot> before(sms_.size());
-    for (std::size_t i = 0; i < sms_.size(); ++i) {
-        auto &sm = *sms_[i];
-        before[i] = {sm.instructionsIssued(), sm.threadInstructions(),
-                     sm.ctasCompleted(), sm.vt().swapOuts(),
-                     sm.vt().swapIns(), sm.ldst().l1().hits(),
-                     sm.ldst().l1().misses(), sm.stallBreakdown()};
-    }
-    std::uint64_t l2h0 = 0, l2m0 = 0, drh0 = 0, drm0 = 0, drb0 = 0;
-    for (auto &p : partitions_) {
-        l2h0 += p->l2().hits();
-        l2m0 += p->l2().misses();
-        drh0 += p->dram().rowHits();
-        drm0 += p->dram().rowMisses();
-        drb0 += p->dram().bytesTransferred();
-    }
 
     const Cycle start = cycle_;
     const Cycle deadline = start + config_.maxCycles;
     while (true) {
         // CTA work distribution: one CTA per SM per cycle, round-robin.
+        bool admitted = false;
         for (auto &sm : sms_) {
-            if (dispatcher.hasWork() && sm->canAdmitCta())
+            if (dispatcher.hasWork() && sm->canAdmitCta()) {
                 sm->admitCta(dispatcher.next(), cycle_);
+                admitted = true;
+            }
         }
 
+        const std::uint64_t issued_before = total_issued();
         noc_.tick(cycle_);
         for (auto &p : partitions_)
             p->tick(cycle_);
@@ -128,43 +123,49 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
             VTSIM_FATAL("watchdog: kernel '", kernel.name(),
                         "' exceeded ", config_.maxCycles, " cycles");
         }
+
+        // Event-horizon fast-forward: when this cycle did nothing and
+        // the next admission/issue/completion provably lies in the
+        // future, jump straight to it, bulk-replicating the per-cycle
+        // accounting the skipped empty ticks would have done. Every
+        // statistic is bit-identical to the naive loop's.
+        if (!config_.fastForwardEnabled)
+            continue;
+        if (admitted || total_issued() != issued_before)
+            continue; // A busy cycle is never at an event-free horizon.
+        if (dispatcher.hasWork()) {
+            bool can_admit = false;
+            for (const auto &sm : sms_)
+                can_admit = can_admit || sm->canAdmitCta();
+            if (can_admit)
+                continue; // The next iteration admits a CTA.
+        }
+        Cycle horizon = noc_.nextEventCycle(cycle_);
+        for (const auto &p : partitions_)
+            horizon = std::min(horizon, p->nextEventCycle(cycle_));
+        for (const auto &sm : sms_)
+            horizon = std::min(horizon, sm->nextEventCycle(cycle_));
+        horizon = std::min(horizon, deadline);
+        if (horizon <= cycle_)
+            continue;
+        const std::uint64_t skipped = horizon - cycle_;
+        for (auto &sm : sms_)
+            sm->fastForwardIdle(cycle_, skipped);
+        fastForwardedCycles_ += skipped;
+        cycle_ = horizon;
+        if (cycle_ >= deadline) {
+            VTSIM_FATAL("watchdog: kernel '", kernel.name(),
+                        "' exceeded ", config_.maxCycles, " cycles");
+        }
     }
+
+    // Settle lazily skipped per-SM ticks before reading any statistic.
+    for (auto &sm : sms_)
+        sm->flushFastForward();
 
     KernelStats stats;
     stats.cycles = cycle_ - start;
-    for (std::size_t i = 0; i < sms_.size(); ++i) {
-        auto &sm = *sms_[i];
-        stats.warpInstructions +=
-            sm.instructionsIssued() - before[i].instr;
-        stats.threadInstructions +=
-            sm.threadInstructions() - before[i].tinstr;
-        stats.ctasCompleted += sm.ctasCompleted() - before[i].ctas;
-        stats.swapOuts += sm.vt().swapOuts() - before[i].swapOuts;
-        stats.swapIns += sm.vt().swapIns() - before[i].swapIns;
-        stats.l1Hits += sm.ldst().l1().hits() - before[i].l1h;
-        stats.l1Misses += sm.ldst().l1().misses() - before[i].l1m;
-        const StallBreakdown &sb = sm.stallBreakdown();
-        const StallBreakdown &b0 = before[i].stalls;
-        stats.stalls.issued += sb.issued - b0.issued;
-        stats.stalls.memStall += sb.memStall - b0.memStall;
-        stats.stalls.shortStall += sb.shortStall - b0.shortStall;
-        stats.stalls.barrierStall += sb.barrierStall - b0.barrierStall;
-        stats.stalls.swapStall += sb.swapStall - b0.swapStall;
-        stats.stalls.idle += sb.idle - b0.idle;
-    }
-    std::uint64_t l2h = 0, l2m = 0, drh = 0, drm = 0, drb = 0;
-    for (auto &p : partitions_) {
-        l2h += p->l2().hits();
-        l2m += p->l2().misses();
-        drh += p->dram().rowHits();
-        drm += p->dram().rowMisses();
-        drb += p->dram().bytesTransferred();
-    }
-    stats.l2Hits = l2h - l2h0;
-    stats.l2Misses = l2m - l2m0;
-    stats.dramRowHits = drh - drh0;
-    stats.dramRowMisses = drm - drm0;
-    stats.dramBytes = drb - drb0;
+    StatsSnapshot::capture(sms_, partitions_).delta(before, stats);
 
     VTSIM_ASSERT(stats.ctasCompleted == launch.numCtas(),
                  "CTA completion mismatch: ", stats.ctasCompleted, " of ",

@@ -85,6 +85,10 @@ class Gpu
     /** Total cycles simulated across all launches. */
     Cycle totalCycles() const { return cycle_; }
 
+    /** Cycles covered by event-horizon jumps rather than ticks (counts
+     *  toward totalCycles; a measure of how much work skipping saved). */
+    Cycle fastForwardedCycles() const { return fastForwardedCycles_; }
+
     /**
      * Dump every component's statistics (SMs, VT managers, L1s, L2
      * slices, DRAM channels, NoC) as `group.stat value` lines — the
@@ -102,6 +106,7 @@ class Gpu
     std::vector<std::unique_ptr<MemoryPartition>> partitions_;
     std::vector<std::unique_ptr<SmCore>> sms_;
     Cycle cycle_ = 0;
+    Cycle fastForwardedCycles_ = 0;
 };
 
 } // namespace vtsim

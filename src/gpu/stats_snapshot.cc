@@ -1,0 +1,68 @@
+#include "gpu/stats_snapshot.hh"
+
+#include "common/log.hh"
+#include "gpu/gpu.hh"
+#include "mem/memory_partition.hh"
+
+namespace vtsim {
+
+StatsSnapshot
+StatsSnapshot::capture(std::vector<std::unique_ptr<SmCore>> &sms,
+                       std::vector<std::unique_ptr<MemoryPartition>> &partitions)
+{
+    StatsSnapshot snap;
+    snap.sms_.reserve(sms.size());
+    for (auto &sm : sms) {
+        SmCounters c;
+        c.instr = sm->instructionsIssued();
+        c.tinstr = sm->threadInstructions();
+        c.ctas = sm->ctasCompleted();
+        c.swapOuts = sm->vt().swapOuts();
+        c.swapIns = sm->vt().swapIns();
+        c.l1h = sm->ldst().l1().hits();
+        c.l1m = sm->ldst().l1().misses();
+        c.stalls = sm->stallBreakdown();
+        snap.sms_.push_back(c);
+    }
+    for (auto &p : partitions) {
+        snap.l2h_ += p->l2().hits();
+        snap.l2m_ += p->l2().misses();
+        snap.drh_ += p->dram().rowHits();
+        snap.drm_ += p->dram().rowMisses();
+        snap.drb_ += p->dram().bytesTransferred();
+    }
+    return snap;
+}
+
+void
+StatsSnapshot::delta(const StatsSnapshot &before, KernelStats &stats) const
+{
+    VTSIM_ASSERT(sms_.size() == before.sms_.size(),
+                 "snapshots of different machines");
+    for (std::size_t i = 0; i < sms_.size(); ++i) {
+        const SmCounters &a = sms_[i];
+        const SmCounters &b = before.sms_[i];
+        stats.warpInstructions += a.instr - b.instr;
+        stats.threadInstructions += a.tinstr - b.tinstr;
+        stats.ctasCompleted += a.ctas - b.ctas;
+        stats.swapOuts += a.swapOuts - b.swapOuts;
+        stats.swapIns += a.swapIns - b.swapIns;
+        stats.l1Hits += a.l1h - b.l1h;
+        stats.l1Misses += a.l1m - b.l1m;
+        stats.stalls.issued += a.stalls.issued - b.stalls.issued;
+        stats.stalls.memStall += a.stalls.memStall - b.stalls.memStall;
+        stats.stalls.shortStall +=
+            a.stalls.shortStall - b.stalls.shortStall;
+        stats.stalls.barrierStall +=
+            a.stalls.barrierStall - b.stalls.barrierStall;
+        stats.stalls.swapStall += a.stalls.swapStall - b.stalls.swapStall;
+        stats.stalls.idle += a.stalls.idle - b.stalls.idle;
+    }
+    stats.l2Hits += l2h_ - before.l2h_;
+    stats.l2Misses += l2m_ - before.l2m_;
+    stats.dramRowHits += drh_ - before.drh_;
+    stats.dramRowMisses += drm_ - before.drm_;
+    stats.dramBytes += drb_ - before.drb_;
+}
+
+} // namespace vtsim

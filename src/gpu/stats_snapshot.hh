@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Point-in-time copy of the cumulative component counters that
+ * KernelStats reports. Gpu::launch captures one before and one after
+ * the simulation loop and reports the difference, so per-launch stats
+ * stay correct across repeated launches on the same Gpu.
+ */
+
+#ifndef VTSIM_GPU_STATS_SNAPSHOT_HH
+#define VTSIM_GPU_STATS_SNAPSHOT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sm/sm_core.hh"
+
+namespace vtsim {
+
+class MemoryPartition;
+struct KernelStats;
+
+class StatsSnapshot
+{
+  public:
+    static StatsSnapshot
+    capture(std::vector<std::unique_ptr<SmCore>> &sms,
+            std::vector<std::unique_ptr<MemoryPartition>> &partitions);
+
+    /** Accumulate the counter growth since @p before into @p stats. */
+    void delta(const StatsSnapshot &before, KernelStats &stats) const;
+
+  private:
+    struct SmCounters
+    {
+        std::uint64_t instr = 0;
+        std::uint64_t tinstr = 0;
+        std::uint64_t ctas = 0;
+        std::uint64_t swapOuts = 0;
+        std::uint64_t swapIns = 0;
+        std::uint64_t l1h = 0;
+        std::uint64_t l1m = 0;
+        StallBreakdown stalls;
+    };
+
+    std::vector<SmCounters> sms_;
+    std::uint64_t l2h_ = 0;
+    std::uint64_t l2m_ = 0;
+    std::uint64_t drh_ = 0;
+    std::uint64_t drm_ = 0;
+    std::uint64_t drb_ = 0;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_GPU_STATS_SNAPSHOT_HH

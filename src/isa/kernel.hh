@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
 
@@ -33,7 +34,11 @@ class Kernel
 
     const std::string &name() const { return name_; }
     const std::vector<Instruction> &instructions() const { return instrs_; }
-    const Instruction &at(Pc pc) const { return instrs_.at(pc); }
+    const Instruction &at(Pc pc) const
+    {
+        VTSIM_ASSERT(pc < instrs_.size(), "pc out of range");
+        return instrs_[pc];
+    }
     std::uint32_t size() const { return instrs_.size(); }
 
     /** Architectural registers each thread of this kernel uses. */

@@ -1,6 +1,8 @@
 #include "mem/coalescer.hh"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <map>
 #include <set>
 
@@ -12,30 +14,43 @@ std::vector<CoalescedAccess>
 coalesce(const std::vector<LaneAccess> &accesses, std::uint32_t line_size)
 {
     VTSIM_ASSERT(isPowerOfTwo(line_size), "line size must be power of two");
+    // A 128-bit mask of line-relative word indices tracks the touched
+    // 4-byte words per line (a 4-byte access can straddle two words;
+    // straddling the line itself folds into this line's payload, index
+    // line_size/4 — the shape, not exactness, matters there).
+    VTSIM_ASSERT(line_size <= 508, "line size beyond the word-mask range");
     std::vector<CoalescedAccess> out;
-    // Order of first touch matters for determinism; map line -> out index.
-    std::map<Addr, std::size_t> index;
-    // Track touched 4-byte words per line to report payload size.
-    std::map<Addr, std::set<Addr>> words;
+    std::vector<std::array<std::uint64_t, 2>> words;
+    out.reserve(accesses.size());
+    words.reserve(accesses.size());
 
     for (const auto &acc : accesses) {
         const Addr line = acc.addr & ~static_cast<Addr>(line_size - 1);
-        auto it = index.find(line);
-        if (it == index.end()) {
-            index[line] = out.size();
-            out.push_back({line, 0, 1});
-        } else {
-            ++out[it->second].lanes;
+        // Order of first touch matters for determinism; the handful of
+        // unique lines per warp makes a linear scan the cheap lookup.
+        std::size_t idx = out.size();
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            if (out[i].lineAddr == line) {
+                idx = i;
+                break;
+            }
         }
-        // A 4-byte access can straddle two words within the line; count
-        // both (straddling the line itself is rare and we fold it into
-        // this line's payload — the shape, not exactness, matters).
-        words[line].insert(acc.addr / 4);
-        words[line].insert((acc.addr + 3) / 4);
+        if (idx == out.size()) {
+            out.push_back({line, 0, 1});
+            words.push_back({0, 0});
+        } else {
+            ++out[idx].lanes;
+        }
+        const Addr base = line / 4;
+        const auto w0 = static_cast<std::uint32_t>(acc.addr / 4 - base);
+        const auto w1 = static_cast<std::uint32_t>((acc.addr + 3) / 4 - base);
+        words[idx][w0 >> 6] |= std::uint64_t{1} << (w0 & 63);
+        words[idx][w1 >> 6] |= std::uint64_t{1} << (w1 & 63);
     }
-    for (auto &ca : out) {
-        const auto w = static_cast<std::uint32_t>(words[ca.lineAddr].size());
-        ca.bytes = std::min(w * 4u, line_size);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const auto w = static_cast<std::uint32_t>(
+            std::popcount(words[i][0]) + std::popcount(words[i][1]));
+        out[i].bytes = std::min(w * 4u, line_size);
     }
     return out;
 }

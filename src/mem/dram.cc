@@ -118,6 +118,24 @@ Dram::tick(Cycle now)
     return completed;
 }
 
+Cycle
+Dram::nextEventCycle(Cycle now) const
+{
+    Cycle next = neverCycle;
+    if (!inFlight_.empty())
+        next = std::min(next, std::max(now, inFlight_.top().readyAt));
+    // A queued request issues as soon as its bank frees; only requests
+    // inside the FR-FCFS window are candidates, exactly as issueOne()
+    // scans them.
+    const std::size_t window =
+        std::min<std::size_t>(queue_.size(), params_.schedWindow);
+    for (std::size_t i = 0; i < window; ++i) {
+        const Cycle bank_free = banks_[queue_[i].bank].readyAt;
+        next = std::min(next, std::max(now, bank_free));
+    }
+    return next;
+}
+
 bool
 Dram::idle() const
 {

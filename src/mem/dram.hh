@@ -67,6 +67,14 @@ class Dram
     /** No requests queued or in flight. */
     bool idle() const;
 
+    /**
+     * Earliest cycle >= @p now at which tick() might complete a read or
+     * issue a command: the earliest in-flight completion, or the
+     * earliest cycle a bank with a schedulable request frees up.
+     * neverCycle when the channel is idle.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     StatGroup &stats() { return stats_; }
     std::uint64_t rowHits() const { return rowHits_.value(); }
     std::uint64_t rowMisses() const { return rowMisses_.value(); }

@@ -1,5 +1,7 @@
 #include "mem/interconnect.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace vtsim {
@@ -22,6 +24,7 @@ Interconnect::sendRequest(const MemRequest &req, Cycle now)
     VTSIM_ASSERT(router_, "interconnect router not wired");
     const std::uint32_t dst = router_(req.lineAddr);
     VTSIM_ASSERT(dst < reqQueues_.size(), "router returned bad partition");
+    ffHorizon_ = 0;
     reqQueues_[dst].push_back({req, now + params_.latency});
 }
 
@@ -30,6 +33,7 @@ Interconnect::sendResponse(const MemRequest &req, Cycle now)
 {
     VTSIM_ASSERT(req.srcSm < respQueues_.size(),
                  "response for unknown SM ", req.srcSm);
+    ffHorizon_ = 0;
     respQueues_[req.srcSm].push_back({req, now + params_.latency});
 }
 
@@ -50,6 +54,8 @@ Interconnect::drain(std::deque<InFlight> &queue, const Deliver &deliver,
 void
 Interconnect::tick(Cycle now)
 {
+    if (now < ffHorizon_)
+        return; // Every queue head still traverses; nothing can deliver.
     VTSIM_ASSERT(toMem_ && toSm_, "interconnect endpoints not wired");
     for (auto &queue : reqQueues_) {
         const std::size_t before = queue.size();
@@ -61,6 +67,25 @@ Interconnect::tick(Cycle now)
         drain(queue, toSm_, now);
         respFlits_ += before - queue.size();
     }
+    ffHorizon_ = params_.lazyTick ? nextEventCycle(now + 1) : 0;
+}
+
+Cycle
+Interconnect::nextEventCycle(Cycle now) const
+{
+    // Queues are FIFO and readyAt is monotone per queue, so only the
+    // heads matter. A head that is already ready was bandwidth-limited
+    // this cycle and delivers next tick.
+    Cycle next = neverCycle;
+    for (const auto &queue : reqQueues_) {
+        if (!queue.empty())
+            next = std::min(next, std::max(now, queue.front().readyAt));
+    }
+    for (const auto &queue : respQueues_) {
+        if (!queue.empty())
+            next = std::min(next, std::max(now, queue.front().readyAt));
+    }
+    return next;
 }
 
 bool

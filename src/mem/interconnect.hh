@@ -27,6 +27,8 @@ struct NocParams
     std::uint32_t flitsPerCycle = 2; ///< Deliveries per port per cycle.
     std::uint32_t numSms = 1;
     std::uint32_t numPartitions = 1;
+    /** Skip provably eventless tick()s (event-horizon fast-forward). */
+    bool lazyTick = true;
 };
 
 class Interconnect
@@ -55,6 +57,13 @@ class Interconnect
 
     bool idle() const;
 
+    /**
+     * Earliest cycle >= @p now at which tick() might deliver a flit
+     * (event-horizon fast-forward protocol; see docs/ARCHITECTURE.md).
+     * neverCycle when every queue is empty.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     StatGroup &stats() { return stats_; }
     std::uint64_t requestFlits() const { return reqFlits_.value(); }
     std::uint64_t responseFlits() const { return respFlits_.value(); }
@@ -70,6 +79,12 @@ class Interconnect
                Cycle now);
 
     NocParams params_;
+    /** Lazy-tick horizon: while now < ffHorizon_ and nothing is sent,
+     *  tick() cannot deliver a flit (all queue heads mature later) and
+     *  returns immediately. No deferred accounting is needed: the
+     *  bandwidth-stall counter only advances when a head is ready, and
+     *  a ready head pins the horizon to the present. */
+    Cycle ffHorizon_ = 0;
     /** One request queue per destination partition. */
     std::vector<std::deque<InFlight>> reqQueues_;
     /** One response queue per destination SM. */

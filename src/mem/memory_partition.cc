@@ -33,6 +33,7 @@ void
 MemoryPartition::receive(const MemRequest &req, Cycle now)
 {
     (void)now;
+    ffHorizon_ = 0;
     input_.push_back(req);
 }
 
@@ -77,6 +78,12 @@ MemoryPartition::serviceRequest(const MemRequest &req, Cycle now)
 void
 MemoryPartition::tick(Cycle now)
 {
+    // Inside a cached event-free window nothing below can act: no input
+    // is queued (receive() drops the horizon), no response has matured
+    // and no DRAM completion or bank is due before ffHorizon_.
+    if (now < ffHorizon_)
+        return;
+
     // 1. DRAM fills that completed: install in L2 and answer waiters.
     for (Addr line : dram_.tick(now)) {
         const FillResult res = l2_.fill(line);
@@ -106,6 +113,21 @@ MemoryPartition::tick(Cycle now)
         if (input_.size() > depth_before)
             break;
     }
+
+    ffHorizon_ = config_.fastForwardEnabled ? nextEventCycle(now + 1) : 0;
+}
+
+Cycle
+MemoryPartition::nextEventCycle(Cycle now) const
+{
+    // Queued input is serviced every tick (even a head parked on a full
+    // MSHR retries), so its next event is immediate.
+    if (!input_.empty())
+        return now;
+    Cycle next = dram_.nextEventCycle(now);
+    if (!respPending_.empty())
+        next = std::min(next, std::max(now, respPending_.top().readyAt));
+    return next;
 }
 
 bool

@@ -34,8 +34,19 @@ class MemoryPartition
     /** True when no work is queued or in flight. */
     bool idle() const;
 
+    /**
+     * Earliest cycle >= @p now at which tick() might act: pending input
+     * requests (next tick), matured responses, or DRAM activity.
+     * neverCycle when nothing is pending.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** Invalidate the L2 slice (kernel boundary). */
-    void flushCaches() { l2_.flush(); }
+    void flushCaches()
+    {
+        ffHorizon_ = 0;
+        l2_.flush();
+    }
 
     Cache &l2() { return l2_; }
     Dram &dram() { return dram_; }
@@ -50,6 +61,12 @@ class MemoryPartition
     Dram dram_;
 
     std::deque<MemRequest> input_;
+
+    /** Lazy-tick horizon: while now < ffHorizon_ and no request arrives,
+     *  tick() is a provable no-op and returns immediately. Unlike the
+     *  SM's lazy window this needs no deferred accounting — the
+     *  partition keeps no per-cycle statistics. */
+    Cycle ffHorizon_ = 0;
 
     struct PendingResponse
     {

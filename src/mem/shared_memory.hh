@@ -32,6 +32,9 @@ class SharedMemoryModel
     /** True when the port can accept a new access at @p now. */
     bool canAccept(Cycle now) const { return portReadyAt_ <= now; }
 
+    /** First cycle the port frees (fast-forward horizon input). */
+    Cycle portReadyAt() const { return portReadyAt_; }
+
     StatGroup &stats() { return stats_; }
     std::uint64_t conflictPasses() const { return conflictPasses_.value(); }
 

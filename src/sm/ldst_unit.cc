@@ -30,13 +30,6 @@ LdstUnit::LdstUnit(SmId sm_id, const GpuConfig &config, Interconnect &noc,
                      "cycles from injection to completion");
 }
 
-bool
-LdstUnit::canAccept() const
-{
-    // Leave room for a fully diverged instruction (32 transactions).
-    return injectQueue_.size() + warpSize <= maxInjectQueue;
-}
-
 std::uint32_t
 LdstUnit::allocPending(VirtualCtaId vcta, std::uint32_t warp, RegIndex dst,
                        std::uint32_t remaining)
@@ -285,6 +278,22 @@ LdstUnit::completeTransaction(std::uint64_t token)
         p.inUse = false;
         pendingFree_.push_back(t.pendingIdx);
     }
+}
+
+Cycle
+LdstUnit::nextEventCycle(Cycle now) const
+{
+    if (!injectQueue_.empty())
+        return now;
+    if (!hitPending_.empty())
+        return std::max(now, hitPending_.top().readyAt);
+    return neverCycle;
+}
+
+void
+LdstUnit::fastForwardIdle(std::uint64_t n)
+{
+    mlp_.sampleN(offChipOutstanding_, n);
 }
 
 bool

@@ -49,8 +49,11 @@ class LdstUnit : public MemResponseSink
     LdstUnit(SmId sm_id, const GpuConfig &config, Interconnect &noc,
              LdstClient &client);
 
-    /** Room for one more warp memory instruction's transactions? */
-    bool canAccept() const;
+    /** Room for one more warp memory instruction's transactions?
+     *  Inline: checked on every memory-warp issue-sweep visit. Leaves
+     *  room for a fully diverged instruction (32 transactions). */
+    bool canAccept() const
+    { return injectQueue_.size() + warpSize <= maxInjectQueue; }
 
     /**
      * Accept one warp global-memory instruction (already functionally
@@ -69,6 +72,21 @@ class LdstUnit : public MemResponseSink
 
     /** No transactions queued or in flight. */
     bool idle() const;
+
+    /**
+     * Earliest cycle >= @p now at which tick() might act: queued
+     * transactions inject every tick; otherwise the next matured L1
+     * hit. Transactions out at the NoC/L2/DRAM are those components'
+     * events. neverCycle when nothing local is pending.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Account @p n ticked-but-idle cycles in one step (per-cycle MLP
+     * sampling). Only valid over a window where tick() would be a
+     * no-op, i.e. nextEventCycle() lies beyond the window.
+     */
+    void fastForwardIdle(std::uint64_t n);
 
     Cache &l1() { return l1_; }
     const Cache &l1() const { return l1_; }

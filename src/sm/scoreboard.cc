@@ -13,20 +13,6 @@ Scoreboard::reset(std::uint32_t num_regs)
     pendingLongCount_ = 0;
 }
 
-bool
-Scoreboard::hasHazard(const Instruction &inst) const
-{
-    if (pendingCount_ == 0)
-        return false;
-    if (inst.dst != noReg && pending_[inst.dst])
-        return true; // WAW
-    for (RegIndex src : inst.src) {
-        if (src != noReg && pending_[src])
-            return true; // RAW
-    }
-    return false;
-}
-
 void
 Scoreboard::reserve(RegIndex reg, bool long_latency)
 {

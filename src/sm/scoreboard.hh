@@ -23,8 +23,20 @@ class Scoreboard
     /** Size for @p num_regs architectural registers. */
     void reset(std::uint32_t num_regs);
 
-    /** True when @p inst has a RAW or WAW hazard against pending writes. */
-    bool hasHazard(const Instruction &inst) const;
+    /** True when @p inst has a RAW or WAW hazard against pending writes.
+     *  Inline: this sits on the per-warp issue fast path. */
+    bool hasHazard(const Instruction &inst) const
+    {
+        if (pendingCount_ == 0)
+            return false;
+        if (inst.dst != noReg && pending_[inst.dst])
+            return true; // WAW
+        for (RegIndex src : inst.src) {
+            if (src != noReg && pending_[src])
+                return true; // RAW
+        }
+        return false;
+    }
 
     /** Mark @p reg as having a write in flight. */
     void reserve(RegIndex reg, bool long_latency);

@@ -15,20 +15,6 @@ SimtStack::reset(ActiveMask initial, Pc entry_pc)
     maxDepth_ = stack_.size();
 }
 
-Pc
-SimtStack::pc() const
-{
-    VTSIM_ASSERT(!stack_.empty(), "pc() on finished warp");
-    return stack_.back().pc;
-}
-
-ActiveMask
-SimtStack::activeMask() const
-{
-    VTSIM_ASSERT(!stack_.empty(), "activeMask() on finished warp");
-    return stack_.back().mask;
-}
-
 void
 SimtStack::popReconverged()
 {

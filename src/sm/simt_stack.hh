@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/active_mask.hh"
+#include "common/log.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
 
@@ -35,11 +36,19 @@ class SimtStack
     /** True when every lane has exited. */
     bool done() const { return stack_.empty(); }
 
-    /** Current fetch PC. */
-    Pc pc() const;
+    /** Current fetch PC. Inline: read on every issue-sweep visit. */
+    Pc pc() const
+    {
+        VTSIM_ASSERT(!stack_.empty(), "pc() on finished warp");
+        return stack_.back().pc;
+    }
 
     /** Lanes executing at the current PC. */
-    ActiveMask activeMask() const;
+    ActiveMask activeMask() const
+    {
+        VTSIM_ASSERT(!stack_.empty(), "activeMask() on finished warp");
+        return stack_.back().mask;
+    }
 
     /**
      * Advance past a non-branch instruction at the current PC, popping

@@ -43,6 +43,7 @@ SmCore::launchKernel(const Kernel &kernel, const LaunchParams &launch,
                      GlobalMemory &gmem)
 {
     VTSIM_ASSERT(residentCount_ == 0, "kernel launch with CTAs resident");
+    onExternalEvent();
     kernel_ = &kernel;
     launch_ = &launch;
     gmem_ = &gmem;
@@ -81,6 +82,7 @@ void
 SmCore::admitCta(const CtaAssignment &assignment, Cycle now)
 {
     VTSIM_ASSERT(canAdmitCta(), "admitCta without canAdmitCta");
+    onExternalEvent();
 
     VirtualCtaId slot;
     if (!freeSlots_.empty()) {
@@ -94,6 +96,7 @@ SmCore::admitCta(const CtaAssignment &assignment, Cycle now)
     VirtualCta &cta = ctas_[slot];
     cta.valid = true;
     cta.age = nextCtaAge_++;
+    cta.pendingOffChipTotal = 0;
     const std::uint32_t tpc = launch_->threadsPerCta();
     cta.func.init(assignment.linearId, assignment.idx, tpc,
                   kernel_->regsPerThread(), kernel_->sharedBytesPerCta());
@@ -101,36 +104,22 @@ SmCore::admitCta(const CtaAssignment &assignment, Cycle now)
     const std::uint32_t warps = launch_->warpsPerCta();
     cta.warps.assign(warps, WarpContext());
     cta.warpsAlive = warps;
+    cta.schedWarps.assign(config_.numSchedulers, {});
+    cta.aliveBySched.assign(config_.numSchedulers, 0);
     for (std::uint32_t w = 0; w < warps; ++w) {
         const std::uint32_t first = w * warpSize;
         const std::uint32_t live = std::min(warpSize, tpc - first);
         cta.warps[w].init(slot, w, ActiveMask::firstLanes(live),
                           kernel_->regsPerThread());
+        const std::uint32_t sched =
+            (cta.age * warps + w) % config_.numSchedulers;
+        cta.schedWarps[sched].push_back(w);
+        ++cta.aliveBySched[sched];
     }
 
     ++residentCount_;
     barriers_.ctaLaunched(slot);
     vt_.onAdmit(slot, now);
-}
-
-bool
-SmCore::warpCanIssueLocal(const WarpContext &warp, Cycle now,
-                          bool ignore_structural) const
-{
-    if (warp.done() || warp.atBarrier() || warp.readyAt() > now)
-        return false;
-    const Instruction &inst = kernel_->at(warp.stack().pc());
-    if (inst.isExit() && warp.scoreboard().pendingCount() > 0)
-        return false; // Retire only with all writes landed.
-    if (warp.scoreboard().hasHazard(inst))
-        return false;
-    if (!ignore_structural) {
-        if (inst.isGlobalMem() && !ldst_.canAccept())
-            return false;
-        if (inst.isSharedMem() && !shmem_.canAccept(now))
-            return false;
-    }
-    return true;
 }
 
 bool
@@ -160,6 +149,16 @@ SmCore::chargeBudget(const Instruction &inst, IssueBudgets &budgets) const
 void
 SmCore::tick(Cycle now)
 {
+    if (now < ffHorizon_) {
+        // Provably eventless tick (the horizon was cached from this
+        // very state and every external change drops it): just count
+        // the cycle; flushFastForward() settles the books in bulk.
+        if (ffPending_ == 0)
+            ffWindowStart_ = now;
+        ++ffPending_;
+        return;
+    }
+    flushFastForward();
     now_ = now;
 
     // 1. Memory completions (unblocks warps for this cycle's issue).
@@ -176,39 +175,63 @@ SmCore::tick(Cycle now)
     //    based on the state warps are in *before* this cycle's issue.
     vt_.tick(now);
 
-    // 4. Issue: each scheduler picks one warp among its ready ones.
+    // 4. Issue: each scheduler picks one warp among its ready ones. The
+    //    same sweep gathers the bubble attribution, so a scheduler slot
+    //    that issues nothing is classified without a second warp scan
+    //    (the outcome is identical to classifyIssueBubble()).
     const StallBreakdown before_issue = stalls_;
     IssueBudgets budgets{config_.aluThroughputPerSm,
                          config_.sfuThroughputPerSm,
                          config_.ldstThroughputPerSm};
     for (std::uint32_t s = 0; s < config_.numSchedulers; ++s) {
-        std::vector<WarpCandidate> cands;
-        std::vector<std::pair<VirtualCtaId, std::uint32_t>> refs;
+        cands_.clear();
+        refs_.clear();
+        bool any_warp = false;
+        bool any_frozen = false;
+        bool any_mem_blocked = false;
+        bool all_barrier = true;
         for (VirtualCtaId slot = 0; slot < ctas_.size(); ++slot) {
             VirtualCta &cta = ctas_[slot];
-            if (!cta.valid || !vt_.isIssuable(slot))
+            if (!cta.valid || cta.aliveBySched[s] == 0)
                 continue;
-            for (std::uint32_t w = 0; w < cta.warps.size(); ++w) {
-                if ((cta.age * cta.warps.size() + w) %
-                        config_.numSchedulers != s) {
-                    continue;
-                }
+            any_warp = true;
+            if (!vt_.isIssuable(slot)) {
+                any_frozen = true;
+                continue;
+            }
+            for (std::uint32_t w : cta.schedWarps[s]) {
                 WarpContext &warp = cta.warps[w];
-                if (!warpCanIssueLocal(warp, now))
+                if (warp.done())
+                    continue;
+                if (!warp.atBarrier())
+                    all_barrier = false;
+                const bool can_issue = warpCanIssueLocal(warp, now);
+                if (warp.pendingOffChip() > 0 && !can_issue)
+                    any_mem_blocked = true;
+                if (!can_issue)
                     continue;
                 if (!budgetAllows(kernel_->at(warp.stack().pc()), budgets))
                     continue;
                 const std::uint64_t key = cta.age * 256 + w;
-                cands.push_back({key, key});
-                refs.emplace_back(slot, w);
+                cands_.push_back({key, key});
+                refs_.emplace_back(slot, w);
             }
         }
-        if (cands.empty()) {
-            classifyStall(s, now);
+        if (cands_.empty()) {
+            BubbleKind kind = BubbleKind::Short;
+            if (!any_warp)
+                kind = BubbleKind::Idle;
+            else if (any_mem_blocked)
+                kind = BubbleKind::Mem;
+            else if (all_barrier && !any_frozen)
+                kind = BubbleKind::Barrier;
+            else if (any_frozen)
+                kind = BubbleKind::Swap;
+            chargeBubble(kind, 1);
             continue;
         }
-        const std::size_t chosen = schedulers_[s]->pick(cands);
-        const auto [slot, w] = refs.at(chosen);
+        const std::size_t chosen = schedulers_[s]->pick(cands_);
+        const auto [slot, w] = refs_.at(chosen);
         VirtualCta &cta = ctas_[slot];
         chargeBudget(kernel_->at(cta.warps[w].stack().pc()), budgets);
         ++stalls_.issued;
@@ -223,10 +246,33 @@ SmCore::tick(Cycle now)
         throttler_->sample(issued, !issued && mem);
         vt_.setActiveCap(throttler_->cap());
     }
+
+    // 6. A tick that issued nothing is a candidate for a lazy window:
+    //    cache how far the following ticks are provably inert. This is
+    //    nextEventCycle(now + 1) minus its warp scan, which is provably
+    //    empty here: readyAt is only ever set to cycle+1 at an issue or
+    //    barrier release, so after a no-issue tick no live warp has
+    //    readyAt > now — and none could issue (the sweep found no
+    //    candidates; the one state that can flip by now + 1, the shared
+    //    memory port, is covered by the portReadyAt term below).
+    if (config_.fastForwardEnabled &&
+        stalls_.issued == before_issue.issued) {
+        Cycle next = ldst_.nextEventCycle(now + 1);
+        if (!wbQueue_.empty())
+            next = std::min(next, std::max(now + 1, wbQueue_.top().at));
+        if (shmem_.portReadyAt() > now)
+            next = std::min(next, shmem_.portReadyAt());
+        if (throttler_)
+            next = std::min(next,
+                            throttler_->epochBoundaryCycle(now + 1));
+        ffHorizon_ = std::min(next, vt_.nextEventCycle(now + 1));
+    } else {
+        ffHorizon_ = 0;
+    }
 }
 
-void
-SmCore::classifyStall(std::uint32_t scheduler, Cycle now)
+SmCore::BubbleKind
+SmCore::classifyIssueBubble(std::uint32_t scheduler, Cycle now) const
 {
     // Nothing issued from this scheduler slot: attribute the bubble.
     bool any_warp = false;
@@ -235,22 +281,17 @@ SmCore::classifyStall(std::uint32_t scheduler, Cycle now)
     bool all_barrier = true;
     for (VirtualCtaId slot = 0; slot < ctas_.size(); ++slot) {
         const VirtualCta &cta = ctas_[slot];
-        if (!cta.valid)
+        if (!cta.valid || cta.aliveBySched[scheduler] == 0)
             continue;
-        const bool frozen = !vt_.isIssuable(slot);
-        for (std::uint32_t w = 0; w < cta.warps.size(); ++w) {
-            if ((cta.age * cta.warps.size() + w) %
-                    config_.numSchedulers != scheduler) {
-                continue;
-            }
+        any_warp = true;
+        if (!vt_.isIssuable(slot)) {
+            any_frozen = true;
+            continue;
+        }
+        for (std::uint32_t w : cta.schedWarps[scheduler]) {
             const WarpContext &warp = cta.warps[w];
             if (warp.done())
                 continue;
-            any_warp = true;
-            if (frozen) {
-                any_frozen = true;
-                continue;
-            }
             if (!warp.atBarrier())
                 all_barrier = false;
             if (warp.pendingOffChip() > 0 && !warpCanIssueLocal(warp, now))
@@ -258,15 +299,109 @@ SmCore::classifyStall(std::uint32_t scheduler, Cycle now)
         }
     }
     if (!any_warp)
-        ++stalls_.idle;
-    else if (any_mem_blocked)
-        ++stalls_.memStall;
-    else if (all_barrier && !any_frozen)
-        ++stalls_.barrierStall;
-    else if (any_frozen)
-        ++stalls_.swapStall;
-    else
-        ++stalls_.shortStall;
+        return BubbleKind::Idle;
+    if (any_mem_blocked)
+        return BubbleKind::Mem;
+    if (all_barrier && !any_frozen)
+        return BubbleKind::Barrier;
+    if (any_frozen)
+        return BubbleKind::Swap;
+    return BubbleKind::Short;
+}
+
+void
+SmCore::chargeBubble(BubbleKind kind, std::uint64_t n)
+{
+    switch (kind) {
+      case BubbleKind::Idle: stalls_.idle += n; break;
+      case BubbleKind::Mem: stalls_.memStall += n; break;
+      case BubbleKind::Barrier: stalls_.barrierStall += n; break;
+      case BubbleKind::Swap: stalls_.swapStall += n; break;
+      case BubbleKind::Short: stalls_.shortStall += n; break;
+    }
+}
+
+Cycle
+SmCore::nextEventCycle(Cycle now)
+{
+    // A valid cached horizon IS the answer — and with skipped ticks
+    // deferred, recomputing from unsettled state would be wrong.
+    if (now < ffHorizon_)
+        return ffHorizon_;
+    flushFastForward();
+
+    Cycle next = ldst_.nextEventCycle(now);
+    if (!wbQueue_.empty())
+        next = std::min(next, std::max(now, wbQueue_.top().at));
+    if (shmem_.portReadyAt() > now)
+        next = std::min(next, shmem_.portReadyAt());
+    if (throttler_)
+        next = std::min(next, throttler_->epochBoundaryCycle(now));
+    next = std::min(next, vt_.nextEventCycle(now));
+
+    // Warps of issuable CTAs: a short dependence maturing is an event;
+    // a warp that could issue right now means no skipping at all. Warps
+    // blocked on hazards, barriers, or off-chip memory unblock only via
+    // writeback/NoC events already accounted above or globally.
+    for (VirtualCtaId slot = 0; slot < ctas_.size(); ++slot) {
+        const VirtualCta &cta = ctas_[slot];
+        if (!cta.valid || cta.warpsAlive == 0 || !vt_.isIssuable(slot))
+            continue;
+        for (const WarpContext &warp : cta.warps) {
+            if (warp.done() || warp.atBarrier())
+                continue;
+            if (warp.readyAt() > now)
+                next = std::min(next, warp.readyAt());
+            else if (warpCanIssueLocal(warp, now))
+                return now;
+        }
+    }
+    return next;
+}
+
+void
+SmCore::fastForwardIdle(Cycle now, std::uint64_t n)
+{
+    flushFastForward();
+    accountIdleCycles(now, n);
+}
+
+void
+SmCore::flushFastForward()
+{
+    if (ffPending_ == 0)
+        return;
+    const std::uint64_t n = ffPending_;
+    ffPending_ = 0;
+    accountIdleCycles(ffWindowStart_, n);
+}
+
+void
+SmCore::onExternalEvent()
+{
+    flushFastForward();
+    ffHorizon_ = 0;
+}
+
+void
+SmCore::accountIdleCycles(Cycle now, std::uint64_t n)
+{
+    // Mirror tick()'s order over n empty cycles: LDST sampling, the VT
+    // machine's sampling and streaks, the per-scheduler bubble
+    // classification (constant across the window by construction), and
+    // the throttler's epoch observations.
+    ldst_.fastForwardIdle(n);
+    vt_.fastForwardIdle(n);
+    bool any_mem = false;
+    for (std::uint32_t s = 0; s < config_.numSchedulers; ++s) {
+        const BubbleKind kind = classifyIssueBubble(s, now);
+        chargeBubble(kind, n);
+        any_mem = any_mem || kind == BubbleKind::Mem;
+    }
+    if (throttler_) {
+        throttler_->sampleIdleN(n, any_mem);
+        vt_.setActiveCap(throttler_->cap());
+    }
 }
 
 void
@@ -303,6 +438,12 @@ SmCore::issueWarp(VirtualCta &cta, VirtualCtaId slot, WarpContext &warp,
             if (warp.done()) {
                 VTSIM_ASSERT(cta.warpsAlive > 0, "alive underflow");
                 --cta.warpsAlive;
+                const std::uint32_t sched =
+                    (cta.age * cta.warps.size() + warp.warpInCta()) %
+                    config_.numSchedulers;
+                VTSIM_ASSERT(cta.aliveBySched[sched] > 0,
+                             "per-scheduler alive underflow");
+                --cta.aliveBySched[sched];
                 if (cta.warpsAlive == 0)
                     finishCta(slot, now);
                 else
@@ -373,6 +514,8 @@ SmCore::finishCta(VirtualCtaId slot, Cycle now)
     barriers_.ctaFinished(slot);
     cta.valid = false;
     cta.warps.clear();
+    cta.schedWarps.clear();
+    cta.aliveBySched.clear();
     freeSlots_.push_back(slot);
     VTSIM_ASSERT(residentCount_ > 0, "resident underflow");
     --residentCount_;
@@ -391,6 +534,7 @@ SmCore::loadComplete(VirtualCtaId vcta, std::uint32_t warp_in_cta,
 {
     VTSIM_ASSERT(vcta < ctas_.size() && ctas_[vcta].valid,
                  "load completion for retired CTA");
+    onExternalEvent();
     if (dst != noReg)
         ctas_[vcta].warps[warp_in_cta].scoreboard().release(dst);
 }
@@ -398,13 +542,19 @@ SmCore::loadComplete(VirtualCtaId vcta, std::uint32_t warp_in_cta,
 void
 SmCore::offChipIssued(VirtualCtaId vcta, std::uint32_t warp_in_cta)
 {
+    onExternalEvent();
     ctas_[vcta].warps[warp_in_cta].addOffChip();
+    ++ctas_[vcta].pendingOffChipTotal;
 }
 
 void
 SmCore::offChipReturned(VirtualCtaId vcta, std::uint32_t warp_in_cta)
 {
+    onExternalEvent();
     ctas_[vcta].warps[warp_in_cta].removeOffChip();
+    VTSIM_ASSERT(ctas_[vcta].pendingOffChipTotal > 0,
+                 "off-chip aggregate underflow");
+    --ctas_[vcta].pendingOffChipTotal;
 }
 
 bool
@@ -442,10 +592,7 @@ SmCore::ctaPendingOffChip(VirtualCtaId id) const
 {
     const VirtualCta &cta = ctas_[id];
     VTSIM_ASSERT(cta.valid, "query on retired CTA");
-    std::uint32_t total = 0;
-    for (const WarpContext &warp : cta.warps)
-        total += warp.pendingOffChip();
-    return total;
+    return cta.pendingOffChipTotal;
 }
 
 } // namespace vtsim

@@ -59,11 +59,43 @@ class SmCore : public LdstClient, public VtCtaQuery
     /** Advance one cycle. */
     void tick(Cycle now);
 
+    /**
+     * Earliest cycle >= @p now at which tick() might do real work given
+     * no admission and no NoC delivery happens first: a warp becoming
+     * ready or issuable, a writeback or L1-hit maturing, a VT transition
+     * or swap-threshold crossing, a throttle-epoch boundary, or the
+     * shared-memory port freeing. neverCycle when the SM is fully
+     * event-blocked (e.g. every live warp waits on off-chip memory).
+     * Non-const: flushes deferred idle-tick accounting first.
+     */
+    Cycle nextEventCycle(Cycle now);
+
+    /**
+     * Account @p n ticked-but-eventless cycles in one step, exactly as
+     * @p n empty tick() calls starting at @p now would have: per-cycle
+     * stat samples, stall-bubble classification, VT stall streaks and
+     * throttler-epoch observations. Only valid when
+     * nextEventCycle(@p now) > @p now + @p n - 1.
+     */
+    void fastForwardIdle(Cycle now, std::uint64_t n);
+
+    /**
+     * Apply deferred accounting of lazily skipped ticks (see tick()).
+     * Called automatically before any state change or query that could
+     * observe the deferral; public so Gpu can settle accounts before
+     * reading final statistics.
+     */
+    void flushFastForward();
+
     /** No resident CTAs and no memory traffic in flight. */
     bool idle() const;
 
     /** Invalidate L1 (kernel boundary). */
-    void flushCaches() { ldst_.flushCaches(); }
+    void flushCaches()
+    {
+        onExternalEvent();
+        ldst_.flushCaches();
+    }
 
     SmId id() const { return id_; }
     LdstUnit &ldst() { return ldst_; }
@@ -102,7 +134,17 @@ class SmCore : public LdstClient, public VtCtaQuery
         std::uint64_t age = 0;
         CtaFuncState func;
         std::vector<WarpContext> warps;
+        /** Warp indices per scheduler slot — the (age * warps + w) %
+         *  schedulers interleaving, precomputed once at admission so the
+         *  per-tick issue sweep visits each warp exactly once. */
+        std::vector<std::vector<std::uint32_t>> schedWarps;
+        /** Live warps per scheduler slot: lets the sweep classify frozen
+         *  or fully retired CTAs without visiting their warps. */
+        std::vector<std::uint32_t> aliveBySched;
         std::uint32_t warpsAlive = 0;
+        /** Sum of the warps' pendingOffChip counts, so the VT swap-in
+         *  readiness test does not rescan warps. */
+        std::uint32_t pendingOffChipTotal = 0;
     };
 
     /** Per-cycle structural budgets, reset each tick. */
@@ -113,11 +155,22 @@ class SmCore : public LdstClient, public VtCtaQuery
         std::uint32_t mem = 0;
     };
 
+    /** Attribution of a scheduler-cycle that issued nothing. */
+    enum class BubbleKind : std::uint8_t
+    {
+        Idle,
+        Mem,
+        Barrier,
+        Swap,
+        Short,
+    };
+
     /**
      * Warp-local issuability. With @p ignore_structural the per-SM port
      * constraints (LDST queue space, shared-mem port) are ignored: the VT
      * swap trigger must not mistake structural back-pressure — which
      * clears in a few cycles — for a long-latency stall.
+     * Inline (below): called for every warp visit of the issue sweep.
      */
     bool warpCanIssueLocal(const WarpContext &warp, Cycle now,
                            bool ignore_structural = false) const;
@@ -128,7 +181,14 @@ class SmCore : public LdstClient, public VtCtaQuery
                    Cycle now);
     void maybeReleaseBarrier(VirtualCtaId slot, Cycle now);
     void finishCta(VirtualCtaId slot, Cycle now);
-    void classifyStall(std::uint32_t scheduler, Cycle now);
+    BubbleKind classifyIssueBubble(std::uint32_t scheduler,
+                                   Cycle now) const;
+    void chargeBubble(BubbleKind kind, std::uint64_t n);
+    /** The per-cycle bookkeeping of @p n eventless ticks at @p now. */
+    void accountIdleCycles(Cycle now, std::uint64_t n);
+    /** State changed from outside tick(): settle and drop the cached
+     *  idle horizon. */
+    void onExternalEvent();
 
     SmId id_;
     const GpuConfig &config_;
@@ -149,6 +209,10 @@ class SmCore : public LdstClient, public VtCtaQuery
 
     std::vector<std::unique_ptr<WarpScheduler>> schedulers_;
 
+    // Issue-sweep scratch, reused across ticks to avoid reallocation.
+    std::vector<WarpCandidate> cands_;
+    std::vector<std::pair<VirtualCtaId, std::uint32_t>> refs_;
+
     struct Writeback
     {
         Cycle at;
@@ -163,12 +227,39 @@ class SmCore : public LdstClient, public VtCtaQuery
     Cycle now_ = 0;
     std::uint32_t maxSimtDepth_ = 0;
 
+    // Lazy-tick state: while now < ffHorizon_ and no external event
+    // arrives, tick() only counts the cycle; the bookkeeping is applied
+    // in bulk when the window closes.
+    Cycle ffHorizon_ = 0;
+    Cycle ffWindowStart_ = 0;
+    std::uint64_t ffPending_ = 0;
+
     StatGroup stats_;
     Counter instructionsIssued_;
     Counter threadInstructions_;
     Counter ctasCompleted_;
     StallBreakdown stalls_;
 };
+
+inline bool
+SmCore::warpCanIssueLocal(const WarpContext &warp, Cycle now,
+                          bool ignore_structural) const
+{
+    if (warp.done() || warp.atBarrier() || warp.readyAt() > now)
+        return false;
+    const Instruction &inst = kernel_->at(warp.stack().pc());
+    if (inst.isExit() && warp.scoreboard().pendingCount() > 0)
+        return false; // Retire only with all writes landed.
+    if (warp.scoreboard().hasHazard(inst))
+        return false;
+    if (!ignore_structural) {
+        if (inst.isGlobalMem() && !ldst_.canAccept())
+            return false;
+        if (inst.isSharedMem() && !shmem_.canAccept(now))
+            return false;
+    }
+    return true;
+}
 
 } // namespace vtsim
 

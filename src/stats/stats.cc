@@ -22,6 +22,25 @@ ScalarStat::sample(double v)
 }
 
 void
+ScalarStat::sampleN(double v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    count_ += n;
+    // Repeated addition, not v * n: keep the rounding sequence of the
+    // per-cycle loop so fast-forward is bit-identical.
+    for (std::uint64_t i = 0; i < n; ++i)
+        sum_ += v;
+}
+
+void
 ScalarStat::reset()
 {
     count_ = 0;

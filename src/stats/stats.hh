@@ -38,6 +38,15 @@ class ScalarStat
 {
   public:
     void sample(double v);
+
+    /**
+     * Record @p n consecutive samples of the same value @p v —
+     * bit-identical to calling sample(v) @p n times (the sum is
+     * accumulated by repeated addition, not v * n, so fast-forwarded
+     * simulations reproduce the naive loop's floating-point result
+     * exactly).
+     */
+    void sampleN(double v, std::uint64_t n);
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
