@@ -81,9 +81,10 @@ VirtualThreadManager::canAdmit() const
 }
 
 void
-VirtualThreadManager::activate(CtaRec &rec, Cycle now)
+VirtualThreadManager::activate(VirtualCtaId id, Cycle now)
 {
     VTSIM_ASSERT(activeSlotFree(), "activate without a free slot");
+    CtaRec &rec = ctas_[id];
     ++activeCtas_;
     warpsActive_ += fp_.warpsPerCta;
     threadsActive_ += fp_.threadsPerCta;
@@ -96,6 +97,7 @@ VirtualThreadManager::activate(CtaRec &rec, Cycle now)
     } else {
         rec.state = CtaState::Active;
         ++freshActivations_;
+        query_.onCtaIssuableChanged(id, true);
     }
 }
 
@@ -129,7 +131,7 @@ VirtualThreadManager::onAdmit(VirtualCtaId id, Cycle now)
     VTSIM_TRACE(TraceFlag::Cta, now, stats_.name(), "admit cta ", id,
                 " (resident ", residentCount_, ")");
     if (activeSlotFree())
-        activate(rec, now);
+        activate(id, now);
 }
 
 void
@@ -149,7 +151,7 @@ VirtualThreadManager::onCtaFinished(VirtualCtaId id, Cycle now)
     // The freed slot goes to the best inactive CTA right away.
     const VirtualCtaId incoming = pickSwapIn(false);
     if (incoming != invalidId && activeSlotFree())
-        activate(ctas_[incoming], now);
+        activate(incoming, now);
 }
 
 CtaState
@@ -271,7 +273,8 @@ VirtualThreadManager::tick(Cycle now)
         return;
 
     // 1. Complete in-flight transitions.
-    for (CtaRec &rec : ctas_) {
+    for (VirtualCtaId id = 0; id < ctas_.size(); ++id) {
+        CtaRec &rec = ctas_[id];
         if (!rec.resident || rec.transitionAt > now)
             continue;
         if (rec.state == CtaState::SwappingOut) {
@@ -279,6 +282,7 @@ VirtualThreadManager::tick(Cycle now)
         } else if (rec.state == CtaState::SwappingIn) {
             rec.state = CtaState::Active;
             rec.stalledFor = 0;
+            query_.onCtaIssuableChanged(id, true);
         }
     }
 
@@ -287,7 +291,7 @@ VirtualThreadManager::tick(Cycle now)
         const VirtualCtaId incoming = pickSwapIn(false);
         if (incoming == invalidId)
             break;
-        activate(ctas_[incoming], now);
+        activate(incoming, now);
     }
 
     // 3. Track stall streaks of active CTAs. The streak follows the
@@ -337,6 +341,7 @@ VirtualThreadManager::tick(Cycle now)
     out.state = CtaState::SwappingOut;
     out.transitionAt = now + config_.vtSwapOutLatency;
     out.everSwapped = true;
+    query_.onCtaIssuableChanged(victim, false);
     ++swapOuts_;
     releaseActiveSlot();
 

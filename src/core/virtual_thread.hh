@@ -59,6 +59,21 @@ class VtCtaQuery
 
     /** Outstanding off-chip transactions across the CTA's warps. */
     virtual std::uint32_t ctaPendingOffChip(VirtualCtaId id) const = 0;
+
+    /**
+     * The CTA's issuability (isIssuable()) just flipped: it entered
+     * (@p issuable) or left (!@p issuable) the Active state. Fired
+     * *after* the state change, so isIssuable(@p id) already reports the
+     * new value. SmCore uses this to publish/retract the CTA's warps in
+     * its incremental ready sets; not every observer needs it, hence the
+     * default no-op. A finished CTA fires no flip — the owner retires it
+     * through onCtaFinished and has retired all its warps already.
+     */
+    virtual void onCtaIssuableChanged(VirtualCtaId id, bool issuable)
+    {
+        (void)id;
+        (void)issuable;
+    }
 };
 
 /** Residency state of one virtual CTA. */
@@ -176,7 +191,7 @@ class VirtualThreadManager
     };
 
     bool activeSlotFree() const;
-    void activate(CtaRec &rec, Cycle now);
+    void activate(VirtualCtaId id, Cycle now);
     void releaseActiveSlot();
     /** Best inactive CTA to bring in, or invalidId. When
      *  @p require_ready is set (swap decisions under ReadyFirst), only a

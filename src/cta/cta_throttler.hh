@@ -12,6 +12,11 @@
  * active CTAs up or down. The cap is enforced lazily: existing CTAs are
  * never paused, but no new CTA activates above the cap — the common
  * simplification of DYNCTA-class schemes.
+ *
+ * The lazy cap also keeps the SM's incremental ready-warp sets simple: a
+ * cap change never retracts published warps directly — it only gates
+ * future VirtualThreadManager activations, and those fire the CTA
+ * issuability callbacks that publish or retract whole CTAs.
  */
 
 #ifndef VTSIM_CTA_CTA_THROTTLER_HH

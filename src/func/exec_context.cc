@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstring>
 
 #include "common/log.hh"
 #include "func/global_memory.hh"
@@ -25,6 +26,22 @@ CtaFuncState::init(std::uint64_t linear_cta_id, Dim3 cta_idx,
 std::uint32_t
 CtaFuncState::readShared32(std::uint32_t byte_addr) const
 {
+    // Fast path: a fully in-bounds access is a single 4-byte copy. The
+    // 64-bit sum guards against byte_addr + 4 wrapping in 32 bits.
+    if (std::uint64_t(byte_addr) + 4 <= shared.size()) {
+        if constexpr (std::endian::native == std::endian::little) {
+            std::uint32_t v;
+            std::memcpy(&v, shared.data() + byte_addr, 4);
+            return v;
+        }
+    }
+#ifndef NDEBUG
+    VTSIM_ASSERT(byte_addr >= shared.size() ||
+                 std::uint64_t(byte_addr) + 4 <= shared.size(),
+                 "shared read of 4 bytes at ", byte_addr,
+                 " straddles the allocation boundary (", shared.size(),
+                 " bytes)");
+#endif
     std::uint32_t v = 0;
     for (int i = 3; i >= 0; --i) {
         const std::uint32_t a = byte_addr + i;
@@ -36,6 +53,19 @@ CtaFuncState::readShared32(std::uint32_t byte_addr) const
 void
 CtaFuncState::writeShared32(std::uint32_t byte_addr, std::uint32_t value)
 {
+    if (std::uint64_t(byte_addr) + 4 <= shared.size()) {
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(shared.data() + byte_addr, &value, 4);
+            return;
+        }
+    }
+#ifndef NDEBUG
+    VTSIM_ASSERT(byte_addr >= shared.size() ||
+                 std::uint64_t(byte_addr) + 4 <= shared.size(),
+                 "shared write of 4 bytes at ", byte_addr,
+                 " straddles the allocation boundary (", shared.size(),
+                 " bytes)");
+#endif
     for (int i = 0; i < 4; ++i) {
         const std::uint32_t a = byte_addr + i;
         if (a < shared.size())

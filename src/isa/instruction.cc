@@ -7,32 +7,6 @@
 
 namespace vtsim {
 
-FuncUnit
-Instruction::funcUnit() const
-{
-    switch (op) {
-      case Opcode::IDIV:
-      case Opcode::IREM:
-      case Opcode::FRCP:
-      case Opcode::FSQRT:
-      case Opcode::FEXP:
-      case Opcode::FLOG:
-        return FuncUnit::Sfu;
-      case Opcode::LDG:
-      case Opcode::STG:
-      case Opcode::LDS:
-      case Opcode::STS:
-      case Opcode::ATOMG_ADD:
-        return FuncUnit::Mem;
-      case Opcode::BRA:
-      case Opcode::BAR:
-      case Opcode::EXIT:
-        return FuncUnit::Control;
-      default:
-        return FuncUnit::Alu;
-    }
-}
-
 std::uint32_t
 Instruction::numSrcs() const
 {

@@ -121,8 +121,33 @@ struct Instruction
     /** Where diverged lanes reconverge; filled by the builder/assembler. */
     Pc reconvergePc = invalidPc;
 
-    /** Functional unit this opcode issues to. */
-    FuncUnit funcUnit() const;
+    /** Functional unit this opcode issues to. Inline: the issue budget
+     *  check runs this for every ready candidate every cycle. */
+    FuncUnit
+    funcUnit() const
+    {
+        switch (op) {
+          case Opcode::IDIV:
+          case Opcode::IREM:
+          case Opcode::FRCP:
+          case Opcode::FSQRT:
+          case Opcode::FEXP:
+          case Opcode::FLOG:
+            return FuncUnit::Sfu;
+          case Opcode::LDG:
+          case Opcode::STG:
+          case Opcode::LDS:
+          case Opcode::STS:
+          case Opcode::ATOMG_ADD:
+            return FuncUnit::Mem;
+          case Opcode::BRA:
+          case Opcode::BAR:
+          case Opcode::EXIT:
+            return FuncUnit::Control;
+          default:
+            return FuncUnit::Alu;
+        }
+    }
 
     bool isBranch() const { return op == Opcode::BRA; }
     bool isBarrier() const { return op == Opcode::BAR; }

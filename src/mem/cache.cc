@@ -8,6 +8,7 @@ Cache::Cache(const CacheParams &params)
     : params_(params),
       numSets_(params.size / (params.lineSize * params.assoc)),
       lines_(std::size_t(numSets_) * params.assoc),
+      mruWay_(numSets_, 0),
       stats_(params.name)
 {
     VTSIM_ASSERT(numSets_ > 0, "cache '", params.name, "' has zero sets");
@@ -36,10 +37,18 @@ Cache::Line *
 Cache::findLine(Addr line_addr)
 {
     const std::uint32_t set = setIndex(line_addr);
+    Line *const base = lines_.data() + std::size_t(set) * params_.assoc;
+    // Most hits land on the way that hit last time in this set; check it
+    // before sweeping the whole set.
+    const std::uint32_t hint = mruWay_[set];
+    if (base[hint].valid && base[hint].tag == line_addr)
+        return &base[hint];
     for (std::uint32_t way = 0; way < params_.assoc; ++way) {
-        Line &line = lines_[std::size_t(set) * params_.assoc + way];
-        if (line.valid && line.tag == line_addr)
+        Line &line = base[way];
+        if (line.valid && line.tag == line_addr) {
+            mruWay_[set] = way;
             return &line;
+        }
     }
     return nullptr;
 }
@@ -109,16 +118,22 @@ Cache::Line *
 Cache::insertLine(Addr line_addr, FillResult &result)
 {
     const std::uint32_t set = setIndex(line_addr);
+    Line *const base = lines_.data() + std::size_t(set) * params_.assoc;
     Line *victim = nullptr;
+    std::uint32_t victim_way = 0;
     for (std::uint32_t way = 0; way < params_.assoc; ++way) {
-        Line &line = lines_[std::size_t(set) * params_.assoc + way];
+        Line &line = base[way];
         if (!line.valid) {
             victim = &line;
+            victim_way = way;
             break;
         }
-        if (!victim || line.lastUse < victim->lastUse)
+        if (!victim || line.lastUse < victim->lastUse) {
             victim = &line;
+            victim_way = way;
+        }
     }
+    mruWay_[set] = victim_way;
     if (victim->valid) {
         ++evictions_;
         if (victim->dirty) {

@@ -132,6 +132,13 @@ class Cache
     CacheParams params_;
     std::uint32_t numSets_;
     std::vector<Line> lines_; ///< numSets_ * assoc, set-major.
+    /**
+     * Per-set most-recently-hit way. Pure lookup accelerator: findLine
+     * probes this way first before sweeping the set, exploiting the
+     * temporal locality of coalesced warp accesses. Never affects
+     * replacement or stats, so it is mutable for the const probe path.
+     */
+    mutable std::vector<std::uint32_t> mruWay_;
     std::unordered_map<Addr, MshrEntry> mshrs_;
     std::uint64_t useClock_ = 0;
 

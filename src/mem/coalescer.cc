@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <bit>
-#include <map>
-#include <set>
 
 #include "common/log.hh"
 
@@ -62,15 +60,36 @@ sharedMemPasses(const std::vector<LaneAccess> &accesses,
     VTSIM_ASSERT(isPowerOfTwo(num_banks), "bank count must be power of two");
     if (accesses.empty())
         return 0;
-    // bank -> set of distinct word addresses touched in that bank.
-    std::map<std::uint32_t, std::set<Addr>> banks;
+    // Passes = the largest number of distinct words mapping to one bank.
+    // A warp contributes at most warpSize accesses, so distinct words fit
+    // a stack array and the quadratic dedupe/count beats allocating the
+    // bank -> word-set map this used to build (this runs once per
+    // shared-memory instruction issued).
+    VTSIM_ASSERT(accesses.size() <= warpSize,
+                 "more shared accesses than lanes");
+    Addr words[warpSize];
+    std::uint32_t num_words = 0;
     for (const auto &acc : accesses) {
         const Addr word = acc.addr / 4;
-        banks[word & (num_banks - 1)].insert(word);
+        bool seen = false;
+        for (std::uint32_t i = 0; i < num_words; ++i) {
+            if (words[i] == word) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen)
+            words[num_words++] = word;
     }
     std::uint32_t passes = 1;
-    for (const auto &[bank, word_set] : banks) {
-        passes = std::max<std::uint32_t>(passes, word_set.size());
+    for (std::uint32_t i = 0; i < num_words; ++i) {
+        const Addr bank = words[i] & (num_banks - 1);
+        std::uint32_t in_bank = 1;
+        for (std::uint32_t j = i + 1; j < num_words; ++j) {
+            if ((words[j] & (num_banks - 1)) == bank)
+                ++in_bank;
+        }
+        passes = std::max(passes, in_bank);
     }
     return passes;
 }

@@ -51,6 +51,16 @@ BarrierManager::release(VirtualCtaId id)
 }
 
 void
+BarrierManager::releaseInto(VirtualCtaId id,
+                            std::vector<std::uint32_t> &out)
+{
+    auto it = waiting_.find(id);
+    VTSIM_ASSERT(it != waiting_.end(), "release for untracked CTA ", id);
+    out.clear();
+    std::swap(out, it->second);
+}
+
+void
 BarrierManager::ctaFinished(VirtualCtaId id)
 {
     auto it = waiting_.find(id);

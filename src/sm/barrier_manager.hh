@@ -37,6 +37,14 @@ class BarrierManager
     /** Release the barrier: returns the parked warps and clears state. */
     std::vector<std::uint32_t> release(VirtualCtaId id);
 
+    /**
+     * Allocation-free variant of release(): swaps the parked-warp list
+     * into @p out (clearing any previous contents), leaving the CTA's
+     * tracked list empty but with its capacity recycled on the next
+     * arrive(). Used on the hot issue path.
+     */
+    void releaseInto(VirtualCtaId id, std::vector<std::uint32_t> &out);
+
     /** Stop tracking a finished CTA. */
     void ctaFinished(VirtualCtaId id);
 

@@ -7,8 +7,8 @@ namespace vtsim {
 void
 Scoreboard::reset(std::uint32_t num_regs)
 {
-    pending_.assign(num_regs, false);
-    pendingLong_.assign(num_regs, false);
+    pending_.assign(num_regs, 0);
+    pendingLong_.assign(num_regs, 0);
     pendingCount_ = 0;
     pendingLongCount_ = 0;
 }
@@ -18,10 +18,10 @@ Scoreboard::reserve(RegIndex reg, bool long_latency)
 {
     VTSIM_ASSERT(reg < pending_.size(), "scoreboard reserve out of range");
     VTSIM_ASSERT(!pending_[reg], "double reserve of r", reg);
-    pending_[reg] = true;
+    pending_[reg] = 1;
     ++pendingCount_;
     if (long_latency) {
-        pendingLong_[reg] = true;
+        pendingLong_[reg] = 1;
         ++pendingLongCount_;
     }
 }
@@ -31,10 +31,10 @@ Scoreboard::release(RegIndex reg)
 {
     VTSIM_ASSERT(reg < pending_.size(), "scoreboard release out of range");
     VTSIM_ASSERT(pending_[reg], "release of idle r", reg);
-    pending_[reg] = false;
+    pending_[reg] = 0;
     --pendingCount_;
     if (pendingLong_[reg]) {
-        pendingLong_[reg] = false;
+        pendingLong_[reg] = 0;
         --pendingLongCount_;
     }
 }

@@ -44,8 +44,8 @@ class Scoreboard
     /** The in-flight write to @p reg completed. */
     void release(RegIndex reg);
 
-    bool pending(RegIndex reg) const { return pending_[reg]; }
-    bool pendingLong(RegIndex reg) const { return pendingLong_[reg]; }
+    bool pending(RegIndex reg) const { return pending_[reg] != 0; }
+    bool pendingLong(RegIndex reg) const { return pendingLong_[reg] != 0; }
 
     /** Number of registers with any write in flight. */
     std::uint32_t pendingCount() const { return pendingCount_; }
@@ -54,8 +54,10 @@ class Scoreboard
     std::uint32_t pendingLongCount() const { return pendingLongCount_; }
 
   private:
-    std::vector<bool> pending_;
-    std::vector<bool> pendingLong_;
+    // Byte flags, not vector<bool>: hasHazard() runs for every ready-warp
+    // candidate every cycle, and the bit-proxy masking is measurable there.
+    std::vector<std::uint8_t> pending_;
+    std::vector<std::uint8_t> pendingLong_;
     std::uint32_t pendingCount_ = 0;
     std::uint32_t pendingLongCount_ = 0;
 };

@@ -23,6 +23,11 @@ SmCore::SmCore(SmId id, const GpuConfig &config, Interconnect &noc)
         schedulers_.push_back(
             WarpScheduler::create(config.schedulerPolicy, active_set));
     }
+    ready_.resize(config.numSchedulers);
+    schedAlive_.assign(config.numSchedulers, 0);
+    schedFrozenAlive_.assign(config.numSchedulers, 0);
+    schedIssuableBarrier_.assign(config.numSchedulers, 0);
+    schedIssuableOffchip_.assign(config.numSchedulers, 0);
     stats_.addCounter("instructions", &instructionsIssued_,
                       "warp instructions issued");
     stats_.addCounter("thread_instructions", &threadInstructions_,
@@ -47,6 +52,15 @@ SmCore::launchKernel(const Kernel &kernel, const LaunchParams &launch,
     kernel_ = &kernel;
     launch_ = &launch;
     gmem_ = &gmem;
+
+    // Active CTAs respect the scheduling limit, so no sweep can see more
+    // than effMaxWarpsPerSm() candidates: size the scratch and the ready
+    // lists once here instead of growing them over the first ticks.
+    cands_.reserve(config_.effMaxWarpsPerSm());
+    refs_.reserve(config_.effMaxWarpsPerSm());
+    decodes_.reserve(config_.effMaxWarpsPerSm());
+    for (auto &list : ready_)
+        list.reserve(config_.effMaxWarpsPerSm());
 
     const std::uint32_t warps_per_cta = launch.warpsPerCta();
     const std::uint32_t regs_per_warp =
@@ -106,15 +120,24 @@ SmCore::admitCta(const CtaAssignment &assignment, Cycle now)
     cta.warpsAlive = warps;
     cta.schedWarps.assign(config_.numSchedulers, {});
     cta.aliveBySched.assign(config_.numSchedulers, 0);
+    cta.barrierBySched.assign(config_.numSchedulers, 0);
+    cta.offchipBySched.assign(config_.numSchedulers, 0);
     for (std::uint32_t w = 0; w < warps; ++w) {
         const std::uint32_t first = w * warpSize;
         const std::uint32_t live = std::min(warpSize, tpc - first);
-        cta.warps[w].init(slot, w, ActiveMask::firstLanes(live),
-                          kernel_->regsPerThread());
         const std::uint32_t sched =
             (cta.age * warps + w) % config_.numSchedulers;
+        cta.warps[w].init(slot, w, ActiveMask::firstLanes(live),
+                          kernel_->regsPerThread(), sched);
         cta.schedWarps[sched].push_back(w);
         ++cta.aliveBySched[sched];
+    }
+    // The CTA enters the aggregates as frozen (it is admitted Inactive);
+    // onAdmit may activate it at once, which fires onCtaIssuableChanged
+    // and moves the counters over and publishes the warps.
+    for (std::uint32_t s = 0; s < config_.numSchedulers; ++s) {
+        schedAlive_[s] += cta.aliveBySched[s];
+        schedFrozenAlive_[s] += cta.aliveBySched[s];
     }
 
     ++residentCount_;
@@ -169,16 +192,25 @@ SmCore::tick(Cycle now)
         const Writeback wb = wbQueue_.top();
         wbQueue_.pop();
         ctas_[wb.vcta].warps[wb.warpInCta].scoreboard().release(wb.reg);
+        refreshWarp(wb.vcta, wb.warpInCta);
     }
 
     // 3. Virtual Thread state machine: swap completions and decisions,
     //    based on the state warps are in *before* this cycle's issue.
     vt_.tick(now);
 
+    if (oracleEnabled())
+        verifyReadySets();
+
     // 4. Issue: each scheduler picks one warp among its ready ones. The
     //    same sweep gathers the bubble attribution, so a scheduler slot
     //    that issues nothing is classified without a second warp scan
-    //    (the outcome is identical to classifyIssueBubble()).
+    //    (the outcome is identical to classifyIssueBubble()). With
+    //    incremental ready sets the sweep visits only the ready list and
+    //    derives the bubble flags from the cached per-scheduler
+    //    counters; the else branch below is the original full rescan,
+    //    kept as the reference the oracle and the on/off property tests
+    //    compare against.
     const StallBreakdown before_issue = stalls_;
     IssueBudgets budgets{config_.aluThroughputPerSm,
                          config_.sfuThroughputPerSm,
@@ -186,56 +218,114 @@ SmCore::tick(Cycle now)
     for (std::uint32_t s = 0; s < config_.numSchedulers; ++s) {
         cands_.clear();
         refs_.clear();
-        bool any_warp = false;
-        bool any_frozen = false;
-        bool any_mem_blocked = false;
-        bool all_barrier = true;
-        for (VirtualCtaId slot = 0; slot < ctas_.size(); ++slot) {
-            VirtualCta &cta = ctas_[slot];
-            if (!cta.valid || cta.aliveBySched[s] == 0)
-                continue;
-            any_warp = true;
-            if (!vt_.isIssuable(slot)) {
-                any_frozen = true;
-                continue;
-            }
-            for (std::uint32_t w : cta.schedWarps[s]) {
+        decodes_.clear();
+        if (config_.incrementalReadySets) {
+            // Structural ports are constant within one scheduler's scan
+            // (issues by earlier schedulers already happened): hoist.
+            const bool ldst_ok = ldst_.canAccept();
+            const bool shmem_ok = shmem_.canAccept(now);
+            bool mem_blocked = false;
+            std::uint32_t ready_offchip = 0;
+            for (const std::uint64_t key : ready_[s]) {
+                const VirtualCtaId slot = key >> 8;
+                VirtualCta &cta = ctas_[slot];
+                const std::uint32_t w = key & 0xff;
                 WarpContext &warp = cta.warps[w];
-                if (warp.done())
-                    continue;
-                if (!warp.atBarrier())
-                    all_barrier = false;
-                const bool can_issue = warpCanIssueLocal(warp, now);
-                if (warp.pendingOffChip() > 0 && !can_issue)
-                    any_mem_blocked = true;
+                const Instruction &inst = kernel_->at(warp.stack().pc());
+                const bool can_issue =
+                    warp.readyAt() <= now &&
+                    (!inst.isGlobalMem() || ldst_ok) &&
+                    (!inst.isSharedMem() || shmem_ok);
+                if (warp.pendingOffChip() > 0) {
+                    ++ready_offchip;
+                    if (!can_issue)
+                        mem_blocked = true;
+                }
                 if (!can_issue)
                     continue;
-                if (!budgetAllows(kernel_->at(warp.stack().pc()), budgets))
+                if (!budgetAllows(inst, budgets))
                     continue;
-                const std::uint64_t key = cta.age * 256 + w;
-                cands_.push_back({key, key});
+                const std::uint64_t ckey = cta.age * 256 + w;
+                cands_.push_back({ckey, ckey});
                 refs_.emplace_back(slot, w);
+                decodes_.push_back(&inst);
+            }
+            if (cands_.empty()) {
+                // Off-chip warps missing from the ready list (barrier or
+                // hazard blocked) cannot issue, so they are mem-blocked
+                // without being visited.
+                BubbleKind kind = BubbleKind::Short;
+                const std::uint32_t issuable_alive =
+                    schedAlive_[s] - schedFrozenAlive_[s];
+                if (schedAlive_[s] == 0)
+                    kind = BubbleKind::Idle;
+                else if (mem_blocked ||
+                         schedIssuableOffchip_[s] > ready_offchip)
+                    kind = BubbleKind::Mem;
+                else if (issuable_alive == schedIssuableBarrier_[s] &&
+                         schedFrozenAlive_[s] == 0)
+                    kind = BubbleKind::Barrier;
+                else if (schedFrozenAlive_[s] > 0)
+                    kind = BubbleKind::Swap;
+                chargeBubble(kind, 1);
+                continue;
+            }
+        } else {
+            bool any_warp = false;
+            bool any_frozen = false;
+            bool any_mem_blocked = false;
+            bool all_barrier = true;
+            for (VirtualCtaId slot = 0; slot < ctas_.size(); ++slot) {
+                VirtualCta &cta = ctas_[slot];
+                if (!cta.valid || cta.aliveBySched[s] == 0)
+                    continue;
+                any_warp = true;
+                if (!vt_.isIssuable(slot)) {
+                    any_frozen = true;
+                    continue;
+                }
+                for (std::uint32_t w : cta.schedWarps[s]) {
+                    WarpContext &warp = cta.warps[w];
+                    if (warp.done())
+                        continue;
+                    if (!warp.atBarrier())
+                        all_barrier = false;
+                    const bool can_issue = warpCanIssueLocal(warp, now);
+                    if (warp.pendingOffChip() > 0 && !can_issue)
+                        any_mem_blocked = true;
+                    if (!can_issue)
+                        continue;
+                    const Instruction &inst =
+                        kernel_->at(warp.stack().pc());
+                    if (!budgetAllows(inst, budgets))
+                        continue;
+                    const std::uint64_t key = cta.age * 256 + w;
+                    cands_.push_back({key, key});
+                    refs_.emplace_back(slot, w);
+                    decodes_.push_back(&inst);
+                }
+            }
+            if (cands_.empty()) {
+                BubbleKind kind = BubbleKind::Short;
+                if (!any_warp)
+                    kind = BubbleKind::Idle;
+                else if (any_mem_blocked)
+                    kind = BubbleKind::Mem;
+                else if (all_barrier && !any_frozen)
+                    kind = BubbleKind::Barrier;
+                else if (any_frozen)
+                    kind = BubbleKind::Swap;
+                chargeBubble(kind, 1);
+                continue;
             }
         }
-        if (cands_.empty()) {
-            BubbleKind kind = BubbleKind::Short;
-            if (!any_warp)
-                kind = BubbleKind::Idle;
-            else if (any_mem_blocked)
-                kind = BubbleKind::Mem;
-            else if (all_barrier && !any_frozen)
-                kind = BubbleKind::Barrier;
-            else if (any_frozen)
-                kind = BubbleKind::Swap;
-            chargeBubble(kind, 1);
-            continue;
-        }
         const std::size_t chosen = schedulers_[s]->pick(cands_);
-        const auto [slot, w] = refs_.at(chosen);
+        const auto [slot, w] = refs_[chosen];
+        const Instruction &inst = *decodes_[chosen];
         VirtualCta &cta = ctas_[slot];
-        chargeBudget(kernel_->at(cta.warps[w].stack().pc()), budgets);
+        chargeBudget(inst, budgets);
         ++stalls_.issued;
-        issueWarp(cta, slot, cta.warps[w], now);
+        issueWarp(cta, slot, cta.warps[w], inst, now);
     }
 
     // 5. DYNCTA-style throttling: feed this cycle's observation into the
@@ -309,6 +399,38 @@ SmCore::classifyIssueBubble(std::uint32_t scheduler, Cycle now) const
     return BubbleKind::Short;
 }
 
+SmCore::BubbleKind
+SmCore::classifyIssueBubbleFast(std::uint32_t scheduler, Cycle now) const
+{
+    if (schedAlive_[scheduler] == 0)
+        return BubbleKind::Idle;
+    const bool ldst_ok = ldst_.canAccept();
+    bool mem_blocked = false;
+    std::uint32_t ready_offchip = 0;
+    for (const std::uint64_t key : ready_[scheduler]) {
+        const WarpContext &warp = ctas_[key >> 8].warps[key & 0xff];
+        if (warp.pendingOffChip() == 0)
+            continue;
+        ++ready_offchip;
+        const Instruction &inst = kernel_->at(warp.stack().pc());
+        if (warp.readyAt() > now || (inst.isGlobalMem() && !ldst_ok) ||
+            (inst.isSharedMem() && !shmem_.canAccept(now))) {
+            mem_blocked = true;
+        }
+    }
+    if (mem_blocked || schedIssuableOffchip_[scheduler] > ready_offchip)
+        return BubbleKind::Mem;
+    const std::uint32_t issuable_alive =
+        schedAlive_[scheduler] - schedFrozenAlive_[scheduler];
+    if (issuable_alive == schedIssuableBarrier_[scheduler] &&
+        schedFrozenAlive_[scheduler] == 0) {
+        return BubbleKind::Barrier;
+    }
+    if (schedFrozenAlive_[scheduler] > 0)
+        return BubbleKind::Swap;
+    return BubbleKind::Short;
+}
+
 void
 SmCore::chargeBubble(BubbleKind kind, std::uint64_t n)
 {
@@ -342,7 +464,28 @@ SmCore::nextEventCycle(Cycle now)
     // Warps of issuable CTAs: a short dependence maturing is an event;
     // a warp that could issue right now means no skipping at all. Warps
     // blocked on hazards, barriers, or off-chip memory unblock only via
-    // writeback/NoC events already accounted above or globally.
+    // writeback/NoC events already accounted above or globally — so the
+    // ready lists alone carry the warp term. (A hazard-blocked warp's
+    // readyAt is no event either: when the release event lands and
+    // publishes it, a still-future readyAt re-enters the horizon here.)
+    if (config_.incrementalReadySets) {
+        for (std::uint32_t s = 0; s < config_.numSchedulers; ++s) {
+            for (const std::uint64_t key : ready_[s]) {
+                const WarpContext &warp =
+                    ctas_[key >> 8].warps[key & 0xff];
+                if (warp.readyAt() > now) {
+                    next = std::min(next, warp.readyAt());
+                    continue;
+                }
+                const Instruction &inst = kernel_->at(warp.stack().pc());
+                if ((!inst.isGlobalMem() || ldst_.canAccept()) &&
+                    (!inst.isSharedMem() || shmem_.canAccept(now))) {
+                    return now;
+                }
+            }
+        }
+        return next;
+    }
     for (VirtualCtaId slot = 0; slot < ctas_.size(); ++slot) {
         const VirtualCta &cta = ctas_[slot];
         if (!cta.valid || cta.warpsAlive == 0 || !vt_.isIssuable(slot))
@@ -394,7 +537,9 @@ SmCore::accountIdleCycles(Cycle now, std::uint64_t n)
     vt_.fastForwardIdle(n);
     bool any_mem = false;
     for (std::uint32_t s = 0; s < config_.numSchedulers; ++s) {
-        const BubbleKind kind = classifyIssueBubble(s, now);
+        const BubbleKind kind = config_.incrementalReadySets
+                                    ? classifyIssueBubbleFast(s, now)
+                                    : classifyIssueBubble(s, now);
         chargeBubble(kind, n);
         any_mem = any_mem || kind == BubbleKind::Mem;
     }
@@ -406,17 +551,16 @@ SmCore::accountIdleCycles(Cycle now, std::uint64_t n)
 
 void
 SmCore::issueWarp(VirtualCta &cta, VirtualCtaId slot, WarpContext &warp,
-                  Cycle now)
+                  const Instruction &inst, Cycle now)
 {
     const Pc pc = warp.stack().pc();
-    const Instruction &inst = kernel_->at(pc);
     const ActiveMask mask = warp.stack().activeMask();
+    const std::uint32_t w = warp.warpInCta();
 
     VTSIM_TRACE(TraceFlag::Issue, now, stats_.name(), "cta ", slot, " w",
-                warp.warpInCta(), " pc ", pc, " [",
-                mask.count(), " lanes] ", disassemble(inst));
-    ExecResult res = execute(inst, warp.warpInCta(), mask, cta.func,
-                             *gmem_, *launch_);
+                w, " pc ", pc, " [", mask.count(), " lanes] ",
+                disassemble(inst));
+    ExecResult res = execute(inst, w, mask, cta.func, *gmem_, *launch_);
     warp.countIssue();
     ++instructionsIssued_;
     threadInstructions_ += mask.count();
@@ -431,23 +575,20 @@ SmCore::issueWarp(VirtualCta &cta, VirtualCtaId slot, WarpContext &warp,
         } else if (inst.isBarrier()) {
             warp.stack().advance();
             warp.setAtBarrier(true);
-            barriers_.arrive(slot, warp.warpInCta());
+            ++cta.barrierBySched[warp.schedId()];
+            ++schedIssuableBarrier_[warp.schedId()];
+            barriers_.arrive(slot, w);
             maybeReleaseBarrier(slot, now);
         } else { // EXIT
             warp.stack().exitActiveLanes();
             if (warp.done()) {
-                VTSIM_ASSERT(cta.warpsAlive > 0, "alive underflow");
-                --cta.warpsAlive;
-                const std::uint32_t sched =
-                    (cta.age * cta.warps.size() + warp.warpInCta()) %
-                    config_.numSchedulers;
-                VTSIM_ASSERT(cta.aliveBySched[sched] > 0,
-                             "per-scheduler alive underflow");
-                --cta.aliveBySched[sched];
-                if (cta.warpsAlive == 0)
+                retireWarpCounters(cta, warp);
+                refreshWarp(slot, w); // Retract before warps can clear.
+                if (cta.warpsAlive == 0) {
                     finishCta(slot, now);
-                else
-                    maybeReleaseBarrier(slot, now);
+                    return;
+                }
+                maybeReleaseBarrier(slot, now);
             }
         }
         break;
@@ -459,8 +600,7 @@ SmCore::issueWarp(VirtualCta &cta, VirtualCtaId slot, WarpContext &warp,
                                           : config_.aluLatency;
         if (inst.hasDst()) {
             warp.scoreboard().reserve(inst.dst, false);
-            wbQueue_.push({now + latency, slot, warp.warpInCta(),
-                           inst.dst});
+            wbQueue_.push({now + latency, slot, w, inst.dst});
         }
         warp.stack().advance();
         break;
@@ -476,16 +616,37 @@ SmCore::issueWarp(VirtualCta &cta, VirtualCtaId slot, WarpContext &warp,
             const Cycle done = shmem_.access(passes, now);
             if (inst.hasDst()) {
                 warp.scoreboard().reserve(inst.dst, false);
-                wbQueue_.push({done, slot, warp.warpInCta(), inst.dst});
+                wbQueue_.push({done, slot, w, inst.dst});
             }
         } else if (!res.globalAccesses.empty()) {
             if (inst.hasDst())
                 warp.scoreboard().reserve(inst.dst, true);
-            ldst_.issueGlobal(slot, warp.warpInCta(), inst,
-                              res.globalAccesses);
+            ldst_.issueGlobal(slot, w, inst, res.globalAccesses);
         }
         warp.stack().advance();
         break;
+    }
+    // The issued warp's PC, scoreboard, or barrier flag changed:
+    // re-derive its ready-set membership.
+    refreshWarp(slot, w);
+}
+
+void
+SmCore::retireWarpCounters(VirtualCta &cta, const WarpContext &warp)
+{
+    // Only an issuing warp can retire, so its CTA is Active: its alive
+    // count moves out of the plain aggregate, never the frozen one.
+    VTSIM_ASSERT(cta.warpsAlive > 0, "alive underflow");
+    --cta.warpsAlive;
+    const std::uint32_t sched = warp.schedId();
+    VTSIM_ASSERT(cta.aliveBySched[sched] > 0,
+                 "per-scheduler alive underflow");
+    --cta.aliveBySched[sched];
+    VTSIM_ASSERT(schedAlive_[sched] > 0, "aggregate alive underflow");
+    --schedAlive_[sched];
+    if (warp.pendingOffChip() > 0) {
+        --cta.offchipBySched[sched];
+        --schedIssuableOffchip_[sched];
     }
 }
 
@@ -495,9 +656,15 @@ SmCore::maybeReleaseBarrier(VirtualCtaId slot, Cycle now)
     VirtualCta &cta = ctas_[slot];
     if (!barriers_.shouldRelease(slot, cta.warpsAlive))
         return;
-    for (std::uint32_t w : barriers_.release(slot)) {
+    const bool issuable = vt_.isIssuable(slot);
+    barriers_.releaseInto(slot, barrierScratch_);
+    for (std::uint32_t w : barrierScratch_) {
         cta.warps[w].setAtBarrier(false);
+        --cta.barrierBySched[cta.warps[w].schedId()];
+        if (issuable)
+            --schedIssuableBarrier_[cta.warps[w].schedId()];
         cta.warps[w].setReadyAt(now + 1);
+        refreshWarp(slot, w);
     }
 }
 
@@ -510,12 +677,16 @@ SmCore::finishCta(VirtualCtaId slot, Cycle now)
                      "CTA retired with off-chip transactions in flight");
         maxSimtDepth_ = std::max(maxSimtDepth_, warp.stack().maxDepth());
     }
+    // All warps retired, so every counter and ready-list contribution of
+    // this CTA is already zero; no retraction needed here.
     vt_.onCtaFinished(slot, now);
     barriers_.ctaFinished(slot);
     cta.valid = false;
     cta.warps.clear();
     cta.schedWarps.clear();
     cta.aliveBySched.clear();
+    cta.barrierBySched.clear();
+    cta.offchipBySched.clear();
     freeSlots_.push_back(slot);
     VTSIM_ASSERT(residentCount_ > 0, "resident underflow");
     --residentCount_;
@@ -535,26 +706,42 @@ SmCore::loadComplete(VirtualCtaId vcta, std::uint32_t warp_in_cta,
     VTSIM_ASSERT(vcta < ctas_.size() && ctas_[vcta].valid,
                  "load completion for retired CTA");
     onExternalEvent();
-    if (dst != noReg)
+    if (dst != noReg) {
         ctas_[vcta].warps[warp_in_cta].scoreboard().release(dst);
+        refreshWarp(vcta, warp_in_cta);
+    }
 }
 
 void
 SmCore::offChipIssued(VirtualCtaId vcta, std::uint32_t warp_in_cta)
 {
     onExternalEvent();
-    ctas_[vcta].warps[warp_in_cta].addOffChip();
-    ++ctas_[vcta].pendingOffChipTotal;
+    VirtualCta &cta = ctas_[vcta];
+    WarpContext &warp = cta.warps[warp_in_cta];
+    warp.addOffChip();
+    ++cta.pendingOffChipTotal;
+    if (warp.pendingOffChip() == 1 && !warp.done()) {
+        ++cta.offchipBySched[warp.schedId()];
+        if (vt_.isIssuable(vcta))
+            ++schedIssuableOffchip_[warp.schedId()];
+    }
 }
 
 void
 SmCore::offChipReturned(VirtualCtaId vcta, std::uint32_t warp_in_cta)
 {
     onExternalEvent();
-    ctas_[vcta].warps[warp_in_cta].removeOffChip();
-    VTSIM_ASSERT(ctas_[vcta].pendingOffChipTotal > 0,
+    VirtualCta &cta = ctas_[vcta];
+    WarpContext &warp = cta.warps[warp_in_cta];
+    warp.removeOffChip();
+    VTSIM_ASSERT(cta.pendingOffChipTotal > 0,
                  "off-chip aggregate underflow");
-    --ctas_[vcta].pendingOffChipTotal;
+    --cta.pendingOffChipTotal;
+    if (warp.pendingOffChip() == 0 && !warp.done()) {
+        --cta.offchipBySched[warp.schedId()];
+        if (vt_.isIssuable(vcta))
+            --schedIssuableOffchip_[warp.schedId()];
+    }
 }
 
 bool
@@ -562,6 +749,24 @@ SmCore::ctaFullyStalled(VirtualCtaId id) const
 {
     const VirtualCta &cta = ctas_[id];
     VTSIM_ASSERT(cta.valid, "query on retired CTA");
+    // warpCanIssueLocal(warp, now, /*ignore_structural=*/true) is exactly
+    // warpReadyMember(warp) && readyAt <= now, so for an issuable CTA the
+    // ready lists already hold the member warps: range-scan them instead
+    // of re-deriving hazards for every warp (this runs per active CTA per
+    // cycle as the VT swap trigger's stall poll).
+    if (config_.incrementalReadySets && vt_.isIssuable(id)) {
+        const std::uint64_t lo = readyKey(id, 0);
+        for (const std::vector<std::uint64_t> &list : ready_) {
+            const auto first =
+                std::lower_bound(list.begin(), list.end(), lo);
+            const auto last = std::lower_bound(first, list.end(), lo + 256);
+            for (auto it = first; it != last; ++it) {
+                if (cta.warps[*it & 0xff].readyAt() <= now_)
+                    return false;
+            }
+        }
+        return true;
+    }
     for (const WarpContext &warp : cta.warps) {
         if (warp.done())
             continue;
@@ -576,6 +781,30 @@ SmCore::ctaAnyWarpLongStalled(VirtualCtaId id) const
 {
     const VirtualCta &cta = ctas_[id];
     VTSIM_ASSERT(cta.valid, "query on retired CTA");
+    // Same identity as ctaFullyStalled(): an off-chip warp is long-stalled
+    // unless it sits in a ready list with a mature readyAt. Comparing the
+    // issuable-now off-chip count against the CTA's off-chip total answers
+    // the existence query without scanning the warps.
+    if (config_.incrementalReadySets && vt_.isIssuable(id)) {
+        std::uint32_t offchip_total = 0;
+        for (std::uint32_t s = 0; s < config_.numSchedulers; ++s)
+            offchip_total += cta.offchipBySched[s];
+        if (offchip_total == 0)
+            return false;
+        std::uint32_t offchip_ready = 0;
+        const std::uint64_t lo = readyKey(id, 0);
+        for (const std::vector<std::uint64_t> &list : ready_) {
+            const auto first =
+                std::lower_bound(list.begin(), list.end(), lo);
+            const auto last = std::lower_bound(first, list.end(), lo + 256);
+            for (auto it = first; it != last; ++it) {
+                const WarpContext &warp = cta.warps[*it & 0xff];
+                if (warp.pendingOffChip() > 0 && warp.readyAt() <= now_)
+                    ++offchip_ready;
+            }
+        }
+        return offchip_ready < offchip_total;
+    }
     for (const WarpContext &warp : cta.warps) {
         if (warp.done())
             continue;
@@ -593,6 +822,111 @@ SmCore::ctaPendingOffChip(VirtualCtaId id) const
     const VirtualCta &cta = ctas_[id];
     VTSIM_ASSERT(cta.valid, "query on retired CTA");
     return cta.pendingOffChipTotal;
+}
+
+void
+SmCore::refreshWarp(VirtualCtaId slot, std::uint32_t w)
+{
+    const VirtualCta &cta = ctas_[slot];
+    if (!cta.valid)
+        return;
+    const WarpContext &warp = cta.warps[w];
+    const bool want = vt_.isIssuable(slot) && warpReadyMember(warp);
+    std::vector<std::uint64_t> &list = ready_[warp.schedId()];
+    const std::uint64_t key = readyKey(slot, w);
+    const auto it = std::lower_bound(list.begin(), list.end(), key);
+    const bool have = it != list.end() && *it == key;
+    if (want && !have)
+        list.insert(it, key);
+    else if (!want && have)
+        list.erase(it);
+}
+
+void
+SmCore::onCtaIssuableChanged(VirtualCtaId id, bool issuable)
+{
+    VirtualCta &cta = ctas_[id];
+    VTSIM_ASSERT(cta.valid, "issuability flip of retired CTA ", id);
+    for (std::uint32_t s = 0; s < config_.numSchedulers; ++s) {
+        if (issuable) {
+            VTSIM_ASSERT(schedFrozenAlive_[s] >= cta.aliveBySched[s],
+                         "frozen aggregate underflow");
+            schedFrozenAlive_[s] -= cta.aliveBySched[s];
+            schedIssuableBarrier_[s] += cta.barrierBySched[s];
+            schedIssuableOffchip_[s] += cta.offchipBySched[s];
+        } else {
+            schedFrozenAlive_[s] += cta.aliveBySched[s];
+            VTSIM_ASSERT(schedIssuableBarrier_[s] >= cta.barrierBySched[s]
+                         && schedIssuableOffchip_[s] >=
+                                cta.offchipBySched[s],
+                         "issuable aggregate underflow");
+            schedIssuableBarrier_[s] -= cta.barrierBySched[s];
+            schedIssuableOffchip_[s] -= cta.offchipBySched[s];
+        }
+    }
+    if (issuable) {
+        for (std::uint32_t w = 0; w < cta.warps.size(); ++w)
+            refreshWarp(id, w);
+    } else {
+        // The CTA's keys form one contiguous range in every list.
+        const std::uint64_t lo = readyKey(id, 0);
+        for (std::vector<std::uint64_t> &list : ready_) {
+            const auto first =
+                std::lower_bound(list.begin(), list.end(), lo);
+            const auto last =
+                std::lower_bound(first, list.end(), lo + 256);
+            list.erase(first, last);
+        }
+    }
+}
+
+void
+SmCore::verifyReadySets() const
+{
+    for (std::uint32_t s = 0; s < config_.numSchedulers; ++s) {
+        std::vector<std::uint64_t> expected;
+        std::uint32_t alive = 0;
+        std::uint32_t frozen_alive = 0;
+        std::uint32_t issuable_barrier = 0;
+        std::uint32_t issuable_offchip = 0;
+        for (VirtualCtaId slot = 0; slot < ctas_.size(); ++slot) {
+            const VirtualCta &cta = ctas_[slot];
+            if (!cta.valid)
+                continue;
+            alive += cta.aliveBySched[s];
+            const bool issuable = vt_.isIssuable(slot);
+            if (!issuable) {
+                frozen_alive += cta.aliveBySched[s];
+                continue;
+            }
+            std::uint32_t barrier = 0;
+            std::uint32_t offchip = 0;
+            for (std::uint32_t w : cta.schedWarps[s]) {
+                const WarpContext &warp = cta.warps[w];
+                if (warp.done())
+                    continue;
+                barrier += warp.atBarrier() ? 1 : 0;
+                offchip += warp.pendingOffChip() > 0 ? 1 : 0;
+                if (warpReadyMember(warp))
+                    expected.push_back(readyKey(slot, w));
+            }
+            VTSIM_ASSERT(barrier == cta.barrierBySched[s] &&
+                         offchip == cta.offchipBySched[s],
+                         "per-CTA ready counters diverged for cta ", slot,
+                         " sched ", s);
+            issuable_barrier += barrier;
+            issuable_offchip += offchip;
+        }
+        VTSIM_ASSERT(expected == ready_[s],
+                     "ready list diverged from full scan on sched ", s,
+                     " (", ready_[s].size(), " vs ", expected.size(),
+                     " entries)");
+        VTSIM_ASSERT(alive == schedAlive_[s] &&
+                     frozen_alive == schedFrozenAlive_[s] &&
+                     issuable_barrier == schedIssuableBarrier_[s] &&
+                     issuable_offchip == schedIssuableOffchip_[s],
+                     "ready aggregates diverged on sched ", s);
+    }
 }
 
 } // namespace vtsim

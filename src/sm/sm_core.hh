@@ -125,6 +125,7 @@ class SmCore : public LdstClient, public VtCtaQuery
     bool ctaFullyStalled(VirtualCtaId id) const override;
     bool ctaAnyWarpLongStalled(VirtualCtaId id) const override;
     std::uint32_t ctaPendingOffChip(VirtualCtaId id) const override;
+    void onCtaIssuableChanged(VirtualCtaId id, bool issuable) override;
 
   private:
     /** One resident (virtual) CTA: functional state + warp contexts. */
@@ -141,6 +142,12 @@ class SmCore : public LdstClient, public VtCtaQuery
         /** Live warps per scheduler slot: lets the sweep classify frozen
          *  or fully retired CTAs without visiting their warps. */
         std::vector<std::uint32_t> aliveBySched;
+        /** Live warps parked at the barrier, per scheduler slot. */
+        std::vector<std::uint32_t> barrierBySched;
+        /** Live warps with >= 1 off-chip transaction outstanding, per
+         *  scheduler slot: with barrierBySched, the counters the bubble
+         *  classifier reads instead of scanning warps. */
+        std::vector<std::uint32_t> offchipBySched;
         std::uint32_t warpsAlive = 0;
         /** Sum of the warps' pendingOffChip counts, so the VT swap-in
          *  readiness test does not rescan warps. */
@@ -178,17 +185,68 @@ class SmCore : public LdstClient, public VtCtaQuery
                       const IssueBudgets &budgets) const;
     void chargeBudget(const Instruction &inst, IssueBudgets &budgets) const;
     void issueWarp(VirtualCta &cta, VirtualCtaId slot, WarpContext &warp,
-                   Cycle now);
+                   const Instruction &inst, Cycle now);
     void maybeReleaseBarrier(VirtualCtaId slot, Cycle now);
     void finishCta(VirtualCtaId slot, Cycle now);
     BubbleKind classifyIssueBubble(std::uint32_t scheduler,
                                    Cycle now) const;
+    /** classifyIssueBubble over the ready set + cached counters instead
+     *  of a full warp scan: identical result in O(ready warps). */
+    BubbleKind classifyIssueBubbleFast(std::uint32_t scheduler,
+                                       Cycle now) const;
     void chargeBubble(BubbleKind kind, std::uint64_t n);
     /** The per-cycle bookkeeping of @p n eventless ticks at @p now. */
     void accountIdleCycles(Cycle now, std::uint64_t n);
     /** State changed from outside tick(): settle and drop the cached
      *  idle horizon. */
     void onExternalEvent();
+
+    // --- Incremental ready sets --------------------------------------------
+    /** Packed ready-list key; ascending order == the full sweep's
+     *  (slot, warp) visit order. Warp indices fit 8 bits by the same
+     *  argument as the schedulers' age * 256 + w candidate keys. */
+    static std::uint64_t readyKey(VirtualCtaId slot, std::uint32_t w)
+    { return (std::uint64_t(slot) << 8) | w; }
+
+    /** The warp-local, time-invariant part of issuability: alive, not at
+     *  the barrier, and no scoreboard hazard at its current PC. Combined
+     *  with the CTA's Active state this is the ready-set membership
+     *  rule; readyAt and the structural ports stay sweep-time checks. */
+    bool warpReadyMember(const WarpContext &warp) const
+    {
+        if (warp.done() || warp.atBarrier())
+            return false;
+        // With nothing in flight there is no hazard and the EXIT drain
+        // rule is vacuous: skip the decode entirely (the common case on
+        // the refresh-after-writeback path).
+        if (warp.scoreboard().pendingCount() == 0)
+            return true;
+        const Instruction &inst = kernel_->at(warp.stack().pc());
+        if (inst.isExit())
+            return false;
+        return !warp.scoreboard().hasHazard(inst);
+    }
+
+    /** Re-derive warp (slot, w)'s ready-set membership and insert or
+     *  remove its key accordingly. Idempotent; called after every state
+     *  transition that can change membership. */
+    void refreshWarp(VirtualCtaId slot, std::uint32_t w);
+
+    /** Retire warp @p w of issuable CTA @p slot: settle the alive /
+     *  barrier / off-chip counters it contributed to. */
+    void retireWarpCounters(VirtualCta &cta, const WarpContext &warp);
+
+    /** Cross-check ready sets and counters against a full scan. */
+    void verifyReadySets() const;
+
+    bool oracleEnabled() const
+    {
+#ifndef NDEBUG
+        return true;
+#else
+        return config_.readySetOracle;
+#endif
+    }
 
     SmId id_;
     const GpuConfig &config_;
@@ -212,6 +270,30 @@ class SmCore : public LdstClient, public VtCtaQuery
     // Issue-sweep scratch, reused across ticks to avoid reallocation.
     std::vector<WarpCandidate> cands_;
     std::vector<std::pair<VirtualCtaId, std::uint32_t>> refs_;
+    /** Candidates' decoded instructions, so the budget charge and the
+     *  issue itself reuse the sweep's kernel_->at(pc) lookup. */
+    std::vector<const Instruction *> decodes_;
+    /** Scratch for barrier releases (avoids a vector per release). */
+    std::vector<std::uint32_t> barrierScratch_;
+
+    /**
+     * Per-scheduler ready lists: packed (slot, warp) keys, ascending.
+     * A warp is listed iff its CTA is valid and Active and
+     * warpReadyMember() holds — maintained incrementally at every
+     * membership-changing transition (issue, writeback, load return,
+     * barrier arrive/release, warp retirement, VT activation/swap) and
+     * consumed by the issue sweep, the bubble classifier and
+     * nextEventCycle's warp term. See ARCHITECTURE.md "Issue-path data
+     * structures" for the invariants.
+     */
+    std::vector<std::vector<std::uint64_t>> ready_;
+    // Per-scheduler aggregates over all valid CTAs (schedAlive_,
+    // schedFrozenAlive_) and over Active CTAs only (the issuable pair) —
+    // exactly what the bubble classifier needs.
+    std::vector<std::uint32_t> schedAlive_;
+    std::vector<std::uint32_t> schedFrozenAlive_;
+    std::vector<std::uint32_t> schedIssuableBarrier_;
+    std::vector<std::uint32_t> schedIssuableOffchip_;
 
     struct Writeback
     {

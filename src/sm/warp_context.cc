@@ -6,10 +6,12 @@ namespace vtsim {
 
 void
 WarpContext::init(VirtualCtaId vcta, std::uint32_t warp_in_cta,
-                  ActiveMask live_lanes, std::uint32_t num_regs)
+                  ActiveMask live_lanes, std::uint32_t num_regs,
+                  std::uint32_t sched_id)
 {
     vcta_ = vcta;
     warpInCta_ = warp_in_cta;
+    schedId_ = sched_id;
     liveLanes_ = live_lanes;
     stack_.reset(live_lanes);
     scoreboard_.reset(num_regs);

@@ -19,12 +19,18 @@ namespace vtsim {
 class WarpContext
 {
   public:
-    /** (Re)initialise for a fresh CTA launch. */
+    /** (Re)initialise for a fresh CTA launch. @p sched_id is the warp
+     *  scheduler slot the warp is striped onto for its whole residency. */
     void init(VirtualCtaId vcta, std::uint32_t warp_in_cta,
-              ActiveMask live_lanes, std::uint32_t num_regs);
+              ActiveMask live_lanes, std::uint32_t num_regs,
+              std::uint32_t sched_id = 0);
 
     VirtualCtaId vcta() const { return vcta_; }
     std::uint32_t warpInCta() const { return warpInCta_; }
+    /** Scheduler slot owning this warp (the (age * warps + w) %
+     *  schedulers striping, cached so ready-set maintenance and warp
+     *  retirement never recompute it). */
+    std::uint32_t schedId() const { return schedId_; }
     ActiveMask liveLanes() const { return liveLanes_; }
 
     SimtStack &stack() { return stack_; }
@@ -56,6 +62,7 @@ class WarpContext
   private:
     VirtualCtaId vcta_ = invalidId;
     std::uint32_t warpInCta_ = 0;
+    std::uint32_t schedId_ = 0;
     ActiveMask liveLanes_;
     SimtStack stack_;
     Scoreboard scoreboard_;

@@ -37,6 +37,13 @@ class WarpScheduler
     /**
      * Choose among @p candidates (nonempty, deterministic order).
      * @return Index into @p candidates.
+     *
+     * Contract relied on by the SM's incremental ready-warp sets: the
+     * chosen *candidate* depends only on the multiset of (key, age)
+     * pairs, never on positional order. Every policy here satisfies it
+     * (keys are unique, comparisons are total), which is what lets the
+     * ready lists hand candidates over in sorted-key order and still
+     * reproduce the legacy full-scan pick bit for bit.
      */
     virtual std::size_t pick(const std::vector<WarpCandidate> &candidates)
         = 0;

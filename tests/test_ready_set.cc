@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Properties of the incrementally maintained ready-warp sets.
+ *
+ * Two guarantees back the O(ready warps) issue path:
+ *   (a) the per-scheduler ready lists and stall counters always agree
+ *       with a full rescan of every warp — checked every tick by the
+ *       in-simulator oracle (readySetOracle), which panics on the first
+ *       divergence; and
+ *   (b) the feature is stats-invisible: end-of-run KernelStats are bit
+ *       identical with incrementalReadySets on and off, on the baseline,
+ *       Virtual Thread, and CTA-throttled machines alike.
+ * Configurations are drawn from a seeded RNG so the properties are
+ * exercised across scheduler policies, scheduler counts, and both swap
+ * triggers, not just the defaults.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "test_util.hh"
+#include "workloads/workload.hh"
+
+namespace vtsim {
+namespace {
+
+using test::smallConfig;
+
+/** Every field of KernelStats, bit for bit. */
+void
+expectIdenticalStats(const KernelStats &a, const KernelStats &b,
+                     const std::string &context)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << context;
+    EXPECT_EQ(a.warpInstructions, b.warpInstructions) << context;
+    EXPECT_EQ(a.threadInstructions, b.threadInstructions) << context;
+    EXPECT_EQ(a.ctasCompleted, b.ctasCompleted) << context;
+    EXPECT_EQ(a.ipc, b.ipc) << context;
+    EXPECT_EQ(a.l1Hits, b.l1Hits) << context;
+    EXPECT_EQ(a.l1Misses, b.l1Misses) << context;
+    EXPECT_EQ(a.l2Hits, b.l2Hits) << context;
+    EXPECT_EQ(a.l2Misses, b.l2Misses) << context;
+    EXPECT_EQ(a.dramRowHits, b.dramRowHits) << context;
+    EXPECT_EQ(a.dramRowMisses, b.dramRowMisses) << context;
+    EXPECT_EQ(a.dramBytes, b.dramBytes) << context;
+    EXPECT_EQ(a.swapOuts, b.swapOuts) << context;
+    EXPECT_EQ(a.swapIns, b.swapIns) << context;
+    EXPECT_EQ(a.stalls.issued, b.stalls.issued) << context;
+    EXPECT_EQ(a.stalls.memStall, b.stalls.memStall) << context;
+    EXPECT_EQ(a.stalls.shortStall, b.stalls.shortStall) << context;
+    EXPECT_EQ(a.stalls.barrierStall, b.stalls.barrierStall) << context;
+    EXPECT_EQ(a.stalls.swapStall, b.stalls.swapStall) << context;
+    EXPECT_EQ(a.stalls.idle, b.stalls.idle) << context;
+}
+
+KernelStats
+runOn(const GpuConfig &cfg, const std::string &name)
+{
+    auto wl = makeWorkload(name, 0);
+    const Kernel k = wl->buildKernel();
+    Gpu gpu(cfg);
+    const LaunchParams lp = wl->prepare(gpu.memory());
+    const KernelStats stats = gpu.launch(k, lp);
+    EXPECT_TRUE(wl->verify(gpu.memory())) << name;
+    return stats;
+}
+
+/** Baseline, VT, and throttled variants of one base config. */
+std::vector<std::pair<std::string, GpuConfig>>
+machineVariants(const GpuConfig &base)
+{
+    GpuConfig vt = base;
+    vt.vtEnabled = true;
+    GpuConfig throttled = base;
+    throttled.throttleEnabled = true;
+    return {{"baseline", base}, {"vt", vt}, {"throttle", throttled}};
+}
+
+/** Draw a config variation from @p rng (scheduler shape + VT knobs). */
+GpuConfig
+randomConfig(std::mt19937 &rng)
+{
+    GpuConfig cfg = smallConfig();
+    const SchedulerPolicy policies[] = {SchedulerPolicy::LooseRoundRobin,
+                                        SchedulerPolicy::GreedyThenOldest,
+                                        SchedulerPolicy::TwoLevel};
+    cfg.schedulerPolicy = policies[rng() % 3];
+    cfg.numSchedulers = 1 + rng() % 4;
+    cfg.vtSwapTrigger = rng() % 2 == 0 ? VtSwapTrigger::AllWarpsStalled
+                                       : VtSwapTrigger::AnyWarpStalled;
+    cfg.vtStallThreshold = 2 + rng() % 6;
+    return cfg;
+}
+
+/**
+ * Property (a): the oracle cross-checks lists and counters against a
+ * full scan on every non-fast-forwarded tick and panics on divergence,
+ * so a clean run IS the assertion. Seeded-random configs x the three
+ * machines x a mix of barrier-heavy, divergent, and memory-bound
+ * workloads.
+ */
+TEST(ReadySet, OracleCleanAcrossRandomConfigs)
+{
+    std::mt19937 rng(20160618); // ISCA'16 vintage; fixed for repro.
+    const char *workloads[] = {"vecadd", "reduce", "bfs", "stencil",
+                               "histogram", "transpose"};
+    for (int draw = 0; draw < 4; ++draw) {
+        GpuConfig cfg = randomConfig(rng);
+        cfg.readySetOracle = true;
+        const std::string wl = workloads[rng() % 6];
+        for (auto &[tag, variant] : machineVariants(cfg))
+            runOn(variant, wl);
+    }
+}
+
+/** Property (b) on the three machines with the default config. */
+TEST(ReadySet, BitIdenticalStatsFeatureOnOff)
+{
+    GpuConfig on = smallConfig();
+    on.incrementalReadySets = true;
+    GpuConfig off = smallConfig();
+    off.incrementalReadySets = false;
+    for (const auto &name : {"vecadd", "reduce", "bfs", "matmul"}) {
+        const auto on_variants = machineVariants(on);
+        const auto off_variants = machineVariants(off);
+        for (std::size_t m = 0; m < on_variants.size(); ++m) {
+            const KernelStats a = runOn(on_variants[m].second, name);
+            const KernelStats b = runOn(off_variants[m].second, name);
+            expectIdenticalStats(a, b, on_variants[m].first + "/" + name);
+        }
+    }
+}
+
+/** Property (b) again under randomized scheduler/VT configurations. */
+TEST(ReadySet, BitIdenticalStatsFeatureOnOffRandomConfigs)
+{
+    std::mt19937 rng(0x5eed);
+    const char *workloads[] = {"vecadd", "bfs", "stencil", "histogram"};
+    for (int draw = 0; draw < 4; ++draw) {
+        const GpuConfig base = randomConfig(rng);
+        const std::string wl = workloads[rng() % 4];
+        GpuConfig on = base;
+        on.incrementalReadySets = true;
+        GpuConfig off = base;
+        off.incrementalReadySets = false;
+        const auto on_variants = machineVariants(on);
+        const auto off_variants = machineVariants(off);
+        for (std::size_t m = 0; m < on_variants.size(); ++m) {
+            const KernelStats a = runOn(on_variants[m].second, wl);
+            const KernelStats b = runOn(off_variants[m].second, wl);
+            expectIdenticalStats(a, b, "draw" + std::to_string(draw) + "/" +
+                                           on_variants[m].first + "/" + wl);
+        }
+    }
+}
+
+/** The oracle also holds with the sweep running the legacy full-scan
+ *  path (sets are maintained either way and must agree with it). */
+TEST(ReadySet, OracleCleanWithFeatureOff)
+{
+    GpuConfig cfg = smallConfig();
+    cfg.incrementalReadySets = false;
+    cfg.readySetOracle = true;
+    for (auto &[tag, variant] : machineVariants(cfg))
+        runOn(variant, "reduce");
+}
+
+} // namespace
+} // namespace vtsim
