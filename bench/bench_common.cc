@@ -4,14 +4,73 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
 
 #include "common/log.hh"
 
 namespace vtsim::bench {
 
+namespace {
+
+TelemetryOptions g_telemetry;
+
+} // namespace
+
+TelemetryOptions
+parseTelemetryArgs(int argc, char **argv)
+{
+    TelemetryOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--stats-json" && i + 1 < argc)
+            opts.statsJsonPath = argv[++i];
+        else if (arg.substr(0, 13) == "--stats-json=")
+            opts.statsJsonPath = argv[i] + 13;
+        else if (arg == "--stats-interval" && i + 1 < argc)
+            opts.statsInterval = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg.substr(0, 17) == "--stats-interval=")
+            opts.statsInterval = std::strtoull(argv[i] + 17, nullptr, 10);
+        else if (arg == "--trace-json" && i + 1 < argc)
+            opts.traceJsonPath = argv[++i];
+        else if (arg.substr(0, 13) == "--trace-json=")
+            opts.traceJsonPath = argv[i] + 13;
+    }
+    return opts;
+}
+
+void
+setTelemetryOptions(const TelemetryOptions &opts)
+{
+    g_telemetry = opts;
+}
+
+const TelemetryOptions &
+telemetryOptions()
+{
+    return g_telemetry;
+}
+
+std::string
+indexedPath(const std::string &path, std::size_t index)
+{
+    if (index == 0)
+        return path;
+    const auto dot = path.rfind('.');
+    const auto slash = path.rfind('/');
+    const bool has_ext =
+        dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash);
+    const std::string suffix = "." + std::to_string(index);
+    if (!has_ext)
+        return path + suffix;
+    return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
 RunResult
 runWorkload(const std::string &workload_name, const GpuConfig &config,
-            std::uint32_t scale)
+            std::uint32_t scale, std::size_t run_index)
 {
     auto workload = makeWorkload(workload_name, scale);
     const Kernel kernel = workload->buildKernel();
@@ -21,6 +80,13 @@ runWorkload(const std::string &workload_name, const GpuConfig &config,
 
     RunResult result;
     result.workload = workload_name;
+    std::ostringstream interval_series;
+    if (g_telemetry.statsInterval > 0)
+        gpu.enableIntervalSampler(g_telemetry.statsInterval,
+                                  interval_series);
+    if (!g_telemetry.traceJsonPath.empty())
+        gpu.enableTraceJson(indexedPath(g_telemetry.traceJsonPath,
+                                        run_index));
     const auto start = std::chrono::steady_clock::now();
     result.stats = gpu.launch(kernel, lp);
     result.wallSeconds = std::chrono::duration<double>(
@@ -29,6 +95,7 @@ runWorkload(const std::string &workload_name, const GpuConfig &config,
         result.maxSimtDepth =
             std::max(result.maxSimtDepth, gpu.sm(i).maxSimtDepthSeen());
     }
+    result.intervalSeries = interval_series.str();
     // Simulator-speed row (stderr: stdout stays byte-stable across
     // hosts so figure output remains diffable).
     std::fprintf(stderr,

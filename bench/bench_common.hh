@@ -16,6 +16,34 @@
 
 namespace vtsim::bench {
 
+/**
+ * Machine-readable telemetry switches every figure/table binary accepts
+ * (parsed by parseTelemetryArgs, applied process-wide before the runs):
+ *   --stats-json <path>       full per-run KernelStats + sim-rate JSON
+ *   --stats-interval <cycles> per-run interval JSONL series (embedded in
+ *                             the stats JSON as "intervals")
+ *   --trace-json <path>       per-run Perfetto trace (run N > 0 writes
+ *                             <stem>.N<ext> so parallel runs never share
+ *                             a file)
+ */
+struct TelemetryOptions
+{
+    std::string statsJsonPath;
+    Cycle statsInterval = 0;
+    std::string traceJsonPath;
+};
+
+/** Scan argv for the telemetry switches (unknown args are ignored). */
+TelemetryOptions parseTelemetryArgs(int argc, char **argv);
+
+/** Install @p opts for subsequent runWorkload calls. Not thread-safe:
+ *  call before fanning out the pool. */
+void setTelemetryOptions(const TelemetryOptions &opts);
+const TelemetryOptions &telemetryOptions();
+
+/** @p path with ".<index>" before the extension; bare for index 0. */
+std::string indexedPath(const std::string &path, std::size_t index);
+
 /** Result of one simulated run. */
 struct RunResult
 {
@@ -26,6 +54,8 @@ struct RunResult
     double wallSeconds = 0.0;
     /** Deepest SIMT reconvergence stack observed on any SM. */
     std::uint32_t maxSimtDepth = 0;
+    /** Interval-sampler JSONL series (empty unless --stats-interval). */
+    std::string intervalSeries;
 
     /** Simulator speed: simulated kilocycles per host second. */
     double kcyclesPerSec() const
@@ -46,10 +76,12 @@ struct RunResult
 /**
  * Simulate @p workload_name at @p scale on a fresh GPU with @p config.
  * The run always verifies functional results and aborts on mismatch —
- * a timing experiment on wrong answers is meaningless.
+ * a timing experiment on wrong answers is meaningless. @p run_index
+ * names this run's slice of any per-run telemetry output files.
  */
 RunResult runWorkload(const std::string &workload_name,
-                      const GpuConfig &config, std::uint32_t scale = 1);
+                      const GpuConfig &config, std::uint32_t scale = 1,
+                      std::size_t run_index = 0);
 
 /** Geometric mean of a vector of positive ratios. */
 double geomean(const std::vector<double> &values);

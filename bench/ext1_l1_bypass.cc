@@ -39,7 +39,7 @@ main(int argc, char **argv)
         specs.push_back({name, byp, benchScale});
         specs.push_back({name, both, benchScale});
     }
-    const auto results = runAll(specs, resolveJobs(argc, argv));
+    const auto results = runAll(specs, argc, argv);
 
     std::printf("%-14s %10s %10s %10s\n", "benchmark", "vt",
                 "bypass", "vt+bypass");

@@ -30,7 +30,7 @@ main(int argc, char **argv)
         specs.push_back({name, base, benchScale});
         specs.push_back({name, vt, benchScale});
     }
-    const auto results = runAll(specs, resolveJobs(argc, argv));
+    const auto results = runAll(specs, argc, argv);
 
     std::printf("%-14s %10s %10s %8s %8s\n", "benchmark", "base-IPC",
                 "vt-IPC", "speedup", "swaps");

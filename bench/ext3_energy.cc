@@ -34,7 +34,7 @@ main(int argc, char **argv)
         specs.push_back({name, base, benchScale});
         specs.push_back({name, vt, benchScale});
     }
-    const auto results = runAll(specs, resolveJobs(argc, argv));
+    const auto results = runAll(specs, argc, argv);
 
     std::printf("%-14s %9s %9s %8s %10s %12s\n", "benchmark",
                 "base(uJ)", "vt(uJ)", "ratio", "swap(nJ)", "EDP-ratio");

@@ -34,7 +34,7 @@ main(int argc, char **argv)
         specs.push_back({name, thr, benchScale});
         specs.push_back({name, vt, benchScale});
     }
-    const auto results = runAll(specs, resolveJobs(argc, argv));
+    const auto results = runAll(specs, argc, argv);
 
     std::printf("%-14s %10s %10s\n", "benchmark", "throttle", "vt");
     std::vector<double> thr_ratios, vt_ratios;

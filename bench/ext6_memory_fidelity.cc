@@ -40,7 +40,7 @@ main(int argc, char **argv)
             specs.push_back({name, vt, benchScale});
         }
     }
-    const auto results = runAll(specs, resolveJobs(argc, argv));
+    const auto results = runAll(specs, argc, argv);
 
     std::printf("%-14s %10s %12s %12s\n", "benchmark", "faithful",
                 "fcfs-dram", "32-mshr-l1");

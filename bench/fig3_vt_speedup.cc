@@ -30,7 +30,7 @@ main(int argc, char **argv)
         specs.push_back({name, base_cfg, benchScale});
         specs.push_back({name, vt_cfg, benchScale});
     }
-    const auto results = runAll(specs, resolveJobs(argc, argv));
+    const auto results = runAll(specs, argc, argv);
 
     std::printf("%-14s %-20s %10s %10s %8s %8s\n", "benchmark", "class",
                 "base-IPC", "vt-IPC", "speedup", "swaps");

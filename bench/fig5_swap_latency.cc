@@ -35,7 +35,7 @@ main(int argc, char **argv)
             specs.push_back({name, vt, benchScale});
         }
     }
-    const auto results = runAll(specs, resolveJobs(argc, argv));
+    const auto results = runAll(specs, argc, argv);
 
     std::printf("%-14s", "benchmark");
     for (auto l : latencies)

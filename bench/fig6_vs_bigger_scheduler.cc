@@ -35,7 +35,7 @@ main(int argc, char **argv)
         specs.push_back({name, x2, benchScale});
         specs.push_back({name, x4, benchScale});
     }
-    const auto results = runAll(specs, resolveJobs(argc, argv));
+    const auto results = runAll(specs, argc, argv);
 
     std::printf("%-14s %8s %8s %8s %10s\n", "benchmark", "vt",
                 "ideal-x2", "ideal-x4", "vt/ideal-x2");

@@ -50,7 +50,7 @@ main(int argc, char **argv)
         specs.push_back({name, base, benchScale});
         specs.push_back({name, vt, benchScale});
     }
-    const auto results = runAll(specs, resolveJobs(argc, argv));
+    const auto results = runAll(specs, argc, argv);
 
     std::printf("%-14s %-5s %8s %8s %8s %8s %8s %8s | %5s %5s\n",
                 "benchmark", "mach", "issue", "mem", "short", "barrier",

@@ -55,7 +55,7 @@ main(int argc, char **argv)
             specs.push_back({name, cfg, benchScale});
         }
     }
-    const auto results = runAll(specs, resolveJobs(argc, argv));
+    const auto results = runAll(specs, argc, argv);
 
     std::printf("%-14s", "benchmark");
     for (const auto &v : variants)

@@ -5,9 +5,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <string_view>
 #include <thread>
+
+#include "common/log.hh"
+#include "common/trace.hh"
 
 namespace vtsim::bench {
 
@@ -17,6 +22,23 @@ unsigned
 clampJobs(long n)
 {
     return n < 1 ? 1u : static_cast<unsigned>(n);
+}
+
+/** Shortest round-trippable decimal form of @p v. */
+std::string
+jsonDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[40];
+        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(probe, "%lf", &back);
+        if (back == v)
+            return probe;
+    }
+    return buf;
 }
 
 } // namespace
@@ -51,7 +73,8 @@ runAll(const std::vector<RunSpec> &specs, unsigned jobs)
                 return;
             try {
                 results[i] = runWorkload(specs[i].workload,
-                                         specs[i].config, specs[i].scale);
+                                         specs[i].config, specs[i].scale,
+                                         i);
             } catch (...) {
                 const std::lock_guard<std::mutex> guard(error_mutex);
                 if (!first_error)
@@ -61,8 +84,15 @@ runAll(const std::vector<RunSpec> &specs, unsigned jobs)
     };
 
     const auto start = std::chrono::steady_clock::now();
-    const unsigned pool_size = static_cast<unsigned>(
+    unsigned pool_size = static_cast<unsigned>(
         std::min<std::size_t>(jobs, specs.size()));
+    if (pool_size > 1 && Trace::instance().anyEnabled()) {
+        // The textual Trace sink is process-global and unsynchronized
+        // (trace.hh); concurrent Gpus would interleave its lines.
+        std::fprintf(stderr, "[parallel-runner] global trace sink "
+                             "enabled; forcing jobs=1\n");
+        pool_size = 1;
+    }
     if (pool_size <= 1) {
         worker(); // Sequential: no threads, easiest to debug.
     } else {
@@ -93,6 +123,96 @@ runAll(const std::vector<RunSpec> &specs, unsigned jobs)
                  cycles / safe_wall / 1e3,
                  thread_instructions / safe_wall / 1e6);
     return results;
+}
+
+std::vector<RunResult>
+runAll(const std::vector<RunSpec> &specs, int argc, char **argv)
+{
+    setTelemetryOptions(parseTelemetryArgs(argc, argv));
+    auto results = runAll(specs, resolveJobs(argc, argv));
+    const TelemetryOptions &opts = telemetryOptions();
+    if (!opts.statsJsonPath.empty())
+        writeStatsJson(opts.statsJsonPath, specs, results);
+    return results;
+}
+
+void
+writeStatsJson(const std::string &path,
+               const std::vector<RunSpec> &specs,
+               const std::vector<RunResult> &results)
+{
+    VTSIM_ASSERT(specs.size() == results.size(),
+                 "stats JSON with mismatched specs/results");
+    std::ofstream os(path);
+    if (!os)
+        VTSIM_FATAL("cannot open stats-json file '", path, "'");
+
+    os << "{\n  \"schema\": \"vtsim-stats-v1\",\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunSpec &spec = specs[i];
+        const RunResult &r = results[i];
+        const KernelStats &s = r.stats;
+        os << "    {\n"
+           << "      \"workload\": \"" << r.workload << "\",\n"
+           << "      \"scale\": " << spec.scale << ",\n"
+           << "      \"config\": {"
+           << "\"num_sms\": " << spec.config.numSms
+           << ", \"vt_enabled\": "
+           << (spec.config.vtEnabled ? "true" : "false")
+           << ", \"throttle_enabled\": "
+           << (spec.config.throttleEnabled ? "true" : "false")
+           << ", \"fast_forward\": "
+           << (spec.config.fastForwardEnabled ? "true" : "false")
+           << "},\n"
+           << "      \"verified\": " << (r.verified ? "true" : "false")
+           << ",\n"
+           << "      \"wall_seconds\": " << jsonDouble(r.wallSeconds)
+           << ",\n"
+           << "      \"kcycles_per_sec\": " << jsonDouble(r.kcyclesPerSec())
+           << ",\n"
+           << "      \"mips\": " << jsonDouble(r.mips()) << ",\n"
+           << "      \"max_simt_depth\": " << r.maxSimtDepth << ",\n"
+           << "      \"stats\": {\n"
+           << "        \"cycles\": " << s.cycles << ",\n"
+           << "        \"ipc\": " << jsonDouble(s.ipc) << ",\n"
+           << "        \"warp_instructions\": " << s.warpInstructions
+           << ",\n"
+           << "        \"thread_instructions\": " << s.threadInstructions
+           << ",\n"
+           << "        \"ctas_completed\": " << s.ctasCompleted << ",\n"
+           << "        \"l1_hits\": " << s.l1Hits << ",\n"
+           << "        \"l1_misses\": " << s.l1Misses << ",\n"
+           << "        \"l2_hits\": " << s.l2Hits << ",\n"
+           << "        \"l2_misses\": " << s.l2Misses << ",\n"
+           << "        \"dram_row_hits\": " << s.dramRowHits << ",\n"
+           << "        \"dram_row_misses\": " << s.dramRowMisses << ",\n"
+           << "        \"dram_bytes\": " << s.dramBytes << ",\n"
+           << "        \"swap_outs\": " << s.swapOuts << ",\n"
+           << "        \"swap_ins\": " << s.swapIns << ",\n"
+           << "        \"stalls\": {"
+           << "\"issued\": " << s.stalls.issued
+           << ", \"mem\": " << s.stalls.memStall
+           << ", \"short\": " << s.stalls.shortStall
+           << ", \"barrier\": " << s.stalls.barrierStall
+           << ", \"swap\": " << s.stalls.swapStall
+           << ", \"idle\": " << s.stalls.idle << "}\n"
+           << "      },\n"
+           << "      \"intervals\": [";
+        // The interval series is JSONL — one object per line, already
+        // valid JSON: embed the lines as array elements.
+        bool first_line = true;
+        std::istringstream lines(r.intervalSeries);
+        std::string line;
+        while (std::getline(lines, line)) {
+            if (line.empty())
+                continue;
+            os << (first_line ? "\n        " : ",\n        ") << line;
+            first_line = false;
+        }
+        os << (first_line ? "]" : "\n      ]") << "\n    }"
+           << (i + 1 < results.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
 }
 
 } // namespace vtsim::bench

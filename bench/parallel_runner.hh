@@ -41,10 +41,31 @@ unsigned resolveJobs(int argc, char **argv);
  * Simulate every spec, at most @p jobs concurrently, each on its own
  * Gpu. results[i] corresponds to specs[i]. Prints a batch wall-clock /
  * sim-rate summary to stderr. The first worker exception is rethrown
- * on the calling thread after the pool drains.
+ * on the calling thread after the pool drains. While the global
+ * textual Trace sink is enabled (see trace.hh), the pool is forced to
+ * one job — interleaved trace lines from concurrent Gpus would be
+ * garbage.
  */
 std::vector<RunResult> runAll(const std::vector<RunSpec> &specs,
                               unsigned jobs);
+
+/**
+ * The figure-binary entry point: parse the telemetry switches
+ * (--stats-json / --stats-interval / --trace-json, see bench_common.hh)
+ * and --jobs/VTSIM_JOBS from @p argv, run every spec, and write the
+ * stats JSON when requested.
+ */
+std::vector<RunResult> runAll(const std::vector<RunSpec> &specs,
+                              int argc, char **argv);
+
+/**
+ * Write the batch as "vtsim-stats-v1" JSON: one entry per run with the
+ * workload, a config digest, verification flag, sim-rate numbers, the
+ * full KernelStats and the interval series (when sampled).
+ */
+void writeStatsJson(const std::string &path,
+                    const std::vector<RunSpec> &specs,
+                    const std::vector<RunResult> &results);
 
 } // namespace vtsim::bench
 

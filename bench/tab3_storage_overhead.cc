@@ -58,7 +58,7 @@ main(int argc, char **argv)
     std::vector<RunSpec> specs;
     for (const auto &name : names)
         specs.push_back({name, base, 0});
-    const auto results = runAll(specs, resolveJobs(argc, argv));
+    const auto results = runAll(specs, argc, argv);
     for (std::size_t i = 0; i < names.size(); ++i) {
         std::printf("  %-14s max SIMT stack depth %u\n",
                     names[i].c_str(), results[i].maxSimtDepth);

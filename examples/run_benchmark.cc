@@ -39,8 +39,14 @@ usage()
                  "       [--scheduler lrr|gto|two-level] [--sms N] "
                  "[--scale N]\n"
                  "       [--bypass-l1] [--throttle] [--trace FLAGS]\n"
+                 "       [--stats-interval N] [--trace-json PATH]\n"
                  "       [--dump-stats] | --list\n"
-                 "  trace flags: issue,mem,swap,cta,dram,all (to stderr)\n");
+                 "  trace flags: issue,mem,swap,cta,dram,barrier,all "
+                 "(to stderr)\n"
+                 "  --stats-interval: stat-delta JSONL every N cycles "
+                 "(to stderr)\n"
+                 "  --trace-json: Perfetto trace (load at "
+                 "ui.perfetto.dev)\n");
     std::exit(2);
 }
 
@@ -67,6 +73,8 @@ try {
     GpuConfig cfg = GpuConfig::fermiLike();
     std::uint32_t scale = 1;
     bool dump_stats = false;
+    Cycle stats_interval = 0;
+    std::string trace_json_path;
 
     auto next_value = [&args](std::size_t &i) -> std::string {
         if (++i >= args.size())
@@ -103,6 +111,10 @@ try {
         } else if (a == "--trace") {
             Trace::instance().enable(Trace::parseFlags(next_value(i)),
                                      &std::cerr);
+        } else if (a == "--stats-interval") {
+            stats_interval = std::stoull(next_value(i));
+        } else if (a == "--trace-json") {
+            trace_json_path = next_value(i);
         } else if (a == "--dump-stats") {
             dump_stats = true;
         } else {
@@ -113,6 +125,10 @@ try {
     auto wl = makeWorkload(name, scale);
     const Kernel kernel = wl->buildKernel();
     Gpu gpu(cfg);
+    if (stats_interval > 0)
+        gpu.enableIntervalSampler(stats_interval, std::cerr);
+    if (!trace_json_path.empty())
+        gpu.enableTraceJson(trace_json_path);
     const LaunchParams lp = wl->prepare(gpu.memory());
     const KernelStats stats = gpu.launch(kernel, lp);
     const bool ok = wl->verify(gpu.memory());

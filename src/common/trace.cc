@@ -46,6 +46,8 @@ Trace::parseFlags(const std::string &list)
             flags = flags | TraceFlag::Cta;
         else if (name == "dram")
             flags = flags | TraceFlag::Dram;
+        else if (name == "barrier")
+            flags = flags | TraceFlag::Barrier;
         else if (name == "all")
             flags = flags | TraceFlag::All;
         else if (!name.empty())

@@ -4,9 +4,16 @@
  * event lines, written to a caller-supplied stream, and free when
  * disabled (a single mask test guards all formatting).
  *
- * The simulator is single-threaded, so the sink is a process-global
- * registry (as in gem5); tests swap the stream in and out around the
- * region they observe.
+ * THREADING: one simulated Gpu is single-threaded, so the sink is a
+ * process-global registry (as in gem5) and is deliberately
+ * unsynchronized; tests swap the stream in and out around the region
+ * they observe. The parallel experiment runner (bench/parallel_runner)
+ * fans hermetic Gpus across a thread pool, where a shared global sink
+ * would interleave lines and race — so the runner refuses to fan out
+ * while any flag is enabled (anyEnabled()) and falls back to one job.
+ * Telemetry sinks that must compose with the pool — the Perfetto
+ * exporter in telemetry/trace_json.hh and the interval sampler — are
+ * per-Gpu objects instead of going through this facade.
  */
 
 #ifndef VTSIM_COMMON_TRACE_HH
@@ -30,6 +37,7 @@ enum class TraceFlag : std::uint32_t
     Swap = 1u << 2,  ///< Virtual Thread state transitions.
     Cta = 1u << 3,   ///< CTA admission/retirement.
     Dram = 1u << 4,  ///< DRAM command scheduling.
+    Barrier = 1u << 5, ///< Barrier releases.
     All = 0xffffffffu,
 };
 
@@ -58,6 +66,10 @@ class Trace
         return (mask_ & static_cast<std::uint32_t>(flag)) != 0 &&
                out_ != nullptr;
     }
+
+    /** Any category routed anywhere? (The parallel runner's single-job
+     *  guard — see the threading note in the file comment.) */
+    bool anyEnabled() const { return mask_ != 0 && out_ != nullptr; }
 
     /** Emit one event line: "<cycle>: <component>: <message>". */
     void log(TraceFlag flag, Cycle cycle, const std::string &component,

@@ -5,6 +5,7 @@
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "telemetry/trace_json.hh"
 
 namespace vtsim {
 
@@ -22,7 +23,7 @@ toString(CtaState state)
 
 VirtualThreadManager::VirtualThreadManager(const GpuConfig &config,
                                            VtCtaQuery &query, SmId sm_id)
-    : config_(config), query_(query),
+    : config_(config), query_(query), smId_(sm_id),
       stats_("sm" + std::to_string(sm_id) + ".vt")
 {
     stats_.addCounter("swap_outs", &swapOuts_, "CTA swap-outs");
@@ -35,6 +36,18 @@ VirtualThreadManager::VirtualThreadManager(const GpuConfig &config,
                      "resident CTAs sampled per cycle");
     stats_.addScalar("active_ctas", &activeSamples_,
                      "active CTAs sampled per cycle");
+    stats_.addHistogram("swap_stall_streak", &swapStallStreak_,
+                        "victim stall streak at swap-out (cycles)");
+}
+
+void
+VirtualThreadManager::traceStateChange(VirtualCtaId id, CtaState state,
+                                       Cycle now)
+{
+    if (!traceJson_)
+        return;
+    traceJson_->end(smId_, id, now);
+    traceJson_->begin(smId_, id, now, toString(state), "vt");
 }
 
 void
@@ -94,9 +107,11 @@ VirtualThreadManager::activate(VirtualCtaId id, Cycle now)
         rec.state = CtaState::SwappingIn;
         rec.transitionAt = now + config_.vtSwapInLatency;
         ++swapIns_;
+        traceStateChange(id, CtaState::SwappingIn, now);
     } else {
         rec.state = CtaState::Active;
         ++freshActivations_;
+        traceStateChange(id, CtaState::Active, now);
         query_.onCtaIssuableChanged(id, true);
     }
 }
@@ -130,6 +145,10 @@ VirtualThreadManager::onAdmit(VirtualCtaId id, Cycle now)
 
     VTSIM_TRACE(TraceFlag::Cta, now, stats_.name(), "admit cta ", id,
                 " (resident ", residentCount_, ")");
+    if (traceJson_) {
+        traceJson_->instant(smId_, id, now, "admit", "cta");
+        traceJson_->begin(smId_, id, now, toString(rec.state), "vt");
+    }
     if (activeSlotFree())
         activate(id, now);
 }
@@ -142,6 +161,10 @@ VirtualThreadManager::onCtaFinished(VirtualCtaId id, Cycle now)
     VTSIM_ASSERT(ctas_[id].state == CtaState::Active,
                  "CTA ", id, " finished while ", toString(ctas_[id].state));
     VTSIM_TRACE(TraceFlag::Cta, now, stats_.name(), "finish cta ", id);
+    if (traceJson_) {
+        traceJson_->end(smId_, id, now);
+        traceJson_->instant(smId_, id, now, "finish", "cta");
+    }
     releaseActiveSlot();
     regsInUse_ -= fp_.regsPerCta;
     sharedInUse_ -= fp_.sharedPerCta;
@@ -279,9 +302,11 @@ VirtualThreadManager::tick(Cycle now)
             continue;
         if (rec.state == CtaState::SwappingOut) {
             rec.state = CtaState::Inactive;
+            traceStateChange(id, CtaState::Inactive, now);
         } else if (rec.state == CtaState::SwappingIn) {
             rec.state = CtaState::Active;
             rec.stalledFor = 0;
+            traceStateChange(id, CtaState::Active, now);
             query_.onCtaIssuableChanged(id, true);
         }
     }
@@ -338,9 +363,11 @@ VirtualThreadManager::tick(Cycle now)
                 victim, " (stalled ", ctas_[victim].stalledFor,
                 " cycles), swap in cta ", incoming);
     CtaRec &out = ctas_[victim];
+    swapStallStreak_.sample(out.stalledFor);
     out.state = CtaState::SwappingOut;
     out.transitionAt = now + config_.vtSwapOutLatency;
     out.everSwapped = true;
+    traceStateChange(victim, CtaState::SwappingOut, now);
     query_.onCtaIssuableChanged(victim, false);
     ++swapOuts_;
     releaseActiveSlot();
@@ -359,6 +386,7 @@ VirtualThreadManager::tick(Cycle now)
     in.transitionAt = now + config_.vtSwapOutLatency +
                       config_.vtSwapInLatency;
     ++swapIns_;
+    traceStateChange(incoming, CtaState::SwappingIn, now);
 }
 
 } // namespace vtsim

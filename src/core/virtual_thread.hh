@@ -37,6 +37,10 @@
 #include "config/gpu_config.hh"
 #include "stats/stats.hh"
 
+namespace vtsim::telemetry {
+class TraceJsonWriter;
+}
+
 namespace vtsim {
 
 /**
@@ -169,6 +173,15 @@ class VirtualThreadManager
     std::uint64_t swapIns() const { return swapIns_.value(); }
     StatGroup &stats() { return stats_; }
 
+    /**
+     * Route residency transitions to a per-Gpu Perfetto writer (null
+     * disables). Each CTA slot becomes a trace "thread" (pid = SM id,
+     * tid = slot) carrying back-to-back duration events named after the
+     * residency state — admit/finish are instant markers.
+     */
+    void setTraceJson(telemetry::TraceJsonWriter *writer)
+    { traceJson_ = writer; }
+
   private:
     struct CtaRec
     {
@@ -198,8 +211,13 @@ class VirtualThreadManager
      *  CTA with no outstanding data qualifies. */
     VirtualCtaId pickSwapIn(bool require_ready) const;
 
+    /** Close slot @p id's open residency span and open @p state's. */
+    void traceStateChange(VirtualCtaId id, CtaState state, Cycle now);
+
     const GpuConfig &config_;
     VtCtaQuery &query_;
+    SmId smId_;
+    telemetry::TraceJsonWriter *traceJson_ = nullptr;
     CtaFootprint fp_;
 
     /** Slot-indexed (SmCore hands out dense, reused slot ids); iterating
@@ -223,6 +241,10 @@ class VirtualThreadManager
     Counter swapInNotReady_; ///< Swap-ins of CTAs still awaiting data.
     ScalarStat residentSamples_;
     ScalarStat activeSamples_;
+    /** Victim stall-streak length at each swap-out decision — the
+     *  interval sampler's swap-latency series (p50/p95 per interval).
+     *  Event-driven, so fast-forward windows cannot split a sample. */
+    Histogram swapStallStreak_{32, 8.0};
 };
 
 } // namespace vtsim

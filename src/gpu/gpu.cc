@@ -24,11 +24,75 @@ Gpu::Gpu(const GpuConfig &config)
     noc_.setRequestSink([this](const MemRequest &req, Cycle now) {
         partitions_[partitionOf(req.lineAddr)]->receive(req, now);
     });
-    noc_.setResponseSink([](const MemRequest &req, Cycle) {
+    noc_.setResponseSink([](const MemRequest &req, Cycle now) {
         VTSIM_ASSERT(req.sink, "response with no sink");
-        req.sink->memResponse(req.token);
+        req.sink->memResponse(req.token, now);
     });
     noc_.setRouter([this](Addr line_addr) { return partitionOf(line_addr); });
+
+    // Flatten every component's stats into the telemetry registry.
+    // Components have finished registering with their groups by now.
+    for (auto &sm : sms_)
+        sm->registerTelemetry(registry_);
+    for (auto &p : partitions_)
+        p->registerTelemetry(registry_);
+    registry_.addGroup(noc_.stats());
+}
+
+void
+Gpu::enableIntervalSampler(Cycle interval, std::ostream &os)
+{
+    sampler_ = std::make_unique<telemetry::IntervalSampler>(registry_,
+                                                            interval, os);
+}
+
+void
+Gpu::enableIntervalSampler(Cycle interval, const std::string &path)
+{
+    samplerFile_ = std::make_unique<std::ofstream>(path);
+    if (!*samplerFile_)
+        VTSIM_FATAL("cannot open stats-interval file '", path, "'");
+    enableIntervalSampler(interval, *samplerFile_);
+}
+
+void
+Gpu::enableTraceJson(const std::string &path)
+{
+    traceJson_ = std::make_unique<telemetry::TraceJsonWriter>(path);
+    attachTraceJson();
+}
+
+void
+Gpu::enableTraceJson(std::ostream &os)
+{
+    traceJson_ = std::make_unique<telemetry::TraceJsonWriter>(os);
+    attachTraceJson();
+}
+
+void
+Gpu::attachTraceJson()
+{
+    for (auto &sm : sms_) {
+        traceJson_->processName(sm->id(),
+                                "sm" + std::to_string(sm->id()));
+        sm->setTraceJson(traceJson_.get());
+    }
+    for (std::uint32_t p = 0; p < partitions_.size(); ++p) {
+        const std::uint32_t pid = numSms() + p;
+        traceJson_->processName(pid, "dram_" + std::to_string(p));
+        partitions_[p]->setTraceJson(traceJson_.get(), pid);
+    }
+}
+
+void
+Gpu::takeSample()
+{
+    // Lazy SM windows may span the boundary; settling them here splits
+    // the window without changing any total (sampleN's repeated-addition
+    // contract), so fast-forwarded runs sample identical values.
+    for (auto &sm : sms_)
+        sm->flushFastForward();
+    sampler_->sample(cycle_);
 }
 
 std::uint32_t
@@ -52,18 +116,10 @@ Gpu::allIdle() const
 void
 Gpu::dumpStats(std::ostream &os)
 {
-    for (auto &sm : sms_) {
+    for (auto &sm : sms_)
         sm->flushFastForward();
-        sm->stats().dump(os);
-        sm->vt().stats().dump(os);
-        sm->ldst().stats().dump(os);
-        sm->ldst().l1().stats().dump(os);
-    }
-    for (auto &p : partitions_) {
-        p->l2().stats().dump(os);
-        p->dram().stats().dump(os);
-    }
-    noc_.stats().dump(os);
+    for (const StatGroup *group : registry_.groups())
+        group->dump(os);
 }
 
 void
@@ -88,7 +144,7 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
         sm->launchKernel(kernel, launch, gmem_);
 
     // Snapshot counters so stats are per-launch deltas.
-    const StatsSnapshot before = StatsSnapshot::capture(sms_, partitions_);
+    const StatsSnapshot before = StatsSnapshot::capture(registry_);
 
     const auto total_issued = [this] {
         std::uint64_t total = 0;
@@ -99,6 +155,8 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
 
     const Cycle start = cycle_;
     const Cycle deadline = start + config_.maxCycles;
+    if (sampler_)
+        sampler_->beginLaunch(start);
     while (true) {
         // CTA work distribution: one CTA per SM per cycle, round-robin.
         bool admitted = false;
@@ -117,6 +175,8 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
             sm->tick(cycle_);
 
         ++cycle_;
+        if (sampler_ && cycle_ == sampler_->nextSampleAt())
+            takeSample();
         if (!dispatcher.hasWork() && allIdle())
             break;
         if (cycle_ >= deadline) {
@@ -146,6 +206,10 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
         for (const auto &sm : sms_)
             horizon = std::min(horizon, sm->nextEventCycle(cycle_));
         horizon = std::min(horizon, deadline);
+        // Sample boundaries are scheduled wakeups: never jump past one,
+        // so fast-forwarded runs sample at exactly the same cycles.
+        if (sampler_)
+            horizon = std::min(horizon, sampler_->nextSampleAt());
         if (horizon <= cycle_)
             continue;
         const std::uint64_t skipped = horizon - cycle_;
@@ -157,15 +221,19 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
             VTSIM_FATAL("watchdog: kernel '", kernel.name(),
                         "' exceeded ", config_.maxCycles, " cycles");
         }
+        if (sampler_ && cycle_ == sampler_->nextSampleAt())
+            takeSample();
     }
 
     // Settle lazily skipped per-SM ticks before reading any statistic.
     for (auto &sm : sms_)
         sm->flushFastForward();
+    if (sampler_)
+        sampler_->finalSample(cycle_);
 
     KernelStats stats;
     stats.cycles = cycle_ - start;
-    StatsSnapshot::capture(sms_, partitions_).delta(before, stats);
+    StatsSnapshot::capture(registry_).delta(before, registry_, stats);
 
     VTSIM_ASSERT(stats.ctasCompleted == launch.numCtas(),
                  "CTA completion mismatch: ", stats.ctasCompleted, " of ",

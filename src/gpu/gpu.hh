@@ -8,8 +8,10 @@
 #ifndef VTSIM_GPU_GPU_HH
 #define VTSIM_GPU_GPU_HH
 
+#include <fstream>
 #include <memory>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "config/gpu_config.hh"
@@ -18,6 +20,9 @@
 #include "mem/interconnect.hh"
 #include "mem/memory_partition.hh"
 #include "sm/sm_core.hh"
+#include "telemetry/interval_sampler.hh"
+#include "telemetry/stat_registry.hh"
+#include "telemetry/trace_json.hh"
 
 namespace vtsim {
 
@@ -96,9 +101,35 @@ class Gpu
      */
     void dumpStats(std::ostream &os);
 
+    /** Every stat this Gpu's components registered, by dotted path. */
+    const telemetry::StatRegistry &telemetryRegistry() const
+    { return registry_; }
+
+    /**
+     * Emit per-interval stat deltas as JSONL every @p interval cycles
+     * of subsequent launches (see telemetry/interval_sampler.hh). The
+     * stream overload keeps no ownership; the path overload opens the
+     * file now. The series is identical with fastForwardEnabled on or
+     * off: launch() clamps event-horizon jumps to sample boundaries.
+     */
+    void enableIntervalSampler(Cycle interval, std::ostream &os);
+    void enableIntervalSampler(Cycle interval, const std::string &path);
+
+    /**
+     * Export Swap/Cta/Barrier/Dram events of subsequent launches as a
+     * Perfetto/Chrome trace (see telemetry/trace_json.hh). The writer
+     * is per-Gpu: hermetic Gpus on the parallel runner's thread pool
+     * can each trace to their own file.
+     */
+    void enableTraceJson(const std::string &path);
+    void enableTraceJson(std::ostream &os);
+
   private:
     bool allIdle() const;
     std::uint32_t partitionOf(Addr line_addr) const;
+    void attachTraceJson();
+    /** Settle lazy SM windows and emit the boundary sample at cycle_. */
+    void takeSample();
 
     GpuConfig config_;
     GlobalMemory gmem_;
@@ -107,6 +138,11 @@ class Gpu
     std::vector<std::unique_ptr<SmCore>> sms_;
     Cycle cycle_ = 0;
     Cycle fastForwardedCycles_ = 0;
+
+    telemetry::StatRegistry registry_;
+    std::unique_ptr<std::ofstream> samplerFile_;
+    std::unique_ptr<telemetry::IntervalSampler> sampler_;
+    std::unique_ptr<telemetry::TraceJsonWriter> traceJson_;
 };
 
 } // namespace vtsim

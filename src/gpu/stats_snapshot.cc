@@ -2,67 +2,59 @@
 
 #include "common/log.hh"
 #include "gpu/gpu.hh"
-#include "mem/memory_partition.hh"
 
 namespace vtsim {
 
 StatsSnapshot
-StatsSnapshot::capture(std::vector<std::unique_ptr<SmCore>> &sms,
-                       std::vector<std::unique_ptr<MemoryPartition>> &partitions)
+StatsSnapshot::capture(const telemetry::StatRegistry &registry)
 {
     StatsSnapshot snap;
-    snap.sms_.reserve(sms.size());
-    for (auto &sm : sms) {
-        SmCounters c;
-        c.instr = sm->instructionsIssued();
-        c.tinstr = sm->threadInstructions();
-        c.ctas = sm->ctasCompleted();
-        c.swapOuts = sm->vt().swapOuts();
-        c.swapIns = sm->vt().swapIns();
-        c.l1h = sm->ldst().l1().hits();
-        c.l1m = sm->ldst().l1().misses();
-        c.stalls = sm->stallBreakdown();
-        snap.sms_.push_back(c);
-    }
-    for (auto &p : partitions) {
-        snap.l2h_ += p->l2().hits();
-        snap.l2m_ += p->l2().misses();
-        snap.drh_ += p->dram().rowHits();
-        snap.drm_ += p->dram().rowMisses();
-        snap.drb_ += p->dram().bytesTransferred();
-    }
+    registry.collectScalars(snap.values_);
     return snap;
 }
 
 void
-StatsSnapshot::delta(const StatsSnapshot &before, KernelStats &stats) const
+StatsSnapshot::delta(const StatsSnapshot &before,
+                     const telemetry::StatRegistry &registry,
+                     KernelStats &stats) const
 {
-    VTSIM_ASSERT(sms_.size() == before.sms_.size(),
+    using telemetry::KernelStatRole;
+    const auto &probes = registry.scalars();
+    VTSIM_ASSERT(values_.size() == probes.size() &&
+                     before.values_.size() == probes.size(),
                  "snapshots of different machines");
-    for (std::size_t i = 0; i < sms_.size(); ++i) {
-        const SmCounters &a = sms_[i];
-        const SmCounters &b = before.sms_[i];
-        stats.warpInstructions += a.instr - b.instr;
-        stats.threadInstructions += a.tinstr - b.tinstr;
-        stats.ctasCompleted += a.ctas - b.ctas;
-        stats.swapOuts += a.swapOuts - b.swapOuts;
-        stats.swapIns += a.swapIns - b.swapIns;
-        stats.l1Hits += a.l1h - b.l1h;
-        stats.l1Misses += a.l1m - b.l1m;
-        stats.stalls.issued += a.stalls.issued - b.stalls.issued;
-        stats.stalls.memStall += a.stalls.memStall - b.stalls.memStall;
-        stats.stalls.shortStall +=
-            a.stalls.shortStall - b.stalls.shortStall;
-        stats.stalls.barrierStall +=
-            a.stalls.barrierStall - b.stalls.barrierStall;
-        stats.stalls.swapStall += a.stalls.swapStall - b.stalls.swapStall;
-        stats.stalls.idle += a.stalls.idle - b.stalls.idle;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        const std::uint64_t d = values_[i] - before.values_[i];
+        switch (probes[i].role) {
+          case KernelStatRole::None: break;
+          case KernelStatRole::WarpInstructions:
+            stats.warpInstructions += d; break;
+          case KernelStatRole::ThreadInstructions:
+            stats.threadInstructions += d; break;
+          case KernelStatRole::CtasCompleted:
+            stats.ctasCompleted += d; break;
+          case KernelStatRole::SwapOuts: stats.swapOuts += d; break;
+          case KernelStatRole::SwapIns: stats.swapIns += d; break;
+          case KernelStatRole::L1Hits: stats.l1Hits += d; break;
+          case KernelStatRole::L1Misses: stats.l1Misses += d; break;
+          case KernelStatRole::L2Hits: stats.l2Hits += d; break;
+          case KernelStatRole::L2Misses: stats.l2Misses += d; break;
+          case KernelStatRole::DramRowHits: stats.dramRowHits += d; break;
+          case KernelStatRole::DramRowMisses:
+            stats.dramRowMisses += d; break;
+          case KernelStatRole::DramBytes: stats.dramBytes += d; break;
+          case KernelStatRole::StallIssued:
+            stats.stalls.issued += d; break;
+          case KernelStatRole::StallMem: stats.stalls.memStall += d; break;
+          case KernelStatRole::StallShort:
+            stats.stalls.shortStall += d; break;
+          case KernelStatRole::StallBarrier:
+            stats.stalls.barrierStall += d; break;
+          case KernelStatRole::StallSwap:
+            stats.stalls.swapStall += d; break;
+          case KernelStatRole::StallIdle: stats.stalls.idle += d; break;
+        }
     }
-    stats.l2Hits += l2h_ - before.l2h_;
-    stats.l2Misses += l2m_ - before.l2m_;
-    stats.dramRowHits += drh_ - before.drh_;
-    stats.dramRowMisses += drm_ - before.drm_;
-    stats.dramBytes += drb_ - before.drb_;
 }
 
 } // namespace vtsim

@@ -1,54 +1,44 @@
 /**
  * @file
- * Point-in-time copy of the cumulative component counters that
+ * Point-in-time copy of the cumulative scalar statistics that
  * KernelStats reports. Gpu::launch captures one before and one after
  * the simulation loop and reports the difference, so per-launch stats
  * stay correct across repeated launches on the same Gpu.
+ *
+ * The snapshot is a flat vector of every scalar probe in the telemetry
+ * StatRegistry, in registry order; delta() folds probe growth into the
+ * KernelStats field each probe's KernelStatRole names. Capturing through
+ * the registry instead of per-component getters means a component adds
+ * a stat to KernelStats by tagging it at registration — no snapshot
+ * plumbing.
  */
 
 #ifndef VTSIM_GPU_STATS_SNAPSHOT_HH
 #define VTSIM_GPU_STATS_SNAPSHOT_HH
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
-#include "sm/sm_core.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace vtsim {
 
-class MemoryPartition;
 struct KernelStats;
 
 class StatsSnapshot
 {
   public:
-    static StatsSnapshot
-    capture(std::vector<std::unique_ptr<SmCore>> &sms,
-            std::vector<std::unique_ptr<MemoryPartition>> &partitions);
+    static StatsSnapshot capture(const telemetry::StatRegistry &registry);
 
-    /** Accumulate the counter growth since @p before into @p stats. */
-    void delta(const StatsSnapshot &before, KernelStats &stats) const;
+    /** Accumulate the probe growth since @p before into @p stats,
+     *  routed by each probe's role. @p registry must be the one both
+     *  snapshots were captured from. */
+    void delta(const StatsSnapshot &before,
+               const telemetry::StatRegistry &registry,
+               KernelStats &stats) const;
 
   private:
-    struct SmCounters
-    {
-        std::uint64_t instr = 0;
-        std::uint64_t tinstr = 0;
-        std::uint64_t ctas = 0;
-        std::uint64_t swapOuts = 0;
-        std::uint64_t swapIns = 0;
-        std::uint64_t l1h = 0;
-        std::uint64_t l1m = 0;
-        StallBreakdown stalls;
-    };
-
-    std::vector<SmCounters> sms_;
-    std::uint64_t l2h_ = 0;
-    std::uint64_t l2m_ = 0;
-    std::uint64_t drh_ = 0;
-    std::uint64_t drm_ = 0;
-    std::uint64_t drb_ = 0;
+    std::vector<std::uint64_t> values_;
 };
 
 } // namespace vtsim

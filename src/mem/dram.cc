@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "telemetry/trace_json.hh"
 
 namespace vtsim {
 
@@ -76,6 +77,12 @@ Dram::issueOne(Cycle now)
     VTSIM_TRACE(TraceFlag::Dram, now, stats_.name(), "issue line 0x",
                 std::hex, req.lineAddr, std::dec, " bank ", req.bank,
                 bank.openRow == req.row ? " (row hit)" : " (row miss)");
+    if (traceJson_) {
+        traceJson_->instant(tracePid_, req.bank, now,
+                            bank.openRow == req.row ? "row-hit"
+                                                    : "row-miss",
+                            "dram");
+    }
     Cycle latency;
     Cycle occupancy;
     if (bank.openRow == req.row) {

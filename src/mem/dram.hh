@@ -20,6 +20,10 @@
 #include "common/types.hh"
 #include "stats/stats.hh"
 
+namespace vtsim::telemetry {
+class TraceJsonWriter;
+}
+
 namespace vtsim {
 
 /** DRAM channel parameters. */
@@ -80,6 +84,14 @@ class Dram
     std::uint64_t rowMisses() const { return rowMisses_.value(); }
     std::uint64_t bytesTransferred() const { return bytes_.value(); }
 
+    /** Route command-issue events to a per-Gpu Perfetto writer as
+     *  instants on (pid = @p pid, tid = bank); null disables. */
+    void setTraceJson(telemetry::TraceJsonWriter *writer, std::uint32_t pid)
+    {
+        traceJson_ = writer;
+        tracePid_ = pid;
+    }
+
   private:
     struct Request
     {
@@ -119,6 +131,8 @@ class Dram
     Counter rowMisses_;
     Counter bytes_;
     ScalarStat queueDepth_;
+    telemetry::TraceJsonWriter *traceJson_ = nullptr;
+    std::uint32_t tracePid_ = 0;
 };
 
 } // namespace vtsim

@@ -23,8 +23,9 @@ class MemResponseSink
   public:
     virtual ~MemResponseSink() = default;
 
-    /** Called when the transaction identified by @p token completes. */
-    virtual void memResponse(std::uint64_t token) = 0;
+    /** Called when the transaction identified by @p token completes at
+     *  cycle @p now. */
+    virtual void memResponse(std::uint64_t token, Cycle now) = 0;
 };
 
 /** Kind of global-memory transaction. */

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "mem/interconnect.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace vtsim {
 
@@ -27,6 +28,23 @@ MemoryPartition::MemoryPartition(std::uint32_t id, const GpuConfig &config,
           return dp;
       }())
 {
+}
+
+void
+MemoryPartition::registerTelemetry(telemetry::StatRegistry &reg)
+{
+    using telemetry::KernelStatRole;
+    reg.addGroup(l2_.stats());
+    reg.setRole(l2_.stats().name() + ".hits", KernelStatRole::L2Hits);
+    reg.setRole(l2_.stats().name() + ".misses", KernelStatRole::L2Misses);
+
+    reg.addGroup(dram_.stats());
+    reg.setRole(dram_.stats().name() + ".row_hits",
+                KernelStatRole::DramRowHits);
+    reg.setRole(dram_.stats().name() + ".row_misses",
+                KernelStatRole::DramRowMisses);
+    reg.setRole(dram_.stats().name() + ".bytes",
+                KernelStatRole::DramBytes);
 }
 
 void

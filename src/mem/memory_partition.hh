@@ -15,6 +15,11 @@
 #include "mem/dram.hh"
 #include "mem/mem_request.hh"
 
+namespace vtsim::telemetry {
+class StatRegistry;
+class TraceJsonWriter;
+}
+
 namespace vtsim {
 
 class Interconnect;
@@ -50,6 +55,15 @@ class MemoryPartition
 
     Cache &l2() { return l2_; }
     Dram &dram() { return dram_; }
+
+    /** Flatten the L2 slice's and DRAM channel's stat groups into
+     *  @p reg and tag the probes that feed KernelStats. */
+    void registerTelemetry(telemetry::StatRegistry &reg);
+
+    /** Route DRAM command events to a per-Gpu Perfetto writer under
+     *  process id @p pid; null disables. */
+    void setTraceJson(telemetry::TraceJsonWriter *writer, std::uint32_t pid)
+    { dram_.setTraceJson(writer, pid); }
 
   private:
     void serviceRequest(const MemRequest &req, Cycle now);

@@ -237,8 +237,14 @@ LdstUnit::tick(Cycle now)
 }
 
 void
-LdstUnit::memResponse(std::uint64_t token)
+LdstUnit::memResponse(std::uint64_t token, Cycle now)
 {
+    // Settle the client's fast-forward window and advance the local
+    // clock before any counter moves: the window's MLP samples must see
+    // the pre-completion outstanding count, and round_trip the real
+    // delivery cycle, exactly as in the cycle-by-cycle loop.
+    client_.responseArriving(now);
+    now_ = now;
     VTSIM_ASSERT(token < txnSlab_.size() && txnSlab_[token].inUse,
                  "response for unknown transaction ", token);
     Transaction &t = txnSlab_[token];

@@ -49,6 +49,14 @@ class LdstClient
     /** A previously off-chip transaction of this warp returned. */
     virtual void offChipReturned(VirtualCtaId vcta,
                                  std::uint32_t warp_in_cta) = 0;
+
+    /**
+     * A NoC response is about to be processed at cycle @p now. Called
+     * before any completion bookkeeping so a lazily fast-forwarding SM
+     * can settle its skipped cycles first — round-trip and MLP samples
+     * must observe the same state as the cycle-by-cycle loop.
+     */
+    virtual void responseArriving(Cycle now) = 0;
 };
 
 class LdstUnit : public MemResponseSink
@@ -76,7 +84,7 @@ class LdstUnit : public MemResponseSink
     void tick(Cycle now);
 
     /** Interconnect response delivery. */
-    void memResponse(std::uint64_t token) override;
+    void memResponse(std::uint64_t token, Cycle now) override;
 
     /** No transactions queued or in flight. */
     bool idle() const;

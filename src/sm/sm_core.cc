@@ -6,6 +6,8 @@
 #include "common/trace.hh"
 #include "isa/disassembler.hh"
 #include "func/global_memory.hh"
+#include "telemetry/stat_registry.hh"
+#include "telemetry/trace_json.hh"
 
 namespace vtsim {
 
@@ -33,6 +35,18 @@ SmCore::SmCore(SmId id, const GpuConfig &config, Interconnect &noc)
     stats_.addCounter("thread_instructions", &threadInstructions_,
                       "per-thread instructions (mask population)");
     stats_.addCounter("ctas_completed", &ctasCompleted_, "CTAs retired");
+    stats_.addValue("issue.issued", &stalls_.issued,
+                    "scheduler-cycles that issued");
+    stats_.addValue("issue.bubbles.mem", &stalls_.memStall,
+                    "scheduler-cycles blocked on off-chip memory");
+    stats_.addValue("issue.bubbles.short", &stalls_.shortStall,
+                    "scheduler-cycles blocked on short dependences/ports");
+    stats_.addValue("issue.bubbles.barrier", &stalls_.barrierStall,
+                    "scheduler-cycles with everyone parked at a barrier");
+    stats_.addValue("issue.bubbles.swap", &stalls_.swapStall,
+                    "scheduler-cycles with only swap-frozen CTAs resident");
+    stats_.addValue("issue.bubbles.idle", &stalls_.idle,
+                    "scheduler-cycles with no warps at all");
     if (config.throttleEnabled) {
         ThrottleParams tp;
         tp.epochCycles = config.throttleEpochCycles;
@@ -41,6 +55,53 @@ SmCore::SmCore(SmId id, const GpuConfig &config, Interconnect &noc)
         throttler_ = std::make_unique<CtaThrottler>(
             tp, config.effMaxCtasPerSm(), id);
     }
+}
+
+void
+SmCore::registerTelemetry(telemetry::StatRegistry &reg)
+{
+    using telemetry::KernelStatRole;
+    reg.addGroup(stats_);
+    reg.setRole(stats_.name() + ".instructions",
+                KernelStatRole::WarpInstructions);
+    reg.setRole(stats_.name() + ".thread_instructions",
+                KernelStatRole::ThreadInstructions);
+    reg.setRole(stats_.name() + ".ctas_completed",
+                KernelStatRole::CtasCompleted);
+    reg.setRole(stats_.name() + ".issue.issued",
+                KernelStatRole::StallIssued);
+    reg.setRole(stats_.name() + ".issue.bubbles.mem",
+                KernelStatRole::StallMem);
+    reg.setRole(stats_.name() + ".issue.bubbles.short",
+                KernelStatRole::StallShort);
+    reg.setRole(stats_.name() + ".issue.bubbles.barrier",
+                KernelStatRole::StallBarrier);
+    reg.setRole(stats_.name() + ".issue.bubbles.swap",
+                KernelStatRole::StallSwap);
+    reg.setRole(stats_.name() + ".issue.bubbles.idle",
+                KernelStatRole::StallIdle);
+
+    reg.addGroup(vt_.stats());
+    reg.setRole(vt_.stats().name() + ".swap_outs", KernelStatRole::SwapOuts);
+    reg.setRole(vt_.stats().name() + ".swap_ins", KernelStatRole::SwapIns);
+
+    reg.addGroup(ldst_.stats());
+    reg.addGroup(ldst_.l1().stats());
+    reg.setRole(ldst_.l1().stats().name() + ".hits",
+                KernelStatRole::L1Hits);
+    reg.setRole(ldst_.l1().stats().name() + ".misses",
+                KernelStatRole::L1Misses);
+
+    reg.addGroup(shmem_.stats());
+    if (throttler_)
+        reg.addGroup(throttler_->stats());
+}
+
+void
+SmCore::setTraceJson(telemetry::TraceJsonWriter *writer)
+{
+    traceJson_ = writer;
+    vt_.setTraceJson(writer);
 }
 
 void
@@ -656,6 +717,10 @@ SmCore::maybeReleaseBarrier(VirtualCtaId slot, Cycle now)
     VirtualCta &cta = ctas_[slot];
     if (!barriers_.shouldRelease(slot, cta.warpsAlive))
         return;
+    VTSIM_TRACE(TraceFlag::Barrier, now, stats_.name(), "cta ", slot,
+                " barrier released (", cta.warpsAlive, " warps)");
+    if (traceJson_)
+        traceJson_->instant(id_, slot, now, "barrier-release", "barrier");
     const bool issuable = vt_.isIssuable(slot);
     barriers_.releaseInto(slot, barrierScratch_);
     for (std::uint32_t w : barrierScratch_) {
@@ -725,6 +790,12 @@ SmCore::offChipIssued(VirtualCtaId vcta, std::uint32_t warp_in_cta)
         if (vt_.isIssuable(vcta))
             ++schedIssuableOffchip_[warp.schedId()];
     }
+}
+
+void
+SmCore::responseArriving(Cycle)
+{
+    onExternalEvent();
 }
 
 void

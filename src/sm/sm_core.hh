@@ -25,6 +25,11 @@
 #include "sm/warp_scheduler.hh"
 #include "stats/stats.hh"
 
+namespace vtsim::telemetry {
+class StatRegistry;
+class TraceJsonWriter;
+}
+
 namespace vtsim {
 
 class GlobalMemory;
@@ -113,6 +118,15 @@ class SmCore : public LdstClient, public VtCtaQuery
     std::uint32_t maxSimtDepthSeen() const { return maxSimtDepth_; }
     StatGroup &stats() { return stats_; }
 
+    /** Flatten every stat group this SM owns (core, VT, LDST, L1,
+     *  shared memory, throttler) into @p reg and tag the probes that
+     *  feed KernelStats. Call once, after construction. */
+    void registerTelemetry(telemetry::StatRegistry &reg);
+
+    /** Route this SM's trace events (VT residency, barrier releases)
+     *  to a per-Gpu Perfetto writer; null disables. */
+    void setTraceJson(telemetry::TraceJsonWriter *writer);
+
     // --- LdstClient ---------------------------------------------------------
     void loadComplete(VirtualCtaId vcta, std::uint32_t warp_in_cta,
                       RegIndex dst) override;
@@ -120,6 +134,7 @@ class SmCore : public LdstClient, public VtCtaQuery
                        std::uint32_t warp_in_cta) override;
     void offChipReturned(VirtualCtaId vcta,
                          std::uint32_t warp_in_cta) override;
+    void responseArriving(Cycle now) override;
 
     // --- VtCtaQuery ---------------------------------------------------------
     bool ctaFullyStalled(VirtualCtaId id) const override;
@@ -321,6 +336,7 @@ class SmCore : public LdstClient, public VtCtaQuery
     Counter threadInstructions_;
     Counter ctasCompleted_;
     StallBreakdown stalls_;
+    telemetry::TraceJsonWriter *traceJson_ = nullptr;
 };
 
 inline bool

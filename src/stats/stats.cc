@@ -1,6 +1,7 @@
 #include "stats/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 
 #include "common/log.hh"
@@ -69,6 +70,32 @@ Histogram::sample(double v)
         ++buckets_[idx];
 }
 
+double
+Histogram::percentileOf(const std::vector<std::uint64_t> &buckets,
+                        std::uint64_t overflow, double bucket_width,
+                        double p)
+{
+    std::uint64_t total = overflow;
+    for (auto b : buckets)
+        total += b;
+    if (total == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Rank of the sample we are looking for, 1-based: the smallest rank
+    // such that at least p * total samples are at or below it.
+    auto rank = static_cast<std::uint64_t>(std::ceil(p * total));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= rank)
+            return (i + 1) * bucket_width;
+    }
+    // Rank falls in the overflow region; report the range's upper edge.
+    return buckets.size() * bucket_width;
+}
+
 void
 Histogram::reset()
 {
@@ -82,6 +109,13 @@ StatGroup::addCounter(const std::string &name, const Counter *c,
                       const std::string &desc)
 {
     counters_[name] = {c, desc};
+}
+
+void
+StatGroup::addValue(const std::string &name, const std::uint64_t *v,
+                    const std::string &desc)
+{
+    values_[name] = {v, desc};
 }
 
 void
@@ -110,6 +144,10 @@ StatGroup::dump(std::ostream &os) const
 {
     for (const auto &[name, entry] : counters_) {
         os << name_ << '.' << name << ' ' << entry.stat->value()
+           << "  # " << entry.desc << '\n';
+    }
+    for (const auto &[name, entry] : values_) {
+        os << name_ << '.' << name << ' ' << *entry.stat
            << "  # " << entry.desc << '\n';
     }
     for (const auto &[name, entry] : scalars_) {

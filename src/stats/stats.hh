@@ -72,7 +72,27 @@ class Histogram
     std::uint64_t bucket(std::uint32_t i) const { return buckets_.at(i); }
     std::uint32_t bucketCount() const { return buckets_.size(); }
     double bucketWidth() const { return bucketWidth_; }
+    /** Samples that fell outside [0, bucketCount * bucketWidth). */
     std::uint64_t overflow() const { return overflow_; }
+
+    /**
+     * Value below which fraction @p p (in [0, 1]) of the samples fall,
+     * reported as the upper edge of the bucket holding that rank.
+     * Samples in the overflow bucket report the histogram range's upper
+     * edge; an empty histogram reports 0.
+     */
+    double percentile(double p) const
+    { return percentileOf(buckets_, overflow_, bucketWidth_, p); }
+
+    /**
+     * percentile() over an explicit bucket array — used by the interval
+     * sampler to take percentiles of per-interval bucket *deltas*
+     * without materialising a Histogram.
+     */
+    static double percentileOf(const std::vector<std::uint64_t> &buckets,
+                               std::uint64_t overflow, double bucket_width,
+                               double p);
+
     void reset();
 
   private:
@@ -95,6 +115,13 @@ class StatGroup
 
     void addCounter(const std::string &name, const Counter *c,
                     const std::string &desc);
+    /**
+     * Register a raw monotonic counter that lives as a plain uint64
+     * field (e.g. one leg of a breakdown struct) rather than a Counter.
+     * Walked and dumped exactly like a Counter.
+     */
+    void addValue(const std::string &name, const std::uint64_t *v,
+                  const std::string &desc);
     void addScalar(const std::string &name, const ScalarStat *s,
                    const std::string &desc);
     void addHistogram(const std::string &name, const Histogram *h,
@@ -108,13 +135,26 @@ class StatGroup
     /** Dump every registered stat, one per line, prefixed by group name. */
     void dump(std::ostream &os) const;
 
-  private:
     struct CounterEntry { const Counter *stat; std::string desc; };
+    struct ValueEntry { const std::uint64_t *stat; std::string desc; };
     struct ScalarEntry { const ScalarStat *stat; std::string desc; };
     struct HistEntry { const Histogram *stat; std::string desc; };
 
+    // Entry walkers for the telemetry StatRegistry (telemetry/): name ->
+    // entry, in the maps' (sorted) iteration order.
+    const std::map<std::string, CounterEntry> &counters() const
+    { return counters_; }
+    const std::map<std::string, ValueEntry> &values() const
+    { return values_; }
+    const std::map<std::string, ScalarEntry> &scalars() const
+    { return scalars_; }
+    const std::map<std::string, HistEntry> &histograms() const
+    { return histograms_; }
+
+  private:
     std::string name_;
     std::map<std::string, CounterEntry> counters_;
+    std::map<std::string, ValueEntry> values_;
     std::map<std::string, ScalarEntry> scalars_;
     std::map<std::string, HistEntry> histograms_;
 };

@@ -1,0 +1,168 @@
+#include "telemetry/interval_sampler.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace vtsim::telemetry {
+
+namespace {
+
+/** Shortest round-trippable decimal form of @p v. */
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Prefer the shortest representation that parses back exactly.
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[40];
+        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(probe, "%lf", &back);
+        if (back == v)
+            return probe;
+    }
+    return buf;
+}
+
+} // namespace
+
+IntervalSampler::IntervalSampler(const StatRegistry &registry,
+                                 Cycle interval, std::ostream &os)
+    : registry_(registry), interval_(interval), os_(os)
+{
+    VTSIM_ASSERT(interval_ > 0, "sampling interval must be positive");
+}
+
+void
+IntervalSampler::beginLaunch(Cycle start)
+{
+    launchStart_ = start;
+    lastSampleAt_ = start;
+    nextSampleAt_ = start + interval_;
+    sampleIndex_ = 0;
+    captureBaseline();
+}
+
+void
+IntervalSampler::captureBaseline()
+{
+    registry_.collectScalars(prevScalars_);
+
+    const auto &dists = registry_.dists();
+    prevDistCounts_.resize(dists.size());
+    prevDistSums_.resize(dists.size());
+    for (std::size_t i = 0; i < dists.size(); ++i) {
+        prevDistCounts_[i] = dists[i].stat->count();
+        prevDistSums_[i] = dists[i].stat->sum();
+    }
+
+    const auto &hists = registry_.hists();
+    prevHists_.resize(hists.size());
+    for (std::size_t i = 0; i < hists.size(); ++i) {
+        const Histogram &h = *hists[i].stat;
+        auto &base = prevHists_[i];
+        base.buckets.resize(h.bucketCount());
+        for (std::uint32_t b = 0; b < h.bucketCount(); ++b)
+            base.buckets[b] = h.bucket(b);
+        base.overflow = h.overflow();
+        base.total = h.total();
+    }
+}
+
+void
+IntervalSampler::sample(Cycle now)
+{
+    VTSIM_ASSERT(now == nextSampleAt_,
+                 "sample boundary missed: now=", now, " expected=",
+                 nextSampleAt_);
+    emit(now);
+    lastSampleAt_ = now;
+    nextSampleAt_ = now + interval_;
+}
+
+void
+IntervalSampler::finalSample(Cycle now)
+{
+    if (now <= lastSampleAt_)
+        return;
+    emit(now);
+    lastSampleAt_ = now;
+    nextSampleAt_ = now + interval_;
+}
+
+void
+IntervalSampler::emit(Cycle now)
+{
+    os_ << "{\"sample\":" << sampleIndex_++
+        << ",\"cycle\":" << (now - launchStart_)
+        << ",\"interval\":" << (now - lastSampleAt_);
+
+    os_ << ",\"stats\":{";
+    bool first = true;
+    const auto &scalars = registry_.scalars();
+    for (std::size_t i = 0; i < scalars.size(); ++i) {
+        const std::uint64_t cur = scalars[i].read();
+        const std::uint64_t delta = cur - prevScalars_[i];
+        prevScalars_[i] = cur;
+        if (delta == 0)
+            continue;
+        os_ << (first ? "" : ",") << '"' << scalars[i].path << "\":"
+            << delta;
+        first = false;
+    }
+    os_ << '}';
+
+    os_ << ",\"dists\":{";
+    first = true;
+    const auto &dists = registry_.dists();
+    for (std::size_t i = 0; i < dists.size(); ++i) {
+        const std::uint64_t count = dists[i].stat->count();
+        const double sum = dists[i].stat->sum();
+        const std::uint64_t dcount = count - prevDistCounts_[i];
+        const double dsum = sum - prevDistSums_[i];
+        prevDistCounts_[i] = count;
+        prevDistSums_[i] = sum;
+        if (dcount == 0)
+            continue;
+        os_ << (first ? "" : ",") << '"' << dists[i].path
+            << "\":{\"count\":" << dcount << ",\"sum\":"
+            << formatDouble(dsum) << '}';
+        first = false;
+    }
+    os_ << '}';
+
+    os_ << ",\"hists\":{";
+    first = true;
+    const auto &hists = registry_.hists();
+    std::vector<std::uint64_t> dbuckets;
+    for (std::size_t i = 0; i < hists.size(); ++i) {
+        const Histogram &h = *hists[i].stat;
+        auto &base = prevHists_[i];
+        const std::uint64_t total = h.total();
+        const std::uint64_t dtotal = total - base.total;
+        dbuckets.resize(h.bucketCount());
+        for (std::uint32_t b = 0; b < h.bucketCount(); ++b) {
+            dbuckets[b] = h.bucket(b) - base.buckets[b];
+            base.buckets[b] = h.bucket(b);
+        }
+        const std::uint64_t doverflow = h.overflow() - base.overflow;
+        base.overflow = h.overflow();
+        base.total = total;
+        if (dtotal == 0)
+            continue;
+        os_ << (first ? "" : ",") << '"' << hists[i].path
+            << "\":{\"total\":" << dtotal << ",\"p50\":"
+            << formatDouble(Histogram::percentileOf(
+                   dbuckets, doverflow, h.bucketWidth(), 0.50))
+            << ",\"p95\":"
+            << formatDouble(Histogram::percentileOf(
+                   dbuckets, doverflow, h.bucketWidth(), 0.95))
+            << '}';
+        first = false;
+    }
+    os_ << "}}\n";
+}
+
+} // namespace vtsim::telemetry

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Interval time-series sampler: emits per-interval deltas of every
+ * registered statistic as JSON Lines, one object per sample boundary.
+ *
+ * Sample boundaries are scheduled wakeups: Gpu::launch clamps the
+ * event-horizon fast-forward jump to the next boundary and calls
+ * sample() whenever the clock reaches it, so the emitted series is
+ * bit-identical whether `fastForwardEnabled` is on or off (the skipped
+ * idle cycles are bulk-accounted by fastForwardIdle/flushFastForward
+ * before the registry is read, and ScalarStat::sampleN reproduces the
+ * per-cycle rounding sequence exactly).
+ *
+ * Line schema (deltas over the interval just ended; zero-delta entries
+ * are omitted to keep lines small):
+ *
+ *   {"sample":3,"cycle":4000,"interval":1000,
+ *    "stats":{"sm0.issue.issued":812,...},
+ *    "dists":{"sm0.occupancy":{"count":1000,"sum":31744.0},...},
+ *    "hists":{"sm0.vt.swap_stall_streak":{"total":2,"p50":16,"p95":24},...}}
+ *
+ * "cycle" is relative to the launch start; "interval" is the number of
+ * cycles the deltas cover (the final sample may be shorter).
+ */
+
+#ifndef VTSIM_TELEMETRY_INTERVAL_SAMPLER_HH
+#define VTSIM_TELEMETRY_INTERVAL_SAMPLER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/types.hh"
+#include "telemetry/stat_registry.hh"
+
+namespace vtsim::telemetry {
+
+class IntervalSampler
+{
+  public:
+    /** Sample @p registry every @p interval cycles into @p os. */
+    IntervalSampler(const StatRegistry &registry, Cycle interval,
+                    std::ostream &os);
+
+    /** Reset baselines at the start of a launch beginning at @p start. */
+    void beginLaunch(Cycle start);
+
+    /** Absolute cycle of the next sample boundary. */
+    Cycle nextSampleAt() const { return nextSampleAt_; }
+
+    /** Emit the sample whose boundary is @p now (must be exact). */
+    void sample(Cycle now);
+
+    /** Emit the trailing partial interval, if any, at launch end. */
+    void finalSample(Cycle now);
+
+  private:
+    struct HistBaseline
+    {
+        std::vector<std::uint64_t> buckets;
+        std::uint64_t overflow = 0;
+        std::uint64_t total = 0;
+    };
+
+    void captureBaseline();
+    void emit(Cycle now);
+
+    const StatRegistry &registry_;
+    Cycle interval_;
+    std::ostream &os_;
+
+    Cycle launchStart_ = 0;
+    Cycle lastSampleAt_ = 0;
+    Cycle nextSampleAt_ = 0;
+    std::uint64_t sampleIndex_ = 0;
+
+    std::vector<std::uint64_t> prevScalars_;
+    std::vector<std::uint64_t> prevDistCounts_;
+    std::vector<double> prevDistSums_;
+    std::vector<HistBaseline> prevHists_;
+};
+
+} // namespace vtsim::telemetry
+
+#endif // VTSIM_TELEMETRY_INTERVAL_SAMPLER_HH

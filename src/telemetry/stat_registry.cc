@@ -1,0 +1,50 @@
+#include "telemetry/stat_registry.hh"
+
+#include "common/log.hh"
+
+namespace vtsim::telemetry {
+
+void
+StatRegistry::addGroup(const StatGroup &group)
+{
+    groups_.push_back(&group);
+    const std::string prefix = group.name() + '.';
+    for (const auto &[name, entry] : group.counters()) {
+        ScalarProbe p;
+        p.path = prefix + name;
+        p.counter = entry.stat;
+        scalars_.push_back(std::move(p));
+    }
+    for (const auto &[name, entry] : group.values()) {
+        ScalarProbe p;
+        p.path = prefix + name;
+        p.value = entry.stat;
+        scalars_.push_back(std::move(p));
+    }
+    for (const auto &[name, entry] : group.scalars())
+        dists_.push_back({prefix + name, entry.stat});
+    for (const auto &[name, entry] : group.histograms())
+        hists_.push_back({prefix + name, entry.stat});
+}
+
+void
+StatRegistry::setRole(const std::string &path, KernelStatRole role)
+{
+    for (auto &probe : scalars_) {
+        if (probe.path == path) {
+            probe.role = role;
+            return;
+        }
+    }
+    VTSIM_FATAL("no scalar stat registered at '", path, "'");
+}
+
+void
+StatRegistry::collectScalars(std::vector<std::uint64_t> &out) const
+{
+    out.resize(scalars_.size());
+    for (std::size_t i = 0; i < scalars_.size(); ++i)
+        out[i] = scalars_[i].read();
+}
+
+} // namespace vtsim::telemetry

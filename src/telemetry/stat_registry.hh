@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Hierarchical statistics registry: a flat, ordered view over every
+ * StatGroup a Gpu's components own, keyed by dotted paths such as
+ * "sm0.issue.bubbles.mem" or "dram_1.row_hits".
+ *
+ * Components keep owning their Counter/Histogram members and their
+ * StatGroup exactly as before; the registry only stores pointers, so it
+ * must not outlive the components (both live inside the same Gpu).
+ * Registration order is the Gpu's component order, and entries within a
+ * group follow the group's sorted map order, so probe indices are
+ * stable for a given configuration — StatsSnapshot and the interval
+ * sampler rely on that to diff flat value vectors.
+ */
+
+#ifndef VTSIM_TELEMETRY_STAT_REGISTRY_HH
+#define VTSIM_TELEMETRY_STAT_REGISTRY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace vtsim::telemetry {
+
+/**
+ * The KernelStats field a scalar probe contributes to, if any. The
+ * KernelStats assembly in Gpu::launch walks the registry and sums
+ * probe deltas into the tagged field — replacing the hand-copied
+ * per-component getters StatsSnapshot used to carry.
+ */
+enum class KernelStatRole : std::uint8_t
+{
+    None = 0,
+    WarpInstructions,
+    ThreadInstructions,
+    CtasCompleted,
+    SwapOuts,
+    SwapIns,
+    L1Hits,
+    L1Misses,
+    L2Hits,
+    L2Misses,
+    DramRowHits,
+    DramRowMisses,
+    DramBytes,
+    StallIssued,
+    StallMem,
+    StallShort,
+    StallBarrier,
+    StallSwap,
+    StallIdle,
+};
+
+class StatRegistry
+{
+  public:
+    /** A monotonic uint64 stat (Counter or raw value) at a full path. */
+    struct ScalarProbe
+    {
+        std::string path;
+        const Counter *counter = nullptr;
+        const std::uint64_t *value = nullptr;
+        KernelStatRole role = KernelStatRole::None;
+
+        std::uint64_t read() const
+        { return counter ? counter->value() : *value; }
+    };
+
+    /** A ScalarStat (count/sum running distribution) at a full path. */
+    struct DistProbe
+    {
+        std::string path;
+        const ScalarStat *stat = nullptr;
+    };
+
+    /** A Histogram at a full path. */
+    struct HistProbe
+    {
+        std::string path;
+        const Histogram *stat = nullptr;
+    };
+
+    /**
+     * Flatten @p group's entries into probes under "<group>.<stat>"
+     * paths. Call only after the component has finished registering its
+     * stats with the group — later additions are not seen.
+     */
+    void addGroup(const StatGroup &group);
+
+    /** Tag the scalar probe at @p path with @p role; fatal if absent. */
+    void setRole(const std::string &path, KernelStatRole role);
+
+    const std::vector<ScalarProbe> &scalars() const { return scalars_; }
+    const std::vector<DistProbe> &dists() const { return dists_; }
+    const std::vector<HistProbe> &hists() const { return hists_; }
+
+    /** The registered groups, in registration order (for dumping). */
+    const std::vector<const StatGroup *> &groups() const { return groups_; }
+
+    /** Read every scalar probe, in order, into @p out (resized). */
+    void collectScalars(std::vector<std::uint64_t> &out) const;
+
+  private:
+    std::vector<const StatGroup *> groups_;
+    std::vector<ScalarProbe> scalars_;
+    std::vector<DistProbe> dists_;
+    std::vector<HistProbe> hists_;
+};
+
+} // namespace vtsim::telemetry
+
+#endif // VTSIM_TELEMETRY_STAT_REGISTRY_HH

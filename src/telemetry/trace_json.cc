@@ -1,0 +1,106 @@
+#include "telemetry/trace_json.hh"
+
+#include "common/log.hh"
+
+namespace vtsim::telemetry {
+
+TraceJsonWriter::TraceJsonWriter(const std::string &path)
+    : file_(std::make_unique<std::ofstream>(path))
+{
+    if (!*file_)
+        VTSIM_FATAL("cannot open trace file '", path, "'");
+    os_ = file_.get();
+    *os_ << "{\"traceEvents\":[\n";
+    open_ = true;
+}
+
+TraceJsonWriter::TraceJsonWriter(std::ostream &os) : os_(&os)
+{
+    *os_ << "{\"traceEvents\":[\n";
+    open_ = true;
+}
+
+TraceJsonWriter::~TraceJsonWriter()
+{
+    close();
+}
+
+void
+TraceJsonWriter::close()
+{
+    if (!open_)
+        return;
+    *os_ << "\n]}\n";
+    os_->flush();
+    open_ = false;
+}
+
+void
+TraceJsonWriter::event(const std::string &json)
+{
+    if (!open_)
+        return;
+    if (!firstEvent_)
+        *os_ << ",\n";
+    firstEvent_ = false;
+    *os_ << json;
+}
+
+void
+TraceJsonWriter::processName(std::uint32_t pid, const std::string &name)
+{
+    event("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+          std::to_string(pid) +
+          ",\"args\":{\"name\":\"" + name + "\"}}");
+}
+
+void
+TraceJsonWriter::threadName(std::uint32_t pid, std::uint32_t tid,
+                            const std::string &name)
+{
+    event("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+          std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+          ",\"args\":{\"name\":\"" + name + "\"}}");
+}
+
+void
+TraceJsonWriter::begin(std::uint32_t pid, std::uint32_t tid, Cycle cycle,
+                       const std::string &name,
+                       const std::string &category)
+{
+    event("{\"ph\":\"B\",\"pid\":" + std::to_string(pid) +
+          ",\"tid\":" + std::to_string(tid) +
+          ",\"ts\":" + std::to_string(cycle) +
+          ",\"name\":\"" + name + "\",\"cat\":\"" + category + "\"}");
+}
+
+void
+TraceJsonWriter::end(std::uint32_t pid, std::uint32_t tid, Cycle cycle)
+{
+    event("{\"ph\":\"E\",\"pid\":" + std::to_string(pid) +
+          ",\"tid\":" + std::to_string(tid) +
+          ",\"ts\":" + std::to_string(cycle) + "}");
+}
+
+void
+TraceJsonWriter::instant(std::uint32_t pid, std::uint32_t tid, Cycle cycle,
+                         const std::string &name,
+                         const std::string &category)
+{
+    event("{\"ph\":\"i\",\"s\":\"t\",\"pid\":" + std::to_string(pid) +
+          ",\"tid\":" + std::to_string(tid) +
+          ",\"ts\":" + std::to_string(cycle) +
+          ",\"name\":\"" + name + "\",\"cat\":\"" + category + "\"}");
+}
+
+void
+TraceJsonWriter::counter(std::uint32_t pid, Cycle cycle,
+                         const std::string &name, std::uint64_t value)
+{
+    event("{\"ph\":\"C\",\"pid\":" + std::to_string(pid) +
+          ",\"tid\":0,\"ts\":" + std::to_string(cycle) +
+          ",\"name\":\"" + name + "\",\"args\":{\"value\":" +
+          std::to_string(value) + "}}");
+}
+
+} // namespace vtsim::telemetry

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Perfetto / Chrome trace-event exporter (the `trace.json` format
+ * consumed by ui.perfetto.dev and chrome://tracing).
+ *
+ * The writer maps the simulator onto the trace-event process/thread
+ * model: each SM is a "process" (pid = SM id) whose "threads" are HW
+ * CTA slots, and each DRAM channel is a process (pid = numSms +
+ * channel) whose threads are banks. Virtual Thread residency becomes
+ * nested duration events per slot — "active", "inactive", "swap-out",
+ * "swap-in" — so the VT state machine is directly visible on the
+ * timeline; barrier releases, CTA admission/finish and DRAM row
+ * hits/misses are instant events. Timestamps are simulated cycles
+ * reported as microseconds (1 cycle == 1 us), so the Perfetto time axis
+ * reads directly in cycles.
+ *
+ * Unlike the textual Trace facade (a process-global singleton, see
+ * common/trace.hh), a TraceJsonWriter is per-Gpu state plumbed to
+ * components by pointer — hermetic per-job Gpus on the parallel
+ * runner's thread pool can each carry their own writer safely.
+ */
+
+#ifndef VTSIM_TELEMETRY_TRACE_JSON_HH
+#define VTSIM_TELEMETRY_TRACE_JSON_HH
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "common/types.hh"
+
+namespace vtsim::telemetry {
+
+class TraceJsonWriter
+{
+  public:
+    /** Write to @p path (opened now, footer written on destruction). */
+    explicit TraceJsonWriter(const std::string &path);
+
+    /** Write to an existing stream (not owned). */
+    explicit TraceJsonWriter(std::ostream &os);
+
+    ~TraceJsonWriter();
+    TraceJsonWriter(const TraceJsonWriter &) = delete;
+    TraceJsonWriter &operator=(const TraceJsonWriter &) = delete;
+
+    /** Emit the closing bracket; further events are dropped. */
+    void close();
+
+    /** Name the track-model process @p pid (metadata event). */
+    void processName(std::uint32_t pid, const std::string &name);
+
+    /** Name thread @p tid of process @p pid (metadata event). */
+    void threadName(std::uint32_t pid, std::uint32_t tid,
+                    const std::string &name);
+
+    /** Open a duration event ("B"). Nest strictly within the track. */
+    void begin(std::uint32_t pid, std::uint32_t tid, Cycle cycle,
+               const std::string &name, const std::string &category);
+
+    /** Close the innermost open duration event ("E"). */
+    void end(std::uint32_t pid, std::uint32_t tid, Cycle cycle);
+
+    /** Zero-duration marker ("i", thread scope). */
+    void instant(std::uint32_t pid, std::uint32_t tid, Cycle cycle,
+                 const std::string &name, const std::string &category);
+
+    /** Counter track sample ("C"). */
+    void counter(std::uint32_t pid, Cycle cycle, const std::string &name,
+                 std::uint64_t value);
+
+  private:
+    void event(const std::string &json);
+
+    std::unique_ptr<std::ofstream> file_;
+    std::ostream *os_ = nullptr;
+    bool open_ = false;
+    bool firstEvent_ = true;
+};
+
+} // namespace vtsim::telemetry
+
+#endif // VTSIM_TELEMETRY_TRACE_JSON_HH

@@ -48,6 +48,8 @@ class MockClient : public LdstClient
         --outstanding;
     }
 
+    void responseArriving(Cycle) override {}
+
     std::size_t
     completions() const
     {
@@ -78,8 +80,8 @@ class LdstTest : public ::testing::Test
             if (r.sink)
                 noc_.sendResponse(r, now + delay_);
         });
-        noc_.setResponseSink([](const MemRequest &r, Cycle) {
-            r.sink->memResponse(r.token);
+        noc_.setResponseSink([](const MemRequest &r, Cycle now) {
+            r.sink->memResponse(r.token, now);
         });
     }
 

@@ -18,7 +18,7 @@ namespace {
 class RecordingSink : public MemResponseSink
 {
   public:
-    void memResponse(std::uint64_t token) override
+    void memResponse(std::uint64_t token, Cycle) override
     {
         responses.push_back(token);
     }
@@ -39,8 +39,8 @@ class PartitionTest : public ::testing::Test
         noc_.setRequestSink([this](const MemRequest &r, Cycle now) {
             part_.receive(r, now);
         });
-        noc_.setResponseSink([](const MemRequest &r, Cycle) {
-            r.sink->memResponse(r.token);
+        noc_.setResponseSink([](const MemRequest &r, Cycle now) {
+            r.sink->memResponse(r.token, now);
         });
     }
 
@@ -162,8 +162,8 @@ TEST_F(PartitionTest, WriteThroughModeSendsStoresToDram)
     noc.setRequestSink([&part](const MemRequest &r, Cycle now) {
         part.receive(r, now);
     });
-    noc.setResponseSink([](const MemRequest &r, Cycle) {
-        r.sink->memResponse(r.token);
+    noc.setResponseSink([](const MemRequest &r, Cycle now) {
+        r.sink->memResponse(r.token, now);
     });
     MemRequest st;
     st.lineAddr = 0;

@@ -68,6 +68,38 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.bucket(0), 0u);
 }
 
+TEST(Histogram, PercentileReturnsUpperBucketEdge)
+{
+    Histogram h(4, 10.0); // [0,10) [10,20) [20,30) [30,40)
+    h.sample(1.0);
+    h.sample(2.0);
+    h.sample(12.0);
+    h.sample(33.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);  // rank 2 -> bucket 0
+    EXPECT_DOUBLE_EQ(h.percentile(0.75), 20.0); // rank 3 -> bucket 1
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 40.0);  // rank 4 -> bucket 3
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);  // rank clamps to 1
+}
+
+TEST(Histogram, PercentileOverflowAndEmpty)
+{
+    Histogram h(2, 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0); // empty histogram
+    h.sample(100.0);                          // lands in overflow
+    // All mass above the last bucket: report the histogram's ceiling.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+}
+
+TEST(Histogram, PercentileOfDeltaBuckets)
+{
+    // The interval sampler diffs raw bucket vectors between samples and
+    // ranks the delta directly.
+    const std::vector<std::uint64_t> buckets{0, 3, 1, 0};
+    EXPECT_DOUBLE_EQ(Histogram::percentileOf(buckets, 0, 2.0, 0.5), 4.0);
+    EXPECT_DOUBLE_EQ(Histogram::percentileOf(buckets, 2, 2.0, 0.95), 8.0);
+    EXPECT_DOUBLE_EQ(Histogram::percentileOf({}, 0, 2.0, 0.5), 0.0);
+}
+
 TEST(Histogram, Shape)
 {
     Histogram h(8, 2.5);
@@ -105,6 +137,18 @@ TEST(StatGroup, DumpContainsAllStats)
     EXPECT_NE(out.find("sm0.occ.mean 2"), std::string::npos);
     EXPECT_NE(out.find("sm0.lat.total 1"), std::string::npos);
     EXPECT_NE(out.find("instructions"), std::string::npos);
+}
+
+TEST(StatGroup, ValueEntriesDumpLikeCounters)
+{
+    StatGroup g("sm0");
+    std::uint64_t raw = 7;
+    g.addValue("issue.issued", &raw, "issued cycles");
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("sm0.issue.issued 7"), std::string::npos);
+    ASSERT_EQ(g.values().count("issue.issued"), 1u);
+    EXPECT_EQ(*g.values().at("issue.issued").stat, 7u);
 }
 
 TEST(StatGroup, NameAccessor)
