@@ -36,6 +36,18 @@ parseTelemetryArgs(int argc, char **argv)
             opts.traceJsonPath = argv[++i];
         else if (arg.substr(0, 13) == "--trace-json=")
             opts.traceJsonPath = argv[i] + 13;
+        else if (arg == "--checkpoint" && i + 1 < argc)
+            opts.checkpointPath = argv[++i];
+        else if (arg.substr(0, 13) == "--checkpoint=")
+            opts.checkpointPath = argv[i] + 13;
+        else if (arg == "--checkpoint-every" && i + 1 < argc)
+            opts.checkpointEvery = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg.substr(0, 19) == "--checkpoint-every=")
+            opts.checkpointEvery = std::strtoull(argv[i] + 19, nullptr, 10);
+        else if (arg == "--restore" && i + 1 < argc)
+            opts.restorePath = argv[++i];
+        else if (arg.substr(0, 10) == "--restore=")
+            opts.restorePath = argv[i] + 10;
     }
     return opts;
 }
@@ -72,11 +84,16 @@ RunResult
 runWorkload(const std::string &workload_name, const GpuConfig &config,
             std::uint32_t scale, std::size_t run_index)
 {
+    Gpu gpu(config);
+    return runWorkloadOn(gpu, workload_name, scale, run_index);
+}
+
+RunResult
+runWorkloadOn(Gpu &gpu, const std::string &workload_name,
+              std::uint32_t scale, std::size_t run_index)
+{
     auto workload = makeWorkload(workload_name, scale);
     const Kernel kernel = workload->buildKernel();
-
-    Gpu gpu(config);
-    const LaunchParams lp = workload->prepare(gpu.memory());
 
     RunResult result;
     result.workload = workload_name;
@@ -87,6 +104,25 @@ runWorkload(const std::string &workload_name, const GpuConfig &config,
     if (!g_telemetry.traceJsonPath.empty())
         gpu.enableTraceJson(indexedPath(g_telemetry.traceJsonPath,
                                         run_index));
+    if (!g_telemetry.checkpointPath.empty())
+        gpu.setCheckpoint(indexedPath(g_telemetry.checkpointPath,
+                                      run_index),
+                          g_telemetry.checkpointEvery);
+    LaunchParams lp;
+    if (!g_telemetry.restorePath.empty()) {
+        // Machine state and device memory come from the checkpoint, so
+        // prepare() runs into a scratch memory instead: the workload
+        // still records its buffer addresses and golden outputs for
+        // verify() (the deterministic bump allocator reproduces the
+        // checkpointed run's addresses), but the restored device
+        // contents stay untouched.
+        GlobalMemory scratch;
+        workload->prepare(scratch);
+        lp = gpu.restoreCheckpoint(indexedPath(g_telemetry.restorePath,
+                                               run_index));
+    } else {
+        lp = workload->prepare(gpu.memory());
+    }
     const auto start = std::chrono::steady_clock::now();
     result.stats = gpu.launch(kernel, lp);
     result.wallSeconds = std::chrono::duration<double>(

@@ -25,12 +25,22 @@ namespace vtsim::bench {
  *   --trace-json <path>       per-run Perfetto trace (run N > 0 writes
  *                             <stem>.N<ext> so parallel runs never share
  *                             a file)
+ *   --checkpoint <path>       per-run vtsim-ckpt-v1 checkpoint (same
+ *                             <stem>.N<ext> naming as --trace-json)
+ *   --checkpoint-every <n>    write the checkpoint every n cycles
+ *                             instead of once at kernel end
+ *   --restore <path>          restore the run from a checkpoint instead
+ *                             of preparing workload inputs; the run
+ *                             resumes and finishes bit-identically
  */
 struct TelemetryOptions
 {
     std::string statsJsonPath;
     Cycle statsInterval = 0;
     std::string traceJsonPath;
+    std::string checkpointPath;
+    Cycle checkpointEvery = 0;
+    std::string restorePath;
 };
 
 /** Scan argv for the telemetry switches (unknown args are ignored). */
@@ -82,6 +92,16 @@ struct RunResult
 RunResult runWorkload(const std::string &workload_name,
                       const GpuConfig &config, std::uint32_t scale = 1,
                       std::size_t run_index = 0);
+
+/**
+ * As runWorkload, but on a caller-owned @p gpu that must be freshly
+ * constructed or reset() with the intended config. Lets a worker thread
+ * (bench/parallel_runner.cc) reuse one Gpu arena across runs of the
+ * same configuration instead of reconstructing it per run.
+ */
+RunResult runWorkloadOn(Gpu &gpu, const std::string &workload_name,
+                        std::uint32_t scale = 1,
+                        std::size_t run_index = 0);
 
 /** Geometric mean of a vector of positive ratios. */
 double geomean(const std::vector<double> &values);

@@ -67,15 +67,26 @@ runAll(const std::vector<RunSpec> &specs, unsigned jobs)
     std::exception_ptr first_error;
 
     const auto worker = [&] {
+        // One Gpu arena per worker thread: reset() and reused while
+        // consecutive runs share a GpuConfig (the common case — figure
+        // binaries sweep workloads per config), reconstructed when the
+        // config changes. Reuse is bit-identical to a fresh Gpu by the
+        // SimComponent reset() contract.
+        std::unique_ptr<Gpu> arena;
         for (;;) {
             const std::size_t i = next.fetch_add(1);
             if (i >= specs.size())
                 return;
             try {
-                results[i] = runWorkload(specs[i].workload,
-                                         specs[i].config, specs[i].scale,
-                                         i);
+                const RunSpec &spec = specs[i];
+                if (arena && arena->config() == spec.config)
+                    arena->reset();
+                else
+                    arena = std::make_unique<Gpu>(spec.config);
+                results[i] = runWorkloadOn(*arena, spec.workload,
+                                           spec.scale, i);
             } catch (...) {
+                arena.reset(); // Never reuse a mid-launch arena.
                 const std::lock_guard<std::mutex> guard(error_mutex);
                 if (!first_error)
                     first_error = std::current_exception();

@@ -1,10 +1,13 @@
 /**
  * @file
- * Parallel experiment runner: fan independent runWorkload() simulations
- * across a fixed-size thread pool. Every simulation point is hermetic —
- * its own Workload, Kernel, Gpu and GlobalMemory — so runs never share
- * mutable state and the results are bit-identical to a sequential run;
- * only wall-clock time depends on the job count.
+ * Parallel experiment runner: fan independent simulations across a
+ * fixed-size thread pool. Every simulation point is hermetic — its own
+ * Workload, Kernel and Gpu state — so runs never share mutable state
+ * and the results are bit-identical to a sequential run; only
+ * wall-clock time depends on the job count. Each worker thread keeps
+ * one Gpu arena and reuses it via Gpu::reset() while consecutive runs
+ * share a config, which skips per-run construction without changing a
+ * single statistic (the SimComponent reset() contract).
  *
  * Job-count resolution (first match wins):
  *   1. `--jobs N` / `--jobs=N` on the binary's command line,
@@ -38,8 +41,9 @@ struct RunSpec
 unsigned resolveJobs(int argc, char **argv);
 
 /**
- * Simulate every spec, at most @p jobs concurrently, each on its own
- * Gpu. results[i] corresponds to specs[i]. Prints a batch wall-clock /
+ * Simulate every spec, at most @p jobs concurrently, each worker on
+ * its own Gpu arena. results[i] corresponds to specs[i]. Prints a batch
+ * wall-clock /
  * sim-rate summary to stderr. The first worker exception is rethrown
  * on the calling thread after the pool drains. While the global
  * textual Trace sink is enabled (see trace.hh), the pool is forced to

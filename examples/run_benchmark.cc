@@ -13,6 +13,11 @@
  *     --sms N               number of SMs
  *     --scale N             problem scale (0 = tiny, 1 = default)
  *     --bypass-l1           route global loads around the L1
+ *     --checkpoint PATH     write a vtsim-ckpt-v1 checkpoint (once at
+ *                           kernel end, or on a cadence with
+ *                           --checkpoint-every N)
+ *     --restore PATH        resume a checkpointed run (same benchmark
+ *                           and configuration flags as the original)
  *     --dump-stats          print every component counter afterwards
  *   run_benchmark --list    list available benchmarks
  */
@@ -40,13 +45,16 @@ usage()
                  "[--scale N]\n"
                  "       [--bypass-l1] [--throttle] [--trace FLAGS]\n"
                  "       [--stats-interval N] [--trace-json PATH]\n"
-                 "       [--dump-stats] | --list\n"
+                 "       [--checkpoint PATH] [--checkpoint-every N]\n"
+                 "       [--restore PATH] [--dump-stats] | --list\n"
                  "  trace flags: issue,mem,swap,cta,dram,barrier,all "
                  "(to stderr)\n"
                  "  --stats-interval: stat-delta JSONL every N cycles "
                  "(to stderr)\n"
                  "  --trace-json: Perfetto trace (load at "
-                 "ui.perfetto.dev)\n");
+                 "ui.perfetto.dev)\n"
+                 "  --checkpoint: vtsim-ckpt-v1 snapshot, resumable "
+                 "with --restore\n");
     std::exit(2);
 }
 
@@ -75,6 +83,9 @@ try {
     bool dump_stats = false;
     Cycle stats_interval = 0;
     std::string trace_json_path;
+    std::string checkpoint_path;
+    Cycle checkpoint_every = 0;
+    std::string restore_path;
 
     auto next_value = [&args](std::size_t &i) -> std::string {
         if (++i >= args.size())
@@ -115,6 +126,12 @@ try {
             stats_interval = std::stoull(next_value(i));
         } else if (a == "--trace-json") {
             trace_json_path = next_value(i);
+        } else if (a == "--checkpoint") {
+            checkpoint_path = next_value(i);
+        } else if (a == "--checkpoint-every") {
+            checkpoint_every = std::stoull(next_value(i));
+        } else if (a == "--restore") {
+            restore_path = next_value(i);
         } else if (a == "--dump-stats") {
             dump_stats = true;
         } else {
@@ -129,7 +146,20 @@ try {
         gpu.enableIntervalSampler(stats_interval, std::cerr);
     if (!trace_json_path.empty())
         gpu.enableTraceJson(trace_json_path);
-    const LaunchParams lp = wl->prepare(gpu.memory());
+    if (!checkpoint_path.empty())
+        gpu.setCheckpoint(checkpoint_path, checkpoint_every);
+    // Restored runs resume the checkpointed launch: device memory comes
+    // from the checkpoint, so prepare() must not overwrite it. It runs
+    // into a scratch memory instead, so the workload still learns its
+    // buffer addresses and golden outputs for the verify step.
+    LaunchParams lp;
+    if (restore_path.empty()) {
+        lp = wl->prepare(gpu.memory());
+    } else {
+        GlobalMemory scratch;
+        wl->prepare(scratch);
+        lp = gpu.restoreCheckpoint(restore_path);
+    }
     const KernelStats stats = gpu.launch(kernel, lp);
     const bool ok = wl->verify(gpu.memory());
 

@@ -24,11 +24,17 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
-Rng::Rng(std::uint64_t seed)
+Rng::Rng(std::uint64_t seed) : seed_(seed)
+{
+    reset();
+}
+
+void
+Rng::reset()
 {
     // Seed the four state words with SplitMix64 as the xoshiro authors
     // recommend; guards against the all-zero state.
-    std::uint64_t s = seed;
+    std::uint64_t s = seed_;
     for (auto &word : state_)
         word = splitMix64(s);
     if (!(state_[0] | state_[1] | state_[2] | state_[3]))

@@ -38,8 +38,31 @@ class Rng
     /** Bernoulli draw with probability @p p of true. */
     bool nextBool(double p = 0.5);
 
+    /** Rewind to the construction seed, as if freshly constructed. */
+    void reset();
+
+    /** The seed this stream was constructed with. */
+    std::uint64_t seed() const { return seed_; }
+
+    // Raw state words for checkpoint save/restore: a restored stream
+    // continues the sequence bit-identically.
+    void
+    saveState(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state_[i];
+    }
+    void
+    restoreState(const std::uint64_t in[4], std::uint64_t seed)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = in[i];
+        seed_ = seed;
+    }
+
   private:
     std::uint64_t state_[4];
+    std::uint64_t seed_;
 };
 
 } // namespace vtsim

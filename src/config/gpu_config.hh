@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <type_traits>
 
 #include "common/types.hh"
 
@@ -175,6 +176,15 @@ struct GpuConfig
      */
     bool readySetOracle = false;
 
+    /**
+     * Cross-check the central EventHorizon on every fast-forward jump:
+     * recompute each component's next event without caches and assert
+     * none precedes the horizon (always on in assert-enabled builds;
+     * this flag forces it in release builds — used by the lifecycle
+     * property tests).
+     */
+    bool horizonOracle = false;
+
     /** GTX480-class baseline used throughout the evaluation. */
     static GpuConfig fermiLike();
 
@@ -201,7 +211,19 @@ struct GpuConfig
 
     /** Pretty-print as a two-column table (used by TAB-1). */
     void print(std::ostream &os) const;
+
+    /**
+     * Memberwise equality — the parallel runner reuses a worker's Gpu
+     * arena across runs only when the configs compare equal, and
+     * checkpoint restore requires the restoring Gpu's config to match
+     * the checkpointed one.
+     */
+    bool operator==(const GpuConfig &) const = default;
 };
+
+static_assert(std::is_trivially_copyable_v<GpuConfig>,
+              "GpuConfig must stay a plain value type (checkpoints "
+              "serialize it field by field — see gpu.cc)");
 
 } // namespace vtsim
 

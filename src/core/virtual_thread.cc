@@ -5,6 +5,7 @@
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "sim/serialize_util.hh"
 #include "telemetry/trace_json.hh"
 
 namespace vtsim {
@@ -387,6 +388,99 @@ VirtualThreadManager::tick(Cycle now)
                       config_.vtSwapInLatency;
     ++swapIns_;
     traceStateChange(incoming, CtaState::SwappingIn, now);
+}
+
+void
+VirtualThreadManager::reset()
+{
+    fp_ = {};
+    ctas_.clear();
+    residentCount_ = 0;
+    nextAge_ = 0;
+    dynamicCap_ = std::numeric_limits<std::uint32_t>::max();
+    activeCtas_ = 0;
+    warpsActive_ = 0;
+    threadsActive_ = 0;
+    regsInUse_ = 0;
+    sharedInUse_ = 0;
+    swapOuts_.reset();
+    swapIns_.reset();
+    freshActivations_.reset();
+    swapInNotReady_.reset();
+    residentSamples_.reset();
+    activeSamples_.reset();
+    swapStallStreak_.reset();
+}
+
+void
+VirtualThreadManager::save(Serializer &ser) const
+{
+    const std::size_t sec = ser.beginSection("vtmg");
+    static_assert(std::is_trivially_copyable_v<CtaFootprint>);
+    ser.put(fp_);
+    // CtaRec mixes bools with wider fields, so it goes out field by
+    // field to keep the bytes free of padding.
+    ser.put<std::uint64_t>(ctas_.size());
+    for (const CtaRec &cta : ctas_) {
+        ser.put<std::uint8_t>(cta.resident);
+        ser.put<std::uint8_t>(static_cast<std::uint8_t>(cta.state));
+        ser.put(cta.transitionAt);
+        ser.put(cta.age);
+        ser.put(cta.stalledFor);
+        ser.put<std::uint8_t>(cta.everSwapped);
+        ser.put<std::uint8_t>(cta.stalledNow);
+        ser.put<std::uint8_t>(cta.triggeredNow);
+    }
+    ser.put(residentCount_);
+    ser.put(nextAge_);
+    ser.put(dynamicCap_);
+    ser.put(activeCtas_);
+    ser.put(warpsActive_);
+    ser.put(threadsActive_);
+    ser.put(regsInUse_);
+    ser.put(sharedInUse_);
+    saveStat(ser, swapOuts_);
+    saveStat(ser, swapIns_);
+    saveStat(ser, freshActivations_);
+    saveStat(ser, swapInNotReady_);
+    saveStat(ser, residentSamples_);
+    saveStat(ser, activeSamples_);
+    saveStat(ser, swapStallStreak_);
+    ser.endSection(sec);
+}
+
+void
+VirtualThreadManager::restore(Deserializer &des)
+{
+    des.beginSection("vtmg");
+    des.get(fp_);
+    ctas_.resize(des.get<std::uint64_t>());
+    for (CtaRec &cta : ctas_) {
+        cta.resident = des.get<std::uint8_t>() != 0;
+        cta.state = static_cast<CtaState>(des.get<std::uint8_t>());
+        des.get(cta.transitionAt);
+        des.get(cta.age);
+        des.get(cta.stalledFor);
+        cta.everSwapped = des.get<std::uint8_t>() != 0;
+        cta.stalledNow = des.get<std::uint8_t>() != 0;
+        cta.triggeredNow = des.get<std::uint8_t>() != 0;
+    }
+    des.get(residentCount_);
+    des.get(nextAge_);
+    des.get(dynamicCap_);
+    des.get(activeCtas_);
+    des.get(warpsActive_);
+    des.get(threadsActive_);
+    des.get(regsInUse_);
+    des.get(sharedInUse_);
+    restoreStat(des, swapOuts_);
+    restoreStat(des, swapIns_);
+    restoreStat(des, freshActivations_);
+    restoreStat(des, swapInNotReady_);
+    restoreStat(des, residentSamples_);
+    restoreStat(des, activeSamples_);
+    restoreStat(des, swapStallStreak_);
+    des.endSection();
 }
 
 } // namespace vtsim

@@ -35,6 +35,7 @@
 
 #include "common/types.hh"
 #include "config/gpu_config.hh"
+#include "sim/serializer.hh"
 #include "stats/stats.hh"
 
 namespace vtsim::telemetry {
@@ -181,6 +182,11 @@ class VirtualThreadManager
      */
     void setTraceJson(telemetry::TraceJsonWriter *writer)
     { traceJson_ = writer; }
+
+    // Checkpoint plumbing (driven by the owning SmCore).
+    void reset();
+    void save(Serializer &ser) const;
+    void restore(Deserializer &des);
 
   private:
     struct CtaRec

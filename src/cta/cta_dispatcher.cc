@@ -24,4 +24,11 @@ CtaDispatcher::next()
     return a;
 }
 
+void
+CtaDispatcher::setDispatched(std::uint64_t n)
+{
+    VTSIM_ASSERT(n <= total_, "restored dispatch cursor past grid end");
+    next_ = n;
+}
+
 } // namespace vtsim

@@ -35,6 +35,9 @@ class CtaDispatcher
     /** Take the next CTA in row-major launch order. */
     CtaAssignment next();
 
+    /** Checkpoint restore: rewind/advance the hand-out cursor. */
+    void setDispatched(std::uint64_t n);
+
   private:
     Dim3 grid_;
     std::uint64_t total_;

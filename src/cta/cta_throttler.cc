@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "sim/serialize_util.hh"
 
 namespace vtsim {
 
@@ -41,6 +42,46 @@ CtaThrottler::sample(bool issued, bool mem_stalled)
     epochSamples_ = 0;
     epochIssued_ = 0;
     epochMemStalled_ = 0;
+}
+
+void
+CtaThrottler::reset()
+{
+    cap_ = maxCap_;
+    epochSamples_ = 0;
+    epochIssued_ = 0;
+    epochMemStalled_ = 0;
+    decreases_.reset();
+    increases_.reset();
+    capSamples_.reset();
+}
+
+void
+CtaThrottler::save(Serializer &ser) const
+{
+    const std::size_t sec = ser.beginSection("thro");
+    ser.put(cap_);
+    ser.put(epochSamples_);
+    ser.put(epochIssued_);
+    ser.put(epochMemStalled_);
+    saveStat(ser, decreases_);
+    saveStat(ser, increases_);
+    saveStat(ser, capSamples_);
+    ser.endSection(sec);
+}
+
+void
+CtaThrottler::restore(Deserializer &des)
+{
+    des.beginSection("thro");
+    des.get(cap_);
+    des.get(epochSamples_);
+    des.get(epochIssued_);
+    des.get(epochMemStalled_);
+    restoreStat(des, decreases_);
+    restoreStat(des, increases_);
+    restoreStat(des, capSamples_);
+    des.endSection();
 }
 
 void

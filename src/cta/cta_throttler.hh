@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "sim/serializer.hh"
 #include "stats/stats.hh"
 
 namespace vtsim {
@@ -76,6 +77,11 @@ class CtaThrottler
     std::uint64_t decreases() const { return decreases_.value(); }
     std::uint64_t increases() const { return increases_.value(); }
     StatGroup &stats() { return stats_; }
+
+    // Checkpoint plumbing (driven by the owning SmCore).
+    void reset();
+    void save(Serializer &ser) const;
+    void restore(Deserializer &des);
 
   private:
     ThrottleParams params_;

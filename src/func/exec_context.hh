@@ -15,6 +15,7 @@
 #include "common/active_mask.hh"
 #include "common/types.hh"
 #include "isa/kernel.hh"
+#include "sim/serializer.hh"
 
 namespace vtsim {
 
@@ -57,6 +58,29 @@ struct CtaFuncState
 
     std::uint32_t readShared32(std::uint32_t byte_addr) const;
     void writeShared32(std::uint32_t byte_addr, std::uint32_t value);
+
+    // Checkpoint plumbing (driven by the owning SmCore).
+    void
+    save(Serializer &ser) const
+    {
+        ser.put(linearCtaId);
+        ser.put(ctaIdx);
+        ser.putVec(regs);
+        ser.putVec(shared);
+        ser.put(regsPerThread);
+        ser.put(threadsPerCta);
+    }
+
+    void
+    restore(Deserializer &des)
+    {
+        des.get(linearCtaId);
+        des.get(ctaIdx);
+        des.getVec(regs);
+        des.getVec(shared);
+        des.get(regsPerThread);
+        des.get(threadsPerCta);
+    }
 };
 
 /** One lane's memory access, handed to the coalescer / bank model. */

@@ -1,5 +1,7 @@
 #include "func/global_memory.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace vtsim {
@@ -103,6 +105,40 @@ GlobalMemory::alloc(std::uint64_t bytes, std::uint64_t align)
     const Addr base = allocNext_;
     allocNext_ += bytes ? bytes : 1;
     return base;
+}
+
+void
+GlobalMemory::save(Serializer &ser) const
+{
+    const std::size_t sec = ser.beginSection("gmem");
+    ser.put(allocNext_);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pages_.size());
+    for (const auto &[page, data] : pages_)
+        keys.push_back(page);
+    std::sort(keys.begin(), keys.end());
+    ser.put<std::uint64_t>(keys.size());
+    for (std::uint64_t page : keys) {
+        ser.put(page);
+        ser.putBytes(pages_.at(page).data(), pageSize);
+    }
+    ser.endSection(sec);
+}
+
+void
+GlobalMemory::restore(Deserializer &des)
+{
+    des.beginSection("gmem");
+    des.get(allocNext_);
+    pages_.clear();
+    const auto count = des.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto page = des.get<std::uint64_t>();
+        auto &data = pages_[page];
+        data.resize(pageSize);
+        des.getBytes(data.data(), pageSize);
+    }
+    des.endSection();
 }
 
 } // namespace vtsim

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/serializer.hh"
 
 namespace vtsim {
 
@@ -65,6 +66,19 @@ class GlobalMemory
 
     /** Number of pages materialised so far. */
     std::uint64_t touchedPages() const { return pages_.size(); }
+
+    /** Drop every page and rewind the allocator (arena reuse). */
+    void
+    reset()
+    {
+        pages_.clear();
+        allocNext_ = 0x1000;
+    }
+
+    // Checkpoint the full functional state. Pages go out sorted by page
+    // number so the byte stream is independent of hash iteration order.
+    void save(Serializer &ser) const;
+    void restore(Deserializer &des);
 
   private:
     std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;

@@ -1,11 +1,125 @@
 #include "gpu/gpu.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/log.hh"
-#include "gpu/stats_snapshot.hh"
 
 namespace vtsim {
+
+namespace {
+
+/**
+ * GpuConfig goes into the "conf" section field by field: the struct
+ * mixes bools and doubles with wider fields, so a raw-byte copy would
+ * leak indeterminate padding into the checkpoint and break
+ * byte-determinism. The sizeof tripwire forces this list to be updated
+ * whenever a field is added (vtsim targets one LP64 toolchain, so the
+ * value is stable).
+ */
+static_assert(sizeof(GpuConfig) == 240,
+              "GpuConfig changed — update saveConfig()/restoreConfig()");
+
+template <typename Archive, typename Config>
+void
+configFields(Archive &&field, Config &cfg)
+{
+    field(cfg.numSms);
+    field(cfg.numMemPartitions);
+    field(cfg.maxWarpsPerSm);
+    field(cfg.maxCtasPerSm);
+    field(cfg.maxThreadsPerSm);
+    field(cfg.registersPerSm);
+    field(cfg.sharedMemPerSm);
+    field(cfg.sharedMemBanks);
+    field(cfg.regAllocGranularity);
+    field(cfg.sharedAllocGranularity);
+    field(cfg.numSchedulers);
+    field(cfg.issueWidth);
+    field(cfg.schedulerPolicy);
+    field(cfg.aluLatency);
+    field(cfg.sfuLatency);
+    field(cfg.aluThroughputPerSm);
+    field(cfg.sfuThroughputPerSm);
+    field(cfg.ldstThroughputPerSm);
+    field(cfg.l1Size);
+    field(cfg.l1Assoc);
+    field(cfg.l1LineSize);
+    field(cfg.l1Mshrs);
+    field(cfg.l1MshrTargets);
+    field(cfg.l1HitLatency);
+    field(cfg.l1BypassGlobalLoads);
+    field(cfg.sharedMemLatency);
+    field(cfg.nocLatency);
+    field(cfg.nocFlitsPerCycle);
+    field(cfg.l2SlicePerPartition);
+    field(cfg.l2Assoc);
+    field(cfg.l2LineSize);
+    field(cfg.l2Mshrs);
+    field(cfg.l2MshrTargets);
+    field(cfg.l2HitLatency);
+    field(cfg.l2PortsPerCycle);
+    field(cfg.l2WriteBack);
+    field(cfg.dramBanksPerPartition);
+    field(cfg.dramRowBufferSize);
+    field(cfg.dramRowHitLatency);
+    field(cfg.dramRowMissLatency);
+    field(cfg.dramBytesPerCycle);
+    field(cfg.dramSchedWindow);
+    field(cfg.vtEnabled);
+    field(cfg.vtMaxVirtualCtasPerSm);
+    field(cfg.vtSwapOutLatency);
+    field(cfg.vtSwapInLatency);
+    field(cfg.vtSwapTrigger);
+    field(cfg.vtSwapInPolicy);
+    field(cfg.vtStallThreshold);
+    field(cfg.schedLimitMultiplier);
+    field(cfg.throttleEnabled);
+    field(cfg.throttleEpochCycles);
+    field(cfg.throttleHighWater);
+    field(cfg.throttleLowWater);
+    field(cfg.maxCycles);
+    field(cfg.fastForwardEnabled);
+    field(cfg.incrementalReadySets);
+    field(cfg.readySetOracle);
+    field(cfg.horizonOracle);
+}
+
+void
+saveConfig(Serializer &ser, const GpuConfig &cfg)
+{
+    configFields(
+        [&ser](const auto &f) {
+            using F = std::decay_t<decltype(f)>;
+            if constexpr (std::is_same_v<F, bool>)
+                ser.put<std::uint8_t>(f);
+            else if constexpr (std::is_enum_v<F>)
+                ser.put<std::uint32_t>(static_cast<std::uint32_t>(f));
+            else
+                ser.put(f);
+        },
+        cfg);
+}
+
+GpuConfig
+restoreConfig(Deserializer &des)
+{
+    GpuConfig cfg;
+    configFields(
+        [&des](auto &f) {
+            using F = std::decay_t<decltype(f)>;
+            if constexpr (std::is_same_v<F, bool>)
+                f = des.get<std::uint8_t>() != 0;
+            else if constexpr (std::is_enum_v<F>)
+                f = static_cast<F>(des.get<std::uint32_t>());
+            else
+                des.get(f);
+        },
+        cfg);
+    return cfg;
+}
+
+} // namespace
 
 Gpu::Gpu(const GpuConfig &config)
     : config_(config),
@@ -29,6 +143,33 @@ Gpu::Gpu(const GpuConfig &config)
         req.sink->memResponse(req.token, now);
     });
     noc_.setRouter([this](Addr line_addr) { return partitionOf(line_addr); });
+
+    // Register the timed components with the central horizon. The order
+    // is also the settle/reset/save order, so it must be deterministic.
+    horizon_.add(&noc_);
+    for (auto &p : partitions_)
+        horizon_.add(p.get());
+    for (auto &sm : sms_)
+        horizon_.add(sm.get());
+
+    // Scheduled wakeups the clock must not jump past: interval-sampler
+    // boundaries and checkpoint boundaries. Both read through `this`
+    // so enabling either later needs no re-registration.
+    horizon_.addConstraint(
+        [](void *ctx, Cycle) -> Cycle {
+            const auto *gpu = static_cast<const Gpu *>(ctx);
+            return gpu->sampler_ ? gpu->sampler_->nextSampleAt()
+                                 : neverCycle;
+        },
+        this);
+    horizon_.addConstraint(
+        [](void *ctx, Cycle now) -> Cycle {
+            const auto *gpu = static_cast<const Gpu *>(ctx);
+            if (gpu->checkpointEvery_ == 0)
+                return neverCycle;
+            return (now / gpu->checkpointEvery_ + 1) * gpu->checkpointEvery_;
+        },
+        this);
 
     // Flatten every component's stats into the telemetry registry.
     // Components have finished registering with their groups by now.
@@ -85,6 +226,55 @@ Gpu::attachTraceJson()
 }
 
 void
+Gpu::setCheckpoint(const std::string &path, Cycle every_n)
+{
+    checkpointPath_ = path;
+    checkpointEvery_ = every_n;
+}
+
+void
+Gpu::reset()
+{
+    horizon_.resetAll();
+    gmem_.reset();
+    cycle_ = 0;
+
+    dispatcher_.reset();
+    activeLaunch_ = LaunchParams{};
+    activeKernelName_.clear();
+    activeKernelInstrs_ = 0;
+    activeKernelRegs_ = 0;
+    activeKernelShared_ = 0;
+    before_ = StatsSnapshot{};
+    launchStart_ = 0;
+    pendingResume_ = false;
+    checkpointPath_.clear();
+    checkpointEvery_ = 0;
+
+    // Telemetry sinks are per-run wiring, not simulated state: drop
+    // them and detach the raw pointers the components hold.
+    sampler_.reset();
+    samplerFile_.reset();
+    if (traceJson_) {
+        for (auto &sm : sms_)
+            sm->setTraceJson(nullptr);
+        for (auto &p : partitions_)
+            p->setTraceJson(nullptr, 0);
+        traceJson_.reset();
+    }
+}
+
+bool
+Gpu::oracleEnabled() const
+{
+#ifndef NDEBUG
+    return true;
+#else
+    return config_.horizonOracle;
+#endif
+}
+
+void
 Gpu::takeSample()
 {
     // Lazy SM windows may span the boundary; settling them here splits
@@ -93,6 +283,132 @@ Gpu::takeSample()
     for (auto &sm : sms_)
         sm->flushFastForward();
     sampler_->sample(cycle_);
+}
+
+void
+Gpu::writeCheckpoint()
+{
+    // Checkpoints are taken at settled points only: flush the lazy SM
+    // windows so every save() sees per-cycle-exact state.
+    for (auto &sm : sms_)
+        sm->flushFastForward();
+
+    Serializer ser;
+    std::size_t sec = ser.beginSection("conf");
+    saveConfig(ser, config_);
+    ser.endSection(sec);
+
+    sec = ser.beginSection("gpux");
+    ser.put<std::uint64_t>(cycle_);
+    ser.put<std::uint64_t>(launchStart_);
+    ser.putString(activeKernelName_);
+    ser.put<std::uint64_t>(activeKernelInstrs_);
+    ser.put<std::uint32_t>(activeKernelRegs_);
+    ser.put<std::uint32_t>(activeKernelShared_);
+    ser.put(activeLaunch_.grid);
+    ser.put(activeLaunch_.cta);
+    ser.putVec(activeLaunch_.params);
+    ser.put<std::uint64_t>(dispatcher_ ? dispatcher_->dispatched() : 0);
+    before_.save(ser);
+    ser.put<std::uint8_t>(sampler_ ? 1 : 0);
+    ser.endSection(sec);
+    if (sampler_)
+        sampler_->save(ser);
+
+    gmem_.save(ser);
+    horizon_.saveAll(ser);
+
+    std::ofstream out(checkpointPath_,
+                      std::ios::binary | std::ios::trunc);
+    if (!out)
+        VTSIM_FATAL("cannot open checkpoint file '", checkpointPath_, "'");
+    const auto &payload = ser.buffer();
+    out.write("vtsimCKP", 8);
+    const std::uint32_t version = 1;
+    out.write(reinterpret_cast<const char *>(&version), sizeof(version));
+    const std::uint64_t size = payload.size();
+    out.write(reinterpret_cast<const char *>(&size), sizeof(size));
+    out.write(reinterpret_cast<const char *>(payload.data()),
+              std::streamsize(size));
+    if (!out)
+        VTSIM_FATAL("short write to checkpoint '", checkpointPath_, "'");
+}
+
+LaunchParams
+Gpu::restoreCheckpoint(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        VTSIM_FATAL("cannot open checkpoint file '", path, "'");
+    char magic[8];
+    in.read(magic, 8);
+    if (!in || std::memcmp(magic, "vtsimCKP", 8) != 0)
+        VTSIM_FATAL("'", path, "' is not a vtsim checkpoint");
+    std::uint32_t version = 0;
+    in.read(reinterpret_cast<char *>(&version), sizeof(version));
+    if (!in || version != 1)
+        VTSIM_FATAL("unsupported checkpoint version ", version,
+                    " in '", path, "'");
+    std::uint64_t size = 0;
+    in.read(reinterpret_cast<char *>(&size), sizeof(size));
+    if (!in)
+        VTSIM_FATAL("checkpoint '", path, "' is truncated");
+    std::vector<std::uint8_t> payload(size);
+    in.read(reinterpret_cast<char *>(payload.data()),
+            std::streamsize(size));
+    if (!in)
+        VTSIM_FATAL("checkpoint '", path, "' is truncated");
+
+    Deserializer des(payload);
+    des.sinkResolver = [](void *ctx, std::uint32_t sm_id)
+        -> MemResponseSink * {
+        return &static_cast<Gpu *>(ctx)->sms_.at(sm_id)->ldst();
+    };
+    des.sinkCtx = this;
+
+    des.beginSection("conf");
+    const GpuConfig saved = restoreConfig(des);
+    if (!(saved == config_)) {
+        VTSIM_FATAL("checkpoint '", path,
+                    "' was taken with a different GpuConfig");
+    }
+    des.endSection();
+
+    des.beginSection("gpux");
+    cycle_ = des.get<std::uint64_t>();
+    launchStart_ = des.get<std::uint64_t>();
+    activeKernelName_ = des.getString();
+    activeKernelInstrs_ = des.get<std::uint64_t>();
+    activeKernelRegs_ = des.get<std::uint32_t>();
+    activeKernelShared_ = des.get<std::uint32_t>();
+    des.get(activeLaunch_.grid);
+    des.get(activeLaunch_.cta);
+    des.getVec(activeLaunch_.params);
+    const auto dispatched = des.get<std::uint64_t>();
+    before_.restore(des);
+    const bool had_sampler = des.get<std::uint8_t>() != 0;
+    des.endSection();
+
+    if (had_sampler && !sampler_) {
+        VTSIM_FATAL("checkpoint has interval-sampler state; enable the "
+                    "same sampling interval before restoring");
+    }
+    if (!had_sampler && sampler_) {
+        VTSIM_FATAL("checkpoint has no interval-sampler state; restore "
+                    "without a sampler enabled");
+    }
+    if (sampler_)
+        sampler_->restore(des);
+
+    gmem_.restore(des);
+    horizon_.restoreAll(des);
+    if (!des.finished())
+        VTSIM_FATAL("checkpoint '", path, "' has trailing bytes");
+
+    dispatcher_ = std::make_unique<CtaDispatcher>(activeLaunch_);
+    dispatcher_->setDispatched(dispatched);
+    pendingResume_ = true;
+    return activeLaunch_;
 }
 
 std::uint32_t
@@ -139,12 +455,47 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
     if (launch.threadsPerCta() == 0)
         VTSIM_FATAL("empty CTA");
 
-    CtaDispatcher dispatcher(launch);
-    for (auto &sm : sms_)
-        sm->launchKernel(kernel, launch, gmem_);
+    if (pendingResume_) {
+        // Resuming a restored checkpoint: the machine state is already
+        // loaded; verify the caller passed the checkpoint's kernel and
+        // grid, then re-attach the live bindings (pointers into caller
+        // objects) that a checkpoint cannot carry.
+        pendingResume_ = false;
+        if (kernel.name() != activeKernelName_ ||
+            kernel.size() != activeKernelInstrs_ ||
+            kernel.regsPerThread() != activeKernelRegs_ ||
+            kernel.sharedBytesPerCta() != activeKernelShared_) {
+            VTSIM_FATAL("resume kernel '", kernel.name(),
+                        "' does not match the checkpoint's '",
+                        activeKernelName_, "'");
+        }
+        if (!(launch.grid == activeLaunch_.grid) ||
+            !(launch.cta == activeLaunch_.cta) ||
+            launch.params != activeLaunch_.params) {
+            VTSIM_FATAL("resume launch parameters do not match the "
+                        "checkpoint's");
+        }
+        for (auto &sm : sms_)
+            sm->rebindKernel(kernel, launch, gmem_);
+    } else {
+        dispatcher_ = std::make_unique<CtaDispatcher>(launch);
+        activeLaunch_ = launch;
+        activeKernelName_ = kernel.name();
+        activeKernelInstrs_ = kernel.size();
+        activeKernelRegs_ = kernel.regsPerThread();
+        activeKernelShared_ = kernel.sharedBytesPerCta();
+        for (auto &sm : sms_)
+            sm->launchKernel(kernel, launch, gmem_);
 
-    // Snapshot counters so stats are per-launch deltas.
-    const StatsSnapshot before = StatsSnapshot::capture(registry_);
+        // Snapshot counters so stats are per-launch deltas. The
+        // snapshot is checkpointed: a resumed launch still reports
+        // whole-launch statistics.
+        before_ = StatsSnapshot::capture(registry_);
+        launchStart_ = cycle_;
+        if (sampler_)
+            sampler_->beginLaunch(cycle_);
+    }
+    CtaDispatcher &dispatcher = *dispatcher_;
 
     const auto total_issued = [this] {
         std::uint64_t total = 0;
@@ -153,10 +504,8 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
         return total;
     };
 
-    const Cycle start = cycle_;
+    const Cycle start = launchStart_;
     const Cycle deadline = start + config_.maxCycles;
-    if (sampler_)
-        sampler_->beginLaunch(start);
     while (true) {
         // CTA work distribution: one CTA per SM per cycle, round-robin.
         bool admitted = false;
@@ -177,7 +526,16 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
         ++cycle_;
         if (sampler_ && cycle_ == sampler_->nextSampleAt())
             takeSample();
-        if (!dispatcher.hasWork() && allIdle())
+        const bool done = !dispatcher.hasWork() && allIdle();
+        // Periodic checkpoints land on multiples of checkpointEvery_,
+        // and only strictly mid-kernel: a resumed launch re-enters the
+        // loop exactly where the admission phase for this cycle would
+        // have run, so the remainder replays bit-identically.
+        if (checkpointEvery_ != 0 && !done && !checkpointPath_.empty() &&
+            cycle_ % checkpointEvery_ == 0) {
+            writeCheckpoint();
+        }
+        if (done)
             break;
         if (cycle_ >= deadline) {
             VTSIM_FATAL("watchdog: kernel '", kernel.name(),
@@ -188,7 +546,9 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
         // the next admission/issue/completion provably lies in the
         // future, jump straight to it, bulk-replicating the per-cycle
         // accounting the skipped empty ticks would have done. Every
-        // statistic is bit-identical to the naive loop's.
+        // statistic is bit-identical to the naive loop's. The horizon
+        // itself — the min over component next events, clamped by
+        // sampler/checkpoint wakeups — is EventHorizon's job.
         if (!config_.fastForwardEnabled)
             continue;
         if (admitted || total_issued() != issued_before)
@@ -200,22 +560,10 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
             if (can_admit)
                 continue; // The next iteration admits a CTA.
         }
-        Cycle horizon = noc_.nextEventCycle(cycle_);
-        for (const auto &p : partitions_)
-            horizon = std::min(horizon, p->nextEventCycle(cycle_));
-        for (const auto &sm : sms_)
-            horizon = std::min(horizon, sm->nextEventCycle(cycle_));
-        horizon = std::min(horizon, deadline);
-        // Sample boundaries are scheduled wakeups: never jump past one,
-        // so fast-forwarded runs sample at exactly the same cycles.
-        if (sampler_)
-            horizon = std::min(horizon, sampler_->nextSampleAt());
+        const Cycle horizon = horizon_.target(cycle_, deadline);
         if (horizon <= cycle_)
             continue;
-        const std::uint64_t skipped = horizon - cycle_;
-        for (auto &sm : sms_)
-            sm->fastForwardIdle(cycle_, skipped);
-        fastForwardedCycles_ += skipped;
+        horizon_.advance(cycle_, horizon, oracleEnabled());
         cycle_ = horizon;
         if (cycle_ >= deadline) {
             VTSIM_FATAL("watchdog: kernel '", kernel.name(),
@@ -223,6 +571,10 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
         }
         if (sampler_ && cycle_ == sampler_->nextSampleAt())
             takeSample();
+        if (checkpointEvery_ != 0 && !checkpointPath_.empty() &&
+            cycle_ % checkpointEvery_ == 0) {
+            writeCheckpoint();
+        }
     }
 
     // Settle lazily skipped per-SM ticks before reading any statistic.
@@ -230,10 +582,12 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
         sm->flushFastForward();
     if (sampler_)
         sampler_->finalSample(cycle_);
+    if (checkpointEvery_ == 0 && !checkpointPath_.empty())
+        writeCheckpoint();
 
     KernelStats stats;
     stats.cycles = cycle_ - start;
-    StatsSnapshot::capture(registry_).delta(before, registry_, stats);
+    StatsSnapshot::capture(registry_).delta(before_, registry_, stats);
 
     VTSIM_ASSERT(stats.ctasCompleted == launch.numCtas(),
                  "CTA completion mismatch: ", stats.ctasCompleted, " of ",

@@ -3,6 +3,11 @@
  * The top-level simulated GPU — the public API of vtsim. Construct one
  * with a GpuConfig, fill device memory through memory(), then launch()
  * kernels and read back results and statistics.
+ *
+ * The Gpu owns the central EventHorizon that drives every component's
+ * SimComponent lifecycle: fast-forward jumps, deterministic reset()
+ * for arena reuse, and checkpoint/restore (format vtsim-ckpt-v1, see
+ * sim/serializer.hh).
  */
 
 #ifndef VTSIM_GPU_GPU_HH
@@ -15,10 +20,13 @@
 #include <vector>
 
 #include "config/gpu_config.hh"
+#include "cta/cta_dispatcher.hh"
 #include "func/global_memory.hh"
+#include "gpu/stats_snapshot.hh"
 #include "isa/kernel.hh"
 #include "mem/interconnect.hh"
 #include "mem/memory_partition.hh"
+#include "sim/event_horizon.hh"
 #include "sm/sm_core.hh"
 #include "telemetry/interval_sampler.hh"
 #include "telemetry/stat_registry.hh"
@@ -72,10 +80,43 @@ class Gpu
 
     /**
      * Launch @p kernel over @p launch and simulate to completion.
+     * After restoreCheckpoint(), the same call (same kernel, the
+     * returned LaunchParams) resumes the interrupted launch instead.
      * @return The launch's statistics.
      * @throws FatalError on invalid configuration or watchdog expiry.
      */
     KernelStats launch(const Kernel &kernel, const LaunchParams &launch);
+
+    /**
+     * Return this Gpu to its freshly-constructed state for the same
+     * config: cycle 0, empty queues, zeroed statistics, cold caches,
+     * empty device memory, no telemetry sinks or checkpoint cadence.
+     * A subsequent run is bit-identical to one on a newly constructed
+     * Gpu, so a worker thread (bench/parallel_runner.cc) can reuse one
+     * arena across runs instead of reconstructing it.
+     */
+    void reset();
+
+    /**
+     * Write checkpoints of subsequent launches to @p path (format
+     * vtsim-ckpt-v1). With @p every_n == 0, one checkpoint is written
+     * when the launch completes — a validated record of the final
+     * state. With @p every_n > 0, one is written (overwriting @p path)
+     * each time the clock crosses a multiple of @p every_n cycles;
+     * fast-forward jumps are clamped so no boundary is skipped, and
+     * restoring any such mid-kernel checkpoint finishes the launch
+     * bit-identically to the uninterrupted run.
+     */
+    void setCheckpoint(const std::string &path, Cycle every_n = 0);
+
+    /**
+     * Load a vtsim-ckpt-v1 checkpoint into this Gpu. The Gpu must be
+     * freshly constructed (or reset) with the same GpuConfig, with the
+     * same interval sampler enabled as the checkpointed run had (state
+     * for it is in the checkpoint). Returns the original LaunchParams;
+     * pass them to launch() with the original kernel to resume.
+     */
+    LaunchParams restoreCheckpoint(const std::string &path);
 
     /** Invalidate all caches (between unrelated kernels). */
     void flushCaches();
@@ -92,7 +133,7 @@ class Gpu
 
     /** Cycles covered by event-horizon jumps rather than ticks (counts
      *  toward totalCycles; a measure of how much work skipping saved). */
-    Cycle fastForwardedCycles() const { return fastForwardedCycles_; }
+    Cycle fastForwardedCycles() const { return horizon_.fastForwarded(); }
 
     /**
      * Dump every component's statistics (SMs, VT managers, L1s, L2
@@ -110,7 +151,8 @@ class Gpu
      * of subsequent launches (see telemetry/interval_sampler.hh). The
      * stream overload keeps no ownership; the path overload opens the
      * file now. The series is identical with fastForwardEnabled on or
-     * off: launch() clamps event-horizon jumps to sample boundaries.
+     * off: sample boundaries are event-horizon constraints, so jumps
+     * never cross one.
      */
     void enableIntervalSampler(Cycle interval, std::ostream &os);
     void enableIntervalSampler(Cycle interval, const std::string &path);
@@ -130,14 +172,34 @@ class Gpu
     void attachTraceJson();
     /** Settle lazy SM windows and emit the boundary sample at cycle_. */
     void takeSample();
+    /** Serialize the settled machine to checkpointPath_. */
+    void writeCheckpoint();
+    /** The verifyHorizon oracle: always in debug builds, opt-in via
+     *  GpuConfig::horizonOracle in release builds. */
+    bool oracleEnabled() const;
 
     GpuConfig config_;
     GlobalMemory gmem_;
     Interconnect noc_;
     std::vector<std::unique_ptr<MemoryPartition>> partitions_;
     std::vector<std::unique_ptr<SmCore>> sms_;
+    EventHorizon horizon_;
     Cycle cycle_ = 0;
-    Cycle fastForwardedCycles_ = 0;
+
+    // Launch context lives in members (not launch() locals) so
+    // checkpoints can carry an interrupted launch across processes.
+    std::unique_ptr<CtaDispatcher> dispatcher_;
+    LaunchParams activeLaunch_;
+    std::string activeKernelName_;
+    std::uint64_t activeKernelInstrs_ = 0;
+    std::uint32_t activeKernelRegs_ = 0;
+    std::uint32_t activeKernelShared_ = 0;
+    StatsSnapshot before_;
+    Cycle launchStart_ = 0;
+    bool pendingResume_ = false;
+
+    std::string checkpointPath_;
+    Cycle checkpointEvery_ = 0;
 
     telemetry::StatRegistry registry_;
     std::unique_ptr<std::ofstream> samplerFile_;

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/serializer.hh"
 #include "telemetry/stat_registry.hh"
 
 namespace vtsim {
@@ -36,6 +37,9 @@ class StatsSnapshot
     void delta(const StatsSnapshot &before,
                const telemetry::StatRegistry &registry,
                KernelStats &stats) const;
+
+    void save(Serializer &ser) const { ser.putVec(values_); }
+    void restore(Deserializer &des) { des.getVec(values_); }
 
   private:
     std::vector<std::uint64_t> values_;

@@ -1,6 +1,9 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
+#include "sim/serialize_util.hh"
 
 namespace vtsim {
 
@@ -189,6 +192,105 @@ Cache::probeDirty(Addr line_addr) const
 {
     const Line *line = findLine(line_addr);
     return line && line->dirty;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    std::fill(mruWay_.begin(), mruWay_.end(), 0u);
+    mshrs_.clear();
+    useClock_ = 0;
+    hits_.reset();
+    misses_.reset();
+    mshrMerges_.reset();
+    mshrRejects_.reset();
+    evictions_.reset();
+    dirtyEvictions_.reset();
+    storeHits_.reset();
+    storeMisses_.reset();
+}
+
+void
+Cache::save(Serializer &ser) const
+{
+    const std::size_t sec = ser.beginSection("cash");
+    ser.put<std::uint64_t>(lines_.size());
+    for (const Line &line : lines_) {
+        ser.put(line.tag);
+        ser.put<std::uint8_t>(line.valid);
+        ser.put<std::uint8_t>(line.dirty);
+        ser.put(line.lastUse);
+    }
+    ser.putVec(mruWay_);
+    ser.put(useClock_);
+
+    // MSHRs in sorted key order so the checkpoint is deterministic
+    // regardless of hash iteration order.
+    std::vector<Addr> keys;
+    keys.reserve(mshrs_.size());
+    for (const auto &[addr, entry] : mshrs_)
+        keys.push_back(addr);
+    std::sort(keys.begin(), keys.end());
+    ser.put<std::uint64_t>(keys.size());
+    for (Addr addr : keys) {
+        const MshrEntry &entry = mshrs_.at(addr);
+        ser.put(entry.lineAddr);
+        ser.put<std::uint64_t>(entry.targets.size());
+        for (const MemRequest &req : entry.targets)
+            saveMemRequest(ser, req);
+    }
+
+    saveStat(ser, hits_);
+    saveStat(ser, misses_);
+    saveStat(ser, mshrMerges_);
+    saveStat(ser, mshrRejects_);
+    saveStat(ser, evictions_);
+    saveStat(ser, dirtyEvictions_);
+    saveStat(ser, storeHits_);
+    saveStat(ser, storeMisses_);
+    ser.endSection(sec);
+}
+
+void
+Cache::restore(Deserializer &des)
+{
+    des.beginSection("cash");
+    const auto num_lines = des.get<std::uint64_t>();
+    VTSIM_ASSERT(num_lines == lines_.size(),
+                 "cache geometry mismatch in checkpoint for ", params_.name);
+    for (Line &line : lines_) {
+        des.get(line.tag);
+        line.valid = des.get<std::uint8_t>() != 0;
+        line.dirty = des.get<std::uint8_t>() != 0;
+        des.get(line.lastUse);
+    }
+    des.getVec(mruWay_);
+    VTSIM_ASSERT(mruWay_.size() == numSets_, "cache set-count mismatch");
+    des.get(useClock_);
+
+    mshrs_.clear();
+    const auto num_mshrs = des.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < num_mshrs; ++i) {
+        MshrEntry entry;
+        des.get(entry.lineAddr);
+        const auto num_targets = des.get<std::uint64_t>();
+        entry.targets.reserve(num_targets);
+        for (std::uint64_t t = 0; t < num_targets; ++t)
+            entry.targets.push_back(restoreMemRequest(des));
+        mshrs_.emplace(entry.lineAddr, std::move(entry));
+    }
+
+    restoreStat(des, hits_);
+    restoreStat(des, misses_);
+    restoreStat(des, mshrMerges_);
+    restoreStat(des, mshrRejects_);
+    restoreStat(des, evictions_);
+    restoreStat(des, dirtyEvictions_);
+    restoreStat(des, storeHits_);
+    restoreStat(des, storeMisses_);
+    des.endSection();
 }
 
 void

@@ -16,6 +16,7 @@
 
 #include "common/types.hh"
 #include "mem/mem_request.hh"
+#include "sim/sim_component.hh"
 #include "stats/stats.hh"
 
 namespace vtsim {
@@ -61,7 +62,7 @@ struct FillResult
     Addr evictedLine = 0;
 };
 
-class Cache
+class Cache : public SimComponent
 {
   public:
     explicit Cache(const CacheParams &params);
@@ -113,6 +114,11 @@ class Cache
     // Raw stat accessors used by benches.
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
+
+    // SimComponent lifecycle (a cache is passive: no tick/next-event).
+    void reset() override;
+    void save(Serializer &ser) const override;
+    void restore(Deserializer &des) override;
 
   private:
     struct Line

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "sim/serialize_util.hh"
 #include "telemetry/trace_json.hh"
 
 namespace vtsim {
@@ -110,7 +111,7 @@ Dram::issueOne(Cycle now)
 }
 
 std::vector<Addr>
-Dram::tick(Cycle now)
+Dram::advance(Cycle now)
 {
     std::vector<Addr> completed;
     while (!inFlight_.empty() && inFlight_.top().readyAt <= now) {
@@ -126,7 +127,7 @@ Dram::tick(Cycle now)
 }
 
 Cycle
-Dram::nextEventCycle(Cycle now) const
+Dram::nextEventCycle(Cycle now)
 {
     Cycle next = neverCycle;
     if (!inFlight_.empty())
@@ -147,6 +148,87 @@ bool
 Dram::idle() const
 {
     return queue_.empty() && inFlight_.empty();
+}
+
+void
+Dram::reset()
+{
+    for (auto &bank : banks_)
+        bank = Bank{};
+    queue_.clear();
+    inFlight_ = {};
+    busReadyAt_ = 0;
+    rowHits_.reset();
+    rowMisses_.reset();
+    bytes_.reset();
+    queueDepth_.reset();
+}
+
+void
+Dram::save(Serializer &ser) const
+{
+    const std::size_t sec = ser.beginSection("dram");
+    ser.putVec(banks_);
+    ser.put<std::uint64_t>(queue_.size());
+    for (const Request &req : queue_) {
+        ser.put(req.lineAddr);
+        ser.put(req.bytes);
+        ser.put<std::uint8_t>(req.needsCompletion);
+        ser.put(req.bank);
+        ser.put(req.row);
+    }
+    // Drain a copy of the completion heap; re-pushing on restore
+    // rebuilds an equivalent heap.
+    auto in_flight = inFlight_;
+    ser.put<std::uint64_t>(in_flight.size());
+    while (!in_flight.empty()) {
+        const Completion &c = in_flight.top();
+        ser.put(c.readyAt);
+        ser.put(c.lineAddr);
+        ser.put<std::uint8_t>(c.needsCompletion);
+        in_flight.pop();
+    }
+    ser.put(busReadyAt_);
+    saveStat(ser, rowHits_);
+    saveStat(ser, rowMisses_);
+    saveStat(ser, bytes_);
+    saveStat(ser, queueDepth_);
+    ser.endSection(sec);
+}
+
+void
+Dram::restore(Deserializer &des)
+{
+    des.beginSection("dram");
+    const std::size_t num_banks = banks_.size();
+    des.getVec(banks_);
+    VTSIM_ASSERT(banks_.size() == num_banks, "DRAM bank-count mismatch");
+    queue_.clear();
+    const auto queued = des.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < queued; ++i) {
+        Request req;
+        des.get(req.lineAddr);
+        des.get(req.bytes);
+        req.needsCompletion = des.get<std::uint8_t>() != 0;
+        des.get(req.bank);
+        des.get(req.row);
+        queue_.push_back(req);
+    }
+    inFlight_ = {};
+    const auto in_flight = des.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < in_flight; ++i) {
+        Completion c;
+        des.get(c.readyAt);
+        des.get(c.lineAddr);
+        c.needsCompletion = des.get<std::uint8_t>() != 0;
+        inFlight_.push(c);
+    }
+    des.get(busReadyAt_);
+    restoreStat(des, rowHits_);
+    restoreStat(des, rowMisses_);
+    restoreStat(des, bytes_);
+    restoreStat(des, queueDepth_);
+    des.endSection();
 }
 
 } // namespace vtsim

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/sim_component.hh"
 #include "stats/stats.hh"
 
 namespace vtsim::telemetry {
@@ -48,7 +49,7 @@ struct DramParams
     std::uint32_t addressStride = 1;
 };
 
-class Dram
+class Dram : public SimComponent
 {
   public:
     explicit Dram(const DramParams &params);
@@ -63,21 +64,29 @@ class Dram
 
     /**
      * Advance one cycle: issue commands (FR-FCFS) and collect finished
-     * reads.
+     * reads. Named advance() rather than SimComponent::tick() because it
+     * returns the completed lines to its owning MemoryPartition — the
+     * partition is the registered timed component; the channel rides
+     * inside it.
      * @return Line addresses of reads whose data completed this cycle.
      */
-    std::vector<Addr> tick(Cycle now);
+    std::vector<Addr> advance(Cycle now);
 
     /** No requests queued or in flight. */
     bool idle() const;
 
     /**
-     * Earliest cycle >= @p now at which tick() might complete a read or
-     * issue a command: the earliest in-flight completion, or the
+     * Earliest cycle >= @p now at which advance() might complete a read
+     * or issue a command: the earliest in-flight completion, or the
      * earliest cycle a bank with a schedulable request frees up.
      * neverCycle when the channel is idle.
      */
-    Cycle nextEventCycle(Cycle now) const;
+    Cycle nextEventCycle(Cycle now) override;
+
+    // SimComponent lifecycle.
+    void reset() override;
+    void save(Serializer &ser) const override;
+    void restore(Deserializer &des) override;
 
     StatGroup &stats() { return stats_; }
     std::uint64_t rowHits() const { return rowHits_.value(); }
@@ -107,8 +116,17 @@ class Dram
         Cycle readyAt;
         Addr lineAddr;
         bool needsCompletion;
+        /** Total order (see LdstUnit::HitCompletion): pop order must
+         *  depend on state only, so checkpoint restore cannot reorder
+         *  same-cycle ties. */
         bool operator>(const Completion &o) const
-        { return readyAt > o.readyAt; }
+        {
+            if (readyAt != o.readyAt)
+                return readyAt > o.readyAt;
+            if (lineAddr != o.lineAddr)
+                return lineAddr > o.lineAddr;
+            return needsCompletion > o.needsCompletion;
+        }
     };
 
     struct Bank

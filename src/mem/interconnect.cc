@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "sim/serialize_util.hh"
 
 namespace vtsim {
 
@@ -67,11 +68,11 @@ Interconnect::tick(Cycle now)
         drain(queue, toSm_, now);
         respFlits_ += before - queue.size();
     }
-    ffHorizon_ = params_.lazyTick ? nextEventCycle(now + 1) : 0;
+    ffHorizon_ = params_.lazyTick ? computeNextEvent(now + 1) : 0;
 }
 
 Cycle
-Interconnect::nextEventCycle(Cycle now) const
+Interconnect::computeNextEvent(Cycle now) const
 {
     // Queues are FIFO and readyAt is monotone per queue, so only the
     // heads matter. A head that is already ready was bandwidth-limited
@@ -98,6 +99,74 @@ Interconnect::idle() const
         if (!queue.empty())
             return false;
     return true;
+}
+
+void
+Interconnect::reset()
+{
+    ffHorizon_ = 0;
+    for (auto &queue : reqQueues_)
+        queue.clear();
+    for (auto &queue : respQueues_)
+        queue.clear();
+    reqFlits_.reset();
+    respFlits_.reset();
+    stallCycles_.reset();
+}
+
+void
+Interconnect::saveQueues(Serializer &ser,
+                         const std::vector<std::deque<InFlight>> &queues)
+{
+    for (const auto &queue : queues) {
+        ser.put<std::uint64_t>(queue.size());
+        for (const InFlight &f : queue) {
+            saveMemRequest(ser, f.req);
+            ser.put(f.readyAt);
+        }
+    }
+}
+
+void
+Interconnect::restoreQueues(Deserializer &des,
+                            std::vector<std::deque<InFlight>> &queues)
+{
+    for (auto &queue : queues) {
+        queue.clear();
+        const auto n = des.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            InFlight f;
+            f.req = restoreMemRequest(des);
+            des.get(f.readyAt);
+            queue.push_back(f);
+        }
+    }
+}
+
+void
+Interconnect::save(Serializer &ser) const
+{
+    const std::size_t sec = ser.beginSection("nocx");
+    ser.put(ffHorizon_);
+    saveQueues(ser, reqQueues_);
+    saveQueues(ser, respQueues_);
+    saveStat(ser, reqFlits_);
+    saveStat(ser, respFlits_);
+    saveStat(ser, stallCycles_);
+    ser.endSection(sec);
+}
+
+void
+Interconnect::restore(Deserializer &des)
+{
+    des.beginSection("nocx");
+    des.get(ffHorizon_);
+    restoreQueues(des, reqQueues_);
+    restoreQueues(des, respQueues_);
+    restoreStat(des, reqFlits_);
+    restoreStat(des, respFlits_);
+    restoreStat(des, stallCycles_);
+    des.endSection();
 }
 
 } // namespace vtsim

@@ -16,6 +16,7 @@
 
 #include "common/types.hh"
 #include "mem/mem_request.hh"
+#include "sim/sim_component.hh"
 #include "stats/stats.hh"
 
 namespace vtsim {
@@ -31,7 +32,7 @@ struct NocParams
     bool lazyTick = true;
 };
 
-class Interconnect
+class Interconnect : public SimComponent
 {
   public:
     using Deliver = std::function<void(const MemRequest &, Cycle)>;
@@ -53,7 +54,7 @@ class Interconnect
 
     /** Deliver everything whose traversal completed by @p now, respecting
      *  per-port bandwidth. */
-    void tick(Cycle now);
+    void tick(Cycle now) override;
 
     bool idle() const;
 
@@ -62,7 +63,13 @@ class Interconnect
      * (event-horizon fast-forward protocol; see docs/ARCHITECTURE.md).
      * neverCycle when every queue is empty.
      */
-    Cycle nextEventCycle(Cycle now) const;
+    Cycle nextEventCycle(Cycle now) override { return computeNextEvent(now); }
+
+    // SimComponent lifecycle. No settleTo: queue heads carry absolute
+    // ready cycles and no per-cycle accounting is deferred.
+    void reset() override;
+    void save(Serializer &ser) const override;
+    void restore(Deserializer &des) override;
 
     StatGroup &stats() { return stats_; }
     std::uint64_t requestFlits() const { return reqFlits_.value(); }
@@ -77,6 +84,11 @@ class Interconnect
 
     void drain(std::deque<InFlight> &queue, const Deliver &deliver,
                Cycle now);
+    Cycle computeNextEvent(Cycle now) const;
+    static void saveQueues(Serializer &ser,
+                           const std::vector<std::deque<InFlight>> &queues);
+    static void restoreQueues(Deserializer &des,
+                              std::vector<std::deque<InFlight>> &queues);
 
     NocParams params_;
     /** Lazy-tick horizon: while now < ffHorizon_ and nothing is sent,

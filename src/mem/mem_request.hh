@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "sim/serializer.hh"
 
 namespace vtsim {
 
@@ -46,6 +47,36 @@ struct MemRequest
     MemResponseSink *sink = nullptr; ///< Null for stores (no response).
     std::uint64_t token = 0;
 };
+
+/**
+ * Checkpoint a request. The sink pointer is process-local, so only its
+ * presence is recorded; restore rebinds it through the Deserializer's
+ * sink resolver (srcSm -> the owning SM's LdstUnit).
+ */
+inline void
+saveMemRequest(Serializer &ser, const MemRequest &req)
+{
+    ser.put(req.lineAddr);
+    ser.put(req.bytes);
+    ser.put(req.kind);
+    ser.put(req.srcSm);
+    ser.put<std::uint8_t>(req.sink ? 1 : 0);
+    ser.put(req.token);
+}
+
+inline MemRequest
+restoreMemRequest(Deserializer &des)
+{
+    MemRequest req;
+    des.get(req.lineAddr);
+    des.get(req.bytes);
+    des.get(req.kind);
+    des.get(req.srcSm);
+    const bool has_sink = des.get<std::uint8_t>() != 0;
+    des.get(req.token);
+    req.sink = has_sink ? des.resolveSink(req.srcSm) : nullptr;
+    return req;
+}
 
 } // namespace vtsim
 

@@ -103,7 +103,7 @@ MemoryPartition::tick(Cycle now)
         return;
 
     // 1. DRAM fills that completed: install in L2 and answer waiters.
-    for (Addr line : dram_.tick(now)) {
+    for (Addr line : dram_.advance(now)) {
         const FillResult res = l2_.fill(line);
         for (const MemRequest &target : res.targets)
             respPending_.push({now + config_.l2HitLatency, target});
@@ -136,7 +136,7 @@ MemoryPartition::tick(Cycle now)
 }
 
 Cycle
-MemoryPartition::nextEventCycle(Cycle now) const
+MemoryPartition::nextEventCycle(Cycle now)
 {
     // Queued input is serviced every tick (even a head parked on a full
     // MSHR retries), so its next event is immediate.
@@ -153,6 +153,58 @@ MemoryPartition::idle() const
 {
     return input_.empty() && dram_.idle() && respPending_.empty() &&
            l2_.mshrsInUse() == 0;
+}
+
+void
+MemoryPartition::reset()
+{
+    input_.clear();
+    respPending_ = {};
+    ffHorizon_ = 0;
+    l2_.reset();
+    dram_.reset();
+}
+
+void
+MemoryPartition::save(Serializer &ser) const
+{
+    const std::size_t sec = ser.beginSection("part");
+    ser.put(ffHorizon_);
+    ser.put<std::uint64_t>(input_.size());
+    for (const MemRequest &req : input_)
+        saveMemRequest(ser, req);
+    auto pending = respPending_;
+    ser.put<std::uint64_t>(pending.size());
+    while (!pending.empty()) {
+        ser.put(pending.top().readyAt);
+        saveMemRequest(ser, pending.top().req);
+        pending.pop();
+    }
+    ser.endSection(sec);
+    l2_.save(ser);
+    dram_.save(ser);
+}
+
+void
+MemoryPartition::restore(Deserializer &des)
+{
+    des.beginSection("part");
+    des.get(ffHorizon_);
+    input_.clear();
+    const auto inputs = des.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < inputs; ++i)
+        input_.push_back(restoreMemRequest(des));
+    respPending_ = {};
+    const auto pending = des.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < pending; ++i) {
+        PendingResponse pr;
+        des.get(pr.readyAt);
+        pr.req = restoreMemRequest(des);
+        respPending_.push(pr);
+    }
+    des.endSection();
+    l2_.restore(des);
+    dram_.restore(des);
 }
 
 } // namespace vtsim

@@ -14,6 +14,7 @@
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/mem_request.hh"
+#include "sim/sim_component.hh"
 
 namespace vtsim::telemetry {
 class StatRegistry;
@@ -24,7 +25,7 @@ namespace vtsim {
 
 class Interconnect;
 
-class MemoryPartition
+class MemoryPartition : public SimComponent
 {
   public:
     MemoryPartition(std::uint32_t id, const GpuConfig &config,
@@ -34,7 +35,7 @@ class MemoryPartition
     void receive(const MemRequest &req, Cycle now);
 
     /** Advance one cycle: service the input queue and DRAM completions. */
-    void tick(Cycle now);
+    void tick(Cycle now) override;
 
     /** True when no work is queued or in flight. */
     bool idle() const;
@@ -44,7 +45,13 @@ class MemoryPartition
      * requests (next tick), matured responses, or DRAM activity.
      * neverCycle when nothing is pending.
      */
-    Cycle nextEventCycle(Cycle now) const;
+    Cycle nextEventCycle(Cycle now) override;
+
+    // SimComponent lifecycle. No settleTo: the partition keeps no
+    // per-cycle statistics, so skipped cycles need no accounting.
+    void reset() override;
+    void save(Serializer &ser) const override;
+    void restore(Deserializer &des) override;
 
     /** Invalidate the L2 slice (kernel boundary). */
     void flushCaches()
@@ -86,8 +93,17 @@ class MemoryPartition
     {
         Cycle readyAt;
         MemRequest req;
+        /** Total order (see LdstUnit::HitCompletion): (srcSm, token)
+         *  uniquely identifies a transaction, so same-cycle ties pop
+         *  identically in an uninterrupted and a restored run. */
         bool operator>(const PendingResponse &o) const
-        { return readyAt > o.readyAt; }
+        {
+            if (readyAt != o.readyAt)
+                return readyAt > o.readyAt;
+            if (req.srcSm != o.req.srcSm)
+                return req.srcSm > o.req.srcSm;
+            return req.token > o.req.token;
+        }
     };
     std::priority_queue<PendingResponse, std::vector<PendingResponse>,
                         std::greater<>> respPending_;

@@ -9,6 +9,7 @@
 #define VTSIM_MEM_SHARED_MEMORY_HH
 
 #include "common/types.hh"
+#include "sim/serialize_util.hh"
 #include "stats/stats.hh"
 
 namespace vtsim {
@@ -37,6 +38,35 @@ class SharedMemoryModel
 
     StatGroup &stats() { return stats_; }
     std::uint64_t conflictPasses() const { return conflictPasses_.value(); }
+
+    // Lifecycle helpers driven by the owning SmCore.
+    void
+    reset()
+    {
+        portReadyAt_ = 0;
+        accesses_.reset();
+        conflictPasses_.reset();
+    }
+
+    void
+    save(Serializer &ser) const
+    {
+        const std::size_t sec = ser.beginSection("shmm");
+        ser.put(portReadyAt_);
+        saveStat(ser, accesses_);
+        saveStat(ser, conflictPasses_);
+        ser.endSection(sec);
+    }
+
+    void
+    restore(Deserializer &des)
+    {
+        des.beginSection("shmm");
+        des.get(portReadyAt_);
+        restoreStat(des, accesses_);
+        restoreStat(des, conflictPasses_);
+        des.endSection();
+    }
 
   private:
     std::uint32_t latency_;

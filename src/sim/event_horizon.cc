@@ -1,0 +1,79 @@
+#include "sim/event_horizon.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+Cycle
+EventHorizon::target(Cycle now, Cycle deadline)
+{
+    Cycle horizon = deadline;
+    for (SimComponent *c : components_)
+        horizon = std::min(horizon, c->nextEventCycle(now));
+    for (const BoundConstraint &bc : constraints_)
+        horizon = std::min(horizon, bc.fn(bc.ctx, now));
+    return std::max(horizon, now);
+}
+
+void
+EventHorizon::advance(Cycle now, Cycle to, bool oracle)
+{
+    VTSIM_ASSERT(to > now, "fast-forward target ", to, " not past ", now);
+    if (oracle)
+        verifyHorizon(now, to);
+    for (SimComponent *c : components_)
+        c->settleTo(to);
+    fastForwarded_ += to - now;
+}
+
+void
+EventHorizon::verifyHorizon(Cycle now, Cycle horizon)
+{
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        const Cycle fresh = components_[i]->nextEventCycleFresh(now);
+        VTSIM_ASSERT(fresh >= horizon,
+                     "horizon oracle: component ", i, " has a real event at ",
+                     fresh, " before horizon ", horizon, " (now=", now, ")");
+    }
+}
+
+void
+EventHorizon::resetAll()
+{
+    for (SimComponent *c : components_)
+        c->reset();
+    fastForwarded_ = 0;
+}
+
+void
+EventHorizon::saveAll(Serializer &ser) const
+{
+    // fastForwarded_ is deliberately NOT serialized: it measures how
+    // this process reached the state (jump patterns differ between a
+    // boundary-clamped checkpointing run and an unclamped one), not
+    // the state itself. Leaving it out keeps final checkpoints of a
+    // resumed run byte-identical to the uninterrupted run's.
+    const std::size_t sec = ser.beginSection("horz");
+    ser.put<std::uint64_t>(components_.size());
+    ser.endSection(sec);
+    for (const SimComponent *c : components_)
+        c->save(ser);
+}
+
+void
+EventHorizon::restoreAll(Deserializer &des)
+{
+    des.beginSection("horz");
+    const auto n = des.get<std::uint64_t>();
+    VTSIM_ASSERT(n == components_.size(),
+                 "checkpoint has ", n, " components, this Gpu has ",
+                 components_.size());
+    des.endSection();
+    fastForwarded_ = 0; // Counts this process's jumps only.
+    for (SimComponent *c : components_)
+        c->restore(des);
+}
+
+} // namespace vtsim

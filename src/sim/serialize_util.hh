@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Save/restore helpers for the statistics classes.
+ *
+ * StatGroup holds const pointers, so checkpointing goes through the
+ * owning component, which serializes its own stat members with these
+ * helpers. Kept out of stats.hh so the stats layer stays independent of
+ * the checkpoint layer.
+ */
+
+#ifndef VTSIM_SIM_SERIALIZE_UTIL_HH
+#define VTSIM_SIM_SERIALIZE_UTIL_HH
+
+#include "sim/serializer.hh"
+#include "stats/stats.hh"
+
+namespace vtsim {
+
+inline void
+saveStat(Serializer &ser, const Counter &c)
+{
+    ser.put<std::uint64_t>(c.value());
+}
+
+inline void
+restoreStat(Deserializer &des, Counter &c)
+{
+    c.restoreState(des.get<std::uint64_t>());
+}
+
+inline void
+saveStat(Serializer &ser, const ScalarStat &s)
+{
+    ser.put<std::uint64_t>(s.count());
+    ser.put<double>(s.sum());
+    ser.put<double>(s.rawMin());
+    ser.put<double>(s.rawMax());
+}
+
+inline void
+restoreStat(Deserializer &des, ScalarStat &s)
+{
+    const auto count = des.get<std::uint64_t>();
+    const auto sum = des.get<double>();
+    const auto min = des.get<double>();
+    const auto max = des.get<double>();
+    s.restoreState(count, sum, min, max);
+}
+
+inline void
+saveStat(Serializer &ser, const Histogram &h)
+{
+    std::vector<std::uint64_t> buckets(h.bucketCount());
+    for (std::uint32_t i = 0; i < h.bucketCount(); ++i)
+        buckets[i] = h.bucket(i);
+    ser.putVec(buckets);
+    ser.put<std::uint64_t>(h.overflow());
+    ser.put<std::uint64_t>(h.total());
+}
+
+inline void
+restoreStat(Deserializer &des, Histogram &h)
+{
+    std::vector<std::uint64_t> buckets;
+    des.getVec(buckets);
+    const auto overflow = des.get<std::uint64_t>();
+    const auto total = des.get<std::uint64_t>();
+    h.restoreState(buckets, overflow, total);
+}
+
+} // namespace vtsim
+
+#endif // VTSIM_SIM_SERIALIZE_UTIL_HH

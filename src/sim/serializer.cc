@@ -1,0 +1,115 @@
+#include "sim/serializer.hh"
+
+namespace vtsim {
+
+namespace {
+
+bool
+hostIsLittleEndian()
+{
+    const std::uint32_t probe = 1;
+    std::uint8_t first;
+    std::memcpy(&first, &probe, 1);
+    return first == 1;
+}
+
+} // namespace
+
+Serializer::Serializer()
+{
+    VTSIM_ASSERT(hostIsLittleEndian(),
+                 "vtsim checkpoints are little-endian only");
+}
+
+void
+Serializer::putBytes(const void *p, std::size_t n)
+{
+    const auto *b = static_cast<const std::uint8_t *>(p);
+    buf_.insert(buf_.end(), b, b + n);
+}
+
+void
+Serializer::putString(const std::string &s)
+{
+    put<std::uint64_t>(s.size());
+    putBytes(s.data(), s.size());
+}
+
+std::size_t
+Serializer::beginSection(const char tag[5])
+{
+    putBytes(tag, 4);
+    const std::size_t handle = buf_.size();
+    put<std::uint32_t>(0); // length, patched by endSection
+    return handle;
+}
+
+void
+Serializer::endSection(std::size_t handle)
+{
+    VTSIM_ASSERT(handle + 4 <= buf_.size(), "bad section handle");
+    const std::size_t body = buf_.size() - (handle + 4);
+    VTSIM_ASSERT(body <= UINT32_MAX, "checkpoint section too large");
+    const std::uint32_t len = static_cast<std::uint32_t>(body);
+    std::memcpy(buf_.data() + handle, &len, sizeof(len));
+}
+
+Deserializer::Deserializer(const std::uint8_t *data, std::size_t size)
+    : data_(data), size_(size)
+{
+    VTSIM_ASSERT(hostIsLittleEndian(),
+                 "vtsim checkpoints are little-endian only");
+}
+
+Deserializer::Deserializer(const std::vector<std::uint8_t> &buf)
+    : Deserializer(buf.data(), buf.size())
+{
+}
+
+void
+Deserializer::getBytes(void *p, std::size_t n)
+{
+    VTSIM_ASSERT(pos_ + n <= size_,
+                 "checkpoint truncated: need ", n, " bytes at offset ", pos_,
+                 " of ", size_);
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+}
+
+std::string
+Deserializer::getString()
+{
+    const std::uint64_t n = get<std::uint64_t>();
+    VTSIM_ASSERT(n <= remaining(), "checkpoint string overruns buffer");
+    std::string s(n, '\0');
+    if (n)
+        getBytes(s.data(), n);
+    return s;
+}
+
+void
+Deserializer::beginSection(const char tag[5])
+{
+    char got[5] = {0, 0, 0, 0, 0};
+    getBytes(got, 4);
+    VTSIM_ASSERT(std::memcmp(got, tag, 4) == 0,
+                 "checkpoint section mismatch: expected '", tag, "' got '",
+                 got, "'");
+    const std::uint32_t len = get<std::uint32_t>();
+    VTSIM_ASSERT(len <= remaining(),
+                 "checkpoint section '", tag, "' overruns buffer");
+    sectionEnds_.push_back(pos_ + len);
+}
+
+void
+Deserializer::endSection()
+{
+    VTSIM_ASSERT(!sectionEnds_.empty(), "endSection without beginSection");
+    const std::size_t expected = sectionEnds_.back();
+    sectionEnds_.pop_back();
+    VTSIM_ASSERT(pos_ == expected,
+                 "checkpoint section size mismatch: consumed through ", pos_,
+                 " expected ", expected);
+}
+
+} // namespace vtsim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The lifecycle interface every timed component implements.
+ *
+ * Components used to each hand-roll lazy-clock bookkeeping (cached fast
+ * forward horizons, deferred idle accounting, ad-hoc reset paths), and
+ * the duplication bred settle-ordering bugs — PR 3 fixed a stale-`now_`
+ * MLP sample in LdstUnit caused by exactly this. SimComponent names the
+ * contract once; the central EventHorizon in Gpu drives it.
+ *
+ * Contract, for a component whose last real tick was at cycle T:
+ *  - tick(now): do one cycle of work. Components with a lazy window may
+ *    early-out and defer idle accounting; the deferral must be invisible
+ *    through every other entry point.
+ *  - nextEventCycle(now): earliest cycle >= now at which the component
+ *    could do observable work, assuming no external input arrives.
+ *    Returning `now` means "tick me now". May flush deferred accounting
+ *    (hence non-const). Cached results are allowed as long as every
+ *    event that could move the answer earlier invalidates the cache.
+ *  - nextEventCycleFresh(now): the same answer computed without trusting
+ *    any cache. Only the verifyHorizon debug oracle calls it; a cache
+ *    whose stale value exceeds the fresh one is exactly the bug class
+ *    the oracle exists to catch.
+ *  - settleTo(cycle): account every deferred idle cycle up to (not
+ *    including) `cycle`, as if tick had been called for each. EventHorizon
+ *    calls this on every component before jumping the global clock.
+ *  - reset(): return to the freshly-constructed state for the same
+ *    config, so one Gpu arena is reusable across runs bit-identically.
+ *  - save()/restore(): serialize/deserialize the complete dynamic state
+ *    (queues, stats, lazy-window cursors) inside one section per
+ *    component; restore asserts the section size round-trips.
+ */
+
+#ifndef VTSIM_SIM_SIM_COMPONENT_HH
+#define VTSIM_SIM_SIM_COMPONENT_HH
+
+#include "common/types.hh"
+#include "sim/serializer.hh"
+
+namespace vtsim {
+
+class SimComponent
+{
+  public:
+    virtual ~SimComponent() = default;
+
+    /** Advance one cycle. Passive components keep the no-op default. */
+    virtual void tick(Cycle now) { (void)now; }
+
+    /** Earliest cycle >= now with observable work; neverCycle if idle. */
+    virtual Cycle
+    nextEventCycle(Cycle now)
+    {
+        (void)now;
+        return neverCycle;
+    }
+
+    /** nextEventCycle computed without consulting any cached horizon. */
+    virtual Cycle nextEventCycleFresh(Cycle now) { return nextEventCycle(now); }
+
+    /** Bulk-account deferred idle cycles so state is current as of
+     *  @p cycle (exclusive). Must be bit-identical to per-cycle ticking. */
+    virtual void settleTo(Cycle cycle) { (void)cycle; }
+
+    virtual void reset() = 0;
+    virtual void save(Serializer &ser) const = 0;
+    virtual void restore(Deserializer &des) = 0;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_SIM_SIM_COMPONENT_HH

@@ -70,4 +70,34 @@ BarrierManager::ctaFinished(VirtualCtaId id)
     waiting_.erase(it);
 }
 
+void
+BarrierManager::save(Serializer &ser) const
+{
+    const std::size_t sec = ser.beginSection("barr");
+    std::vector<VirtualCtaId> keys;
+    keys.reserve(waiting_.size());
+    for (const auto &[id, warps] : waiting_)
+        keys.push_back(id);
+    std::sort(keys.begin(), keys.end());
+    ser.put<std::uint64_t>(keys.size());
+    for (VirtualCtaId id : keys) {
+        ser.put(id);
+        ser.putVec(waiting_.at(id));
+    }
+    ser.endSection(sec);
+}
+
+void
+BarrierManager::restore(Deserializer &des)
+{
+    des.beginSection("barr");
+    waiting_.clear();
+    const auto count = des.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto id = des.get<VirtualCtaId>();
+        des.getVec(waiting_[id]);
+    }
+    des.endSection();
+}
+
 } // namespace vtsim

@@ -13,10 +13,11 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/sim_component.hh"
 
 namespace vtsim {
 
-class BarrierManager
+class BarrierManager : public SimComponent
 {
   public:
     /** Begin tracking a CTA. */
@@ -47,6 +48,11 @@ class BarrierManager
 
     /** Stop tracking a finished CTA. */
     void ctaFinished(VirtualCtaId id);
+
+    // SimComponent lifecycle (passive: no tick/next-event/settle).
+    void reset() override { waiting_.clear(); }
+    void save(Serializer &ser) const override;
+    void restore(Deserializer &des) override;
 
   private:
     std::unordered_map<VirtualCtaId, std::vector<std::uint32_t>> waiting_;

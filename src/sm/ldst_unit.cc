@@ -3,6 +3,7 @@
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "mem/interconnect.hh"
+#include "sim/serialize_util.hh"
 
 namespace vtsim {
 
@@ -224,7 +225,11 @@ void
 LdstUnit::tick(Cycle now)
 {
     now_ = now;
-    mlp_.sample(offChipOutstanding_);
+    // Close the sample gap through this cycle: consecutive ticks close
+    // exactly one cycle; after a fast-forward window the same call
+    // replays the skipped per-cycle samples (constant count) in bulk.
+    mlp_.sampleN(offChipOutstanding_, now + 1 - statsTo_);
+    statsTo_ = now + 1;
     while (!hitPending_.empty() && hitPending_.top().readyAt <= now) {
         const std::uint64_t token = hitPending_.top().token;
         hitPending_.pop();
@@ -239,11 +244,17 @@ LdstUnit::tick(Cycle now)
 void
 LdstUnit::memResponse(std::uint64_t token, Cycle now)
 {
-    // Settle the client's fast-forward window and advance the local
-    // clock before any counter moves: the window's MLP samples must see
-    // the pre-completion outstanding count, and round_trip the real
-    // delivery cycle, exactly as in the cycle-by-cycle loop.
+    // Settle the client's fast-forward window, then our own per-cycle
+    // MLP samples up to (but excluding) this cycle, before any counter
+    // moves: the window's samples must see the pre-completion
+    // outstanding count, and round_trip the real delivery cycle,
+    // exactly as in the cycle-by-cycle loop. Cycle @p now itself is
+    // sampled by the upcoming tick, which observes the new count.
     client_.responseArriving(now);
+    if (now > statsTo_) {
+        mlp_.sampleN(offChipOutstanding_, now - statsTo_);
+        statsTo_ = now;
+    }
     now_ = now;
     VTSIM_ASSERT(token < txnSlab_.size() && txnSlab_[token].inUse,
                  "response for unknown transaction ", token);
@@ -287,7 +298,7 @@ LdstUnit::completeTransaction(std::uint64_t token)
 }
 
 Cycle
-LdstUnit::nextEventCycle(Cycle now) const
+LdstUnit::nextEventCycle(Cycle now)
 {
     if (!injectQueue_.empty())
         return now;
@@ -297,9 +308,142 @@ LdstUnit::nextEventCycle(Cycle now) const
 }
 
 void
-LdstUnit::fastForwardIdle(std::uint64_t n)
+LdstUnit::settleTo(Cycle cycle)
 {
-    mlp_.sampleN(offChipOutstanding_, n);
+    if (cycle > statsTo_) {
+        mlp_.sampleN(offChipOutstanding_, cycle - statsTo_);
+        statsTo_ = cycle;
+    }
+}
+
+void
+LdstUnit::reset()
+{
+    l1_.reset();
+    pendingSlab_.clear();
+    pendingFree_.clear();
+    txnSlab_.clear();
+    txnFree_.clear();
+    injectQueue_.clear();
+    hitPending_ = {};
+    now_ = 0;
+    statsTo_ = 0;
+    inFlight_ = 0;
+    offChipOutstanding_ = 0;
+    transactions_.reset();
+    storeTxns_.reset();
+    atomTxns_.reset();
+    bypassTxns_.reset();
+    injectStalls_.reset();
+    mlp_.reset();
+    queueWait_.reset();
+    roundTrip_.reset();
+}
+
+void
+LdstUnit::save(Serializer &ser) const
+{
+    const std::size_t sec = ser.beginSection("ldst");
+    static_assert(std::is_trivially_copyable_v<HitCompletion>);
+    // PendingWarpMem and Transaction carry interior padding, so both
+    // slabs go out field by field to keep the bytes deterministic.
+    ser.put<std::uint64_t>(pendingSlab_.size());
+    for (const PendingWarpMem &p : pendingSlab_) {
+        ser.put(p.vcta);
+        ser.put(p.warpInCta);
+        ser.put(p.dst);
+        ser.put(p.remaining);
+        ser.put<std::uint8_t>(p.inUse);
+    }
+    ser.putVec(pendingFree_);
+    ser.put<std::uint64_t>(txnSlab_.size());
+    for (const Transaction &t : txnSlab_) {
+        ser.put(t.pendingIdx);
+        ser.put(t.lineAddr);
+        ser.put(t.bytes);
+        ser.put<std::uint8_t>(static_cast<std::uint8_t>(t.kind));
+        ser.put<std::uint8_t>(t.bypassL1);
+        ser.put<std::uint8_t>(t.throughL1);
+        ser.put<std::uint8_t>(t.offChip);
+        ser.put<std::uint8_t>(t.inUse);
+        ser.put(t.createdAt);
+        ser.put(t.injectedAt);
+    }
+    ser.putVec(txnFree_);
+    ser.put<std::uint64_t>(injectQueue_.size());
+    for (const std::uint64_t token : injectQueue_)
+        ser.put(token);
+    auto hits = hitPending_;
+    ser.put<std::uint64_t>(hits.size());
+    while (!hits.empty()) {
+        ser.put(hits.top());
+        hits.pop();
+    }
+    ser.put(now_);
+    ser.put(statsTo_);
+    ser.put(inFlight_);
+    ser.put(offChipOutstanding_);
+    saveStat(ser, transactions_);
+    saveStat(ser, storeTxns_);
+    saveStat(ser, atomTxns_);
+    saveStat(ser, bypassTxns_);
+    saveStat(ser, injectStalls_);
+    saveStat(ser, mlp_);
+    saveStat(ser, queueWait_);
+    saveStat(ser, roundTrip_);
+    ser.endSection(sec);
+    l1_.save(ser);
+}
+
+void
+LdstUnit::restore(Deserializer &des)
+{
+    des.beginSection("ldst");
+    pendingSlab_.resize(des.get<std::uint64_t>());
+    for (PendingWarpMem &p : pendingSlab_) {
+        des.get(p.vcta);
+        des.get(p.warpInCta);
+        des.get(p.dst);
+        des.get(p.remaining);
+        p.inUse = des.get<std::uint8_t>() != 0;
+    }
+    des.getVec(pendingFree_);
+    txnSlab_.resize(des.get<std::uint64_t>());
+    for (Transaction &t : txnSlab_) {
+        des.get(t.pendingIdx);
+        des.get(t.lineAddr);
+        des.get(t.bytes);
+        t.kind = static_cast<MemAccessKind>(des.get<std::uint8_t>());
+        t.bypassL1 = des.get<std::uint8_t>() != 0;
+        t.throughL1 = des.get<std::uint8_t>() != 0;
+        t.offChip = des.get<std::uint8_t>() != 0;
+        t.inUse = des.get<std::uint8_t>() != 0;
+        des.get(t.createdAt);
+        des.get(t.injectedAt);
+    }
+    des.getVec(txnFree_);
+    injectQueue_.clear();
+    const auto inject_count = des.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < inject_count; ++i)
+        injectQueue_.push_back(des.get<std::uint64_t>());
+    hitPending_ = {};
+    const auto hit_count = des.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < hit_count; ++i)
+        hitPending_.push(des.get<HitCompletion>());
+    des.get(now_);
+    des.get(statsTo_);
+    des.get(inFlight_);
+    des.get(offChipOutstanding_);
+    restoreStat(des, transactions_);
+    restoreStat(des, storeTxns_);
+    restoreStat(des, atomTxns_);
+    restoreStat(des, bypassTxns_);
+    restoreStat(des, injectStalls_);
+    restoreStat(des, mlp_);
+    restoreStat(des, queueWait_);
+    restoreStat(des, roundTrip_);
+    des.endSection();
+    l1_.restore(des);
 }
 
 bool

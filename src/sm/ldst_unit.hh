@@ -19,6 +19,7 @@
 #include "mem/cache.hh"
 #include "mem/coalescer.hh"
 #include "mem/mem_request.hh"
+#include "sim/sim_component.hh"
 
 namespace vtsim {
 
@@ -59,7 +60,7 @@ class LdstClient
     virtual void responseArriving(Cycle now) = 0;
 };
 
-class LdstUnit : public MemResponseSink
+class LdstUnit : public MemResponseSink, public SimComponent
 {
   public:
     LdstUnit(SmId sm_id, const GpuConfig &config, Interconnect &noc,
@@ -81,9 +82,13 @@ class LdstUnit : public MemResponseSink
                      const std::vector<LaneAccess> &accesses);
 
     /** Drive injections and L1-hit completions for cycle @p now. */
-    void tick(Cycle now);
+    void tick(Cycle now) override;
 
-    /** Interconnect response delivery. */
+    /** Interconnect response delivery. Settles the unit's own per-cycle
+     *  MLP samples up to (but excluding) @p now before any counter
+     *  moves, so the skipped window observes the pre-completion
+     *  outstanding count — this is the only settle entry point for
+     *  externally driven state. */
     void memResponse(std::uint64_t token, Cycle now) override;
 
     /** No transactions queued or in flight. */
@@ -95,14 +100,21 @@ class LdstUnit : public MemResponseSink
      * hit. Transactions out at the NoC/L2/DRAM are those components'
      * events. neverCycle when nothing local is pending.
      */
-    Cycle nextEventCycle(Cycle now) const;
+    Cycle nextEventCycle(Cycle now) override;
 
     /**
-     * Account @p n ticked-but-idle cycles in one step (per-cycle MLP
-     * sampling). Only valid over a window where tick() would be a
-     * no-op, i.e. nextEventCycle() lies beyond the window.
+     * Bring the per-cycle MLP series up to date through cycle
+     * @p cycle - 1 (cycle @p cycle itself is sampled by the next tick or
+     * memResponse). The outstanding count is constant over the settled
+     * window by the horizon contract, so one sampleN reproduces the
+     * skipped per-cycle samples bit for bit.
      */
-    void fastForwardIdle(std::uint64_t n);
+    void settleTo(Cycle cycle) override;
+
+    // SimComponent lifecycle.
+    void reset() override;
+    void save(Serializer &ser) const override;
+    void restore(Deserializer &des) override;
 
     Cache &l1() { return l1_; }
     const Cache &l1() const { return l1_; }
@@ -172,13 +184,24 @@ class LdstUnit : public MemResponseSink
     {
         Cycle readyAt;
         std::uint64_t token;
+        /** Total order: heap pop order must be a function of the
+         *  machine state alone, not of push history, or a
+         *  checkpoint-restored run could retire same-cycle ties in a
+         *  different order than the uninterrupted one. */
         bool operator>(const HitCompletion &o) const
-        { return readyAt > o.readyAt; }
+        {
+            if (readyAt != o.readyAt)
+                return readyAt > o.readyAt;
+            return token > o.token;
+        }
     };
     std::priority_queue<HitCompletion, std::vector<HitCompletion>,
                         std::greater<>> hitPending_;
 
     Cycle now_ = 0;
+    /** Next cycle without an MLP sample: tick(), memResponse() and
+     *  settleTo() advance it, each sampling the gap it closes. */
+    Cycle statsTo_ = 0;
     std::uint32_t inFlight_ = 0; ///< Live transactions (all kinds).
     std::uint32_t offChipOutstanding_ = 0; ///< Post-L1 loads in flight.
 

@@ -14,6 +14,7 @@
 
 #include "common/types.hh"
 #include "isa/instruction.hh"
+#include "sim/serializer.hh"
 
 namespace vtsim {
 
@@ -52,6 +53,25 @@ class Scoreboard
 
     /** Number of registers with a long-latency write in flight. */
     std::uint32_t pendingLongCount() const { return pendingLongCount_; }
+
+    // Checkpoint plumbing (driven by the owning WarpContext).
+    void
+    save(Serializer &ser) const
+    {
+        ser.putVec(pending_);
+        ser.putVec(pendingLong_);
+        ser.put(pendingCount_);
+        ser.put(pendingLongCount_);
+    }
+
+    void
+    restore(Deserializer &des)
+    {
+        des.getVec(pending_);
+        des.getVec(pendingLong_);
+        des.get(pendingCount_);
+        des.get(pendingLongCount_);
+    }
 
   private:
     // Byte flags, not vector<bool>: hasHazard() runs for every ready-warp

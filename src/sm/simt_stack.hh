@@ -16,6 +16,7 @@
 #include "common/log.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
+#include "sim/serializer.hh"
 
 namespace vtsim {
 
@@ -76,6 +77,22 @@ class SimtStack
     std::uint32_t maxDepth() const { return maxDepth_; }
 
     const std::vector<Entry> &entries() const { return stack_; }
+
+    // Checkpoint plumbing (driven by the owning WarpContext).
+    void
+    save(Serializer &ser) const
+    {
+        static_assert(std::is_trivially_copyable_v<Entry>);
+        ser.putVec(stack_);
+        ser.put(maxDepth_);
+    }
+
+    void
+    restore(Deserializer &des)
+    {
+        des.getVec(stack_);
+        des.get(maxDepth_);
+    }
 
   private:
     void popReconverged();

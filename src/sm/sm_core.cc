@@ -6,6 +6,7 @@
 #include "common/trace.hh"
 #include "isa/disassembler.hh"
 #include "func/global_memory.hh"
+#include "sim/serialize_util.hh"
 #include "telemetry/stat_registry.hh"
 #include "telemetry/trace_json.hh"
 
@@ -512,7 +513,22 @@ SmCore::nextEventCycle(Cycle now)
     if (now < ffHorizon_)
         return ffHorizon_;
     flushFastForward();
+    return computeNextEvent(now);
+}
 
+Cycle
+SmCore::nextEventCycleFresh(Cycle now)
+{
+    // The oracle's reference answer: settle the books, then recompute
+    // from scratch — the cached lazy-window horizon must never be
+    // consulted here, since it is exactly what is being checked.
+    flushFastForward();
+    return computeNextEvent(now);
+}
+
+Cycle
+SmCore::computeNextEvent(Cycle now)
+{
     Cycle next = ldst_.nextEventCycle(now);
     if (!wbQueue_.empty())
         next = std::min(next, std::max(now, wbQueue_.top().at));
@@ -564,10 +580,15 @@ SmCore::nextEventCycle(Cycle now)
 }
 
 void
-SmCore::fastForwardIdle(Cycle now, std::uint64_t n)
+SmCore::settleTo(Cycle cycle)
 {
     flushFastForward();
-    accountIdleCycles(now, n);
+    // now_ is the last accounted cycle; bring the books to cycle - 1
+    // (the horizon cycle itself is the next real tick's).
+    if (cycle > now_ + 1) {
+        accountIdleCycles(now_ + 1, cycle - now_ - 1);
+        now_ = cycle - 1;
+    }
 }
 
 void
@@ -578,6 +599,9 @@ SmCore::flushFastForward()
     const std::uint64_t n = ffPending_;
     ffPending_ = 0;
     accountIdleCycles(ffWindowStart_, n);
+    // The lazily counted ticks are now fully accounted: advance the
+    // local clock over them so settleTo() can measure further gaps.
+    now_ = ffWindowStart_ + n - 1;
 }
 
 void
@@ -594,7 +618,7 @@ SmCore::accountIdleCycles(Cycle now, std::uint64_t n)
     // machine's sampling and streaks, the per-scheduler bubble
     // classification (constant across the window by construction), and
     // the throttler's epoch observations.
-    ldst_.fastForwardIdle(n);
+    ldst_.settleTo(now + n);
     vt_.fastForwardIdle(n);
     bool any_mem = false;
     for (std::uint32_t s = 0; s < config_.numSchedulers; ++s) {
@@ -949,6 +973,188 @@ SmCore::onCtaIssuableChanged(VirtualCtaId id, bool issuable)
             list.erase(first, last);
         }
     }
+}
+
+void
+SmCore::rebindKernel(const Kernel &kernel, const LaunchParams &launch,
+                     GlobalMemory &gmem)
+{
+    kernel_ = &kernel;
+    launch_ = &launch;
+    gmem_ = &gmem;
+    cands_.reserve(config_.effMaxWarpsPerSm());
+    refs_.reserve(config_.effMaxWarpsPerSm());
+    decodes_.reserve(config_.effMaxWarpsPerSm());
+    for (auto &list : ready_)
+        list.reserve(config_.effMaxWarpsPerSm());
+}
+
+void
+SmCore::reset()
+{
+    kernel_ = nullptr;
+    launch_ = nullptr;
+    gmem_ = nullptr;
+    ldst_.reset();
+    shmem_.reset();
+    barriers_.reset();
+    vt_.reset();
+    if (throttler_)
+        throttler_->reset();
+    for (auto &sched : schedulers_)
+        sched->reset();
+    ctas_.clear();
+    freeSlots_.clear();
+    residentCount_ = 0;
+    nextCtaAge_ = 0;
+    cands_.clear();
+    refs_.clear();
+    decodes_.clear();
+    barrierScratch_.clear();
+    for (auto &list : ready_)
+        list.clear();
+    schedAlive_.assign(config_.numSchedulers, 0);
+    schedFrozenAlive_.assign(config_.numSchedulers, 0);
+    schedIssuableBarrier_.assign(config_.numSchedulers, 0);
+    schedIssuableOffchip_.assign(config_.numSchedulers, 0);
+    wbQueue_ = {};
+    now_ = 0;
+    maxSimtDepth_ = 0;
+    ffHorizon_ = 0;
+    ffWindowStart_ = 0;
+    ffPending_ = 0;
+    instructionsIssued_.reset();
+    threadInstructions_.reset();
+    ctasCompleted_.reset();
+    stalls_ = {};
+}
+
+void
+SmCore::save(Serializer &ser) const
+{
+    VTSIM_ASSERT(ffPending_ == 0,
+                 "checkpoint with unsettled lazy-tick window");
+    const std::size_t sec = ser.beginSection("smcr");
+    ser.put<std::uint64_t>(ctas_.size());
+    for (const VirtualCta &cta : ctas_) {
+        ser.put(cta.valid);
+        ser.put(cta.age);
+        cta.func.save(ser);
+        ser.put<std::uint64_t>(cta.warps.size());
+        for (const WarpContext &warp : cta.warps)
+            warp.save(ser);
+        ser.put<std::uint64_t>(cta.schedWarps.size());
+        for (const auto &sw : cta.schedWarps)
+            ser.putVec(sw);
+        ser.putVec(cta.aliveBySched);
+        ser.putVec(cta.barrierBySched);
+        ser.putVec(cta.offchipBySched);
+        ser.put(cta.warpsAlive);
+        ser.put(cta.pendingOffChipTotal);
+    }
+    ser.putVec(freeSlots_);
+    ser.put(residentCount_);
+    ser.put(nextCtaAge_);
+    ser.put<std::uint64_t>(ready_.size());
+    for (const auto &list : ready_)
+        ser.putVec(list);
+    ser.putVec(schedAlive_);
+    ser.putVec(schedFrozenAlive_);
+    ser.putVec(schedIssuableBarrier_);
+    ser.putVec(schedIssuableOffchip_);
+    auto wbs = wbQueue_;
+    ser.put<std::uint64_t>(wbs.size());
+    while (!wbs.empty()) {
+        const Writeback &wb = wbs.top();
+        ser.put(wb.at);
+        ser.put(wb.vcta);
+        ser.put(wb.warpInCta);
+        ser.put(wb.reg);
+        wbs.pop();
+    }
+    ser.put(now_);
+    ser.put(maxSimtDepth_);
+    ser.put(ffHorizon_);
+    saveStat(ser, instructionsIssued_);
+    saveStat(ser, threadInstructions_);
+    saveStat(ser, ctasCompleted_);
+    static_assert(std::is_trivially_copyable_v<StallBreakdown>);
+    ser.put(stalls_);
+    for (const auto &sched : schedulers_)
+        sched->save(ser);
+    ser.endSection(sec);
+    ldst_.save(ser);
+    shmem_.save(ser);
+    barriers_.save(ser);
+    vt_.save(ser);
+    if (throttler_)
+        throttler_->save(ser);
+}
+
+void
+SmCore::restore(Deserializer &des)
+{
+    des.beginSection("smcr");
+    const auto cta_count = des.get<std::uint64_t>();
+    ctas_.assign(cta_count, VirtualCta());
+    for (VirtualCta &cta : ctas_) {
+        des.get(cta.valid);
+        des.get(cta.age);
+        cta.func.restore(des);
+        const auto warp_count = des.get<std::uint64_t>();
+        cta.warps.assign(warp_count, WarpContext());
+        for (WarpContext &warp : cta.warps)
+            warp.restore(des);
+        const auto sched_count = des.get<std::uint64_t>();
+        cta.schedWarps.assign(sched_count, {});
+        for (auto &sw : cta.schedWarps)
+            des.getVec(sw);
+        des.getVec(cta.aliveBySched);
+        des.getVec(cta.barrierBySched);
+        des.getVec(cta.offchipBySched);
+        des.get(cta.warpsAlive);
+        des.get(cta.pendingOffChipTotal);
+    }
+    des.getVec(freeSlots_);
+    des.get(residentCount_);
+    des.get(nextCtaAge_);
+    const auto ready_count = des.get<std::uint64_t>();
+    VTSIM_ASSERT(ready_count == ready_.size(),
+                 "checkpoint scheduler count mismatch");
+    for (auto &list : ready_)
+        des.getVec(list);
+    des.getVec(schedAlive_);
+    des.getVec(schedFrozenAlive_);
+    des.getVec(schedIssuableBarrier_);
+    des.getVec(schedIssuableOffchip_);
+    wbQueue_ = {};
+    const auto wb_count = des.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < wb_count; ++i) {
+        Writeback wb;
+        des.get(wb.at);
+        des.get(wb.vcta);
+        des.get(wb.warpInCta);
+        des.get(wb.reg);
+        wbQueue_.push(wb);
+    }
+    des.get(now_);
+    des.get(maxSimtDepth_);
+    des.get(ffHorizon_);
+    ffWindowStart_ = 0;
+    ffPending_ = 0;
+    restoreStat(des, instructionsIssued_);
+    restoreStat(des, threadInstructions_);
+    restoreStat(des, ctasCompleted_);
+    des.get(stalls_);
+    for (auto &sched : schedulers_)
+        sched->restore(des);
+    des.endSection();
+    ldst_.restore(des);
+    shmem_.restore(des);
+    barriers_.restore(des);
+    vt_.restore(des);
+    if (throttler_)
+        throttler_->restore(des);
 }
 
 void

@@ -46,13 +46,22 @@ struct StallBreakdown
     std::uint64_t idle = 0;         ///< No warps at all.
 };
 
-class SmCore : public LdstClient, public VtCtaQuery
+class SmCore : public SimComponent, public LdstClient, public VtCtaQuery
 {
   public:
     SmCore(SmId id, const GpuConfig &config, Interconnect &noc);
 
     /** Bind the kernel this SM will run (Gpu calls this at launch). */
     void launchKernel(const Kernel &kernel, const LaunchParams &launch,
+                      GlobalMemory &gmem);
+
+    /**
+     * Re-attach the kernel/launch/memory bindings after a checkpoint
+     * restore: unlike launchKernel() this neither requires an empty SM
+     * nor reconfigures the VT manager — the restored state already
+     * carries both.
+     */
+    void rebindKernel(const Kernel &kernel, const LaunchParams &launch,
                       GlobalMemory &gmem);
 
     /** True when another CTA can be admitted right now. */
@@ -62,7 +71,7 @@ class SmCore : public LdstClient, public VtCtaQuery
     void admitCta(const CtaAssignment &assignment, Cycle now);
 
     /** Advance one cycle. */
-    void tick(Cycle now);
+    void tick(Cycle now) override;
 
     /**
      * Earliest cycle >= @p now at which tick() might do real work given
@@ -73,16 +82,29 @@ class SmCore : public LdstClient, public VtCtaQuery
      * event-blocked (e.g. every live warp waits on off-chip memory).
      * Non-const: flushes deferred idle-tick accounting first.
      */
-    Cycle nextEventCycle(Cycle now);
+    Cycle nextEventCycle(Cycle now) override;
+
+    /** Cache-free recomputation for the horizon oracle: same answer a
+     *  fresh SM in this state would give, bypassing the lazy-window
+     *  horizon cached by tick(). */
+    Cycle nextEventCycleFresh(Cycle now) override;
 
     /**
-     * Account @p n ticked-but-eventless cycles in one step, exactly as
-     * @p n empty tick() calls starting at @p now would have: per-cycle
+     * Bring all per-cycle accounting up to date through cycle
+     * @p cycle - 1, exactly as empty tick() calls would have: per-cycle
      * stat samples, stall-bubble classification, VT stall streaks and
      * throttler-epoch observations. Only valid when
-     * nextEventCycle(@p now) > @p now + @p n - 1.
+     * nextEventCycle() >= @p cycle. Cycle @p cycle itself is left for
+     * the next real tick.
      */
-    void fastForwardIdle(Cycle now, std::uint64_t n);
+    void settleTo(Cycle cycle) override;
+
+    // SimComponent lifecycle: return to the just-constructed state /
+    // checkpoint the full SM (CTAs, warps, ready sets, LDST, VT,
+    // barriers, schedulers, stats).
+    void reset() override;
+    void save(Serializer &ser) const override;
+    void restore(Deserializer &des) override;
 
     /**
      * Apply deferred accounting of lazily skipped ticks (see tick()).
@@ -209,6 +231,10 @@ class SmCore : public LdstClient, public VtCtaQuery
      *  of a full warp scan: identical result in O(ready warps). */
     BubbleKind classifyIssueBubbleFast(std::uint32_t scheduler,
                                        Cycle now) const;
+    /** The nextEventCycle() min-reduction itself, over settled state.
+     *  Non-const only because LdstUnit::nextEventCycle is (it overrides
+     *  the non-const SimComponent signature); it mutates nothing. */
+    Cycle computeNextEvent(Cycle now);
     void chargeBubble(BubbleKind kind, std::uint64_t n);
     /** The per-cycle bookkeeping of @p n eventless ticks at @p now. */
     void accountIdleCycles(Cycle now, std::uint64_t n);
@@ -316,7 +342,18 @@ class SmCore : public LdstClient, public VtCtaQuery
         VirtualCtaId vcta;
         std::uint32_t warpInCta;
         RegIndex reg;
-        bool operator>(const Writeback &o) const { return at > o.at; }
+        /** Total order (see LdstUnit::HitCompletion): same-cycle ties
+         *  must pop identically in a checkpoint-restored run. */
+        bool operator>(const Writeback &o) const
+        {
+            if (at != o.at)
+                return at > o.at;
+            if (vcta != o.vcta)
+                return vcta > o.vcta;
+            if (warpInCta != o.warpInCta)
+                return warpInCta > o.warpInCta;
+            return reg > o.reg;
+        }
     };
     std::priority_queue<Writeback, std::vector<Writeback>,
                         std::greater<>> wbQueue_;

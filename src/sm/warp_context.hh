@@ -59,6 +59,37 @@ class WarpContext
     std::uint64_t issued() const { return issued_; }
     void countIssue() { ++issued_; }
 
+    // Checkpoint plumbing (driven by the owning SmCore).
+    void
+    save(Serializer &ser) const
+    {
+        ser.put(vcta_);
+        ser.put(warpInCta_);
+        ser.put(schedId_);
+        ser.put(liveLanes_);
+        stack_.save(ser);
+        scoreboard_.save(ser);
+        ser.put(atBarrier_);
+        ser.put(readyAt_);
+        ser.put(pendingOffChip_);
+        ser.put(issued_);
+    }
+
+    void
+    restore(Deserializer &des)
+    {
+        des.get(vcta_);
+        des.get(warpInCta_);
+        des.get(schedId_);
+        des.get(liveLanes_);
+        stack_.restore(des);
+        scoreboard_.restore(des);
+        des.get(atBarrier_);
+        des.get(readyAt_);
+        des.get(pendingOffChip_);
+        des.get(issued_);
+    }
+
   private:
     VirtualCtaId vcta_ = invalidId;
     std::uint32_t warpInCta_ = 0;

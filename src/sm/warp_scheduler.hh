@@ -15,6 +15,7 @@
 
 #include "common/types.hh"
 #include "config/gpu_config.hh"
+#include "sim/sim_component.hh"
 
 namespace vtsim {
 
@@ -29,11 +30,9 @@ struct WarpCandidate
     std::uint64_t age;  ///< Lower = older.
 };
 
-class WarpScheduler
+class WarpScheduler : public SimComponent
 {
   public:
-    virtual ~WarpScheduler() = default;
-
     /**
      * Choose among @p candidates (nonempty, deterministic order).
      * @return Index into @p candidates.
@@ -59,6 +58,24 @@ class LrrScheduler : public WarpScheduler
   public:
     std::size_t pick(const std::vector<WarpCandidate> &candidates) override;
 
+    void reset() override { lastKey_ = 0; }
+
+    void
+    save(Serializer &ser) const override
+    {
+        const std::size_t sec = ser.beginSection("wlrr");
+        ser.put(lastKey_);
+        ser.endSection(sec);
+    }
+
+    void
+    restore(Deserializer &des) override
+    {
+        des.beginSection("wlrr");
+        des.get(lastKey_);
+        des.endSection();
+    }
+
   private:
     std::uint64_t lastKey_ = 0;
 };
@@ -69,6 +86,24 @@ class GtoScheduler : public WarpScheduler
 {
   public:
     std::size_t pick(const std::vector<WarpCandidate> &candidates) override;
+
+    void reset() override { greedyKey_ = ~0ull; }
+
+    void
+    save(Serializer &ser) const override
+    {
+        const std::size_t sec = ser.beginSection("wgto");
+        ser.put(greedyKey_);
+        ser.endSection(sec);
+    }
+
+    void
+    restore(Deserializer &des) override
+    {
+        des.beginSection("wgto");
+        des.get(greedyKey_);
+        des.endSection();
+    }
 
   private:
     std::uint64_t greedyKey_ = ~0ull;
@@ -84,6 +119,37 @@ class TwoLevelScheduler : public WarpScheduler
     {}
 
     std::size_t pick(const std::vector<WarpCandidate> &candidates) override;
+
+    void
+    reset() override
+    {
+        activeSet_.clear();
+        lastKey_ = 0;
+    }
+
+    void
+    save(Serializer &ser) const override
+    {
+        const std::size_t sec = ser.beginSection("w2lv");
+        // std::set iterates sorted, so the stream is deterministic.
+        std::vector<std::uint64_t> members(activeSet_.begin(),
+                                           activeSet_.end());
+        ser.putVec(members);
+        ser.put(lastKey_);
+        ser.endSection(sec);
+    }
+
+    void
+    restore(Deserializer &des) override
+    {
+        des.beginSection("w2lv");
+        std::vector<std::uint64_t> members;
+        des.getVec(members);
+        activeSet_.clear();
+        activeSet_.insert(members.begin(), members.end());
+        des.get(lastKey_);
+        des.endSection();
+    }
 
   private:
     std::uint32_t activeSetSize_;

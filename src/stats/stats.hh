@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace vtsim {
@@ -28,6 +29,8 @@ class Counter
     void operator++(int) { ++value_; }
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+    /** Set the raw value — checkpoint restore only. */
+    void restoreState(std::uint64_t v) { value_ = v; }
 
   private:
     std::uint64_t value_ = 0;
@@ -53,6 +56,18 @@ class ScalarStat
     double minValue() const { return count_ ? min_ : 0.0; }
     double maxValue() const { return count_ ? max_ : 0.0; }
     void reset();
+
+    /** Raw accessors and setter for checkpoint save/restore. */
+    double rawMin() const { return min_; }
+    double rawMax() const { return max_; }
+    void
+    restoreState(std::uint64_t count, double sum, double min, double max)
+    {
+        count_ = count;
+        sum_ = sum;
+        min_ = min;
+        max_ = max;
+    }
 
   private:
     std::uint64_t count_ = 0;
@@ -94,6 +109,21 @@ class Histogram
                                double p);
 
     void reset();
+
+    /** Replace the full bucket state — checkpoint restore only. */
+    void
+    restoreState(const std::vector<std::uint64_t> &buckets,
+                 std::uint64_t overflow, std::uint64_t total)
+    {
+        // Bucket geometry is config-derived, so a restore into a
+        // same-config histogram must match shapes exactly.
+        if (buckets.size() != buckets_.size())
+            VTSIM_PANIC("histogram restore: ", buckets.size(),
+                        " buckets into ", buckets_.size());
+        buckets_ = buckets;
+        overflow_ = overflow;
+        total_ = total;
+    }
 
   private:
     std::vector<std::uint64_t> buckets_;

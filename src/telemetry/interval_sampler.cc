@@ -93,6 +93,51 @@ IntervalSampler::finalSample(Cycle now)
 }
 
 void
+IntervalSampler::save(Serializer &ser) const
+{
+    const std::size_t sec = ser.beginSection("smpl");
+    ser.put<std::uint64_t>(interval_);
+    ser.put<std::uint64_t>(launchStart_);
+    ser.put<std::uint64_t>(lastSampleAt_);
+    ser.put<std::uint64_t>(nextSampleAt_);
+    ser.put<std::uint64_t>(sampleIndex_);
+    ser.putVec(prevScalars_);
+    ser.putVec(prevDistCounts_);
+    ser.putVec(prevDistSums_);
+    ser.put<std::uint64_t>(prevHists_.size());
+    for (const HistBaseline &base : prevHists_) {
+        ser.putVec(base.buckets);
+        ser.put(base.overflow);
+        ser.put(base.total);
+    }
+    ser.endSection(sec);
+}
+
+void
+IntervalSampler::restore(Deserializer &des)
+{
+    des.beginSection("smpl");
+    const auto interval = des.get<std::uint64_t>();
+    VTSIM_ASSERT(interval == interval_,
+                 "checkpoint sampled every ", interval,
+                 " cycles, this sampler every ", interval_);
+    launchStart_ = des.get<std::uint64_t>();
+    lastSampleAt_ = des.get<std::uint64_t>();
+    nextSampleAt_ = des.get<std::uint64_t>();
+    sampleIndex_ = des.get<std::uint64_t>();
+    des.getVec(prevScalars_);
+    des.getVec(prevDistCounts_);
+    des.getVec(prevDistSums_);
+    prevHists_.resize(des.get<std::uint64_t>());
+    for (HistBaseline &base : prevHists_) {
+        des.getVec(base.buckets);
+        des.get(base.overflow);
+        des.get(base.total);
+    }
+    des.endSection();
+}
+
+void
 IntervalSampler::emit(Cycle now)
 {
     os_ << "{\"sample\":" << sampleIndex_++

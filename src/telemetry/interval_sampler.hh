@@ -7,9 +7,9 @@
  * event-horizon fast-forward jump to the next boundary and calls
  * sample() whenever the clock reaches it, so the emitted series is
  * bit-identical whether `fastForwardEnabled` is on or off (the skipped
- * idle cycles are bulk-accounted by fastForwardIdle/flushFastForward
- * before the registry is read, and ScalarStat::sampleN reproduces the
- * per-cycle rounding sequence exactly).
+ * idle cycles are bulk-accounted by SimComponent::settleTo before the
+ * registry is read, and ScalarStat::sampleN reproduces the per-cycle
+ * rounding sequence exactly).
  *
  * Line schema (deltas over the interval just ended; zero-delta entries
  * are omitted to keep lines small):
@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/serializer.hh"
 #include "telemetry/stat_registry.hh"
 
 namespace vtsim::telemetry {
@@ -53,6 +54,15 @@ class IntervalSampler
 
     /** Emit the trailing partial interval, if any, at launch end. */
     void finalSample(Cycle now);
+
+    /**
+     * Checkpoint the mid-launch cursor and delta baselines. restore()
+     * asserts the interval matches, so a restored run's samples land on
+     * the same boundaries and continue the uninterrupted run's series
+     * from the restore point onward.
+     */
+    void save(Serializer &ser) const;
+    void restore(Deserializer &des);
 
   private:
     struct HistBaseline

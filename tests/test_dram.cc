@@ -33,7 +33,7 @@ Cycle
 runUntilComplete(Dram &dram, Cycle start, Cycle limit = 100000)
 {
     for (Cycle c = start; c < limit; ++c) {
-        if (!dram.tick(c).empty())
+        if (!dram.advance(c).empty())
             return c;
     }
     return limit;
@@ -84,7 +84,7 @@ TEST(Dram, FrFcfsPrefersRowHitOverOlderMiss)
     d.enqueue(1 * 128 * 0 + 512, 128, true, c); // line 4: bank 0 row 0 hit
     std::vector<Addr> first;
     for (; first.empty(); ++c)
-        first = d.tick(c);
+        first = d.advance(c);
     // The row hit (line addr 512) completes before the older miss.
     EXPECT_EQ(first[0], 512u);
 }
@@ -99,7 +99,7 @@ TEST(Dram, BanksWorkInParallel)
     Cycle c = 0;
     std::vector<Addr> all;
     while (all.size() < 2 && c < 10000) {
-        for (Addr a : d.tick(c))
+        for (Addr a : d.advance(c))
             all.push_back(a);
         ++c;
     }
@@ -117,7 +117,7 @@ TEST(Dram, BusSerialisesDataTransfers)
         d.enqueue(Addr(i) * 128, 128, true, 0);
     std::vector<Cycle> completions;
     for (Cycle c = 0; completions.size() < 8 && c < 10000; ++c) {
-        for (Addr a : d.tick(c)) {
+        for (Addr a : d.advance(c)) {
             (void)a;
             completions.push_back(c);
         }
@@ -132,7 +132,7 @@ TEST(Dram, StoresProduceNoCompletion)
     Dram d(params());
     d.enqueue(0, 128, false, 0);
     for (Cycle c = 0; c < 1000; ++c)
-        EXPECT_TRUE(d.tick(c).empty());
+        EXPECT_TRUE(d.advance(c).empty());
     EXPECT_TRUE(d.idle());
     EXPECT_EQ(d.bytesTransferred(), 128u);
 }
@@ -144,7 +144,7 @@ TEST(Dram, IdleTracksWork)
     d.enqueue(0, 128, true, 0);
     EXPECT_FALSE(d.idle());
     runUntilComplete(d, 0);
-    d.tick(100000);
+    d.advance(100000);
     EXPECT_TRUE(d.idle());
 }
 
@@ -171,7 +171,7 @@ TEST(Dram, BandwidthAccounting)
     d.enqueue(0, 128, true, 0);
     d.enqueue(128, 64, false, 0);
     runUntilComplete(d, 0);
-    d.tick(10000);
+    d.advance(10000);
     EXPECT_EQ(d.bytesTransferred(), 192u);
 }
 

@@ -175,7 +175,7 @@ TEST_P(DramProperty, AllReadsCompleteAndWorkIsConserved)
     }
     std::uint32_t completed = 0;
     for (Cycle end = c + 200000; c < end && !dram.idle(); ++c)
-        completed += dram.tick(c).size();
+        completed += dram.advance(c).size();
     EXPECT_TRUE(dram.idle());
     EXPECT_EQ(completed, reads);
     EXPECT_EQ(dram.bytesTransferred(), bytes);
