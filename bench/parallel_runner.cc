@@ -1,44 +1,37 @@
 #include "parallel_runner.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <exception>
 #include <fstream>
 #include <mutex>
-#include <sstream>
 #include <string_view>
 #include <thread>
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "service/stats_json.hh"
+#include "service/worker_pool.hh"
 
 namespace vtsim::bench {
 
 namespace {
 
+/** Strictly parse a job count: an integer >= 1 or a fatal error —
+ *  "--jobs 0" or "--jobs banana" must not silently fall back. */
 unsigned
-clampJobs(long n)
+parseJobs(const char *text, const char *origin)
 {
-    return n < 1 ? 1u : static_cast<unsigned>(n);
-}
-
-/** Shortest round-trippable decimal form of @p v. */
-std::string
-jsonDouble(double v)
-{
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    for (int prec = 1; prec < 17; ++prec) {
-        char probe[40];
-        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
-        double back = 0.0;
-        std::sscanf(probe, "%lf", &back);
-        if (back == v)
-            return probe;
+    char *end = nullptr;
+    errno = 0;
+    const long n = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || n < 1) {
+        VTSIM_FATAL("invalid job count '", text, "' from ", origin,
+                    " (expected an integer >= 1)");
     }
-    return buf;
+    return static_cast<unsigned>(n);
 }
 
 } // namespace
@@ -48,14 +41,18 @@ resolveJobs(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
-        if (arg == "--jobs" && i + 1 < argc)
-            return clampJobs(std::atol(argv[i + 1]));
+        if (arg == "--jobs") {
+            if (i + 1 >= argc)
+                VTSIM_FATAL("--jobs needs a value");
+            return parseJobs(argv[i + 1], "--jobs");
+        }
         if (arg.substr(0, 7) == "--jobs=")
-            return clampJobs(std::atol(argv[i] + 7));
+            return parseJobs(argv[i] + 7, "--jobs");
     }
     if (const char *env = std::getenv("VTSIM_JOBS"))
-        return clampJobs(std::atol(env));
-    return clampJobs(std::thread::hardware_concurrency());
+        return parseJobs(env, "VTSIM_JOBS");
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw < 1 ? 1 : hw;
 }
 
 std::vector<RunResult>
@@ -64,39 +61,14 @@ runAll(const std::vector<RunSpec> &specs, unsigned jobs)
     std::vector<RunResult> results(specs.size());
     std::atomic<std::size_t> next{0};
     std::mutex error_mutex;
-    std::exception_ptr first_error;
+    bool have_error = false;
+    std::size_t error_index = 0;
+    std::string error_what;
 
-    const auto worker = [&] {
-        // One Gpu arena per worker thread: reset() and reused while
-        // consecutive runs share a GpuConfig (the common case — figure
-        // binaries sweep workloads per config), reconstructed when the
-        // config changes. Reuse is bit-identical to a fresh Gpu by the
-        // SimComponent reset() contract.
-        std::unique_ptr<Gpu> arena;
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= specs.size())
-                return;
-            try {
-                const RunSpec &spec = specs[i];
-                if (arena && arena->config() == spec.config)
-                    arena->reset();
-                else
-                    arena = std::make_unique<Gpu>(spec.config);
-                results[i] = runWorkloadOn(*arena, spec.workload,
-                                           spec.scale, i);
-            } catch (...) {
-                arena.reset(); // Never reuse a mid-launch arena.
-                const std::lock_guard<std::mutex> guard(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-            }
-        }
-    };
-
-    const auto start = std::chrono::steady_clock::now();
     unsigned pool_size = static_cast<unsigned>(
-        std::min<std::size_t>(jobs, specs.size()));
+        std::min<std::size_t>(jobs ? jobs : 1, specs.size()));
+    if (pool_size < 1)
+        pool_size = 1;
     if (pool_size > 1 && Trace::instance().anyEnabled()) {
         // The textual Trace sink is process-global and unsynchronized
         // (trace.hh); concurrent Gpus would interleave its lines.
@@ -104,21 +76,71 @@ runAll(const std::vector<RunSpec> &specs, unsigned jobs)
                              "enabled; forcing jobs=1\n");
         pool_size = 1;
     }
-    if (pool_size <= 1) {
-        worker(); // Sequential: no threads, easiest to debug.
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(pool_size);
-        for (unsigned t = 0; t < pool_size; ++t)
-            pool.emplace_back(worker);
-        for (auto &t : pool)
-            t.join();
+
+    // Dispense spec indices to the shared worker pool (the same
+    // WorkerPool/GpuArena the vtsimd job service schedules onto):
+    // every run is hermetic, each worker reuses its arena while
+    // consecutive specs share a config.
+    const service::WorkerPool::Source source =
+        [&](service::WorkerPool::Task &out, unsigned) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= specs.size())
+                return false;
+            out = [&specs, &results, &error_mutex, &have_error,
+                   &error_index, &error_what,
+                   i](service::GpuArena &arena, unsigned) {
+                const RunSpec &spec = specs[i];
+                try {
+                    Gpu &gpu = arena.acquire(spec.config);
+                    results[i] = runWorkloadOn(gpu, spec.workload,
+                                               spec.scale, i);
+                } catch (const std::exception &e) {
+                    arena.discard(); // Never reuse a mid-launch arena.
+                    const std::lock_guard<std::mutex> guard(error_mutex);
+                    // Every failure is logged with its spec index, not
+                    // just the one that gets rethrown.
+                    std::fprintf(stderr,
+                                 "[parallel-runner] spec %zu ('%s') "
+                                 "failed: %s\n",
+                                 i, spec.workload.c_str(), e.what());
+                    if (!have_error) {
+                        have_error = true;
+                        error_index = i;
+                        error_what = e.what();
+                    }
+                } catch (...) {
+                    arena.discard();
+                    const std::lock_guard<std::mutex> guard(error_mutex);
+                    std::fprintf(stderr,
+                                 "[parallel-runner] spec %zu ('%s') "
+                                 "failed: unknown exception\n",
+                                 i, spec.workload.c_str());
+                    if (!have_error) {
+                        have_error = true;
+                        error_index = i;
+                        error_what = "unknown exception";
+                    }
+                }
+            };
+            return true;
+        };
+
+    const auto start = std::chrono::steady_clock::now();
+    {
+        // inline_single: --jobs 1 stays a plain sequential loop on
+        // this thread, trivial to debug and profile.
+        service::WorkerPool pool(pool_size, source,
+                                 /*inline_single=*/true);
+        pool.join();
     }
     const double wall = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start).count();
 
-    if (first_error)
-        std::rethrow_exception(first_error);
+    if (have_error) {
+        VTSIM_FATAL("spec ", error_index, " ('",
+                    specs[error_index].workload,
+                    "') failed: ", error_what);
+    }
 
     std::uint64_t cycles = 0;
     std::uint64_t thread_instructions = 0;
@@ -130,7 +152,7 @@ runAll(const std::vector<RunSpec> &specs, unsigned jobs)
     std::fprintf(stderr,
                  "[parallel-runner] %zu runs, jobs=%u: wall %.3fs, "
                  "%.1f Kcyc/s, %.2f MIPS\n",
-                 specs.size(), pool_size ? pool_size : 1, wall,
+                 specs.size(), pool_size, wall,
                  cycles / safe_wall / 1e3,
                  thread_instructions / safe_wall / 1e6);
     return results;
@@ -158,72 +180,21 @@ writeStatsJson(const std::string &path,
     if (!os)
         VTSIM_FATAL("cannot open stats-json file '", path, "'");
 
-    os << "{\n  \"schema\": \"vtsim-stats-v1\",\n  \"runs\": [\n";
+    std::vector<service::RunRecord> runs;
+    runs.reserve(results.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
-        const RunSpec &spec = specs[i];
-        const RunResult &r = results[i];
-        const KernelStats &s = r.stats;
-        os << "    {\n"
-           << "      \"workload\": \"" << r.workload << "\",\n"
-           << "      \"scale\": " << spec.scale << ",\n"
-           << "      \"config\": {"
-           << "\"num_sms\": " << spec.config.numSms
-           << ", \"vt_enabled\": "
-           << (spec.config.vtEnabled ? "true" : "false")
-           << ", \"throttle_enabled\": "
-           << (spec.config.throttleEnabled ? "true" : "false")
-           << ", \"fast_forward\": "
-           << (spec.config.fastForwardEnabled ? "true" : "false")
-           << "},\n"
-           << "      \"verified\": " << (r.verified ? "true" : "false")
-           << ",\n"
-           << "      \"wall_seconds\": " << jsonDouble(r.wallSeconds)
-           << ",\n"
-           << "      \"kcycles_per_sec\": " << jsonDouble(r.kcyclesPerSec())
-           << ",\n"
-           << "      \"mips\": " << jsonDouble(r.mips()) << ",\n"
-           << "      \"max_simt_depth\": " << r.maxSimtDepth << ",\n"
-           << "      \"stats\": {\n"
-           << "        \"cycles\": " << s.cycles << ",\n"
-           << "        \"ipc\": " << jsonDouble(s.ipc) << ",\n"
-           << "        \"warp_instructions\": " << s.warpInstructions
-           << ",\n"
-           << "        \"thread_instructions\": " << s.threadInstructions
-           << ",\n"
-           << "        \"ctas_completed\": " << s.ctasCompleted << ",\n"
-           << "        \"l1_hits\": " << s.l1Hits << ",\n"
-           << "        \"l1_misses\": " << s.l1Misses << ",\n"
-           << "        \"l2_hits\": " << s.l2Hits << ",\n"
-           << "        \"l2_misses\": " << s.l2Misses << ",\n"
-           << "        \"dram_row_hits\": " << s.dramRowHits << ",\n"
-           << "        \"dram_row_misses\": " << s.dramRowMisses << ",\n"
-           << "        \"dram_bytes\": " << s.dramBytes << ",\n"
-           << "        \"swap_outs\": " << s.swapOuts << ",\n"
-           << "        \"swap_ins\": " << s.swapIns << ",\n"
-           << "        \"stalls\": {"
-           << "\"issued\": " << s.stalls.issued
-           << ", \"mem\": " << s.stalls.memStall
-           << ", \"short\": " << s.stalls.shortStall
-           << ", \"barrier\": " << s.stalls.barrierStall
-           << ", \"swap\": " << s.stalls.swapStall
-           << ", \"idle\": " << s.stalls.idle << "}\n"
-           << "      },\n"
-           << "      \"intervals\": [";
-        // The interval series is JSONL — one object per line, already
-        // valid JSON: embed the lines as array elements.
-        bool first_line = true;
-        std::istringstream lines(r.intervalSeries);
-        std::string line;
-        while (std::getline(lines, line)) {
-            if (line.empty())
-                continue;
-            os << (first_line ? "\n        " : ",\n        ") << line;
-            first_line = false;
-        }
-        os << (first_line ? "]" : "\n      ]") << "\n    }"
-           << (i + 1 < results.size() ? "," : "") << '\n';
+        service::RunRecord run;
+        run.workload = results[i].workload;
+        run.scale = specs[i].scale;
+        run.config = specs[i].config;
+        run.verified = results[i].verified;
+        run.wallSeconds = results[i].wallSeconds;
+        run.maxSimtDepth = results[i].maxSimtDepth;
+        run.stats = results[i].stats;
+        run.intervalSeries = results[i].intervalSeries;
+        runs.push_back(std::move(run));
     }
-    os << "  ]\n}\n";
+    service::writeStatsJson(os, runs, /*service=*/nullptr);
 }
 
 } // namespace vtsim::bench

@@ -5,7 +5,10 @@
  * user scripts sweeps with.
  *
  * Usage:
- *   run_benchmark <name> [options]
+ *   run_benchmark <name> [<name>...] [options]
+ *     --jobs N              run several benchmarks N at a time (also
+ *                           honors VTSIM_JOBS, exactly like the figure
+ *                           binaries; malformed values are an error)
  *     --vt                  enable Virtual Thread
  *     --vtmax N             virtual-CTA budget per SM (0 = capacity)
  *     --swap-latency N      swap out AND in latency, cycles
@@ -31,6 +34,7 @@
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "gpu/gpu.hh"
+#include "parallel_runner.hh"
 #include "workloads/workload.hh"
 
 namespace {
@@ -39,8 +43,9 @@ namespace {
 usage()
 {
     std::fprintf(stderr,
-                 "usage: run_benchmark <name> [--vt] [--vtmax N] "
-                 "[--swap-latency N]\n"
+                 "usage: run_benchmark <name> [<name>...] [--jobs N] "
+                 "[--vt] [--vtmax N]\n"
+                 "       [--swap-latency N]\n"
                  "       [--scheduler lrr|gto|two-level] [--sms N] "
                  "[--scale N]\n"
                  "       [--bypass-l1] [--throttle] [--trace FLAGS]\n"
@@ -77,7 +82,16 @@ try {
         return 0;
     }
 
-    const std::string name = args[0];
+    // Leading non-flag arguments are benchmark names; several fan out
+    // across the batch runner below.
+    std::vector<std::string> names;
+    std::size_t first_flag = 0;
+    while (first_flag < args.size() &&
+           args[first_flag].rfind("--", 0) != 0)
+        names.push_back(args[first_flag++]);
+    if (names.empty())
+        usage();
+    const std::string name = names.front();
     GpuConfig cfg = GpuConfig::fermiLike();
     std::uint32_t scale = 1;
     bool dump_stats = false;
@@ -92,9 +106,16 @@ try {
             usage();
         return args[i];
     };
-    for (std::size_t i = 1; i < args.size(); ++i) {
+    for (std::size_t i = first_flag; i < args.size(); ++i) {
         const std::string &a = args[i];
-        if (a == "--vt") {
+        if (a == "--jobs") {
+            // Validated below by resolveJobs — the figure binaries'
+            // exact --jobs/VTSIM_JOBS resolution, shared, not
+            // reimplemented.
+            next_value(i);
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            // Handled by resolveJobs.
+        } else if (a == "--vt") {
             cfg.vtEnabled = true;
         } else if (a == "--vtmax") {
             cfg.vtMaxVirtualCtasPerSm = std::stoul(next_value(i));
@@ -137,6 +158,46 @@ try {
         } else {
             usage();
         }
+    }
+
+    // Shared resolution (and strict validation) of --jobs/VTSIM_JOBS:
+    // a malformed value aborts with a clear message instead of
+    // silently falling back to one worker.
+    const unsigned jobs = bench::resolveJobs(argc, argv);
+
+    if (names.size() > 1) {
+        if (dump_stats || !checkpoint_path.empty() ||
+            !restore_path.empty()) {
+            std::fprintf(stderr,
+                         "run_benchmark: --dump-stats, --checkpoint "
+                         "and --restore need a single benchmark\n");
+            return 2;
+        }
+        std::vector<bench::RunSpec> specs;
+        for (const auto &n : names)
+            specs.push_back({n, cfg, scale});
+        bench::TelemetryOptions telemetry;
+        telemetry.statsInterval = stats_interval;
+        telemetry.traceJsonPath = trace_json_path;
+        bench::setTelemetryOptions(telemetry);
+        const auto results = bench::runAll(specs, jobs);
+        for (const auto &r : results) {
+            std::printf("%s scale=%u vt=%s: %llu cycles, IPC %.3f, "
+                        "%llu warp instrs, %llu CTAs, %llu swaps, "
+                        "l1 %.1f%%, l2 %.1f%%, %llu DRAM bytes — "
+                        "results %s\n",
+                        r.workload.c_str(), scale,
+                        cfg.vtEnabled ? "on" : "off",
+                        (unsigned long long)r.stats.cycles, r.stats.ipc,
+                        (unsigned long long)r.stats.warpInstructions,
+                        (unsigned long long)r.stats.ctasCompleted,
+                        (unsigned long long)r.stats.swapOuts,
+                        100 * r.stats.l1HitRate(),
+                        100 * r.stats.l2HitRate(),
+                        (unsigned long long)r.stats.dramBytes,
+                        r.verified ? "VERIFIED" : "WRONG");
+        }
+        return 0;
     }
 
     auto wl = makeWorkload(name, scale);

@@ -80,14 +80,36 @@ def main(argv):
             if isinstance(run, dict) and run.get("verified") is not True:
                 errors.append(f"$.runs[{i}]: run is not verified")
 
+    service = document.get("service")
+    if isinstance(service, dict):
+        # A vtsimd document is written after a draining shutdown: every
+        # completed job has a run entry and nothing is still in flight.
+        jobs = service.get("jobs", {})
+        if isinstance(runs, list) and jobs.get("completed") != len(runs):
+            errors.append(
+                f"$.service.jobs.completed: {jobs.get('completed')} "
+                f"completed jobs but {len(runs)} run entries"
+            )
+        for key in ("running", "parked"):
+            if jobs.get(key, 0) != 0:
+                errors.append(
+                    f"$.service.jobs.{key}: {jobs.get(key)} jobs still "
+                    "in flight after shutdown"
+                )
+
     for error in errors:
         print(error, file=sys.stderr)
     if errors:
         return 1
-    print(
-        f"{stats_path}: valid {document['schema']}, "
-        f"{len(runs)} verified runs"
-    )
+    summary = f"{stats_path}: valid {document['schema']}, " \
+              f"{len(runs)} verified runs"
+    if isinstance(service, dict):
+        summary += (
+            f", service: {service['jobs']['submitted']} submitted / "
+            f"{service['preemptions']} preemptions / "
+            f"{service['retries']} retries"
+        )
+    print(summary)
     return 0
 
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 
 #include "common/log.hh"
 
@@ -250,6 +251,8 @@ Gpu::reset()
     pendingResume_ = false;
     checkpointPath_.clear();
     checkpointEvery_ = 0;
+    preemptRequested_.store(false, std::memory_order_relaxed);
+    preempted_ = false;
 
     // Telemetry sinks are per-run wiring, not simulated state: drop
     // them and detach the raw pointers the components hold.
@@ -286,7 +289,7 @@ Gpu::takeSample()
 }
 
 void
-Gpu::writeCheckpoint()
+Gpu::buildCheckpoint(std::vector<std::uint8_t> &out)
 {
     // Checkpoints are taken at settled points only: flush the lazy SM
     // windows so every save() sees per-cycle-exact state.
@@ -318,18 +321,38 @@ Gpu::writeCheckpoint()
     gmem_.save(ser);
     horizon_.saveAll(ser);
 
+    const auto &payload = ser.buffer();
+    const std::uint32_t version = 1;
+    const std::uint64_t size = payload.size();
+    out.clear();
+    out.reserve(8 + sizeof(version) + sizeof(size) + payload.size());
+    const auto append = [&out](const void *p, std::size_t n) {
+        const auto *bytes = static_cast<const std::uint8_t *>(p);
+        out.insert(out.end(), bytes, bytes + n);
+    };
+    append("vtsimCKP", 8);
+    append(&version, sizeof(version));
+    append(&size, sizeof(size));
+    append(payload.data(), payload.size());
+}
+
+void
+Gpu::saveCheckpoint(std::vector<std::uint8_t> &out)
+{
+    buildCheckpoint(out);
+}
+
+void
+Gpu::writeCheckpoint()
+{
+    std::vector<std::uint8_t> image;
+    buildCheckpoint(image);
     std::ofstream out(checkpointPath_,
                       std::ios::binary | std::ios::trunc);
     if (!out)
         VTSIM_FATAL("cannot open checkpoint file '", checkpointPath_, "'");
-    const auto &payload = ser.buffer();
-    out.write("vtsimCKP", 8);
-    const std::uint32_t version = 1;
-    out.write(reinterpret_cast<const char *>(&version), sizeof(version));
-    const std::uint64_t size = payload.size();
-    out.write(reinterpret_cast<const char *>(&size), sizeof(size));
-    out.write(reinterpret_cast<const char *>(payload.data()),
-              std::streamsize(size));
+    out.write(reinterpret_cast<const char *>(image.data()),
+              std::streamsize(image.size()));
     if (!out)
         VTSIM_FATAL("short write to checkpoint '", checkpointPath_, "'");
 }
@@ -340,26 +363,40 @@ Gpu::restoreCheckpoint(const std::string &path)
     std::ifstream in(path, std::ios::binary);
     if (!in)
         VTSIM_FATAL("cannot open checkpoint file '", path, "'");
-    char magic[8];
-    in.read(magic, 8);
-    if (!in || std::memcmp(magic, "vtsimCKP", 8) != 0)
-        VTSIM_FATAL("'", path, "' is not a vtsim checkpoint");
-    std::uint32_t version = 0;
-    in.read(reinterpret_cast<char *>(&version), sizeof(version));
-    if (!in || version != 1)
-        VTSIM_FATAL("unsupported checkpoint version ", version,
-                    " in '", path, "'");
-    std::uint64_t size = 0;
-    in.read(reinterpret_cast<char *>(&size), sizeof(size));
-    if (!in)
-        VTSIM_FATAL("checkpoint '", path, "' is truncated");
-    std::vector<std::uint8_t> payload(size);
-    in.read(reinterpret_cast<char *>(payload.data()),
-            std::streamsize(size));
-    if (!in)
-        VTSIM_FATAL("checkpoint '", path, "' is truncated");
+    std::vector<std::uint8_t> image(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    return restoreImage(image.data(), image.size(), "'" + path + "'");
+}
 
-    Deserializer des(payload);
+LaunchParams
+Gpu::restoreCheckpoint(const std::vector<std::uint8_t> &image)
+{
+    return restoreImage(image.data(), image.size(),
+                        "in-memory checkpoint");
+}
+
+LaunchParams
+Gpu::restoreImage(const std::uint8_t *data, std::size_t size,
+                  const std::string &source)
+{
+    if (size < 8 + sizeof(std::uint32_t) + sizeof(std::uint64_t) ||
+        std::memcmp(data, "vtsimCKP", 8) != 0) {
+        VTSIM_FATAL(source, " is not a vtsim checkpoint");
+    }
+    std::uint32_t version = 0;
+    std::memcpy(&version, data + 8, sizeof(version));
+    if (version != 1)
+        VTSIM_FATAL("unsupported checkpoint version ", version, " in ",
+                    source);
+    std::uint64_t payload_size = 0;
+    std::memcpy(&payload_size, data + 8 + sizeof(version),
+                sizeof(payload_size));
+    const std::size_t header = 8 + sizeof(version) + sizeof(payload_size);
+    if (payload_size != size - header)
+        VTSIM_FATAL("checkpoint ", source, " is truncated");
+
+    Deserializer des(data + header, payload_size);
     des.sinkResolver = [](void *ctx, std::uint32_t sm_id)
         -> MemResponseSink * {
         return &static_cast<Gpu *>(ctx)->sms_.at(sm_id)->ldst();
@@ -369,8 +406,8 @@ Gpu::restoreCheckpoint(const std::string &path)
     des.beginSection("conf");
     const GpuConfig saved = restoreConfig(des);
     if (!(saved == config_)) {
-        VTSIM_FATAL("checkpoint '", path,
-                    "' was taken with a different GpuConfig");
+        VTSIM_FATAL("checkpoint ", source,
+                    " was taken with a different GpuConfig");
     }
     des.endSection();
 
@@ -403,7 +440,7 @@ Gpu::restoreCheckpoint(const std::string &path)
     gmem_.restore(des);
     horizon_.restoreAll(des);
     if (!des.finished())
-        VTSIM_FATAL("checkpoint '", path, "' has trailing bytes");
+        VTSIM_FATAL("checkpoint ", source, " has trailing bytes");
 
     dispatcher_ = std::make_unique<CtaDispatcher>(activeLaunch_);
     dispatcher_->setDispatched(dispatched);
@@ -454,6 +491,10 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
         VTSIM_FATAL("empty grid");
     if (launch.threadsPerCta() == 0)
         VTSIM_FATAL("empty CTA");
+    // A pending requestPreempt() survives into this launch on purpose:
+    // the job service pre-arms it to stop a run at its first cadence
+    // boundary. Only the *outcome* flag resets per launch.
+    preempted_ = false;
 
     if (pendingResume_) {
         // Resuming a restored checkpoint: the machine state is already
@@ -530,10 +571,18 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
         // Periodic checkpoints land on multiples of checkpointEvery_,
         // and only strictly mid-kernel: a resumed launch re-enters the
         // loop exactly where the admission phase for this cycle would
-        // have run, so the remainder replays bit-identically.
-        if (checkpointEvery_ != 0 && !done && !checkpointPath_.empty() &&
+        // have run, so the remainder replays bit-identically. The same
+        // boundaries are the preemption points: a cadence with an empty
+        // path arms preemption without writing files.
+        if (checkpointEvery_ != 0 && !done &&
             cycle_ % checkpointEvery_ == 0) {
-            writeCheckpoint();
+            if (!checkpointPath_.empty())
+                writeCheckpoint();
+            if (preemptRequested_.exchange(false,
+                                           std::memory_order_relaxed)) {
+                preempted_ = true;
+                break;
+            }
         }
         if (done)
             break;
@@ -571,25 +620,33 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
         }
         if (sampler_ && cycle_ == sampler_->nextSampleAt())
             takeSample();
-        if (checkpointEvery_ != 0 && !checkpointPath_.empty() &&
-            cycle_ % checkpointEvery_ == 0) {
-            writeCheckpoint();
+        if (checkpointEvery_ != 0 && cycle_ % checkpointEvery_ == 0) {
+            if (!checkpointPath_.empty())
+                writeCheckpoint();
+            if (preemptRequested_.exchange(false,
+                                           std::memory_order_relaxed)) {
+                preempted_ = true;
+                break;
+            }
         }
     }
 
     // Settle lazily skipped per-SM ticks before reading any statistic.
     for (auto &sm : sms_)
         sm->flushFastForward();
-    if (sampler_)
+    // A preempted launch is mid-flight: no final sample, no end-of-run
+    // checkpoint — the service saves an explicit image and the resumed
+    // launch finishes both.
+    if (sampler_ && !preempted_)
         sampler_->finalSample(cycle_);
-    if (checkpointEvery_ == 0 && !checkpointPath_.empty())
+    if (checkpointEvery_ == 0 && !checkpointPath_.empty() && !preempted_)
         writeCheckpoint();
 
     KernelStats stats;
     stats.cycles = cycle_ - start;
     StatsSnapshot::capture(registry_).delta(before_, registry_, stats);
 
-    VTSIM_ASSERT(stats.ctasCompleted == launch.numCtas(),
+    VTSIM_ASSERT(preempted_ || stats.ctasCompleted == launch.numCtas(),
                  "CTA completion mismatch: ", stats.ctasCompleted, " of ",
                  launch.numCtas());
     stats.ipc = stats.cycles

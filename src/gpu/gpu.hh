@@ -13,6 +13,7 @@
 #ifndef VTSIM_GPU_GPU_HH
 #define VTSIM_GPU_GPU_HH
 
+#include <atomic>
 #include <fstream>
 #include <memory>
 #include <ostream>
@@ -118,6 +119,40 @@ class Gpu
      */
     LaunchParams restoreCheckpoint(const std::string &path);
 
+    /**
+     * Serialize the machine into @p out as a complete vtsim-ckpt-v1
+     * image (header plus payload, byte-identical to the file
+     * setCheckpoint would write at this point). Settles lazy SM
+     * windows first. The buffer form is what the job service uses to
+     * park a preempted job without a caller-managed checkpoint path.
+     */
+    void saveCheckpoint(std::vector<std::uint8_t> &out);
+
+    /** restoreCheckpoint() from an in-memory vtsim-ckpt-v1 image. */
+    LaunchParams restoreCheckpoint(const std::vector<std::uint8_t> &image);
+
+    /**
+     * Ask the launch loop to stop at the next checkpoint-cadence
+     * boundary (setCheckpoint with every_n > 0; the path may be
+     * empty). Safe to call from another thread while launch() runs —
+     * this is the only Gpu entry point with that property. launch()
+     * then returns early with preempted() == true and statistics
+     * covering the launch so far; saveCheckpoint() afterwards yields
+     * an image from which a same-config Gpu resumes bit-identically.
+     * Without a cadence the request holds until one is set or cleared.
+     */
+    void requestPreempt()
+    { preemptRequested_.store(true, std::memory_order_relaxed); }
+
+    /** Withdraw a pending requestPreempt() (between jobs: a request
+     *  that raced a completing launch must not stop the next one). */
+    void clearPreemptRequest()
+    { preemptRequested_.store(false, std::memory_order_relaxed); }
+
+    /** Did the last launch() stop at a preemption point instead of
+     *  completing the grid? */
+    bool preempted() const { return preempted_; }
+
     /** Invalidate all caches (between unrelated kernels). */
     void flushCaches();
 
@@ -172,8 +207,13 @@ class Gpu
     void attachTraceJson();
     /** Settle lazy SM windows and emit the boundary sample at cycle_. */
     void takeSample();
+    /** Serialize the settled machine as a vtsim-ckpt-v1 image. */
+    void buildCheckpoint(std::vector<std::uint8_t> &out);
     /** Serialize the settled machine to checkpointPath_. */
     void writeCheckpoint();
+    /** Restore from a payload; @p source names it in error messages. */
+    LaunchParams restoreImage(const std::uint8_t *data, std::size_t size,
+                              const std::string &source);
     /** The verifyHorizon oracle: always in debug builds, opt-in via
      *  GpuConfig::horizonOracle in release builds. */
     bool oracleEnabled() const;
@@ -200,6 +240,12 @@ class Gpu
 
     std::string checkpointPath_;
     Cycle checkpointEvery_ = 0;
+
+    // Preemption handshake with the job service (src/service/): the
+    // request flag is the one member another thread may touch while
+    // launch() runs.
+    std::atomic<bool> preemptRequested_{false};
+    bool preempted_ = false;
 
     telemetry::StatRegistry registry_;
     std::unique_ptr<std::ofstream> samplerFile_;

@@ -1,0 +1,102 @@
+#include "service/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace vtsim::service {
+
+Client::Client(const std::string &socket_path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        throw std::runtime_error("socket path too long: '" +
+                                 socket_path + "'");
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        throw std::runtime_error(std::string("socket(): ") +
+                                 std::strerror(errno));
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw std::runtime_error("cannot connect to vtsimd at '" +
+                                 socket_path + "': " +
+                                 std::strerror(err));
+    }
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+Json
+Client::request(const Json &request)
+{
+    const std::string reply = requestRaw(request.dump());
+    if (reply.empty())
+        throw std::runtime_error("vtsimd closed the connection");
+    return Json::parse(reply);
+}
+
+std::string
+Client::requestRaw(const std::string &line)
+{
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+        const ssize_t n = ::send(fd_, out.data() + off,
+                                 out.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            throw std::runtime_error("send to vtsimd failed");
+        }
+        off += std::size_t(n);
+    }
+    return readLine();
+}
+
+void
+Client::sendPartialAndClose(const std::string &data)
+{
+    if (!data.empty())
+        (void)::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    ::close(fd_);
+    fd_ = -1;
+}
+
+std::string
+Client::readLine()
+{
+    char chunk[4096];
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return line;
+        }
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return std::string(); // Daemon hung up.
+        buffer_.append(chunk, std::size_t(n));
+    }
+}
+
+} // namespace vtsim::service

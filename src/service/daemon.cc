@@ -1,0 +1,248 @@
+#include "service/daemon.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/protocol.hh"
+
+namespace vtsim::service {
+
+Daemon::Daemon(JobService &service, std::string socket_path)
+    : service_(service), path_(std::move(socket_path))
+{}
+
+Daemon::~Daemon()
+{
+    requestStop();
+    {
+        std::lock_guard<std::mutex> lk(connMu_);
+        for (auto &t : connections_) {
+            if (t.joinable())
+                t.join();
+        }
+        connections_.clear();
+    }
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (!path_.empty()) {
+        std::error_code ec;
+        std::filesystem::remove(path_, ec);
+    }
+}
+
+void
+Daemon::start()
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof(addr.sun_path)) {
+        throw std::runtime_error("socket path too long: '" + path_ +
+                                 "'");
+    }
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        throw std::runtime_error(std::string("socket(): ") +
+                                 std::strerror(errno));
+    }
+    // A stale socket file from a crashed daemon would fail the bind.
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        throw std::runtime_error("bind('" + path_ +
+                                 "'): " + std::strerror(errno));
+    }
+    if (::listen(listenFd_, 16) != 0) {
+        throw std::runtime_error("listen('" + path_ +
+                                 "'): " + std::strerror(errno));
+    }
+}
+
+void
+Daemon::serve()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stop_.load(std::memory_order_relaxed))
+                break;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            std::fprintf(stderr, "[vtsimd] accept(): %s\n",
+                         std::strerror(errno));
+            break;
+        }
+        if (stop_.load(std::memory_order_relaxed)) {
+            ::close(fd);
+            break;
+        }
+        std::lock_guard<std::mutex> lk(connMu_);
+        connections_.emplace_back(
+            [this, fd] { serveConnection(fd); });
+    }
+    // Let in-flight replies finish before the caller tears the
+    // service down.
+    std::lock_guard<std::mutex> lk(connMu_);
+    for (auto &t : connections_) {
+        if (t.joinable())
+            t.join();
+    }
+    connections_.clear();
+}
+
+void
+Daemon::requestStop()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    // Unblocks accept(); shutdown() is async-signal-safe, so the
+    // vtsimd SIGTERM handler may call requestStop directly.
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+}
+
+void
+Daemon::serveConnection(int fd)
+{
+    std::string buffer;
+    char chunk[4096];
+    bool open = true;
+    while (open) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break; // Disconnect (mid-request included): just drop it.
+        buffer.append(chunk, std::size_t(n));
+        std::size_t start = 0;
+        for (;;) {
+            const std::size_t nl = buffer.find('\n', start);
+            if (nl == std::string::npos)
+                break;
+            std::string line = buffer.substr(start, nl - start);
+            start = nl + 1;
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            if (line.size() > kMaxLineBytes) {
+                sendLine(fd, errorReply(
+                                 "request exceeds the 64 KiB line "
+                                 "limit"));
+                open = false;
+                break;
+            }
+            if (!handleLine(fd, line)) {
+                open = false;
+                break;
+            }
+        }
+        buffer.erase(0, start);
+        if (buffer.size() > kMaxLineBytes) {
+            // An unterminated line already over the cap: reject it
+            // without waiting for (or buffering) the rest.
+            sendLine(fd,
+                     errorReply("request exceeds the 64 KiB line "
+                                "limit"));
+            break;
+        }
+    }
+    ::close(fd);
+}
+
+bool
+Daemon::handleLine(int fd, const std::string &line)
+{
+    Request req;
+    try {
+        req = parseRequest(line);
+    } catch (const std::exception &e) {
+        // JsonError or ProtocolError: the client's problem, never the
+        // daemon's.
+        return sendLine(fd, errorReply(e.what()));
+    }
+
+    try {
+        switch (req.op) {
+          case Request::Op::Submit: {
+            const auto outcome = service_.submit(req.spec, req.priority);
+            Json::Object o;
+            if (outcome.ok()) {
+                o["ok"] = Json(true);
+                o["job"] = Json(outcome.id);
+            } else {
+                o["ok"] = Json(false);
+                if (!outcome.rejected.empty())
+                    o["rejected"] = Json(outcome.rejected);
+                else
+                    o["error"] = Json(outcome.error);
+            }
+            return sendLine(fd, Json(std::move(o)).dump());
+          }
+          case Request::Op::Wait:
+            return sendLine(fd,
+                            snapshotToJson(service_.wait(req.job)).dump());
+          case Request::Op::Query:
+            return sendLine(
+                fd, snapshotToJson(service_.query(req.job)).dump());
+          case Request::Op::Status:
+            return sendLine(fd, service_.status().dump());
+          case Request::Op::Cancel: {
+            std::string error;
+            Json::Object o;
+            if (service_.cancel(req.job, error)) {
+                o["ok"] = Json(true);
+                o["job"] = Json(req.job);
+            } else {
+                o["ok"] = Json(false);
+                o["error"] = Json(error);
+            }
+            return sendLine(fd, Json(std::move(o)).dump());
+          }
+          case Request::Op::Ping: {
+            Json::Object o;
+            o["ok"] = Json(true);
+            o["op"] = Json("ping");
+            return sendLine(fd, Json(std::move(o)).dump());
+          }
+          case Request::Op::Shutdown: {
+            Json::Object o;
+            o["ok"] = Json(true);
+            o["state"] = Json("draining");
+            sendLine(fd, Json(std::move(o)).dump());
+            requestStop();
+            return false;
+          }
+        }
+    } catch (const std::exception &e) {
+        return sendLine(fd, errorReply(e.what()));
+    }
+    return sendLine(fd, errorReply("unhandled op"));
+}
+
+bool
+Daemon::sendLine(int fd, std::string line)
+{
+    line.push_back('\n');
+    std::size_t off = 0;
+    while (off < line.size()) {
+        // MSG_NOSIGNAL: a client that hung up must cost us an EPIPE,
+        // not a process-wide SIGPIPE.
+        const ssize_t n = ::send(fd, line.data() + off,
+                                 line.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += std::size_t(n);
+    }
+    return true;
+}
+
+} // namespace vtsim::service

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The vtsimd network front end: a Unix-domain-socket NDJSON server in
+ * front of a JobService (see src/service/protocol.hh for the wire
+ * format). One accept loop, one thread per connection; a connection
+ * carries any number of request lines, each answered with exactly one
+ * reply line.
+ *
+ * Robustness contract: nothing a client sends may take the daemon
+ * down. Malformed JSON, unknown ops, oversized request lines and
+ * mid-request disconnects are answered with {"ok":false,...} (or the
+ * connection is just dropped) while the accept loop keeps serving. The
+ * "shutdown" op is the only way a client stops the daemon, and it
+ * drains: serve() returns so the caller can JobService::shutdown() and
+ * write the service stats JSON.
+ */
+
+#ifndef VTSIM_SERVICE_DAEMON_HH
+#define VTSIM_SERVICE_DAEMON_HH
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hh"
+
+namespace vtsim::service {
+
+class Daemon
+{
+  public:
+    /** Longest accepted request line; longer ones are rejected
+     *  without parsing (and the connection closed: the stream can no
+     *  longer be trusted to be line-synchronized). */
+    static constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
+    /** Remembers @p socket_path; start() binds it. */
+    Daemon(JobService &service, std::string socket_path);
+
+    /** Stops accepting and joins connection threads. */
+    ~Daemon();
+
+    /**
+     * Bind and listen on the socket path (removing a stale socket
+     * file first). Throws std::runtime_error on failure.
+     */
+    void start();
+
+    /**
+     * Accept-and-serve until requestStop() — typically triggered by a
+     * client's "shutdown" op. Joins the connection threads before
+     * returning, so replies in flight finish.
+     */
+    void serve();
+
+    /** Ask serve() to return. Safe from signal handlers and
+     *  connection threads. */
+    void requestStop();
+
+    const std::string &socketPath() const { return path_; }
+
+  private:
+    void serveConnection(int fd);
+    /** Handle one request line; false closes the connection. */
+    bool handleLine(int fd, const std::string &line);
+    static bool sendLine(int fd, std::string line);
+
+    JobService &service_;
+    std::string path_;
+    int listenFd_ = -1;
+    std::atomic<bool> stop_{false};
+    std::mutex connMu_;
+    std::vector<std::thread> connections_;
+};
+
+} // namespace vtsim::service
+
+#endif // VTSIM_SERVICE_DAEMON_HH

@@ -1,0 +1,67 @@
+#include "service/job_queue.hh"
+
+#include <algorithm>
+
+#include "service/service.hh"
+
+namespace vtsim::service {
+
+namespace {
+
+/** True when @p a should run strictly after @p b. */
+bool
+runsAfter(const JobRecord *a, const JobRecord *b)
+{
+    if (a->priority != b->priority)
+        return a->priority < b->priority;
+    return a->seq > b->seq;
+}
+
+} // namespace
+
+void
+JobQueue::insert(JobRecord *job)
+{
+    // Best candidate last: find the first element that runs *before*
+    // job scanning from the back, and place job after it.
+    const auto pos = std::upper_bound(queue_.begin(), queue_.end(), job,
+                                      runsAfter);
+    queue_.insert(pos, job);
+}
+
+bool
+JobQueue::admit(JobRecord *job)
+{
+    if (queue_.size() >= limit_)
+        return false;
+    insert(job);
+    return true;
+}
+
+void
+JobQueue::readmit(JobRecord *job)
+{
+    insert(job);
+}
+
+JobRecord *
+JobQueue::pop()
+{
+    if (queue_.empty())
+        return nullptr;
+    JobRecord *job = queue_.back();
+    queue_.pop_back();
+    return job;
+}
+
+bool
+JobQueue::remove(const JobRecord *job)
+{
+    const auto it = std::find(queue_.begin(), queue_.end(), job);
+    if (it == queue_.end())
+        return false;
+    queue_.erase(it);
+    return true;
+}
+
+} // namespace vtsim::service

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Pending-job queue of the simulation-job service: priority ordered
+ * (High before Normal before Low), FIFO by admission sequence within a
+ * priority, with a bounded depth for admission control.
+ *
+ * Oversubscription is the point: far more jobs than workers may be
+ * admitted, the excess waiting here (or parked on disk after a
+ * preemption) while only `workers` jobs actually hold a Gpu. The bound
+ * applies to *new* admissions only — a job that was already admitted
+ * and comes back (preempted and parked, or retried after a crash)
+ * re-enters through readmit(), which never rejects: rejecting it would
+ * lose accepted work. Parked jobs keep their original sequence number,
+ * so a resumed job re-runs before later arrivals of equal priority.
+ *
+ * Not thread-safe on its own: the JobService serializes access under
+ * its mutex.
+ */
+
+#ifndef VTSIM_SERVICE_JOB_QUEUE_HH
+#define VTSIM_SERVICE_JOB_QUEUE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "service/job.hh"
+
+namespace vtsim::service {
+
+struct JobRecord;
+
+class JobQueue
+{
+  public:
+    /** @p limit caps jobs waiting here (admission control). */
+    explicit JobQueue(std::size_t limit) : limit_(limit) {}
+
+    /** Admit a new job; false (rejected) when the queue is full. */
+    bool admit(JobRecord *job);
+
+    /** Re-enter an already-admitted job (parked or retrying). */
+    void readmit(JobRecord *job);
+
+    /** Highest-priority, oldest job; nullptr when empty. */
+    JobRecord *pop();
+
+    /** The job pop() would return, without removing it. */
+    const JobRecord *peek() const
+    { return queue_.empty() ? nullptr : queue_.back(); }
+
+    /** Remove a specific waiting job (cancel); false when absent. */
+    bool remove(const JobRecord *job);
+
+    std::size_t depth() const { return queue_.size(); }
+    bool empty() const { return queue_.empty(); }
+
+  private:
+    void insert(JobRecord *job);
+
+    std::size_t limit_;
+    /** Sorted: best candidate at the back (pop is pop_back). */
+    std::vector<JobRecord *> queue_;
+};
+
+} // namespace vtsim::service
+
+#endif // VTSIM_SERVICE_JOB_QUEUE_HH

@@ -1,0 +1,426 @@
+#include "service/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace vtsim::service {
+
+namespace {
+
+/** Recursive-descent parser over a bounded view. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json
+    document()
+    {
+        Json v = value(0);
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 32;
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw JsonError("JSON parse error at byte " +
+                        std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        const std::size_t n = std::strlen(lit);
+        if (text_.substr(pos_, n) == lit) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    value(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting deeper than " + std::to_string(kMaxDepth));
+        skipSpace();
+        const char c = peek();
+        switch (c) {
+          case '{':
+            return object(depth);
+          case '[':
+            return array(depth);
+          case '"':
+            return Json(string());
+          case 't':
+            if (consumeLiteral("true"))
+                return Json(true);
+            fail("invalid literal");
+          case 'f':
+            if (consumeLiteral("false"))
+                return Json(false);
+            fail("invalid literal");
+          case 'n':
+            if (consumeLiteral("null"))
+                return Json(nullptr);
+            fail("invalid literal");
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return number();
+            fail(std::string("unexpected character '") + c + "'");
+        }
+    }
+
+    Json
+    object(int depth)
+    {
+        expect('{');
+        Json::Object members;
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return Json(std::move(members));
+        }
+        for (;;) {
+            skipSpace();
+            std::string key = string();
+            skipSpace();
+            expect(':');
+            members[std::move(key)] = value(depth + 1);
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return Json(std::move(members));
+        }
+    }
+
+    Json
+    array(int depth)
+    {
+        expect('[');
+        Json::Array items;
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return Json(std::move(items));
+        }
+        for (;;) {
+            items.push_back(value(depth + 1));
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return Json(std::move(items));
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  if (pos_ + 4 > text_.size())
+                      fail("truncated \\u escape");
+                  unsigned code = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      const char h = text_[pos_++];
+                      code <<= 4;
+                      if (h >= '0' && h <= '9')
+                          code += h - '0';
+                      else if (h >= 'a' && h <= 'f')
+                          code += 10 + h - 'a';
+                      else if (h >= 'A' && h <= 'F')
+                          code += 10 + h - 'A';
+                      else
+                          fail("bad hex digit in \\u escape");
+                  }
+                  // Encode the code point as UTF-8. Surrogate pairs are
+                  // passed through as two 3-byte sequences — the wire
+                  // protocol never needs astral-plane fidelity.
+                  if (code < 0x80) {
+                      out += char(code);
+                  } else if (code < 0x800) {
+                      out += char(0xC0 | (code >> 6));
+                      out += char(0x80 | (code & 0x3F));
+                  } else {
+                      out += char(0xE0 | (code >> 12));
+                      out += char(0x80 | ((code >> 6) & 0x3F));
+                      out += char(0x80 | (code & 0x3F));
+                  }
+                  break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    Json
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        // RFC 8259: no leading zeros ("01"), no bare minus.
+        if (pos_ >= text_.size() || text_[pos_] < '0' ||
+            text_[pos_] > '9') {
+            fail("malformed number");
+        }
+        if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+            text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+            fail("leading zero in number");
+        }
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        const std::string_view lit = text_.substr(start, pos_ - start);
+        // Integral literal without exponent/fraction → exact int64.
+        if (lit.find_first_of(".eE") == std::string_view::npos) {
+            std::int64_t i = 0;
+            const auto [p, ec] =
+                std::from_chars(lit.data(), lit.data() + lit.size(), i);
+            if (ec == std::errc() && p == lit.data() + lit.size())
+                return Json(i);
+        }
+        double d = 0.0;
+        const auto [p, ec] =
+            std::from_chars(lit.data(), lit.data() + lit.size(), d);
+        if (ec != std::errc() || p != lit.data() + lit.size())
+            fail("malformed number '" + std::string(lit) + "'");
+        return Json(d);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+Json
+Json::parse(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        throw JsonError("expected a boolean");
+    return bool_;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    if (type_ == Type::Int)
+        return int_;
+    if (type_ == Type::Double && double_ == std::floor(double_))
+        return std::int64_t(double_);
+    throw JsonError("expected an integer");
+}
+
+double
+Json::asDouble() const
+{
+    if (type_ == Type::Int)
+        return double(int_);
+    if (type_ == Type::Double)
+        return double_;
+    throw JsonError("expected a number");
+}
+
+const std::string &
+Json::asString() const
+{
+    if (type_ != Type::String)
+        throw JsonError("expected a string");
+    return string_;
+}
+
+const Json::Array &
+Json::asArray() const
+{
+    if (type_ != Type::Array)
+        throw JsonError("expected an array");
+    return array_;
+}
+
+const Json::Object &
+Json::asObject() const
+{
+    if (type_ != Type::Object)
+        throw JsonError("expected an object");
+    return object_;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    const auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+void
+Json::dumpTo(std::string &out) const
+{
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Int:
+        out += std::to_string(int_);
+        break;
+      case Type::Double: {
+          // Shortest round-trippable decimal form (matches the stats
+          // JSON convention established in bench/parallel_runner.cc).
+          char buf[40];
+          for (int prec = 1; prec <= 17; ++prec) {
+              std::snprintf(buf, sizeof(buf), "%.*g", prec, double_);
+              double back = 0.0;
+              std::sscanf(buf, "%lf", &back);
+              if (back == double_)
+                  break;
+          }
+          out += buf;
+          break;
+      }
+      case Type::String:
+        appendEscaped(out, string_);
+        break;
+      case Type::Array: {
+          out += '[';
+          bool first = true;
+          for (const Json &v : array_) {
+              if (!first)
+                  out += ',';
+              first = false;
+              v.dumpTo(out);
+          }
+          out += ']';
+          break;
+      }
+      case Type::Object: {
+          out += '{';
+          bool first = true;
+          for (const auto &[key, v] : object_) {
+              if (!first)
+                  out += ',';
+              first = false;
+              appendEscaped(out, key);
+              out += ':';
+              v.dumpTo(out);
+          }
+          out += '}';
+          break;
+      }
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpTo(out);
+    return out;
+}
+
+} // namespace vtsim::service

@@ -1,0 +1,611 @@
+#include "service/service.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "service/protocol.hh"
+#include "workloads/workload.hh"
+
+namespace vtsim::service {
+
+namespace {
+
+bool
+terminalState(JobState s)
+{
+    return s == JobState::Done || s == JobState::Failed ||
+           s == JobState::Cancelled;
+}
+
+/** Best-effort removal of a job's parked image. */
+void
+dropSpoolFile(JobRecord &job)
+{
+    if (job.checkpointFile.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::remove(job.checkpointFile, ec);
+    job.checkpointFile.clear();
+}
+
+std::vector<std::uint8_t>
+loadImage(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        throw std::runtime_error("cannot open parked checkpoint '" +
+                                 path + "'");
+    }
+    std::vector<std::uint8_t> image(
+        (std::istreambuf_iterator<char>(is)),
+        std::istreambuf_iterator<char>());
+    if (!is.good() && !is.eof())
+        throw std::runtime_error("short read from '" + path + "'");
+    return image;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+JobService::JobService(ServiceConfig config)
+    : config_(std::move(config)),
+      queue_(config_.queueLimit),
+      started_(std::chrono::steady_clock::now())
+{
+    if (config_.workers < 1)
+        config_.workers = 1;
+    running_.resize(config_.workers);
+
+    statsGroup_.addCounter("jobs_submitted", &submitted_,
+                           "jobs admitted into the queue");
+    statsGroup_.addCounter("jobs_completed", &completed_,
+                           "jobs finished with verified results");
+    statsGroup_.addCounter("jobs_failed", &failed_,
+                           "jobs that exhausted their retry");
+    statsGroup_.addCounter("jobs_rejected_full", &rejectedFull_,
+                           "submissions rejected by admission control");
+    statsGroup_.addCounter("jobs_cancelled", &cancelled_,
+                           "jobs cancelled before completion");
+    statsGroup_.addCounter("preemptions", &preemptions_,
+                           "jobs parked at a checkpoint boundary");
+    statsGroup_.addCounter("retries", &retries_,
+                           "failed attempts retried from a checkpoint "
+                           "or from scratch");
+    statsGroup_.addValue("queue_depth", &queueDepth_,
+                         "jobs waiting for a worker right now");
+    statsGroup_.addValue("max_queue_depth", &maxQueueDepth_,
+                         "deepest the queue has been");
+    statsGroup_.addValue("running_jobs", &runningJobs_,
+                         "jobs on a worker right now");
+    statsGroup_.addValue("parked_jobs", &parkedJobs_,
+                         "preempted jobs with state spooled to disk");
+    statsGroup_.addScalar("wait_seconds", &waitSeconds_,
+                          "admission-to-first-start latency per job");
+    statsGroup_.addScalar("job_kcycles_per_sec", &jobKcyclesPerSec_,
+                          "simulation rate per completed job");
+    registry_.addGroup(statsGroup_);
+
+    pool_ = std::make_unique<WorkerPool>(
+        config_.workers,
+        [this](WorkerPool::Task &out, unsigned worker) {
+            return nextTask(out, worker);
+        });
+}
+
+JobService::~JobService()
+{
+    shutdown();
+}
+
+void
+JobService::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        shuttingDown_ = true;
+        workCv_.notify_all();
+    }
+    // call_once blocks concurrent callers until the drain completes,
+    // so shutdown() is safe from the daemon's connection threads and
+    // the destructor at once.
+    std::call_once(shutdownOnce_, [this] { pool_->join(); });
+    std::lock_guard<std::mutex> lk(mu_);
+    joined_ = true;
+}
+
+JobService::SubmitOutcome
+JobService::submit(const JobSpec &spec, Priority priority)
+{
+    SubmitOutcome out;
+    if (spec.workload.empty()) {
+        out.error = "workload must not be empty";
+        return out;
+    }
+    try {
+        // Scale-0 probe: reject unknown workload names at admission,
+        // not minutes later on a worker.
+        makeWorkload(spec.workload, 0);
+    } catch (const std::exception &e) {
+        out.error = e.what();
+        return out;
+    }
+
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shuttingDown_) {
+        out.rejected = "shutting_down";
+        return out;
+    }
+    auto record = std::make_unique<JobRecord>();
+    record->id = nextId_;
+    record->seq = nextSeq_;
+    record->priority = priority;
+    record->spec = spec;
+    record->submitted = std::chrono::steady_clock::now();
+    if (!queue_.admit(record.get())) {
+        ++rejectedFull_;
+        out.rejected = "queue_full";
+        return out;
+    }
+    ++nextId_;
+    ++nextSeq_;
+    ++submitted_;
+    out.id = record->id;
+    jobs_.emplace(out.id, std::move(record));
+    noteQueueDepthLocked();
+    maybePreempt(priority);
+    workCv_.notify_one();
+    return out;
+}
+
+void
+JobService::maybePreempt(Priority priority)
+{
+    if (runningJobs_ < running_.size())
+        return; // A worker is free (or about to pull the new job).
+    RunningSlot *victim = nullptr;
+    for (auto &slot : running_) {
+        if (!slot.job || slot.preemptSignalled)
+            continue;
+        if (slot.job->priority >= priority)
+            continue;
+        const Cycle cadence = slot.job->spec.checkpointEvery
+                                  ? slot.job->spec.checkpointEvery
+                                  : config_.preemptEvery;
+        if (cadence == 0)
+            continue; // Opted out of preemption.
+        if (!victim || slot.job->priority < victim->job->priority ||
+            (slot.job->priority == victim->job->priority &&
+             slot.job->seq > victim->job->seq)) {
+            victim = &slot; // Weakest first; youngest breaks ties.
+        }
+    }
+    if (!victim)
+        return;
+    victim->preemptSignalled = true;
+    // The Gpu appears in the slot once the worker has acquired its
+    // arena; before that, runJob sees preemptSignalled and arms the
+    // request itself.
+    if (victim->gpu)
+        victim->gpu->requestPreempt();
+}
+
+bool
+JobService::nextTask(WorkerPool::Task &out, unsigned worker)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        workCv_.wait(lk,
+                     [this] { return shuttingDown_ || !queue_.empty(); });
+        JobRecord *job = queue_.pop();
+        if (job) {
+            if (job->state == JobState::Parked)
+                --parkedJobs_;
+            job->state = JobState::Running;
+            running_[worker] = RunningSlot{job, nullptr, false};
+            ++runningJobs_;
+            noteQueueDepthLocked();
+            // This pop may have taken the last free worker while
+            // higher-priority jobs still wait — submit-time preemption
+            // checks cannot see that, so re-evaluate for the best job
+            // left behind.
+            if (const JobRecord *next = queue_.peek())
+                maybePreempt(next->priority);
+            out = [this, job](GpuArena &arena, unsigned w) {
+                runJob(arena, *job, w);
+            };
+            return true;
+        }
+        if (shuttingDown_)
+            return false; // Drained: retire the worker.
+    }
+}
+
+void
+JobService::runJob(GpuArena &arena, JobRecord &job, unsigned worker)
+{
+    const auto run_start = std::chrono::steady_clock::now();
+    double slice_seconds = 0.0;
+    bool slice_accounted = false;
+    bool inject = false;
+    std::ostringstream interval;
+    try {
+        auto workload = makeWorkload(job.spec.workload, job.spec.scale);
+        const Kernel kernel = workload->buildKernel();
+        Gpu &gpu = arena.acquire(job.spec.config);
+        std::string resume_from;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            RunningSlot &slot = running_[worker];
+            slot.gpu = &gpu;
+            if (!job.everStarted) {
+                job.everStarted = true;
+                job.waitSeconds =
+                    std::chrono::duration<double>(run_start -
+                                                  job.submitted)
+                        .count();
+                waitSeconds_.sample(job.waitSeconds);
+            }
+            inject = job.injectedFailures < job.spec.injectFail;
+            if (slot.preemptSignalled)
+                gpu.requestPreempt(); // Signalled before we had a Gpu.
+            resume_from = job.checkpointFile;
+        }
+        const Cycle cadence = job.spec.checkpointEvery
+                                  ? job.spec.checkpointEvery
+                                  : config_.preemptEvery;
+        if (job.spec.statsInterval > 0)
+            gpu.enableIntervalSampler(job.spec.statsInterval, interval);
+        // Empty path: the cadence only arms preemption boundaries, no
+        // per-boundary file is written — images are saved on demand.
+        gpu.setCheckpoint("", cadence);
+        LaunchParams lp;
+        if (!resume_from.empty()) {
+            // As in bench_common: prepare() into a scratch memory so
+            // the workload records its buffer addresses and golden
+            // outputs for verify() while the restored device contents
+            // stay untouched.
+            GlobalMemory scratch;
+            workload->prepare(scratch);
+            lp = gpu.restoreCheckpoint(loadImage(resume_from));
+        } else {
+            lp = workload->prepare(gpu.memory());
+        }
+        if (inject) {
+            // Test hook: stop at the first cadence boundary so a
+            // checkpoint parks, then fail the attempt below — the
+            // retry resumes from that image.
+            gpu.requestPreempt();
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const KernelStats stats = gpu.launch(kernel, lp);
+        slice_seconds = secondsSince(t0);
+
+        if (gpu.preempted()) {
+            parkImage(job, gpu);
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                job.wallSeconds += slice_seconds;
+                job.intervalSeries += interval.str();
+                busySeconds_ += slice_seconds;
+                slice_accounted = true;
+                if (inject)
+                    ++job.injectedFailures;
+            }
+            if (inject) {
+                throw std::runtime_error(
+                    "injected failure (test hook)");
+            }
+            std::lock_guard<std::mutex> lk(mu_);
+            running_[worker] = RunningSlot{};
+            --runningJobs_;
+            job.state = JobState::Parked;
+            ++job.preemptions;
+            ++preemptions_;
+            ++parkedJobs_;
+            queue_.readmit(&job);
+            noteQueueDepthLocked();
+            workCv_.notify_one();
+            return;
+        }
+
+        // Completed the grid. A preempt request that raced the finish
+        // must not stop the arena's next launch.
+        gpu.clearPreemptRequest();
+        if (inject) {
+            // Finished before the first boundary (or cadence 0): no
+            // checkpoint parked, so the injected retry runs from
+            // scratch.
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++job.injectedFailures;
+            }
+            throw std::runtime_error("injected failure (test hook)");
+        }
+        std::uint32_t depth = 0;
+        for (std::uint32_t i = 0; i < gpu.numSms(); ++i)
+            depth = std::max(depth, gpu.sm(i).maxSimtDepthSeen());
+        const bool verified = workload->verify(gpu.memory());
+
+        std::lock_guard<std::mutex> lk(mu_);
+        running_[worker] = RunningSlot{};
+        --runningJobs_;
+        job.wallSeconds += slice_seconds;
+        job.intervalSeries += interval.str();
+        busySeconds_ += slice_seconds;
+        job.stats = stats;
+        job.verified = verified;
+        job.maxSimtDepth = depth;
+        dropSpoolFile(job);
+        if (verified) {
+            job.state = JobState::Done;
+            ++completed_;
+            if (job.wallSeconds > 0.0) {
+                jobKcyclesPerSec_.sample(double(stats.cycles) /
+                                         job.wallSeconds / 1e3);
+            }
+        } else {
+            // Deterministic wrong answers: retrying cannot help.
+            job.state = JobState::Failed;
+            job.failureReason = "verification failed: wrong results";
+            ++failed_;
+        }
+        doneCv_.notify_all();
+    } catch (const std::exception &e) {
+        // Whatever threw may have left the Gpu mid-launch: never reuse
+        // that arena.
+        arena.discard();
+        std::lock_guard<std::mutex> lk(mu_);
+        running_[worker] = RunningSlot{};
+        --runningJobs_;
+        if (!slice_accounted) {
+            if (slice_seconds == 0.0)
+                slice_seconds = secondsSince(run_start);
+            job.wallSeconds += slice_seconds;
+            busySeconds_ += slice_seconds;
+        }
+        if (job.retries < 1) {
+            ++job.retries;
+            ++retries_;
+            if (job.checkpointFile.empty()) {
+                // From-scratch rerun regenerates the whole series; a
+                // checkpointed rerun resumes where the parked slices
+                // left off, so those stay.
+                job.intervalSeries.clear();
+            }
+            std::fprintf(stderr,
+                         "[vtsimd] job %llu attempt failed (%s); "
+                         "retrying from %s\n",
+                         static_cast<unsigned long long>(job.id),
+                         e.what(),
+                         job.checkpointFile.empty()
+                             ? "scratch"
+                             : job.checkpointFile.c_str());
+            job.state = JobState::Queued;
+            queue_.readmit(&job);
+            noteQueueDepthLocked();
+            workCv_.notify_one();
+        } else {
+            job.state = JobState::Failed;
+            job.failureReason = e.what();
+            ++failed_;
+            dropSpoolFile(job);
+            std::fprintf(stderr,
+                         "[vtsimd] job %llu failed permanently: %s\n",
+                         static_cast<unsigned long long>(job.id),
+                         e.what());
+            doneCv_.notify_all();
+        }
+    }
+}
+
+void
+JobService::parkImage(JobRecord &job, Gpu &gpu)
+{
+    std::vector<std::uint8_t> image;
+    gpu.saveCheckpoint(image);
+    std::error_code ec;
+    std::filesystem::create_directories(config_.spoolDir, ec);
+    const std::string path =
+        config_.spoolDir + "/job-" + std::to_string(job.id) + ".ckpt";
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        throw std::runtime_error("cannot open spool file '" + path + "'");
+    os.write(reinterpret_cast<const char *>(image.data()),
+             std::streamsize(image.size()));
+    os.flush();
+    if (!os)
+        throw std::runtime_error("short write to spool file '" + path +
+                                 "'");
+    // Only the owning worker touches checkpointFile while the job runs
+    // (cancel refuses running jobs), so no lock is needed here.
+    job.checkpointFile = path;
+}
+
+JobSnapshot
+JobService::wait(JobId id)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        throw ProtocolError("unknown job " + std::to_string(id));
+    JobRecord &job = *it->second;
+    doneCv_.wait(lk, [&job] { return terminalState(job.state); });
+    return snapshotLocked(job);
+}
+
+JobSnapshot
+JobService::query(JobId id)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        throw ProtocolError("unknown job " + std::to_string(id));
+    return snapshotLocked(*it->second);
+}
+
+bool
+JobService::cancel(JobId id, std::string &error)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        error = "unknown job " + std::to_string(id);
+        return false;
+    }
+    JobRecord &job = *it->second;
+    if (job.state == JobState::Running) {
+        error = "job is running; only queued or parked jobs cancel";
+        return false;
+    }
+    if (terminalState(job.state)) {
+        error = "job already " + toString(job.state);
+        return false;
+    }
+    if (!queue_.remove(&job)) {
+        error = "job is not waiting"; // Unreachable by construction.
+        return false;
+    }
+    if (job.state == JobState::Parked)
+        --parkedJobs_;
+    dropSpoolFile(job);
+    job.state = JobState::Cancelled;
+    ++cancelled_;
+    noteQueueDepthLocked();
+    doneCv_.notify_all();
+    return true;
+}
+
+JobSnapshot
+JobService::snapshotLocked(const JobRecord &job) const
+{
+    JobSnapshot snap;
+    snap.id = job.id;
+    snap.state = job.state;
+    snap.priority = job.priority;
+    snap.workload = job.spec.workload;
+    snap.scale = job.spec.scale;
+    snap.preemptions = job.preemptions;
+    snap.retries = job.retries;
+    snap.waitSeconds = job.waitSeconds;
+    snap.wallSeconds = job.wallSeconds;
+    snap.failureReason = job.failureReason;
+    snap.stats = job.stats;
+    snap.verified = job.verified;
+    snap.maxSimtDepth = job.maxSimtDepth;
+    snap.intervalSeries = job.intervalSeries;
+    return snap;
+}
+
+void
+JobService::noteQueueDepthLocked()
+{
+    queueDepth_ = queue_.depth();
+    maxQueueDepth_ = std::max(maxQueueDepth_, queueDepth_);
+}
+
+Json
+JobService::status() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const double uptime = secondsSince(started_);
+
+    Json::Object queue;
+    queue["depth"] = Json(queueDepth_);
+    queue["limit"] = Json(std::uint64_t(config_.queueLimit));
+    queue["max_depth"] = Json(maxQueueDepth_);
+
+    Json::Object counts;
+    counts["submitted"] = Json(submitted_.value());
+    counts["completed"] = Json(completed_.value());
+    counts["failed"] = Json(failed_.value());
+    counts["cancelled"] = Json(cancelled_.value());
+    counts["rejected_queue_full"] = Json(rejectedFull_.value());
+    counts["running"] = Json(runningJobs_);
+    counts["parked"] = Json(parkedJobs_);
+
+    Json::Object wait;
+    wait["count"] = Json(waitSeconds_.count());
+    wait["mean"] = Json(waitSeconds_.mean());
+    wait["max"] = Json(waitSeconds_.maxValue());
+
+    Json::Array jobs;
+    for (const auto &[id, rec] : jobs_) {
+        Json::Object j;
+        j["job"] = Json(id);
+        j["workload"] = Json(rec->spec.workload);
+        j["priority"] = Json(toString(rec->priority));
+        j["state"] = Json(toString(rec->state));
+        j["preemptions"] = Json(rec->preemptions);
+        j["retries"] = Json(rec->retries);
+        j["wait_seconds"] = Json(rec->waitSeconds);
+        j["wall_seconds"] = Json(rec->wallSeconds);
+        if (rec->state == JobState::Done && rec->wallSeconds > 0.0) {
+            j["kcycles_per_sec"] = Json(double(rec->stats.cycles) /
+                                        rec->wallSeconds / 1e3);
+        }
+        jobs.push_back(Json(std::move(j)));
+    }
+
+    Json::Object o;
+    o["ok"] = Json(true);
+    o["op"] = Json("status");
+    o["uptime_seconds"] = Json(uptime);
+    o["workers"] = Json(unsigned(config_.workers));
+    o["preempt_every"] = Json(std::uint64_t(config_.preemptEvery));
+    o["queue"] = Json(std::move(queue));
+    o["jobs"] = Json(std::move(counts));
+    o["preemptions"] = Json(preemptions_.value());
+    o["retries"] = Json(retries_.value());
+    o["wait_seconds"] = Json(std::move(wait));
+    o["busy_seconds"] = Json(busySeconds_);
+    o["worker_utilization"] =
+        Json(uptime > 0.0 ? busySeconds_ / (uptime * config_.workers)
+                          : 0.0);
+    o["job_list"] = Json(std::move(jobs));
+    return Json(std::move(o));
+}
+
+Json
+JobService::statsJsonSection() const
+{
+    Json status_obj = status();
+    Json::Object o = status_obj.asObject();
+    o.erase("ok");
+    o.erase("op");
+    return Json(std::move(o));
+}
+
+std::vector<RunRecord>
+JobService::completedRuns() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<RunRecord> runs;
+    for (const auto &[id, rec] : jobs_) {
+        if (rec->state != JobState::Done)
+            continue;
+        RunRecord run;
+        run.workload = rec->spec.workload;
+        run.scale = rec->spec.scale;
+        run.config = rec->spec.config;
+        run.verified = rec->verified;
+        run.wallSeconds = rec->wallSeconds;
+        run.maxSimtDepth = rec->maxSimtDepth;
+        run.stats = rec->stats;
+        run.intervalSeries = rec->intervalSeries;
+        runs.push_back(std::move(run));
+    }
+    return runs;
+}
+
+} // namespace vtsim::service

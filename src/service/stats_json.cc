@@ -1,0 +1,98 @@
+#include "service/stats_json.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace vtsim::service {
+
+std::string
+jsonDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[40];
+        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(probe, "%lf", &back);
+        if (back == v)
+            return probe;
+    }
+    return buf;
+}
+
+void
+writeStatsJson(std::ostream &os, const std::vector<RunRecord> &runs,
+               const Json *service)
+{
+    os << "{\n  \"schema\": \"vtsim-stats-v1\",\n";
+    if (service)
+        os << "  \"service\": " << service->dump() << ",\n";
+    os << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const RunRecord &r = runs[i];
+        const KernelStats &s = r.stats;
+        os << "    {\n"
+           << "      \"workload\": \"" << r.workload << "\",\n"
+           << "      \"scale\": " << r.scale << ",\n"
+           << "      \"config\": {"
+           << "\"num_sms\": " << r.config.numSms
+           << ", \"vt_enabled\": "
+           << (r.config.vtEnabled ? "true" : "false")
+           << ", \"throttle_enabled\": "
+           << (r.config.throttleEnabled ? "true" : "false")
+           << ", \"fast_forward\": "
+           << (r.config.fastForwardEnabled ? "true" : "false")
+           << "},\n"
+           << "      \"verified\": " << (r.verified ? "true" : "false")
+           << ",\n"
+           << "      \"wall_seconds\": " << jsonDouble(r.wallSeconds)
+           << ",\n"
+           << "      \"kcycles_per_sec\": " << jsonDouble(r.kcyclesPerSec())
+           << ",\n"
+           << "      \"mips\": " << jsonDouble(r.mips()) << ",\n"
+           << "      \"max_simt_depth\": " << r.maxSimtDepth << ",\n"
+           << "      \"stats\": {\n"
+           << "        \"cycles\": " << s.cycles << ",\n"
+           << "        \"ipc\": " << jsonDouble(s.ipc) << ",\n"
+           << "        \"warp_instructions\": " << s.warpInstructions
+           << ",\n"
+           << "        \"thread_instructions\": " << s.threadInstructions
+           << ",\n"
+           << "        \"ctas_completed\": " << s.ctasCompleted << ",\n"
+           << "        \"l1_hits\": " << s.l1Hits << ",\n"
+           << "        \"l1_misses\": " << s.l1Misses << ",\n"
+           << "        \"l2_hits\": " << s.l2Hits << ",\n"
+           << "        \"l2_misses\": " << s.l2Misses << ",\n"
+           << "        \"dram_row_hits\": " << s.dramRowHits << ",\n"
+           << "        \"dram_row_misses\": " << s.dramRowMisses << ",\n"
+           << "        \"dram_bytes\": " << s.dramBytes << ",\n"
+           << "        \"swap_outs\": " << s.swapOuts << ",\n"
+           << "        \"swap_ins\": " << s.swapIns << ",\n"
+           << "        \"stalls\": {"
+           << "\"issued\": " << s.stalls.issued
+           << ", \"mem\": " << s.stalls.memStall
+           << ", \"short\": " << s.stalls.shortStall
+           << ", \"barrier\": " << s.stalls.barrierStall
+           << ", \"swap\": " << s.stalls.swapStall
+           << ", \"idle\": " << s.stalls.idle << "}\n"
+           << "      },\n"
+           << "      \"intervals\": [";
+        // The interval series is JSONL — one object per line, already
+        // valid JSON: embed the lines as array elements.
+        bool first_line = true;
+        std::istringstream lines(r.intervalSeries);
+        std::string line;
+        while (std::getline(lines, line)) {
+            if (line.empty())
+                continue;
+            os << (first_line ? "\n        " : ",\n        ") << line;
+            first_line = false;
+        }
+        os << (first_line ? "]" : "\n      ]") << "\n    }"
+           << (i + 1 < runs.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace vtsim::service

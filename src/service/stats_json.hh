@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The "vtsim-stats-v1" JSON writer, shared by the figure binaries'
+ * batch runner (bench/parallel_runner.cc delegates here) and the job
+ * service (vtsimd --stats-json). One RunRecord per simulated run; the
+ * service adds an optional top-level "service" object with its
+ * scheduler telemetry. Validated in CI against ci/stats_schema.json by
+ * scripts/validate_stats_json.py.
+ */
+
+#ifndef VTSIM_SERVICE_STATS_JSON_HH
+#define VTSIM_SERVICE_STATS_JSON_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "gpu/gpu.hh"
+#include "service/json.hh"
+
+namespace vtsim::service {
+
+/** One simulated run, as the stats JSON reports it. */
+struct RunRecord
+{
+    std::string workload;
+    std::uint32_t scale = 1;
+    GpuConfig config;
+    bool verified = false;
+    /** Host wall-clock seconds spent simulating. */
+    double wallSeconds = 0.0;
+    std::uint32_t maxSimtDepth = 0;
+    KernelStats stats;
+    /** Interval-sampler JSONL series (empty unless sampled). */
+    std::string intervalSeries;
+
+    double
+    kcyclesPerSec() const
+    {
+        return wallSeconds > 0.0 ? stats.cycles / wallSeconds / 1e3 : 0.0;
+    }
+
+    double
+    mips() const
+    {
+        return wallSeconds > 0.0
+                   ? stats.threadInstructions / wallSeconds / 1e6
+                   : 0.0;
+    }
+};
+
+/** Shortest round-trippable decimal form of @p v. */
+std::string jsonDouble(double v);
+
+/**
+ * Write the whole document: schema tag, the optional @p service
+ * section (pass nullptr for plain batch output), then one entry per
+ * run in order.
+ */
+void writeStatsJson(std::ostream &os,
+                    const std::vector<RunRecord> &runs,
+                    const Json *service);
+
+} // namespace vtsim::service
+
+#endif // VTSIM_SERVICE_STATS_JSON_HH

@@ -1,0 +1,71 @@
+#include "service/worker_pool.hh"
+
+#include <cstdio>
+#include <exception>
+
+#include "common/log.hh"
+
+namespace vtsim::service {
+
+WorkerPool::WorkerPool(unsigned workers, Source source,
+                       bool inline_single)
+    : workers_(workers < 1 ? 1 : workers),
+      source_(std::move(source)),
+      inlineSingle_(inline_single && workers_ == 1)
+{
+    VTSIM_ASSERT(source_, "worker pool needs a task source");
+    if (inlineSingle_)
+        return;
+    threads_.reserve(workers_);
+    for (unsigned w = 0; w < workers_; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    join();
+}
+
+void
+WorkerPool::join()
+{
+    if (inlineSingle_) {
+        inlineSingle_ = false; // Run the sequential loop exactly once.
+        workerLoop(0);
+        return;
+    }
+    for (auto &t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+void
+WorkerPool::workerLoop(unsigned worker)
+{
+    GpuArena arena;
+    Task task;
+    while (source_(task, worker)) {
+        try {
+            task(arena, worker);
+        } catch (const std::exception &e) {
+            // Tasks own their error handling (see file comment); a
+            // throw escaping one is a bug, but a service worker must
+            // survive it.
+            std::fprintf(stderr,
+                         "[worker-pool] BUG: task on worker %u threw: "
+                         "%s\n",
+                         worker, e.what());
+            arena.discard();
+        } catch (...) {
+            std::fprintf(stderr,
+                         "[worker-pool] BUG: task on worker %u threw a "
+                         "non-exception\n",
+                         worker);
+            arena.discard();
+        }
+        task = nullptr; // Release captured state between tasks.
+    }
+}
+
+} // namespace vtsim::service

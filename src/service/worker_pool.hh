@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The shared simulation worker pool — extracted from
+ * bench/parallel_runner so the figure binaries' batch runner and the
+ * vtsimd job service schedule onto one implementation.
+ *
+ * A WorkerPool owns N worker threads. Each worker repeatedly asks the
+ * caller-supplied Source for its next Task and runs it; the Source may
+ * block (the job service parks workers on a condition variable) and
+ * returns false to retire the worker (batch exhausted, or service
+ * shutdown with a drained queue). Each worker carries a GpuArena — one
+ * Gpu reused via Gpu::reset() while consecutive tasks share a config —
+ * so per-run construction cost is paid only on config changes, exactly
+ * the arena-reuse contract the parallel runner established.
+ *
+ * Tasks must not throw: a task owns its error handling (the batch
+ * runner records the failure per spec index; the job service feeds it
+ * into the retry machinery). A throwing task is a programming error;
+ * the pool reports it to stderr and keeps the worker alive, because a
+ * long-lived daemon must outlive any single bad job.
+ */
+
+#ifndef VTSIM_SERVICE_WORKER_POOL_HH
+#define VTSIM_SERVICE_WORKER_POOL_HH
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gpu/gpu.hh"
+
+namespace vtsim::service {
+
+/** Per-worker Gpu arena: reset-and-reuse while the config matches. */
+class GpuArena
+{
+  public:
+    /**
+     * A Gpu ready for a fresh run under @p config: the previous arena
+     * reset (bit-identical to a new Gpu by the SimComponent lifecycle
+     * contract) when its config equals @p config, a new Gpu otherwise.
+     */
+    Gpu &
+    acquire(const GpuConfig &config)
+    {
+        if (gpu_ && gpu_->config() == config)
+            gpu_->reset();
+        else
+            gpu_ = std::make_unique<Gpu>(config);
+        return *gpu_;
+    }
+
+    /** Drop the arena (after an exception mid-launch: never reuse). */
+    void discard() { gpu_.reset(); }
+
+  private:
+    std::unique_ptr<Gpu> gpu_;
+};
+
+class WorkerPool
+{
+  public:
+    /** One unit of work, run on a worker thread with its arena. */
+    using Task = std::function<void(GpuArena &arena, unsigned worker)>;
+
+    /**
+     * Supplies tasks to a worker. May block until work is available;
+     * fills @p out and returns true, or returns false to retire the
+     * worker permanently. Called from worker threads concurrently —
+     * the source synchronizes itself.
+     */
+    using Source = std::function<bool(Task &out, unsigned worker)>;
+
+    /**
+     * Start @p workers threads pulling from @p source. With
+     * @p inline_single true and one worker, no thread is spawned and
+     * the whole pool runs on the caller's thread inside join() — the
+     * batch runner uses this so `--jobs 1` stays a plain sequential
+     * loop that is trivial to debug and profile.
+     */
+    WorkerPool(unsigned workers, Source source,
+               bool inline_single = false);
+
+    /** Joins any remaining workers. */
+    ~WorkerPool();
+
+    /** Block until every worker has retired (source returned false). */
+    void join();
+
+    unsigned size() const { return workers_; }
+
+  private:
+    void workerLoop(unsigned worker);
+
+    unsigned workers_;
+    Source source_;
+    bool inlineSingle_;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace vtsim::service
+
+#endif // VTSIM_SERVICE_WORKER_POOL_HH

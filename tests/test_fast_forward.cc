@@ -155,9 +155,15 @@ TEST(ParallelRunner, ResolveJobsPrecedence)
     const char *argv_eq[] = {"bin", "--jobs=7"};
     EXPECT_EQ(bench::resolveJobs(2, const_cast<char **>(argv_eq)), 7u);
 
-    // A nonsense request degrades to one worker, never zero.
+    // A nonsense request is an error, not a silent one-worker
+    // fallback: the user asked for something specific and got it
+    // wrong.
     const char *argv_zero[] = {"bin", "--jobs", "0"};
-    EXPECT_EQ(bench::resolveJobs(3, const_cast<char **>(argv_zero)), 1u);
+    EXPECT_THROW(bench::resolveJobs(3, const_cast<char **>(argv_zero)),
+                 FatalError);
+    const char *argv_text[] = {"bin", "--jobs=banana"};
+    EXPECT_THROW(bench::resolveJobs(2, const_cast<char **>(argv_text)),
+                 FatalError);
 }
 
 } // namespace

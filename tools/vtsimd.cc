@@ -1,0 +1,154 @@
+/**
+ * @file
+ * vtsimd — the simulation-job service daemon. Binds a Unix-domain
+ * socket, accepts NDJSON job requests (src/service/protocol.hh) and
+ * schedules them onto a preemptive worker pool (src/service/service.hh).
+ *
+ * Usage:
+ *   vtsimd [--socket PATH] [--workers N] [--queue-limit N]
+ *          [--preempt-every CYCLES] [--spool DIR] [--stats-json PATH]
+ *
+ *   --socket PATH         listen here (default ./vtsimd.sock)
+ *   --workers N           concurrent simulations (default 2)
+ *   --queue-limit N       admission bound; beyond it submits get
+ *                         rejected:queue_full (default 64)
+ *   --preempt-every N     default checkpoint/preemption cadence in
+ *                         cycles for jobs that don't set their own;
+ *                         0 disables preemption (default 25000)
+ *   --spool DIR           parked checkpoint images (default
+ *                         ./vtsimd-spool)
+ *   --stats-json PATH     on shutdown, write completed runs plus the
+ *                         service telemetry as vtsim-stats-v1 JSON
+ *
+ * The daemon exits after a client's "shutdown" op (draining every
+ * admitted job first) or on SIGINT/SIGTERM.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "service/daemon.hh"
+#include "service/service.hh"
+#include "service/stats_json.hh"
+
+namespace {
+
+vtsim::service::Daemon *g_daemon = nullptr;
+
+void
+onSignal(int)
+{
+    // requestStop only touches an atomic and shutdown(2) — both
+    // async-signal-safe.
+    if (g_daemon)
+        g_daemon->requestStop();
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: vtsimd [--socket PATH] [--workers N] "
+                 "[--queue-limit N]\n"
+                 "              [--preempt-every CYCLES] [--spool DIR] "
+                 "[--stats-json PATH]\n");
+    std::exit(2);
+}
+
+unsigned long long
+parseCount(const char *text, const char *what)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long n = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "vtsimd: invalid %s '%s'\n", what, text);
+        std::exit(2);
+    }
+    return n;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vtsim::service;
+
+    std::string socket_path = "vtsimd.sock";
+    std::string stats_json_path;
+    ServiceConfig config;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--socket")
+            socket_path = value();
+        else if (arg == "--workers")
+            config.workers = unsigned(parseCount(value(), "--workers"));
+        else if (arg == "--queue-limit")
+            config.queueLimit =
+                std::size_t(parseCount(value(), "--queue-limit"));
+        else if (arg == "--preempt-every")
+            config.preemptEvery = parseCount(value(), "--preempt-every");
+        else if (arg == "--spool")
+            config.spoolDir = value();
+        else if (arg == "--stats-json")
+            stats_json_path = value();
+        else
+            usage();
+    }
+    if (config.workers < 1) {
+        std::fprintf(stderr, "vtsimd: --workers must be >= 1\n");
+        return 2;
+    }
+
+    try {
+        JobService service(config);
+        Daemon daemon(service, socket_path);
+        daemon.start();
+        g_daemon = &daemon;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        std::signal(SIGPIPE, SIG_IGN);
+
+        std::fprintf(stderr,
+                     "[vtsimd] listening on %s (%u workers, queue "
+                     "limit %zu, preempt every %llu cycles)\n",
+                     socket_path.c_str(), config.workers,
+                     config.queueLimit,
+                     (unsigned long long)config.preemptEvery);
+        daemon.serve();
+
+        std::fprintf(stderr, "[vtsimd] draining...\n");
+        service.shutdown();
+        g_daemon = nullptr;
+
+        if (!stats_json_path.empty()) {
+            std::ofstream os(stats_json_path);
+            if (!os) {
+                std::fprintf(stderr,
+                             "vtsimd: cannot open stats-json file "
+                             "'%s'\n",
+                             stats_json_path.c_str());
+                return 1;
+            }
+            const Json section = service.statsJsonSection();
+            writeStatsJson(os, service.completedRuns(), &section);
+            std::fprintf(stderr, "[vtsimd] wrote %s\n",
+                         stats_json_path.c_str());
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "vtsimd: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
