@@ -1,6 +1,7 @@
 #include "bench_common.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -15,6 +16,23 @@ namespace vtsim::bench {
 namespace {
 
 TelemetryOptions g_telemetry;
+
+/** Strictly parse a shard-thread count: an integer >= 1 or a fatal
+ *  error — "--sim-threads 0" or "--sim-threads banana" must not
+ *  silently fall back to sequential (the same contract --jobs has in
+ *  parallel_runner.cc). */
+unsigned
+parseSimThreads(const char *text, const char *origin)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long n = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || n < 1) {
+        VTSIM_FATAL("invalid sim-thread count '", text, "' from ",
+                    origin, " (expected an integer >= 1)");
+    }
+    return static_cast<unsigned>(n);
+}
 
 } // namespace
 
@@ -48,6 +66,15 @@ parseTelemetryArgs(int argc, char **argv)
             opts.restorePath = argv[++i];
         else if (arg.substr(0, 10) == "--restore=")
             opts.restorePath = argv[i] + 10;
+        else if (arg == "--sim-threads" && i + 1 < argc)
+            opts.simThreads = parseSimThreads(argv[++i], "--sim-threads");
+        else if (arg.substr(0, 14) == "--sim-threads=")
+            opts.simThreads = parseSimThreads(argv[i] + 14,
+                                              "--sim-threads");
+    }
+    if (opts.simThreads == 0) {
+        if (const char *env = std::getenv("VTSIM_SIM_THREADS"))
+            opts.simThreads = parseSimThreads(env, "VTSIM_SIM_THREADS");
     }
     return opts;
 }
@@ -97,6 +124,10 @@ runWorkloadOn(Gpu &gpu, const std::string &workload_name,
 
     RunResult result;
     result.workload = workload_name;
+    // Gpu::reset() (arena reuse) falls back to sequential, so the shard
+    // count must be re-applied per run; 0 leaves the default alone.
+    if (g_telemetry.simThreads > 0)
+        gpu.setSimThreads(g_telemetry.simThreads);
     std::ostringstream interval_series;
     if (g_telemetry.statsInterval > 0)
         gpu.enableIntervalSampler(g_telemetry.statsInterval,

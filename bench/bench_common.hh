@@ -32,6 +32,15 @@ namespace vtsim::bench {
  *   --restore <path>          restore the run from a checkpoint instead
  *                             of preparing workload inputs; the run
  *                             resumes and finishes bit-identically
+ *   --sim-threads <n>         shard each run's SMs and memory
+ *                             partitions across n worker threads
+ *                             (docs/ARCHITECTURE.md "Sharded
+ *                             simulation"); every statistic, series,
+ *                             trace and checkpoint stays bit-identical
+ *                             to the sequential run. Also honors the
+ *                             VTSIM_SIM_THREADS environment variable
+ *                             (flag wins). Malformed values are a fatal
+ *                             error, like --jobs/VTSIM_JOBS.
  */
 struct TelemetryOptions
 {
@@ -41,6 +50,8 @@ struct TelemetryOptions
     std::string checkpointPath;
     Cycle checkpointEvery = 0;
     std::string restorePath;
+    /** Shard workers per simulation; 0 = unset (sequential). */
+    unsigned simThreads = 0;
 };
 
 /** Scan argv for the telemetry switches (unknown args are ignored). */

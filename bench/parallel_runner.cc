@@ -1,8 +1,10 @@
 #include "parallel_runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -75,6 +77,34 @@ runAll(const std::vector<RunSpec> &specs, unsigned jobs)
         std::fprintf(stderr, "[parallel-runner] global trace sink "
                              "enabled; forcing jobs=1\n");
         pool_size = 1;
+    }
+
+    // --jobs and --sim-threads multiply: each of the pool's workers
+    // shards its simulation across simThreads threads. Oversubscribing
+    // the host only adds scheduler thrash (every run still finishes
+    // bit-identically), so when the product exceeds the hardware
+    // thread count, the job count wins — independent runs scale near-
+    // linearly while epoch barriers cap intra-run speedup — and the
+    // shard count is trimmed to fit. A single-job batch is exempt:
+    // there is no composition to arbitrate, and an explicit
+    // "--jobs 1 --sim-threads N" (the determinism/TSan harness shape)
+    // must actually shard even on a small host.
+    const TelemetryOptions &telemetry = telemetryOptions();
+    if (telemetry.simThreads > 1 && pool_size > 1) {
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        if (static_cast<std::uint64_t>(pool_size) * telemetry.simThreads >
+            hw) {
+            const unsigned capped = std::max(1u, hw / pool_size);
+            std::fprintf(stderr,
+                         "[parallel-runner] jobs=%u x sim-threads=%u "
+                         "oversubscribes %u hardware threads; capping "
+                         "sim-threads at %u\n",
+                         pool_size, telemetry.simThreads, hw, capped);
+            TelemetryOptions adjusted = telemetry;
+            adjusted.simThreads = capped;
+            setTelemetryOptions(adjusted);
+        }
     }
 
     // Dispense spec indices to the shared worker pool (the same

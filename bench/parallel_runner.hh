@@ -14,6 +14,15 @@
  *   2. the `VTSIM_JOBS` environment variable,
  *   3. std::thread::hardware_concurrency().
  *
+ * Composition with sharded simulation (`--sim-threads` /
+ * `VTSIM_SIM_THREADS`, bench_common.hh): the two multiply — jobs
+ * concurrent runs, each sharded across sim-threads workers. When the
+ * product would oversubscribe hardware_concurrency(), VTSIM_JOBS
+ * outranks VTSIM_SIM_THREADS: the job count is kept and the shard
+ * count trimmed (with a stderr warning), because independent runs
+ * scale near-linearly while epoch barriers cap intra-run speedup.
+ * Either way results never change — sharding is bit-identical.
+ *
  * Result rows keep their spec order regardless of completion order, so
  * figure output is deterministic. Telemetry (per-run sim rate, batch
  * wall clock) goes to stderr; stdout stays byte-stable for diffing.

@@ -9,6 +9,10 @@
  *     --jobs N              run several benchmarks N at a time (also
  *                           honors VTSIM_JOBS, exactly like the figure
  *                           binaries; malformed values are an error)
+ *     --sim-threads N       shard each simulation's SMs and memory
+ *                           partitions across N threads — same stats,
+ *                           traces and checkpoints, less wall clock
+ *                           (also honors VTSIM_SIM_THREADS)
  *     --vt                  enable Virtual Thread
  *     --vtmax N             virtual-CTA budget per SM (0 = capacity)
  *     --swap-latency N      swap out AND in latency, cycles
@@ -44,7 +48,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: run_benchmark <name> [<name>...] [--jobs N] "
-                 "[--vt] [--vtmax N]\n"
+                 "[--sim-threads N]\n"
+                 "       [--vt] [--vtmax N]\n"
                  "       [--swap-latency N]\n"
                  "       [--scheduler lrr|gto|two-level] [--sms N] "
                  "[--scale N]\n"
@@ -59,7 +64,9 @@ usage()
                  "  --trace-json: Perfetto trace (load at "
                  "ui.perfetto.dev)\n"
                  "  --checkpoint: vtsim-ckpt-v1 snapshot, resumable "
-                 "with --restore\n");
+                 "with --restore\n"
+                 "  --sim-threads: deterministic sharded simulation "
+                 "(bit-identical output)\n");
     std::exit(2);
 }
 
@@ -115,6 +122,13 @@ try {
             next_value(i);
         } else if (a.rfind("--jobs=", 0) == 0) {
             // Handled by resolveJobs.
+        } else if (a == "--sim-threads") {
+            // Validated below by parseTelemetryArgs — the figure
+            // binaries' exact --sim-threads/VTSIM_SIM_THREADS
+            // resolution, shared, not reimplemented.
+            next_value(i);
+        } else if (a.rfind("--sim-threads=", 0) == 0) {
+            // Handled by parseTelemetryArgs.
         } else if (a == "--vt") {
             cfg.vtEnabled = true;
         } else if (a == "--vtmax") {
@@ -164,6 +178,9 @@ try {
     // a malformed value aborts with a clear message instead of
     // silently falling back to one worker.
     const unsigned jobs = bench::resolveJobs(argc, argv);
+    // Same deal for --sim-threads/VTSIM_SIM_THREADS (0 = unset).
+    const unsigned sim_threads =
+        bench::parseTelemetryArgs(argc, argv).simThreads;
 
     if (names.size() > 1) {
         if (dump_stats || !checkpoint_path.empty() ||
@@ -179,6 +196,7 @@ try {
         bench::TelemetryOptions telemetry;
         telemetry.statsInterval = stats_interval;
         telemetry.traceJsonPath = trace_json_path;
+        telemetry.simThreads = sim_threads;
         bench::setTelemetryOptions(telemetry);
         const auto results = bench::runAll(specs, jobs);
         for (const auto &r : results) {
@@ -203,6 +221,8 @@ try {
     auto wl = makeWorkload(name, scale);
     const Kernel kernel = wl->buildKernel();
     Gpu gpu(cfg);
+    if (sim_threads > 0)
+        gpu.setSimThreads(sim_threads);
     if (stats_interval > 0)
         gpu.enableIntervalSampler(stats_interval, std::cerr);
     if (!trace_json_path.empty())

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Measure sharded-simulation scaling and emit BENCH_sharded_sim.json.
+
+Runs a figure binary at --sim-threads 1, 2 and 4 with --jobs 1, so the
+only parallelism in play is intra-run sharding (docs/ARCHITECTURE.md
+"Sharded simulation"). Two things come out of that:
+
+ 1. A regression gate: the per-run statistics (cycles, every counter,
+    the interval series) must be identical across thread counts —
+    sharding is bit-identical by construction, and a mismatch here
+    catches a determinism break at the whole-figure level.
+ 2. A scaling record: BENCH_sharded_sim.json is the sim-threads-1
+    stats document extended with a "sharded_sim" section holding
+    Kcyc/s and speedup per thread count, plus the host's hardware
+    thread count so a flat curve on a starved runner is interpretable.
+
+The output validates against ci/stats_schema.json (the script checks).
+
+Standard library only. Usage:
+    bench_sharded_sim.py [--binary PATH] [--out PATH] [--threads 1,2,4]
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "scripts"))
+import validate_stats_json  # noqa: E402
+
+
+def run_point(binary, sim_threads, stats_path):
+    cmd = [
+        str(binary),
+        "--jobs", "1",
+        "--sim-threads", str(sim_threads),
+        "--stats-json", str(stats_path),
+        "--stats-interval", "5000",
+    ]
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    return json.loads(stats_path.read_text())
+
+
+def run_signature(run):
+    """Everything about a run that must not depend on the thread count
+    (host-timing fields excluded)."""
+    return {
+        key: value
+        for key, value in run.items()
+        if key not in ("wall_seconds", "kcycles_per_sec", "mips")
+    }
+
+
+def main(argv):
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--binary", default=str(REPO / "build/bench/fig3_vt_speedup"))
+    parser.add_argument("--out", default="BENCH_sharded_sim.json")
+    parser.add_argument("--threads", default="1,2,4")
+    args = parser.parse_args(argv[1:])
+
+    thread_counts = [int(t) for t in args.threads.split(",")]
+    documents = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for n in thread_counts:
+            stats_path = pathlib.Path(tmp) / f"stats_{n}.json"
+            documents[n] = run_point(args.binary, n, stats_path)
+            print(f"[bench-sharded-sim] sim-threads {n}: "
+                  f"{len(documents[n]['runs'])} runs")
+
+    base = documents[thread_counts[0]]
+    baseline_sigs = [run_signature(r) for r in base["runs"]]
+    for n in thread_counts[1:]:
+        sigs = [run_signature(r) for r in documents[n]["runs"]]
+        if sigs != baseline_sigs:
+            print(f"[bench-sharded-sim] FAIL: sim-threads {n} changed "
+                  "the statistics — sharding is supposed to be "
+                  "bit-identical", file=sys.stderr)
+            return 1
+
+    points = []
+    for n in thread_counts:
+        runs = documents[n]["runs"]
+        wall = sum(r["wall_seconds"] for r in runs)
+        cycles = sum(r["stats"]["cycles"] for r in runs)
+        points.append({
+            "sim_threads": n,
+            "wall_seconds": round(wall, 6),
+            "kcycles_per_sec": round(cycles / wall / 1e3, 3)
+            if wall > 0 else 0.0,
+        })
+    for p in points:
+        p["speedup"] = round(
+            points[0]["wall_seconds"] / p["wall_seconds"], 3) \
+            if p["wall_seconds"] > 0 else 0.0
+
+    base["sharded_sim"] = {
+        "hardware_threads": os.cpu_count() or 1,
+        "points": points,
+    }
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(base, indent=2) + "\n")
+
+    for p in points:
+        print(f"[bench-sharded-sim] sim-threads {p['sim_threads']}: "
+              f"wall {p['wall_seconds']:.3f}s, "
+              f"{p['kcycles_per_sec']:.1f} Kcyc/s, "
+              f"speedup {p['speedup']:.2f}x")
+
+    # The document must still be a valid vtsim-stats-v1 batch.
+    return validate_stats_json.main(
+        ["validate_stats_json.py", str(out_path)])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -185,6 +185,15 @@ struct GpuConfig
      */
     bool horizonOracle = false;
 
+    /**
+     * Cross-check every sharded-simulation epoch (Gpu::setSimThreads
+     * with more than one thread) against a sequential re-execution:
+     * snapshot the machine before the epoch, re-run the same cycle
+     * window single-threaded, and diff every component's save() image
+     * to localize any divergence (very expensive — test use only).
+     */
+    bool shardOracle = false;
+
     /** GTX480-class baseline used throughout the evaluation. */
     static GpuConfig fermiLike();
 

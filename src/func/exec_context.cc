@@ -277,14 +277,15 @@ execute(const Instruction &inst, std::uint32_t warp_in_cta, ActiveMask mask,
           }
           case Opcode::LDG: {
             const Addr addr = rd(0) + inst.imm;
-            wr(gmem.read32(addr));
-            result.globalAccesses.push_back({lane, addr});
+            const std::uint32_t v = gmem.read32(addr);
+            wr(v);
+            result.globalAccesses.push_back({lane, addr, 0, v});
             break;
           }
           case Opcode::STG: {
             const Addr addr = rd(0) + inst.imm;
             gmem.write32(addr, rd(1));
-            result.globalAccesses.push_back({lane, addr});
+            result.globalAccesses.push_back({lane, addr, rd(1), 0});
             break;
           }
           case Opcode::ATOMG_ADD: {
@@ -292,7 +293,7 @@ execute(const Instruction &inst, std::uint32_t warp_in_cta, ActiveMask mask,
             const std::uint32_t old = gmem.read32(addr);
             gmem.write32(addr, old + rd(1));
             wr(old);
-            result.globalAccesses.push_back({lane, addr});
+            result.globalAccesses.push_back({lane, addr, rd(1), old});
             break;
           }
           case Opcode::LDS: {

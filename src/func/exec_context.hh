@@ -88,6 +88,15 @@ struct LaneAccess
 {
     std::uint32_t lane;
     Addr addr;
+    /** Value the lane wrote (STG) or the atomic's addend (ATOMG_ADD);
+     *  unused for loads. Feeds the sharded-epoch replay log. */
+    std::uint32_t data = 0;
+    /** Value the lane observed: the load result (LDG) or the atomic's
+     *  read-out (ATOMG_ADD). During a sharded epoch global writes are
+     *  deferred, so this may be stale; the replay pass re-executes the
+     *  op against settled memory and patches the destination register
+     *  when the true value differs. */
+    std::uint32_t observed = 0;
 };
 
 /** Everything the timing model needs to know about an issued instruction. */

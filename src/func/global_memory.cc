@@ -18,6 +18,8 @@ GlobalMemory::read8(Addr addr) const
 void
 GlobalMemory::write8(Addr addr, std::uint8_t value)
 {
+    if (deferWrites_)
+        return;
     auto &page = pages_[addr / pageSize];
     if (page.empty())
         page.resize(pageSize, 0);
@@ -49,6 +51,8 @@ GlobalMemory::read32(Addr addr) const
 void
 GlobalMemory::write32(Addr addr, std::uint32_t value)
 {
+    if (deferWrites_)
+        return;
     const std::uint32_t off = addr % pageSize;
     if (off + 4 <= pageSize) {
         auto &page = pages_[addr / pageSize];

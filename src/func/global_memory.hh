@@ -26,6 +26,16 @@ class GlobalMemory
   public:
     static constexpr std::uint32_t pageSize = 4096;
 
+    /**
+     * Defer-writes mode (sharded epochs): write8()/write32() become
+     * no-ops and reads return the pre-epoch contents, so SM shard
+     * workers can read concurrently without materialising pages. The
+     * epoch barrier turns the mode off and replays the logged global
+     * ops in canonical order (see Gpu's replay pass).
+     */
+    void setDeferWrites(bool defer) { deferWrites_ = defer; }
+    bool deferWrites() const { return deferWrites_; }
+
     /** Read one byte (zero if untouched). */
     std::uint8_t read8(Addr addr) const;
     void write8(Addr addr, std::uint8_t value);
@@ -83,6 +93,7 @@ class GlobalMemory
   private:
     std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
     Addr allocNext_ = 0x1000; ///< Keep address 0 unmapped, as a null page.
+    bool deferWrites_ = false;
 };
 
 } // namespace vtsim

@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iostream>
 #include <iterator>
+#include <queue>
+#include <thread>
+#include <tuple>
+#include <utility>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace vtsim {
 
@@ -84,6 +90,7 @@ configFields(Archive &&field, Config &cfg)
     field(cfg.incrementalReadySets);
     field(cfg.readySetOracle);
     field(cfg.horizonOracle);
+    field(cfg.shardOracle);
 }
 
 void
@@ -265,6 +272,13 @@ Gpu::reset()
             p->setTraceJson(nullptr, 0);
         traceJson_.reset();
     }
+
+    // The thread-count knob resets with the rest of the per-run wiring;
+    // the pool itself survives (worker threads hold no simulated state,
+    // and respawning them per job would dominate short runs).
+    simThreads_ = 1;
+    smStages_.clear();
+    partStages_.clear();
 }
 
 bool
@@ -536,100 +550,12 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
         if (sampler_)
             sampler_->beginLaunch(cycle_);
     }
-    CtaDispatcher &dispatcher = *dispatcher_;
-
-    const auto total_issued = [this] {
-        std::uint64_t total = 0;
-        for (const auto &sm : sms_)
-            total += sm->instructionsIssued();
-        return total;
-    };
-
     const Cycle start = launchStart_;
-    const Cycle deadline = start + config_.maxCycles;
-    while (true) {
-        // CTA work distribution: one CTA per SM per cycle, round-robin.
-        bool admitted = false;
-        for (auto &sm : sms_) {
-            if (dispatcher.hasWork() && sm->canAdmitCta()) {
-                sm->admitCta(dispatcher.next(), cycle_);
-                admitted = true;
-            }
-        }
-
-        const std::uint64_t issued_before = total_issued();
-        noc_.tick(cycle_);
-        for (auto &p : partitions_)
-            p->tick(cycle_);
-        for (auto &sm : sms_)
-            sm->tick(cycle_);
-
-        ++cycle_;
-        if (sampler_ && cycle_ == sampler_->nextSampleAt())
-            takeSample();
-        const bool done = !dispatcher.hasWork() && allIdle();
-        // Periodic checkpoints land on multiples of checkpointEvery_,
-        // and only strictly mid-kernel: a resumed launch re-enters the
-        // loop exactly where the admission phase for this cycle would
-        // have run, so the remainder replays bit-identically. The same
-        // boundaries are the preemption points: a cadence with an empty
-        // path arms preemption without writing files.
-        if (checkpointEvery_ != 0 && !done &&
-            cycle_ % checkpointEvery_ == 0) {
-            if (!checkpointPath_.empty())
-                writeCheckpoint();
-            if (preemptRequested_.exchange(false,
-                                           std::memory_order_relaxed)) {
-                preempted_ = true;
-                break;
-            }
-        }
-        if (done)
-            break;
-        if (cycle_ >= deadline) {
-            VTSIM_FATAL("watchdog: kernel '", kernel.name(),
-                        "' exceeded ", config_.maxCycles, " cycles");
-        }
-
-        // Event-horizon fast-forward: when this cycle did nothing and
-        // the next admission/issue/completion provably lies in the
-        // future, jump straight to it, bulk-replicating the per-cycle
-        // accounting the skipped empty ticks would have done. Every
-        // statistic is bit-identical to the naive loop's. The horizon
-        // itself — the min over component next events, clamped by
-        // sampler/checkpoint wakeups — is EventHorizon's job.
-        if (!config_.fastForwardEnabled)
-            continue;
-        if (admitted || total_issued() != issued_before)
-            continue; // A busy cycle is never at an event-free horizon.
-        if (dispatcher.hasWork()) {
-            bool can_admit = false;
-            for (const auto &sm : sms_)
-                can_admit = can_admit || sm->canAdmitCta();
-            if (can_admit)
-                continue; // The next iteration admits a CTA.
-        }
-        const Cycle horizon = horizon_.target(cycle_, deadline);
-        if (horizon <= cycle_)
-            continue;
-        horizon_.advance(cycle_, horizon, oracleEnabled());
-        cycle_ = horizon;
-        if (cycle_ >= deadline) {
-            VTSIM_FATAL("watchdog: kernel '", kernel.name(),
-                        "' exceeded ", config_.maxCycles, " cycles");
-        }
-        if (sampler_ && cycle_ == sampler_->nextSampleAt())
-            takeSample();
-        if (checkpointEvery_ != 0 && cycle_ % checkpointEvery_ == 0) {
-            if (!checkpointPath_.empty())
-                writeCheckpoint();
-            if (preemptRequested_.exchange(false,
-                                           std::memory_order_relaxed)) {
-                preempted_ = true;
-                break;
-            }
-        }
-    }
+    const unsigned workers = effectiveSimThreads();
+    if (workers > 1)
+        runSharded(kernel, workers);
+    else
+        runSequential(kernel);
 
     // Settle lazily skipped per-SM ticks before reading any statistic.
     for (auto &sm : sms_)
@@ -653,6 +579,716 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
                     ? double(stats.warpInstructions) / stats.cycles
                     : 0.0;
     return stats;
+}
+
+std::uint64_t
+Gpu::totalIssued() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sm : sms_)
+        total += sm->instructionsIssued();
+    return total;
+}
+
+unsigned
+Gpu::effectiveSimThreads() const
+{
+    // More workers than components would leave some idle every epoch;
+    // the clamp also forces tiny configs (testMini: 1 SM, 1 partition)
+    // onto the sequential path.
+    const auto components =
+        std::max<unsigned>(numSms(), unsigned(partitions_.size()));
+    const unsigned n = std::min(simThreads_, components);
+    if (n <= 1)
+        return 1;
+    if (Trace::instance().anyEnabled()) {
+        std::cerr << "[vtsim] textual trace sink enabled; forcing "
+                     "sim-threads=1 (the Trace facade is a process-global "
+                     "singleton the shard workers would race on)\n";
+        return 1;
+    }
+    return n;
+}
+
+Gpu::StepResult
+Gpu::sequentialCycle(const Kernel &kernel, Cycle deadline)
+{
+    CtaDispatcher &dispatcher = *dispatcher_;
+
+    // CTA work distribution: one CTA per SM per cycle, round-robin.
+    // Under sharded trace staging (the serial fast path between epochs)
+    // the admission events must merge before every tick-phase event of
+    // this cycle, so the stage's rank is retargeted around the call.
+    bool admitted = false;
+    for (std::uint32_t s = 0; s < sms_.size(); ++s) {
+        SmCore &sm = *sms_[s];
+        if (dispatcher.hasWork() && sm.canAdmitCta()) {
+            if (!smStages_.empty())
+                smStages_[s]->setRank(s);
+            sm.admitCta(dispatcher.next(), cycle_);
+            if (!smStages_.empty())
+                smStages_[s]->setRank(smTickRank(s));
+            admitted = true;
+        }
+    }
+
+    const std::uint64_t issued_before = totalIssued();
+    noc_.tick(cycle_);
+    for (auto &p : partitions_)
+        p->tick(cycle_);
+    for (auto &sm : sms_)
+        sm->tick(cycle_);
+
+    ++cycle_;
+    if (sampler_ && cycle_ == sampler_->nextSampleAt())
+        takeSample();
+    const bool done = !dispatcher.hasWork() && allIdle();
+    // Periodic checkpoints land on multiples of checkpointEvery_,
+    // and only strictly mid-kernel: a resumed launch re-enters the
+    // loop exactly where the admission phase for this cycle would
+    // have run, so the remainder replays bit-identically. The same
+    // boundaries are the preemption points: a cadence with an empty
+    // path arms preemption without writing files.
+    if (checkpointEvery_ != 0 && !done && cycle_ % checkpointEvery_ == 0) {
+        if (!checkpointPath_.empty())
+            writeCheckpoint();
+        if (preemptRequested_.exchange(false, std::memory_order_relaxed)) {
+            preempted_ = true;
+            return StepResult::Preempted;
+        }
+    }
+    if (done)
+        return StepResult::Done;
+    if (cycle_ >= deadline) {
+        VTSIM_FATAL("watchdog: kernel '", kernel.name(), "' exceeded ",
+                    config_.maxCycles, " cycles");
+    }
+
+    // Event-horizon fast-forward: when this cycle did nothing and
+    // the next admission/issue/completion provably lies in the
+    // future, jump straight to it, bulk-replicating the per-cycle
+    // accounting the skipped empty ticks would have done. Every
+    // statistic is bit-identical to the naive loop's. The horizon
+    // itself — the min over component next events, clamped by
+    // sampler/checkpoint wakeups — is EventHorizon's job.
+    if (!config_.fastForwardEnabled)
+        return StepResult::Running;
+    if (admitted || totalIssued() != issued_before)
+        return StepResult::Running; // A busy cycle is never at an
+                                    // event-free horizon.
+    if (dispatcher.hasWork()) {
+        bool can_admit = false;
+        for (const auto &sm : sms_)
+            can_admit = can_admit || sm->canAdmitCta();
+        if (can_admit)
+            return StepResult::Running; // The next iteration admits.
+    }
+    const Cycle horizon = horizon_.target(cycle_, deadline);
+    if (horizon <= cycle_)
+        return StepResult::Running;
+    horizon_.advance(cycle_, horizon, oracleEnabled());
+    cycle_ = horizon;
+    if (cycle_ >= deadline) {
+        VTSIM_FATAL("watchdog: kernel '", kernel.name(), "' exceeded ",
+                    config_.maxCycles, " cycles");
+    }
+    if (sampler_ && cycle_ == sampler_->nextSampleAt())
+        takeSample();
+    if (checkpointEvery_ != 0 && cycle_ % checkpointEvery_ == 0) {
+        if (!checkpointPath_.empty())
+            writeCheckpoint();
+        if (preemptRequested_.exchange(false, std::memory_order_relaxed)) {
+            preempted_ = true;
+            return StepResult::Preempted;
+        }
+    }
+    return StepResult::Running;
+}
+
+void
+Gpu::runSequential(const Kernel &kernel)
+{
+    const Cycle deadline = launchStart_ + config_.maxCycles;
+    while (sequentialCycle(kernel, deadline) == StepResult::Running) {
+    }
+}
+
+/**
+ * The sharded epoch driver. One run is divided into fixed-length epochs
+ * no longer than the shortest cross-shard feedback path; inside an
+ * epoch every worker ticks only the SMs and memory partitions it owns,
+ * all cross-shard traffic is staged, and the barrier folds the staged
+ * state back in canonical sequential order. Four mechanisms carry the
+ * bit-identity guarantee (docs/ARCHITECTURE.md, "Sharded simulation"):
+ *
+ *  1. NoC staging: sends append to per-source buffers; the epoch bound
+ *     (<= nocLatency) means nothing staged can mature in-epoch, so
+ *     merging at the barrier in (send cycle, source, sequence) order
+ *     reproduces the sequential queues byte for byte.
+ *  2. Deferred global memory: functional writes are parked and replayed
+ *     at the barrier in sequential issue order; lane registers that
+ *     observed stale values are patched before their loads complete
+ *     (epoch bound <= l1HitLatency guarantees no in-epoch completion).
+ *  3. Admission pauses: the CTA dispatcher is frozen during an epoch; a
+ *     worker whose SM frees a slot pauses it, and the barrier replays
+ *     the admission scan in exact (cycle, SM) order.
+ *  4. Trace staging: every component writes Perfetto events into a
+ *     private stage; barriers merge them in within-cycle emission-rank
+ *     order, so the JSON is byte-identical to the sequential file.
+ */
+void
+Gpu::runSharded(const Kernel &kernel, unsigned workers)
+{
+    CtaDispatcher &dispatcher = *dispatcher_;
+    const Cycle deadline = launchStart_ + config_.maxCycles;
+    // The epoch must not outlive the shortest cross-shard feedback
+    // path: nocLatency bounds when staged traffic could mature, and
+    // l1HitLatency bounds when an in-epoch load could complete and
+    // release its scoreboard before the barrier patches registers.
+    const Cycle epoch_len = std::max<Cycle>(
+        1, std::min<Cycle>(config_.nocLatency, config_.l1HitLatency));
+
+    if (!pool_ || pool_->workers() != workers)
+        pool_ = std::make_unique<ShardPool>(workers);
+
+    // Retarget every component's Perfetto writer at a private staging
+    // buffer for the duration of the run.
+    if (traceJson_) {
+        smStages_.clear();
+        partStages_.clear();
+        for (std::uint32_t s = 0; s < sms_.size(); ++s) {
+            auto stage = std::make_unique<telemetry::TraceStage>();
+            stage->setRank(smTickRank(s));
+            sms_[s]->setTraceJson(stage.get());
+            smStages_.push_back(std::move(stage));
+        }
+        for (std::uint32_t p = 0; p < partitions_.size(); ++p) {
+            auto stage = std::make_unique<telemetry::TraceStage>();
+            stage->setRank(numSms() + p);
+            partitions_[p]->setTraceJson(stage.get(), numSms() + p);
+            partStages_.push_back(std::move(stage));
+        }
+    }
+
+    struct SmEpoch
+    {
+        Cycle stopCycle = 0;  ///< First cycle this SM has not ticked.
+        Cycle lastActive = 0; ///< Last cycle it was non-idle after its tick.
+        Cycle pauseCycle = 0; ///< Cycle it paused for a barrier admission.
+        bool stopped = false; ///< Idle-stopped before the epoch end.
+        bool paused = false;
+        bool sawActive = false;
+    };
+    struct PartEpoch
+    {
+        Cycle lastActive = 0;
+        bool sawActive = false;
+    };
+    std::vector<SmEpoch> sm_ep(sms_.size());
+    std::vector<PartEpoch> part_ep(partitions_.size());
+    std::vector<Interconnect::PortDelta> sm_delta(sms_.size());
+    std::vector<Interconnect::PortDelta> part_delta(partitions_.size());
+
+    while (true) {
+        // Serial fast path: while CTAs are being admitted (the launch
+        // ramp and any cycle right after a slot freed), run plain
+        // sequential cycles — admission is inherently serial, and these
+        // cycles are a small fraction of a long run.
+        bool can_admit = false;
+        if (dispatcher.hasWork()) {
+            for (const auto &sm : sms_)
+                can_admit = can_admit || sm->canAdmitCta();
+        }
+        if (can_admit) {
+            const StepResult r = sequentialCycle(kernel, deadline);
+            mergeTraceStages();
+            if (r != StepResult::Running)
+                break;
+            continue;
+        }
+
+        const Cycle tstart = cycle_;
+        Cycle tend = tstart + epoch_len;
+        // Sampler and checkpoint boundaries must land exactly on an
+        // epoch edge so the barrier observes the same settled state the
+        // sequential loop would.
+        if (sampler_)
+            tend = std::min(tend, sampler_->nextSampleAt());
+        if (checkpointEvery_ != 0) {
+            tend = std::min(
+                tend, (tstart / checkpointEvery_ + 1) * checkpointEvery_);
+        }
+        tend = std::min(tend, deadline);
+        VTSIM_ASSERT(tend > tstart, "empty sharded epoch at cycle ",
+                     tstart);
+
+        std::vector<std::vector<std::uint8_t>> pre_images;
+        std::uint64_t pre_dispatched = 0;
+        if (config_.shardOracle) {
+            pre_images = captureShardImages();
+            pre_dispatched = dispatcher.dispatched();
+        }
+
+        // Admissions freeze for the epoch: only the barrier (or the
+        // serial path) drains the dispatcher, so the flag cannot go
+        // stale mid-epoch.
+        const bool admissions_open = dispatcher.hasWork();
+        noc_.beginEpochStaging();
+        gmem_.setDeferWrites(true);
+        for (auto &sm : sms_)
+            sm->beginEpochMemLog();
+        std::fill(sm_ep.begin(), sm_ep.end(), SmEpoch{});
+        std::fill(part_ep.begin(), part_ep.end(), PartEpoch{});
+        std::fill(sm_delta.begin(), sm_delta.end(),
+                  Interconnect::PortDelta{});
+        std::fill(part_delta.begin(), part_delta.end(),
+                  Interconnect::PortDelta{});
+
+        const auto epoch_work = [&](unsigned w) {
+            for (std::uint32_t p = 0; p < partitions_.size(); ++p) {
+                if (!pool_->owns(w, p))
+                    continue;
+                MemoryPartition &part = *partitions_[p];
+                PartEpoch &ep = part_ep[p];
+                for (Cycle c = tstart; c < tend; ++c) {
+                    noc_.drainRequestPort(p, c, part_delta[p]);
+                    part.tick(c);
+                    if (!part.idle()) {
+                        ep.lastActive = c;
+                        ep.sawActive = true;
+                    }
+                }
+            }
+            for (std::uint32_t s = 0; s < sms_.size(); ++s) {
+                if (!pool_->owns(w, s))
+                    continue;
+                SmCore &sm = *sms_[s];
+                SmEpoch &ep = sm_ep[s];
+                sm.setEpochOwner(std::this_thread::get_id());
+                for (Cycle c = tstart; c < tend; ++c) {
+                    // The sequential loop would admit a CTA here; park
+                    // the SM for the barrier's ordered admission scan.
+                    if (admissions_open && sm.canAdmitCta()) {
+                        ep.paused = true;
+                        ep.pauseCycle = c;
+                        break;
+                    }
+                    noc_.drainResponsePort(s, c, sm_delta[s]);
+                    sm.tick(c);
+                    if (!sm.idle()) {
+                        ep.lastActive = c;
+                        ep.sawActive = true;
+                    } else if (noc_.responsePortEmpty(s)) {
+                        // Nothing can reach this SM before the epoch
+                        // ends (staged traffic matures later); skip its
+                        // remaining idle ticks. Idle SM ticks charge
+                        // stalls.idle, so the driver re-ticks exactly
+                        // the skipped range at the barrier.
+                        ep.stopped = true;
+                        ep.stopCycle = c + 1;
+                        break;
+                    }
+                }
+                if (!ep.paused && !ep.stopped)
+                    ep.stopCycle = tend;
+                sm.setEpochOwner({});
+            }
+        };
+        pool_->runEpoch(epoch_work);
+
+        // --- Epoch barrier: everything below is driver-only. ---------
+
+        // 1. Replay the admission scans the workers paused for, in the
+        // exact (cycle, SM) order of the sequential loop, and continue
+        // each resolved SM to the epoch end inline (staging and the
+        // memory log are still armed, so these ticks are ordinary epoch
+        // ticks that happen to run on the driver).
+        using Pause = std::pair<Cycle, std::uint32_t>;
+        std::priority_queue<Pause, std::vector<Pause>,
+                            std::greater<Pause>>
+            pauses;
+        for (std::uint32_t s = 0; s < sms_.size(); ++s)
+            if (sm_ep[s].paused)
+                pauses.push({sm_ep[s].pauseCycle, s});
+        while (!pauses.empty()) {
+            const auto [c0, s] = pauses.top();
+            pauses.pop();
+            SmCore &sm = *sms_[s];
+            SmEpoch &ep = sm_ep[s];
+            ep.paused = false;
+            bool admitted_here = false;
+            if (dispatcher.hasWork()) {
+                if (!smStages_.empty())
+                    smStages_[s]->setRank(s);
+                sm.admitCta(dispatcher.next(), c0);
+                if (!smStages_.empty())
+                    smStages_[s]->setRank(smTickRank(s));
+                admitted_here = true;
+            }
+            bool repaused = false;
+            for (Cycle c = c0; c < tend; ++c) {
+                // One admission per SM per cycle: at c0 the scan just
+                // ran, so only later cycles may re-pause.
+                if (dispatcher.hasWork() && sm.canAdmitCta() &&
+                    !(admitted_here && c == c0)) {
+                    ep.paused = true;
+                    ep.pauseCycle = c;
+                    pauses.push({c, s});
+                    repaused = true;
+                    break;
+                }
+                noc_.drainResponsePort(s, c, sm_delta[s]);
+                sm.tick(c);
+                if (!sm.idle()) {
+                    ep.lastActive = c;
+                    ep.sawActive = true;
+                } else if (noc_.responsePortEmpty(s)) {
+                    ep.stopped = true;
+                    ep.stopCycle = c + 1;
+                    break;
+                }
+            }
+            if (!repaused && !ep.stopped)
+                ep.stopCycle = tend;
+        }
+
+        // 2. Did the launch finish inside this epoch? If so, compute
+        // the cycle the sequential loop would have exited at: one past
+        // the last cycle any component was active after ticking, i.e.
+        // the first cycle whose post-tick state was all-idle, plus one.
+        bool done = !dispatcher.hasWork() && noc_.idle() &&
+                    noc_.stagingEmpty();
+        if (done) {
+            for (const auto &sm : sms_)
+                done = done && sm->idle();
+            for (const auto &p : partitions_)
+                done = done && p->idle();
+        }
+        Cycle end_cycle = tstart + 1;
+        for (const SmEpoch &ep : sm_ep)
+            end_cycle = std::max(end_cycle, ep.stopCycle);
+        for (const PartEpoch &ep : part_ep)
+            if (ep.sawActive)
+                end_cycle = std::max(end_cycle, ep.lastActive + 2);
+        // A delivery is machine activity even when the destination
+        // absorbs it without turning non-idle (a write-back store lands
+        // in the L2 tags instantly): the sequential run's NoC is
+        // non-idle up to the delivery cycle, so it cannot observe
+        // all-idle before the cycle after it.
+        for (const auto &delta : part_delta)
+            if (delta.sawFlit)
+                end_cycle = std::max(end_cycle, delta.lastFlit + 1);
+        for (const auto &delta : sm_delta)
+            if (delta.sawFlit)
+                end_cycle = std::max(end_cycle, delta.lastFlit + 1);
+
+        // 3. Re-tick the idle-stopped SMs over the cycles they skipped
+        // (idle ticks charge stalls.idle, so tick counts must match the
+        // sequential run exactly; idle *partition* ticks are fully
+        // neutral, which is why partitions simply ran to the epoch end).
+        const Cycle catch_to = done ? end_cycle : tend;
+        for (std::uint32_t s = 0; s < sms_.size(); ++s) {
+            if (!sm_ep[s].stopped)
+                continue;
+            SmCore &sm = *sms_[s];
+            for (Cycle c = sm_ep[s].stopCycle; c < catch_to; ++c)
+                sm.tick(c);
+        }
+
+        // 4. Fold the epoch's cross-shard effects back in canonical
+        // sequential order: NoC messages, port counters, the deferred
+        // global-memory ops, then the staged trace events.
+        noc_.mergeStaged();
+        for (const auto &delta : part_delta)
+            noc_.applyPortDelta(delta);
+        for (const auto &delta : sm_delta)
+            noc_.applyPortDelta(delta);
+        gmem_.setDeferWrites(false);
+        replayEpochMemory();
+        for (auto &sm : sms_)
+            sm->endEpochMemLog();
+        if (config_.shardOracle)
+            verifyShardEpoch(pre_images, pre_dispatched, tstart, catch_to);
+        mergeTraceStages();
+
+        cycle_ = done ? end_cycle : tend;
+        if (sampler_ && cycle_ == sampler_->nextSampleAt())
+            takeSample();
+        if (checkpointEvery_ != 0 && !done &&
+            cycle_ % checkpointEvery_ == 0) {
+            if (!checkpointPath_.empty())
+                writeCheckpoint();
+            if (preemptRequested_.exchange(false,
+                                           std::memory_order_relaxed)) {
+                preempted_ = true;
+                break;
+            }
+        }
+        if (done)
+            break;
+        if (cycle_ >= deadline) {
+            VTSIM_FATAL("watchdog: kernel '", kernel.name(),
+                        "' exceeded ", config_.maxCycles, " cycles");
+        }
+
+        // Event-horizon fast-forward between epochs. Busy components
+        // pin the target to the present, so this self-guards: a jump
+        // happens only when provably nothing occurs at cycle_ either,
+        // in which case the sequential loop reaches the same horizon
+        // (one empty tick later) with identical bulk accounting.
+        if (!config_.fastForwardEnabled)
+            continue;
+        bool admit_pending = false;
+        if (dispatcher.hasWork()) {
+            for (const auto &sm : sms_)
+                admit_pending = admit_pending || sm->canAdmitCta();
+        }
+        if (admit_pending)
+            continue;
+        const Cycle horizon = horizon_.target(cycle_, deadline);
+        if (horizon <= cycle_)
+            continue;
+        horizon_.advance(cycle_, horizon, oracleEnabled());
+        cycle_ = horizon;
+        if (cycle_ >= deadline) {
+            VTSIM_FATAL("watchdog: kernel '", kernel.name(),
+                        "' exceeded ", config_.maxCycles, " cycles");
+        }
+        if (sampler_ && cycle_ == sampler_->nextSampleAt())
+            takeSample();
+        if (checkpointEvery_ != 0 && cycle_ % checkpointEvery_ == 0) {
+            if (!checkpointPath_.empty())
+                writeCheckpoint();
+            if (preemptRequested_.exchange(false,
+                                           std::memory_order_relaxed)) {
+                preempted_ = true;
+                break;
+            }
+        }
+    }
+
+    // Hand the components back the real writer (no metadata re-emit:
+    // attachTraceJson already named the processes).
+    mergeTraceStages();
+    if (traceJson_) {
+        for (auto &sm : sms_)
+            sm->setTraceJson(traceJson_.get());
+        for (std::uint32_t p = 0; p < partitions_.size(); ++p)
+            partitions_[p]->setTraceJson(traceJson_.get(), numSms() + p);
+        smStages_.clear();
+        partStages_.clear();
+    }
+}
+
+void
+Gpu::mergeTraceStages()
+{
+    if (smStages_.empty() && partStages_.empty())
+        return;
+    std::vector<telemetry::TraceStage::Event> events;
+    const auto collect = [&events](auto &stages) {
+        for (auto &stage : stages) {
+            if (stage->empty())
+                continue;
+            auto drained = stage->drain();
+            events.insert(events.end(),
+                          std::make_move_iterator(drained.begin()),
+                          std::make_move_iterator(drained.end()));
+        }
+    };
+    collect(partStages_);
+    collect(smStages_);
+    if (events.empty())
+        return;
+    // (cycle, rank, seq) is unique across stages — ranks identify the
+    // emitting phase (admission scan < partition ticks < SM ticks) and
+    // seq orders events within one stage — so plain sort suffices and
+    // reproduces the sequential within-cycle emission order.
+    std::sort(events.begin(), events.end(),
+              [](const telemetry::TraceStage::Event &a,
+                 const telemetry::TraceStage::Event &b) {
+                  return std::tie(a.cycle, a.rank, a.seq) <
+                         std::tie(b.cycle, b.rank, b.seq);
+              });
+    for (const auto &e : events)
+        telemetry::TraceStage::replay(e, *traceJson_);
+}
+
+void
+Gpu::replayEpochMemory()
+{
+    // Concatenating the per-SM logs in SM order and stable-sorting by
+    // cycle reproduces the sequential issue order: within a cycle the
+    // SMs tick in index order, and each SM's log is in issue order.
+    struct Entry
+    {
+        const SmCore::EpochMemOp *op;
+        std::uint32_t sm;
+    };
+    std::vector<Entry> ops;
+    for (std::uint32_t s = 0; s < sms_.size(); ++s)
+        for (const auto &op : sms_[s]->epochMemLog())
+            ops.push_back({&op, s});
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const Entry &a, const Entry &b) {
+                         return a.op->cycle < b.op->cycle;
+                     });
+    for (const Entry &e : ops) {
+        const SmCore::EpochMemOp &op = *e.op;
+        switch (op.op) {
+          case Opcode::STG:
+            for (const LaneAccess &a : op.accesses)
+                gmem_.write32(a.addr, a.data);
+            break;
+          case Opcode::LDG:
+            // The lane registers were filled with deferred-view values
+            // at issue; patch any that a replayed write changed. Sound
+            // because the destination is scoreboard-held past the epoch
+            // end (epoch length <= l1HitLatency).
+            for (const LaneAccess &a : op.accesses) {
+                const std::uint32_t v = gmem_.read32(a.addr);
+                if (v != a.observed)
+                    sms_[e.sm]->patchLaneReg(op.slot, op.warpInCta,
+                                             a.lane, op.dst, v);
+            }
+            break;
+          case Opcode::ATOMG_ADD:
+            // Re-execute against settled memory: this computes the true
+            // per-lane old values even for same-address chains that all
+            // observed one stale value under deferral.
+            for (const LaneAccess &a : op.accesses) {
+                const std::uint32_t old = gmem_.read32(a.addr);
+                gmem_.write32(a.addr, old + a.data);
+                if (op.dst != noReg && old != a.observed)
+                    sms_[e.sm]->patchLaneReg(op.slot, op.warpInCta,
+                                             a.lane, op.dst, old);
+            }
+            break;
+          default:
+            VTSIM_FATAL("unexpected opcode ",
+                        unsigned(op.op), " in epoch memory log");
+        }
+    }
+}
+
+std::vector<std::vector<std::uint8_t>>
+Gpu::captureShardImages()
+{
+    for (auto &sm : sms_)
+        sm->flushFastForward();
+    std::vector<std::vector<std::uint8_t>> images;
+    images.reserve(2 + partitions_.size() + sms_.size());
+    const auto capture = [&images](const SimComponent &comp) {
+        Serializer ser;
+        comp.save(ser);
+        images.push_back(ser.buffer());
+    };
+    capture(noc_);
+    for (const auto &p : partitions_)
+        capture(*p);
+    for (const auto &sm : sms_)
+        capture(*sm);
+    Serializer ser;
+    gmem_.save(ser);
+    images.push_back(ser.buffer());
+    return images;
+}
+
+void
+Gpu::restoreShardImages(const std::vector<std::vector<std::uint8_t>> &images)
+{
+    VTSIM_ASSERT(images.size() == 2 + partitions_.size() + sms_.size(),
+                 "shard image count mismatch");
+    const auto restore = [this](SimComponent &comp,
+                                const std::vector<std::uint8_t> &image) {
+        Deserializer des(image);
+        des.sinkResolver = [](void *ctx, std::uint32_t sm_id)
+            -> MemResponseSink * {
+            return &static_cast<Gpu *>(ctx)->sms_.at(sm_id)->ldst();
+        };
+        des.sinkCtx = this;
+        comp.restore(des);
+        VTSIM_ASSERT(des.finished(), "trailing bytes in shard image");
+    };
+    std::size_t i = 0;
+    restore(noc_, images[i++]);
+    for (auto &p : partitions_)
+        restore(*p, images[i++]);
+    for (auto &sm : sms_)
+        restore(*sm, images[i++]);
+    Deserializer des(images[i]);
+    gmem_.restore(des);
+    VTSIM_ASSERT(des.finished(), "trailing bytes in shard memory image");
+}
+
+std::string
+Gpu::shardImageName(std::size_t idx) const
+{
+    if (idx == 0)
+        return "noc";
+    idx -= 1;
+    if (idx < partitions_.size())
+        return "partition " + std::to_string(idx);
+    idx -= partitions_.size();
+    if (idx < sms_.size())
+        return "sm" + std::to_string(idx);
+    return "global memory";
+}
+
+void
+Gpu::verifyShardEpoch(const std::vector<std::vector<std::uint8_t>> &pre,
+                      std::uint64_t pre_dispatched, Cycle from, Cycle to)
+{
+    CtaDispatcher &dispatcher = *dispatcher_;
+    const auto post = captureShardImages();
+    restoreShardImages(pre);
+    dispatcher.setDispatched(pre_dispatched);
+    // The rerun must not re-emit the events the stages already hold.
+    if (traceJson_) {
+        for (auto &sm : sms_)
+            sm->setTraceJson(nullptr);
+        for (auto &p : partitions_)
+            p->setTraceJson(nullptr, 0);
+    }
+    // The naive sequential loop over the epoch (plus the exit cycles
+    // the barrier accounted): no sampler, checkpoint, fast-forward or
+    // watchdog — those belong to the driver, not the machine.
+    for (Cycle c = from; c < to; ++c) {
+        for (auto &sm : sms_) {
+            if (dispatcher.hasWork() && sm->canAdmitCta())
+                sm->admitCta(dispatcher.next(), c);
+        }
+        noc_.tick(c);
+        for (auto &p : partitions_)
+            p->tick(c);
+        for (auto &sm : sms_)
+            sm->tick(c);
+    }
+    const auto rerun = captureShardImages();
+    if (traceJson_) {
+        for (std::uint32_t s = 0; s < sms_.size(); ++s)
+            sms_[s]->setTraceJson(smStages_[s].get());
+        for (std::uint32_t p = 0; p < partitions_.size(); ++p)
+            partitions_[p]->setTraceJson(partStages_[p].get(),
+                                         numSms() + p);
+    }
+    // The simulation continues from the rerun's state, which this diff
+    // proves byte-identical to the sharded epoch's outcome.
+    for (std::size_t i = 0; i < post.size(); ++i) {
+        if (rerun[i] != post[i]) {
+            std::size_t at = 0;
+            const std::size_t common =
+                std::min(rerun[i].size(), post[i].size());
+            while (at < common && rerun[i][at] == post[i][at])
+                ++at;
+            VTSIM_FATAL("shard oracle: ", shardImageName(i),
+                        " diverged in epoch [", from, ", ", to,
+                        "): first differing byte at offset ", at,
+                        " (sharded image ", post[i].size(),
+                        " bytes, sequential rerun ", rerun[i].size(),
+                        " bytes)");
+        }
+    }
 }
 
 } // namespace vtsim

@@ -23,6 +23,7 @@
 #include "config/gpu_config.hh"
 #include "cta/cta_dispatcher.hh"
 #include "func/global_memory.hh"
+#include "gpu/shard_pool.hh"
 #include "gpu/stats_snapshot.hh"
 #include "isa/kernel.hh"
 #include "mem/interconnect.hh"
@@ -156,6 +157,23 @@ class Gpu
     /** Invalidate all caches (between unrelated kernels). */
     void flushCaches();
 
+    /**
+     * Simulate subsequent launches with @p n shard workers: the SMs and
+     * memory partitions are statically divided across a persistent
+     * thread pool, and the run proceeds in epochs no longer than the
+     * interconnect latency, synchronized at a barrier where cross-shard
+     * traffic is merged in canonical sequential order. Every observable
+     * output — KernelStats, interval-sampler JSONL, Perfetto traces,
+     * checkpoints — is bit-identical to the single-threaded run (see
+     * docs/ARCHITECTURE.md, "Sharded simulation"). 0 and 1 both mean
+     * sequential. A runtime knob, not a GpuConfig field: checkpoints
+     * must stay interchangeable across thread counts. Falls back to
+     * sequential (with a warning) while the textual Trace facade is
+     * enabled, whose process-global sink the shards would race on.
+     */
+    void setSimThreads(unsigned n) { simThreads_ = n; }
+    unsigned simThreads() const { return simThreads_; }
+
     const GpuConfig &config() const { return config_; }
     std::uint32_t numSms() const { return sms_.size(); }
     SmCore &sm(std::uint32_t i) { return *sms_.at(i); }
@@ -202,9 +220,50 @@ class Gpu
     void enableTraceJson(std::ostream &os);
 
   private:
+    /** Test seam: tests/test_sharded_sim.cc reaches the shard-oracle
+     *  internals through this to prove the oracle detects divergence. */
+    friend struct GpuTestAccess;
+
+    /** How one simulated cycle (or a fast-forward jump) left the run. */
+    enum class StepResult
+    {
+        Running,
+        Done,
+        Preempted,
+    };
+
     bool allIdle() const;
+    std::uint64_t totalIssued() const;
     std::uint32_t partitionOf(Addr line_addr) const;
     void attachTraceJson();
+    /** Thread count the next launch will actually use (clamped to the
+     *  component count; 1 while the textual Trace facade is active). */
+    unsigned effectiveSimThreads() const;
+    /** One iteration of the sequential launch loop: admission, ticks,
+     *  sampler/checkpoint boundaries, watchdog, fast-forward. */
+    StepResult sequentialCycle(const Kernel &kernel, Cycle deadline);
+    void runSequential(const Kernel &kernel);
+    /** The sharded epoch driver (tentpole of the --sim-threads mode). */
+    void runSharded(const Kernel &kernel, unsigned workers);
+    /** Within-cycle trace merge rank of SM @p s's tick-phase events. */
+    std::uint32_t smTickRank(std::uint32_t s) const
+    { return numSms() + std::uint32_t(partitions_.size()) + s; }
+    /** Drain every TraceStage and replay into traceJson_ in sequential
+     *  within-cycle order (cycle, rank, per-stage sequence). */
+    void mergeTraceStages();
+    /** Apply the epoch's logged global-memory ops in sequential order;
+     *  re-reads patch any lane register that observed a stale value. */
+    void replayEpochMemory();
+    /** shardOracle support: per-component save() images (+ gmem). */
+    std::vector<std::vector<std::uint8_t>> captureShardImages();
+    void restoreShardImages(
+        const std::vector<std::vector<std::uint8_t>> &images);
+    std::string shardImageName(std::size_t idx) const;
+    /** shardOracle: re-run [@p from, @p to) sequentially from the
+     *  pre-epoch snapshot and diff every save() image. */
+    void verifyShardEpoch(const std::vector<std::vector<std::uint8_t>> &pre,
+                          std::uint64_t pre_dispatched, Cycle from,
+                          Cycle to);
     /** Settle lazy SM windows and emit the boundary sample at cycle_. */
     void takeSample();
     /** Serialize the settled machine as a vtsim-ckpt-v1 image. */
@@ -251,6 +310,15 @@ class Gpu
     std::unique_ptr<std::ofstream> samplerFile_;
     std::unique_ptr<telemetry::IntervalSampler> sampler_;
     std::unique_ptr<telemetry::TraceJsonWriter> traceJson_;
+
+    // Sharded-simulation state (setSimThreads). The pool persists across
+    // launches; the stages exist only while a sharded launch is running
+    // (components' trace pointers are retargeted at them for its
+    // duration and restored to traceJson_ afterwards).
+    unsigned simThreads_ = 1;
+    std::unique_ptr<ShardPool> pool_;
+    std::vector<std::unique_ptr<telemetry::TraceStage>> smStages_;
+    std::vector<std::unique_ptr<telemetry::TraceStage>> partStages_;
 };
 
 } // namespace vtsim

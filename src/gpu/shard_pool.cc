@@ -1,0 +1,85 @@
+#include "gpu/shard_pool.hh"
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+ShardPool::ShardPool(unsigned workers) : workers_(workers)
+{
+    VTSIM_ASSERT(workers >= 2, "ShardPool needs at least two workers");
+    threads_.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ShardPool::~ShardPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ShardPool::runEpoch(const std::function<void(unsigned)> &fn)
+{
+    fn_ = &fn;
+    remaining_.store(workers_ - 1, std::memory_order_release);
+    {
+        // The lock pairs with the workers' cv_ wait so a worker that
+        // just checked the generation cannot miss the notify.
+        std::lock_guard<std::mutex> lock(mu_);
+        generation_.fetch_add(1, std::memory_order_release);
+    }
+    cv_.notify_all();
+
+    fn(0);
+
+    for (int i = 0;
+         i < spinIters && remaining_.load(std::memory_order_acquire) != 0;
+         ++i) {
+    }
+    if (remaining_.load(std::memory_order_acquire) != 0) {
+        std::unique_lock<std::mutex> lock(doneMu_);
+        doneCv_.wait(lock, [this] {
+            return remaining_.load(std::memory_order_acquire) == 0;
+        });
+    }
+}
+
+void
+ShardPool::workerLoop(unsigned w)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::uint64_t gen = seen;
+        for (int i = 0; i < spinIters; ++i) {
+            gen = generation_.load(std::memory_order_acquire);
+            if (gen != seen)
+                break;
+        }
+        if (gen == seen) {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this, seen] {
+                return stop_ ||
+                       generation_.load(std::memory_order_acquire) != seen;
+            });
+            if (stop_)
+                return;
+            gen = generation_.load(std::memory_order_acquire);
+        }
+        seen = gen;
+        (*fn_)(w);
+        if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Take the lock so the driver is either past its check or
+            // parked in wait — never between (no lost wakeup).
+            std::lock_guard<std::mutex> lock(doneMu_);
+            doneCv_.notify_one();
+        }
+    }
+}
+
+} // namespace vtsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Persistent worker pool for sharded single-run simulation: the Gpu
+ * epoch driver hands every worker the same epoch closure, each worker
+ * ticks the SMs and memory partitions it owns, and the pool acts as
+ * the epoch barrier. The calling (driver) thread participates as
+ * worker 0, so a pool of N workers spawns only N - 1 threads.
+ *
+ * Ownership is static round-robin: worker w owns SM s iff s % N == w
+ * and partition p iff p % N == w. That keeps the assignment trivially
+ * deterministic (no load balancing decisions that could differ between
+ * runs) — determinism comes from the epoch protocol, not from here.
+ */
+
+#ifndef VTSIM_GPU_SHARD_POOL_HH
+#define VTSIM_GPU_SHARD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vtsim {
+
+class ShardPool
+{
+  public:
+    /** @p workers total workers including the driver; must be >= 2
+     *  (a pool of one would just be the sequential loop). */
+    explicit ShardPool(unsigned workers);
+    ~ShardPool();
+
+    ShardPool(const ShardPool &) = delete;
+    ShardPool &operator=(const ShardPool &) = delete;
+
+    unsigned workers() const { return workers_; }
+
+    /** True iff component index @p idx is owned by worker @p w. */
+    bool owns(unsigned w, std::uint32_t idx) const
+    { return idx % workers_ == w; }
+
+    /**
+     * Run @p fn(w) once per worker w in [0, workers()); worker 0 runs
+     * on the calling thread. Returns when every worker has finished —
+     * this return is the epoch barrier (all worker writes are visible
+     * to the driver afterwards, and vice versa for the next epoch).
+     */
+    void runEpoch(const std::function<void(unsigned)> &fn);
+
+  private:
+    void workerLoop(unsigned w);
+
+    /** Spin budget before falling back to the condition variable:
+     *  epochs are short (tens of microseconds), so a bounded spin
+     *  avoids paying wakeup latency on every barrier while still
+     *  yielding the CPU when a worker is starved. */
+    static constexpr int spinIters = 20000;
+
+    unsigned workers_;
+    std::vector<std::thread> threads_;
+
+    const std::function<void(unsigned)> *fn_ = nullptr;
+    std::atomic<std::uint64_t> generation_{0};
+    std::atomic<unsigned> remaining_{0};
+    bool stop_ = false;
+
+    std::mutex mu_;              ///< Guards stop_ and generation waits.
+    std::condition_variable cv_; ///< Workers wait for a new generation.
+    std::mutex doneMu_;
+    std::condition_variable doneCv_; ///< Driver waits for remaining_ == 0.
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_GPU_SHARD_POOL_HH

@@ -23,6 +23,12 @@ void
 Interconnect::sendRequest(const MemRequest &req, Cycle now)
 {
     VTSIM_ASSERT(router_, "interconnect router not wired");
+    if (staging_) {
+        VTSIM_ASSERT(req.srcSm < stagedReq_.size(),
+                     "staged request from unknown SM ", req.srcSm);
+        stagedReq_[req.srcSm].push_back({req, now});
+        return;
+    }
     const std::uint32_t dst = router_(req.lineAddr);
     VTSIM_ASSERT(dst < reqQueues_.size(), "router returned bad partition");
     ffHorizon_ = 0;
@@ -34,8 +40,116 @@ Interconnect::sendResponse(const MemRequest &req, Cycle now)
 {
     VTSIM_ASSERT(req.srcSm < respQueues_.size(),
                  "response for unknown SM ", req.srcSm);
+    if (staging_) {
+        const std::uint32_t src = router_(req.lineAddr);
+        VTSIM_ASSERT(src < stagedResp_.size(),
+                     "staged response from unknown partition ", src);
+        stagedResp_[src].push_back({req, now});
+        return;
+    }
     ffHorizon_ = 0;
     respQueues_[req.srcSm].push_back({req, now + params_.latency});
+}
+
+void
+Interconnect::beginEpochStaging()
+{
+    if (stagedReq_.empty()) {
+        stagedReq_.resize(params_.numSms);
+        stagedResp_.resize(params_.numPartitions);
+    }
+    staging_ = true;
+}
+
+void
+Interconnect::mergeInto(std::vector<std::vector<Staged>> &staged,
+                        bool to_mem)
+{
+    // Concatenating the per-source buffers in source order and stable-
+    // sorting by send cycle yields exactly the sequential arrival order:
+    // ties keep source order (SM 0 ticks before SM 1; partition 0 before
+    // partition 1) and, within a source, program order.
+    std::vector<Staged> all;
+    for (auto &src : staged) {
+        all.insert(all.end(), src.begin(), src.end());
+        src.clear();
+    }
+    if (all.empty())
+        return;
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Staged &a, const Staged &b) {
+                         return a.sentAt < b.sentAt;
+                     });
+    for (const Staged &s : all) {
+        auto &queue = to_mem ? reqQueues_[router_(s.req.lineAddr)]
+                             : respQueues_[s.req.srcSm];
+        queue.push_back({s.req, s.sentAt + params_.latency});
+    }
+    ffHorizon_ = 0;
+}
+
+void
+Interconnect::mergeStaged()
+{
+    staging_ = false;
+    mergeInto(stagedReq_, true);
+    mergeInto(stagedResp_, false);
+}
+
+bool
+Interconnect::stagingEmpty() const
+{
+    for (const auto &src : stagedReq_)
+        if (!src.empty())
+            return false;
+    for (const auto &src : stagedResp_)
+        if (!src.empty())
+            return false;
+    return true;
+}
+
+void
+Interconnect::drainRequestPort(std::uint32_t partition, Cycle now,
+                               PortDelta &delta)
+{
+    auto &queue = reqQueues_[partition];
+    std::uint32_t budget = params_.flitsPerCycle;
+    while (budget && !queue.empty() && queue.front().readyAt <= now) {
+        toMem_(queue.front().req, now);
+        queue.pop_front();
+        --budget;
+        ++delta.reqFlits;
+        delta.lastFlit = now;
+        delta.sawFlit = true;
+    }
+    if (!budget && !queue.empty() && queue.front().readyAt <= now)
+        ++delta.stallCycles;
+}
+
+void
+Interconnect::drainResponsePort(std::uint32_t sm, Cycle now,
+                                PortDelta &delta)
+{
+    auto &queue = respQueues_[sm];
+    std::uint32_t budget = params_.flitsPerCycle;
+    while (budget && !queue.empty() && queue.front().readyAt <= now) {
+        toSm_(queue.front().req, now);
+        queue.pop_front();
+        --budget;
+        ++delta.respFlits;
+        delta.lastFlit = now;
+        delta.sawFlit = true;
+    }
+    if (!budget && !queue.empty() && queue.front().readyAt <= now)
+        ++delta.stallCycles;
+}
+
+void
+Interconnect::applyPortDelta(const PortDelta &delta)
+{
+    reqFlits_ += delta.reqFlits;
+    respFlits_ += delta.respFlits;
+    stallCycles_ += delta.stallCycles;
 }
 
 void
@@ -57,6 +171,7 @@ Interconnect::tick(Cycle now)
 {
     if (now < ffHorizon_)
         return; // Every queue head still traverses; nothing can deliver.
+    VTSIM_ASSERT(!staging_, "tick() during a sharded epoch");
     VTSIM_ASSERT(toMem_ && toSm_, "interconnect endpoints not wired");
     for (auto &queue : reqQueues_) {
         const std::size_t before = queue.size();
@@ -105,6 +220,11 @@ void
 Interconnect::reset()
 {
     ffHorizon_ = 0;
+    staging_ = false;
+    for (auto &src : stagedReq_)
+        src.clear();
+    for (auto &src : stagedResp_)
+        src.clear();
     for (auto &queue : reqQueues_)
         queue.clear();
     for (auto &queue : respQueues_)
@@ -146,8 +266,14 @@ Interconnect::restoreQueues(Deserializer &des,
 void
 Interconnect::save(Serializer &ser) const
 {
+    // ffHorizon_ is a pure skip-guard cache, recomputed from the queues
+    // on the next tick: serializing it would make the checkpoint bytes
+    // depend on the tick cadence (sequential vs sharded) rather than on
+    // the machine state. Checkpoints are taken at settled points, so
+    // restoring it as 0 only costs one recomputation.
+    VTSIM_ASSERT(stagingEmpty() && !staging_,
+                 "checkpoint with staged interconnect traffic");
     const std::size_t sec = ser.beginSection("nocx");
-    ser.put(ffHorizon_);
     saveQueues(ser, reqQueues_);
     saveQueues(ser, respQueues_);
     saveStat(ser, reqFlits_);
@@ -160,7 +286,7 @@ void
 Interconnect::restore(Deserializer &des)
 {
     des.beginSection("nocx");
-    des.get(ffHorizon_);
+    ffHorizon_ = 0;
     restoreQueues(des, reqQueues_);
     restoreQueues(des, respQueues_);
     restoreStat(des, reqFlits_);

@@ -58,6 +58,62 @@ class Interconnect : public SimComponent
 
     bool idle() const;
 
+    // --- Sharded-epoch staging (docs/ARCHITECTURE.md "Sharded
+    // simulation"). Between beginEpochStaging() and mergeStaged(),
+    // sendRequest()/sendResponse() append to per-source staging buffers
+    // instead of the destination queues, so shard workers touching only
+    // their own sources never contend on the shared queues. The epoch
+    // length never exceeds the traversal latency, so nothing staged in
+    // an epoch can mature inside it; mergeStaged() then folds the
+    // buffers into the real queues in the canonical sequential arrival
+    // order (send cycle, source index, per-source sequence) — the byte
+    // stream save() emits is identical to the one the unsharded run
+    // produces. -------------------------------------------------------------
+
+    /** Enter staging mode (sharded epoch about to run). */
+    void beginEpochStaging();
+
+    /** Leave staging mode and fold every staged message into the real
+     *  destination queues in canonical order. */
+    void mergeStaged();
+
+    /** Nothing staged right now (idle() does not see staged traffic). */
+    bool stagingEmpty() const;
+
+    /** Worker-local flit/stall counts from per-port drains; folded into
+     *  the shared counters at the epoch barrier. */
+    struct PortDelta
+    {
+        std::uint64_t reqFlits = 0;
+        std::uint64_t respFlits = 0;
+        std::uint64_t stallCycles = 0;
+        /** Last cycle this port delivered a flit (epoch-end bound: the
+         *  sequential machine is not all-idle before every queued
+         *  message has been delivered, even one a write-back store
+         *  absorbs without leaving its destination non-idle). */
+        Cycle lastFlit = 0;
+        bool sawFlit = false;
+    };
+
+    /**
+     * Drain one destination port for cycle @p now — the per-port slice
+     * of tick(), counting into @p delta instead of the shared stats.
+     * During an epoch each port is owned by exactly one shard worker:
+     * the request port of partition @p partition by the partition's
+     * worker, the response port of SM @p sm by the SM's worker.
+     */
+    void drainRequestPort(std::uint32_t partition, Cycle now,
+                          PortDelta &delta);
+    void drainResponsePort(std::uint32_t sm, Cycle now, PortDelta &delta);
+
+    /** Fold a worker's drain counts into the shared stats (barrier). */
+    void applyPortDelta(const PortDelta &delta);
+
+    bool requestPortEmpty(std::uint32_t partition) const
+    { return reqQueues_[partition].empty(); }
+    bool responsePortEmpty(std::uint32_t sm) const
+    { return respQueues_[sm].empty(); }
+
     /**
      * Earliest cycle >= @p now at which tick() might deliver a flit
      * (event-horizon fast-forward protocol; see docs/ARCHITECTURE.md).
@@ -90,13 +146,31 @@ class Interconnect : public SimComponent
     static void restoreQueues(Deserializer &des,
                               std::vector<std::deque<InFlight>> &queues);
 
+    /** One staged message: arrival order is (sentAt, source, position
+     *  in the source's buffer). */
+    struct Staged
+    {
+        MemRequest req;
+        Cycle sentAt;
+    };
+
+    void mergeInto(std::vector<std::vector<Staged>> &staged, bool to_mem);
+
     NocParams params_;
     /** Lazy-tick horizon: while now < ffHorizon_ and nothing is sent,
      *  tick() cannot deliver a flit (all queue heads mature later) and
      *  returns immediately. No deferred accounting is needed: the
      *  bandwidth-stall counter only advances when a head is ready, and
-     *  a ready head pins the horizon to the present. */
+     *  a ready head pins the horizon to the present. Rebuilt on demand,
+     *  never checkpointed: its value is a function of how the run
+     *  reached this state (tick cadence), not of the state itself. */
     Cycle ffHorizon_ = 0;
+    bool staging_ = false;
+    /** Staged requests by source SM / staged responses by source
+     *  partition (a response's source is the partition its line address
+     *  routes to — the one that produced it). */
+    std::vector<std::vector<Staged>> stagedReq_;
+    std::vector<std::vector<Staged>> stagedResp_;
     /** One request queue per destination partition. */
     std::vector<std::deque<InFlight>> reqQueues_;
     /** One response queue per destination SM. */

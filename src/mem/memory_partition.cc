@@ -168,8 +168,12 @@ MemoryPartition::reset()
 void
 MemoryPartition::save(Serializer &ser) const
 {
+    // ffHorizon_ is a skip-guard cache of how the run reached this
+    // state, not part of the state: a sharded run ticks on a different
+    // cadence than a sequential one, so serializing it would break
+    // checkpoint byte-identity across --sim-threads values. Restoring
+    // it as 0 costs one recomputation on the next tick.
     const std::size_t sec = ser.beginSection("part");
-    ser.put(ffHorizon_);
     ser.put<std::uint64_t>(input_.size());
     for (const MemRequest &req : input_)
         saveMemRequest(ser, req);
@@ -189,7 +193,7 @@ void
 MemoryPartition::restore(Deserializer &des)
 {
     des.beginSection("part");
-    des.get(ffHorizon_);
+    ffHorizon_ = 0;
     input_.clear();
     const auto inputs = des.get<std::uint64_t>();
     for (std::uint64_t i = 0; i < inputs; ++i)

@@ -51,6 +51,15 @@ struct JobSpec
      * exercise the retry-from-checkpoint path deterministically.
      */
     std::uint32_t injectFail = 0;
+    /**
+     * Shard this job's simulation across this many worker threads
+     * (docs/ARCHITECTURE.md "Sharded simulation"); 0 and 1 both mean
+     * sequential. Results, series and parked checkpoint images are
+     * bit-identical either way — a preempted sharded job may resume
+     * sequentially and vice versa. Bounded at submit by the service's
+     * maxSimThreads; larger requests are rejected, not clamped.
+     */
+    unsigned simThreads = 0;
 };
 
 enum class JobState : std::uint8_t
@@ -73,6 +82,8 @@ struct JobSnapshot
     Priority priority = Priority::Normal;
     std::string workload;
     std::uint32_t scale = 1;
+    /** Effective shard-thread request (JobSpec::simThreads). */
+    unsigned simThreads = 0;
     std::uint64_t preemptions = 0;
     std::uint64_t retries = 0;
     /** Seconds between admission and first start. */

@@ -165,6 +165,13 @@ parseRequest(const std::string &line)
         }
         if (const Json *inject = doc.find("inject_fail"))
             req.spec.injectFail = requireUnsigned(*inject, "inject_fail", 8);
+        if (const Json *threads = doc.find("sim_threads")) {
+            // Protocol-level sanity bound only; the service enforces
+            // its own (configurable, usually tighter) maxSimThreads at
+            // admission.
+            req.spec.simThreads = static_cast<unsigned>(
+                requireUnsigned(*threads, "sim_threads", 256));
+        }
     } else if (name == "wait" || name == "query" || name == "cancel") {
         req.op = name == "wait"    ? Request::Op::Wait
                  : name == "query" ? Request::Op::Query
@@ -268,6 +275,8 @@ snapshotToJson(const JobSnapshot &snap)
     o["priority"] = Json(toString(snap.priority));
     o["workload"] = Json(snap.workload);
     o["scale"] = Json(snap.scale);
+    if (snap.simThreads > 1)
+        o["sim_threads"] = Json(snap.simThreads);
     o["preemptions"] = Json(snap.preemptions);
     o["retries"] = Json(snap.retries);
     o["wait_seconds"] = Json(snap.waitSeconds);

@@ -140,6 +140,12 @@ JobService::submit(const JobSpec &spec, Priority priority)
         out.error = e.what();
         return out;
     }
+    if (spec.simThreads > config_.maxSimThreads) {
+        out.error = "sim_threads " + std::to_string(spec.simThreads) +
+                    " exceeds this service's limit of " +
+                    std::to_string(config_.maxSimThreads);
+        return out;
+    }
 
     std::lock_guard<std::mutex> lk(mu_);
     if (shuttingDown_) {
@@ -264,6 +270,12 @@ JobService::runJob(GpuArena &arena, JobRecord &job, unsigned worker)
         const Cycle cadence = job.spec.checkpointEvery
                                   ? job.spec.checkpointEvery
                                   : config_.preemptEvery;
+        // Applied per slice: GpuArena reuse resets the Gpu (and the
+        // shard count) between jobs. The parked image is thread-count
+        // agnostic, so a resumed slice may legitimately run with a
+        // different sharding than the preempted one.
+        if (job.spec.simThreads > 1)
+            gpu.setSimThreads(job.spec.simThreads);
         if (job.spec.statsInterval > 0)
             gpu.enableIntervalSampler(job.spec.statsInterval, interval);
         // Empty path: the cadence only arms preemption boundaries, no
@@ -495,6 +507,7 @@ JobService::snapshotLocked(const JobRecord &job) const
     snap.priority = job.priority;
     snap.workload = job.spec.workload;
     snap.scale = job.spec.scale;
+    snap.simThreads = job.spec.simThreads;
     snap.preemptions = job.preemptions;
     snap.retries = job.retries;
     snap.waitSeconds = job.waitSeconds;

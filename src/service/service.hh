@@ -93,6 +93,15 @@ struct ServiceConfig
     Cycle preemptEvery = 25000;
     /** Where parked checkpoint images live (created on demand). */
     std::string spoolDir = "vtsimd-spool";
+    /**
+     * Largest per-job shard-thread request (JobSpec::simThreads) the
+     * service admits; bigger asks are rejected at submit with a
+     * validation error rather than silently clamped — a client that
+     * sized its request to the simulated machine should hear that this
+     * daemon will not honor it. Kept small by default because workers
+     * already run concurrently and the two multiply.
+     */
+    unsigned maxSimThreads = 4;
 };
 
 class JobService

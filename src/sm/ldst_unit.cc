@@ -379,7 +379,9 @@ LdstUnit::save(Serializer &ser) const
         ser.put(hits.top());
         hits.pop();
     }
-    ser.put(now_);
+    // now_ is deliberately not checkpointed (see the member comment):
+    // it records which tick last ran in full, and that cadence differs
+    // between an uninterrupted run and a restored/sharded one.
     ser.put(statsTo_);
     ser.put(inFlight_);
     ser.put(offChipOutstanding_);
@@ -430,7 +432,7 @@ LdstUnit::restore(Deserializer &des)
     const auto hit_count = des.get<std::uint64_t>();
     for (std::uint64_t i = 0; i < hit_count; ++i)
         hitPending_.push(des.get<HitCompletion>());
-    des.get(now_);
+    now_ = 0;
     des.get(statsTo_);
     des.get(inFlight_);
     des.get(offChipOutstanding_);

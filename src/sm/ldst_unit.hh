@@ -198,6 +198,12 @@ class LdstUnit : public MemResponseSink, public SimComponent
     std::priority_queue<HitCompletion, std::vector<HitCompletion>,
                         std::greater<>> hitPending_;
 
+    /** Cycle of the last full tick()/memResponse(), refreshed before
+     *  every observable use (transaction createdAt, round-trip
+     *  samples). Not checkpointed: its value depends on which ticks
+     *  the fast-forward guard skipped — tick cadence, not machine
+     *  state — and cadence varies across sequential, sharded and
+     *  resumed runs whose checkpoints must stay byte-identical. */
     Cycle now_ = 0;
     /** Next cycle without an MLP sample: tick(), memResponse() and
      *  settleTo() advance it, each sampling the gap it closes. */

@@ -234,6 +234,11 @@ SmCore::chargeBudget(const Instruction &inst, IssueBudgets &budgets) const
 void
 SmCore::tick(Cycle now)
 {
+#ifndef NDEBUG
+    VTSIM_ASSERT(epochOwner_ == std::thread::id{} ||
+                     epochOwner_ == std::this_thread::get_id(),
+                 "SM ", id_, " ticked from a non-owning shard worker");
+#endif
     if (now < ffHorizon_) {
         // Provably eventless tick (the horizon was cached from this
         // very state and every external change drops it): just count
@@ -706,6 +711,11 @@ SmCore::issueWarp(VirtualCta &cta, VirtualCtaId slot, WarpContext &warp,
         } else if (!res.globalAccesses.empty()) {
             if (inst.hasDst())
                 warp.scoreboard().reserve(inst.dst, true);
+            if (epochLogging_) {
+                epochMemLog_.push_back({now, slot, w, inst.op,
+                                        inst.hasDst() ? inst.dst : noReg,
+                                        res.globalAccesses});
+            }
             ldst_.issueGlobal(slot, w, inst, res.globalAccesses);
         }
         warp.stack().advance();
@@ -1023,6 +1033,9 @@ SmCore::reset()
     ffHorizon_ = 0;
     ffWindowStart_ = 0;
     ffPending_ = 0;
+    epochLogging_ = false;
+    epochMemLog_.clear();
+    epochOwner_ = {};
     instructionsIssued_.reset();
     threadInstructions_.reset();
     ctasCompleted_.reset();
@@ -1074,7 +1087,9 @@ SmCore::save(Serializer &ser) const
     }
     ser.put(now_);
     ser.put(maxSimtDepth_);
-    ser.put(ffHorizon_);
+    // ffHorizon_ is deliberately not checkpointed (see the interconnect
+    // and partition save() notes): it caches tick-cadence history, which
+    // differs between sequential and sharded runs of the same state.
     saveStat(ser, instructionsIssued_);
     saveStat(ser, threadInstructions_);
     saveStat(ser, ctasCompleted_);
@@ -1139,7 +1154,7 @@ SmCore::restore(Deserializer &des)
     }
     des.get(now_);
     des.get(maxSimtDepth_);
-    des.get(ffHorizon_);
+    ffHorizon_ = 0;
     ffWindowStart_ = 0;
     ffPending_ = 0;
     restoreStat(des, instructionsIssued_);

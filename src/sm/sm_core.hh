@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "config/gpu_config.hh"
@@ -148,6 +149,54 @@ class SmCore : public SimComponent, public LdstClient, public VtCtaQuery
     /** Route this SM's trace events (VT residency, barrier releases)
      *  to a per-Gpu Perfetto writer; null disables. */
     void setTraceJson(telemetry::TraceJsonWriter *writer);
+
+    // --- Sharded-epoch support (docs/ARCHITECTURE.md "Sharded
+    // simulation") -----------------------------------------------------------
+
+    /**
+     * One global-memory instruction issued while the epoch log was
+     * armed. The per-SM log is in issue order; concatenating the SM
+     * logs in SM order and stable-sorting by cycle reproduces the exact
+     * global-memory op order of the sequential run, which the barrier
+     * replay applies against settled memory.
+     */
+    struct EpochMemOp
+    {
+        Cycle cycle;
+        VirtualCtaId slot;
+        std::uint32_t warpInCta;
+        Opcode op;
+        RegIndex dst; ///< noReg when the op has no destination.
+        std::vector<LaneAccess> accesses;
+    };
+
+    /** Arm the epoch log: every global LDG/STG/ATOMG_ADD issued from now
+     *  on is recorded (the functional write side is deferred by
+     *  GlobalMemory::setDeferWrites, driven by the Gpu epoch driver). */
+    void beginEpochMemLog()
+    {
+        epochMemLog_.clear();
+        epochLogging_ = true;
+    }
+    void endEpochMemLog() { epochLogging_ = false; }
+    const std::vector<EpochMemOp> &epochMemLog() const
+    { return epochMemLog_; }
+
+    /** Overwrite a lane's destination register after the barrier replay
+     *  observed a different value than the deferred-write functional
+     *  pass did. Sound mid-epoch: the register is scoreboard-held until
+     *  the load completes, which is past the epoch end. */
+    void patchLaneReg(VirtualCtaId slot, std::uint32_t warp_in_cta,
+                      std::uint32_t lane, RegIndex dst, std::uint32_t value)
+    {
+        ctas_[slot].func.writeReg(warp_in_cta * warpSize + lane, dst,
+                                  value);
+    }
+
+    /** Debug-only thread-confinement check: during a sharded epoch only
+     *  the owning shard worker may tick this SM. Default-constructed id
+     *  disables the check (sequential mode). */
+    void setEpochOwner(std::thread::id owner) { epochOwner_ = owner; }
 
     // --- LdstClient ---------------------------------------------------------
     void loadComplete(VirtualCtaId vcta, std::uint32_t warp_in_cta,
@@ -374,6 +423,10 @@ class SmCore : public SimComponent, public LdstClient, public VtCtaQuery
     Counter ctasCompleted_;
     StallBreakdown stalls_;
     telemetry::TraceJsonWriter *traceJson_ = nullptr;
+
+    bool epochLogging_ = false;
+    std::vector<EpochMemOp> epochMemLog_;
+    std::thread::id epochOwner_{};
 };
 
 inline bool

@@ -103,4 +103,17 @@ TraceJsonWriter::counter(std::uint32_t pid, Cycle cycle,
           std::to_string(value) + "}}");
 }
 
+void
+TraceStage::replay(const Event &e, TraceJsonWriter &sink)
+{
+    switch (e.kind) {
+      case 0: sink.begin(e.pid, e.tid, e.cycle, e.name, e.cat); break;
+      case 1: sink.end(e.pid, e.tid, e.cycle); break;
+      case 2: sink.instant(e.pid, e.tid, e.cycle, e.name, e.cat); break;
+      case 3: sink.counter(e.pid, e.cycle, e.name, e.value); break;
+      default: VTSIM_FATAL("corrupt staged trace event kind ",
+                           unsigned(e.kind));
+    }
+}
+
 } // namespace vtsim::telemetry

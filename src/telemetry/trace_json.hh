@@ -28,6 +28,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -42,7 +43,7 @@ class TraceJsonWriter
     /** Write to an existing stream (not owned). */
     explicit TraceJsonWriter(std::ostream &os);
 
-    ~TraceJsonWriter();
+    virtual ~TraceJsonWriter();
     TraceJsonWriter(const TraceJsonWriter &) = delete;
     TraceJsonWriter &operator=(const TraceJsonWriter &) = delete;
 
@@ -56,20 +57,27 @@ class TraceJsonWriter
     void threadName(std::uint32_t pid, std::uint32_t tid,
                     const std::string &name);
 
-    /** Open a duration event ("B"). Nest strictly within the track. */
-    void begin(std::uint32_t pid, std::uint32_t tid, Cycle cycle,
-               const std::string &name, const std::string &category);
+    /** Open a duration event ("B"). Nest strictly within the track.
+     *  Virtual so TraceStage can buffer instead of write. */
+    virtual void begin(std::uint32_t pid, std::uint32_t tid, Cycle cycle,
+                       const std::string &name,
+                       const std::string &category);
 
     /** Close the innermost open duration event ("E"). */
-    void end(std::uint32_t pid, std::uint32_t tid, Cycle cycle);
+    virtual void end(std::uint32_t pid, std::uint32_t tid, Cycle cycle);
 
     /** Zero-duration marker ("i", thread scope). */
-    void instant(std::uint32_t pid, std::uint32_t tid, Cycle cycle,
-                 const std::string &name, const std::string &category);
+    virtual void instant(std::uint32_t pid, std::uint32_t tid, Cycle cycle,
+                         const std::string &name,
+                         const std::string &category);
 
     /** Counter track sample ("C"). */
-    void counter(std::uint32_t pid, Cycle cycle, const std::string &name,
-                 std::uint64_t value);
+    virtual void counter(std::uint32_t pid, Cycle cycle,
+                         const std::string &name, std::uint64_t value);
+
+  protected:
+    /** Subclass (TraceStage) that never opens a sink. */
+    TraceJsonWriter() = default;
 
   private:
     void event(const std::string &json);
@@ -78,6 +86,73 @@ class TraceJsonWriter
     std::ostream *os_ = nullptr;
     bool open_ = false;
     bool firstEvent_ = true;
+};
+
+/**
+ * A per-component staging buffer behind the TraceJsonWriter interface
+ * (sharded simulation): during a parallel epoch each component writes
+ * into its own stage, and the epoch barrier replays every stage into
+ * the real writer sorted by (cycle, rank, seq). The rank encodes the
+ * within-cycle emission order of the sequential run (admission scan,
+ * then partitions, then SM ticks — see Gpu::attachTraceJson), so the
+ * merged file is byte-identical to the sequential one.
+ */
+class TraceStage final : public TraceJsonWriter
+{
+  public:
+    struct Event
+    {
+        Cycle cycle;
+        std::uint32_t rank;
+        std::uint64_t seq; ///< Emission order within this stage.
+        std::uint8_t kind; ///< 0 begin, 1 end, 2 instant, 3 counter.
+        std::uint32_t pid;
+        std::uint32_t tid;
+        std::string name;
+        std::string cat;
+        std::uint64_t value;
+    };
+
+    /** The within-cycle rank of the component that writes this stage;
+     *  the Gpu epoch driver retargets it around admission phases. */
+    void setRank(std::uint32_t rank) { rank_ = rank; }
+
+    void begin(std::uint32_t pid, std::uint32_t tid, Cycle cycle,
+               const std::string &name, const std::string &cat) override
+    { push({cycle, rank_, seq_++, 0, pid, tid, name, cat, 0}); }
+
+    void end(std::uint32_t pid, std::uint32_t tid, Cycle cycle) override
+    { push({cycle, rank_, seq_++, 1, pid, tid, {}, {}, 0}); }
+
+    void instant(std::uint32_t pid, std::uint32_t tid, Cycle cycle,
+                 const std::string &name, const std::string &cat) override
+    { push({cycle, rank_, seq_++, 2, pid, tid, name, cat, 0}); }
+
+    void counter(std::uint32_t pid, Cycle cycle, const std::string &name,
+                 std::uint64_t value) override
+    { push({cycle, rank_, seq_++, 3, pid, 0, name, {}, value}); }
+
+    bool empty() const { return events_.empty(); }
+
+    /** Move the buffered events out (the stage resets for the next
+     *  epoch); the caller merges stages and replays into the sink. */
+    std::vector<Event> drain()
+    {
+        std::vector<Event> out = std::move(events_);
+        events_.clear();
+        seq_ = 0;
+        return out;
+    }
+
+    /** Replay one merged event into the real writer. */
+    static void replay(const Event &e, TraceJsonWriter &sink);
+
+  private:
+    void push(Event e) { events_.push_back(std::move(e)); }
+
+    std::uint32_t rank_ = 0;
+    std::uint64_t seq_ = 0;
+    std::vector<Event> events_;
 };
 
 } // namespace vtsim::telemetry

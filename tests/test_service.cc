@@ -176,7 +176,26 @@ TEST(ServiceProtocol, RejectsBadRequests)
                  ProtocolError);
     EXPECT_THROW(service::parseRequest("{\"op\":\"wait\"}"),
                  ProtocolError);
+    EXPECT_THROW(service::parseRequest(
+                     "{\"op\":\"submit\",\"workload\":\"vecadd\","
+                     "\"sim_threads\":-2}"),
+                 ProtocolError);
+    EXPECT_THROW(service::parseRequest(
+                     "{\"op\":\"submit\",\"workload\":\"vecadd\","
+                     "\"sim_threads\":\"four\"}"),
+                 ProtocolError);
     EXPECT_THROW(service::parseRequest("[]"), ProtocolError);
+}
+
+TEST(ServiceProtocol, ParsesSimThreads)
+{
+    const auto req = service::parseRequest(
+        "{\"op\":\"submit\",\"workload\":\"vecadd\",\"sim_threads\":4}");
+    EXPECT_EQ(req.spec.simThreads, 4u);
+    // Absent means unset (sequential).
+    const auto plain = service::parseRequest(
+        "{\"op\":\"submit\",\"workload\":\"vecadd\"}");
+    EXPECT_EQ(plain.spec.simThreads, 0u);
 }
 
 TEST(ServiceProtocol, KernelStatsRoundTrip)
@@ -212,6 +231,42 @@ TEST(JobService, SubmitRejectsUnknownWorkload)
     const auto accepted = service.submit(good, Priority::Normal);
     ASSERT_TRUE(accepted.ok());
     EXPECT_EQ(service.wait(accepted.id).state, JobState::Done);
+}
+
+TEST(JobService, ShardedJobMatchesSequentialAndRespectsLimit)
+{
+    const Baseline base = runUninterrupted("vecadd", 1, 500);
+
+    ServiceConfig config;
+    config.workers = 1;
+    config.maxSimThreads = 2;
+    config.spoolDir = tempSpool("sharded");
+    JobService service(config);
+
+    // Beyond the daemon-side bound: rejected at submit, not clamped.
+    JobSpec over;
+    over.workload = "vecadd";
+    over.simThreads = 3;
+    const auto rejected = service.submit(over, Priority::Normal);
+    EXPECT_FALSE(rejected.ok());
+    EXPECT_NE(rejected.error.find("sim_threads"), std::string::npos)
+        << rejected.error;
+
+    // Within the bound: runs sharded, and nobody can tell from the
+    // statistics or the interval series.
+    JobSpec sharded;
+    sharded.workload = "vecadd";
+    sharded.scale = 1;
+    sharded.statsInterval = 500;
+    sharded.simThreads = 2;
+    const auto accepted = service.submit(sharded, Priority::Normal);
+    ASSERT_TRUE(accepted.ok());
+    const JobSnapshot snap = service.wait(accepted.id);
+    ASSERT_EQ(snap.state, JobState::Done);
+    EXPECT_TRUE(snap.verified);
+    EXPECT_EQ(snap.simThreads, 2u);
+    expectIdenticalStats(base.stats, snap.stats, "sharded job");
+    EXPECT_EQ(base.series, snap.intervalSeries);
 }
 
 TEST(JobService, QueueFullRejectionAndBackpressure)

@@ -18,6 +18,9 @@
  *                         GpuConfig overrides, as in run_benchmark
  *   --stats-interval N    per-job interval series
  *   --checkpoint-every N  per-job preemption/checkpoint cadence
+ *   --sim-threads N       shard each job's simulation across N threads
+ *                         (bit-identical results; the daemon rejects
+ *                         requests beyond its --max-sim-threads)
  *   --inject-fail N       test hook: fail the first N attempts
  *   --no-wait             submit and print job ids without waiting
  *   --local               do not contact a daemon: run the exact same
@@ -56,7 +59,7 @@ usage()
                  "         [--bypass-l1] [--throttle] [--fast-forward]\n"
                  "         [--stats-interval N] [--checkpoint-every N] "
                  "[--inject-fail N]\n"
-                 "         [--no-wait] [--local]\n"
+                 "         [--sim-threads N] [--no-wait] [--local]\n"
                  "       vtsim-submit --status | --ping | --shutdown "
                  "[--socket PATH]\n");
     std::exit(2);
@@ -91,6 +94,7 @@ try {
     long stats_interval = -1;
     long checkpoint_every = -1;
     long inject_fail = -1;
+    long sim_threads = -1;
     bool no_wait = false;
     bool local = false;
     enum class Mode { Submit, Status, Ping, Shutdown } mode = Mode::Submit;
@@ -153,6 +157,8 @@ try {
             checkpoint_every = next_count(i, "--checkpoint-every");
         else if (a == "--inject-fail")
             inject_fail = next_count(i, "--inject-fail");
+        else if (a == "--sim-threads")
+            sim_threads = next_count(i, "--sim-threads");
         else if (a == "--no-wait")
             no_wait = true;
         else if (a == "--local")
@@ -199,6 +205,8 @@ try {
             o["checkpoint_every"] = Json(std::int64_t(checkpoint_every));
         if (inject_fail >= 0)
             o["inject_fail"] = Json(std::int64_t(inject_fail));
+        if (sim_threads >= 0)
+            o["sim_threads"] = Json(std::int64_t(sim_threads));
         submits.push_back(Json(std::move(o)).dump());
     };
     if (target == "fig3") {
@@ -232,6 +240,13 @@ try {
             specs.push_back({req.spec.workload, req.spec.config,
                              req.spec.scale});
             job_specs.push_back(req.spec);
+        }
+        // The sharding request applies in the replay too — results are
+        // bit-identical either way, it only changes wall clock.
+        if (sim_threads > 0) {
+            bench::TelemetryOptions telemetry;
+            telemetry.simThreads = unsigned(sim_threads);
+            bench::setTelemetryOptions(telemetry);
         }
         const auto results = bench::runAll(specs, 1);
         for (std::size_t i = 0; i < results.size(); ++i)

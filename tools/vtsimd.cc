@@ -7,6 +7,7 @@
  * Usage:
  *   vtsimd [--socket PATH] [--workers N] [--queue-limit N]
  *          [--preempt-every CYCLES] [--spool DIR] [--stats-json PATH]
+ *          [--max-sim-threads N]
  *
  *   --socket PATH         listen here (default ./vtsimd.sock)
  *   --workers N           concurrent simulations (default 2)
@@ -19,6 +20,9 @@
  *                         ./vtsimd-spool)
  *   --stats-json PATH     on shutdown, write completed runs plus the
  *                         service telemetry as vtsim-stats-v1 JSON
+ *   --max-sim-threads N   largest per-job "sim_threads" shard request
+ *                         admitted; bigger asks are rejected at submit
+ *                         (default 4)
  *
  * The daemon exits after a client's "shutdown" op (draining every
  * admitted job first) or on SIGINT/SIGTERM.
@@ -55,7 +59,8 @@ usage()
                  "usage: vtsimd [--socket PATH] [--workers N] "
                  "[--queue-limit N]\n"
                  "              [--preempt-every CYCLES] [--spool DIR] "
-                 "[--stats-json PATH]\n");
+                 "[--stats-json PATH]\n"
+                 "              [--max-sim-threads N]\n");
     std::exit(2);
 }
 
@@ -101,6 +106,9 @@ main(int argc, char **argv)
             config.preemptEvery = parseCount(value(), "--preempt-every");
         else if (arg == "--spool")
             config.spoolDir = value();
+        else if (arg == "--max-sim-threads")
+            config.maxSimThreads =
+                unsigned(parseCount(value(), "--max-sim-threads"));
         else if (arg == "--stats-json")
             stats_json_path = value();
         else
