@@ -21,6 +21,18 @@ TelemetryOptions g_telemetry;
  *  error — "--sim-threads 0" or "--sim-threads banana" must not
  *  silently fall back to sequential (the same contract --jobs has in
  *  parallel_runner.cc). */
+/** Strictly parse an --exec value: "microcode" or "legacy". */
+std::string
+parseExecMode(const char *text)
+{
+    const std::string_view mode = text;
+    if (mode != "microcode" && mode != "legacy") {
+        VTSIM_FATAL("invalid --exec mode '", text,
+                    "' (expected 'microcode' or 'legacy')");
+    }
+    return std::string(mode);
+}
+
 unsigned
 parseSimThreads(const char *text, const char *origin)
 {
@@ -71,7 +83,22 @@ parseTelemetryArgs(int argc, char **argv)
         else if (arg.substr(0, 14) == "--sim-threads=")
             opts.simThreads = parseSimThreads(argv[i] + 14,
                                               "--sim-threads");
+        else if (arg == "--exec" && i + 1 < argc)
+            opts.execMode = parseExecMode(argv[++i]);
+        else if (arg.substr(0, 7) == "--exec=")
+            opts.execMode = parseExecMode(argv[i] + 7);
+        else if (arg == "--record-trace" && i + 1 < argc)
+            opts.recordTracePath = argv[++i];
+        else if (arg.substr(0, 15) == "--record-trace=")
+            opts.recordTracePath = argv[i] + 15;
+        else if (arg == "--replay-trace" && i + 1 < argc)
+            opts.replayTracePath = argv[++i];
+        else if (arg.substr(0, 15) == "--replay-trace=")
+            opts.replayTracePath = argv[i] + 15;
     }
+    if (!opts.recordTracePath.empty() && !opts.replayTracePath.empty())
+        VTSIM_FATAL("--record-trace and --replay-trace are mutually "
+                    "exclusive");
     if (opts.simThreads == 0) {
         if (const char *env = std::getenv("VTSIM_SIM_THREADS"))
             opts.simThreads = parseSimThreads(env, "VTSIM_SIM_THREADS");
@@ -107,11 +134,22 @@ indexedPath(const std::string &path, std::size_t index)
     return path.substr(0, dot) + suffix + path.substr(dot);
 }
 
+void
+applyExecMode(GpuConfig &config)
+{
+    if (g_telemetry.execMode == "legacy")
+        config.microcodeEnabled = false;
+    else if (g_telemetry.execMode == "microcode")
+        config.microcodeEnabled = true;
+}
+
 RunResult
 runWorkload(const std::string &workload_name, const GpuConfig &config,
             std::uint32_t scale, std::size_t run_index)
 {
-    Gpu gpu(config);
+    GpuConfig effective = config;
+    applyExecMode(effective);
+    Gpu gpu(effective);
     return runWorkloadOn(gpu, workload_name, scale, run_index);
 }
 
@@ -119,9 +157,6 @@ RunResult
 runWorkloadOn(Gpu &gpu, const std::string &workload_name,
               std::uint32_t scale, std::size_t run_index)
 {
-    auto workload = makeWorkload(workload_name, scale);
-    const Kernel kernel = workload->buildKernel();
-
     RunResult result;
     result.workload = workload_name;
     // Gpu::reset() (arena reuse) falls back to sequential, so the shard
@@ -139,6 +174,35 @@ runWorkloadOn(Gpu &gpu, const std::string &workload_name,
         gpu.setCheckpoint(indexedPath(g_telemetry.checkpointPath,
                                       run_index),
                           g_telemetry.checkpointEvery);
+
+    if (!g_telemetry.replayTracePath.empty()) {
+        // Trace replay drives the memory system from the recorded
+        // stream: the workload never prepares inputs or executes, so
+        // there is nothing to verify — only timing/cache/DRAM counters.
+        if (!g_telemetry.restorePath.empty())
+            gpu.restoreCheckpoint(indexedPath(g_telemetry.restorePath,
+                                              run_index));
+        const auto start = std::chrono::steady_clock::now();
+        result.stats = gpu.replayTrace(
+            indexedPath(g_telemetry.replayTracePath, run_index));
+        result.wallSeconds = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start).count();
+        result.intervalSeries = interval_series.str();
+        result.verified = false;
+        std::fprintf(stderr,
+                     "[sim-rate] %-14s wall %8.3fs %10.1f Kcyc/s"
+                     " (replay)\n",
+                     workload_name.c_str(), result.wallSeconds,
+                     result.kcyclesPerSec());
+        return result;
+    }
+
+    auto workload = makeWorkload(workload_name, scale);
+    const Kernel kernel = workload->buildKernel();
+
+    if (!g_telemetry.recordTracePath.empty())
+        gpu.enableMtraceRecord(indexedPath(g_telemetry.recordTracePath,
+                                           run_index));
     LaunchParams lp;
     if (!g_telemetry.restorePath.empty()) {
         // Machine state and device memory come from the checkpoint, so

@@ -41,6 +41,22 @@ namespace vtsim::bench {
  *                             VTSIM_SIM_THREADS environment variable
  *                             (flag wins). Malformed values are a fatal
  *                             error, like --jobs/VTSIM_JOBS.
+ *   --exec microcode|legacy   force the functional-execution path for
+ *                             every run: the pre-decoded micro-op
+ *                             stream (the default) or the legacy
+ *                             per-lane interpreter. Bit-identical
+ *                             results either way; the switch exists
+ *                             for A/B speed runs (bench_microcode.py).
+ *   --record-trace <path>     per-run vtsim-mtrace-v1 memory-access
+ *                             trace of the post-coalescer stream (same
+ *                             <stem>.N<ext> naming as --trace-json).
+ *                             Forces sequential simulation.
+ *   --replay-trace <path>     drive the memory system from a recorded
+ *                             trace instead of executing the workload;
+ *                             functional results are skipped (nothing
+ *                             executes), timing/cache/DRAM statistics
+ *                             are bit-identical to the recording run.
+ *                             Mutually exclusive with --record-trace.
  */
 struct TelemetryOptions
 {
@@ -52,6 +68,13 @@ struct TelemetryOptions
     std::string restorePath;
     /** Shard workers per simulation; 0 = unset (sequential). */
     unsigned simThreads = 0;
+    /** Functional-execution override: "" (leave the config alone),
+     *  "microcode" or "legacy". */
+    std::string execMode;
+    /** vtsim-mtrace-v1 output path (--record-trace); empty = off. */
+    std::string recordTracePath;
+    /** vtsim-mtrace-v1 input path (--replay-trace); empty = off. */
+    std::string replayTracePath;
 };
 
 /** Scan argv for the telemetry switches (unknown args are ignored). */
@@ -64,6 +87,9 @@ const TelemetryOptions &telemetryOptions();
 
 /** @p path with ".<index>" before the extension; bare for index 0. */
 std::string indexedPath(const std::string &path, std::size_t index);
+
+/** Apply the installed --exec override (if any) to @p config. */
+void applyExecMode(GpuConfig &config);
 
 /** Result of one simulated run. */
 struct RunResult

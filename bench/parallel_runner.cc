@@ -121,7 +121,9 @@ runAll(const std::vector<RunSpec> &specs, unsigned jobs)
                    i](service::GpuArena &arena, unsigned) {
                 const RunSpec &spec = specs[i];
                 try {
-                    Gpu &gpu = arena.acquire(spec.config);
+                    GpuConfig config = spec.config;
+                    applyExecMode(config);
+                    Gpu &gpu = arena.acquire(config);
                     results[i] = runWorkloadOn(gpu, spec.workload,
                                                spec.scale, i);
                 } catch (const std::exception &e) {

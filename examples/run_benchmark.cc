@@ -25,6 +25,14 @@
  *                           --checkpoint-every N)
  *     --restore PATH        resume a checkpointed run (same benchmark
  *                           and configuration flags as the original)
+ *     --exec MODE           functional-execution path: microcode
+ *                           (default) or legacy (bit-identical A/B)
+ *     --record-trace PATH   write a vtsim-mtrace-v1 memory-access
+ *                           trace of the run (forces sequential)
+ *     --replay-trace PATH   drive the memory system from a recorded
+ *                           trace instead of executing the benchmark;
+ *                           nothing executes, so results print REPLAY
+ *                           instead of VERIFIED
  *     --dump-stats          print every component counter afterwards
  *   run_benchmark --list    list available benchmarks
  */
@@ -56,7 +64,9 @@ usage()
                  "       [--bypass-l1] [--throttle] [--trace FLAGS]\n"
                  "       [--stats-interval N] [--trace-json PATH]\n"
                  "       [--checkpoint PATH] [--checkpoint-every N]\n"
-                 "       [--restore PATH] [--dump-stats] | --list\n"
+                 "       [--restore PATH] [--exec microcode|legacy]\n"
+                 "       [--record-trace PATH] [--replay-trace PATH]\n"
+                 "       [--dump-stats] | --list\n"
                  "  trace flags: issue,mem,swap,cta,dram,barrier,all "
                  "(to stderr)\n"
                  "  --stats-interval: stat-delta JSONL every N cycles "
@@ -129,6 +139,15 @@ try {
             next_value(i);
         } else if (a.rfind("--sim-threads=", 0) == 0) {
             // Handled by parseTelemetryArgs.
+        } else if (a == "--exec" || a == "--record-trace" ||
+                   a == "--replay-trace") {
+            // Validated below by parseTelemetryArgs (shared with the
+            // figure binaries).
+            next_value(i);
+        } else if (a.rfind("--exec=", 0) == 0 ||
+                   a.rfind("--record-trace=", 0) == 0 ||
+                   a.rfind("--replay-trace=", 0) == 0) {
+            // Handled by parseTelemetryArgs.
         } else if (a == "--vt") {
             cfg.vtEnabled = true;
         } else if (a == "--vtmax") {
@@ -178,9 +197,14 @@ try {
     // a malformed value aborts with a clear message instead of
     // silently falling back to one worker.
     const unsigned jobs = bench::resolveJobs(argc, argv);
-    // Same deal for --sim-threads/VTSIM_SIM_THREADS (0 = unset).
-    const unsigned sim_threads =
-        bench::parseTelemetryArgs(argc, argv).simThreads;
+    // Same strict, shared resolution for --sim-threads, --exec and the
+    // memory-trace flags (record + replay together is a fatal error
+    // inside parseTelemetryArgs).
+    const bench::TelemetryOptions shared =
+        bench::parseTelemetryArgs(argc, argv);
+    const unsigned sim_threads = shared.simThreads;
+    bench::setTelemetryOptions(shared);
+    bench::applyExecMode(cfg);
 
     if (names.size() > 1) {
         if (dump_stats || !checkpoint_path.empty() ||
@@ -190,14 +214,13 @@ try {
                          "and --restore need a single benchmark\n");
             return 2;
         }
+        bench::TelemetryOptions telemetry = shared;
+        telemetry.statsInterval = stats_interval;
+        telemetry.traceJsonPath = trace_json_path;
+        bench::setTelemetryOptions(telemetry);
         std::vector<bench::RunSpec> specs;
         for (const auto &n : names)
             specs.push_back({n, cfg, scale});
-        bench::TelemetryOptions telemetry;
-        telemetry.statsInterval = stats_interval;
-        telemetry.traceJsonPath = trace_json_path;
-        telemetry.simThreads = sim_threads;
-        bench::setTelemetryOptions(telemetry);
         const auto results = bench::runAll(specs, jobs);
         for (const auto &r : results) {
             std::printf("%s scale=%u vt=%s: %llu cycles, IPC %.3f, "
@@ -213,8 +236,42 @@ try {
                         100 * r.stats.l1HitRate(),
                         100 * r.stats.l2HitRate(),
                         (unsigned long long)r.stats.dramBytes,
-                        r.verified ? "VERIFIED" : "WRONG");
+                        !shared.replayTracePath.empty()
+                            ? "REPLAY"
+                            : (r.verified ? "VERIFIED" : "WRONG"));
         }
+        return 0;
+    }
+
+    if (!shared.replayTracePath.empty()) {
+        // Trace replay: the benchmark name only labels the output row;
+        // nothing executes, so there is no workload to prepare or
+        // verify.
+        Gpu gpu(cfg);
+        if (sim_threads > 0)
+            gpu.setSimThreads(sim_threads);
+        if (stats_interval > 0)
+            gpu.enableIntervalSampler(stats_interval, std::cerr);
+        if (!trace_json_path.empty())
+            gpu.enableTraceJson(trace_json_path);
+        if (!checkpoint_path.empty())
+            gpu.setCheckpoint(checkpoint_path, checkpoint_every);
+        if (!restore_path.empty())
+            gpu.restoreCheckpoint(restore_path);
+        const KernelStats stats = gpu.replayTrace(shared.replayTracePath);
+        std::printf("%s scale=%u vt=%s: %llu cycles, IPC %.3f, "
+                    "%llu warp instrs, %llu CTAs, %llu swaps, "
+                    "l1 %.1f%%, l2 %.1f%%, %llu DRAM bytes — "
+                    "results REPLAY\n",
+                    name.c_str(), scale, cfg.vtEnabled ? "on" : "off",
+                    (unsigned long long)stats.cycles, stats.ipc,
+                    (unsigned long long)stats.warpInstructions,
+                    (unsigned long long)stats.ctasCompleted,
+                    (unsigned long long)stats.swapOuts,
+                    100 * stats.l1HitRate(), 100 * stats.l2HitRate(),
+                    (unsigned long long)stats.dramBytes);
+        if (dump_stats)
+            gpu.dumpStats(std::cout);
         return 0;
     }
 
@@ -229,6 +286,8 @@ try {
         gpu.enableTraceJson(trace_json_path);
     if (!checkpoint_path.empty())
         gpu.setCheckpoint(checkpoint_path, checkpoint_every);
+    if (!shared.recordTracePath.empty())
+        gpu.enableMtraceRecord(shared.recordTracePath);
     // Restored runs resume the checkpointed launch: device memory comes
     // from the checkpoint, so prepare() must not overwrite it. It runs
     // into a scratch memory instead, so the workload still learns its

@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""Validate a vtsim-mtrace-v1 memory-trace file.
+
+Standard library only (runs on a bare CI image). Mirrors the in-tree
+reader (src/mem/mtrace.cc) check for check, so a file this script
+accepts is loadable by --replay-trace and vice versa:
+
+  header   magic "vtsimMTR", version 1, machine shape (SM count,
+           memory-partition count, L1/L2 line sizes), kernel name,
+           grid and CTA shapes — all range-validated.
+  records  one u8 kind each: KernelLaunch (must be first, cycle 0),
+           Access (monotonic cycle, SM < numSms, 1..l1LineSize bytes,
+           1..32 lanes, line-aligned address, known flag bits only),
+           Barrier (monotonic cycle, SM < numSms), End (record count
+           must equal the records actually read).
+  framing  every field bounds-checked before reading; an End seal is
+           required; nothing may follow it.
+
+The full byte layout is documented in docs/ARCHITECTURE.md ("Micro-op
+execution & trace replay").
+
+Usage: validate_mtrace.py <file.mtrace> [--dump]
+Exit status 0 when valid; 1 with one line per violation otherwise
+(validation stops at the first framing error since nothing after it
+can be trusted). --dump additionally prints the header and per-SM
+record counts.
+"""
+
+import pathlib
+import struct
+import sys
+
+MAGIC = b"vtsimMTR"
+VERSION = 1
+WARP_SIZE = 32
+
+KIND_ACCESS = 1
+KIND_BARRIER = 2
+KIND_KERNEL_LAUNCH = 3
+KIND_END = 4
+
+FLAG_STORE = 1 << 0
+FLAG_ATOMIC = 1 << 1
+FLAG_BYPASS_L1 = 1 << 2
+KNOWN_FLAGS = FLAG_STORE | FLAG_ATOMIC | FLAG_BYPASS_L1
+
+
+class TraceError(Exception):
+    """A violation that makes the rest of the file untrustworthy."""
+
+
+class Cursor:
+    """Bounds-checked little-endian reader (mirrors mtrace.cc)."""
+
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def at_end(self):
+        return self.pos == len(self.data)
+
+    def need(self, nbytes, what):
+        if len(self.data) - self.pos < nbytes:
+            raise TraceError(
+                f"truncated reading {what} at offset {self.pos} "
+                f"(file is {len(self.data)} bytes)"
+            )
+
+    def u8(self, what):
+        self.need(1, what)
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def u16(self, what):
+        self.need(2, what)
+        (value,) = struct.unpack_from("<H", self.data, self.pos)
+        self.pos += 2
+        return value
+
+    def u32(self, what):
+        self.need(4, what)
+        (value,) = struct.unpack_from("<I", self.data, self.pos)
+        self.pos += 4
+        return value
+
+    def u64(self, what):
+        self.need(8, what)
+        (value,) = struct.unpack_from("<Q", self.data, self.pos)
+        self.pos += 8
+        return value
+
+    def bytes(self, length, what):
+        self.need(length, what)
+        value = self.data[self.pos:self.pos + length]
+        self.pos += length
+        return value
+
+
+def is_power_of_two(n):
+    return n > 0 and n & (n - 1) == 0
+
+
+def read_header(cursor):
+    magic = cursor.bytes(len(MAGIC), "magic")
+    if magic != MAGIC:
+        raise TraceError(f"bad magic {magic!r} (not a vtsim memory trace)")
+    version = cursor.u32("version")
+    if version != VERSION:
+        raise TraceError(
+            f"unsupported version {version} (this tool reads version "
+            f"{VERSION})"
+        )
+
+    header = {
+        "num_sms": cursor.u32("numSms"),
+        "num_mem_partitions": cursor.u32("numMemPartitions"),
+        "l1_line_size": cursor.u32("l1LineSize"),
+        "l2_line_size": cursor.u32("l2LineSize"),
+    }
+    if not 1 <= header["num_sms"] <= 4096:
+        raise TraceError(f"implausible SM count {header['num_sms']}")
+    if not 1 <= header["num_mem_partitions"] <= 4096:
+        raise TraceError(
+            f"implausible partition count {header['num_mem_partitions']}")
+    for level in ("l1", "l2"):
+        size = header[f"{level}_line_size"]
+        if not is_power_of_two(size) or size > 65536:
+            raise TraceError(f"bad {level.upper()} line size {size}")
+
+    name_len = cursor.u32("kernel-name length")
+    if name_len > 4096:
+        raise TraceError(f"implausible kernel-name length {name_len}")
+    header["kernel_name"] = cursor.bytes(name_len, "kernel name").decode(
+        "utf-8", errors="replace")
+    header["grid"] = tuple(cursor.u32(f"grid.{d}") for d in "xyz")
+    header["cta"] = tuple(cursor.u32(f"cta.{d}") for d in "xyz")
+
+    def count(shape):
+        return shape[0] * shape[1] * shape[2]
+
+    if count(header["grid"]) == 0 or count(header["cta"]) == 0:
+        raise TraceError("empty grid or CTA shape")
+    if count(header["cta"]) > 65536:
+        raise TraceError(f"implausible CTA size {count(header['cta'])}")
+    return header
+
+
+def read_records(cursor, header):
+    """Walk the record stream; return per-SM access/barrier counts."""
+    per_sm_accesses = [0] * header["num_sms"]
+    barriers = 0
+    records = 0
+    last_cycle = 0
+    saw_launch = False
+    while True:
+        record_off = cursor.pos
+        if cursor.at_end():
+            raise TraceError(
+                f"truncated — no End seal ({records} records read)")
+        kind = cursor.u8("record kind")
+        if kind == KIND_KERNEL_LAUNCH:
+            cycle = cursor.u64("launch cycle")
+            if saw_launch or records != 0:
+                raise TraceError(
+                    f"kernel-launch marker at offset {record_off} is not "
+                    "the first record"
+                )
+            if cycle != 0:
+                raise TraceError(
+                    f"launch marker cycle is {cycle}, expected 0")
+            saw_launch = True
+            records += 1
+        elif kind == KIND_ACCESS:
+            cycle = cursor.u64("access cycle")
+            sm = cursor.u16("access sm")
+            flags = cursor.u8("access flags")
+            line_addr = cursor.u64("access lineAddr")
+            nbytes = cursor.u16("access bytes")
+            lanes = cursor.u8("access lanes")
+            cursor.u32("access warpTag")
+            if not saw_launch:
+                raise TraceError(
+                    "access record before the kernel-launch marker")
+            if cycle < last_cycle:
+                raise TraceError(
+                    f"cycle went backwards at offset {record_off} "
+                    f"({cycle} after {last_cycle})"
+                )
+            if sm >= header["num_sms"]:
+                raise TraceError(
+                    f"access names SM {sm} but the header has "
+                    f"{header['num_sms']} SMs"
+                )
+            if not 1 <= nbytes <= header["l1_line_size"]:
+                raise TraceError(
+                    f"access size {nbytes} outside "
+                    f"[1, {header['l1_line_size']}]"
+                )
+            if not 1 <= lanes <= WARP_SIZE:
+                raise TraceError(
+                    f"access lane count {lanes} outside [1, {WARP_SIZE}]")
+            if line_addr % header["l1_line_size"] != 0:
+                raise TraceError(
+                    f"access address {line_addr:#x} not aligned to the "
+                    f"{header['l1_line_size']}-byte L1 line"
+                )
+            if flags & ~KNOWN_FLAGS:
+                raise TraceError(f"unknown access flag bits {flags}")
+            last_cycle = cycle
+            per_sm_accesses[sm] += 1
+            records += 1
+        elif kind == KIND_BARRIER:
+            cycle = cursor.u64("barrier cycle")
+            sm = cursor.u16("barrier sm")
+            if not saw_launch:
+                raise TraceError(
+                    "barrier record before the kernel-launch marker")
+            if cycle < last_cycle:
+                raise TraceError(
+                    f"cycle went backwards at offset {record_off} "
+                    f"({cycle} after {last_cycle})"
+                )
+            if sm >= header["num_sms"]:
+                raise TraceError(
+                    f"barrier names SM {sm} but the header has "
+                    f"{header['num_sms']} SMs"
+                )
+            last_cycle = cycle
+            barriers += 1
+            records += 1
+        elif kind == KIND_END:
+            count = cursor.u64("record count")
+            if count != records:
+                raise TraceError(
+                    f"End seal counts {count} records but {records} were "
+                    "read — file damaged"
+                )
+            break
+        else:
+            raise TraceError(
+                f"unknown record kind {kind} at offset {record_off}")
+    if not cursor.at_end():
+        raise TraceError(
+            f"{len(cursor.data) - cursor.pos} trailing bytes after the "
+            "End seal"
+        )
+    return per_sm_accesses, barriers, records, last_cycle
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--dump"]
+    dump = "--dump" in argv[1:]
+    if len(args) != 1:
+        print("usage: validate_mtrace.py <file.mtrace> [--dump]",
+              file=sys.stderr)
+        return 2
+    path = pathlib.Path(args[0])
+    try:
+        data = path.read_bytes()
+    except OSError as err:
+        print(f"{path}: {err}", file=sys.stderr)
+        return 1
+
+    cursor = Cursor(data)
+    try:
+        header = read_header(cursor)
+        per_sm, barriers, records, last_cycle = read_records(cursor, header)
+    except TraceError as err:
+        print(f"{path}: {err}", file=sys.stderr)
+        return 1
+
+    if dump:
+        print(f"  kernel  {header['kernel_name']}")
+        print(f"  grid    {header['grid']}  cta {header['cta']}")
+        print(f"  machine {header['num_sms']} SMs, "
+              f"{header['num_mem_partitions']} partitions, "
+              f"L1 {header['l1_line_size']}B / "
+              f"L2 {header['l2_line_size']}B lines")
+        for sm, count in enumerate(per_sm):
+            print(f"  sm{sm:<4d} {count:10d} accesses")
+        print(f"  {barriers} barriers, last cycle {last_cycle}")
+
+    print(f"{path}: valid vtsim-mtrace-v{VERSION}, {records} records "
+          f"({sum(per_sm)} accesses, {barriers} barriers), "
+          f"{len(data)} bytes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

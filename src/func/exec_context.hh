@@ -15,6 +15,7 @@
 #include "common/active_mask.hh"
 #include "common/types.hh"
 #include "isa/kernel.hh"
+#include "isa/microcode.hh"
 #include "sim/serializer.hh"
 
 namespace vtsim {
@@ -97,6 +98,8 @@ struct LaneAccess
      *  op against settled memory and patches the destination register
      *  when the true value differs. */
     std::uint32_t observed = 0;
+
+    bool operator==(const LaneAccess &) const = default;
 };
 
 /** Everything the timing model needs to know about an issued instruction. */
@@ -118,6 +121,31 @@ struct ExecResult
 ExecResult execute(const Instruction &inst, std::uint32_t warp_in_cta,
                    ActiveMask mask, CtaFuncState &cta, GlobalMemory &gmem,
                    const LaunchParams &launch);
+
+/**
+ * Fast path: execute the pre-decoded micro-op at stream index @p pc
+ * (index-parallel with the instruction stream) into caller-owned
+ * @p out, which is cleared first — reusing one ExecResult across
+ * issues avoids the per-issue vector allocation execute() pays.
+ * Bit-identical to execute() on the same pre-state.
+ */
+void executeMicroInto(const MicroProgram &prog, Pc pc,
+                      std::uint32_t warp_in_cta, ActiveMask mask,
+                      CtaFuncState &cta, GlobalMemory &gmem,
+                      const LaunchParams &launch, ExecResult &out);
+
+/**
+ * Oracle wrapper around executeMicroInto: first runs the legacy
+ * interpreter against copy-on-write overlays of @p cta / @p gmem, then
+ * the micro-op on the real state, and fatals on any divergence in the
+ * ExecResult, written registers, shared-memory bytes, or global-memory
+ * bytes. Debug builds run this for every issued instruction (see
+ * GpuConfig::microOracle).
+ */
+void executeMicroChecked(const MicroProgram &prog, const Instruction &inst,
+                         Pc pc, std::uint32_t warp_in_cta, ActiveMask mask,
+                         CtaFuncState &cta, GlobalMemory &gmem,
+                         const LaunchParams &launch, ExecResult &out);
 
 } // namespace vtsim
 

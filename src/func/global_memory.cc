@@ -30,13 +30,27 @@ std::uint32_t
 GlobalMemory::read32(Addr addr) const
 {
     // Fast path: all four (little-endian) bytes on one page — a single
-    // page lookup instead of four.
+    // page lookup instead of four, and usually no lookup at all thanks
+    // to the one-entry memo.
     const std::uint32_t off = addr % pageSize;
     if (off + 4 <= pageSize) {
-        const auto it = pages_.find(addr / pageSize);
-        if (it == pages_.end())
-            return 0;
-        const std::uint8_t *p = it->second.data() + off;
+        const std::uint64_t page = addr / pageSize;
+        const std::uint8_t *p;
+        if (page == memoPage_) {
+            p = memoData_ + off;
+        } else {
+            const auto it = pages_.find(page);
+            if (it == pages_.end())
+                return 0;
+            // pages_ values are not const objects; the cast lets the
+            // mutable memo also serve the non-const write32 path.
+            auto *data = const_cast<std::uint8_t *>(it->second.data());
+            if (!deferWrites_) {
+                memoPage_ = page;
+                memoData_ = data;
+            }
+            p = data + off;
+        }
         return static_cast<std::uint32_t>(p[0]) |
                static_cast<std::uint32_t>(p[1]) << 8 |
                static_cast<std::uint32_t>(p[2]) << 16 |
@@ -55,10 +69,18 @@ GlobalMemory::write32(Addr addr, std::uint32_t value)
         return;
     const std::uint32_t off = addr % pageSize;
     if (off + 4 <= pageSize) {
-        auto &page = pages_[addr / pageSize];
-        if (page.empty())
-            page.resize(pageSize, 0);
-        std::uint8_t *p = page.data() + off;
+        const std::uint64_t page = addr / pageSize;
+        std::uint8_t *p;
+        if (page == memoPage_) {
+            p = memoData_ + off;
+        } else {
+            auto &data = pages_[page];
+            if (data.empty())
+                data.resize(pageSize, 0);
+            memoPage_ = page;
+            memoData_ = data.data();
+            p = data.data() + off;
+        }
         p[0] = value & 0xff;
         p[1] = (value >> 8) & 0xff;
         p[2] = (value >> 16) & 0xff;
@@ -135,6 +157,8 @@ GlobalMemory::restore(Deserializer &des)
     des.beginSection("gmem");
     des.get(allocNext_);
     pages_.clear();
+    memoPage_ = noPage;
+    memoData_ = nullptr;
     const auto count = des.get<std::uint64_t>();
     for (std::uint64_t i = 0; i < count; ++i) {
         const auto page = des.get<std::uint64_t>();

@@ -82,6 +82,8 @@ class GlobalMemory
     reset()
     {
         pages_.clear();
+        memoPage_ = noPage;
+        memoData_ = nullptr;
         allocNext_ = 0x1000;
     }
 
@@ -94,6 +96,19 @@ class GlobalMemory
     std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
     Addr allocNext_ = 0x1000; ///< Keep address 0 unmapped, as a null page.
     bool deferWrites_ = false;
+
+    // One-entry memo for the hot read32/write32 paths: a warp's lanes
+    // overwhelmingly touch the same page back-to-back, and unordered_map
+    // guarantees reference stability across inserts, so the cached data
+    // pointer stays valid until pages_ is cleared (reset()/restore(),
+    // which drop it). Only materialised pages are memoised. Never
+    // refreshed while deferWrites_ is on — shard workers read
+    // concurrently inside an epoch, so an update there would race;
+    // hits on a pre-epoch entry are read-only and safe. noPage is
+    // unreachable (Addr max / pageSize never yields all-ones).
+    static constexpr std::uint64_t noPage = ~std::uint64_t{0};
+    mutable std::uint64_t memoPage_ = noPage;
+    mutable std::uint8_t *memoData_ = nullptr;
 };
 
 } // namespace vtsim

@@ -11,6 +11,7 @@
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "isa/assembler.hh"
 
 namespace vtsim {
 
@@ -91,6 +92,8 @@ configFields(Archive &&field, Config &cfg)
     field(cfg.readySetOracle);
     field(cfg.horizonOracle);
     field(cfg.shardOracle);
+    field(cfg.microcodeEnabled);
+    field(cfg.microOracle);
 }
 
 void
@@ -260,6 +263,14 @@ Gpu::reset()
     checkpointEvery_ = 0;
     preemptRequested_.store(false, std::memory_order_relaxed);
     preempted_ = false;
+    simMode_ = SimMode::Functional;
+    recordTracePath_.clear();
+    if (mtraceWriter_) {
+        for (auto &sm : sms_)
+            sm->setMtrace(nullptr);
+        mtraceWriter_.reset();
+    }
+    mtraceReader_.reset();
 
     // Telemetry sinks are per-run wiring, not simulated state: drop
     // them and detach the raw pointers the components hold.
@@ -327,6 +338,7 @@ Gpu::buildCheckpoint(std::vector<std::uint8_t> &out)
     ser.putVec(activeLaunch_.params);
     ser.put<std::uint64_t>(dispatcher_ ? dispatcher_->dispatched() : 0);
     before_.save(ser);
+    ser.put<std::uint8_t>(static_cast<std::uint8_t>(simMode_));
     ser.put<std::uint8_t>(sampler_ ? 1 : 0);
     ser.endSection(sec);
     if (sampler_)
@@ -437,6 +449,11 @@ Gpu::restoreImage(const std::uint8_t *data, std::size_t size,
     des.getVec(activeLaunch_.params);
     const auto dispatched = des.get<std::uint64_t>();
     before_.restore(des);
+    const auto mode = des.get<std::uint8_t>();
+    if (mode > static_cast<std::uint8_t>(SimMode::Replay))
+        VTSIM_FATAL("checkpoint ", source, " has unknown simulation mode ",
+                    unsigned(mode));
+    simMode_ = static_cast<SimMode>(mode);
     const bool had_sampler = des.get<std::uint8_t>() != 0;
     des.endSection();
 
@@ -498,6 +515,104 @@ Gpu::flushCaches()
         p->flushCaches();
 }
 
+void
+Gpu::enableMtraceRecord(const std::string &path)
+{
+    if (path.empty())
+        VTSIM_FATAL("empty trace-record path");
+    recordTracePath_ = path;
+}
+
+KernelStats
+Gpu::replayTrace(const std::string &path)
+{
+    if (!recordTracePath_.empty()) {
+        VTSIM_FATAL("trace record and trace replay are mutually "
+                    "exclusive on one Gpu");
+    }
+    mtraceReader_ = std::make_unique<MtraceReader>();
+    mtraceReader_->load(path);
+    const MtraceHeader &h = mtraceReader_->header();
+    if (h.numSms != config_.numSms ||
+        h.numMemPartitions != config_.numMemPartitions ||
+        h.l1LineSize != config_.l1LineSize ||
+        h.l2LineSize != config_.l2LineSize) {
+        VTSIM_FATAL("mtrace '", path, "' was recorded on a different "
+                    "machine shape (", h.numSms, " SMs, ",
+                    h.numMemPartitions, " partitions, L1/L2 lines ",
+                    h.l1LineSize, "/", h.l2LineSize,
+                    ") than this GpuConfig (", config_.numSms, "/",
+                    config_.numMemPartitions, "/", config_.l1LineSize,
+                    "/", config_.l2LineSize, ")");
+    }
+    preempted_ = false;
+
+    // The replay loop reuses the launch drivers (sequential and
+    // sharded); they only consult the kernel for the watchdog message,
+    // so a one-instruction placeholder stands in for the recorded
+    // kernel, whose name the checkpoint identity carries.
+    const Kernel kernel = assemble(".kernel replay\n  exit\n");
+
+    if (pendingResume_) {
+        if (simMode_ != SimMode::Replay) {
+            VTSIM_FATAL("checkpoint was taken in functional-execution "
+                        "mode; resume it with a functional launch, not "
+                        "--replay-trace");
+        }
+        if (activeKernelName_ != "replay:" + h.kernelName) {
+            VTSIM_FATAL("checkpoint resumes a replay of '",
+                        activeKernelName_, "' but trace '", path,
+                        "' records kernel '", h.kernelName, "'");
+        }
+        pendingResume_ = false;
+        for (std::uint32_t s = 0; s < sms_.size(); ++s)
+            sms_[s]->resumeReplay(&mtraceReader_->accesses(s));
+    } else {
+        simMode_ = SimMode::Replay;
+        activeLaunch_ = LaunchParams{};
+        activeLaunch_.grid = h.grid;
+        activeLaunch_.cta = h.cta;
+        activeKernelName_ = "replay:" + h.kernelName;
+        activeKernelInstrs_ = kernel.size();
+        activeKernelRegs_ = kernel.regsPerThread();
+        activeKernelShared_ = kernel.sharedBytesPerCta();
+        // The recording run dispatched the whole grid; the replay
+        // admits nothing, so the dispatcher starts fully drained.
+        dispatcher_ = std::make_unique<CtaDispatcher>(activeLaunch_);
+        dispatcher_->setDispatched(activeLaunch_.numCtas());
+        before_ = StatsSnapshot::capture(registry_);
+        launchStart_ = cycle_;
+        if (sampler_)
+            sampler_->beginLaunch(cycle_);
+        for (std::uint32_t s = 0; s < sms_.size(); ++s)
+            sms_[s]->beginReplay(&mtraceReader_->accesses(s), cycle_);
+    }
+
+    const Cycle start = launchStart_;
+    const unsigned workers = effectiveSimThreads();
+    if (workers > 1)
+        runSharded(kernel, workers);
+    else
+        runSequential(kernel);
+
+    for (auto &sm : sms_)
+        sm->flushFastForward();
+    if (sampler_ && !preempted_)
+        sampler_->finalSample(cycle_);
+    if (checkpointEvery_ == 0 && !checkpointPath_.empty() && !preempted_)
+        writeCheckpoint();
+
+    KernelStats stats;
+    stats.cycles = cycle_ - start;
+    StatsSnapshot::capture(registry_).delta(before_, registry_, stats);
+    // No CTA-completion invariant here: a replay completes zero CTAs
+    // and issues zero instructions by construction.
+    stats.ipc = stats.cycles
+                    ? double(stats.warpInstructions) / stats.cycles
+                    : 0.0;
+    return stats;
+}
+
 KernelStats
 Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
 {
@@ -515,6 +630,16 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
         // loaded; verify the caller passed the checkpoint's kernel and
         // grid, then re-attach the live bindings (pointers into caller
         // objects) that a checkpoint cannot carry.
+        if (simMode_ == SimMode::Replay) {
+            VTSIM_FATAL("checkpoint was taken in trace-replay mode; "
+                        "resume it with --replay-trace "
+                        "(Gpu::replayTrace), not a functional launch");
+        }
+        if (!recordTracePath_.empty()) {
+            VTSIM_FATAL("trace recording must start at a fresh launch, "
+                        "not on a resumed checkpoint (the trace would "
+                        "miss the accesses before the restore point)");
+        }
         pendingResume_ = false;
         if (kernel.name() != activeKernelName_ ||
             kernel.size() != activeKernelInstrs_ ||
@@ -541,6 +666,28 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
         activeKernelShared_ = kernel.sharedBytesPerCta();
         for (auto &sm : sms_)
             sm->launchKernel(kernel, launch, gmem_);
+        simMode_ = SimMode::Functional;
+
+        if (!recordTracePath_.empty()) {
+            if (checkpointEvery_ != 0) {
+                VTSIM_FATAL("trace recording does not compose with "
+                            "mid-run checkpoints or preemption (the "
+                            "writer's stream position is not "
+                            "checkpointable)");
+            }
+            MtraceHeader header;
+            header.numSms = config_.numSms;
+            header.numMemPartitions = config_.numMemPartitions;
+            header.l1LineSize = config_.l1LineSize;
+            header.l2LineSize = config_.l2LineSize;
+            header.kernelName = kernel.name();
+            header.grid = launch.grid;
+            header.cta = launch.cta;
+            mtraceWriter_ = std::make_unique<MtraceWriter>();
+            mtraceWriter_->begin(recordTracePath_, header, cycle_);
+            for (auto &sm : sms_)
+                sm->setMtrace(mtraceWriter_.get());
+        }
 
         // Snapshot counters so stats are per-launch deltas. The
         // snapshot is checkpointed: a resumed launch still reports
@@ -560,6 +707,12 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
     // Settle lazily skipped per-SM ticks before reading any statistic.
     for (auto &sm : sms_)
         sm->flushFastForward();
+    if (mtraceWriter_) {
+        for (auto &sm : sms_)
+            sm->setMtrace(nullptr);
+        mtraceWriter_->end();
+        mtraceWriter_.reset();
+    }
     // A preempted launch is mid-flight: no final sample, no end-of-run
     // checkpoint — the service saves an explicit image and the resumed
     // launch finishes both.
@@ -601,6 +754,12 @@ Gpu::effectiveSimThreads() const
     const unsigned n = std::min(simThreads_, components);
     if (n <= 1)
         return 1;
+    if (!recordTracePath_.empty()) {
+        std::cerr << "[vtsim] trace recording enabled; forcing "
+                     "sim-threads=1 (the recorder is one stream in "
+                     "global cycle order)\n";
+        return 1;
+    }
     if (Trace::instance().anyEnabled()) {
         std::cerr << "[vtsim] textual trace sink enabled; forcing "
                      "sim-threads=1 (the Trace facade is a process-global "

@@ -28,6 +28,7 @@
 #include "isa/kernel.hh"
 #include "mem/interconnect.hh"
 #include "mem/memory_partition.hh"
+#include "mem/mtrace.hh"
 #include "sim/event_horizon.hh"
 #include "sm/sm_core.hh"
 #include "telemetry/interval_sampler.hh"
@@ -156,6 +157,31 @@ class Gpu
 
     /** Invalidate all caches (between unrelated kernels). */
     void flushCaches();
+
+    /**
+     * Record the post-coalescer memory-access stream of subsequent
+     * launches to @p path (format vtsim-mtrace-v1, mem/mtrace.hh).
+     * Recording forces sequential simulation (the trace is one stream
+     * in global cycle order) and does not compose with mid-run
+     * checkpoints or preemption; the end-of-launch seal is written when
+     * the grid completes.
+     */
+    void enableMtraceRecord(const std::string &path);
+
+    /**
+     * Replay a vtsim-mtrace-v1 trace: drive the memory hierarchy
+     * (L1 → NoC → L2 → DRAM) with the recorded access stream, skipping
+     * functional execution and warp scheduling entirely. The trace must
+     * have been recorded under the same machine shape (SM/partition
+     * counts, line sizes) as this GpuConfig. Composes with
+     * setSimThreads, the interval sampler, and checkpoint/restore — a
+     * checkpoint taken mid-replay resumes via replayTrace on the same
+     * trace file, and a mode mismatch in either direction is a fatal
+     * error. Returns the replay's statistics (cache, NoC and DRAM
+     * counters are bit-identical to the recording run's; issue-side
+     * counters are zero).
+     */
+    KernelStats replayTrace(const std::string &path);
 
     /**
      * Simulate subsequent launches with @p n shard workers: the SMs and
@@ -299,6 +325,19 @@ class Gpu
 
     std::string checkpointPath_;
     Cycle checkpointEvery_ = 0;
+
+    /** Which driver owns the machine: functional execution or trace
+     *  replay. Checkpointed (in "gpux") so a restored image can only be
+     *  resumed by the matching entry point. */
+    enum class SimMode : std::uint8_t
+    {
+        Functional = 0,
+        Replay = 1,
+    };
+    SimMode simMode_ = SimMode::Functional;
+    std::string recordTracePath_;
+    std::unique_ptr<MtraceWriter> mtraceWriter_;
+    std::unique_ptr<MtraceReader> mtraceReader_;
 
     // Preemption handshake with the job service (src/service/): the
     // request flag is the one member another thread may touch while

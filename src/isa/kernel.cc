@@ -12,6 +12,7 @@ Kernel::Kernel(std::string name, std::vector<Instruction> instructions,
       labels_(std::move(labels))
 {
     verify();
+    micro_ = buildMicroProgram(instrs_);
 }
 
 std::string

@@ -14,6 +14,7 @@
 #include "common/log.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
+#include "isa/microcode.hh"
 
 namespace vtsim {
 
@@ -50,6 +51,11 @@ class Kernel
     /** Label attached to @p pc, or empty. Used by the disassembler. */
     std::string labelAt(Pc pc) const;
 
+    /** Pre-decoded micro-op stream, index-parallel with instructions().
+     *  Built once in the constructor (after verify()); see
+     *  isa/microcode.hh. */
+    const MicroProgram &micro() const { return micro_; }
+
     /**
      * Structural sanity check: branch targets in range, reconvergence PCs
      * set on every branch, terminating EXIT reachable. Throws FatalError.
@@ -62,6 +68,7 @@ class Kernel
     std::uint32_t regsPerThread_;
     std::uint32_t sharedBytes_;
     std::map<Pc, std::string> labels_;
+    MicroProgram micro_;
 };
 
 /** Kernel launch geometry and parameter block (the <<<grid, cta>>>). */

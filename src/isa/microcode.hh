@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Pre-decoded micro-op stream: the functional fast path.
+ *
+ * Every Kernel is lowered once at load into a flat MicroProgram — one
+ * MicroOp per Instruction, in stream order — with operand slots
+ * resolved, the immediate folded to raw bits, the comparison / special
+ * register / use-imm variants burned into the handler choice, and
+ * branch targets rewritten as stream indices. At issue time the
+ * interpreter is one indirect call through the op's handler pointer
+ * (direct-threaded dispatch) with a tight active-lane loop inside,
+ * instead of the legacy per-lane switch over Opcode.
+ *
+ * The micro stream is derived state: it is rebuilt from the
+ * Instruction list whenever a Kernel is constructed and never
+ * serialized, so the embedded handler pointers are always valid for
+ * the running binary.
+ */
+
+#ifndef VTSIM_ISA_MICROCODE_HH
+#define VTSIM_ISA_MICROCODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace vtsim {
+
+struct CtaFuncState;
+class GlobalMemory;
+struct LaunchParams;
+struct ExecResult;
+struct MicroOp;
+
+/**
+ * Everything a micro-op handler touches, gathered once per issue.
+ * Register access goes through the raw pointer + stride rather than
+ * CtaFuncState::readReg so the lane loop indexes a local base pointer.
+ */
+struct MicroCtx
+{
+    std::uint32_t *regs;          ///< cta.regs.data()
+    std::uint32_t regsPerThread;  ///< register-file stride per thread
+    std::uint32_t baseThread;     ///< warpInCta * warpSize
+    std::uint32_t threadsPerCta;  ///< lanes at/after this are dead
+    std::uint32_t mask;           ///< active-lane bits
+    std::uint32_t warpInCta;
+    CtaFuncState *cta;            ///< shared memory + ctaIdx
+    GlobalMemory *gmem;
+    const LaunchParams *launch;
+    ExecResult *out;
+};
+
+/** A micro-op handler: executes one instruction for every active lane. */
+using MicroHandler = void (*)(const MicroOp &, MicroCtx &);
+
+/**
+ * One pre-decoded micro-op. The handler pointer encodes everything the
+ * legacy interpreter re-derived per issue: opcode, imm-vs-register
+ * second operand, comparison operator, special register. Operands are
+ * plain slots the handler indexes without looking at the Instruction.
+ */
+struct MicroOp
+{
+    MicroHandler fn = nullptr;
+    RegIndex dst = noReg;
+    RegIndex src0 = noReg;
+    RegIndex src1 = noReg;
+    RegIndex src2 = noReg;
+    /** Immediate as raw bits (bit-cast for float consumers). */
+    std::uint32_t imm = 0;
+    /** Branch target as a stream index (BRA only; 0 otherwise). The
+     *  timing model's SIMT stack still reads Instruction::branchTarget;
+     *  this keeps the micro stream self-contained for standalone
+     *  stepping and the oracle. */
+    std::uint32_t target = 0;
+};
+
+/** A lowered kernel: one MicroOp per Instruction, same indices. */
+using MicroProgram = std::vector<MicroOp>;
+
+/**
+ * Lower @p instrs into a MicroProgram. Every opcode the legacy
+ * interpreter accepts lowers; an unknown opcode is a fatal error
+ * (mirroring the legacy VTSIM_PANIC). Defined alongside the handlers
+ * in func/exec_context.cc because lowering resolves handler pointers.
+ */
+MicroProgram buildMicroProgram(const std::vector<Instruction> &instrs);
+
+} // namespace vtsim
+
+#endif // VTSIM_ISA_MICROCODE_HH

@@ -61,26 +61,40 @@ sharedMemPasses(const std::vector<LaneAccess> &accesses,
     if (accesses.empty())
         return 0;
     // Passes = the largest number of distinct words mapping to one bank.
-    // A warp contributes at most warpSize accesses, so distinct words fit
-    // a stack array and the quadratic dedupe/count beats allocating the
-    // bank -> word-set map this used to build (this runs once per
-    // shared-memory instruction issued).
+    // This runs once per shared-memory instruction issued, so it is hot:
+    // dedupe the (at most warpSize) word addresses through a small
+    // open-addressed probe table and keep a running per-bank count —
+    // one pass, no quadratic rescans. The result is order-independent,
+    // so the issue-order walk stays deterministic.
     VTSIM_ASSERT(accesses.size() <= warpSize,
                  "more shared accesses than lanes");
+    constexpr std::uint32_t tableSize = 64; // 2x lanes: short probes.
+    constexpr Addr emptySlot = ~Addr{0};    // addr+3 can never wrap there.
+    Addr table[tableSize];
+    std::fill(std::begin(table), std::end(table), emptySlot);
     Addr words[warpSize];
     std::uint32_t num_words = 0;
     for (const auto &acc : accesses) {
         const Addr word = acc.addr / 4;
-        bool seen = false;
-        for (std::uint32_t i = 0; i < num_words; ++i) {
-            if (words[i] == word) {
-                seen = true;
-                break;
-            }
-        }
-        if (!seen)
+        std::uint32_t slot =
+            (static_cast<std::uint32_t>(word) * 0x9e3779b9u) >> 26;
+        while (table[slot] != emptySlot && table[slot] != word)
+            slot = (slot + 1) & (tableSize - 1);
+        if (table[slot] == emptySlot) {
+            table[slot] = word;
             words[num_words++] = word;
+        }
     }
+    if (num_banks <= tableSize) {
+        std::uint8_t in_bank[tableSize] = {};
+        std::uint32_t passes = 1;
+        for (std::uint32_t i = 0; i < num_words; ++i) {
+            const std::uint8_t n = ++in_bank[words[i] & (num_banks - 1)];
+            passes = std::max<std::uint32_t>(passes, n);
+        }
+        return passes;
+    }
+    // Implausibly wide bank configs: count by rescans (num_words <= 32).
     std::uint32_t passes = 1;
     for (std::uint32_t i = 0; i < num_words; ++i) {
         const Addr bank = words[i] & (num_banks - 1);

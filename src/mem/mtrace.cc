@@ -1,0 +1,386 @@
+#include "mem/mtrace.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+namespace {
+
+enum RecordKind : std::uint8_t {
+    kindAccess = 1,
+    kindBarrier = 2,
+    kindKernelLaunch = 3,
+    kindEnd = 4,
+};
+
+/** Bounds-checked little-endian cursor over a loaded trace image.
+ *  Every read that would run past the end is a FatalError naming the
+ *  offset — a truncated file can never index out of bounds. */
+class Cursor
+{
+  public:
+    Cursor(const std::vector<std::uint8_t> &data, const std::string &path)
+        : data_(data), path_(path)
+    {}
+
+    std::size_t offset() const { return pos_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+
+    std::uint8_t
+    u8(const char *what)
+    {
+        need(1, what);
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16(const char *what)
+    {
+        need(2, what);
+        const std::uint16_t v =
+            std::uint16_t(data_[pos_]) |
+            std::uint16_t(data_[pos_ + 1]) << 8;
+        pos_ += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32(const char *what)
+    {
+        need(4, what);
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i)
+            v = v << 8 | data_[pos_ + std::size_t(i)];
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64(const char *what)
+    {
+        need(8, what);
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = v << 8 | data_[pos_ + std::size_t(i)];
+        pos_ += 8;
+        return v;
+    }
+
+    std::string
+    str(std::size_t length, const char *what)
+    {
+        need(length, what);
+        std::string s(reinterpret_cast<const char *>(data_.data() + pos_),
+                      length);
+        pos_ += length;
+        return s;
+    }
+
+  private:
+    void
+    need(std::size_t bytes, const char *what)
+    {
+        if (data_.size() - pos_ < bytes) {
+            VTSIM_FATAL("mtrace '", path_, "': truncated reading ", what,
+                        " at offset ", pos_, " (file is ", data_.size(),
+                        " bytes)");
+        }
+    }
+
+    const std::vector<std::uint8_t> &data_;
+    const std::string &path_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+void
+MtraceWriter::put8(std::uint8_t v)
+{
+    out_.put(char(v));
+}
+
+void
+MtraceWriter::put16(std::uint16_t v)
+{
+    char b[2] = {char(v), char(v >> 8)};
+    out_.write(b, 2);
+}
+
+void
+MtraceWriter::put32(std::uint32_t v)
+{
+    char b[4];
+    for (int i = 0; i < 4; ++i)
+        b[i] = char(v >> 8 * i);
+    out_.write(b, 4);
+}
+
+void
+MtraceWriter::put64(std::uint64_t v)
+{
+    char b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = char(v >> 8 * i);
+    out_.write(b, 8);
+}
+
+void
+MtraceWriter::begin(const std::string &path, const MtraceHeader &header,
+                    Cycle launch_cycle)
+{
+    VTSIM_ASSERT(!out_.is_open(), "mtrace writer begun twice");
+    path_ = path;
+    base_ = launch_cycle;
+    records_ = 0;
+    out_.open(path, std::ios::binary | std::ios::trunc);
+    if (!out_)
+        VTSIM_FATAL("mtrace: cannot open '", path, "' for writing");
+    out_.write(mtraceMagic, sizeof(mtraceMagic));
+    put32(mtraceVersion);
+    put32(header.numSms);
+    put32(header.numMemPartitions);
+    put32(header.l1LineSize);
+    put32(header.l2LineSize);
+    put32(std::uint32_t(header.kernelName.size()));
+    out_.write(header.kernelName.data(),
+               std::streamsize(header.kernelName.size()));
+    put32(header.grid.x);
+    put32(header.grid.y);
+    put32(header.grid.z);
+    put32(header.cta.x);
+    put32(header.cta.y);
+    put32(header.cta.z);
+    // The launch marker anchors cycle 0 of the record stream.
+    put8(kindKernelLaunch);
+    put64(0);
+    ++records_;
+    if (!out_)
+        VTSIM_FATAL("mtrace: write error on '", path, "'");
+}
+
+void
+MtraceWriter::access(Cycle now, std::uint32_t sm, std::uint8_t flags,
+                     Addr line_addr, std::uint32_t bytes,
+                     std::uint32_t lanes, std::uint32_t warp_tag)
+{
+    VTSIM_ASSERT(out_.is_open(), "mtrace access without begin");
+    VTSIM_ASSERT(now >= base_, "mtrace access before launch cycle");
+    put8(kindAccess);
+    put64(now - base_);
+    put16(std::uint16_t(sm));
+    put8(flags);
+    put64(line_addr);
+    put16(std::uint16_t(bytes));
+    put8(std::uint8_t(lanes));
+    put32(warp_tag);
+    ++records_;
+}
+
+void
+MtraceWriter::barrier(Cycle now, std::uint32_t sm)
+{
+    VTSIM_ASSERT(out_.is_open(), "mtrace barrier without begin");
+    VTSIM_ASSERT(now >= base_, "mtrace barrier before launch cycle");
+    put8(kindBarrier);
+    put64(now - base_);
+    put16(std::uint16_t(sm));
+    ++records_;
+}
+
+void
+MtraceWriter::end()
+{
+    VTSIM_ASSERT(out_.is_open(), "mtrace end without begin");
+    put8(kindEnd);
+    put64(records_);
+    out_.flush();
+    if (!out_)
+        VTSIM_FATAL("mtrace: write error on '", path_, "'");
+    out_.close();
+}
+
+void
+MtraceReader::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        VTSIM_FATAL("mtrace: cannot open '", path, "'");
+    const std::streamoff size = in.tellg();
+    in.seekg(0);
+    std::vector<std::uint8_t> data(static_cast<std::size_t>(size), 0);
+    if (size > 0)
+        in.read(reinterpret_cast<char *>(data.data()), size);
+    if (!in)
+        VTSIM_FATAL("mtrace: read error on '", path, "'");
+
+    Cursor c(data, path);
+    const std::string magic = c.str(sizeof(mtraceMagic), "magic");
+    if (std::memcmp(magic.data(), mtraceMagic, sizeof(mtraceMagic)) != 0)
+        VTSIM_FATAL("mtrace '", path, "': bad magic (not a vtsim "
+                    "memory trace)");
+    const std::uint32_t version = c.u32("version");
+    if (version != mtraceVersion) {
+        VTSIM_FATAL("mtrace '", path, "': unsupported version ", version,
+                    " (this build reads version ", mtraceVersion, ")");
+    }
+
+    header_.numSms = c.u32("numSms");
+    header_.numMemPartitions = c.u32("numMemPartitions");
+    header_.l1LineSize = c.u32("l1LineSize");
+    header_.l2LineSize = c.u32("l2LineSize");
+    if (header_.numSms < 1 || header_.numSms > 4096)
+        VTSIM_FATAL("mtrace '", path, "': implausible SM count ",
+                    header_.numSms);
+    if (header_.numMemPartitions < 1 || header_.numMemPartitions > 4096)
+        VTSIM_FATAL("mtrace '", path, "': implausible partition count ",
+                    header_.numMemPartitions);
+    if (!isPowerOfTwo(header_.l1LineSize) || header_.l1LineSize > 65536)
+        VTSIM_FATAL("mtrace '", path, "': bad L1 line size ",
+                    header_.l1LineSize);
+    if (!isPowerOfTwo(header_.l2LineSize) || header_.l2LineSize > 65536)
+        VTSIM_FATAL("mtrace '", path, "': bad L2 line size ",
+                    header_.l2LineSize);
+    const std::uint32_t name_len = c.u32("kernel-name length");
+    if (name_len > 4096)
+        VTSIM_FATAL("mtrace '", path, "': implausible kernel-name "
+                    "length ", name_len);
+    header_.kernelName = c.str(name_len, "kernel name");
+    header_.grid.x = c.u32("grid.x");
+    header_.grid.y = c.u32("grid.y");
+    header_.grid.z = c.u32("grid.z");
+    header_.cta.x = c.u32("cta.x");
+    header_.cta.y = c.u32("cta.y");
+    header_.cta.z = c.u32("cta.z");
+    if (header_.grid.count() == 0 || header_.cta.count() == 0)
+        VTSIM_FATAL("mtrace '", path, "': empty grid or CTA shape");
+    if (header_.cta.count() > 65536)
+        VTSIM_FATAL("mtrace '", path, "': implausible CTA size ",
+                    header_.cta.count());
+
+    perSm_.assign(header_.numSms, {});
+    totalAccesses_ = 0;
+    totalBarriers_ = 0;
+
+    std::uint64_t records = 0;
+    Cycle last_cycle = 0;
+    bool saw_launch = false;
+    bool sealed = false;
+    while (!sealed) {
+        const std::size_t record_off = c.offset();
+        if (c.atEnd()) {
+            VTSIM_FATAL("mtrace '", path, "': truncated — no End seal "
+                        "(", records, " records read)");
+        }
+        const std::uint8_t kind = c.u8("record kind");
+        switch (kind) {
+        case kindKernelLaunch: {
+            const Cycle cycle = c.u64("launch cycle");
+            if (saw_launch || records != 0) {
+                VTSIM_FATAL("mtrace '", path, "': kernel-launch marker "
+                            "at offset ", record_off,
+                            " is not the first record");
+            }
+            if (cycle != 0)
+                VTSIM_FATAL("mtrace '", path,
+                            "': launch marker cycle is ", cycle,
+                            ", expected 0");
+            saw_launch = true;
+            ++records;
+            break;
+        }
+        case kindAccess: {
+            MtraceAccess a;
+            a.cycle = c.u64("access cycle");
+            a.sm = c.u16("access sm");
+            a.flags = c.u8("access flags");
+            a.lineAddr = c.u64("access lineAddr");
+            a.bytes = c.u16("access bytes");
+            a.lanes = c.u8("access lanes");
+            a.warpTag = c.u32("access warpTag");
+            if (!saw_launch)
+                VTSIM_FATAL("mtrace '", path, "': access record before "
+                            "the kernel-launch marker");
+            if (a.cycle < last_cycle) {
+                VTSIM_FATAL("mtrace '", path, "': cycle went backwards "
+                            "at offset ", record_off, " (", a.cycle,
+                            " after ", last_cycle, ")");
+            }
+            if (a.sm >= header_.numSms) {
+                VTSIM_FATAL("mtrace '", path, "': access names SM ",
+                            a.sm, " but the header has ", header_.numSms,
+                            " SMs");
+            }
+            if (a.bytes < 1 || a.bytes > header_.l1LineSize) {
+                VTSIM_FATAL("mtrace '", path, "': access size ", a.bytes,
+                            " outside [1, ", header_.l1LineSize, "]");
+            }
+            if (a.lanes < 1 || a.lanes > warpSize) {
+                VTSIM_FATAL("mtrace '", path, "': access lane count ",
+                            a.lanes, " outside [1, ", warpSize, "]");
+            }
+            if (a.lineAddr % header_.l1LineSize != 0) {
+                VTSIM_FATAL("mtrace '", path, "': access address 0x",
+                            a.lineAddr, " not aligned to the ",
+                            header_.l1LineSize, "-byte L1 line");
+            }
+            if (a.flags & ~(MtraceAccess::flagStore |
+                            MtraceAccess::flagAtomic |
+                            MtraceAccess::flagBypassL1)) {
+                VTSIM_FATAL("mtrace '", path, "': unknown access flag "
+                            "bits ", unsigned(a.flags));
+            }
+            last_cycle = a.cycle;
+            perSm_[a.sm].push_back(a);
+            ++totalAccesses_;
+            ++records;
+            break;
+        }
+        case kindBarrier: {
+            const Cycle cycle = c.u64("barrier cycle");
+            const std::uint16_t sm = c.u16("barrier sm");
+            if (!saw_launch)
+                VTSIM_FATAL("mtrace '", path, "': barrier record before "
+                            "the kernel-launch marker");
+            if (cycle < last_cycle) {
+                VTSIM_FATAL("mtrace '", path, "': cycle went backwards "
+                            "at offset ", record_off, " (", cycle,
+                            " after ", last_cycle, ")");
+            }
+            if (sm >= header_.numSms) {
+                VTSIM_FATAL("mtrace '", path, "': barrier names SM ",
+                            sm, " but the header has ", header_.numSms,
+                            " SMs");
+            }
+            last_cycle = cycle;
+            ++totalBarriers_;
+            ++records;
+            break;
+        }
+        case kindEnd: {
+            const std::uint64_t count = c.u64("record count");
+            if (count != records) {
+                VTSIM_FATAL("mtrace '", path, "': End seal counts ",
+                            count, " records but ", records,
+                            " were read — file damaged");
+            }
+            sealed = true;
+            break;
+        }
+        default:
+            VTSIM_FATAL("mtrace '", path, "': unknown record kind ",
+                        unsigned(kind), " at offset ", record_off);
+        }
+    }
+    if (!saw_launch)
+        VTSIM_FATAL("mtrace '", path, "': no kernel-launch marker");
+    if (!c.atEnd()) {
+        VTSIM_FATAL("mtrace '", path, "': ",
+                    data.size() - c.offset(),
+                    " trailing bytes after the End seal");
+    }
+}
+
+} // namespace vtsim

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * vtsim-mtrace-v1: the memory-trace record/replay format.
+ *
+ * A trace captures the post-coalescer access stream of one kernel
+ * launch — every line-granular transaction the LDST units inject into
+ * the memory hierarchy, with its cycle, SM, size and read/write kind —
+ * plus barrier and kernel-launch markers. Replaying a trace drives
+ * Cache → Interconnect → MemoryPartition → Dram with the recorded
+ * stream while skipping functional execution entirely, which makes
+ * memory-hierarchy parameter sweeps (L2 policy, DRAM timing, NoC
+ * width) an order of magnitude faster and turns the access stream
+ * into a shareable artifact.
+ *
+ * Layout (all fields little-endian, packed, no padding):
+ *   magic   8 bytes  "vtsimMTR"
+ *   version u32      1
+ *   header:
+ *     numSms u32, numMemPartitions u32, l1LineSize u32, l2LineSize u32,
+ *     kernelName (u32 length + bytes), grid x/y/z u32, cta x/y/z u32
+ *   records, each tagged with a u8 kind:
+ *     1 Access:       cycle u64 (relative to the launch marker),
+ *                     sm u16, flags u8 (bit0 store, bit1 atomic,
+ *                     bit2 bypassL1), lineAddr u64, bytes u16,
+ *                     lanes u8, warpTag u32
+ *     2 Barrier:      cycle u64, sm u16
+ *     3 KernelLaunch: cycle u64 (always 0; must be the first record)
+ *     4 End:          recordCount u64 (records before this one)
+ *
+ * The End record is the integrity seal: a reader treats a file without
+ * it — or with a record count that disagrees — as truncated. Readers
+ * bounds-check every access and reject malformed input with a clear
+ * FatalError, never a crash.
+ */
+
+#ifndef VTSIM_MEM_MTRACE_HH
+#define VTSIM_MEM_MTRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace vtsim {
+
+inline constexpr char mtraceMagic[8] = {'v', 't', 's', 'i',
+                                        'm', 'M', 'T', 'R'};
+inline constexpr std::uint32_t mtraceVersion = 1;
+
+/** Machine shape and launch geometry the trace was captured under. */
+struct MtraceHeader
+{
+    std::uint32_t numSms = 0;
+    std::uint32_t numMemPartitions = 0;
+    std::uint32_t l1LineSize = 0;
+    std::uint32_t l2LineSize = 0;
+    std::string kernelName;
+    Dim3 grid;
+    Dim3 cta;
+};
+
+/** One recorded post-coalescer transaction. */
+struct MtraceAccess
+{
+    /** Cycle relative to the kernel-launch marker. */
+    Cycle cycle = 0;
+    std::uint16_t sm = 0;
+    std::uint8_t flags = 0;
+    Addr lineAddr = 0;
+    std::uint16_t bytes = 0;
+    std::uint8_t lanes = 0;
+    /** (virtual CTA slot << 8) | warp-in-CTA at record time. */
+    std::uint32_t warpTag = 0;
+
+    static constexpr std::uint8_t flagStore = 1u << 0;
+    static constexpr std::uint8_t flagAtomic = 1u << 1;
+    static constexpr std::uint8_t flagBypassL1 = 1u << 2;
+
+    bool isStore() const { return flags & flagStore; }
+    bool isAtomic() const { return flags & flagAtomic; }
+    bool bypassL1() const { return flags & flagBypassL1; }
+};
+
+/**
+ * Streams a vtsim-mtrace-v1 file during a recording run. The Gpu owns
+ * one writer and hands it to every SM; record mode forces sequential
+ * simulation, so appends are naturally in cycle order.
+ */
+class MtraceWriter
+{
+  public:
+    /** Open @p path and write magic/version/header. Cycles passed to
+     *  the append calls are rebased to @p launch_cycle. Fatal on I/O
+     *  failure. */
+    void begin(const std::string &path, const MtraceHeader &header,
+               Cycle launch_cycle);
+
+    void access(Cycle now, std::uint32_t sm, std::uint8_t flags,
+                Addr line_addr, std::uint32_t bytes, std::uint32_t lanes,
+                std::uint32_t warp_tag);
+    void barrier(Cycle now, std::uint32_t sm);
+
+    /** Write the End seal and close. Fatal on I/O failure. */
+    void end();
+
+    bool active() const { return out_.is_open(); }
+    std::uint64_t recordCount() const { return records_; }
+
+  private:
+    void put8(std::uint8_t v);
+    void put16(std::uint16_t v);
+    void put32(std::uint32_t v);
+    void put64(std::uint64_t v);
+
+    std::ofstream out_;
+    std::string path_;
+    Cycle base_ = 0;
+    std::uint64_t records_ = 0;
+};
+
+/**
+ * Loads and validates a vtsim-mtrace-v1 file. All structural damage —
+ * bad magic, short file, unknown record kind, out-of-range SM,
+ * non-monotonic cycles, missing End seal — is reported as a
+ * FatalError naming the offset, never a crash or silent truncation.
+ * Access records are sliced per SM for the replay engine.
+ */
+class MtraceReader
+{
+  public:
+    void load(const std::string &path);
+
+    const MtraceHeader &header() const { return header_; }
+
+    /** Access records of @p sm, in non-decreasing cycle order. */
+    const std::vector<MtraceAccess> &
+    accesses(std::uint32_t sm) const
+    {
+        return perSm_[sm];
+    }
+
+    std::uint64_t totalAccesses() const { return totalAccesses_; }
+    std::uint64_t totalBarriers() const { return totalBarriers_; }
+
+  private:
+    MtraceHeader header_;
+    std::vector<std::vector<MtraceAccess>> perSm_;
+    std::uint64_t totalAccesses_ = 0;
+    std::uint64_t totalBarriers_ = 0;
+};
+
+} // namespace vtsim
+
+#endif // VTSIM_MEM_MTRACE_HH

@@ -60,6 +60,13 @@ struct JobSpec
      * maxSimThreads; larger requests are rejected, not clamped.
      */
     unsigned simThreads = 0;
+    /**
+     * Write a vtsim-mtrace-v1 memory-access trace of this job's run to
+     * this path (empty = no trace). A recording job opts out of the
+     * preemption/checkpoint cadence (recording does not compose with
+     * mid-run checkpoints) and always simulates sequentially.
+     */
+    std::string recordTrace;
 };
 
 enum class JobState : std::uint8_t

@@ -172,6 +172,12 @@ parseRequest(const std::string &line)
             req.spec.simThreads = static_cast<unsigned>(
                 requireUnsigned(*threads, "sim_threads", 256));
         }
+        if (const Json *trace = doc.find("record_trace")) {
+            if (!trace->isString() || trace->asString().empty())
+                throw ProtocolError(
+                    "record_trace must be a non-empty string path");
+            req.spec.recordTrace = trace->asString();
+        }
     } else if (name == "wait" || name == "query" || name == "cancel") {
         req.op = name == "wait"    ? Request::Op::Wait
                  : name == "query" ? Request::Op::Query

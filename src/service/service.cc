@@ -185,9 +185,12 @@ JobService::maybePreempt(Priority priority)
             continue;
         if (slot.job->priority >= priority)
             continue;
-        const Cycle cadence = slot.job->spec.checkpointEvery
-                                  ? slot.job->spec.checkpointEvery
-                                  : config_.preemptEvery;
+        const Cycle cadence =
+            !slot.job->spec.recordTrace.empty()
+                ? 0
+                : slot.job->spec.checkpointEvery
+                      ? slot.job->spec.checkpointEvery
+                      : config_.preemptEvery;
         if (cadence == 0)
             continue; // Opted out of preemption.
         if (!victim || slot.job->priority < victim->job->priority ||
@@ -267,15 +270,22 @@ JobService::runJob(GpuArena &arena, JobRecord &job, unsigned worker)
                 gpu.requestPreempt(); // Signalled before we had a Gpu.
             resume_from = job.checkpointFile;
         }
-        const Cycle cadence = job.spec.checkpointEvery
-                                  ? job.spec.checkpointEvery
-                                  : config_.preemptEvery;
+        // A recording job opts out of the preemption cadence: trace
+        // recording does not compose with mid-run checkpoints (the
+        // writer's stream position is not checkpointable), and
+        // maybePreempt() already skips cadence-0 slots.
+        const Cycle cadence =
+            !job.spec.recordTrace.empty() ? 0
+            : job.spec.checkpointEvery   ? job.spec.checkpointEvery
+                                         : config_.preemptEvery;
         // Applied per slice: GpuArena reuse resets the Gpu (and the
         // shard count) between jobs. The parked image is thread-count
         // agnostic, so a resumed slice may legitimately run with a
         // different sharding than the preempted one.
         if (job.spec.simThreads > 1)
             gpu.setSimThreads(job.spec.simThreads);
+        if (!job.spec.recordTrace.empty())
+            gpu.enableMtraceRecord(job.spec.recordTrace);
         if (job.spec.statsInterval > 0)
             gpu.enableIntervalSampler(job.spec.statsInterval, interval);
         // Empty path: the cadence only arms preemption boundaries, no

@@ -96,6 +96,14 @@ LdstUnit::issueGlobal(VirtualCtaId vcta, std::uint32_t warp_in_cta,
                                    coalesced.size());
     }
 
+    std::uint8_t flags = 0;
+    if (kind == MemAccessKind::Store)
+        flags |= MtraceAccess::flagStore;
+    if (kind == MemAccessKind::Atomic)
+        flags |= MtraceAccess::flagAtomic;
+    if (bypass)
+        flags |= MtraceAccess::flagBypassL1;
+
     for (const auto &ca : coalesced) {
         Transaction t;
         t.pendingIdx = pending_idx;
@@ -109,7 +117,43 @@ LdstUnit::issueGlobal(VirtualCtaId vcta, std::uint32_t warp_in_cta,
             ++storeTxns_;
         else if (kind == MemAccessKind::Atomic)
             ++atomTxns_;
+        if (mtrace_) {
+            mtrace_->access(now_, smId_, flags, ca.lineAddr, ca.bytes,
+                            ca.lanes, vcta << 8 | warp_in_cta);
+        }
     }
+}
+
+void
+LdstUnit::replayInject(const MtraceAccess &access)
+{
+    ++transactions_;
+    MemAccessKind kind = MemAccessKind::Load;
+    if (access.isStore())
+        kind = MemAccessKind::Store;
+    else if (access.isAtomic())
+        kind = MemAccessKind::Atomic;
+
+    // Loads and atomics need a live pending entry: markOffChip and
+    // completeTransaction dereference it for the client callbacks (the
+    // replaying SM ignores those — it has no resident CTAs).
+    std::uint32_t pending_idx = 0;
+    if (kind != MemAccessKind::Store)
+        pending_idx = allocPending(invalidId, access.warpTag & 0xff,
+                                   noReg, 1);
+
+    Transaction t;
+    t.pendingIdx = pending_idx;
+    t.lineAddr = access.lineAddr;
+    t.bytes = access.bytes;
+    t.kind = kind;
+    t.bypassL1 = access.bypassL1();
+    t.createdAt = now_;
+    injectQueue_.push_back(allocTransaction(t));
+    if (kind == MemAccessKind::Store)
+        ++storeTxns_;
+    else if (kind == MemAccessKind::Atomic)
+        ++atomTxns_;
 }
 
 void

@@ -19,6 +19,7 @@
 #include "mem/cache.hh"
 #include "mem/coalescer.hh"
 #include "mem/mem_request.hh"
+#include "mem/mtrace.hh"
 #include "sim/sim_component.hh"
 
 namespace vtsim {
@@ -80,6 +81,21 @@ class LdstUnit : public MemResponseSink, public SimComponent
     void issueGlobal(VirtualCtaId vcta, std::uint32_t warp_in_cta,
                      const Instruction &inst,
                      const std::vector<LaneAccess> &accesses);
+
+    /**
+     * Inject one recorded transaction (trace replay). Reproduces
+     * issueGlobal's per-transaction bookkeeping — loads and atomics get
+     * a one-shot pending entry with no destination register — so the
+     * L1/NoC see the identical request stream the recording run
+     * produced. The SM replay driver calls this right after tick(@p c)
+     * for every record stamped cycle @p c, matching the functional
+     * issue-at-c / inject-from-c+1 cadence.
+     */
+    void replayInject(const MtraceAccess &access);
+
+    /** Route every coalesced transaction to @p writer (record mode);
+     *  null disables. */
+    void setMtraceWriter(MtraceWriter *writer) { mtrace_ = writer; }
 
     /** Drive injections and L1-hit completions for cycle @p now. */
     void tick(Cycle now) override;
@@ -169,6 +185,8 @@ class LdstUnit : public MemResponseSink, public SimComponent
     Interconnect &noc_;
     LdstClient &client_;
     Cache l1_;
+    /** Trace sink for record mode (not machine state, never saved). */
+    MtraceWriter *mtrace_ = nullptr;
 
     std::vector<PendingWarpMem> pendingSlab_;
     std::vector<std::uint32_t> pendingFree_;

@@ -106,6 +106,33 @@ SmCore::setTraceJson(telemetry::TraceJsonWriter *writer)
 }
 
 void
+SmCore::setMtrace(MtraceWriter *writer)
+{
+    mtrace_ = writer;
+    ldst_.setMtraceWriter(writer);
+}
+
+void
+SmCore::beginReplay(const std::vector<MtraceAccess> *slice, Cycle base)
+{
+    VTSIM_ASSERT(residentCount_ == 0, "replay with CTAs resident");
+    onExternalEvent();
+    replayMode_ = true;
+    replay_ = slice;
+    replayCursor_ = 0;
+    replayBase_ = base;
+}
+
+void
+SmCore::resumeReplay(const std::vector<MtraceAccess> *slice)
+{
+    VTSIM_ASSERT(replayMode_, "resumeReplay on a functional-mode SM");
+    VTSIM_ASSERT(replayCursor_ <= slice->size(),
+                 "restored replay cursor past the trace slice");
+    replay_ = slice;
+}
+
+void
 SmCore::launchKernel(const Kernel &kernel, const LaunchParams &launch,
                      GlobalMemory &gmem)
 {
@@ -253,6 +280,18 @@ SmCore::tick(Cycle now)
 
     // 1. Memory completions (unblocks warps for this cycle's issue).
     ldst_.tick(now);
+
+    // Trace replay: inject the records due this cycle. After the LDST
+    // tick, so a record stamped cycle c enters the queue at c and first
+    // reaches injectOne at c + 1 — the same cadence as a functional
+    // issue at c.
+    if (replayMode_) {
+        while (replayCursor_ < replay_->size() &&
+               replayBase_ + (*replay_)[replayCursor_].cycle <= now) {
+            ldst_.replayInject((*replay_)[replayCursor_]);
+            ++replayCursor_;
+        }
+    }
 
     // 2. ALU/SFU/shared writebacks that mature this cycle.
     while (!wbQueue_.empty() && wbQueue_.top().at <= now) {
@@ -422,6 +461,12 @@ SmCore::tick(Cycle now)
         if (throttler_)
             next = std::min(next,
                             throttler_->epochBoundaryCycle(now + 1));
+        if (replayMode_ && replayCursor_ < replay_->size()) {
+            next = std::min(next,
+                            std::max(now + 1,
+                                     replayBase_ +
+                                         (*replay_)[replayCursor_].cycle));
+        }
         ffHorizon_ = std::min(next, vt_.nextEventCycle(now + 1));
     } else {
         ffHorizon_ = 0;
@@ -542,6 +587,11 @@ SmCore::computeNextEvent(Cycle now)
     if (throttler_)
         next = std::min(next, throttler_->epochBoundaryCycle(now));
     next = std::min(next, vt_.nextEventCycle(now));
+    if (replayMode_ && replayCursor_ < replay_->size()) {
+        next = std::min(next,
+                        std::max(now, replayBase_ +
+                                          (*replay_)[replayCursor_].cycle));
+    }
 
     // Warps of issuable CTAs: a short dependence maturing is an event;
     // a warp that could issue right now means no skipping at all. Warps
@@ -650,7 +700,21 @@ SmCore::issueWarp(VirtualCta &cta, VirtualCtaId slot, WarpContext &warp,
     VTSIM_TRACE(TraceFlag::Issue, now, stats_.name(), "cta ", slot, " w",
                 w, " pc ", pc, " [", mask.count(), " lanes] ",
                 disassemble(inst));
-    ExecResult res = execute(inst, w, mask, cta.func, *gmem_, *launch_);
+    // Functional execution: micro-op fast path by default (optionally
+    // oracle-checked against the legacy interpreter), legacy switch
+    // interpreter behind the flag. Bit-identical either way.
+    ExecResult &res = execScratch_;
+    if (config_.microcodeEnabled) {
+        if (microOracleEnabled()) {
+            executeMicroChecked(kernel_->micro(), inst, pc, w, mask,
+                                cta.func, *gmem_, *launch_, res);
+        } else {
+            executeMicroInto(kernel_->micro(), pc, w, mask, cta.func,
+                             *gmem_, *launch_, res);
+        }
+    } else {
+        res = execute(inst, w, mask, cta.func, *gmem_, *launch_);
+    }
     warp.countIssue();
     ++instructionsIssued_;
     threadInstructions_ += mask.count();
@@ -663,6 +727,8 @@ SmCore::issueWarp(VirtualCta &cta, VirtualCtaId slot, WarpContext &warp,
             maxSimtDepth_ = std::max(maxSimtDepth_,
                                      warp.stack().maxDepth());
         } else if (inst.isBarrier()) {
+            if (mtrace_)
+                mtrace_->barrier(now, id_);
             warp.stack().advance();
             warp.setAtBarrier(true);
             ++cta.barrierBySched[warp.schedId()];
@@ -795,13 +861,20 @@ SmCore::finishCta(VirtualCtaId slot, Cycle now)
 bool
 SmCore::idle() const
 {
-    return residentCount_ == 0 && ldst_.idle() && wbQueue_.empty();
+    return residentCount_ == 0 && ldst_.idle() && wbQueue_.empty() &&
+           (!replayMode_ || replayCursor_ == replay_->size());
 }
 
 void
 SmCore::loadComplete(VirtualCtaId vcta, std::uint32_t warp_in_cta,
                      RegIndex dst)
 {
+    if (replayMode_) {
+        // Replay pendings carry a sentinel CTA and no destination:
+        // there is no warp to release, only the horizon to drop.
+        onExternalEvent();
+        return;
+    }
     VTSIM_ASSERT(vcta < ctas_.size() && ctas_[vcta].valid,
                  "load completion for retired CTA");
     onExternalEvent();
@@ -815,6 +888,8 @@ void
 SmCore::offChipIssued(VirtualCtaId vcta, std::uint32_t warp_in_cta)
 {
     onExternalEvent();
+    if (replayMode_)
+        return;
     VirtualCta &cta = ctas_[vcta];
     WarpContext &warp = cta.warps[warp_in_cta];
     warp.addOffChip();
@@ -836,6 +911,8 @@ void
 SmCore::offChipReturned(VirtualCtaId vcta, std::uint32_t warp_in_cta)
 {
     onExternalEvent();
+    if (replayMode_)
+        return;
     VirtualCta &cta = ctas_[vcta];
     WarpContext &warp = cta.warps[warp_in_cta];
     warp.removeOffChip();
@@ -1036,6 +1113,10 @@ SmCore::reset()
     epochLogging_ = false;
     epochMemLog_.clear();
     epochOwner_ = {};
+    replayMode_ = false;
+    replay_ = nullptr;
+    replayCursor_ = 0;
+    replayBase_ = 0;
     instructionsIssued_.reset();
     threadInstructions_.reset();
     ctasCompleted_.reset();
@@ -1095,6 +1176,11 @@ SmCore::save(Serializer &ser) const
     saveStat(ser, ctasCompleted_);
     static_assert(std::is_trivially_copyable_v<StallBreakdown>);
     ser.put(stalls_);
+    // The replay slice itself is not machine state (it is reloaded from
+    // the trace file on restore); the mode, cursor and base are.
+    ser.put<std::uint8_t>(replayMode_);
+    ser.put(replayCursor_);
+    ser.put(replayBase_);
     for (const auto &sched : schedulers_)
         sched->save(ser);
     ser.endSection(sec);
@@ -1161,6 +1247,13 @@ SmCore::restore(Deserializer &des)
     restoreStat(des, threadInstructions_);
     restoreStat(des, ctasCompleted_);
     des.get(stalls_);
+    replayMode_ = des.get<std::uint8_t>() != 0;
+    des.get(replayCursor_);
+    des.get(replayBase_);
+    // replay_ is deliberately left as-is: an in-place restore (the
+    // shard oracle's epoch re-run) keeps the already-bound slice, while
+    // a cross-process restore starts null and Gpu::replayTrace rebinds
+    // it via resumeReplay().
     for (auto &sched : schedulers_)
         sched->restore(des);
     des.endSection();

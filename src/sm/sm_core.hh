@@ -150,6 +150,29 @@ class SmCore : public SimComponent, public LdstClient, public VtCtaQuery
      *  to a per-Gpu Perfetto writer; null disables. */
     void setTraceJson(telemetry::TraceJsonWriter *writer);
 
+    // --- Memory-trace record/replay (mem/mtrace.hh) -------------------------
+
+    /** Record mode: stream every coalesced global transaction and
+     *  barrier arrival of this SM to @p writer; null disables. */
+    void setMtrace(MtraceWriter *writer);
+
+    /**
+     * Enter replay mode: instead of executing warps, this SM injects
+     * @p slice — the trace's access records for this SM, cycles
+     * relative to the launch marker — into its LDST unit on schedule.
+     * @p base is the simulation cycle that corresponds to trace
+     * cycle 0. The SM admits no CTAs in this mode and is idle once the
+     * cursor and the memory system drain.
+     */
+    void beginReplay(const std::vector<MtraceAccess> *slice, Cycle base);
+
+    /** Re-attach the (unserialized) trace slice after a checkpoint
+     *  restore; the restored cursor and base pick up where the
+     *  recording left off. */
+    void resumeReplay(const std::vector<MtraceAccess> *slice);
+
+    bool replaying() const { return replayMode_; }
+
     // --- Sharded-epoch support (docs/ARCHITECTURE.md "Sharded
     // simulation") -----------------------------------------------------------
 
@@ -338,6 +361,18 @@ class SmCore : public SimComponent, public LdstClient, public VtCtaQuery
 #endif
     }
 
+    /** Cross-check every micro-op execution against the legacy
+     *  interpreter (always in assert-enabled builds; release builds
+     *  opt in via GpuConfig::microOracle). */
+    bool microOracleEnabled() const
+    {
+#ifndef NDEBUG
+        return true;
+#else
+        return config_.microOracle;
+#endif
+    }
+
     SmId id_;
     const GpuConfig &config_;
     const Kernel *kernel_ = nullptr;
@@ -427,6 +462,21 @@ class SmCore : public SimComponent, public LdstClient, public VtCtaQuery
     bool epochLogging_ = false;
     std::vector<EpochMemOp> epochMemLog_;
     std::thread::id epochOwner_{};
+
+    /** Record-mode sink (not machine state, never checkpointed). */
+    MtraceWriter *mtrace_ = nullptr;
+    /** Replay mode: drive the LDST unit from a trace slice instead of
+     *  executing warps. The cursor and base are machine state (saved in
+     *  "smcr"); the slice pointer is rebound on restore. */
+    bool replayMode_ = false;
+    const std::vector<MtraceAccess> *replay_ = nullptr;
+    std::uint64_t replayCursor_ = 0;
+    Cycle replayBase_ = 0;
+
+    /** Reusable ExecResult the micro-op fast path fills per issue, so
+     *  the hot loop never allocates access vectors. Plain scratch: not
+     *  machine state, never checkpointed. */
+    ExecResult execScratch_;
 };
 
 inline bool
