@@ -6,10 +6,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string_view>
 
 #include "common/log.hh"
+#include "service/json.hh"
+#include "telemetry/profiler.hh"
 
 namespace vtsim::bench {
 
@@ -44,6 +47,52 @@ parseSimThreads(const char *text, const char *origin)
                     origin, " (expected an integer >= 1)");
     }
     return static_cast<unsigned>(n);
+}
+
+/**
+ * The vtsim-profile-v1 document: where @p result's wall time went, per
+ * simulation phase, as attributed by the run's SimProfiler.
+ */
+void
+writeProfileJson(const std::string &path, const Gpu &gpu,
+                 const std::string &workload_name,
+                 const RunResult &result)
+{
+    const telemetry::SimProfiler *prof = gpu.profiler();
+    if (!prof)
+        return;
+    using service::Json;
+    Json::Array buckets;
+    for (const auto &b : prof->report()) {
+        Json::Object o;
+        o["name"] = Json(b.name);
+        o["seconds"] = Json(b.seconds);
+        o["measured_ns"] = Json(b.measuredNs);
+        o["calls"] = Json(b.calls);
+        o["sampled"] = Json(b.sampled);
+        buckets.push_back(Json(std::move(o)));
+    }
+    const double run_s = prof->runSeconds();
+    const double attributed = prof->attributedSeconds();
+    Json::Object doc;
+    doc["schema"] = Json("vtsim-profile-v1");
+    doc["workload"] = Json(workload_name);
+    doc["cycles"] = Json(result.stats.cycles);
+    doc["wall_seconds"] = Json(result.wallSeconds);
+    doc["run_seconds"] = Json(run_s);
+    doc["attributed_seconds"] = Json(attributed);
+    doc["attributed_fraction"] =
+        Json(run_s > 0.0 ? attributed / run_s : 0.0);
+    doc["clock_cost_ns"] = Json(prof->clockCostNs());
+    doc["executed_cycles"] = Json(prof->executedCycles());
+    doc["sampled_cycles"] = Json(prof->sampledCycles());
+    doc["executed_epochs"] = Json(prof->executedEpochs());
+    doc["sampled_epochs"] = Json(prof->sampledEpochs());
+    doc["buckets"] = Json(std::move(buckets));
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        VTSIM_FATAL("cannot open profile-json file '", path, "'");
+    os << Json(std::move(doc)).dump() << '\n';
 }
 
 } // namespace
@@ -95,6 +144,10 @@ parseTelemetryArgs(int argc, char **argv)
             opts.replayTracePath = argv[++i];
         else if (arg.substr(0, 15) == "--replay-trace=")
             opts.replayTracePath = argv[i] + 15;
+        else if (arg == "--profile-json" && i + 1 < argc)
+            opts.profileJsonPath = argv[++i];
+        else if (arg.substr(0, 15) == "--profile-json=")
+            opts.profileJsonPath = argv[i] + 15;
     }
     if (!opts.recordTracePath.empty() && !opts.replayTracePath.empty())
         VTSIM_FATAL("--record-trace and --replay-trace are mutually "
@@ -174,6 +227,8 @@ runWorkloadOn(Gpu &gpu, const std::string &workload_name,
         gpu.setCheckpoint(indexedPath(g_telemetry.checkpointPath,
                                       run_index),
                           g_telemetry.checkpointEvery);
+    if (!g_telemetry.profileJsonPath.empty())
+        gpu.enableProfiler();
 
     if (!g_telemetry.replayTracePath.empty()) {
         // Trace replay drives the memory system from the recorded
@@ -194,6 +249,10 @@ runWorkloadOn(Gpu &gpu, const std::string &workload_name,
                      " (replay)\n",
                      workload_name.c_str(), result.wallSeconds,
                      result.kcyclesPerSec());
+        if (!g_telemetry.profileJsonPath.empty())
+            writeProfileJson(indexedPath(g_telemetry.profileJsonPath,
+                                         run_index),
+                             gpu, workload_name, result);
         return result;
     }
 
@@ -238,6 +297,10 @@ runWorkloadOn(Gpu &gpu, const std::string &workload_name,
         VTSIM_FATAL("workload '", workload_name,
                     "' produced wrong results — timing numbers void");
     }
+    if (!g_telemetry.profileJsonPath.empty())
+        writeProfileJson(indexedPath(g_telemetry.profileJsonPath,
+                                     run_index),
+                         gpu, workload_name, result);
     return result;
 }
 

@@ -57,6 +57,14 @@ namespace vtsim::bench {
  *                             executes), timing/cache/DRAM statistics
  *                             are bit-identical to the recording run.
  *                             Mutually exclusive with --record-trace.
+ *   --profile-json <path>     per-run simulator self-profile
+ *                             (vtsim-profile-v1): wall-time attribution
+ *                             per simulation phase via the sampling
+ *                             SimProfiler (telemetry/profiler.hh); same
+ *                             <stem>.N<ext> naming as --trace-json.
+ *                             KernelStats stay bit-identical with it on
+ *                             and overhead is <2% (CI-enforced,
+ *                             scripts/bench_profile.py).
  */
 struct TelemetryOptions
 {
@@ -75,6 +83,8 @@ struct TelemetryOptions
     std::string recordTracePath;
     /** vtsim-mtrace-v1 input path (--replay-trace); empty = off. */
     std::string replayTracePath;
+    /** vtsim-profile-v1 output path (--profile-json); empty = off. */
+    std::string profileJsonPath;
 };
 
 /** Scan argv for the telemetry switches (unknown args are ignored). */

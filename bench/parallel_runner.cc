@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "common/logger.hh"
 #include "common/trace.hh"
 #include "service/stats_json.hh"
 #include "service/worker_pool.hh"
@@ -131,10 +132,9 @@ runAll(const std::vector<RunSpec> &specs, unsigned jobs)
                     const std::lock_guard<std::mutex> guard(error_mutex);
                     // Every failure is logged with its spec index, not
                     // just the one that gets rethrown.
-                    std::fprintf(stderr,
-                                 "[parallel-runner] spec %zu ('%s') "
-                                 "failed: %s\n",
-                                 i, spec.workload.c_str(), e.what());
+                    logging::error("parallel-runner", "spec ", i, " ('",
+                                   spec.workload, "') failed: ",
+                                   e.what());
                     if (!have_error) {
                         have_error = true;
                         error_index = i;
@@ -143,10 +143,9 @@ runAll(const std::vector<RunSpec> &specs, unsigned jobs)
                 } catch (...) {
                     arena.discard();
                     const std::lock_guard<std::mutex> guard(error_mutex);
-                    std::fprintf(stderr,
-                                 "[parallel-runner] spec %zu ('%s') "
-                                 "failed: unknown exception\n",
-                                 i, spec.workload.c_str());
+                    logging::error("parallel-runner", "spec ", i, " ('",
+                                   spec.workload,
+                                   "') failed: unknown exception");
                     if (!have_error) {
                         have_error = true;
                         error_index = i;
@@ -194,17 +193,21 @@ std::vector<RunResult>
 runAll(const std::vector<RunSpec> &specs, int argc, char **argv)
 {
     setTelemetryOptions(parseTelemetryArgs(argc, argv));
+    const auto start = std::chrono::steady_clock::now();
     auto results = runAll(specs, resolveJobs(argc, argv));
+    const double batch_wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
     const TelemetryOptions &opts = telemetryOptions();
     if (!opts.statsJsonPath.empty())
-        writeStatsJson(opts.statsJsonPath, specs, results);
+        writeStatsJson(opts.statsJsonPath, specs, results, batch_wall);
     return results;
 }
 
 void
 writeStatsJson(const std::string &path,
                const std::vector<RunSpec> &specs,
-               const std::vector<RunResult> &results)
+               const std::vector<RunResult> &results,
+               double batchWallSeconds)
 {
     VTSIM_ASSERT(specs.size() == results.size(),
                  "stats JSON with mismatched specs/results");
@@ -226,7 +229,31 @@ writeStatsJson(const std::string &path,
         run.intervalSeries = results[i].intervalSeries;
         runs.push_back(std::move(run));
     }
-    service::writeStatsJson(os, runs, /*service=*/nullptr);
+
+    // The batch header carries the [sim-rate]/[parallel-runner]
+    // stderr numbers in machine-readable form.
+    const TelemetryOptions &opts = telemetryOptions();
+    service::BatchMeta meta;
+    double wall = batchWallSeconds;
+    if (wall <= 0.0) {
+        for (const RunResult &r : results)
+            wall += r.wallSeconds;
+    }
+    meta.wallMs = wall * 1e3;
+    meta.simThreads = opts.simThreads;
+    if (!opts.execMode.empty())
+        meta.execMode = opts.execMode;
+    std::uint64_t cycles = 0;
+    std::uint64_t thread_instructions = 0;
+    for (const RunResult &r : results) {
+        cycles += r.stats.cycles;
+        thread_instructions += r.stats.threadInstructions;
+    }
+    if (wall > 0.0) {
+        meta.kcyclesPerSec = double(cycles) / wall / 1e3;
+        meta.mips = double(thread_instructions) / wall / 1e6;
+    }
+    service::writeStatsJson(os, runs, /*service=*/nullptr, meta);
 }
 
 } // namespace vtsim::bench

@@ -72,13 +72,17 @@ std::vector<RunResult> runAll(const std::vector<RunSpec> &specs,
                               int argc, char **argv);
 
 /**
- * Write the batch as "vtsim-stats-v1" JSON: one entry per run with the
+ * Write the batch as "vtsim-stats-v1" JSON: a batch header (host,
+ * wall_ms = @p batchWallSeconds, sim-threads/exec-mode switches and
+ * the aggregate [sim-rate] numbers), then one entry per run with the
  * workload, a config digest, verification flag, sim-rate numbers, the
- * full KernelStats and the interval series (when sampled).
+ * full KernelStats and the interval series (when sampled). Pass 0 for
+ * @p batchWallSeconds to fall back to the sum of per-run wall times.
  */
 void writeStatsJson(const std::string &path,
                     const std::vector<RunSpec> &specs,
-                    const std::vector<RunResult> &results);
+                    const std::vector<RunResult> &results,
+                    double batchWallSeconds = 0.0);
 
 } // namespace vtsim::bench
 

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Gate the simulator self-profiler: low overhead, honest attribution.
+
+Runs the FIG-3 suite sequentially (--jobs 1, the stable-timing
+configuration) twice — plain, and with --profile-json — and asserts:
+
+ 1. Overhead: the profiled wall is within --max-overhead-pct (default
+    2%) of the plain wall. The --repeats measurements of the two
+    configurations are *interleaved* (plain, profiled, plain, …) and
+    each side takes its best run: back-to-back blocks would fold
+    machine-load drift into the comparison, which on a shared runner
+    dwarfs the effect being measured.
+ 2. Attribution: summed over every run in the suite, the profiler's
+    extrapolated per-phase seconds cover at least --min-attributed
+    (default 0.95) of the profiled in-run wall, and at most
+    --max-attributed (default 1.10 — sampling error on sub-100ms runs
+    averages out over the suite but never vanishes).
+
+Emits BENCH_profile.json recording both measurements plus every
+per-run profile document, so a regression is diagnosable from the CI
+artifact alone.
+
+Standard library only. Usage:
+    bench_profile.py [--binary PATH] [--out PATH] [--repeats N]
+"""
+
+import argparse
+import glob
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def run_once(binary, extra_args):
+    start = time.perf_counter()
+    subprocess.run([binary, "--jobs", "1"] + extra_args, check=True,
+                   stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    return time.perf_counter() - start
+
+
+def interleaved_walls(binary, prof_args, repeats):
+    """Best plain and best profiled wall from alternating runs."""
+    plain, profiled = [], []
+    for _ in range(repeats):
+        plain.append(run_once(binary, []))
+        profiled.append(run_once(binary, prof_args))
+    return min(plain), min(profiled)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--binary", default="build/bench/fig3_vt_speedup")
+    parser.add_argument("--out", default="BENCH_profile.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--max-overhead-pct", type=float, default=2.0)
+    parser.add_argument("--min-attributed", type=float, default=0.95)
+    parser.add_argument("--max-attributed", type=float, default=1.10)
+    args = parser.parse_args()
+
+    binary = os.path.abspath(args.binary)
+    if not os.path.exists(binary):
+        print(f"error: no such binary {binary}", file=sys.stderr)
+        return 2
+
+    profiles = []
+    with tempfile.TemporaryDirectory(prefix="vtsim-profile-") as tmp:
+        prof_path = os.path.join(tmp, "prof.json")
+        plain_wall, profiled_wall = interleaved_walls(
+            binary, ["--profile-json", prof_path], args.repeats)
+        for path in sorted(glob.glob(os.path.join(tmp, "prof*.json"))):
+            profiles.append(json.loads(pathlib.Path(path).read_text()))
+
+    failures = []
+    if not profiles:
+        failures.append("no vtsim-profile-v1 documents were written")
+    for doc in profiles:
+        if doc.get("schema") != "vtsim-profile-v1":
+            failures.append(f"bad schema tag in profile: {doc.get('schema')}")
+
+    overhead_pct = (profiled_wall / plain_wall - 1.0) * 100.0
+    if overhead_pct > args.max_overhead_pct:
+        failures.append(
+            f"profiler overhead {overhead_pct:.2f}% exceeds "
+            f"{args.max_overhead_pct:.2f}% "
+            f"(plain {plain_wall:.3f}s, profiled {profiled_wall:.3f}s)")
+
+    attributed = sum(d["attributed_seconds"] for d in profiles)
+    run_wall = sum(d["run_seconds"] for d in profiles)
+    fraction = attributed / run_wall if run_wall else 0.0
+    if fraction < args.min_attributed:
+        failures.append(
+            f"attributed fraction {fraction:.3f} below "
+            f"{args.min_attributed:.2f}: the profiler is blind to part "
+            "of the loop")
+    if fraction > args.max_attributed:
+        failures.append(
+            f"attributed fraction {fraction:.3f} above "
+            f"{args.max_attributed:.2f}: extrapolation is fabricating "
+            "time")
+
+    doc = {
+        "schema": "vtsim-profile-bench-v1",
+        "binary": binary,
+        "repeats": args.repeats,
+        "plain_wall_seconds": plain_wall,
+        "profiled_wall_seconds": profiled_wall,
+        "overhead_pct": overhead_pct,
+        "attributed_seconds": attributed,
+        "run_seconds": run_wall,
+        "attributed_fraction": fraction,
+        "profiles": profiles,
+    }
+    pathlib.Path(args.out).write_text(json.dumps(doc, indent=1) + "\n")
+
+    print(f"plain {plain_wall:.3f}s, profiled {profiled_wall:.3f}s "
+          f"({overhead_pct:+.2f}%), attribution {fraction:.3f} over "
+          f"{len(profiles)} runs -> {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

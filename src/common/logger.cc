@@ -1,0 +1,98 @@
+#include "common/logger.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vtsim::logging {
+
+namespace {
+
+std::atomic<int> g_explicit_level{-1};
+
+Level
+envLevel()
+{
+    static const Level level = [] {
+        const char *env = std::getenv("VTSIM_LOG_LEVEL");
+        if (!env || !*env)
+            return Level::Info;
+        try {
+            return parseLevel(env);
+        } catch (const FatalError &) {
+            std::fprintf(stderr,
+                         "[logger] warn: ignoring unknown VTSIM_LOG_LEVEL "
+                         "'%s' (want debug|info|warn|error|off)\n",
+                         env);
+            return Level::Info;
+        }
+    }();
+    return level;
+}
+
+} // namespace
+
+Level
+level()
+{
+    const int explicit_level =
+        g_explicit_level.load(std::memory_order_relaxed);
+    if (explicit_level >= 0)
+        return Level(explicit_level);
+    return envLevel();
+}
+
+void
+setLevel(Level level)
+{
+    g_explicit_level.store(int(level), std::memory_order_relaxed);
+}
+
+Level
+parseLevel(const std::string &text)
+{
+    if (text == "debug")
+        return Level::Debug;
+    if (text == "info")
+        return Level::Info;
+    if (text == "warn")
+        return Level::Warn;
+    if (text == "error")
+        return Level::Error;
+    if (text == "off")
+        return Level::Off;
+    VTSIM_FATAL("unknown log level '", text,
+                "' (want debug|info|warn|error|off)");
+}
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Debug: return "debug";
+      case Level::Info: return "info";
+      case Level::Warn: return "warn";
+      case Level::Error: return "error";
+      case Level::Off: return "off";
+    }
+    return "?";
+}
+
+void
+message(Level level, const char *component, const std::string &text)
+{
+    // One pre-formatted fputs so concurrent writers (worker threads,
+    // the accept loop) never interleave mid-line.
+    std::string line;
+    line.reserve(text.size() + 32);
+    line += '[';
+    line += component;
+    line += "] ";
+    line += levelName(level);
+    line += ": ";
+    line += text;
+    line += '\n';
+    std::fputs(line.c_str(), stderr);
+}
+
+} // namespace vtsim::logging

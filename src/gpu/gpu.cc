@@ -222,6 +222,12 @@ Gpu::enableTraceJson(std::ostream &os)
 }
 
 void
+Gpu::enableProfiler()
+{
+    profiler_ = std::make_unique<telemetry::SimProfiler>();
+}
+
+void
 Gpu::attachTraceJson()
 {
     for (auto &sm : sms_) {
@@ -276,6 +282,7 @@ Gpu::reset()
     // them and detach the raw pointers the components hold.
     sampler_.reset();
     samplerFile_.reset();
+    profiler_.reset();
     if (traceJson_) {
         for (auto &sm : sms_)
             sm->setTraceJson(nullptr);
@@ -305,12 +312,18 @@ Gpu::oracleEnabled() const
 void
 Gpu::takeSample()
 {
+    const std::uint64_t t0 =
+        profiler_ ? telemetry::SimProfiler::nowNs() : 0;
     // Lazy SM windows may span the boundary; settling them here splits
     // the window without changing any total (sampleN's repeated-addition
     // contract), so fast-forwarded runs sample identical values.
     for (auto &sm : sms_)
         sm->flushFastForward();
     sampler_->sample(cycle_);
+    if (profiler_) {
+        profiler_->addDirect(telemetry::SimProfiler::Bucket::Sampler,
+                             telemetry::SimProfiler::nowNs() - t0);
+    }
 }
 
 void
@@ -371,6 +384,8 @@ Gpu::saveCheckpoint(std::vector<std::uint8_t> &out)
 void
 Gpu::writeCheckpoint()
 {
+    const std::uint64_t t0 =
+        profiler_ ? telemetry::SimProfiler::nowNs() : 0;
     std::vector<std::uint8_t> image;
     buildCheckpoint(image);
     std::ofstream out(checkpointPath_,
@@ -381,6 +396,11 @@ Gpu::writeCheckpoint()
               std::streamsize(image.size()));
     if (!out)
         VTSIM_FATAL("short write to checkpoint '", checkpointPath_, "'");
+    if (profiler_) {
+        profiler_->addDirect(
+            telemetry::SimProfiler::Bucket::CheckpointWrite,
+            telemetry::SimProfiler::nowNs() - t0);
+    }
 }
 
 LaunchParams
@@ -590,10 +610,14 @@ Gpu::replayTrace(const std::string &path)
 
     const Cycle start = launchStart_;
     const unsigned workers = effectiveSimThreads();
+    if (profiler_)
+        profiler_->beginRun();
     if (workers > 1)
         runSharded(kernel, workers);
     else
         runSequential(kernel);
+    if (profiler_)
+        profiler_->endRun();
 
     for (auto &sm : sms_)
         sm->flushFastForward();
@@ -699,10 +723,14 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
     }
     const Cycle start = launchStart_;
     const unsigned workers = effectiveSimThreads();
+    if (profiler_)
+        profiler_->beginRun();
     if (workers > 1)
         runSharded(kernel, workers);
     else
         runSequential(kernel);
+    if (profiler_)
+        profiler_->endRun();
 
     // Settle lazily skipped per-SM ticks before reading any statistic.
     for (auto &sm : sms_)
@@ -772,6 +800,22 @@ Gpu::effectiveSimThreads() const
 Gpu::StepResult
 Gpu::sequentialCycle(const Kernel &kernel, Cycle deadline)
 {
+    // Self-profiling measures every cycleCadence-th executed cycle;
+    // the LoopOther mark here closes the post-tick bookkeeping span so
+    // a measured cycle's phases tile its whole body (the directly
+    // timed spans inside — sampler, checkpoint, horizon settle —
+    // refresh the phase clock and are never double-counted).
+    if (profiler_ && profiler_->beginCycle()) {
+        const StepResult r = sequentialCycleBody(kernel, deadline, true);
+        profiler_->markPhase(telemetry::SimProfiler::Bucket::LoopOther);
+        return r;
+    }
+    return sequentialCycleBody(kernel, deadline, false);
+}
+
+Gpu::StepResult
+Gpu::sequentialCycleBody(const Kernel &kernel, Cycle deadline, bool prof)
+{
     CtaDispatcher &dispatcher = *dispatcher_;
 
     // CTA work distribution: one CTA per SM per cycle, round-robin.
@@ -791,12 +835,21 @@ Gpu::sequentialCycle(const Kernel &kernel, Cycle deadline)
         }
     }
 
+    if (prof)
+        profiler_->markPhase(telemetry::SimProfiler::Bucket::CtaAdmission);
     const std::uint64_t issued_before = totalIssued();
     noc_.tick(cycle_);
+    if (prof)
+        profiler_->markPhase(telemetry::SimProfiler::Bucket::NocTick);
     for (auto &p : partitions_)
         p->tick(cycle_);
+    if (prof)
+        profiler_->markPhase(
+            telemetry::SimProfiler::Bucket::PartitionTick);
     for (auto &sm : sms_)
         sm->tick(cycle_);
+    if (prof)
+        profiler_->markPhase(telemetry::SimProfiler::Bucket::SmTick);
 
     ++cycle_;
     if (sampler_ && cycle_ == sampler_->nextSampleAt())
@@ -845,7 +898,16 @@ Gpu::sequentialCycle(const Kernel &kernel, Cycle deadline)
     const Cycle horizon = horizon_.target(cycle_, deadline);
     if (horizon <= cycle_)
         return StepResult::Running;
-    horizon_.advance(cycle_, horizon, oracleEnabled());
+    {
+        const std::uint64_t t0 =
+            profiler_ ? telemetry::SimProfiler::nowNs() : 0;
+        horizon_.advance(cycle_, horizon, oracleEnabled());
+        if (profiler_) {
+            profiler_->addDirect(
+                telemetry::SimProfiler::Bucket::HorizonSettle,
+                telemetry::SimProfiler::nowNs() - t0);
+        }
+    }
     cycle_ = horizon;
     if (cycle_ >= deadline) {
         VTSIM_FATAL("watchdog: kernel '", kernel.name(), "' exceeded ",
@@ -1003,7 +1065,14 @@ Gpu::runSharded(const Kernel &kernel, unsigned workers)
         std::fill(part_delta.begin(), part_delta.end(),
                   Interconnect::PortDelta{});
 
+        // Profile every epochCadence-th epoch: per-worker compute time
+        // (each worker stamps its own slot; the runEpoch barrier orders
+        // the reads) and the serial barrier below as one merge span.
+        const bool prof_epoch =
+            profiler_ && profiler_->beginEpoch(workers);
         const auto epoch_work = [&](unsigned w) {
+            const std::uint64_t w0 =
+                prof_epoch ? telemetry::SimProfiler::nowNs() : 0;
             for (std::uint32_t p = 0; p < partitions_.size(); ++p) {
                 if (!pool_->owns(w, p))
                     continue;
@@ -1052,8 +1121,14 @@ Gpu::runSharded(const Kernel &kernel, unsigned workers)
                     ep.stopCycle = tend;
                 sm.setEpochOwner({});
             }
+            if (prof_epoch) {
+                profiler_->recordWorkerNs(
+                    w, telemetry::SimProfiler::nowNs() - w0);
+            }
         };
         pool_->runEpoch(epoch_work);
+        if (prof_epoch)
+            profiler_->finishEpochCompute();
 
         // --- Epoch barrier: everything below is driver-only. ---------
 
@@ -1169,6 +1244,10 @@ Gpu::runSharded(const Kernel &kernel, unsigned workers)
         if (config_.shardOracle)
             verifyShardEpoch(pre_images, pre_dispatched, tstart, catch_to);
         mergeTraceStages();
+        if (prof_epoch) {
+            profiler_->markPhase(
+                telemetry::SimProfiler::Bucket::EpochMerge);
+        }
 
         cycle_ = done ? end_cycle : tend;
         if (sampler_ && cycle_ == sampler_->nextSampleAt())
@@ -1207,7 +1286,16 @@ Gpu::runSharded(const Kernel &kernel, unsigned workers)
         const Cycle horizon = horizon_.target(cycle_, deadline);
         if (horizon <= cycle_)
             continue;
-        horizon_.advance(cycle_, horizon, oracleEnabled());
+        {
+            const std::uint64_t t0 =
+                profiler_ ? telemetry::SimProfiler::nowNs() : 0;
+            horizon_.advance(cycle_, horizon, oracleEnabled());
+            if (profiler_) {
+                profiler_->addDirect(
+                    telemetry::SimProfiler::Bucket::HorizonSettle,
+                    telemetry::SimProfiler::nowNs() - t0);
+            }
+        }
         cycle_ = horizon;
         if (cycle_ >= deadline) {
             VTSIM_FATAL("watchdog: kernel '", kernel.name(),

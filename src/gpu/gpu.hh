@@ -32,6 +32,7 @@
 #include "sim/event_horizon.hh"
 #include "sm/sm_core.hh"
 #include "telemetry/interval_sampler.hh"
+#include "telemetry/profiler.hh"
 #include "telemetry/stat_registry.hh"
 #include "telemetry/trace_json.hh"
 
@@ -245,6 +246,17 @@ class Gpu
     void enableTraceJson(const std::string &path);
     void enableTraceJson(std::ostream &os);
 
+    /**
+     * Attribute wall time of subsequent launches to simulation phases
+     * (telemetry/profiler.hh). Per-run wiring like the sampler:
+     * reset() drops it. The profiler only reads the clock — enabling
+     * it never changes simulated state, and KernelStats stay
+     * bit-identical (tests/test_telemetry.cc asserts this).
+     */
+    void enableProfiler();
+    const telemetry::SimProfiler *profiler() const
+    { return profiler_.get(); }
+
   private:
     /** Test seam: tests/test_sharded_sim.cc reaches the shard-oracle
      *  internals through this to prove the oracle detects divergence. */
@@ -266,8 +278,12 @@ class Gpu
      *  component count; 1 while the textual Trace facade is active). */
     unsigned effectiveSimThreads() const;
     /** One iteration of the sequential launch loop: admission, ticks,
-     *  sampler/checkpoint boundaries, watchdog, fast-forward. */
+     *  sampler/checkpoint boundaries, watchdog, fast-forward. The
+     *  wrapper decides whether the self-profiler measures this cycle;
+     *  @p prof tells the body to bracket its phases. */
     StepResult sequentialCycle(const Kernel &kernel, Cycle deadline);
+    StepResult sequentialCycleBody(const Kernel &kernel, Cycle deadline,
+                                   bool prof);
     void runSequential(const Kernel &kernel);
     /** The sharded epoch driver (tentpole of the --sim-threads mode). */
     void runSharded(const Kernel &kernel, unsigned workers);
@@ -349,6 +365,7 @@ class Gpu
     std::unique_ptr<std::ofstream> samplerFile_;
     std::unique_ptr<telemetry::IntervalSampler> sampler_;
     std::unique_ptr<telemetry::TraceJsonWriter> traceJson_;
+    std::unique_ptr<telemetry::SimProfiler> profiler_;
 
     // Sharded-simulation state (setSimThreads). The pool persists across
     // launches; the stages exist only while a sharded launch is running

@@ -1,7 +1,6 @@
 #include "service/daemon.hh"
 
 #include <cerrno>
-#include <cstdio>
 #include <cstring>
 #include <filesystem>
 
@@ -9,6 +8,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/logger.hh"
 #include "service/protocol.hh"
 
 namespace vtsim::service {
@@ -64,6 +64,8 @@ Daemon::start()
         throw std::runtime_error("listen('" + path_ +
                                  "'): " + std::strerror(errno));
     }
+    if (EventLog *log = service_.eventLog())
+        log->emit("listening", {{"socket", Json(path_)}});
 }
 
 void
@@ -76,8 +78,13 @@ Daemon::serve()
                 break;
             if (errno == EINTR || errno == ECONNABORTED)
                 continue;
-            std::fprintf(stderr, "[vtsimd] accept(): %s\n",
-                         std::strerror(errno));
+            logging::error("vtsimd", "accept(): ",
+                           std::strerror(errno));
+            if (EventLog *log = service_.eventLog()) {
+                log->emit("accept_error",
+                          {{"error",
+                            Json(std::string(std::strerror(errno)))}});
+            }
             break;
         }
         if (stop_.load(std::memory_order_relaxed)) {
@@ -208,6 +215,15 @@ Daemon::handleLine(int fd, const std::string &line)
             Json::Object o;
             o["ok"] = Json(true);
             o["op"] = Json("ping");
+            return sendLine(fd, Json(std::move(o)).dump());
+          }
+          case Request::Op::Metrics: {
+            // The Prometheus text (multi-line) rides inside the JSON
+            // string: NDJSON framing keeps the reply one line.
+            Json::Object o;
+            o["ok"] = Json(true);
+            o["op"] = Json("metrics");
+            o["body"] = Json(service_.metricsText());
             return sendLine(fd, Json(std::move(o)).dump());
           }
           case Request::Op::Shutdown: {

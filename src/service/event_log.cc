@@ -1,0 +1,53 @@
+#include "service/event_log.hh"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace vtsim::service {
+
+EventLog::EventLog(const std::string &path)
+    : path_(path), opened_(std::chrono::steady_clock::now()),
+      os_(path, std::ios::out | std::ios::trunc)
+{
+    if (!os_)
+        VTSIM_FATAL("cannot open event log '", path, "'");
+    emit("log_open", {{"pid", Json(std::int64_t(::getpid()))}});
+}
+
+double
+EventLog::elapsedMs() const
+{
+    const auto now = std::chrono::steady_clock::now();
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now - opened_);
+    return double(us.count()) / 1000.0;
+}
+
+std::uint64_t
+EventLog::emit(const char *event, Json::Object fields)
+{
+    // t_ms is stamped inside the lock so file order is also time order.
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t seq = nextSeq_++;
+    fields["v"] = Json("vtsim-evlog-v1");
+    fields["seq"] = Json(seq);
+    fields["t_ms"] = Json(elapsedMs());
+    fields["event"] = Json(event);
+    os_ << Json(std::move(fields)).dump() << '\n';
+    os_.flush();
+    return seq;
+}
+
+std::uint64_t
+EventLog::emitJob(const char *event, std::uint64_t job, std::uint64_t parent,
+                  Json::Object fields)
+{
+    fields["job"] = Json(job);
+    fields["parent"] = Json(parent);
+    return emit(event, std::move(fields));
+}
+
+} // namespace vtsim::service

@@ -191,6 +191,8 @@ parseRequest(const std::string &line)
         req.op = Request::Op::Status;
     } else if (name == "ping") {
         req.op = Request::Op::Ping;
+    } else if (name == "metrics") {
+        req.op = Request::Op::Metrics;
     } else if (name == "shutdown") {
         req.op = Request::Op::Shutdown;
     } else {

@@ -13,6 +13,7 @@
  *   {"op":"status"}                    -> service telemetry snapshot
  *   {"op":"cancel","job":N}            -> {"ok":true} (queued/parked only)
  *   {"op":"ping"}                      -> {"ok":true,"op":"ping"}
+ *   {"op":"metrics"}                   -> {"ok":true,"body":<Prometheus text>}
  *   {"op":"shutdown"}                  -> {"ok":true,"state":"draining"}
  *
  * Submit fields: workload (required), scale, priority
@@ -44,7 +45,8 @@ class ProtocolError : public std::runtime_error
 
 struct Request
 {
-    enum class Op { Submit, Wait, Query, Status, Cancel, Ping, Shutdown };
+    enum class Op
+    { Submit, Wait, Query, Status, Cancel, Ping, Metrics, Shutdown };
 
     Op op = Op::Ping;
     JobSpec spec;                          ///< Submit only.

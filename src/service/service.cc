@@ -1,13 +1,14 @@
 #include "service/service.hh"
 
 #include <algorithm>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "common/log.hh"
+#include "common/logger.hh"
 #include "service/protocol.hh"
+#include "telemetry/prometheus.hh"
 #include "workloads/workload.hh"
 
 namespace vtsim::service {
@@ -56,6 +57,10 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/** Worker-track process and job-track process ids of the job trace. */
+constexpr std::uint32_t kTraceWorkersPid = 0;
+constexpr std::uint32_t kTraceJobsPid = 1;
+
 } // namespace
 
 JobService::JobService(ServiceConfig config)
@@ -94,7 +99,49 @@ JobService::JobService(ServiceConfig config)
                           "admission-to-first-start latency per job");
     statsGroup_.addScalar("job_kcycles_per_sec", &jobKcyclesPerSec_,
                           "simulation rate per completed job");
+    statsGroup_.addScalar("queue_wait_seconds", &queueWaitSeconds_,
+                          "queue wait per start or resume");
+    statsGroup_.addScalar("run_seconds", &runSliceSeconds_,
+                          "worker-occupancy per run slice");
+    statsGroup_.addScalar("preempt_to_resume_seconds",
+                          &preemptResumeSeconds_,
+                          "park-to-resume latency per preemption");
+    statsGroup_.addScalar("checkpoint_write_seconds",
+                          &checkpointWriteSeconds_,
+                          "serialize-and-spool time per parked image");
+    statsGroup_.addHistogram("queue_wait_seconds_hist", &queueWaitHist_,
+                             "queue-wait distribution (50 ms buckets)");
+    statsGroup_.addHistogram("run_seconds_hist", &runSliceHist_,
+                             "run-slice distribution (100 ms buckets)");
+    statsGroup_.addHistogram("preempt_to_resume_seconds_hist",
+                             &preemptResumeHist_,
+                             "park-to-resume distribution (50 ms "
+                             "buckets)");
+    statsGroup_.addHistogram("checkpoint_write_seconds_hist",
+                             &checkpointWriteHist_,
+                             "checkpoint-write distribution (5 ms "
+                             "buckets)");
     registry_.addGroup(statsGroup_);
+
+    if (!config_.eventLogPath.empty()) {
+        evlog_ = std::make_unique<EventLog>(config_.eventLogPath);
+        evlog_->emit(
+            "service_start",
+            {{"workers", Json(unsigned(config_.workers))},
+             {"queue_limit", Json(std::uint64_t(config_.queueLimit))},
+             {"preempt_every",
+              Json(std::uint64_t(config_.preemptEvery))}});
+    }
+    if (!config_.jobTracePath.empty()) {
+        jobTrace_ = std::make_unique<telemetry::TraceJsonWriter>(
+            config_.jobTracePath);
+        jobTrace_->processName(kTraceWorkersPid, "vtsimd workers");
+        jobTrace_->processName(kTraceJobsPid, "vtsimd jobs");
+        for (unsigned w = 0; w < config_.workers; ++w) {
+            jobTrace_->threadName(kTraceWorkersPid, w,
+                                  "worker " + std::to_string(w));
+        }
+    }
 
     pool_ = std::make_unique<WorkerPool>(
         config_.workers,
@@ -113,13 +160,22 @@ JobService::shutdown()
 {
     {
         std::lock_guard<std::mutex> lk(mu_);
+        if (!shuttingDown_ && evlog_)
+            evlog_->emit("drain");
         shuttingDown_ = true;
         workCv_.notify_all();
     }
     // call_once blocks concurrent callers until the drain completes,
     // so shutdown() is safe from the daemon's connection threads and
     // the destructor at once.
-    std::call_once(shutdownOnce_, [this] { pool_->join(); });
+    std::call_once(shutdownOnce_, [this] {
+        pool_->join();
+        if (evlog_)
+            evlog_->emit("service_stop");
+        std::lock_guard<std::mutex> lk(traceMu_);
+        if (jobTrace_)
+            jobTrace_->close();
+    });
     std::lock_guard<std::mutex> lk(mu_);
     joined_ = true;
 }
@@ -128,8 +184,24 @@ JobService::SubmitOutcome
 JobService::submit(const JobSpec &spec, Priority priority)
 {
     SubmitOutcome out;
+    // The submit event precedes admission: rejected submissions still
+    // appear in the log, with the reject line's parent pointing here.
+    std::uint64_t submit_seq = 0;
+    if (evlog_) {
+        submit_seq = evlog_->emit(
+            "submit", {{"workload", Json(spec.workload)},
+                       {"scale", Json(spec.scale)},
+                       {"priority", Json(toString(priority))}});
+    }
+    const auto reject = [&](const std::string &reason) {
+        if (evlog_) {
+            evlog_->emit("reject", {{"parent", Json(submit_seq)},
+                                    {"reason", Json(reason)}});
+        }
+    };
     if (spec.workload.empty()) {
         out.error = "workload must not be empty";
+        reject(out.error);
         return out;
     }
     try {
@@ -138,18 +210,21 @@ JobService::submit(const JobSpec &spec, Priority priority)
         makeWorkload(spec.workload, 0);
     } catch (const std::exception &e) {
         out.error = e.what();
+        reject(out.error);
         return out;
     }
     if (spec.simThreads > config_.maxSimThreads) {
         out.error = "sim_threads " + std::to_string(spec.simThreads) +
                     " exceeds this service's limit of " +
                     std::to_string(config_.maxSimThreads);
+        reject(out.error);
         return out;
     }
 
     std::lock_guard<std::mutex> lk(mu_);
     if (shuttingDown_) {
         out.rejected = "shutting_down";
+        reject(out.rejected);
         return out;
     }
     auto record = std::make_unique<JobRecord>();
@@ -158,16 +233,27 @@ JobService::submit(const JobSpec &spec, Priority priority)
     record->priority = priority;
     record->spec = spec;
     record->submitted = std::chrono::steady_clock::now();
+    record->lastQueuedAt = record->submitted;
     if (!queue_.admit(record.get())) {
         ++rejectedFull_;
         out.rejected = "queue_full";
+        reject(out.rejected);
         return out;
     }
     ++nextId_;
     ++nextSeq_;
     ++submitted_;
     out.id = record->id;
+    JobRecord &job = *record;
     jobs_.emplace(out.id, std::move(record));
+    job.lastEventSeq = submit_seq;
+    eventLocked(job, "admit",
+                {{"workload", Json(job.spec.workload)},
+                 {"scale", Json(job.spec.scale)},
+                 {"priority", Json(toString(job.priority))}});
+    traceJobThread(job);
+    traceJobInstant(job.id, "submit");
+    traceJobBegin(job.id, "queued");
     noteQueueDepthLocked();
     maybePreempt(priority);
     workCv_.notify_one();
@@ -202,6 +288,9 @@ JobService::maybePreempt(Priority priority)
     if (!victim)
         return;
     victim->preemptSignalled = true;
+    eventLocked(*victim->job, "preempt",
+                {{"by_priority", Json(toString(priority))}});
+    traceJobInstant(victim->job->id, "preempt");
     // The Gpu appears in the slot once the worker has acquired its
     // arena; before that, runJob sees preemptSignalled and arms the
     // request itself.
@@ -218,8 +307,26 @@ JobService::nextTask(WorkerPool::Task &out, unsigned worker)
                      [this] { return shuttingDown_ || !queue_.empty(); });
         JobRecord *job = queue_.pop();
         if (job) {
-            if (job->state == JobState::Parked)
+            const bool was_parked = job->state == JobState::Parked;
+            if (was_parked)
                 --parkedJobs_;
+            const double wait = secondsSince(job->lastQueuedAt);
+            queueWaitSeconds_.sample(wait);
+            queueWaitHist_.sample(wait);
+            if (was_parked) {
+                preemptResumeSeconds_.sample(wait);
+                preemptResumeHist_.sample(wait);
+                eventLocked(*job, "resume",
+                            {{"worker", Json(worker)},
+                             {"wait_ms", Json(wait * 1e3)}});
+            } else {
+                eventLocked(*job, "start",
+                            {{"worker", Json(worker)},
+                             {"attempt", Json(job->retries + 1)},
+                             {"wait_ms", Json(wait * 1e3)}});
+            }
+            traceJobEnd(job->id); // Close the queued/parked span.
+            traceJobBegin(job->id, "running");
             job->state = JobState::Running;
             running_[worker] = RunningSlot{job, nullptr, false};
             ++runningJobs_;
@@ -248,6 +355,8 @@ JobService::runJob(GpuArena &arena, JobRecord &job, unsigned worker)
     bool slice_accounted = false;
     bool inject = false;
     std::ostringstream interval;
+    traceWorkerBegin(worker, "job " + std::to_string(job.id) + " " +
+                                 job.spec.workload);
     try {
         auto workload = makeWorkload(job.spec.workload, job.spec.scale);
         const Kernel kernel = workload->buildKernel();
@@ -314,12 +423,14 @@ JobService::runJob(GpuArena &arena, JobRecord &job, unsigned worker)
         slice_seconds = secondsSince(t0);
 
         if (gpu.preempted()) {
-            parkImage(job, gpu);
+            parkImage(job, gpu, worker);
             {
                 std::lock_guard<std::mutex> lk(mu_);
                 job.wallSeconds += slice_seconds;
                 job.intervalSeries += interval.str();
                 busySeconds_ += slice_seconds;
+                runSliceSeconds_.sample(slice_seconds);
+                runSliceHist_.sample(slice_seconds);
                 slice_accounted = true;
                 if (inject)
                     ++job.injectedFailures;
@@ -335,6 +446,12 @@ JobService::runJob(GpuArena &arena, JobRecord &job, unsigned worker)
             ++job.preemptions;
             ++preemptions_;
             ++parkedJobs_;
+            job.lastQueuedAt = std::chrono::steady_clock::now();
+            eventLocked(job, "park",
+                        {{"slice_ms", Json(slice_seconds * 1e3)}});
+            traceJobEnd(job.id); // Close the running span.
+            traceJobBegin(job.id, "parked");
+            traceWorkerEnd(worker);
             queue_.readmit(&job);
             noteQueueDepthLocked();
             workCv_.notify_one();
@@ -365,6 +482,8 @@ JobService::runJob(GpuArena &arena, JobRecord &job, unsigned worker)
         job.wallSeconds += slice_seconds;
         job.intervalSeries += interval.str();
         busySeconds_ += slice_seconds;
+        runSliceSeconds_.sample(slice_seconds);
+        runSliceHist_.sample(slice_seconds);
         job.stats = stats;
         job.verified = verified;
         job.maxSimtDepth = depth;
@@ -376,12 +495,21 @@ JobService::runJob(GpuArena &arena, JobRecord &job, unsigned worker)
                 jobKcyclesPerSec_.sample(double(stats.cycles) /
                                          job.wallSeconds / 1e3);
             }
+            eventLocked(job, "finish",
+                        {{"cycles", Json(stats.cycles)},
+                         {"wall_ms", Json(job.wallSeconds * 1e3)},
+                         {"verified", Json(true)}});
         } else {
             // Deterministic wrong answers: retrying cannot help.
             job.state = JobState::Failed;
             job.failureReason = "verification failed: wrong results";
             ++failed_;
+            eventLocked(job, "fail",
+                        {{"reason", Json(job.failureReason)}});
         }
+        traceJobEnd(job.id); // Close the running span.
+        traceJobInstant(job.id, verified ? "finish" : "fail");
+        traceWorkerEnd(worker);
         doneCv_.notify_all();
     } catch (const std::exception &e) {
         // Whatever threw may have left the Gpu mid-launch: never reuse
@@ -395,25 +523,36 @@ JobService::runJob(GpuArena &arena, JobRecord &job, unsigned worker)
                 slice_seconds = secondsSince(run_start);
             job.wallSeconds += slice_seconds;
             busySeconds_ += slice_seconds;
+            runSliceSeconds_.sample(slice_seconds);
+            runSliceHist_.sample(slice_seconds);
         }
+        eventLocked(job, "crash",
+                    {{"attempt", Json(job.retries + 1)},
+                     {"reason", Json(std::string(e.what()))}});
+        traceJobEnd(job.id); // Close the running span.
+        traceJobInstant(job.id, "crash");
+        traceWorkerEnd(worker);
         if (job.retries < 1) {
             ++job.retries;
             ++retries_;
-            if (job.checkpointFile.empty()) {
+            const bool from_ckpt = !job.checkpointFile.empty();
+            if (!from_ckpt) {
                 // From-scratch rerun regenerates the whole series; a
                 // checkpointed rerun resumes where the parked slices
                 // left off, so those stay.
                 job.intervalSeries.clear();
             }
-            std::fprintf(stderr,
-                         "[vtsimd] job %llu attempt failed (%s); "
-                         "retrying from %s\n",
-                         static_cast<unsigned long long>(job.id),
-                         e.what(),
-                         job.checkpointFile.empty()
-                             ? "scratch"
-                             : job.checkpointFile.c_str());
+            logging::warn("vtsimd", "job ", job.id,
+                          " attempt failed (", e.what(),
+                          "); retrying from ",
+                          from_ckpt ? job.checkpointFile.c_str()
+                                    : "scratch");
+            eventLocked(job, "retry",
+                        {{"from", Json(from_ckpt ? "checkpoint"
+                                                 : "scratch")}});
             job.state = JobState::Queued;
+            job.lastQueuedAt = std::chrono::steady_clock::now();
+            traceJobBegin(job.id, "queued");
             queue_.readmit(&job);
             noteQueueDepthLocked();
             workCv_.notify_one();
@@ -422,36 +561,49 @@ JobService::runJob(GpuArena &arena, JobRecord &job, unsigned worker)
             job.failureReason = e.what();
             ++failed_;
             dropSpoolFile(job);
-            std::fprintf(stderr,
-                         "[vtsimd] job %llu failed permanently: %s\n",
-                         static_cast<unsigned long long>(job.id),
-                         e.what());
+            logging::error("vtsimd", "job ", job.id,
+                           " failed permanently: ", e.what());
+            eventLocked(job, "fail",
+                        {{"reason", Json(job.failureReason)}});
             doneCv_.notify_all();
         }
     }
 }
 
 void
-JobService::parkImage(JobRecord &job, Gpu &gpu)
+JobService::parkImage(JobRecord &job, Gpu &gpu, unsigned worker)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::uint8_t> image;
     gpu.saveCheckpoint(image);
     std::error_code ec;
     std::filesystem::create_directories(config_.spoolDir, ec);
     const std::string path =
         config_.spoolDir + "/job-" + std::to_string(job.id) + ".ckpt";
+    traceWorkerBegin(worker, "checkpoint-write"); // Nested in the slice.
     std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    if (!os)
-        throw std::runtime_error("cannot open spool file '" + path + "'");
+    if (!os) {
+        traceWorkerEnd(worker);
+        throw std::runtime_error("cannot open spool file '" + path +
+                                 "'");
+    }
     os.write(reinterpret_cast<const char *>(image.data()),
              std::streamsize(image.size()));
     os.flush();
+    traceWorkerEnd(worker);
     if (!os)
         throw std::runtime_error("short write to spool file '" + path +
                                  "'");
     // Only the owning worker touches checkpointFile while the job runs
     // (cancel refuses running jobs), so no lock is needed here.
     job.checkpointFile = path;
+    const double write_seconds = secondsSince(t0);
+    std::lock_guard<std::mutex> lk(mu_);
+    checkpointWriteSeconds_.sample(write_seconds);
+    checkpointWriteHist_.sample(write_seconds);
+    eventLocked(job, "checkpoint",
+                {{"bytes", Json(std::uint64_t(image.size()))},
+                 {"write_ms", Json(write_seconds * 1e3)}});
 }
 
 JobSnapshot
@@ -503,6 +655,9 @@ JobService::cancel(JobId id, std::string &error)
     dropSpoolFile(job);
     job.state = JobState::Cancelled;
     ++cancelled_;
+    eventLocked(job, "cancel");
+    traceJobEnd(job.id); // Close the queued/parked span.
+    traceJobInstant(job.id, "cancel");
     noteQueueDepthLocked();
     doneCv_.notify_all();
     return true;
@@ -535,6 +690,91 @@ JobService::noteQueueDepthLocked()
 {
     queueDepth_ = queue_.depth();
     maxQueueDepth_ = std::max(maxQueueDepth_, queueDepth_);
+}
+
+void
+JobService::eventLocked(JobRecord &job, const char *event,
+                        Json::Object fields)
+{
+    if (!evlog_)
+        return;
+    job.lastEventSeq =
+        evlog_->emitJob(event, job.id, job.lastEventSeq,
+                        std::move(fields));
+}
+
+Cycle
+JobService::traceNowUs() const
+{
+    return Cycle(std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - started_)
+                     .count());
+}
+
+void
+JobService::traceWorkerBegin(unsigned worker, const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(traceMu_);
+    if (jobTrace_) {
+        jobTrace_->begin(kTraceWorkersPid, worker, traceNowUs(), name,
+                         "worker");
+    }
+}
+
+void
+JobService::traceWorkerEnd(unsigned worker)
+{
+    std::lock_guard<std::mutex> lk(traceMu_);
+    if (jobTrace_)
+        jobTrace_->end(kTraceWorkersPid, worker, traceNowUs());
+}
+
+void
+JobService::traceJobBegin(JobId id, const char *phase)
+{
+    std::lock_guard<std::mutex> lk(traceMu_);
+    if (jobTrace_) {
+        jobTrace_->begin(kTraceJobsPid, std::uint32_t(id), traceNowUs(),
+                         phase, "job");
+    }
+}
+
+void
+JobService::traceJobEnd(JobId id)
+{
+    std::lock_guard<std::mutex> lk(traceMu_);
+    if (jobTrace_)
+        jobTrace_->end(kTraceJobsPid, std::uint32_t(id), traceNowUs());
+}
+
+void
+JobService::traceJobInstant(JobId id, const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(traceMu_);
+    if (jobTrace_) {
+        jobTrace_->instant(kTraceJobsPid, std::uint32_t(id),
+                           traceNowUs(), name, "job");
+    }
+}
+
+void
+JobService::traceJobThread(const JobRecord &job)
+{
+    std::lock_guard<std::mutex> lk(traceMu_);
+    if (jobTrace_) {
+        jobTrace_->threadName(kTraceJobsPid, std::uint32_t(job.id),
+                              "job " + std::to_string(job.id) + " (" +
+                                  job.spec.workload + ")");
+    }
+}
+
+std::string
+JobService::metricsText() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::ostringstream os;
+    telemetry::writePrometheus(os, registry_);
+    return os.str();
 }
 
 Json

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "service/event_log.hh"
 #include "service/job.hh"
 #include "service/job_queue.hh"
 #include "service/json.hh"
@@ -47,6 +48,7 @@
 #include "service/worker_pool.hh"
 #include "stats/stats.hh"
 #include "telemetry/stat_registry.hh"
+#include "telemetry/trace_json.hh"
 
 namespace vtsim::service {
 
@@ -69,10 +71,17 @@ struct JobRecord
     std::string failureReason;
 
     std::chrono::steady_clock::time_point submitted;
+    /** When the job last (re)entered the queue — admission, parking,
+     *  or a retry readmit; start/resume events report the wait since. */
+    std::chrono::steady_clock::time_point lastQueuedAt;
     bool everStarted = false;
     double waitSeconds = 0.0;
     double wallSeconds = 0.0;
     std::string intervalSeries;
+
+    /** seq of this job's latest event-log line (0 before the first);
+     *  the next event carries it as "parent" — per-job causality. */
+    std::uint64_t lastEventSeq = 0;
 
     // Terminal result (state == Done).
     KernelStats stats;
@@ -102,6 +111,20 @@ struct ServiceConfig
      * already run concurrently and the two multiply.
      */
     unsigned maxSimThreads = 4;
+    /**
+     * JSONL lifecycle event log (vtsim-evlog-v1, service/event_log.hh);
+     * empty = disabled. Every submit/admit/start/preempt/park/resume/
+     * crash/retry/finish transition is one line with per-job causality.
+     */
+    std::string eventLogPath;
+    /**
+     * Perfetto trace of job lifecycles (telemetry/trace_json.hh);
+     * empty = disabled. Process 0 has one thread per worker (run
+     * slices, nested checkpoint writes); process 1 has one thread per
+     * job (queued/running/parked phase spans plus instants).
+     * Timestamps are wall-clock microseconds since service start.
+     */
+    std::string jobTracePath;
 };
 
 class JobService
@@ -156,6 +179,17 @@ class JobService
     const telemetry::StatRegistry &telemetryRegistry() const
     { return registry_; }
 
+    /**
+     * The full registry in Prometheus text format (the `metrics` op
+     * body and the --metrics-file payload). Takes the service lock, so
+     * the scrape is a consistent snapshot.
+     */
+    std::string metricsText() const;
+
+    /** The lifecycle event log, or nullptr (the daemon logs accept
+     *  errors and its listening socket through it). */
+    EventLog *eventLog() { return evlog_.get(); }
+
   private:
     struct RunningSlot
     {
@@ -167,11 +201,27 @@ class JobService
     bool nextTask(WorkerPool::Task &out, unsigned worker);
     void runJob(GpuArena &arena, JobRecord &job, unsigned worker);
     /** Park @p gpu's state for @p job in the spool dir. */
-    void parkImage(JobRecord &job, Gpu &gpu);
+    void parkImage(JobRecord &job, Gpu &gpu, unsigned worker);
     /** Preempt the weakest running job if @p priority must wait. */
     void maybePreempt(Priority priority);
     JobSnapshot snapshotLocked(const JobRecord &job) const;
     void noteQueueDepthLocked();
+
+    /** Event-log emit chained through @p job.lastEventSeq; no-op when
+     *  the log is disabled. Caller holds mu_ (lastEventSeq access). */
+    void eventLocked(JobRecord &job, const char *event,
+                     Json::Object fields = {});
+
+    // Job-trace helpers: TraceJsonWriter is not thread-safe, so every
+    // write goes through traceMu_; all are no-ops without a trace.
+    Cycle traceNowUs() const;
+    void traceWorkerBegin(unsigned worker, const std::string &name);
+    void traceWorkerEnd(unsigned worker);
+    void traceJobBegin(JobId id, const char *phase);
+    void traceJobEnd(JobId id);
+    void traceJobInstant(JobId id, const std::string &name);
+    /** Name the job's thread track on its first trace event. */
+    void traceJobThread(const JobRecord &job);
 
     ServiceConfig config_;
 
@@ -204,9 +254,25 @@ class JobService
     std::uint64_t maxQueueDepth_ = 0;
     ScalarStat waitSeconds_;           ///< Per first start.
     ScalarStat jobKcyclesPerSec_;      ///< Per completed job.
+    // Latency distributions (ScalarStat for count/sum/min/max plus a
+    // fixed-width Histogram under "<name>_hist" for percentiles; the
+    // Prometheus exporter emits both families).
+    ScalarStat queueWaitSeconds_;      ///< Every start/resume.
+    ScalarStat runSliceSeconds_;       ///< Every run slice.
+    ScalarStat preemptResumeSeconds_;  ///< Park-to-resume latency.
+    ScalarStat checkpointWriteSeconds_;
+    Histogram queueWaitHist_{20, 0.05};
+    Histogram runSliceHist_{20, 0.1};
+    Histogram preemptResumeHist_{20, 0.05};
+    Histogram checkpointWriteHist_{20, 0.005};
     double busySeconds_ = 0.0;
     StatGroup statsGroup_{"service"};
     telemetry::StatRegistry registry_;
+
+    std::unique_ptr<EventLog> evlog_;
+    /** Serializes every jobTrace_ write (workers race otherwise). */
+    mutable std::mutex traceMu_;
+    std::unique_ptr<telemetry::TraceJsonWriter> jobTrace_;
 
     // Construction order: pool_ last so worker threads only start once
     // every member above is initialized; shutdown() joins it first.

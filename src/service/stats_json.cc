@@ -3,7 +3,22 @@
 #include <cstdio>
 #include <sstream>
 
+#include <unistd.h>
+
 namespace vtsim::service {
+
+namespace {
+
+std::string
+currentHost()
+{
+    char buf[256] = {};
+    if (::gethostname(buf, sizeof(buf) - 1) != 0)
+        return "unknown";
+    return buf[0] ? buf : "unknown";
+}
+
+} // namespace
 
 std::string
 jsonDouble(double v)
@@ -23,9 +38,18 @@ jsonDouble(double v)
 
 void
 writeStatsJson(std::ostream &os, const std::vector<RunRecord> &runs,
-               const Json *service)
+               const Json *service, const BatchMeta &meta)
 {
-    os << "{\n  \"schema\": \"vtsim-stats-v1\",\n";
+    const std::string host =
+        meta.host.empty() ? currentHost() : meta.host;
+    os << "{\n  \"schema\": \"vtsim-stats-v1\",\n"
+       << "  \"host\": " << Json(host).dump() << ",\n"
+       << "  \"wall_ms\": " << jsonDouble(meta.wallMs) << ",\n"
+       << "  \"sim_threads\": " << meta.simThreads << ",\n"
+       << "  \"exec_mode\": " << Json(meta.execMode).dump() << ",\n"
+       << "  \"kcycles_per_sec\": " << jsonDouble(meta.kcyclesPerSec)
+       << ",\n"
+       << "  \"mips\": " << jsonDouble(meta.mips) << ",\n";
     if (service)
         os << "  \"service\": " << service->dump() << ",\n";
     os << "  \"runs\": [\n";

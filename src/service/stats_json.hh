@@ -54,13 +54,37 @@ struct RunRecord
 std::string jsonDouble(double v);
 
 /**
- * Write the whole document: schema tag, the optional @p service
- * section (pass nullptr for plain batch output), then one entry per
- * run in order.
+ * Batch-level header metadata (vtsim-stats-v1 since the observability
+ * PR): which host produced the document, how long the whole batch
+ * took, and the batch-aggregate simulation rate — the same numbers the
+ * [sim-rate]/[parallel-runner] stderr lines report, now machine-
+ * readable.
+ */
+struct BatchMeta
+{
+    /** Producing host; empty = filled via gethostname() at write. */
+    std::string host;
+    /** Whole-batch wall time (parallel runs overlap, so this is not
+     *  the sum of per-run wall_seconds). */
+    double wallMs = 0.0;
+    /** Per-run shard threads (--sim-threads); 0 = sequential. */
+    unsigned simThreads = 0;
+    /** "microcode" | "legacy" | "default" (no --exec override). */
+    std::string execMode = "default";
+    /** Batch simulated kilocycles per host-second. */
+    double kcyclesPerSec = 0.0;
+    /** Batch millions of thread instructions per host-second. */
+    double mips = 0.0;
+};
+
+/**
+ * Write the whole document: schema tag, the batch header (@p meta),
+ * the optional @p service section (pass nullptr for plain batch
+ * output), then one entry per run in order.
  */
 void writeStatsJson(std::ostream &os,
                     const std::vector<RunRecord> &runs,
-                    const Json *service);
+                    const Json *service, const BatchMeta &meta);
 
 } // namespace vtsim::service
 

@@ -1,9 +1,9 @@
 #include "service/worker_pool.hh"
 
-#include <cstdio>
 #include <exception>
 
 #include "common/log.hh"
+#include "common/logger.hh"
 
 namespace vtsim::service {
 
@@ -52,16 +52,12 @@ WorkerPool::workerLoop(unsigned worker)
             // Tasks own their error handling (see file comment); a
             // throw escaping one is a bug, but a service worker must
             // survive it.
-            std::fprintf(stderr,
-                         "[worker-pool] BUG: task on worker %u threw: "
-                         "%s\n",
-                         worker, e.what());
+            logging::error("worker-pool", "BUG: task on worker ",
+                           worker, " threw: ", e.what());
             arena.discard();
         } catch (...) {
-            std::fprintf(stderr,
-                         "[worker-pool] BUG: task on worker %u threw a "
-                         "non-exception\n",
-                         worker);
+            logging::error("worker-pool", "BUG: task on worker ",
+                           worker, " threw a non-exception");
             arena.discard();
         }
         task = nullptr; // Release captured state between tasks.

@@ -1,0 +1,167 @@
+#include "telemetry/profiler.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace vtsim::telemetry {
+
+namespace {
+
+enum class Kind : std::uint8_t { CycleSampled, EpochSampled, Direct };
+
+struct BucketInfo
+{
+    const char *name;
+    Kind kind;
+};
+
+// Indexed by Bucket; keep in enum order.
+constexpr BucketInfo kBuckets[SimProfiler::kBucketCount] = {
+    {"cta_admission", Kind::CycleSampled},
+    {"noc_tick", Kind::CycleSampled},
+    {"mem_partition_tick", Kind::CycleSampled},
+    {"sm_tick", Kind::CycleSampled},
+    {"loop_other", Kind::CycleSampled},
+    {"shard_compute", Kind::EpochSampled},
+    {"shard_imbalance", Kind::EpochSampled},
+    {"epoch_merge", Kind::EpochSampled},
+    {"horizon_settle", Kind::Direct},
+    {"sampler", Kind::Direct},
+    {"checkpoint_write", Kind::Direct},
+    {"descheduled", Kind::Direct},
+};
+
+bool
+powerOfTwo(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+const char *
+SimProfiler::bucketName(Bucket b)
+{
+    return kBuckets[std::size_t(b)].name;
+}
+
+SimProfiler::SimProfiler(std::uint32_t cycleCadence,
+                         std::uint32_t epochCadence)
+    : cycleCadence_(cycleCadence), epochCadence_(epochCadence)
+{
+    VTSIM_ASSERT(powerOfTwo(cycleCadence_) && powerOfTwo(epochCadence_),
+                 "profiler cadences must be powers of two, got ",
+                 cycleCadence_, "/", epochCadence_);
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+        const std::string name = kBuckets[i].name;
+        group_.addValue(name + "_ns", &ns_[i],
+                        "measured wall nanoseconds in " + name);
+        group_.addValue(name + "_calls", &calls_[i],
+                        "measurements folded into " + name);
+    }
+    group_.addValue("executed_cycles", &cycles_,
+                    "loop-body executions seen by the profiler");
+    group_.addValue("sampled_cycles", &sampledCycles_,
+                    "loop-body executions that were measured");
+    group_.addValue("executed_epochs", &epochs_,
+                    "sharded epochs seen by the profiler");
+    group_.addValue("sampled_epochs", &sampledEpochs_,
+                    "sharded epochs that were measured");
+    registry_.addGroup(group_);
+
+    // Calibrate the steady_clock read cost. Every markPhase interval in
+    // a sampled cycle ends with one nowNs() whose cost lands inside the
+    // interval, and extrapolation multiplies that bias by the cadence —
+    // enough to over-attribute short phases by tens of percent. report()
+    // subtracts calls * clockCostNs_ from sampled buckets before
+    // scaling.
+    constexpr int kProbes = 4096;
+    const std::uint64_t t0 = nowNs();
+    for (int i = 0; i < kProbes; ++i)
+        (void)nowNs();
+    clockCostNs_ = double(nowNs() - t0) / kProbes;
+}
+
+void
+SimProfiler::beginRun()
+{
+    runStartNs_ = nowNs();
+}
+
+void
+SimProfiler::endRun()
+{
+    runNs_ += nowNs() - runStartNs_;
+}
+
+void
+SimProfiler::finishEpochCompute()
+{
+    std::uint64_t max_ns = 0;
+    for (std::uint64_t ns : workerNs_)
+        max_ns = std::max(max_ns, ns);
+    std::uint64_t imbalance = 0;
+    for (std::uint64_t ns : workerNs_)
+        imbalance += max_ns - ns;
+    ns_[std::size_t(Bucket::ShardCompute)] += max_ns;
+    ++calls_[std::size_t(Bucket::ShardCompute)];
+    if (!workerNs_.empty()) {
+        ns_[std::size_t(Bucket::ShardImbalance)] += imbalance;
+        ++calls_[std::size_t(Bucket::ShardImbalance)];
+    }
+    lastMark_ = nowNs();
+}
+
+double
+SimProfiler::scaleFor(Bucket b) const
+{
+    switch (kBuckets[std::size_t(b)].kind) {
+      case Kind::CycleSampled:
+        return sampledCycles_ ? double(cycles_) / double(sampledCycles_)
+                              : 0.0;
+      case Kind::EpochSampled:
+        return sampledEpochs_ ? double(epochs_) / double(sampledEpochs_)
+                              : 0.0;
+      case Kind::Direct:
+        return 1.0;
+    }
+    return 1.0;
+}
+
+std::vector<SimProfiler::BucketReport>
+SimProfiler::report() const
+{
+    std::vector<BucketReport> out;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+        if (!calls_[i])
+            continue;
+        const Bucket b = Bucket(i);
+        BucketReport r;
+        r.bucket = b;
+        r.name = kBuckets[i].name;
+        r.measuredNs = ns_[i];
+        r.calls = calls_[i];
+        r.sampled = kBuckets[i].kind != Kind::Direct;
+        // Remove the per-interval clock-read cost from sampled buckets
+        // — the bias would otherwise be scaled up by the cadence.
+        double net_ns = double(ns_[i]);
+        if (r.sampled)
+            net_ns = std::max(0.0,
+                              net_ns - double(calls_[i]) * clockCostNs_);
+        r.seconds = net_ns * 1e-9 * scaleFor(b);
+        out.push_back(r);
+    }
+    return out;
+}
+
+double
+SimProfiler::attributedSeconds() const
+{
+    double total = 0.0;
+    for (const auto &r : report())
+        total += r.seconds;
+    return total;
+}
+
+} // namespace vtsim::telemetry

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Simulator self-profiler: wall-time attribution per simulation phase.
+ *
+ * Answers "where did this run's wall time go" with three kinds of
+ * buckets, all reported in one place:
+ *
+ *   cycle-sampled   the phases of the per-cycle loop body (CTA
+ *                   admission, NoC tick, memory-partition ticks, SM
+ *                   ticks, loop bookkeeping). Timestamping every cycle
+ *                   would dominate the loop, so only every
+ *                   cycleCadence-th executed cycle is measured and the
+ *                   measured time is extrapolated by
+ *                   executed / measured cycles.
+ *   epoch-sampled   the phases of the sharded-run epoch protocol
+ *                   (--sim-threads): per-epoch worker compute (max
+ *                   across workers), shard imbalance (sum of
+ *                   max - worker over workers — wall time lost to
+ *                   uneven shards), and the serial merge barrier.
+ *                   Sampled every epochCadence-th epoch, extrapolated
+ *                   the same way.
+ *   direct          rare, lumpy events timed on every occurrence:
+ *                   event-horizon settles (fast-forward jumps),
+ *                   interval-sampler samples, checkpoint writes.
+ *
+ * The profiler only ever reads the clock — it never touches simulator
+ * state, so enabling it cannot perturb KernelStats (tests assert
+ * bit-identity with it on). Overhead at the default cadences is a
+ * handful of steady_clock reads per 64 cycles, well under the 2%
+ * budget CI enforces (scripts/bench_profile.py).
+ *
+ * Buckets are registered in an owned StatGroup/StatRegistry
+ * ("profiler.<bucket>_ns", raw measured nanoseconds plus measurement
+ * counts), so dump/export machinery sees the same naming scheme as
+ * every other stat; report() adds the extrapolation for the
+ * vtsim-profile-v1 JSON written by --profile-json (bench_common).
+ */
+
+#ifndef VTSIM_TELEMETRY_PROFILER_HH
+#define VTSIM_TELEMETRY_PROFILER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/stats.hh"
+#include "telemetry/stat_registry.hh"
+
+namespace vtsim::telemetry {
+
+class SimProfiler
+{
+  public:
+    enum class Bucket : std::uint8_t
+    {
+        // Cycle-sampled loop phases (Gpu::sequentialCycle order).
+        CtaAdmission = 0,
+        NocTick,
+        PartitionTick,
+        SmTick,
+        LoopOther,
+        // Epoch-sampled sharded-run phases (Gpu::runSharded).
+        ShardCompute,
+        ShardImbalance,
+        EpochMerge,
+        // Direct (every occurrence).
+        HorizonSettle,
+        Sampler,
+        CheckpointWrite,
+        /** Wall time the OS stole from a sampled interval (see
+         * markPhase): real, but must not be extrapolated. */
+        Descheduled,
+        kCount,
+    };
+
+    static constexpr std::size_t kBucketCount = std::size_t(Bucket::kCount);
+
+    /** Fixed JSON/metric spelling, e.g. "sm_tick". */
+    static const char *bucketName(Bucket b);
+
+    /** Cadences must be powers of two (masked, not divided). */
+    explicit SimProfiler(std::uint32_t cycleCadence = 64,
+                         std::uint32_t epochCadence = 16);
+
+    static std::uint64_t
+    nowNs()
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    }
+
+    /** Whole-run window (Gpu::launch wraps its run drivers in one). */
+    void beginRun();
+    void endRun();
+    double runSeconds() const { return double(runNs_) * 1e-9; }
+
+    /**
+     * Count one executed loop cycle; true when this cycle is measured
+     * (the caller then brackets each phase with markPhase). Also
+     * stamps the phase clock.
+     */
+    bool
+    beginCycle()
+    {
+        // Sample the *last* cycle of each cadence block: cycle 0 right
+        // after reset/prepare runs on cold caches and would bias the
+        // extrapolation upward.
+        const bool measure =
+            (cycles_++ & (cycleCadence_ - 1)) == cycleCadence_ - 1;
+        if (measure) {
+            ++sampledCycles_;
+            lastMark_ = nowNs();
+        }
+        return measure;
+    }
+
+    /** A sampled interval this long was interrupted by the OS: loop
+     * phases are sub-10µs, scheduler timeslices are ≥1ms. */
+    static constexpr std::uint64_t kDescheduledNs = 250'000;
+
+    /** Close the current phase of a measured cycle/epoch into @p b.
+     * Intervals that clearly contain an OS deschedule go to the
+     * Descheduled bucket instead — one 3ms glitch extrapolated by the
+     * cadence would otherwise fabricate ~0.2s of phase time. */
+    void
+    markPhase(Bucket b)
+    {
+        const std::uint64_t now = nowNs();
+        const std::uint64_t dt = now - lastMark_;
+        const std::size_t slot = dt > kDescheduledNs
+                                     ? std::size_t(Bucket::Descheduled)
+                                     : std::size_t(b);
+        ns_[slot] += dt;
+        ++calls_[slot];
+        lastMark_ = now;
+    }
+
+    /** Count one epoch; true when this epoch is measured. */
+    bool
+    beginEpoch(std::uint32_t workers)
+    {
+        const bool measure = (epochs_++ & (epochCadence_ - 1)) == 0;
+        if (measure) {
+            ++sampledEpochs_;
+            workerNs_.assign(workers, 0);
+        }
+        return measure;
+    }
+
+    /** Worker @p w's compute time for a measured epoch (own slot —
+     * safe to call concurrently from distinct workers). */
+    void recordWorkerNs(std::uint32_t w, std::uint64_t ns)
+    { workerNs_[w] = ns; }
+
+    /**
+     * Fold a measured epoch's worker times into ShardCompute (the max:
+     * the epoch's critical path) and ShardImbalance (sum of
+     * max - worker), then stamp the phase clock so the caller can
+     * markPhase(EpochMerge) after the serial barrier section.
+     */
+    void finishEpochCompute();
+
+    /** Direct-timed events. Also refreshes the phase clock: a direct
+     * span inside a measured cycle (sampler, checkpoint, settle) must
+     * not be re-counted by that cycle's next markPhase. */
+    void
+    addDirect(Bucket b, std::uint64_t ns)
+    {
+        ns_[std::size_t(b)] += ns;
+        ++calls_[std::size_t(b)];
+        lastMark_ = nowNs();
+    }
+
+    struct BucketReport
+    {
+        Bucket bucket;
+        const char *name;
+        /** Extrapolated wall seconds attributed to this bucket. */
+        double seconds = 0.0;
+        /** Raw measured nanoseconds (before extrapolation). */
+        std::uint64_t measuredNs = 0;
+        std::uint64_t calls = 0;
+        bool sampled = false;
+    };
+
+    /** Per-bucket attribution; zero-measurement buckets are omitted. */
+    std::vector<BucketReport> report() const;
+
+    /** Sum of report() seconds — compare against runSeconds(). */
+    double attributedSeconds() const;
+
+    /** Calibrated cost of one nowNs() read (see ctor). */
+    double clockCostNs() const { return clockCostNs_; }
+
+    std::uint64_t executedCycles() const { return cycles_; }
+    std::uint64_t sampledCycles() const { return sampledCycles_; }
+    std::uint64_t executedEpochs() const { return epochs_; }
+    std::uint64_t sampledEpochs() const { return sampledEpochs_; }
+
+    /** Raw buckets under "profiler.*" paths (same registry machinery
+     * as every simulator stat). */
+    const StatRegistry &registry() const { return registry_; }
+
+  private:
+    double scaleFor(Bucket b) const;
+
+    std::uint32_t cycleCadence_;
+    std::uint32_t epochCadence_;
+
+    std::uint64_t ns_[kBucketCount] = {};
+    std::uint64_t calls_[kBucketCount] = {};
+
+    std::uint64_t cycles_ = 0;
+    std::uint64_t sampledCycles_ = 0;
+    std::uint64_t epochs_ = 0;
+    std::uint64_t sampledEpochs_ = 0;
+
+    std::uint64_t lastMark_ = 0;
+    std::uint64_t runStartNs_ = 0;
+    std::uint64_t runNs_ = 0;
+    double clockCostNs_ = 0.0;
+
+    std::vector<std::uint64_t> workerNs_;
+
+    StatGroup group_{"profiler"};
+    StatRegistry registry_;
+};
+
+} // namespace vtsim::telemetry
+
+#endif // VTSIM_TELEMETRY_PROFILER_HH

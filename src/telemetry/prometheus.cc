@@ -1,0 +1,87 @@
+#include "telemetry/prometheus.hh"
+
+#include <cctype>
+#include <cstdio>
+
+namespace vtsim::telemetry {
+
+namespace {
+
+/** Shortest %g form that still round-trips doubles well enough for a
+ * scrape (Prometheus reads any C float literal). */
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+family(std::ostream &os, const std::string &name, const std::string &path,
+       const char *type)
+{
+    os << "# HELP " << name << " vtsim registry probe " << path << '\n';
+    os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+} // namespace
+
+std::string
+prometheusName(const std::string &prefix, const std::string &path)
+{
+    std::string name = prefix;
+    name += '_';
+    for (char c : path) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        name += ok ? c : '_';
+    }
+    return name;
+}
+
+void
+writePrometheus(std::ostream &os, const StatRegistry &registry,
+                const std::string &prefix)
+{
+    for (const auto &probe : registry.scalars()) {
+        if (probe.counter) {
+            const std::string name =
+                prometheusName(prefix, probe.path) + "_total";
+            family(os, name, probe.path, "counter");
+            os << name << ' ' << probe.read() << '\n';
+        } else {
+            const std::string name = prometheusName(prefix, probe.path);
+            family(os, name, probe.path, "gauge");
+            os << name << ' ' << probe.read() << '\n';
+        }
+    }
+    for (const auto &probe : registry.dists()) {
+        const std::string name = prometheusName(prefix, probe.path);
+        const ScalarStat &stat = *probe.stat;
+        family(os, name + "_count", probe.path, "gauge");
+        os << name << "_count " << stat.count() << '\n';
+        family(os, name + "_sum", probe.path, "gauge");
+        os << name << "_sum " << num(stat.sum()) << '\n';
+        family(os, name + "_min", probe.path, "gauge");
+        os << name << "_min " << num(stat.minValue()) << '\n';
+        family(os, name + "_max", probe.path, "gauge");
+        os << name << "_max " << num(stat.maxValue()) << '\n';
+    }
+    for (const auto &probe : registry.hists()) {
+        const std::string name = prometheusName(prefix, probe.path);
+        const Histogram &hist = *probe.stat;
+        family(os, name, probe.path, "histogram");
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < hist.bucketCount(); ++i) {
+            cumulative += hist.bucket(i);
+            os << name << "_bucket{le=\""
+               << num(double(i + 1) * hist.bucketWidth()) << "\"} "
+               << cumulative << '\n';
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << hist.total() << '\n';
+        os << name << "_count " << hist.total() << '\n';
+    }
+}
+
+} // namespace vtsim::telemetry

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Prometheus text-format exposition of a StatRegistry.
+ *
+ * One naming scheme for simulator and service metrics: a registry
+ * probe at dotted path "service.jobs_submitted" becomes the metric
+ * family "vtsim_service_jobs_submitted" ('.' and any other character
+ * outside [a-zA-Z0-9_] map to '_'; the prefix keeps names valid and
+ * grep-able). Per probe kind:
+ *
+ *   Counter probe   <name>_total                  TYPE counter
+ *   value probe     <name>                        TYPE gauge
+ *   ScalarStat      <name>_count/_sum/_min/_max   TYPE gauge each
+ *   Histogram       <name>_bucket{le="..."} (cumulative, fixed-width
+ *                   edges plus le="+Inf") and <name>_count
+ *                                                 TYPE histogram
+ *
+ * Histogram families intentionally omit <name>_sum — vtsim Histograms
+ * track per-bucket counts only; pair each with a ScalarStat under a
+ * distinct name when a sum is needed (JobService does).
+ *
+ * Every family gets a "# HELP" line carrying the original dotted
+ * path, so a scrape can be mapped back to registry probes exactly.
+ */
+
+#ifndef VTSIM_TELEMETRY_PROMETHEUS_HH
+#define VTSIM_TELEMETRY_PROMETHEUS_HH
+
+#include <ostream>
+#include <string>
+
+#include "telemetry/stat_registry.hh"
+
+namespace vtsim::telemetry {
+
+/** Sanitized "<prefix>_<dotted path>" metric family name. */
+std::string prometheusName(const std::string &prefix,
+                           const std::string &path);
+
+/** Write every probe of @p registry in Prometheus text format. */
+void writePrometheus(std::ostream &os, const StatRegistry &registry,
+                     const std::string &prefix = "vtsim");
+
+} // namespace vtsim::telemetry
+
+#endif // VTSIM_TELEMETRY_PROMETHEUS_HH

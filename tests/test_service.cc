@@ -498,6 +498,51 @@ TEST(JobService, TelemetryAndCompletedRuns)
     EXPECT_TRUE(found);
 }
 
+TEST(JobService, MetricsTextExportsServiceRegistry)
+{
+    ServiceConfig config;
+    config.workers = 1;
+    config.spoolDir = tempSpool("metrics");
+    JobService service(config);
+
+    JobSpec tiny;
+    tiny.workload = "vecadd";
+    tiny.scale = 0;
+    const auto a = service.submit(tiny, Priority::Normal);
+    const auto b = service.submit(tiny, Priority::Normal);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    service.wait(a.id);
+    service.wait(b.id);
+
+    const std::string text = service.metricsText();
+    // Counters get the Prometheus _total suffix and a typed family.
+    EXPECT_NE(text.find("# TYPE vtsim_service_jobs_completed_total "
+                        "counter\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("vtsim_service_jobs_completed_total 2\n"),
+              std::string::npos)
+        << text;
+    // Both completed jobs were sampled by the latency distributions
+    // and their histograms (cumulative buckets end at +Inf == count).
+    EXPECT_NE(text.find("vtsim_service_queue_wait_seconds_count 2\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("vtsim_service_run_seconds_count 2\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(
+        text.find("vtsim_service_run_seconds_hist_bucket{le=\"+Inf\"} 2"),
+        std::string::npos)
+        << text;
+    // Nothing was preempted: the distribution exists but is empty.
+    EXPECT_NE(
+        text.find("vtsim_service_preempt_to_resume_seconds_count 0\n"),
+        std::string::npos)
+        << text;
+}
+
 // --------------------------------------------------------------------
 // Daemon wire protocol (Unix-domain socket)
 // --------------------------------------------------------------------
@@ -633,6 +678,37 @@ TEST_F(DaemonTest, SubmitWaitQueryOverTheWire)
     const Json status = roundTrip("{\"op\":\"status\"}");
     EXPECT_TRUE(status.find("ok")->asBool());
     EXPECT_GE(status.find("jobs")->find("completed")->asInt(), 1);
+}
+
+TEST_F(DaemonTest, MetricsOpOverTheWire)
+{
+    // The multi-line Prometheus text rides inside the one-line NDJSON
+    // reply as a string body.
+    const Json reply = roundTrip("{\"op\":\"metrics\"}");
+    ASSERT_TRUE(reply.find("ok")->asBool());
+    EXPECT_EQ(reply.find("op")->asString(), "metrics");
+    const Json *body = reply.find("body");
+    ASSERT_NE(body, nullptr);
+    ASSERT_TRUE(body->isString());
+    const std::string &text = body->asString();
+    EXPECT_NE(text.find("# TYPE vtsim_service_jobs_submitted_total "
+                        "counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("vtsim_service_queue_depth 0\n"),
+              std::string::npos);
+
+    // The scrape reflects work as it happens.
+    const Json submitted = roundTrip(
+        "{\"op\":\"submit\",\"workload\":\"vecadd\",\"scale\":0}");
+    ASSERT_TRUE(submitted.find("ok")->asBool());
+    Json::Object wait;
+    wait["op"] = Json("wait");
+    wait["job"] = Json(submitted.find("job")->asInt());
+    roundTrip(Json(std::move(wait)).dump());
+    const Json after = roundTrip("{\"op\":\"metrics\"}");
+    EXPECT_NE(after.find("body")->asString().find(
+                  "vtsim_service_jobs_completed_total 1\n"),
+              std::string::npos);
 }
 
 } // namespace

@@ -373,16 +373,64 @@ TEST(TraceJson, ParsesAndDurationEventsNest)
     }
 }
 
+TEST(SimProfiler, AttributesRunTimeWithoutPerturbingStats)
+{
+    KernelStats stats[2];
+    double attributed = 0.0;
+    for (int prof = 0; prof < 2; ++prof) {
+        Gpu gpu(smallVtConfig());
+        if (prof)
+            gpu.enableProfiler();
+        stats[prof] = launchOn(gpu, "bfs");
+        if (!prof)
+            continue;
+        const telemetry::SimProfiler *p = gpu.profiler();
+        ASSERT_NE(p, nullptr);
+        // Fast-forward skips loop bodies, so executed <= simulated.
+        EXPECT_GT(p->executedCycles(), 0u);
+        EXPECT_LE(p->executedCycles(), stats[1].cycles);
+        EXPECT_GT(p->sampledCycles(), 0u);
+        EXPECT_LE(p->sampledCycles(), p->executedCycles());
+        const auto report = p->report();
+        ASSERT_FALSE(report.empty());
+        bool sawSmTick = false;
+        for (const auto &r : report) {
+            EXPECT_GE(r.seconds, 0.0) << r.name;
+            EXPECT_GT(r.calls, 0u) << r.name;
+            sawSmTick |= std::string(r.name) == "sm_tick";
+        }
+        EXPECT_TRUE(sawSmTick);
+        EXPECT_GT(p->runSeconds(), 0.0);
+        attributed = p->attributedSeconds();
+        EXPECT_GT(attributed, 0.0);
+        // The raw buckets ride the standard registry machinery.
+        bool found = false;
+        for (const auto &probe : p->registry().scalars())
+            found |= probe.path == "profiler.sm_tick_ns";
+        EXPECT_TRUE(found);
+    }
+    // The profiler only reads the clock: identical simulation either
+    // way. (Attribution *accuracy* is asserted statistically over the
+    // whole fig3 suite by scripts/bench_profile.py, not per tiny run.)
+    EXPECT_EQ(stats[0].cycles, stats[1].cycles);
+    EXPECT_EQ(stats[0].warpInstructions, stats[1].warpInstructions);
+    EXPECT_EQ(stats[0].l2Misses, stats[1].l2Misses);
+    EXPECT_EQ(stats[0].dramBytes, stats[1].dramBytes);
+    EXPECT_EQ(stats[0].swapOuts, stats[1].swapOuts);
+    EXPECT_EQ(stats[0].stalls.memStall, stats[1].stalls.memStall);
+}
+
 TEST(TelemetryArgs, ParsesEverySwitchForm)
 {
     const char *argv[] = {"bin", "--stats-json", "a.json",
                           "--stats-interval=500", "--trace-json=t.json",
-                          "--jobs", "4"};
+                          "--profile-json=p.json", "--jobs", "4"};
     const bench::TelemetryOptions opts = bench::parseTelemetryArgs(
-        7, const_cast<char **>(argv));
+        8, const_cast<char **>(argv));
     EXPECT_EQ(opts.statsJsonPath, "a.json");
     EXPECT_EQ(opts.statsInterval, 500u);
     EXPECT_EQ(opts.traceJsonPath, "t.json");
+    EXPECT_EQ(opts.profileJsonPath, "p.json");
 
     const char *argv2[] = {"bin", "--stats-interval", "64",
                            "--trace-json", "out.json"};

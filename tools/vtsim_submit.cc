@@ -4,7 +4,7 @@
  *
  * Usage:
  *   vtsim-submit <workload>|fig3 [options]
- *   vtsim-submit --status | --ping | --shutdown
+ *   vtsim-submit --status | --ping | --metrics | --shutdown
  *
  *   <workload>            one benchmark by name, or the literal `fig3`
  *                         to expand the FIG-3 batch (every benchmark,
@@ -26,6 +26,9 @@
  *   --local               do not contact a daemon: run the exact same
  *                         submission batch in-process through the
  *                         sequential batch runner
+ *   --metrics             print the daemon's service registry in
+ *                         Prometheus text format (the "metrics" op
+ *                         body) to stdout and exit
  *
  * Job results are printed to stdout as one deterministic line per
  * submission, in submission order:
@@ -60,8 +63,8 @@ usage()
                  "         [--stats-interval N] [--checkpoint-every N] "
                  "[--inject-fail N]\n"
                  "         [--sim-threads N] [--no-wait] [--local]\n"
-                 "       vtsim-submit --status | --ping | --shutdown "
-                 "[--socket PATH]\n");
+                 "       vtsim-submit --status | --ping | --metrics | "
+                 "--shutdown [--socket PATH]\n");
     std::exit(2);
 }
 
@@ -97,7 +100,8 @@ try {
     long sim_threads = -1;
     bool no_wait = false;
     bool local = false;
-    enum class Mode { Submit, Status, Ping, Shutdown } mode = Mode::Submit;
+    enum class Mode { Submit, Status, Ping, Metrics, Shutdown } mode =
+        Mode::Submit;
 
     std::vector<std::string> args(argv + 1, argv + argc);
     auto next_value = [&args](std::size_t &i) -> std::string {
@@ -125,6 +129,8 @@ try {
             mode = Mode::Status;
         else if (a == "--ping")
             mode = Mode::Ping;
+        else if (a == "--metrics")
+            mode = Mode::Metrics;
         else if (a == "--shutdown")
             mode = Mode::Shutdown;
         else if (a == "--priority")
@@ -174,10 +180,23 @@ try {
         Json::Object req;
         req["op"] = Json(mode == Mode::Status    ? "status"
                          : mode == Mode::Ping    ? "ping"
+                         : mode == Mode::Metrics ? "metrics"
                                                  : "shutdown");
-        std::printf("%s\n", client.request(Json(std::move(req)))
-                                .dump()
-                                .c_str());
+        const Json reply = client.request(Json(std::move(req)));
+        if (mode == Mode::Metrics) {
+            // Unwrap the NDJSON framing: the body is multi-line
+            // Prometheus text, ready for a scraper or a file.
+            const Json *body = reply.find("body");
+            if (!body || !body->isString()) {
+                std::fprintf(stderr,
+                             "vtsim-submit: metrics failed: %s\n",
+                             reply.dump().c_str());
+                return 1;
+            }
+            std::fputs(body->asString().c_str(), stdout);
+            return 0;
+        }
+        std::printf("%s\n", reply.dump().c_str());
         return 0;
     }
     if (target.empty())

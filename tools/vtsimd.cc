@@ -7,7 +7,8 @@
  * Usage:
  *   vtsimd [--socket PATH] [--workers N] [--queue-limit N]
  *          [--preempt-every CYCLES] [--spool DIR] [--stats-json PATH]
- *          [--max-sim-threads N]
+ *          [--max-sim-threads N] [--evlog PATH] [--metrics-file PATH]
+ *          [--job-trace PATH] [--log-level LEVEL]
  *
  *   --socket PATH         listen here (default ./vtsimd.sock)
  *   --workers N           concurrent simulations (default 2)
@@ -23,18 +24,35 @@
  *   --max-sim-threads N   largest per-job "sim_threads" shard request
  *                         admitted; bigger asks are rejected at submit
  *                         (default 4)
+ *   --evlog PATH          vtsim-evlog-v1 JSONL lifecycle event log
+ *                         (src/service/event_log.hh)
+ *   --metrics-file PATH   Prometheus text of the service registry,
+ *                         rewritten atomically (temp + rename) every
+ *                         ~500 ms and once more at shutdown; the same
+ *                         payload the "metrics" op returns
+ *   --job-trace PATH      Perfetto trace of job lifecycles: worker run
+ *                         slices and per-job phase spans
+ *   --log-level LEVEL     stderr verbosity: debug|info|warn|error|off
+ *                         (default info; VTSIM_LOG_LEVEL also works)
  *
  * The daemon exits after a client's "shutdown" op (draining every
  * admitted job first) or on SIGINT/SIGTERM.
  */
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <string>
+#include <thread>
 
+#include "common/logger.hh"
 #include "service/daemon.hh"
 #include "service/service.hh"
 #include "service/stats_json.hh"
@@ -60,7 +78,11 @@ usage()
                  "[--queue-limit N]\n"
                  "              [--preempt-every CYCLES] [--spool DIR] "
                  "[--stats-json PATH]\n"
-                 "              [--max-sim-threads N]\n");
+                 "              [--max-sim-threads N] [--evlog PATH]\n"
+                 "              [--metrics-file PATH] [--job-trace "
+                 "PATH]\n"
+                 "              [--log-level "
+                 "debug|info|warn|error|off]\n");
     std::exit(2);
 }
 
@@ -77,15 +99,100 @@ parseCount(const char *text, const char *what)
     return n;
 }
 
+/** Atomically replace @p path with @p body (temp file + rename), so a
+ *  scraper never reads a half-written snapshot. */
+bool
+writeFileAtomic(const std::string &path, const std::string &body)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            return false;
+        os << body;
+        os.flush();
+        if (!os)
+            return false;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    return !ec;
+}
+
+/**
+ * Background Prometheus exporter: rewrites the metrics file every
+ * ~500 ms while the daemon serves, plus a final snapshot from the
+ * destructor after the drain — the file always ends at the terminal
+ * counters.
+ */
+class MetricsFileWriter
+{
+  public:
+    MetricsFileWriter(vtsim::service::JobService &service,
+                      std::string path)
+        : service_(service), path_(std::move(path))
+    {
+        if (path_.empty())
+            return;
+        thread_ = std::thread([this] { run(); });
+    }
+
+    ~MetricsFileWriter()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+        writeOnce(); // Final post-drain snapshot.
+    }
+
+  private:
+    void
+    run()
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        while (!stop_) {
+            lk.unlock();
+            writeOnce();
+            lk.lock();
+            cv_.wait_for(lk, std::chrono::milliseconds(500),
+                         [this] { return stop_; });
+        }
+    }
+
+    void
+    writeOnce()
+    {
+        if (!writeFileAtomic(path_, service_.metricsText())) {
+            vtsim::logging::warn("vtsimd",
+                                 "cannot write metrics file '", path_,
+                                 "'");
+        }
+    }
+
+    vtsim::service::JobService &service_;
+    std::string path_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace vtsim::service;
+    namespace logging = vtsim::logging;
 
     std::string socket_path = "vtsimd.sock";
     std::string stats_json_path;
+    std::string metrics_file_path;
     ServiceConfig config;
 
     for (int i = 1; i < argc; ++i) {
@@ -111,7 +218,20 @@ main(int argc, char **argv)
                 unsigned(parseCount(value(), "--max-sim-threads"));
         else if (arg == "--stats-json")
             stats_json_path = value();
-        else
+        else if (arg == "--evlog")
+            config.eventLogPath = value();
+        else if (arg == "--metrics-file")
+            metrics_file_path = value();
+        else if (arg == "--job-trace")
+            config.jobTracePath = value();
+        else if (arg == "--log-level") {
+            try {
+                logging::setLevel(logging::parseLevel(value()));
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "vtsimd: %s\n", e.what());
+                return 2;
+            }
+        } else
             usage();
     }
     if (config.workers < 1) {
@@ -120,6 +240,7 @@ main(int argc, char **argv)
     }
 
     try {
+        const auto started = std::chrono::steady_clock::now();
         JobService service(config);
         Daemon daemon(service, socket_path);
         daemon.start();
@@ -128,34 +249,54 @@ main(int argc, char **argv)
         std::signal(SIGTERM, onSignal);
         std::signal(SIGPIPE, SIG_IGN);
 
-        std::fprintf(stderr,
-                     "[vtsimd] listening on %s (%u workers, queue "
-                     "limit %zu, preempt every %llu cycles)\n",
-                     socket_path.c_str(), config.workers,
-                     config.queueLimit,
-                     (unsigned long long)config.preemptEvery);
-        daemon.serve();
+        logging::info("vtsimd", "listening on ", socket_path, " (",
+                      config.workers, " workers, queue limit ",
+                      config.queueLimit, ", preempt every ",
+                      config.preemptEvery, " cycles)");
+        {
+            MetricsFileWriter metrics(service, metrics_file_path);
+            daemon.serve();
 
-        std::fprintf(stderr, "[vtsimd] draining...\n");
-        service.shutdown();
+            logging::info("vtsimd", "draining...");
+            service.shutdown();
+            // MetricsFileWriter's destructor writes the post-drain
+            // snapshot here.
+        }
         g_daemon = nullptr;
 
         if (!stats_json_path.empty()) {
             std::ofstream os(stats_json_path);
             if (!os) {
-                std::fprintf(stderr,
-                             "vtsimd: cannot open stats-json file "
-                             "'%s'\n",
-                             stats_json_path.c_str());
+                logging::error("vtsimd",
+                               "cannot open stats-json file '",
+                               stats_json_path, "'");
                 return 1;
             }
             const Json section = service.statsJsonSection();
-            writeStatsJson(os, service.completedRuns(), &section);
-            std::fprintf(stderr, "[vtsimd] wrote %s\n",
-                         stats_json_path.c_str());
+            const auto runs = service.completedRuns();
+            BatchMeta meta;
+            meta.wallMs =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started)
+                    .count() *
+                1e3;
+            std::uint64_t cycles = 0;
+            std::uint64_t thread_instructions = 0;
+            for (const RunRecord &r : runs) {
+                cycles += r.stats.cycles;
+                thread_instructions += r.stats.threadInstructions;
+            }
+            if (meta.wallMs > 0.0) {
+                meta.kcyclesPerSec =
+                    double(cycles) / (meta.wallMs / 1e3) / 1e3;
+                meta.mips = double(thread_instructions) /
+                            (meta.wallMs / 1e3) / 1e6;
+            }
+            writeStatsJson(os, runs, &section, meta);
+            logging::info("vtsimd", "wrote ", stats_json_path);
         }
     } catch (const std::exception &e) {
-        std::fprintf(stderr, "vtsimd: %s\n", e.what());
+        logging::error("vtsimd", e.what());
         return 1;
     }
     return 0;
