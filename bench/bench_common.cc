@@ -7,10 +7,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string_view>
 
 #include "common/log.hh"
+#include "config/sim_mode.hh"
 #include "service/json.hh"
 #include "telemetry/profiler.hh"
 
@@ -149,9 +151,12 @@ parseTelemetryArgs(int argc, char **argv)
         else if (arg.substr(0, 15) == "--profile-json=")
             opts.profileJsonPath = argv[i] + 15;
     }
-    if (!opts.recordTracePath.empty() && !opts.replayTracePath.empty())
-        VTSIM_FATAL("--record-trace and --replay-trace are mutually "
-                    "exclusive");
+    SimModeSpec mode;
+    mode.recordTrace = !opts.recordTracePath.empty();
+    mode.replayTrace = !opts.replayTracePath.empty();
+    mode.restore = !opts.restorePath.empty();
+    mode.checkpointEvery = opts.checkpointEvery;
+    requireValidSimMode(mode);
     if (opts.simThreads == 0) {
         if (const char *env = std::getenv("VTSIM_SIM_THREADS"))
             opts.simThreads = parseSimThreads(env, "VTSIM_SIM_THREADS");
@@ -301,6 +306,88 @@ runWorkloadOn(Gpu &gpu, const std::string &workload_name,
         writeProfileJson(indexedPath(g_telemetry.profileJsonPath,
                                      run_index),
                          gpu, workload_name, result);
+    return result;
+}
+
+RunResult
+runCoRunOn(Gpu &gpu, const std::vector<std::string> &workload_names,
+           SharePolicy policy, std::uint32_t scale,
+           std::size_t run_index)
+{
+    {
+        SimModeSpec mode;
+        mode.recordTrace = !g_telemetry.recordTracePath.empty();
+        mode.replayTrace = !g_telemetry.replayTracePath.empty();
+        mode.restore = !g_telemetry.restorePath.empty();
+        mode.checkpointEvery = g_telemetry.checkpointEvery;
+        mode.numGrids = workload_names.size();
+        mode.preemptPolicy = policy == SharePolicy::Preempt;
+        mode.vtEnabled = gpu.config().vtEnabled;
+        requireValidSimMode(mode);
+    }
+    RunResult result;
+    for (const std::string &name : workload_names)
+        result.workload += (result.workload.empty() ? "" : "+") + name;
+    if (g_telemetry.simThreads > 0)
+        gpu.setSimThreads(g_telemetry.simThreads);
+    std::ostringstream interval_series;
+    if (g_telemetry.statsInterval > 0)
+        gpu.enableIntervalSampler(g_telemetry.statsInterval,
+                                  interval_series);
+    if (!g_telemetry.traceJsonPath.empty())
+        gpu.enableTraceJson(indexedPath(g_telemetry.traceJsonPath,
+                                        run_index));
+    if (!g_telemetry.checkpointPath.empty())
+        gpu.setCheckpoint(indexedPath(g_telemetry.checkpointPath,
+                                      run_index),
+                          g_telemetry.checkpointEvery);
+    if (!g_telemetry.profileJsonPath.empty())
+        gpu.enableProfiler();
+
+    std::vector<std::unique_ptr<Workload>> workloads;
+    std::vector<Kernel> kernels;
+    for (const std::string &name : workload_names) {
+        workloads.push_back(makeWorkload(name, scale));
+        kernels.push_back(workloads.back()->buildKernel());
+    }
+    std::vector<GridLaunch> launches;
+    for (std::size_t g = 0; g < workloads.size(); ++g) {
+        GridLaunch gl;
+        gl.kernel = &kernels[g];
+        gl.params = workloads[g]->prepare(gpu.memory());
+        gl.priority = std::uint32_t(g);
+        launches.push_back(std::move(gl));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    result.stats = gpu.launchConcurrent(launches, policy);
+    result.wallSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    result.grids = gpu.gridStats();
+    for (std::uint32_t i = 0; i < gpu.numSms(); ++i) {
+        result.maxSimtDepth =
+            std::max(result.maxSimtDepth, gpu.sm(i).maxSimtDepthSeen());
+    }
+    result.intervalSeries = interval_series.str();
+    std::fprintf(stderr,
+                 "[sim-rate] %-14s wall %8.3fs %10.1f Kcyc/s %8.2f MIPS"
+                 " (%s)\n",
+                 result.workload.c_str(), result.wallSeconds,
+                 result.kcyclesPerSec(), result.mips(),
+                 toString(policy).c_str());
+    result.verified = true;
+    for (std::size_t g = 0; g < workloads.size(); ++g) {
+        if (!workloads[g]->verify(gpu.memory())) {
+            result.verified = false;
+            VTSIM_FATAL("workload '", workload_names[g],
+                        "' produced wrong results under the ",
+                        toString(policy),
+                        " co-run — timing numbers void");
+        }
+    }
+    if (!g_telemetry.profileJsonPath.empty())
+        writeProfileJson(indexedPath(g_telemetry.profileJsonPath,
+                                     run_index),
+                         gpu, result.workload, result);
     return result;
 }
 

@@ -113,6 +113,8 @@ struct RunResult
     std::uint32_t maxSimtDepth = 0;
     /** Interval-sampler JSONL series (empty unless --stats-interval). */
     std::string intervalSeries;
+    /** Per-grid results of a concurrent run (empty for solo runs). */
+    std::vector<GridStats> grids;
 
     /** Simulator speed: simulated kilocycles per host second. */
     double kcyclesPerSec() const
@@ -149,6 +151,19 @@ RunResult runWorkload(const std::string &workload_name,
 RunResult runWorkloadOn(Gpu &gpu, const std::string &workload_name,
                         std::uint32_t scale = 1,
                         std::size_t run_index = 0);
+
+/**
+ * Launch @p workload_names concurrently on @p gpu under @p policy
+ * (Gpu::launchConcurrent), verify every grid's results, and report
+ * per-grid statistics in RunResult::grids. The result's workload label
+ * joins the names with '+'. Grid g gets priority g (listed-first wins
+ * under the preempt policy). Trace record/replay do not compose with
+ * co-runs (config/sim_mode.hh).
+ */
+RunResult runCoRunOn(Gpu &gpu,
+                     const std::vector<std::string> &workload_names,
+                     SharePolicy policy, std::uint32_t scale = 1,
+                     std::size_t run_index = 0);
 
 /** Geometric mean of a vector of positive ratios. */
 double geomean(const std::vector<double> &values);

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * EXT-7 (beyond the paper): concurrent-kernel execution. Co-run mixes
+ * of one memory-bound and one compute-leaning benchmark on the VT
+ * machine under the three CTA-slot sharing policies
+ * (Gpu::launchConcurrent):
+ *
+ *   spatial  — SMs statically partitioned between the grids
+ *   vt-fill  — the CTA dispatcher fills any SM's free VT slots from
+ *              whichever grid has work (lowest grid index first)
+ *   preempt  — grid 0 is latency-critical: at swap boundaries it
+ *              force-preempts the co-runner's active CTAs
+ *
+ * Per mix the table reports system throughput (aggregate IPC and STP,
+ * the sum of per-grid speedups over solo), fairness (ANTT, the mean
+ * per-grid normalized turnaround), and the QoS view: each grid's
+ * slowdown vs running alone on the whole machine. Solo rows use the
+ * identical config, so every slowdown is an apples-to-apples ratio.
+ *
+ * --share-policy spatial|vt-fill|preempt restricts the policy set;
+ * --stats-json emits machine-readable per-grid stats (the "grids"
+ * array, validated by scripts/validate_stats_json.py), consumed by
+ * scripts/bench_sharing.py for the BENCH_sharing.json perf smoke.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/log.hh"
+#include "parallel_runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vtsim;
+    using namespace vtsim::bench;
+
+    // Memory-bound + compute-leaning pairs (TAB-2 classes), plus one
+    // three-way mix to exercise more than two resident grids.
+    const std::vector<std::vector<std::string>> mixes = {
+        {"vecadd", "matmul"},
+        {"spmv", "blackscholes"},
+        {"stencil", "bitonic"},
+        {"histogram", "matmul"},
+        {"vecadd", "stencil", "matmul"},
+    };
+    std::vector<SharePolicy> policies = {
+        SharePolicy::Spatial, SharePolicy::VtFill, SharePolicy::Preempt};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--share-policy") == 0 &&
+            i + 1 < argc) {
+            SharePolicy one;
+            if (!parseSharePolicy(argv[i + 1], one)) {
+                VTSIM_FATAL("unknown --share-policy '", argv[i + 1],
+                            "' (spatial | vt-fill | preempt)");
+            }
+            policies = {one};
+        }
+    }
+
+    printHeader("EXT-7", "concurrent-kernel sharing policies "
+                         "(beyond the paper)");
+
+    GpuConfig vt = GpuConfig::fermiLike();
+    vt.vtEnabled = true;
+
+    // One batch: per mix, each workload solo, then one co-run per
+    // policy. runAll parallelizes across --jobs workers.
+    std::vector<RunSpec> specs;
+    std::vector<std::size_t> mix_base;
+    for (const auto &mix : mixes) {
+        mix_base.push_back(specs.size());
+        for (const auto &name : mix) {
+            RunSpec solo;
+            solo.workload = name;
+            solo.config = vt;
+            solo.scale = benchScale;
+            specs.push_back(std::move(solo));
+        }
+        for (const SharePolicy policy : policies) {
+            RunSpec co;
+            co.workload = mix.front();
+            co.config = vt;
+            co.scale = benchScale;
+            co.kernels = mix;
+            co.sharePolicy = policy;
+            specs.push_back(std::move(co));
+        }
+    }
+    const auto results = runAll(specs, argc, argv);
+
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const auto &mix = mixes[m];
+        const std::size_t base = mix_base[m];
+
+        std::string label;
+        for (const auto &name : mix)
+            label += (label.empty() ? "" : "+") + name;
+        std::printf("\n-- mix: %s --\n", label.c_str());
+        std::printf("%-10s %7s %6s %6s", "policy", "aggIPC", "STP",
+                    "ANTT");
+        for (const auto &name : mix)
+            std::printf("  slow(%s)", name.c_str());
+        std::printf("\n");
+
+        std::vector<std::uint64_t> solo_cycles;
+        double solo_ipc_sum = 0.0;
+        for (std::size_t g = 0; g < mix.size(); ++g) {
+            solo_cycles.push_back(results[base + g].stats.cycles);
+            solo_ipc_sum += results[base + g].stats.ipc;
+        }
+        std::printf("%-10s %7.3f %6s %6s", "solo", solo_ipc_sum, "-",
+                    "-");
+        for (std::size_t g = 0; g < mix.size(); ++g)
+            std::printf("  %8.2f", 1.0);
+        std::printf("   (IPC sum of isolated runs)\n");
+
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const RunResult &co = results[base + mix.size() + p];
+            // Per-grid slowdown: co-run turnaround over solo cycles.
+            // Every grid occupies the machine for the whole co-run, so
+            // its turnaround is the aggregate cycle count.
+            double stp = 0.0;
+            double antt = 0.0;
+            std::vector<double> slowdowns;
+            for (std::size_t g = 0; g < mix.size(); ++g) {
+                const double slowdown =
+                    double(co.stats.cycles) / double(solo_cycles[g]);
+                slowdowns.push_back(slowdown);
+                stp += 1.0 / slowdown;
+                antt += slowdown;
+            }
+            antt /= double(mix.size());
+            std::printf("%-10s %7.3f %6.3f %6.2f",
+                        toString(policies[p]).c_str(), co.stats.ipc,
+                        stp, antt);
+            for (const double slowdown : slowdowns)
+                std::printf("  %8.2f", slowdown);
+            std::printf("\n");
+        }
+    }
+    std::printf("\nSTP = sum of per-grid speedups (upper bound = grid "
+                "count); ANTT = mean per-grid slowdown (min 1.0).\n"
+                "slow(k) = co-run cycles / solo cycles of k — the QoS "
+                "hit k takes from sharing.\n");
+    return 0;
+}

@@ -125,8 +125,14 @@ runAll(const std::vector<RunSpec> &specs, unsigned jobs)
                     GpuConfig config = spec.config;
                     applyExecMode(config);
                     Gpu &gpu = arena.acquire(config);
-                    results[i] = runWorkloadOn(gpu, spec.workload,
-                                               spec.scale, i);
+                    if (spec.kernels.size() > 1) {
+                        results[i] = runCoRunOn(gpu, spec.kernels,
+                                                spec.sharePolicy,
+                                                spec.scale, i);
+                    } else {
+                        results[i] = runWorkloadOn(gpu, spec.workload,
+                                                   spec.scale, i);
+                    }
                 } catch (const std::exception &e) {
                     arena.discard(); // Never reuse a mid-launch arena.
                     const std::lock_guard<std::mutex> guard(error_mutex);
@@ -227,6 +233,9 @@ writeStatsJson(const std::string &path,
         run.maxSimtDepth = results[i].maxSimtDepth;
         run.stats = results[i].stats;
         run.intervalSeries = results[i].intervalSeries;
+        run.grids = results[i].grids;
+        if (specs[i].kernels.size() > 1)
+            run.sharePolicy = toString(specs[i].sharePolicy);
         runs.push_back(std::move(run));
     }
 

@@ -44,6 +44,12 @@ struct RunSpec
     std::string workload;
     GpuConfig config;
     std::uint32_t scale = benchScale;
+    /** Co-runners: when set (size > 1) the spec is one concurrent
+     *  launch of these workloads (runCoRunOn) and `workload` is
+     *  ignored. Grid g gets priority g. */
+    std::vector<std::string> kernels;
+    /** CTA-slot sharing policy of a co-run spec. */
+    SharePolicy sharePolicy = SharePolicy::VtFill;
 };
 
 /** Resolve the worker count (see file comment); always >= 1. */

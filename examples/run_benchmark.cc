@@ -45,6 +45,7 @@
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "config/sim_mode.hh"
 #include "gpu/gpu.hh"
 #include "parallel_runner.hh"
 #include "workloads/workload.hh"
@@ -205,6 +206,18 @@ try {
     const unsigned sim_threads = shared.simThreads;
     bench::setTelemetryOptions(shared);
     bench::applyExecMode(cfg);
+
+    // This binary's own --checkpoint/--restore flags join the shared
+    // trace flags in one mode-matrix check (config/sim_mode.hh).
+    {
+        SimModeSpec mode;
+        mode.recordTrace = !shared.recordTracePath.empty();
+        mode.replayTrace = !shared.replayTracePath.empty();
+        mode.restore = !restore_path.empty();
+        mode.checkpointEvery = checkpoint_every;
+        mode.vtEnabled = cfg.vtEnabled;
+        requireValidSimMode(mode);
+    }
 
     if (names.size() > 1) {
         if (dump_stats || !checkpoint_path.empty() ||

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Compare concurrent-kernel sharing policies and emit BENCH_sharing.json.
+
+Runs bench/ext7_kernel_sharing once with --stats-json: per workload mix
+that gives every member's solo run plus one co-run per sharing policy
+(spatial, vt-fill, preempt — see docs/ARCHITECTURE.md "Concurrent
+kernels"). Two things come out of that:
+
+ 1. A regression gate: vt-fill must beat spatial's aggregate IPC on at
+    least one memory+compute mix. That is the point of VT-slot sharing —
+    filling another grid's idle slots instead of fencing off SMs — and
+    a zero here means the policy stopped doing its job.
+ 2. A perf record: BENCH_sharing.json is the stats document extended
+    with a "sharing" section holding, per mix, the solo aggregate IPC
+    and Kcyc/s next to each policy's aggregate IPC, Kcyc/s, STP, ANTT
+    and per-grid slowdown vs solo.
+
+The output validates against ci/stats_schema.json (the script checks).
+
+Standard library only. Usage:
+    bench_sharing.py [--binary PATH] [--out PATH]
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "scripts"))
+import validate_stats_json  # noqa: E402
+
+
+def agg_ipc(run):
+    return run["stats"]["ipc"]
+
+
+def kcycles_per_sec(cycles, wall):
+    return round(cycles / wall / 1e3, 3) if wall > 0 else 0.0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--binary", default=str(REPO / "build/bench/ext7_kernel_sharing"))
+    parser.add_argument("--out", default="BENCH_sharing.json")
+    args = parser.parse_args(argv[1:])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        stats_path = pathlib.Path(tmp) / "stats.json"
+        subprocess.run(
+            [args.binary, "--jobs", "1", "--stats-json", str(stats_path)],
+            check=True, stdout=subprocess.DEVNULL)
+        document = json.loads(stats_path.read_text())
+
+    # Reconstruct the batch layout from the run list itself: solo runs
+    # have no "grids", co-runs carry "grids" + "share_policy" and a
+    # '+'-joined workload label. Each mix's solo runs precede its
+    # co-runs, so a forward scan always finds the solo entry.
+    solo = {}
+    mixes = {}  # label -> {"members": [...], "policies": [...]}
+    for run in document["runs"]:
+        if not run.get("grids"):
+            solo[run["workload"]] = run
+            continue
+        members = run["workload"].split("+")
+        entry = mixes.setdefault(
+            run["workload"], {"members": members, "policies": []})
+        for name in members:
+            if name not in solo:
+                print(f"[bench-sharing] FAIL: co-run '{run['workload']}' "
+                      f"has no solo run of '{name}' to normalize against",
+                      file=sys.stderr)
+                return 1
+        entry["policies"].append(run)
+
+    if not mixes:
+        print("[bench-sharing] FAIL: the batch contains no co-runs",
+              file=sys.stderr)
+        return 1
+
+    section = {"mixes": [], "vt_fill_beats_spatial_mixes": 0}
+    for label, entry in mixes.items():
+        members = entry["members"]
+        solo_cycles = {m: solo[m]["stats"]["cycles"] for m in members}
+        solo_wall = sum(solo[m]["wall_seconds"] for m in members)
+        row = {
+            "mix": label,
+            "solo_agg_ipc": round(
+                sum(agg_ipc(solo[m]) for m in members), 4),
+            "solo_kcycles_per_sec": kcycles_per_sec(
+                sum(solo_cycles.values()), solo_wall),
+            "policies": [],
+        }
+        by_policy = {}
+        for run in entry["policies"]:
+            slowdowns = {
+                m: round(run["stats"]["cycles"] / solo_cycles[m], 4)
+                for m in members
+            }
+            policy_row = {
+                "policy": run["share_policy"],
+                "agg_ipc": round(agg_ipc(run), 4),
+                "kcycles_per_sec": kcycles_per_sec(
+                    run["stats"]["cycles"], run["wall_seconds"]),
+                "stp": round(sum(1.0 / s for s in slowdowns.values()), 4),
+                "antt": round(
+                    sum(slowdowns.values()) / len(slowdowns), 4),
+                "slowdowns": slowdowns,
+            }
+            row["policies"].append(policy_row)
+            by_policy[run["share_policy"]] = policy_row
+        if ("vt-fill" in by_policy and "spatial" in by_policy
+                and by_policy["vt-fill"]["agg_ipc"]
+                > by_policy["spatial"]["agg_ipc"]):
+            section["vt_fill_beats_spatial_mixes"] += 1
+        section["mixes"].append(row)
+
+    for row in section["mixes"]:
+        parts = ", ".join(
+            f"{p['policy']} {p['agg_ipc']:.2f} IPC "
+            f"(ANTT {p['antt']:.2f})"
+            for p in row["policies"])
+        print(f"[bench-sharing] {row['mix']}: solo "
+              f"{row['solo_agg_ipc']:.2f} IPC; {parts}")
+
+    if section["vt_fill_beats_spatial_mixes"] == 0:
+        print("[bench-sharing] FAIL: vt-fill never beat spatial's "
+              "aggregate IPC — slot filling has regressed",
+              file=sys.stderr)
+        return 1
+    print(f"[bench-sharing] vt-fill beats spatial on "
+          f"{section['vt_fill_beats_spatial_mixes']}/"
+          f"{len(section['mixes'])} mixes")
+
+    document["sharing"] = section
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(document, indent=2) + "\n")
+
+    # The document must still be a valid vtsim-stats-v1 batch.
+    return validate_stats_json.main(
+        ["validate_stats_json.py", str(out_path)])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

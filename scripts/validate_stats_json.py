@@ -3,9 +3,9 @@
 
 Standard library only (runs on a bare CI image). Implements exactly the
 subset of JSON Schema the checked-in schema uses — type, const,
-required, properties, items — plus two semantic checks the schema
-cannot express: the batch must contain at least one run, and every run
-must have verified functional results.
+required, properties, items, and local '#/definitions/...' $refs — plus
+two semantic checks the schema cannot express: the batch must contain
+at least one run, and every run must have verified functional results.
 
 Usage: validate_stats_json.py <stats.json> [schema.json]
 Exit status 0 when valid; 1 with one line per violation otherwise.
@@ -35,7 +35,16 @@ def _type_ok(value, expected):
     return isinstance(value, bool)
 
 
-def validate(value, schema, path, errors):
+def validate(value, schema, path, errors, root=None):
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        prefix = "#/definitions/"
+        if not ref.startswith(prefix):
+            raise ValueError(f"unsupported $ref {ref!r} (only local "
+                             "'#/definitions/...' refs are implemented)")
+        schema = root["definitions"][ref[len(prefix):]]
     if "const" in schema and value != schema["const"]:
         errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
         return
@@ -49,10 +58,10 @@ def validate(value, schema, path, errors):
     if "properties" in schema:
         for key, sub in schema["properties"].items():
             if key in value:
-                validate(value[key], sub, f"{path}.{key}", errors)
+                validate(value[key], sub, f"{path}.{key}", errors, root)
     if "items" in schema:
         for i, item in enumerate(value):
-            validate(item, schema["items"], f"{path}[{i}]", errors)
+            validate(item, schema["items"], f"{path}[{i}]", errors, root)
 
 
 def main(argv):

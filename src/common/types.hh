@@ -32,6 +32,17 @@ using VirtualCtaId = std::uint32_t;
 /** Number of SIMT lanes per warp. Fixed at 32 as on NVIDIA hardware. */
 inline constexpr std::uint32_t warpSize = 32;
 
+/**
+ * Index of a resident grid within a concurrent launch
+ * (Gpu::launchConcurrent). Solo launches are grid 0.
+ */
+using GridId = std::uint32_t;
+
+/** Maximum number of co-resident grids. Per-grid statistic counters are
+ *  sized (and registered) for this many grids up front, so probe layout
+ *  never depends on how many kernels a particular launch carries. */
+inline constexpr std::uint32_t maxGrids = 4;
+
 /** Sentinel for "no PC" / kernel exit. */
 inline constexpr Pc invalidPc = std::numeric_limits<Pc>::max();
 

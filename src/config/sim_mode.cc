@@ -1,0 +1,45 @@
+#include "config/sim_mode.hh"
+
+#include "common/log.hh"
+
+namespace vtsim {
+
+std::string
+validateSimMode(const SimModeSpec &spec)
+{
+    if (spec.recordTrace && spec.replayTrace)
+        return "--record-trace and --replay-trace are mutually exclusive";
+    if (spec.recordTrace && spec.numGrids > 1) {
+        return "trace recording is a single-kernel stream; it does not "
+               "compose with concurrent launches";
+    }
+    if (spec.recordTrace && spec.checkpointEvery != 0) {
+        return "trace recording does not compose with mid-run checkpoints "
+               "or preemption (the writer's stream position is not "
+               "checkpointable)";
+    }
+    if (spec.recordTrace && spec.restore) {
+        return "trace recording must start at a fresh launch, not on a "
+               "resumed checkpoint (the trace would miss the accesses "
+               "before the restore point)";
+    }
+    if (spec.replayTrace && spec.numGrids > 1) {
+        return "trace replay drives one recorded kernel's access stream; "
+               "it does not compose with concurrent launches";
+    }
+    if (spec.numGrids > 1 && spec.preemptPolicy && !spec.vtEnabled) {
+        return "the preempt share policy needs the VT machine (vtEnabled) "
+               "to vacate active CTA slots";
+    }
+    return "";
+}
+
+void
+requireValidSimMode(const SimModeSpec &spec)
+{
+    const std::string error = validateSimMode(spec);
+    if (!error.empty())
+        VTSIM_FATAL(error);
+}
+
+} // namespace vtsim

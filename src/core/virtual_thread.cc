@@ -29,6 +29,13 @@ VirtualThreadManager::VirtualThreadManager(const GpuConfig &config,
 {
     stats_.addCounter("swap_outs", &swapOuts_, "CTA swap-outs");
     stats_.addCounter("swap_ins", &swapIns_, "CTA swap-ins");
+    for (GridId g = 0; g < maxGrids; ++g) {
+        const std::string p = "grid" + std::to_string(g);
+        stats_.addCounter(p + ".swap_outs", &gridSwapOuts_[g],
+                          "CTA swap-outs of grid " + std::to_string(g));
+        stats_.addCounter(p + ".swap_ins", &gridSwapIns_[g],
+                          "CTA swap-ins of grid " + std::to_string(g));
+    }
     stats_.addCounter("fresh_activations", &freshActivations_,
                       "CTAs activated straight from launch");
     stats_.addCounter("swap_in_not_ready", &swapInNotReady_,
@@ -52,39 +59,42 @@ VirtualThreadManager::traceStateChange(VirtualCtaId id, CtaState state,
 }
 
 void
-VirtualThreadManager::configureKernel(const CtaFootprint &footprint)
+VirtualThreadManager::configureGrid(GridId grid,
+                                    const CtaFootprint &footprint)
 {
+    VTSIM_ASSERT(grid < maxGrids, "grid id ", grid, " out of range");
     VTSIM_ASSERT(residentCount_ == 0,
                  "kernel reconfigured with CTAs resident");
     VTSIM_ASSERT(footprint.warpsPerCta > 0 && footprint.threadsPerCta > 0,
                  "degenerate CTA footprint");
-    fp_ = footprint;
+    fps_[grid] = footprint;
 }
 
 bool
-VirtualThreadManager::activeSlotFree() const
+VirtualThreadManager::activeSlotFreeFor(const CtaFootprint &fp) const
 {
     return activeCtas_ < std::min(config_.effMaxCtasPerSm(),
                                   dynamicCap_) &&
-           warpsActive_ + fp_.warpsPerCta <= config_.effMaxWarpsPerSm() &&
-           threadsActive_ + fp_.threadsPerCta <=
+           warpsActive_ + fp.warpsPerCta <= config_.effMaxWarpsPerSm() &&
+           threadsActive_ + fp.threadsPerCta <=
                config_.effMaxThreadsPerSm();
 }
 
 bool
-VirtualThreadManager::canAdmit() const
+VirtualThreadManager::canAdmit(GridId grid) const
 {
-    VTSIM_ASSERT(fp_.warpsPerCta > 0, "canAdmit before configureKernel");
+    const CtaFootprint &fp = fps_[grid];
+    VTSIM_ASSERT(fp.warpsPerCta > 0, "canAdmit before configureGrid");
     // Capacity limit binds in both machines: registers and shared memory
     // are physically allocated per resident CTA.
-    if (regsInUse_ + fp_.regsPerCta > config_.registersPerSm)
+    if (regsInUse_ + fp.regsPerCta > config_.registersPerSm)
         return false;
-    if (sharedInUse_ + fp_.sharedPerCta > config_.sharedMemPerSm)
+    if (sharedInUse_ + fp.sharedPerCta > config_.sharedMemPerSm)
         return false;
 
     if (!config_.vtEnabled) {
         // Baseline: the scheduling limit also gates admission.
-        return activeSlotFree();
+        return activeSlotFreeFor(fp);
     }
     // VT: admit past the scheduling limit, up to the virtual-CTA budget.
     const std::uint32_t limit =
@@ -97,17 +107,19 @@ VirtualThreadManager::canAdmit() const
 void
 VirtualThreadManager::activate(VirtualCtaId id, Cycle now)
 {
-    VTSIM_ASSERT(activeSlotFree(), "activate without a free slot");
     CtaRec &rec = ctas_[id];
+    const CtaFootprint &fp = fps_[rec.grid];
+    VTSIM_ASSERT(activeSlotFreeFor(fp), "activate without a free slot");
     ++activeCtas_;
-    warpsActive_ += fp_.warpsPerCta;
-    threadsActive_ += fp_.threadsPerCta;
+    warpsActive_ += fp.warpsPerCta;
+    threadsActive_ += fp.threadsPerCta;
     rec.stalledFor = 0;
     if (rec.everSwapped) {
         // Restoring saved scheduling state costs the swap-in latency.
         rec.state = CtaState::SwappingIn;
         rec.transitionAt = now + config_.vtSwapInLatency;
         ++swapIns_;
+        ++gridSwapIns_[rec.grid];
         traceStateChange(id, CtaState::SwappingIn, now);
     } else {
         rec.state = CtaState::Active;
@@ -118,39 +130,40 @@ VirtualThreadManager::activate(VirtualCtaId id, Cycle now)
 }
 
 void
-VirtualThreadManager::releaseActiveSlot()
+VirtualThreadManager::releaseActiveSlot(const CtaFootprint &fp)
 {
     VTSIM_ASSERT(activeCtas_ > 0, "active slot underflow");
     --activeCtas_;
-    warpsActive_ -= fp_.warpsPerCta;
-    threadsActive_ -= fp_.threadsPerCta;
+    warpsActive_ -= fp.warpsPerCta;
+    threadsActive_ -= fp.threadsPerCta;
 }
 
 void
-VirtualThreadManager::onAdmit(VirtualCtaId id, Cycle now)
+VirtualThreadManager::onAdmit(VirtualCtaId id, Cycle now, GridId grid)
 {
-    VTSIM_ASSERT(canAdmit(), "onAdmit without canAdmit");
+    VTSIM_ASSERT(canAdmit(grid), "onAdmit without canAdmit");
     if (id >= ctas_.size())
         ctas_.resize(id + 1);
     VTSIM_ASSERT(!ctas_[id].resident, "CTA ", id, " already resident");
 
-    regsInUse_ += fp_.regsPerCta;
-    sharedInUse_ += fp_.sharedPerCta;
+    regsInUse_ += fps_[grid].regsPerCta;
+    sharedInUse_ += fps_[grid].sharedPerCta;
 
     CtaRec &rec = ctas_[id];
     rec = CtaRec{};
     rec.resident = true;
     rec.age = nextAge_++;
     rec.state = CtaState::Inactive;
+    rec.grid = grid;
     ++residentCount_;
 
     VTSIM_TRACE(TraceFlag::Cta, now, stats_.name(), "admit cta ", id,
-                " (resident ", residentCount_, ")");
+                " (grid ", grid, ", resident ", residentCount_, ")");
     if (traceJson_) {
         traceJson_->instant(smId_, id, now, "admit", "cta");
         traceJson_->begin(smId_, id, now, toString(rec.state), "vt");
     }
-    if (activeSlotFree())
+    if (!activationBlocked_[grid] && activeSlotFreeFor(fps_[grid]))
         activate(id, now);
 }
 
@@ -166,15 +179,17 @@ VirtualThreadManager::onCtaFinished(VirtualCtaId id, Cycle now)
         traceJson_->end(smId_, id, now);
         traceJson_->instant(smId_, id, now, "finish", "cta");
     }
-    releaseActiveSlot();
-    regsInUse_ -= fp_.regsPerCta;
-    sharedInUse_ -= fp_.sharedPerCta;
+    const CtaFootprint &fp = fps_[ctas_[id].grid];
+    releaseActiveSlot(fp);
+    regsInUse_ -= fp.regsPerCta;
+    sharedInUse_ -= fp.sharedPerCta;
     ctas_[id].resident = false;
     --residentCount_;
 
     // The freed slot goes to the best inactive CTA right away.
     const VirtualCtaId incoming = pickSwapIn(false);
-    if (incoming != invalidId && activeSlotFree())
+    if (incoming != invalidId &&
+        activeSlotFreeFor(fps_[ctas_[incoming].grid]))
         activate(incoming, now);
 }
 
@@ -184,6 +199,38 @@ VirtualThreadManager::state(VirtualCtaId id) const
     VTSIM_ASSERT(id < ctas_.size() && ctas_[id].resident,
                  "state() of unknown CTA ", id);
     return ctas_[id].state;
+}
+
+GridId
+VirtualThreadManager::gridOf(VirtualCtaId id) const
+{
+    VTSIM_ASSERT(id < ctas_.size() && ctas_[id].resident,
+                 "gridOf() of unknown CTA ", id);
+    return ctas_[id].grid;
+}
+
+void
+VirtualThreadManager::forceSwapOut(VirtualCtaId id, Cycle now)
+{
+    VTSIM_ASSERT(config_.vtEnabled, "forceSwapOut without VT machinery");
+    VTSIM_ASSERT(id < ctas_.size() && ctas_[id].resident,
+                 "forceSwapOut of unknown CTA ", id);
+    CtaRec &out = ctas_[id];
+    VTSIM_ASSERT(out.state == CtaState::Active, "forceSwapOut of ",
+                 toString(out.state), " CTA ", id);
+    VTSIM_TRACE(TraceFlag::Swap, now, stats_.name(),
+                "preempt swap out cta ", id, " (grid ", out.grid, ")");
+    // No swapStallStreak_ sample: this is a preemption, not the stall
+    // trigger, and the histogram measures the trigger's patience.
+    out.state = CtaState::SwappingOut;
+    out.transitionAt = now + config_.vtSwapOutLatency;
+    out.everSwapped = true;
+    out.stalledFor = 0;
+    traceStateChange(id, CtaState::SwappingOut, now);
+    query_.onCtaIssuableChanged(id, false);
+    ++swapOuts_;
+    ++gridSwapOuts_[out.grid];
+    releaseActiveSlot(fps_[out.grid]);
 }
 
 VirtualCtaId
@@ -196,6 +243,8 @@ VirtualThreadManager::pickSwapIn(bool require_ready) const
         const CtaRec &rec = ctas_[id];
         if (!rec.resident || rec.state != CtaState::Inactive)
             continue;
+        if (activationBlocked_[rec.grid])
+            continue; // Preempt policy parks this grid's CTAs.
         const bool ready = query_.ctaPendingOffChip(id) == 0;
         if (config_.vtSwapInPolicy == VtSwapInPolicy::ReadyFirst) {
             // Prefer ready CTAs; oldest first within each class.
@@ -234,8 +283,12 @@ VirtualThreadManager::nextEventCycle(Cycle now) const
     // A free active slot with an inactive CTA waiting (possible after a
     // throttle-cap raise) activates at the very next tick, and so does
     // the next pair of an already-eligible swap (one pair per cycle).
-    if (activeSlotFree() && pickSwapIn(false) != invalidId)
-        return now;
+    {
+        const VirtualCtaId cand = pickSwapIn(false);
+        if (cand != invalidId &&
+            activeSlotFreeFor(fps_[ctas_[cand].grid]))
+            return now;
+    }
     for (VirtualCtaId id = 0; id < ctas_.size(); ++id) {
         const CtaRec &rec = ctas_[id];
         if (rec.resident && rec.state == CtaState::Active &&
@@ -313,9 +366,10 @@ VirtualThreadManager::tick(Cycle now)
     }
 
     // 2. Fill any free active slots (e.g. freed by admissions racing).
-    while (activeSlotFree()) {
+    while (true) {
         const VirtualCtaId incoming = pickSwapIn(false);
-        if (incoming == invalidId)
+        if (incoming == invalidId ||
+            !activeSlotFreeFor(fps_[ctas_[incoming].grid]))
             break;
         activate(incoming, now);
     }
@@ -360,6 +414,23 @@ VirtualThreadManager::tick(Cycle now)
     if (incoming == invalidId)
         return; // Nobody to run instead: swapping out would only hurt.
 
+    // Cross-grid swap pairs must also fit: with mixed footprints the
+    // incoming CTA may need more warp/thread slots than the victim
+    // frees. Skip the swap this cycle rather than strand the victim.
+    // (Same-footprint pairs — every solo launch — always fit, matching
+    // the single-grid machine's invariant.)
+    const CtaFootprint &fpOut = fps_[ctas_[victim].grid];
+    const CtaFootprint &fpIn = fps_[ctas_[incoming].grid];
+    const bool fits =
+        activeCtas_ - 1 < std::min(config_.effMaxCtasPerSm(),
+                                   dynamicCap_) &&
+        warpsActive_ - fpOut.warpsPerCta + fpIn.warpsPerCta <=
+            config_.effMaxWarpsPerSm() &&
+        threadsActive_ - fpOut.threadsPerCta + fpIn.threadsPerCta <=
+            config_.effMaxThreadsPerSm();
+    if (!fits)
+        return;
+
     VTSIM_TRACE(TraceFlag::Swap, now, stats_.name(), "swap out cta ",
                 victim, " (stalled ", ctas_[victim].stalledFor,
                 " cycles), swap in cta ", incoming);
@@ -371,15 +442,15 @@ VirtualThreadManager::tick(Cycle now)
     traceStateChange(victim, CtaState::SwappingOut, now);
     query_.onCtaIssuableChanged(victim, false);
     ++swapOuts_;
-    releaseActiveSlot();
+    ++gridSwapOuts_[out.grid];
+    releaseActiveSlot(fpOut);
 
     CtaRec &in = ctas_[incoming];
     if (query_.ctaPendingOffChip(incoming) != 0)
         ++swapInNotReady_;
-    VTSIM_ASSERT(activeSlotFree(), "no slot for incoming CTA");
     ++activeCtas_;
-    warpsActive_ += fp_.warpsPerCta;
-    threadsActive_ += fp_.threadsPerCta;
+    warpsActive_ += fpIn.warpsPerCta;
+    threadsActive_ += fpIn.threadsPerCta;
     in.stalledFor = 0;
     in.everSwapped = true;
     in.state = CtaState::SwappingIn;
@@ -387,13 +458,15 @@ VirtualThreadManager::tick(Cycle now)
     in.transitionAt = now + config_.vtSwapOutLatency +
                       config_.vtSwapInLatency;
     ++swapIns_;
+    ++gridSwapIns_[in.grid];
     traceStateChange(incoming, CtaState::SwappingIn, now);
 }
 
 void
 VirtualThreadManager::reset()
 {
-    fp_ = {};
+    fps_ = {};
+    activationBlocked_ = {};
     ctas_.clear();
     residentCount_ = 0;
     nextAge_ = 0;
@@ -405,6 +478,10 @@ VirtualThreadManager::reset()
     sharedInUse_ = 0;
     swapOuts_.reset();
     swapIns_.reset();
+    for (GridId g = 0; g < maxGrids; ++g) {
+        gridSwapOuts_[g].reset();
+        gridSwapIns_[g].reset();
+    }
     freshActivations_.reset();
     swapInNotReady_.reset();
     residentSamples_.reset();
@@ -417,7 +494,10 @@ VirtualThreadManager::save(Serializer &ser) const
 {
     const std::size_t sec = ser.beginSection("vtmg");
     static_assert(std::is_trivially_copyable_v<CtaFootprint>);
-    ser.put(fp_);
+    for (const CtaFootprint &fp : fps_)
+        ser.put(fp);
+    for (std::uint8_t blocked : activationBlocked_)
+        ser.put(blocked);
     // CtaRec mixes bools with wider fields, so it goes out field by
     // field to keep the bytes free of padding.
     ser.put<std::uint64_t>(ctas_.size());
@@ -430,6 +510,7 @@ VirtualThreadManager::save(Serializer &ser) const
         ser.put<std::uint8_t>(cta.everSwapped);
         ser.put<std::uint8_t>(cta.stalledNow);
         ser.put<std::uint8_t>(cta.triggeredNow);
+        ser.put(cta.grid);
     }
     ser.put(residentCount_);
     ser.put(nextAge_);
@@ -441,6 +522,10 @@ VirtualThreadManager::save(Serializer &ser) const
     ser.put(sharedInUse_);
     saveStat(ser, swapOuts_);
     saveStat(ser, swapIns_);
+    for (GridId g = 0; g < maxGrids; ++g) {
+        saveStat(ser, gridSwapOuts_[g]);
+        saveStat(ser, gridSwapIns_[g]);
+    }
     saveStat(ser, freshActivations_);
     saveStat(ser, swapInNotReady_);
     saveStat(ser, residentSamples_);
@@ -453,7 +538,10 @@ void
 VirtualThreadManager::restore(Deserializer &des)
 {
     des.beginSection("vtmg");
-    des.get(fp_);
+    for (CtaFootprint &fp : fps_)
+        des.get(fp);
+    for (std::uint8_t &blocked : activationBlocked_)
+        des.get(blocked);
     ctas_.resize(des.get<std::uint64_t>());
     for (CtaRec &cta : ctas_) {
         cta.resident = des.get<std::uint8_t>() != 0;
@@ -464,6 +552,7 @@ VirtualThreadManager::restore(Deserializer &des)
         cta.everSwapped = des.get<std::uint8_t>() != 0;
         cta.stalledNow = des.get<std::uint8_t>() != 0;
         cta.triggeredNow = des.get<std::uint8_t>() != 0;
+        des.get(cta.grid);
     }
     des.get(residentCount_);
     des.get(nextAge_);
@@ -475,6 +564,10 @@ VirtualThreadManager::restore(Deserializer &des)
     des.get(sharedInUse_);
     restoreStat(des, swapOuts_);
     restoreStat(des, swapIns_);
+    for (GridId g = 0; g < maxGrids; ++g) {
+        restoreStat(des, gridSwapOuts_[g]);
+        restoreStat(des, gridSwapIns_[g]);
+    }
     restoreStat(des, freshActivations_);
     restoreStat(des, swapInNotReady_);
     restoreStat(des, residentSamples_);

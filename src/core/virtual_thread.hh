@@ -28,6 +28,7 @@
 #ifndef VTSIM_CORE_VIRTUAL_THREAD_HH
 #define VTSIM_CORE_VIRTUAL_THREAD_HH
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -107,17 +108,23 @@ class VirtualThreadManager
     VirtualThreadManager(const GpuConfig &config, VtCtaQuery &query,
                          SmId sm_id);
 
-    /** Set the footprint all CTAs of the running kernel share. */
-    void configureKernel(const CtaFootprint &footprint);
+    /** Set the footprint all CTAs of the running kernel share
+     *  (solo launch: grid 0). */
+    void configureKernel(const CtaFootprint &footprint)
+    { configureGrid(0, footprint); }
 
-    /** Can one more CTA be admitted (VT: capacity limit only; baseline:
-     *  scheduling and capacity limits)? */
-    bool canAdmit() const;
+    /** Set the per-CTA footprint of one co-resident grid. Call for
+     *  every grid of a concurrent launch before any admission. */
+    void configureGrid(GridId grid, const CtaFootprint &footprint);
+
+    /** Can one more CTA of @p grid be admitted (VT: capacity limit
+     *  only; baseline: scheduling and capacity limits)? */
+    bool canAdmit(GridId grid = 0) const;
 
     /** A new CTA arrived from the dispatcher. Freshly launched CTAs
      *  activate immediately when an active slot is free (CTA launch
      *  initialisation is free in baseline and VT alike). */
-    void onAdmit(VirtualCtaId id, Cycle now);
+    void onAdmit(VirtualCtaId id, Cycle now, GridId grid = 0);
 
     /** The CTA retired all its warps. */
     void onCtaFinished(VirtualCtaId id, Cycle now);
@@ -159,7 +166,30 @@ class VirtualThreadManager
     void setActiveCap(std::uint32_t cap) { dynamicCap_ = cap; }
     std::uint32_t activeCap() const { return dynamicCap_; }
 
+    /**
+     * Block (or unblock) activations of @p grid's CTAs: blocked grids
+     * are skipped by swap-in / free-slot-fill candidate selection, so
+     * their resident CTAs park Inactive. Already-active CTAs are not
+     * touched — pair with forceSwapOut to vacate them. Used by the
+     * preempt sharing policy at its decision boundaries.
+     */
+    void setGridActivationBlocked(GridId grid, bool blocked)
+    { activationBlocked_[grid] = blocked ? 1 : 0; }
+    bool gridActivationBlocked(GridId grid) const
+    { return activationBlocked_[grid] != 0; }
+
+    /**
+     * Preempt one Active CTA: swap it out now regardless of its stall
+     * state (Pai et al.-style preemptive thread-block scheduling). The
+     * freed active slot is NOT immediately refilled — the caller decides
+     * who runs next (blocked grids would otherwise race back in).
+     * Requires vtEnabled (the swap machinery completes the transition).
+     */
+    void forceSwapOut(VirtualCtaId id, Cycle now);
+
     CtaState state(VirtualCtaId id) const;
+    /** Grid the resident CTA in slot @p id belongs to. */
+    GridId gridOf(VirtualCtaId id) const;
     std::uint32_t residentCtas() const { return residentCount_; }
     std::uint32_t activeCtas() const { return activeCtas_; }
 
@@ -172,6 +202,10 @@ class VirtualThreadManager
     // --- Stats -------------------------------------------------------------
     std::uint64_t swapOuts() const { return swapOuts_.value(); }
     std::uint64_t swapIns() const { return swapIns_.value(); }
+    std::uint64_t gridSwapOuts(GridId g) const
+    { return gridSwapOuts_.at(g).value(); }
+    std::uint64_t gridSwapIns(GridId g) const
+    { return gridSwapIns_.at(g).value(); }
     StatGroup &stats() { return stats_; }
 
     /**
@@ -207,11 +241,17 @@ class VirtualThreadManager
          */
         bool stalledNow = false;
         bool triggeredNow = false;
+        /** Owning grid (concurrent launches; solo CTAs are grid 0). */
+        GridId grid = 0;
     };
 
-    bool activeSlotFree() const;
+    /** Would one more Active CTA with footprint @p fp fit the
+     *  scheduling limit right now? */
+    bool activeSlotFreeFor(const CtaFootprint &fp) const;
+    /** Solo-path shorthand: grid 0's footprint. */
+    bool activeSlotFree() const { return activeSlotFreeFor(fps_[0]); }
     void activate(VirtualCtaId id, Cycle now);
-    void releaseActiveSlot();
+    void releaseActiveSlot(const CtaFootprint &fp);
     /** Best inactive CTA to bring in, or invalidId. When
      *  @p require_ready is set (swap decisions under ReadyFirst), only a
      *  CTA with no outstanding data qualifies. */
@@ -224,7 +264,10 @@ class VirtualThreadManager
     VtCtaQuery &query_;
     SmId smId_;
     telemetry::TraceJsonWriter *traceJson_ = nullptr;
-    CtaFootprint fp_;
+    /** Per-grid CTA footprints (solo launches configure only slot 0). */
+    std::array<CtaFootprint, maxGrids> fps_{};
+    /** Grids whose activations are blocked (preempt policy). */
+    std::array<std::uint8_t, maxGrids> activationBlocked_{};
 
     /** Slot-indexed (SmCore hands out dense, reused slot ids); iterating
      *  in index order matches the admission-map order it replaces. */
@@ -243,6 +286,8 @@ class VirtualThreadManager
     StatGroup stats_;
     Counter swapOuts_;
     Counter swapIns_;
+    std::array<Counter, maxGrids> gridSwapOuts_;
+    std::array<Counter, maxGrids> gridSwapIns_;
     Counter freshActivations_;
     Counter swapInNotReady_; ///< Swap-ins of CTAs still awaiting data.
     ScalarStat residentSamples_;

@@ -11,6 +11,7 @@
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "config/sim_mode.hh"
 #include "isa/assembler.hh"
 
 namespace vtsim {
@@ -132,6 +133,34 @@ restoreConfig(Deserializer &des)
 
 } // namespace
 
+std::string
+toString(SharePolicy policy)
+{
+    switch (policy) {
+      case SharePolicy::Spatial:
+        return "spatial";
+      case SharePolicy::VtFill:
+        return "vt-fill";
+      case SharePolicy::Preempt:
+        return "preempt";
+    }
+    return "unknown";
+}
+
+bool
+parseSharePolicy(const std::string &name, SharePolicy &out)
+{
+    if (name == "spatial")
+        out = SharePolicy::Spatial;
+    else if (name == "vt-fill")
+        out = SharePolicy::VtFill;
+    else if (name == "preempt")
+        out = SharePolicy::Preempt;
+    else
+        return false;
+    return true;
+}
+
 Gpu::Gpu(const GpuConfig &config)
     : config_(config),
       noc_(NocParams{config.nocLatency, config.nocFlitsPerCycle,
@@ -179,6 +208,18 @@ Gpu::Gpu(const GpuConfig &config)
             if (gpu->checkpointEvery_ == 0)
                 return neverCycle;
             return (now / gpu->checkpointEvery_ + 1) * gpu->checkpointEvery_;
+        },
+        this);
+    // Preempt-policy boundary decisions are scheduled wakeups too:
+    // fast-forward jumps must land exactly on them so the blocked-grid
+    // state changes at the same cycle with fast-forward on or off.
+    horizon_.addConstraint(
+        [](void *ctx, Cycle now) -> Cycle {
+            const auto *gpu = static_cast<const Gpu *>(ctx);
+            if (!gpu->preemptActive())
+                return neverCycle;
+            return (now / preemptBoundaryCycles_ + 1) *
+                   preemptBoundaryCycles_;
         },
         this);
 
@@ -256,12 +297,12 @@ Gpu::reset()
     gmem_.reset();
     cycle_ = 0;
 
-    dispatcher_.reset();
-    activeLaunch_ = LaunchParams{};
-    activeKernelName_.clear();
-    activeKernelInstrs_ = 0;
-    activeKernelRegs_ = 0;
-    activeKernelShared_ = 0;
+    grids_.clear();
+    sharePolicy_ = SharePolicy::VtFill;
+    priorityOrder_.clear();
+    gridBase_.fill(0);
+    lastBoundaryCompleted_.fill(0);
+    gridStats_.clear();
     before_ = StatsSnapshot{};
     launchStart_ = 0;
     pendingResume_ = false;
@@ -342,14 +383,23 @@ Gpu::buildCheckpoint(std::vector<std::uint8_t> &out)
     sec = ser.beginSection("gpux");
     ser.put<std::uint64_t>(cycle_);
     ser.put<std::uint64_t>(launchStart_);
-    ser.putString(activeKernelName_);
-    ser.put<std::uint64_t>(activeKernelInstrs_);
-    ser.put<std::uint32_t>(activeKernelRegs_);
-    ser.put<std::uint32_t>(activeKernelShared_);
-    ser.put(activeLaunch_.grid);
-    ser.put(activeLaunch_.cta);
-    ser.putVec(activeLaunch_.params);
-    ser.put<std::uint64_t>(dispatcher_ ? dispatcher_->dispatched() : 0);
+    ser.put<std::uint8_t>(static_cast<std::uint8_t>(sharePolicy_));
+    ser.put<std::uint32_t>(std::uint32_t(grids_.size()));
+    for (std::size_t g = 0; g < grids_.size(); ++g) {
+        const GridContext &ctx = grids_[g];
+        ser.putString(ctx.kernelName);
+        ser.put<std::uint64_t>(ctx.kernelInstrs);
+        ser.put<std::uint32_t>(ctx.kernelRegs);
+        ser.put<std::uint32_t>(ctx.kernelShared);
+        ser.put(ctx.params.grid);
+        ser.put(ctx.params.cta);
+        ser.putVec(ctx.params.params);
+        ser.put<std::uint32_t>(ctx.priority);
+        ser.put<std::uint64_t>(
+            ctx.dispatcher ? ctx.dispatcher->dispatched() : 0);
+        ser.put<std::uint64_t>(gridBase_[g]);
+        ser.put<std::uint64_t>(lastBoundaryCompleted_[g]);
+    }
     before_.save(ser);
     ser.put<std::uint8_t>(static_cast<std::uint8_t>(simMode_));
     ser.put<std::uint8_t>(sampler_ ? 1 : 0);
@@ -361,7 +411,7 @@ Gpu::buildCheckpoint(std::vector<std::uint8_t> &out)
     horizon_.saveAll(ser);
 
     const auto &payload = ser.buffer();
-    const std::uint32_t version = 1;
+    const std::uint32_t version = 2;
     const std::uint64_t size = payload.size();
     out.clear();
     out.reserve(8 + sizeof(version) + sizeof(size) + payload.size());
@@ -432,7 +482,7 @@ Gpu::restoreImage(const std::uint8_t *data, std::size_t size,
     }
     std::uint32_t version = 0;
     std::memcpy(&version, data + 8, sizeof(version));
-    if (version != 1)
+    if (version != 2)
         VTSIM_FATAL("unsupported checkpoint version ", version, " in ",
                     source);
     std::uint64_t payload_size = 0;
@@ -460,14 +510,35 @@ Gpu::restoreImage(const std::uint8_t *data, std::size_t size,
     des.beginSection("gpux");
     cycle_ = des.get<std::uint64_t>();
     launchStart_ = des.get<std::uint64_t>();
-    activeKernelName_ = des.getString();
-    activeKernelInstrs_ = des.get<std::uint64_t>();
-    activeKernelRegs_ = des.get<std::uint32_t>();
-    activeKernelShared_ = des.get<std::uint32_t>();
-    des.get(activeLaunch_.grid);
-    des.get(activeLaunch_.cta);
-    des.getVec(activeLaunch_.params);
-    const auto dispatched = des.get<std::uint64_t>();
+    const auto policy = des.get<std::uint8_t>();
+    if (policy > static_cast<std::uint8_t>(SharePolicy::Preempt))
+        VTSIM_FATAL("checkpoint ", source, " has unknown share policy ",
+                    unsigned(policy));
+    sharePolicy_ = static_cast<SharePolicy>(policy);
+    const auto num_grids = des.get<std::uint32_t>();
+    if (num_grids > maxGrids)
+        VTSIM_FATAL("checkpoint ", source, " has ", num_grids,
+                    " grids; this build supports ", maxGrids);
+    grids_.clear();
+    gridBase_.fill(0);
+    lastBoundaryCompleted_.fill(0);
+    for (std::uint32_t g = 0; g < num_grids; ++g) {
+        GridContext ctx;
+        ctx.kernelName = des.getString();
+        ctx.kernelInstrs = des.get<std::uint64_t>();
+        ctx.kernelRegs = des.get<std::uint32_t>();
+        ctx.kernelShared = des.get<std::uint32_t>();
+        des.get(ctx.params.grid);
+        des.get(ctx.params.cta);
+        des.getVec(ctx.params.params);
+        ctx.priority = des.get<std::uint32_t>();
+        const auto dispatched = des.get<std::uint64_t>();
+        gridBase_[g] = des.get<std::uint64_t>();
+        lastBoundaryCompleted_[g] = des.get<std::uint64_t>();
+        ctx.dispatcher = std::make_unique<CtaDispatcher>(ctx.params);
+        ctx.dispatcher->setDispatched(dispatched);
+        grids_.push_back(std::move(ctx));
+    }
     before_.restore(des);
     const auto mode = des.get<std::uint8_t>();
     if (mode > static_cast<std::uint8_t>(SimMode::Replay))
@@ -493,10 +564,23 @@ Gpu::restoreImage(const std::uint8_t *data, std::size_t size,
     if (!des.finished())
         VTSIM_FATAL("checkpoint ", source, " has trailing bytes");
 
-    dispatcher_ = std::make_unique<CtaDispatcher>(activeLaunch_);
-    dispatcher_->setDispatched(dispatched);
+    rebuildPriorityOrder();
     pendingResume_ = true;
-    return activeLaunch_;
+    return grids_.empty() ? LaunchParams{} : grids_.front().params;
+}
+
+std::vector<GridLaunch>
+Gpu::restoredGrids() const
+{
+    std::vector<GridLaunch> out;
+    out.reserve(grids_.size());
+    for (const GridContext &ctx : grids_) {
+        GridLaunch gl;
+        gl.params = ctx.params;
+        gl.priority = ctx.priority;
+        out.push_back(std::move(gl));
+    }
+    return out;
 }
 
 std::uint32_t
@@ -579,27 +663,33 @@ Gpu::replayTrace(const std::string &path)
                         "mode; resume it with a functional launch, not "
                         "--replay-trace");
         }
-        if (activeKernelName_ != "replay:" + h.kernelName) {
+        if (grids_.size() != 1 ||
+            grids_[0].kernelName != "replay:" + h.kernelName) {
             VTSIM_FATAL("checkpoint resumes a replay of '",
-                        activeKernelName_, "' but trace '", path,
-                        "' records kernel '", h.kernelName, "'");
+                        grids_.empty() ? "" : grids_[0].kernelName,
+                        "' but trace '", path, "' records kernel '",
+                        h.kernelName, "'");
         }
         pendingResume_ = false;
         for (std::uint32_t s = 0; s < sms_.size(); ++s)
             sms_[s]->resumeReplay(&mtraceReader_->accesses(s));
     } else {
         simMode_ = SimMode::Replay;
-        activeLaunch_ = LaunchParams{};
-        activeLaunch_.grid = h.grid;
-        activeLaunch_.cta = h.cta;
-        activeKernelName_ = "replay:" + h.kernelName;
-        activeKernelInstrs_ = kernel.size();
-        activeKernelRegs_ = kernel.regsPerThread();
-        activeKernelShared_ = kernel.sharedBytesPerCta();
+        grids_.clear();
+        GridContext ctx;
+        ctx.params.grid = h.grid;
+        ctx.params.cta = h.cta;
+        ctx.kernelName = "replay:" + h.kernelName;
+        ctx.kernelInstrs = kernel.size();
+        ctx.kernelRegs = kernel.regsPerThread();
+        ctx.kernelShared = kernel.sharedBytesPerCta();
         // The recording run dispatched the whole grid; the replay
         // admits nothing, so the dispatcher starts fully drained.
-        dispatcher_ = std::make_unique<CtaDispatcher>(activeLaunch_);
-        dispatcher_->setDispatched(activeLaunch_.numCtas());
+        ctx.dispatcher = std::make_unique<CtaDispatcher>(ctx.params);
+        ctx.dispatcher->setDispatched(ctx.params.numCtas());
+        grids_.push_back(std::move(ctx));
+        sharePolicy_ = SharePolicy::VtFill;
+        rebuildPriorityOrder();
         before_ = StatsSnapshot::capture(registry_);
         launchStart_ = cycle_;
         if (sampler_)
@@ -613,9 +703,9 @@ Gpu::replayTrace(const std::string &path)
     if (profiler_)
         profiler_->beginRun();
     if (workers > 1)
-        runSharded(kernel, workers);
+        runSharded(workers);
     else
-        runSequential(kernel);
+        runSequential();
     if (profiler_)
         profiler_->endRun();
 
@@ -640,10 +730,43 @@ Gpu::replayTrace(const std::string &path)
 KernelStats
 Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
 {
-    if (launch.numCtas() == 0)
-        VTSIM_FATAL("empty grid");
-    if (launch.threadsPerCta() == 0)
-        VTSIM_FATAL("empty CTA");
+    GridLaunch gl;
+    gl.kernel = &kernel;
+    gl.params = launch;
+    std::vector<GridLaunch> launches;
+    launches.push_back(std::move(gl));
+    return launchConcurrent(launches, SharePolicy::VtFill);
+}
+
+KernelStats
+Gpu::launchConcurrent(const std::vector<GridLaunch> &launches,
+                      SharePolicy policy)
+{
+    if (launches.empty())
+        VTSIM_FATAL("concurrent launch with no grids");
+    if (launches.size() > maxGrids) {
+        VTSIM_FATAL("concurrent launch with ", launches.size(),
+                    " grids exceeds the ", maxGrids, "-grid limit");
+    }
+    for (const GridLaunch &gl : launches) {
+        if (!gl.kernel)
+            VTSIM_FATAL("concurrent launch with a null kernel");
+        if (gl.params.numCtas() == 0)
+            VTSIM_FATAL("empty grid");
+        if (gl.params.threadsPerCta() == 0)
+            VTSIM_FATAL("empty CTA");
+    }
+    // One mode-matrix check covers every launch-shape rule: record vs
+    // co-run, record vs mid-run checkpoints, record vs resume, preempt
+    // without VT (config/sim_mode.hh).
+    SimModeSpec mode;
+    mode.recordTrace = !recordTracePath_.empty();
+    mode.restore = pendingResume_;
+    mode.checkpointEvery = checkpointEvery_;
+    mode.numGrids = launches.size();
+    mode.preemptPolicy = policy == SharePolicy::Preempt;
+    mode.vtEnabled = config_.vtEnabled;
+    requireValidSimMode(mode);
     // A pending requestPreempt() survives into this launch on purpose:
     // the job service pre-arms it to stop a run at its first cadence
     // boundary. Only the *outcome* flag resets per launch.
@@ -651,62 +774,89 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
 
     if (pendingResume_) {
         // Resuming a restored checkpoint: the machine state is already
-        // loaded; verify the caller passed the checkpoint's kernel and
-        // grid, then re-attach the live bindings (pointers into caller
+        // loaded; verify the caller passed the checkpoint's kernels and
+        // grids, then re-attach the live bindings (pointers into caller
         // objects) that a checkpoint cannot carry.
         if (simMode_ == SimMode::Replay) {
             VTSIM_FATAL("checkpoint was taken in trace-replay mode; "
                         "resume it with --replay-trace "
                         "(Gpu::replayTrace), not a functional launch");
         }
-        if (!recordTracePath_.empty()) {
-            VTSIM_FATAL("trace recording must start at a fresh launch, "
-                        "not on a resumed checkpoint (the trace would "
-                        "miss the accesses before the restore point)");
+        if (launches.size() != grids_.size()) {
+            VTSIM_FATAL("resume launch has ", launches.size(),
+                        " grids but the checkpoint carries ",
+                        grids_.size());
+        }
+        if (grids_.size() > 1 && policy != sharePolicy_) {
+            VTSIM_FATAL("resume share policy '", toString(policy),
+                        "' does not match the checkpoint's '",
+                        toString(sharePolicy_), "'");
         }
         pendingResume_ = false;
-        if (kernel.name() != activeKernelName_ ||
-            kernel.size() != activeKernelInstrs_ ||
-            kernel.regsPerThread() != activeKernelRegs_ ||
-            kernel.sharedBytesPerCta() != activeKernelShared_) {
-            VTSIM_FATAL("resume kernel '", kernel.name(),
-                        "' does not match the checkpoint's '",
-                        activeKernelName_, "'");
+        for (std::size_t g = 0; g < launches.size(); ++g) {
+            const GridLaunch &gl = launches[g];
+            GridContext &ctx = grids_[g];
+            if (gl.kernel->name() != ctx.kernelName ||
+                gl.kernel->size() != ctx.kernelInstrs ||
+                gl.kernel->regsPerThread() != ctx.kernelRegs ||
+                gl.kernel->sharedBytesPerCta() != ctx.kernelShared) {
+                VTSIM_FATAL("resume kernel '", gl.kernel->name(),
+                            "' of grid ", g,
+                            " does not match the checkpoint's '",
+                            ctx.kernelName, "'");
+            }
+            if (!(gl.params.grid == ctx.params.grid) ||
+                !(gl.params.cta == ctx.params.cta) ||
+                gl.params.params != ctx.params.params ||
+                gl.priority != ctx.priority) {
+                VTSIM_FATAL("resume launch parameters of grid ", g,
+                            " do not match the checkpoint's");
+            }
+            ctx.kernel = gl.kernel;
         }
-        if (!(launch.grid == activeLaunch_.grid) ||
-            !(launch.cta == activeLaunch_.cta) ||
-            launch.params != activeLaunch_.params) {
-            VTSIM_FATAL("resume launch parameters do not match the "
-                        "checkpoint's");
+        for (auto &sm : sms_) {
+            for (std::size_t g = 0; g < grids_.size(); ++g) {
+                sm->rebindGrid(GridId(g), *grids_[g].kernel,
+                               grids_[g].params, gmem_);
+            }
         }
-        for (auto &sm : sms_)
-            sm->rebindKernel(kernel, launch, gmem_);
     } else {
-        dispatcher_ = std::make_unique<CtaDispatcher>(launch);
-        activeLaunch_ = launch;
-        activeKernelName_ = kernel.name();
-        activeKernelInstrs_ = kernel.size();
-        activeKernelRegs_ = kernel.regsPerThread();
-        activeKernelShared_ = kernel.sharedBytesPerCta();
-        for (auto &sm : sms_)
-            sm->launchKernel(kernel, launch, gmem_);
+        grids_.clear();
+        for (const GridLaunch &gl : launches) {
+            GridContext ctx;
+            ctx.kernel = gl.kernel;
+            ctx.params = gl.params;
+            ctx.priority = gl.priority;
+            ctx.kernelName = gl.kernel->name();
+            ctx.kernelInstrs = gl.kernel->size();
+            ctx.kernelRegs = gl.kernel->regsPerThread();
+            ctx.kernelShared = gl.kernel->sharedBytesPerCta();
+            ctx.dispatcher = std::make_unique<CtaDispatcher>(gl.params);
+            grids_.push_back(std::move(ctx));
+        }
+        sharePolicy_ = policy;
+        rebuildPriorityOrder();
+        for (std::size_t g = 0; g < grids_.size(); ++g) {
+            gridBase_[g] = gridCompleted(std::uint32_t(g));
+            lastBoundaryCompleted_[g] = 0;
+        }
+        for (auto &sm : sms_) {
+            sm->beginGridBinding(gmem_);
+            for (std::size_t g = 0; g < grids_.size(); ++g)
+                sm->bindGrid(GridId(g), *grids_[g].kernel,
+                             grids_[g].params);
+        }
         simMode_ = SimMode::Functional;
 
         if (!recordTracePath_.empty()) {
-            if (checkpointEvery_ != 0) {
-                VTSIM_FATAL("trace recording does not compose with "
-                            "mid-run checkpoints or preemption (the "
-                            "writer's stream position is not "
-                            "checkpointable)");
-            }
             MtraceHeader header;
             header.numSms = config_.numSms;
             header.numMemPartitions = config_.numMemPartitions;
             header.l1LineSize = config_.l1LineSize;
             header.l2LineSize = config_.l2LineSize;
-            header.kernelName = kernel.name();
-            header.grid = launch.grid;
-            header.cta = launch.cta;
+            header.kernelName = grids_[0].kernelName;
+            header.grid = grids_[0].params.grid;
+            header.cta = grids_[0].params.cta;
             mtraceWriter_ = std::make_unique<MtraceWriter>();
             mtraceWriter_->begin(recordTracePath_, header, cycle_);
             for (auto &sm : sms_)
@@ -726,9 +876,9 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
     if (profiler_)
         profiler_->beginRun();
     if (workers > 1)
-        runSharded(kernel, workers);
+        runSharded(workers);
     else
-        runSequential(kernel);
+        runSequential();
     if (profiler_)
         profiler_->endRun();
 
@@ -749,16 +899,34 @@ Gpu::launch(const Kernel &kernel, const LaunchParams &launch)
     if (checkpointEvery_ == 0 && !checkpointPath_.empty() && !preempted_)
         writeCheckpoint();
 
+    const StatsSnapshot after = StatsSnapshot::capture(registry_);
     KernelStats stats;
     stats.cycles = cycle_ - start;
-    StatsSnapshot::capture(registry_).delta(before_, registry_, stats);
+    after.delta(before_, registry_, stats);
 
-    VTSIM_ASSERT(preempted_ || stats.ctasCompleted == launch.numCtas(),
+    std::uint64_t total_ctas = 0;
+    for (const GridContext &ctx : grids_)
+        total_ctas += ctx.params.numCtas();
+    VTSIM_ASSERT(preempted_ || stats.ctasCompleted == total_ctas,
                  "CTA completion mismatch: ", stats.ctasCompleted, " of ",
-                 launch.numCtas());
+                 total_ctas);
     stats.ipc = stats.cycles
                     ? double(stats.warpInstructions) / stats.cycles
                     : 0.0;
+
+    gridStats_.clear();
+    for (std::size_t g = 0; g < grids_.size(); ++g) {
+        GridStats gs;
+        gs.kernelName = grids_[g].kernelName;
+        gs.priority = grids_[g].priority;
+        gs.stats.cycles = stats.cycles;
+        after.deltaGrid(before_, registry_, std::int32_t(g), gs.stats);
+        gs.stats.ipc =
+            gs.stats.cycles
+                ? double(gs.stats.warpInstructions) / gs.stats.cycles
+                : 0.0;
+        gridStats_.push_back(std::move(gs));
+    }
     return stats;
 }
 
@@ -769,6 +937,161 @@ Gpu::totalIssued() const
     for (const auto &sm : sms_)
         total += sm->instructionsIssued();
     return total;
+}
+
+bool
+Gpu::anyGridHasWork() const
+{
+    for (const GridContext &ctx : grids_)
+        if (ctx.dispatcher->hasWork())
+            return true;
+    return false;
+}
+
+int
+Gpu::pickAdmitGrid(std::uint32_t s) const
+{
+    const std::size_t n = grids_.size();
+    if (n <= 1) {
+        // The solo fast path — identical to the pre-concurrent
+        // dispatcher check, so N=1 launches stay bit-identical.
+        if (n == 1 && grids_[0].dispatcher->hasWork() &&
+            sms_[s]->canAdmitCta(0)) {
+            return 0;
+        }
+        return -1;
+    }
+    switch (sharePolicy_) {
+      case SharePolicy::Spatial: {
+        // SM s belongs to exactly one grid: the contiguous block
+        // partition of the SM range (grid g owns SMs with
+        // s*n/numSms == g).
+        const auto g = std::uint32_t(std::uint64_t(s) * n / sms_.size());
+        if (grids_[g].dispatcher->hasWork() &&
+            sms_[s]->canAdmitCta(GridId(g))) {
+            return int(g);
+        }
+        return -1;
+      }
+      case SharePolicy::VtFill:
+        for (std::uint32_t g = 0; g < n; ++g) {
+            if (grids_[g].dispatcher->hasWork() &&
+                sms_[s]->canAdmitCta(GridId(g))) {
+                return int(g);
+            }
+        }
+        return -1;
+      case SharePolicy::Preempt:
+        for (const std::uint32_t g : priorityOrder_) {
+            if (grids_[g].dispatcher->hasWork() &&
+                sms_[s]->canAdmitCta(GridId(g))) {
+                return int(g);
+            }
+        }
+        return -1;
+    }
+    return -1;
+}
+
+bool
+Gpu::admitPending() const
+{
+    for (std::uint32_t s = 0; s < sms_.size(); ++s)
+        if (pickAdmitGrid(s) >= 0)
+            return true;
+    return false;
+}
+
+std::string
+Gpu::launchName() const
+{
+    std::string name;
+    for (const GridContext &ctx : grids_) {
+        if (!name.empty())
+            name += '+';
+        name += ctx.kernelName;
+    }
+    return name;
+}
+
+std::uint64_t
+Gpu::gridCompleted(std::uint32_t g) const
+{
+    std::uint64_t total = 0;
+    for (const auto &sm : sms_)
+        total += sm->gridCtasCompleted(GridId(g));
+    return total;
+}
+
+void
+Gpu::rebuildPriorityOrder()
+{
+    priorityOrder_.resize(grids_.size());
+    for (std::uint32_t g = 0; g < priorityOrder_.size(); ++g)
+        priorityOrder_[g] = g;
+    std::stable_sort(priorityOrder_.begin(), priorityOrder_.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                         return grids_[a].priority < grids_[b].priority;
+                     });
+}
+
+void
+Gpu::preemptBoundaryTick()
+{
+    // The highest-priority grid with CTAs still to finish. Grids above
+    // it are done; everything below is (re)blocked so its CTAs park
+    // Inactive at their next swap opportunity. Once only one grid
+    // remains unfinished nothing is blocked and the machine drains as a
+    // solo run.
+    int top = -1;
+    for (const std::uint32_t g : priorityOrder_) {
+        if (gridCompleted(g) - gridBase_[g] < grids_[g].params.numCtas()) {
+            top = int(g);
+            break;
+        }
+    }
+    std::array<bool, maxGrids> blocked{};
+    if (top >= 0) {
+        bool after_top = false;
+        for (const std::uint32_t g : priorityOrder_) {
+            blocked[g] = after_top;
+            if (int(g) == top)
+                after_top = true;
+        }
+    }
+    for (auto &sm : sms_)
+        for (std::uint32_t g = 0; g < grids_.size(); ++g)
+            sm->setGridActivationBlocked(GridId(g), blocked[g]);
+
+    if (top >= 0) {
+        // Online progress estimate (the interval sampler's per-grid
+        // series reads the same counters): a top grid that completed
+        // nothing since the last boundary earns a doubled eviction
+        // budget per SM.
+        const std::uint64_t done =
+            gridCompleted(std::uint32_t(top)) - gridBase_[top];
+        const std::uint32_t budget =
+            done == lastBoundaryCompleted_[std::size_t(top)] ? 2 : 1;
+        for (auto &sm : sms_) {
+            // Preempting only helps SMs where the top grid is parked:
+            // a resident-but-inactive CTA, or dispatcher work this SM
+            // has capacity for (freed active slots let it run at once).
+            if (!sm->hasInactiveCta(GridId(top)) &&
+                !(grids_[top].dispatcher->hasWork() &&
+                  sm->canAdmitCta(GridId(top)))) {
+                continue;
+            }
+            std::uint32_t left = budget;
+            for (auto it = priorityOrder_.rbegin();
+                 it != priorityOrder_.rend() && left > 0; ++it) {
+                if (!blocked[*it])
+                    break; // Reached the top grid and above.
+                left -= sm->forcePreemptGrid(GridId(*it), left, cycle_);
+            }
+        }
+    }
+    for (std::uint32_t g = 0; g < grids_.size(); ++g)
+        lastBoundaryCompleted_[g] = gridCompleted(g) - gridBase_[g];
 }
 
 unsigned
@@ -798,7 +1121,7 @@ Gpu::effectiveSimThreads() const
 }
 
 Gpu::StepResult
-Gpu::sequentialCycle(const Kernel &kernel, Cycle deadline)
+Gpu::sequentialCycle(Cycle deadline)
 {
     // Self-profiling measures every cycleCadence-th executed cycle;
     // the LoopOther mark here closes the post-tick bookkeeping span so
@@ -806,29 +1129,29 @@ Gpu::sequentialCycle(const Kernel &kernel, Cycle deadline)
     // timed spans inside — sampler, checkpoint, horizon settle —
     // refresh the phase clock and are never double-counted).
     if (profiler_ && profiler_->beginCycle()) {
-        const StepResult r = sequentialCycleBody(kernel, deadline, true);
+        const StepResult r = sequentialCycleBody(deadline, true);
         profiler_->markPhase(telemetry::SimProfiler::Bucket::LoopOther);
         return r;
     }
-    return sequentialCycleBody(kernel, deadline, false);
+    return sequentialCycleBody(deadline, false);
 }
 
 Gpu::StepResult
-Gpu::sequentialCycleBody(const Kernel &kernel, Cycle deadline, bool prof)
+Gpu::sequentialCycleBody(Cycle deadline, bool prof)
 {
-    CtaDispatcher &dispatcher = *dispatcher_;
-
-    // CTA work distribution: one CTA per SM per cycle, round-robin.
+    // CTA work distribution: one CTA per SM per cycle, round-robin;
+    // pickAdmitGrid chooses which grid's dispatcher feeds each SM.
     // Under sharded trace staging (the serial fast path between epochs)
     // the admission events must merge before every tick-phase event of
     // this cycle, so the stage's rank is retargeted around the call.
     bool admitted = false;
     for (std::uint32_t s = 0; s < sms_.size(); ++s) {
         SmCore &sm = *sms_[s];
-        if (dispatcher.hasWork() && sm.canAdmitCta()) {
+        const int g = pickAdmitGrid(s);
+        if (g >= 0) {
             if (!smStages_.empty())
                 smStages_[s]->setRank(s);
-            sm.admitCta(dispatcher.next(), cycle_);
+            sm.admitCta(grids_[g].dispatcher->next(), cycle_, GridId(g));
             if (!smStages_.empty())
                 smStages_[s]->setRank(smTickRank(s));
             admitted = true;
@@ -854,7 +1177,11 @@ Gpu::sequentialCycleBody(const Kernel &kernel, Cycle deadline, bool prof)
     ++cycle_;
     if (sampler_ && cycle_ == sampler_->nextSampleAt())
         takeSample();
-    const bool done = !dispatcher.hasWork() && allIdle();
+    const bool done = !anyGridHasWork() && allIdle();
+    if (preemptActive() && !done &&
+        cycle_ % preemptBoundaryCycles_ == 0) {
+        preemptBoundaryTick();
+    }
     // Periodic checkpoints land on multiples of checkpointEvery_,
     // and only strictly mid-kernel: a resumed launch re-enters the
     // loop exactly where the admission phase for this cycle would
@@ -872,7 +1199,7 @@ Gpu::sequentialCycleBody(const Kernel &kernel, Cycle deadline, bool prof)
     if (done)
         return StepResult::Done;
     if (cycle_ >= deadline) {
-        VTSIM_FATAL("watchdog: kernel '", kernel.name(), "' exceeded ",
+        VTSIM_FATAL("watchdog: kernel '", launchName(), "' exceeded ",
                     config_.maxCycles, " cycles");
     }
 
@@ -882,19 +1209,15 @@ Gpu::sequentialCycleBody(const Kernel &kernel, Cycle deadline, bool prof)
     // accounting the skipped empty ticks would have done. Every
     // statistic is bit-identical to the naive loop's. The horizon
     // itself — the min over component next events, clamped by
-    // sampler/checkpoint wakeups — is EventHorizon's job.
+    // sampler/checkpoint/preempt-boundary wakeups — is EventHorizon's
+    // job.
     if (!config_.fastForwardEnabled)
         return StepResult::Running;
     if (admitted || totalIssued() != issued_before)
         return StepResult::Running; // A busy cycle is never at an
                                     // event-free horizon.
-    if (dispatcher.hasWork()) {
-        bool can_admit = false;
-        for (const auto &sm : sms_)
-            can_admit = can_admit || sm->canAdmitCta();
-        if (can_admit)
-            return StepResult::Running; // The next iteration admits.
-    }
+    if (admitPending())
+        return StepResult::Running; // The next iteration admits.
     const Cycle horizon = horizon_.target(cycle_, deadline);
     if (horizon <= cycle_)
         return StepResult::Running;
@@ -910,11 +1233,13 @@ Gpu::sequentialCycleBody(const Kernel &kernel, Cycle deadline, bool prof)
     }
     cycle_ = horizon;
     if (cycle_ >= deadline) {
-        VTSIM_FATAL("watchdog: kernel '", kernel.name(), "' exceeded ",
+        VTSIM_FATAL("watchdog: kernel '", launchName(), "' exceeded ",
                     config_.maxCycles, " cycles");
     }
     if (sampler_ && cycle_ == sampler_->nextSampleAt())
         takeSample();
+    if (preemptActive() && cycle_ % preemptBoundaryCycles_ == 0)
+        preemptBoundaryTick();
     if (checkpointEvery_ != 0 && cycle_ % checkpointEvery_ == 0) {
         if (!checkpointPath_.empty())
             writeCheckpoint();
@@ -927,10 +1252,10 @@ Gpu::sequentialCycleBody(const Kernel &kernel, Cycle deadline, bool prof)
 }
 
 void
-Gpu::runSequential(const Kernel &kernel)
+Gpu::runSequential()
 {
     const Cycle deadline = launchStart_ + config_.maxCycles;
-    while (sequentialCycle(kernel, deadline) == StepResult::Running) {
+    while (sequentialCycle(deadline) == StepResult::Running) {
     }
 }
 
@@ -958,9 +1283,8 @@ Gpu::runSequential(const Kernel &kernel)
  *     order, so the JSON is byte-identical to the sequential file.
  */
 void
-Gpu::runSharded(const Kernel &kernel, unsigned workers)
+Gpu::runSharded(unsigned workers)
 {
-    CtaDispatcher &dispatcher = *dispatcher_;
     const Cycle deadline = launchStart_ + config_.maxCycles;
     // The epoch must not outlive the shortest cross-shard feedback
     // path: nocLatency bounds when staged traffic could mature, and
@@ -1015,13 +1339,8 @@ Gpu::runSharded(const Kernel &kernel, unsigned workers)
         // ramp and any cycle right after a slot freed), run plain
         // sequential cycles — admission is inherently serial, and these
         // cycles are a small fraction of a long run.
-        bool can_admit = false;
-        if (dispatcher.hasWork()) {
-            for (const auto &sm : sms_)
-                can_admit = can_admit || sm->canAdmitCta();
-        }
-        if (can_admit) {
-            const StepResult r = sequentialCycle(kernel, deadline);
+        if (admitPending()) {
+            const StepResult r = sequentialCycle(deadline);
             mergeTraceStages();
             if (r != StepResult::Running)
                 break;
@@ -1030,30 +1349,35 @@ Gpu::runSharded(const Kernel &kernel, unsigned workers)
 
         const Cycle tstart = cycle_;
         Cycle tend = tstart + epoch_len;
-        // Sampler and checkpoint boundaries must land exactly on an
-        // epoch edge so the barrier observes the same settled state the
-        // sequential loop would.
+        // Sampler, checkpoint and preempt-policy boundaries must land
+        // exactly on an epoch edge so the barrier observes the same
+        // settled state the sequential loop would.
         if (sampler_)
             tend = std::min(tend, sampler_->nextSampleAt());
         if (checkpointEvery_ != 0) {
             tend = std::min(
                 tend, (tstart / checkpointEvery_ + 1) * checkpointEvery_);
         }
+        if (preemptActive()) {
+            tend = std::min(tend, (tstart / preemptBoundaryCycles_ + 1) *
+                                      preemptBoundaryCycles_);
+        }
         tend = std::min(tend, deadline);
         VTSIM_ASSERT(tend > tstart, "empty sharded epoch at cycle ",
                      tstart);
 
         std::vector<std::vector<std::uint8_t>> pre_images;
-        std::uint64_t pre_dispatched = 0;
+        std::vector<std::uint64_t> pre_dispatched;
         if (config_.shardOracle) {
             pre_images = captureShardImages();
-            pre_dispatched = dispatcher.dispatched();
+            for (const GridContext &ctx : grids_)
+                pre_dispatched.push_back(ctx.dispatcher->dispatched());
         }
 
         // Admissions freeze for the epoch: only the barrier (or the
-        // serial path) drains the dispatcher, so the flag cannot go
-        // stale mid-epoch.
-        const bool admissions_open = dispatcher.hasWork();
+        // serial path) drains the dispatchers, so per-grid hasWork
+        // cannot go stale mid-epoch.
+        const bool admissions_open = anyGridHasWork();
         noc_.beginEpochStaging();
         gmem_.setDeferWrites(true);
         for (auto &sm : sms_)
@@ -1096,7 +1420,9 @@ Gpu::runSharded(const Kernel &kernel, unsigned workers)
                 for (Cycle c = tstart; c < tend; ++c) {
                     // The sequential loop would admit a CTA here; park
                     // the SM for the barrier's ordered admission scan.
-                    if (admissions_open && sm.canAdmitCta()) {
+                    // (pickAdmitGrid reads only this SM plus the frozen
+                    // dispatchers, so it is epoch-safe.)
+                    if (admissions_open && pickAdmitGrid(s) >= 0) {
                         ep.paused = true;
                         ep.pauseCycle = c;
                         break;
@@ -1151,19 +1477,23 @@ Gpu::runSharded(const Kernel &kernel, unsigned workers)
             SmEpoch &ep = sm_ep[s];
             ep.paused = false;
             bool admitted_here = false;
-            if (dispatcher.hasWork()) {
-                if (!smStages_.empty())
-                    smStages_[s]->setRank(s);
-                sm.admitCta(dispatcher.next(), c0);
-                if (!smStages_.empty())
-                    smStages_[s]->setRank(smTickRank(s));
-                admitted_here = true;
+            {
+                const int g = pickAdmitGrid(s);
+                if (g >= 0) {
+                    if (!smStages_.empty())
+                        smStages_[s]->setRank(s);
+                    sm.admitCta(grids_[g].dispatcher->next(), c0,
+                                GridId(g));
+                    if (!smStages_.empty())
+                        smStages_[s]->setRank(smTickRank(s));
+                    admitted_here = true;
+                }
             }
             bool repaused = false;
             for (Cycle c = c0; c < tend; ++c) {
                 // One admission per SM per cycle: at c0 the scan just
                 // ran, so only later cycles may re-pause.
-                if (dispatcher.hasWork() && sm.canAdmitCta() &&
+                if (pickAdmitGrid(s) >= 0 &&
                     !(admitted_here && c == c0)) {
                     ep.paused = true;
                     ep.pauseCycle = c;
@@ -1190,7 +1520,7 @@ Gpu::runSharded(const Kernel &kernel, unsigned workers)
         // the cycle the sequential loop would have exited at: one past
         // the last cycle any component was active after ticking, i.e.
         // the first cycle whose post-tick state was all-idle, plus one.
-        bool done = !dispatcher.hasWork() && noc_.idle() &&
+        bool done = !anyGridHasWork() && noc_.idle() &&
                     noc_.stagingEmpty();
         if (done) {
             for (const auto &sm : sms_)
@@ -1252,6 +1582,10 @@ Gpu::runSharded(const Kernel &kernel, unsigned workers)
         cycle_ = done ? end_cycle : tend;
         if (sampler_ && cycle_ == sampler_->nextSampleAt())
             takeSample();
+        if (preemptActive() && !done &&
+            cycle_ % preemptBoundaryCycles_ == 0) {
+            preemptBoundaryTick();
+        }
         if (checkpointEvery_ != 0 && !done &&
             cycle_ % checkpointEvery_ == 0) {
             if (!checkpointPath_.empty())
@@ -1265,7 +1599,7 @@ Gpu::runSharded(const Kernel &kernel, unsigned workers)
         if (done)
             break;
         if (cycle_ >= deadline) {
-            VTSIM_FATAL("watchdog: kernel '", kernel.name(),
+            VTSIM_FATAL("watchdog: kernel '", launchName(),
                         "' exceeded ", config_.maxCycles, " cycles");
         }
 
@@ -1276,12 +1610,7 @@ Gpu::runSharded(const Kernel &kernel, unsigned workers)
         // (one empty tick later) with identical bulk accounting.
         if (!config_.fastForwardEnabled)
             continue;
-        bool admit_pending = false;
-        if (dispatcher.hasWork()) {
-            for (const auto &sm : sms_)
-                admit_pending = admit_pending || sm->canAdmitCta();
-        }
-        if (admit_pending)
+        if (admitPending())
             continue;
         const Cycle horizon = horizon_.target(cycle_, deadline);
         if (horizon <= cycle_)
@@ -1298,11 +1627,13 @@ Gpu::runSharded(const Kernel &kernel, unsigned workers)
         }
         cycle_ = horizon;
         if (cycle_ >= deadline) {
-            VTSIM_FATAL("watchdog: kernel '", kernel.name(),
+            VTSIM_FATAL("watchdog: kernel '", launchName(),
                         "' exceeded ", config_.maxCycles, " cycles");
         }
         if (sampler_ && cycle_ == sampler_->nextSampleAt())
             takeSample();
+        if (preemptActive() && cycle_ % preemptBoundaryCycles_ == 0)
+            preemptBoundaryTick();
         if (checkpointEvery_ != 0 && cycle_ % checkpointEvery_ == 0) {
             if (!checkpointPath_.empty())
                 writeCheckpoint();
@@ -1484,12 +1815,15 @@ Gpu::shardImageName(std::size_t idx) const
 
 void
 Gpu::verifyShardEpoch(const std::vector<std::vector<std::uint8_t>> &pre,
-                      std::uint64_t pre_dispatched, Cycle from, Cycle to)
+                      const std::vector<std::uint64_t> &pre_dispatched,
+                      Cycle from, Cycle to)
 {
-    CtaDispatcher &dispatcher = *dispatcher_;
     const auto post = captureShardImages();
     restoreShardImages(pre);
-    dispatcher.setDispatched(pre_dispatched);
+    VTSIM_ASSERT(pre_dispatched.size() == grids_.size(),
+                 "shard-oracle dispatcher snapshot mismatch");
+    for (std::size_t g = 0; g < grids_.size(); ++g)
+        grids_[g].dispatcher->setDispatched(pre_dispatched[g]);
     // The rerun must not re-emit the events the stages already hold.
     if (traceJson_) {
         for (auto &sm : sms_)
@@ -1501,9 +1835,11 @@ Gpu::verifyShardEpoch(const std::vector<std::vector<std::uint8_t>> &pre,
     // the barrier accounted): no sampler, checkpoint, fast-forward or
     // watchdog — those belong to the driver, not the machine.
     for (Cycle c = from; c < to; ++c) {
-        for (auto &sm : sms_) {
-            if (dispatcher.hasWork() && sm->canAdmitCta())
-                sm->admitCta(dispatcher.next(), c);
+        for (std::uint32_t s = 0; s < sms_.size(); ++s) {
+            const int g = pickAdmitGrid(s);
+            if (g >= 0)
+                sms_[s]->admitCta(grids_[g].dispatcher->next(), c,
+                                  GridId(g));
         }
         noc_.tick(c);
         for (auto &p : partitions_)

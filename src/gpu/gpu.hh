@@ -13,6 +13,7 @@
 #ifndef VTSIM_GPU_GPU_HH
 #define VTSIM_GPU_GPU_HH
 
+#include <array>
 #include <atomic>
 #include <fstream>
 #include <memory>
@@ -20,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hh"
 #include "config/gpu_config.hh"
 #include "cta/cta_dispatcher.hh"
 #include "func/global_memory.hh"
@@ -74,6 +76,49 @@ struct KernelStats
     }
 };
 
+/** One grid of a concurrent launch (Gpu::launchConcurrent). */
+struct GridLaunch
+{
+    const Kernel *kernel = nullptr;
+    LaunchParams params;
+    /** Preempt-policy rank: lower values preempt higher ones. Ignored
+     *  by the other policies. */
+    std::uint32_t priority = 0;
+};
+
+/** How co-resident grids share the machine. */
+enum class SharePolicy : std::uint8_t
+{
+    /** Static SM partition: each grid owns a contiguous block of SMs
+     *  and admits only there. */
+    Spatial = 0,
+    /** Every SM admits from the lowest-index grid with work that fits —
+     *  co-runner CTAs fill VT slots the primary leaves empty. */
+    VtFill = 1,
+    /** Priority sharing: admission is in priority order, and at fixed
+     *  boundary cycles the highest-priority unfinished grid blocks
+     *  lower grids' activations and force-swaps their active CTAs out
+     *  (Pai et al.-style preemptive thread-block scheduling). The
+     *  eviction budget scales with the top grid's online progress
+     *  estimate. Requires the VT machine (vtEnabled). */
+    Preempt = 2,
+};
+
+std::string toString(SharePolicy policy);
+/** Parse "spatial" / "vt-fill" / "preempt". False on anything else. */
+bool parseSharePolicy(const std::string &name, SharePolicy &out);
+
+/** Per-grid result of a concurrent launch (Gpu::gridStats). */
+struct GridStats
+{
+    std::string kernelName;
+    std::uint32_t priority = 0;
+    /** This grid's share of the launch: the per-grid split counters
+     *  (instructions, CTAs, cache/DRAM traffic, swaps). cycles and the
+     *  stall breakdown are machine-wide, not attributed per grid. */
+    KernelStats stats;
+};
+
 class Gpu
 {
   public:
@@ -90,6 +135,30 @@ class Gpu
      * @throws FatalError on invalid configuration or watchdog expiry.
      */
     KernelStats launch(const Kernel &kernel, const LaunchParams &launch);
+
+    /**
+     * Launch up to maxGrids kernels concurrently and simulate until
+     * every grid completes. The grids co-reside on the machine under
+     * @p policy; per-grid statistics land in gridStats(). With one grid
+     * this is exactly launch() — bit-identical, any policy. After
+     * restoreCheckpoint() of a concurrent launch, rebuild the vector
+     * from restoredGrids() (plus the original kernels) to resume.
+     * @return Aggregate statistics across all grids.
+     */
+    KernelStats launchConcurrent(const std::vector<GridLaunch> &launches,
+                                 SharePolicy policy = SharePolicy::VtFill);
+
+    /** Per-grid statistics of the last (concurrent) launch, in grid
+     *  order. */
+    const std::vector<GridStats> &gridStats() const { return gridStats_; }
+
+    /**
+     * After restoreCheckpoint(): the checkpointed grid table, kernel
+     * pointers null. Re-attach the original kernels and pass the vector
+     * to launchConcurrent (with restoredSharePolicy()) to resume.
+     */
+    std::vector<GridLaunch> restoredGrids() const;
+    SharePolicy restoredSharePolicy() const { return sharePolicy_; }
 
     /**
      * Return this Gpu to its freshly-constructed state for the same
@@ -277,16 +346,38 @@ class Gpu
     /** Thread count the next launch will actually use (clamped to the
      *  component count; 1 while the textual Trace facade is active). */
     unsigned effectiveSimThreads() const;
+    /** Any resident grid's dispatcher still has CTAs to hand out. */
+    bool anyGridHasWork() const;
+    /**
+     * Which grid SM @p s admits from this cycle under the share policy,
+     * or -1. The single admission-policy decision point: the sequential
+     * loop, the sharded pause/replay sites and the shard-oracle rerun
+     * all call this, so every driver admits identically.
+     */
+    int pickAdmitGrid(std::uint32_t s) const;
+    /** Would any SM admit a CTA right now? (Fast-forward guard.) */
+    bool admitPending() const;
+    /** All kernel names of the resident launch, '+'-joined. */
+    std::string launchName() const;
+    /** CTAs of grid @p g completed across all SMs, this launch. */
+    std::uint64_t gridCompleted(std::uint32_t g) const;
+    /** Preempt-policy boundaries are live for this launch. */
+    bool preemptActive() const
+    { return grids_.size() > 1 && sharePolicy_ == SharePolicy::Preempt; }
+    /** The preempt policy's boundary decision: re-block lower grids and
+     *  force-swap their active CTAs where the top grid is parked. */
+    void preemptBoundaryTick();
+    /** Priority order of grids_ (stable on ties): priorityOrder_. */
+    void rebuildPriorityOrder();
     /** One iteration of the sequential launch loop: admission, ticks,
      *  sampler/checkpoint boundaries, watchdog, fast-forward. The
      *  wrapper decides whether the self-profiler measures this cycle;
      *  @p prof tells the body to bracket its phases. */
-    StepResult sequentialCycle(const Kernel &kernel, Cycle deadline);
-    StepResult sequentialCycleBody(const Kernel &kernel, Cycle deadline,
-                                   bool prof);
-    void runSequential(const Kernel &kernel);
+    StepResult sequentialCycle(Cycle deadline);
+    StepResult sequentialCycleBody(Cycle deadline, bool prof);
+    void runSequential();
     /** The sharded epoch driver (tentpole of the --sim-threads mode). */
-    void runSharded(const Kernel &kernel, unsigned workers);
+    void runSharded(unsigned workers);
     /** Within-cycle trace merge rank of SM @p s's tick-phase events. */
     std::uint32_t smTickRank(std::uint32_t s) const
     { return numSms() + std::uint32_t(partitions_.size()) + s; }
@@ -304,8 +395,8 @@ class Gpu
     /** shardOracle: re-run [@p from, @p to) sequentially from the
      *  pre-epoch snapshot and diff every save() image. */
     void verifyShardEpoch(const std::vector<std::vector<std::uint8_t>> &pre,
-                          std::uint64_t pre_dispatched, Cycle from,
-                          Cycle to);
+                          const std::vector<std::uint64_t> &pre_dispatched,
+                          Cycle from, Cycle to);
     /** Settle lazy SM windows and emit the boundary sample at cycle_. */
     void takeSample();
     /** Serialize the settled machine as a vtsim-ckpt-v1 image. */
@@ -327,14 +418,38 @@ class Gpu
     EventHorizon horizon_;
     Cycle cycle_ = 0;
 
-    // Launch context lives in members (not launch() locals) so
-    // checkpoints can carry an interrupted launch across processes.
-    std::unique_ptr<CtaDispatcher> dispatcher_;
-    LaunchParams activeLaunch_;
-    std::string activeKernelName_;
-    std::uint64_t activeKernelInstrs_ = 0;
-    std::uint32_t activeKernelRegs_ = 0;
-    std::uint32_t activeKernelShared_ = 0;
+    /**
+     * One co-resident grid of the active launch. Launch context lives
+     * in members (not launch() locals) so checkpoints can carry an
+     * interrupted launch across processes; the kernel pointer is the
+     * one live binding a checkpoint cannot carry (the identity fields
+     * re-validate it on resume).
+     */
+    struct GridContext
+    {
+        const Kernel *kernel = nullptr;
+        LaunchParams params;
+        std::uint32_t priority = 0;
+        std::string kernelName;
+        std::uint64_t kernelInstrs = 0;
+        std::uint32_t kernelRegs = 0;
+        std::uint32_t kernelShared = 0;
+        std::unique_ptr<CtaDispatcher> dispatcher;
+    };
+
+    /** Cycles between preempt-policy boundary decisions. */
+    static constexpr Cycle preemptBoundaryCycles_ = 2048;
+
+    std::vector<GridContext> grids_;
+    SharePolicy sharePolicy_ = SharePolicy::VtFill;
+    /** Grid indices, highest priority (lowest value) first. */
+    std::vector<std::uint32_t> priorityOrder_;
+    /** Per-grid CTA completions at launch start (counters are
+     *  cumulative across launches) and at the last preempt boundary
+     *  (the online progress estimate's reference point). */
+    std::array<std::uint64_t, maxGrids> gridBase_{};
+    std::array<std::uint64_t, maxGrids> lastBoundaryCompleted_{};
+    std::vector<GridStats> gridStats_;
     StatsSnapshot before_;
     Cycle launchStart_ = 0;
     bool pendingResume_ = false;

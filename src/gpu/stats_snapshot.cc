@@ -18,12 +18,22 @@ StatsSnapshot::delta(const StatsSnapshot &before,
                      const telemetry::StatRegistry &registry,
                      KernelStats &stats) const
 {
+    deltaGrid(before, registry, -1, stats);
+}
+
+void
+StatsSnapshot::deltaGrid(const StatsSnapshot &before,
+                         const telemetry::StatRegistry &registry,
+                         std::int32_t grid, KernelStats &stats) const
+{
     using telemetry::KernelStatRole;
     const auto &probes = registry.scalars();
     VTSIM_ASSERT(values_.size() == probes.size() &&
                      before.values_.size() == probes.size(),
                  "snapshots of different machines");
     for (std::size_t i = 0; i < probes.size(); ++i) {
+        if (probes[i].grid != grid)
+            continue;
         const std::uint64_t d = values_[i] - before.values_[i];
         switch (probes[i].role) {
           case KernelStatRole::None: break;

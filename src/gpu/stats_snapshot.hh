@@ -32,11 +32,19 @@ class StatsSnapshot
     static StatsSnapshot capture(const telemetry::StatRegistry &registry);
 
     /** Accumulate the probe growth since @p before into @p stats,
-     *  routed by each probe's role. @p registry must be the one both
-     *  snapshots were captured from. */
+     *  routed by each probe's role. Only aggregate probes (grid == -1)
+     *  contribute — the per-grid split probes mirror them and would
+     *  double-count. @p registry must be the one both snapshots were
+     *  captured from. */
     void delta(const StatsSnapshot &before,
                const telemetry::StatRegistry &registry,
                KernelStats &stats) const;
+
+    /** As delta(), but summing only the probes attributed to @p grid —
+     *  the per-grid KernelStats of one grid in a concurrent launch. */
+    void deltaGrid(const StatsSnapshot &before,
+                   const telemetry::StatRegistry &registry,
+                   std::int32_t grid, KernelStats &stats) const;
 
     void save(Serializer &ser) const { ser.putVec(values_); }
     void restore(Deserializer &des) { des.getVec(values_); }

@@ -28,6 +28,14 @@ Cache::Cache(const CacheParams &params)
     stats_.addCounter("store_hits", &storeHits_, "write-through store hits");
     stats_.addCounter("store_misses", &storeMisses_,
                       "write-through store misses (no allocate)");
+    for (std::uint32_t g = 0; g < maxGrids; ++g) {
+        const std::string tag = "grid" + std::to_string(g);
+        stats_.addCounter(tag + ".hits", &gridHits_[g],
+                          "load hits issued by grid " + std::to_string(g));
+        stats_.addCounter(tag + ".misses", &gridMisses_[g],
+                          "load misses issued by grid " +
+                              std::to_string(g));
+    }
 }
 
 std::uint32_t
@@ -71,6 +79,7 @@ Cache::access(const MemRequest &req)
     if (Line *line = findLine(req.lineAddr)) {
         line->lastUse = useClock_;
         ++hits_;
+        ++gridHits_[req.grid];
         return CacheOutcome::Hit;
     }
 
@@ -95,6 +104,7 @@ Cache::access(const MemRequest &req)
     entry.targets.push_back(req);
     mshrs_.emplace(req.lineAddr, std::move(entry));
     ++misses_;
+    ++gridMisses_[req.grid];
     return CacheOutcome::MissNew;
 }
 
@@ -210,6 +220,10 @@ Cache::reset()
     dirtyEvictions_.reset();
     storeHits_.reset();
     storeMisses_.reset();
+    for (std::uint32_t g = 0; g < maxGrids; ++g) {
+        gridHits_[g].reset();
+        gridMisses_[g].reset();
+    }
 }
 
 void
@@ -250,6 +264,10 @@ Cache::save(Serializer &ser) const
     saveStat(ser, dirtyEvictions_);
     saveStat(ser, storeHits_);
     saveStat(ser, storeMisses_);
+    for (std::uint32_t g = 0; g < maxGrids; ++g) {
+        saveStat(ser, gridHits_[g]);
+        saveStat(ser, gridMisses_[g]);
+    }
     ser.endSection(sec);
 }
 
@@ -290,6 +308,10 @@ Cache::restore(Deserializer &des)
     restoreStat(des, dirtyEvictions_);
     restoreStat(des, storeHits_);
     restoreStat(des, storeMisses_);
+    for (std::uint32_t g = 0; g < maxGrids; ++g) {
+        restoreStat(des, gridHits_[g]);
+        restoreStat(des, gridMisses_[g]);
+    }
     des.endSection();
 }
 

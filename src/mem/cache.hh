@@ -9,6 +9,7 @@
 #ifndef VTSIM_MEM_CACHE_HH
 #define VTSIM_MEM_CACHE_HH
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
@@ -115,6 +116,14 @@ class Cache : public SimComponent
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
 
+    /** Per-grid load hit/miss split (concurrent launches). The aggregate
+     *  hits()/misses() counters are unchanged by the split: both are
+     *  bumped on every access, so solo-run numbers stay identical. */
+    std::uint64_t gridHits(GridId g) const
+    { return gridHits_.at(g).value(); }
+    std::uint64_t gridMisses(GridId g) const
+    { return gridMisses_.at(g).value(); }
+
     // SimComponent lifecycle (a cache is passive: no tick/next-event).
     void reset() override;
     void save(Serializer &ser) const override;
@@ -157,6 +166,12 @@ class Cache : public SimComponent
     Counter dirtyEvictions_;
     Counter storeHits_;
     Counter storeMisses_;
+    /** Load hits/misses attributed to the issuing grid (MemRequest::grid).
+     *  A line brought in by one grid and hit by another counts the hit
+     *  for the hitting grid — invalidate-between-kernels is no longer a
+     *  usable attribution boundary once kernels co-run. */
+    std::array<Counter, maxGrids> gridHits_;
+    std::array<Counter, maxGrids> gridMisses_;
 };
 
 } // namespace vtsim

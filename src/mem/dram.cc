@@ -18,19 +18,30 @@ Dram::Dram(const DramParams &params)
     stats_.addCounter("row_misses", &rowMisses_,
                       "row-buffer misses (activate+precharge)");
     stats_.addCounter("bytes", &bytes_, "bytes moved over the data bus");
+    for (std::uint32_t g = 0; g < maxGrids; ++g) {
+        const std::string tag = "grid" + std::to_string(g);
+        const std::string suffix = " for grid " + std::to_string(g);
+        stats_.addCounter(tag + ".row_hits", &gridRowHits_[g],
+                          "row-buffer hits" + suffix);
+        stats_.addCounter(tag + ".row_misses", &gridRowMisses_[g],
+                          "row-buffer misses" + suffix);
+        stats_.addCounter(tag + ".bytes", &gridBytes_[g],
+                          "data-bus bytes" + suffix);
+    }
     stats_.addScalar("queue_depth", &queueDepth_,
                      "scheduler queue depth per enqueue");
 }
 
 void
 Dram::enqueue(Addr line_addr, std::uint32_t bytes, bool needs_completion,
-              Cycle now)
+              Cycle now, GridId grid)
 {
     (void)now;
     Request req;
     req.lineAddr = line_addr;
     req.bytes = std::max(bytes, 1u);
     req.needsCompletion = needs_completion;
+    req.grid = grid;
     // Renumber lines partition-locally (disjoint bits from partition
     // selection), then interleave across banks; rows stack above that.
     const std::uint64_t local_line =
@@ -90,11 +101,13 @@ Dram::issueOne(Cycle now)
         latency = params_.rowHitLatency;
         occupancy = params_.rowHitOccupancy;
         ++rowHits_;
+        ++gridRowHits_[req.grid];
     } else {
         latency = params_.rowMissLatency;
         occupancy = params_.rowMissOccupancy;
         bank.openRow = req.row;
         ++rowMisses_;
+        ++gridRowMisses_[req.grid];
     }
 
     // The bank is occupied only while its commands issue; the access
@@ -105,6 +118,7 @@ Dram::issueOne(Cycle now)
     const Cycle done = bus_start + data_cycles;
     busReadyAt_ = bus_start + data_cycles;
     bytes_ += req.bytes;
+    gridBytes_[req.grid] += req.bytes;
 
     inFlight_.push({done, req.lineAddr, req.needsCompletion});
     return true;
@@ -161,6 +175,11 @@ Dram::reset()
     rowHits_.reset();
     rowMisses_.reset();
     bytes_.reset();
+    for (std::uint32_t g = 0; g < maxGrids; ++g) {
+        gridRowHits_[g].reset();
+        gridRowMisses_[g].reset();
+        gridBytes_[g].reset();
+    }
     queueDepth_.reset();
 }
 
@@ -176,6 +195,7 @@ Dram::save(Serializer &ser) const
         ser.put<std::uint8_t>(req.needsCompletion);
         ser.put(req.bank);
         ser.put(req.row);
+        ser.put(req.grid);
     }
     // Drain a copy of the completion heap; re-pushing on restore
     // rebuilds an equivalent heap.
@@ -192,6 +212,11 @@ Dram::save(Serializer &ser) const
     saveStat(ser, rowHits_);
     saveStat(ser, rowMisses_);
     saveStat(ser, bytes_);
+    for (std::uint32_t g = 0; g < maxGrids; ++g) {
+        saveStat(ser, gridRowHits_[g]);
+        saveStat(ser, gridRowMisses_[g]);
+        saveStat(ser, gridBytes_[g]);
+    }
     saveStat(ser, queueDepth_);
     ser.endSection(sec);
 }
@@ -212,6 +237,7 @@ Dram::restore(Deserializer &des)
         req.needsCompletion = des.get<std::uint8_t>() != 0;
         des.get(req.bank);
         des.get(req.row);
+        des.get(req.grid);
         queue_.push_back(req);
     }
     inFlight_ = {};
@@ -227,6 +253,11 @@ Dram::restore(Deserializer &des)
     restoreStat(des, rowHits_);
     restoreStat(des, rowMisses_);
     restoreStat(des, bytes_);
+    for (std::uint32_t g = 0; g < maxGrids; ++g) {
+        restoreStat(des, gridRowHits_[g]);
+        restoreStat(des, gridRowMisses_[g]);
+        restoreStat(des, gridBytes_[g]);
+    }
     restoreStat(des, queueDepth_);
     des.endSection();
 }

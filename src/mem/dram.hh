@@ -12,6 +12,7 @@
 #ifndef VTSIM_MEM_DRAM_HH
 #define VTSIM_MEM_DRAM_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <queue>
@@ -60,7 +61,7 @@ class Dram : public SimComponent
      *        reported by tick() when the data transfer finishes.
      */
     void enqueue(Addr line_addr, std::uint32_t bytes,
-                 bool needs_completion, Cycle now);
+                 bool needs_completion, Cycle now, GridId grid = 0);
 
     /**
      * Advance one cycle: issue commands (FR-FCFS) and collect finished
@@ -93,6 +94,15 @@ class Dram : public SimComponent
     std::uint64_t rowMisses() const { return rowMisses_.value(); }
     std::uint64_t bytesTransferred() const { return bytes_.value(); }
 
+    /** Per-grid row hit/miss/bytes split (concurrent launches). The
+     *  aggregates above are unchanged: both legs count every command. */
+    std::uint64_t gridRowHits(GridId g) const
+    { return gridRowHits_.at(g).value(); }
+    std::uint64_t gridRowMisses(GridId g) const
+    { return gridRowMisses_.at(g).value(); }
+    std::uint64_t gridBytes(GridId g) const
+    { return gridBytes_.at(g).value(); }
+
     /** Route command-issue events to a per-Gpu Perfetto writer as
      *  instants on (pid = @p pid, tid = bank); null disables. */
     void setTraceJson(telemetry::TraceJsonWriter *writer, std::uint32_t pid)
@@ -109,6 +119,7 @@ class Dram : public SimComponent
         bool needsCompletion;
         std::uint32_t bank;
         std::uint64_t row;
+        GridId grid = 0;
     };
 
     struct Completion
@@ -148,6 +159,9 @@ class Dram : public SimComponent
     Counter rowHits_;
     Counter rowMisses_;
     Counter bytes_;
+    std::array<Counter, maxGrids> gridRowHits_;
+    std::array<Counter, maxGrids> gridRowMisses_;
+    std::array<Counter, maxGrids> gridBytes_;
     ScalarStat queueDepth_;
     telemetry::TraceJsonWriter *traceJson_ = nullptr;
     std::uint32_t tracePid_ = 0;

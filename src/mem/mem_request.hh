@@ -44,6 +44,9 @@ struct MemRequest
     std::uint32_t bytes = 0;     ///< Payload size (for DRAM bandwidth).
     MemAccessKind kind = MemAccessKind::Load;
     SmId srcSm = 0;
+    /** Issuing grid (Gpu::launchConcurrent); per-grid cache and DRAM
+     *  counters attribute by this tag. Solo launches use grid 0. */
+    GridId grid = 0;
     MemResponseSink *sink = nullptr; ///< Null for stores (no response).
     std::uint64_t token = 0;
 };
@@ -60,6 +63,7 @@ saveMemRequest(Serializer &ser, const MemRequest &req)
     ser.put(req.bytes);
     ser.put(req.kind);
     ser.put(req.srcSm);
+    ser.put(req.grid);
     ser.put<std::uint8_t>(req.sink ? 1 : 0);
     ser.put(req.token);
 }
@@ -72,6 +76,7 @@ restoreMemRequest(Deserializer &des)
     des.get(req.bytes);
     des.get(req.kind);
     des.get(req.srcSm);
+    des.get(req.grid);
     const bool has_sink = des.get<std::uint8_t>() != 0;
     des.get(req.token);
     req.sink = has_sink ? des.resolveSink(req.srcSm) : nullptr;

@@ -45,6 +45,19 @@ MemoryPartition::registerTelemetry(telemetry::StatRegistry &reg)
                 KernelStatRole::DramRowMisses);
     reg.setRole(dram_.stats().name() + ".bytes",
                 KernelStatRole::DramBytes);
+    for (std::uint32_t g = 0; g < maxGrids; ++g) {
+        const std::string tag = ".grid" + std::to_string(g);
+        reg.setRole(l2_.stats().name() + tag + ".hits",
+                    KernelStatRole::L2Hits, g);
+        reg.setRole(l2_.stats().name() + tag + ".misses",
+                    KernelStatRole::L2Misses, g);
+        reg.setRole(dram_.stats().name() + tag + ".row_hits",
+                    KernelStatRole::DramRowHits, g);
+        reg.setRole(dram_.stats().name() + tag + ".row_misses",
+                    KernelStatRole::DramRowMisses, g);
+        reg.setRole(dram_.stats().name() + tag + ".bytes",
+                    KernelStatRole::DramBytes, g);
+    }
 }
 
 void
@@ -62,16 +75,18 @@ MemoryPartition::serviceRequest(const MemRequest &req, Cycle now)
         if (config_.l2WriteBack) {
             // Write-back, write-allocate (no fetch): the store lands in
             // the L2; DRAM sees it only when the dirty line is evicted.
+            // The writeback is attributed to the evicting grid — the
+            // dirtying grid is not tracked per line.
             const FillResult res = l2_.storeAllocate(req.lineAddr);
             if (res.evictedDirty) {
                 dram_.enqueue(res.evictedLine, config_.l2LineSize, false,
-                              now);
+                              now, req.grid);
             }
         } else {
             // Write-through, no-write-allocate: touch the L2 tag (keeps
             // a hot line hot) and spend DRAM write bandwidth.
             l2_.storeAccess(req.lineAddr);
-            dram_.enqueue(req.lineAddr, req.bytes, false, now);
+            dram_.enqueue(req.lineAddr, req.bytes, false, now, req.grid);
         }
         return;
     }
@@ -81,7 +96,8 @@ MemoryPartition::serviceRequest(const MemRequest &req, Cycle now)
         respPending_.push({now + config_.l2HitLatency, req});
         break;
       case CacheOutcome::MissNew:
-        dram_.enqueue(req.lineAddr, config_.l2LineSize, true, now);
+        dram_.enqueue(req.lineAddr, config_.l2LineSize, true, now,
+                      req.grid);
         break;
       case CacheOutcome::MissMerged:
         break; // Will be answered by the in-flight fill.
@@ -108,8 +124,12 @@ MemoryPartition::tick(Cycle now)
         for (const MemRequest &target : res.targets)
             respPending_.push({now + config_.l2HitLatency, target});
         if (res.evictedDirty) {
+            // Attribute the writeback to the filling grid (the miss
+            // initiator is the first parked target).
+            const GridId grid =
+                res.targets.empty() ? 0 : res.targets.front().grid;
             dram_.enqueue(res.evictedLine, config_.l2LineSize, false,
-                          now);
+                          now, grid);
         }
     }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "config/gpu_config.hh"
 #include "gpu/gpu.hh"
@@ -67,6 +68,24 @@ struct JobSpec
      * mid-run checkpoints) and always simulates sequentially.
      */
     std::string recordTrace;
+    /**
+     * Co-resident workloads of a concurrent job: grid g runs
+     * kernels[g] (submit's `kernels: [...]`). Empty = the classic
+     * single-kernel job running `workload`; when set, `workload`
+     * mirrors kernels[0] for display. Bounded by maxGrids; recording
+     * does not compose with co-runs (config/sim_mode.hh).
+     */
+    std::vector<std::string> kernels;
+    /** CTA-slot sharing policy of a multi-kernel job (`share_policy`). */
+    SharePolicy sharePolicy = SharePolicy::VtFill;
+
+    /** The resolved grid list: kernels, or {workload} when empty. */
+    std::vector<std::string>
+    gridWorkloads() const
+    {
+        return kernels.empty() ? std::vector<std::string>{workload}
+                               : kernels;
+    }
 };
 
 enum class JobState : std::uint8_t
@@ -104,6 +123,8 @@ struct JobSnapshot
     bool verified = false;
     std::uint32_t maxSimtDepth = 0;
     std::string intervalSeries;
+    /** Per-grid results of a multi-kernel job (Gpu::gridStats). */
+    std::vector<GridStats> grids;
 
     bool
     terminal() const

@@ -143,9 +143,35 @@ parseRequest(const std::string &line)
     if (name == "submit") {
         req.op = Request::Op::Submit;
         const Json *workload = doc.find("workload");
-        if (!workload || !workload->isString())
-            throw ProtocolError("submit needs a string \"workload\"");
-        req.spec.workload = workload->asString();
+        const Json *kernels = doc.find("kernels");
+        if (workload && kernels) {
+            throw ProtocolError(
+                "submit takes \"workload\" or \"kernels\", not both");
+        }
+        if (kernels) {
+            if (!kernels->isArray() || kernels->asArray().empty())
+                throw ProtocolError(
+                    "kernels must be a non-empty array of workload names");
+            for (const Json &k : kernels->asArray()) {
+                if (!k.isString())
+                    throw ProtocolError("kernels entries must be strings");
+                req.spec.kernels.push_back(k.asString());
+            }
+            req.spec.workload = req.spec.kernels.front();
+        } else if (workload && workload->isString()) {
+            req.spec.workload = workload->asString();
+        } else {
+            throw ProtocolError("submit needs a string \"workload\" or "
+                                "a \"kernels\" array");
+        }
+        if (const Json *policy = doc.find("share_policy")) {
+            if (!policy->isString() ||
+                !parseSharePolicy(policy->asString(),
+                                  req.spec.sharePolicy)) {
+                throw ProtocolError("share_policy must be \"spatial\", "
+                                    "\"vt-fill\" or \"preempt\"");
+            }
+        }
         if (const Json *scale = doc.find("scale"))
             req.spec.scale = requireUnsigned(*scale, "scale", 64);
         if (const Json *prio = doc.find("priority")) {
@@ -295,6 +321,17 @@ snapshotToJson(const JobSnapshot &snap)
         o["verified"] = Json(snap.verified);
         o["max_simt_depth"] = Json(snap.maxSimtDepth);
         o["stats"] = kernelStatsToJson(snap.stats);
+        if (!snap.grids.empty()) {
+            Json::Array grids;
+            for (const GridStats &gs : snap.grids) {
+                Json::Object g;
+                g["kernel"] = Json(gs.kernelName);
+                g["priority"] = Json(gs.priority);
+                g["stats"] = kernelStatsToJson(gs.stats);
+                grids.push_back(Json(std::move(g)));
+            }
+            o["grids"] = Json(std::move(grids));
+        }
     }
     return Json(std::move(o));
 }

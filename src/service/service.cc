@@ -7,6 +7,7 @@
 
 #include "common/log.hh"
 #include "common/logger.hh"
+#include "config/sim_mode.hh"
 #include "service/protocol.hh"
 #include "telemetry/prometheus.hh"
 #include "workloads/workload.hh"
@@ -204,14 +205,37 @@ JobService::submit(const JobSpec &spec, Priority priority)
         reject(out.error);
         return out;
     }
+    if (spec.gridWorkloads().size() > maxGrids) {
+        out.error = "a job carries at most " + std::to_string(maxGrids) +
+                    " kernels";
+        reject(out.error);
+        return out;
+    }
     try {
         // Scale-0 probe: reject unknown workload names at admission,
         // not minutes later on a worker.
-        makeWorkload(spec.workload, 0);
+        for (const std::string &name : spec.gridWorkloads())
+            makeWorkload(name, 0);
     } catch (const std::exception &e) {
         out.error = e.what();
         reject(out.error);
         return out;
+    }
+    {
+        // Execution-mode matrix (config/sim_mode.hh): record vs co-run,
+        // preempt without VT, ... — one shared error path.
+        SimModeSpec mode;
+        mode.recordTrace = !spec.recordTrace.empty();
+        mode.checkpointEvery = spec.checkpointEvery;
+        mode.numGrids = spec.gridWorkloads().size();
+        mode.preemptPolicy = spec.sharePolicy == SharePolicy::Preempt;
+        mode.vtEnabled = spec.config.vtEnabled;
+        const std::string mode_error = validateSimMode(mode);
+        if (!mode_error.empty()) {
+            out.error = mode_error;
+            reject(out.error);
+            return out;
+        }
     }
     if (spec.simThreads > config_.maxSimThreads) {
         out.error = "sim_threads " + std::to_string(spec.simThreads) +
@@ -358,8 +382,14 @@ JobService::runJob(GpuArena &arena, JobRecord &job, unsigned worker)
     traceWorkerBegin(worker, "job " + std::to_string(job.id) + " " +
                                  job.spec.workload);
     try {
-        auto workload = makeWorkload(job.spec.workload, job.spec.scale);
-        const Kernel kernel = workload->buildKernel();
+        // One workload per grid: the classic job is the 1-entry case.
+        const std::vector<std::string> names = job.spec.gridWorkloads();
+        std::vector<std::unique_ptr<Workload>> workloads;
+        std::vector<Kernel> kernels;
+        for (const std::string &name : names) {
+            workloads.push_back(makeWorkload(name, job.spec.scale));
+            kernels.push_back(workloads.back()->buildKernel());
+        }
         Gpu &gpu = arena.acquire(job.spec.config);
         std::string resume_from;
         {
@@ -400,17 +430,35 @@ JobService::runJob(GpuArena &arena, JobRecord &job, unsigned worker)
         // Empty path: the cadence only arms preemption boundaries, no
         // per-boundary file is written — images are saved on demand.
         gpu.setCheckpoint("", cadence);
-        LaunchParams lp;
+        std::vector<GridLaunch> launches;
         if (!resume_from.empty()) {
             // As in bench_common: prepare() into a scratch memory so
-            // the workload records its buffer addresses and golden
+            // the workloads record their buffer addresses and golden
             // outputs for verify() while the restored device contents
             // stay untouched.
             GlobalMemory scratch;
-            workload->prepare(scratch);
-            lp = gpu.restoreCheckpoint(loadImage(resume_from));
+            for (auto &workload : workloads)
+                workload->prepare(scratch);
+            gpu.restoreCheckpoint(loadImage(resume_from));
+            launches = gpu.restoredGrids();
+            if (launches.size() != kernels.size()) {
+                throw std::runtime_error(
+                    "parked image carries " +
+                    std::to_string(launches.size()) + " grids, job has " +
+                    std::to_string(kernels.size()));
+            }
+            for (std::size_t g = 0; g < launches.size(); ++g)
+                launches[g].kernel = &kernels[g];
         } else {
-            lp = workload->prepare(gpu.memory());
+            for (std::size_t g = 0; g < kernels.size(); ++g) {
+                GridLaunch gl;
+                gl.kernel = &kernels[g];
+                gl.params = workloads[g]->prepare(gpu.memory());
+                // Listed-first = higher priority under the preempt
+                // policy (lower value wins).
+                gl.priority = std::uint32_t(g);
+                launches.push_back(std::move(gl));
+            }
         }
         if (inject) {
             // Test hook: stop at the first cadence boundary so a
@@ -419,7 +467,8 @@ JobService::runJob(GpuArena &arena, JobRecord &job, unsigned worker)
             gpu.requestPreempt();
         }
         const auto t0 = std::chrono::steady_clock::now();
-        const KernelStats stats = gpu.launch(kernel, lp);
+        const KernelStats stats =
+            gpu.launchConcurrent(launches, job.spec.sharePolicy);
         slice_seconds = secondsSince(t0);
 
         if (gpu.preempted()) {
@@ -474,7 +523,12 @@ JobService::runJob(GpuArena &arena, JobRecord &job, unsigned worker)
         std::uint32_t depth = 0;
         for (std::uint32_t i = 0; i < gpu.numSms(); ++i)
             depth = std::max(depth, gpu.sm(i).maxSimtDepthSeen());
-        const bool verified = workload->verify(gpu.memory());
+        bool verified = true;
+        for (auto &workload : workloads)
+            verified = workload->verify(gpu.memory()) && verified;
+        const std::vector<GridStats> grid_stats =
+            names.size() > 1 ? gpu.gridStats()
+                             : std::vector<GridStats>{};
 
         std::lock_guard<std::mutex> lk(mu_);
         running_[worker] = RunningSlot{};
@@ -487,6 +541,7 @@ JobService::runJob(GpuArena &arena, JobRecord &job, unsigned worker)
         job.stats = stats;
         job.verified = verified;
         job.maxSimtDepth = depth;
+        job.grids = grid_stats;
         dropSpoolFile(job);
         if (verified) {
             job.state = JobState::Done;
@@ -682,6 +737,7 @@ JobService::snapshotLocked(const JobRecord &job) const
     snap.verified = job.verified;
     snap.maxSimtDepth = job.maxSimtDepth;
     snap.intervalSeries = job.intervalSeries;
+    snap.grids = job.grids;
     return snap;
 }
 
@@ -817,6 +873,28 @@ JobService::status() const
             j["kcycles_per_sec"] = Json(double(rec->stats.cycles) /
                                         rec->wallSeconds / 1e3);
         }
+        const std::vector<std::string> grid_names =
+            rec->spec.gridWorkloads();
+        if (grid_names.size() > 1) {
+            // One row per resident grid: name + priority always, the
+            // per-grid counters once the job is done.
+            j["share_policy"] = Json(toString(rec->spec.sharePolicy));
+            Json::Array grids;
+            for (std::size_t g = 0; g < grid_names.size(); ++g) {
+                Json::Object row;
+                row["grid"] = Json(std::uint64_t(g));
+                row["kernel"] = Json(grid_names[g]);
+                row["priority"] = Json(std::uint64_t(g));
+                if (g < rec->grids.size()) {
+                    const KernelStats &s = rec->grids[g].stats;
+                    row["ipc"] = Json(s.ipc);
+                    row["warp_instructions"] = Json(s.warpInstructions);
+                    row["ctas_completed"] = Json(s.ctasCompleted);
+                }
+                grids.push_back(Json(std::move(row)));
+            }
+            j["grids"] = Json(std::move(grids));
+        }
         jobs.push_back(Json(std::move(j)));
     }
 
@@ -859,6 +937,15 @@ JobService::completedRuns() const
             continue;
         RunRecord run;
         run.workload = rec->spec.workload;
+        const auto names = rec->spec.gridWorkloads();
+        if (names.size() > 1) {
+            // Concurrent job: label the run like the bench co-runs do
+            // ("vecadd+matmul") and record the policy.
+            run.workload = names.front();
+            for (std::size_t g = 1; g < names.size(); ++g)
+                run.workload += "+" + names[g];
+            run.sharePolicy = toString(rec->spec.sharePolicy);
+        }
         run.scale = rec->spec.scale;
         run.config = rec->spec.config;
         run.verified = rec->verified;
@@ -866,6 +953,7 @@ JobService::completedRuns() const
         run.maxSimtDepth = rec->maxSimtDepth;
         run.stats = rec->stats;
         run.intervalSeries = rec->intervalSeries;
+        run.grids = rec->grids;
         runs.push_back(std::move(run));
     }
     return runs;

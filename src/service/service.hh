@@ -87,6 +87,8 @@ struct JobRecord
     KernelStats stats;
     bool verified = false;
     std::uint32_t maxSimtDepth = 0;
+    /** Per-grid results of a multi-kernel job (empty for classic). */
+    std::vector<GridStats> grids;
 };
 
 struct ServiceConfig

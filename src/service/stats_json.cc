@@ -18,6 +18,38 @@ currentHost()
     return buf[0] ? buf : "unknown";
 }
 
+/** The KernelStats object body, at @p pad indentation (opening brace
+ *  already written by the caller). */
+void
+writeKernelStatsObject(std::ostream &os, const KernelStats &s,
+                       const std::string &pad)
+{
+    os << pad << "  \"cycles\": " << s.cycles << ",\n"
+       << pad << "  \"ipc\": " << jsonDouble(s.ipc) << ",\n"
+       << pad << "  \"warp_instructions\": " << s.warpInstructions
+       << ",\n"
+       << pad << "  \"thread_instructions\": " << s.threadInstructions
+       << ",\n"
+       << pad << "  \"ctas_completed\": " << s.ctasCompleted << ",\n"
+       << pad << "  \"l1_hits\": " << s.l1Hits << ",\n"
+       << pad << "  \"l1_misses\": " << s.l1Misses << ",\n"
+       << pad << "  \"l2_hits\": " << s.l2Hits << ",\n"
+       << pad << "  \"l2_misses\": " << s.l2Misses << ",\n"
+       << pad << "  \"dram_row_hits\": " << s.dramRowHits << ",\n"
+       << pad << "  \"dram_row_misses\": " << s.dramRowMisses << ",\n"
+       << pad << "  \"dram_bytes\": " << s.dramBytes << ",\n"
+       << pad << "  \"swap_outs\": " << s.swapOuts << ",\n"
+       << pad << "  \"swap_ins\": " << s.swapIns << ",\n"
+       << pad << "  \"stalls\": {"
+       << "\"issued\": " << s.stalls.issued
+       << ", \"mem\": " << s.stalls.memStall
+       << ", \"short\": " << s.stalls.shortStall
+       << ", \"barrier\": " << s.stalls.barrierStall
+       << ", \"swap\": " << s.stalls.swapStall
+       << ", \"idle\": " << s.stalls.idle << "}\n"
+       << pad << "}";
+}
+
 } // namespace
 
 std::string
@@ -76,32 +108,29 @@ writeStatsJson(std::ostream &os, const std::vector<RunRecord> &runs,
            << ",\n"
            << "      \"mips\": " << jsonDouble(r.mips()) << ",\n"
            << "      \"max_simt_depth\": " << r.maxSimtDepth << ",\n"
-           << "      \"stats\": {\n"
-           << "        \"cycles\": " << s.cycles << ",\n"
-           << "        \"ipc\": " << jsonDouble(s.ipc) << ",\n"
-           << "        \"warp_instructions\": " << s.warpInstructions
-           << ",\n"
-           << "        \"thread_instructions\": " << s.threadInstructions
-           << ",\n"
-           << "        \"ctas_completed\": " << s.ctasCompleted << ",\n"
-           << "        \"l1_hits\": " << s.l1Hits << ",\n"
-           << "        \"l1_misses\": " << s.l1Misses << ",\n"
-           << "        \"l2_hits\": " << s.l2Hits << ",\n"
-           << "        \"l2_misses\": " << s.l2Misses << ",\n"
-           << "        \"dram_row_hits\": " << s.dramRowHits << ",\n"
-           << "        \"dram_row_misses\": " << s.dramRowMisses << ",\n"
-           << "        \"dram_bytes\": " << s.dramBytes << ",\n"
-           << "        \"swap_outs\": " << s.swapOuts << ",\n"
-           << "        \"swap_ins\": " << s.swapIns << ",\n"
-           << "        \"stalls\": {"
-           << "\"issued\": " << s.stalls.issued
-           << ", \"mem\": " << s.stalls.memStall
-           << ", \"short\": " << s.stalls.shortStall
-           << ", \"barrier\": " << s.stalls.barrierStall
-           << ", \"swap\": " << s.stalls.swapStall
-           << ", \"idle\": " << s.stalls.idle << "}\n"
-           << "      },\n"
-           << "      \"intervals\": [";
+           << "      \"stats\": {\n";
+        writeKernelStatsObject(os, s, "      ");
+        os << ",\n";
+        if (!r.sharePolicy.empty()) {
+            os << "      \"share_policy\": " << Json(r.sharePolicy).dump()
+               << ",\n";
+        }
+        if (!r.grids.empty()) {
+            os << "      \"grids\": [\n";
+            for (std::size_t g = 0; g < r.grids.size(); ++g) {
+                const GridStats &gs = r.grids[g];
+                os << "        {\n"
+                   << "          \"kernel\": " << Json(gs.kernelName).dump()
+                   << ",\n"
+                   << "          \"priority\": " << gs.priority << ",\n"
+                   << "          \"stats\": {\n";
+                writeKernelStatsObject(os, gs.stats, "          ");
+                os << "\n        }"
+                   << (g + 1 < r.grids.size() ? "," : "") << '\n';
+            }
+            os << "      ],\n";
+        }
+        os << "      \"intervals\": [";
         // The interval series is JSONL — one object per line, already
         // valid JSON: embed the lines as array elements.
         bool first_line = true;

@@ -34,6 +34,12 @@ struct RunRecord
     KernelStats stats;
     /** Interval-sampler JSONL series (empty unless sampled). */
     std::string intervalSeries;
+    /** Per-grid results of a concurrent run (empty for solo runs);
+     *  written as the optional "grids" array. */
+    std::vector<GridStats> grids;
+    /** Sharing policy of a concurrent run ("spatial" | "vt-fill" |
+     *  "preempt"); empty for solo runs and omitted from the JSON. */
+    std::string sharePolicy;
 
     double
     kcyclesPerSec() const

@@ -72,7 +72,8 @@ LdstUnit::allocTransaction(const Transaction &t)
 void
 LdstUnit::issueGlobal(VirtualCtaId vcta, std::uint32_t warp_in_cta,
                       const Instruction &inst,
-                      const std::vector<LaneAccess> &accesses)
+                      const std::vector<LaneAccess> &accesses,
+                      GridId grid)
 {
     VTSIM_ASSERT(inst.isGlobalMem(), "issueGlobal with non-global op");
     VTSIM_ASSERT(!accesses.empty(), "issueGlobal with no accesses");
@@ -112,6 +113,7 @@ LdstUnit::issueGlobal(VirtualCtaId vcta, std::uint32_t warp_in_cta,
         t.kind = kind;
         t.bypassL1 = bypass;
         t.createdAt = now_;
+        t.grid = grid;
         injectQueue_.push_back(allocTransaction(t));
         if (kind == MemAccessKind::Store)
             ++storeTxns_;
@@ -185,6 +187,7 @@ LdstUnit::injectOne(Cycle now)
         req.bytes = t.bytes;
         req.kind = MemAccessKind::Store;
         req.srcSm = smId_;
+        req.grid = t.grid;
         noc_.sendRequest(req, now);
         injectQueue_.pop_front();
         // Stores carry no pending entry; retire the transaction now.
@@ -201,6 +204,7 @@ LdstUnit::injectOne(Cycle now)
         req.bytes = t.bytes;
         req.kind = MemAccessKind::Atomic;
         req.srcSm = smId_;
+        req.grid = t.grid;
         req.sink = this;
         req.token = token;
         markOffChip(token);
@@ -216,6 +220,7 @@ LdstUnit::injectOne(Cycle now)
         req.bytes = t.bytes;
         req.kind = MemAccessKind::Load;
         req.srcSm = smId_;
+        req.grid = t.grid;
         req.sink = this;
         req.token = token;
         markOffChip(token);
@@ -231,6 +236,7 @@ LdstUnit::injectOne(Cycle now)
     probe.bytes = t.bytes;
     probe.kind = MemAccessKind::Load;
     probe.srcSm = smId_;
+    probe.grid = t.grid;
     probe.sink = this;
     probe.token = token;
 
@@ -412,6 +418,7 @@ LdstUnit::save(Serializer &ser) const
         ser.put<std::uint8_t>(t.inUse);
         ser.put(t.createdAt);
         ser.put(t.injectedAt);
+        ser.put(t.grid);
     }
     ser.putVec(txnFree_);
     ser.put<std::uint64_t>(injectQueue_.size());
@@ -466,6 +473,7 @@ LdstUnit::restore(Deserializer &des)
         t.inUse = des.get<std::uint8_t>() != 0;
         des.get(t.createdAt);
         des.get(t.injectedAt);
+        des.get(t.grid);
     }
     des.getVec(txnFree_);
     injectQueue_.clear();

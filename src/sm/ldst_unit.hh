@@ -80,7 +80,8 @@ class LdstUnit : public MemResponseSink, public SimComponent
      */
     void issueGlobal(VirtualCtaId vcta, std::uint32_t warp_in_cta,
                      const Instruction &inst,
-                     const std::vector<LaneAccess> &accesses);
+                     const std::vector<LaneAccess> &accesses,
+                     GridId grid = 0);
 
     /**
      * Inject one recorded transaction (trace replay). Reproduces
@@ -171,6 +172,7 @@ class LdstUnit : public MemResponseSink, public SimComponent
         bool inUse = false;
         Cycle createdAt = 0;    ///< When the warp instruction issued.
         Cycle injectedAt = 0;   ///< When it entered the L1/NoC.
+        GridId grid = 0;        ///< Issuing grid (per-grid attribution).
     };
 
     std::uint32_t allocPending(VirtualCtaId vcta, std::uint32_t warp,

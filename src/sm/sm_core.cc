@@ -36,6 +36,18 @@ SmCore::SmCore(SmId id, const GpuConfig &config, Interconnect &noc)
     stats_.addCounter("thread_instructions", &threadInstructions_,
                       "per-thread instructions (mask population)");
     stats_.addCounter("ctas_completed", &ctasCompleted_, "CTAs retired");
+    for (GridId g = 0; g < maxGrids; ++g) {
+        const std::string p = "grid" + std::to_string(g);
+        stats_.addCounter(p + ".instructions", &gridInstructions_[g],
+                          "warp instructions of grid " + std::to_string(g));
+        stats_.addCounter(p + ".thread_instructions",
+                          &gridThreadInstructions_[g],
+                          "thread instructions of grid " +
+                              std::to_string(g));
+        stats_.addCounter(p + ".ctas_completed", &gridCtasCompleted_[g],
+                          "CTAs of grid " + std::to_string(g) +
+                              " retired");
+    }
     stats_.addValue("issue.issued", &stalls_.issued,
                     "scheduler-cycles that issued");
     stats_.addValue("issue.bubbles.mem", &stalls_.memStall,
@@ -93,6 +105,26 @@ SmCore::registerTelemetry(telemetry::StatRegistry &reg)
     reg.setRole(ldst_.l1().stats().name() + ".misses",
                 KernelStatRole::L1Misses);
 
+    // Per-grid splits (concurrent launches): same roles, tagged with the
+    // grid so StatsSnapshot::deltaGrid can assemble per-grid KernelStats.
+    for (GridId g = 0; g < maxGrids; ++g) {
+        const std::string p = ".grid" + std::to_string(g);
+        reg.setRole(stats_.name() + p + ".instructions",
+                    KernelStatRole::WarpInstructions, g);
+        reg.setRole(stats_.name() + p + ".thread_instructions",
+                    KernelStatRole::ThreadInstructions, g);
+        reg.setRole(stats_.name() + p + ".ctas_completed",
+                    KernelStatRole::CtasCompleted, g);
+        reg.setRole(vt_.stats().name() + p + ".swap_outs",
+                    KernelStatRole::SwapOuts, g);
+        reg.setRole(vt_.stats().name() + p + ".swap_ins",
+                    KernelStatRole::SwapIns, g);
+        reg.setRole(ldst_.l1().stats().name() + p + ".hits",
+                    KernelStatRole::L1Hits, g);
+        reg.setRole(ldst_.l1().stats().name() + p + ".misses",
+                    KernelStatRole::L1Misses, g);
+    }
+
     reg.addGroup(shmem_.stats());
     if (throttler_)
         reg.addGroup(throttler_->stats());
@@ -133,13 +165,11 @@ SmCore::resumeReplay(const std::vector<MtraceAccess> *slice)
 }
 
 void
-SmCore::launchKernel(const Kernel &kernel, const LaunchParams &launch,
-                     GlobalMemory &gmem)
+SmCore::beginGridBinding(GlobalMemory &gmem)
 {
     VTSIM_ASSERT(residentCount_ == 0, "kernel launch with CTAs resident");
     onExternalEvent();
-    kernel_ = &kernel;
-    launch_ = &launch;
+    grids_.clear();
     gmem_ = &gmem;
 
     // Active CTAs respect the scheduling limit, so no sweep can see more
@@ -150,6 +180,17 @@ SmCore::launchKernel(const Kernel &kernel, const LaunchParams &launch,
     decodes_.reserve(config_.effMaxWarpsPerSm());
     for (auto &list : ready_)
         list.reserve(config_.effMaxWarpsPerSm());
+}
+
+void
+SmCore::bindGrid(GridId grid, const Kernel &kernel,
+                 const LaunchParams &launch)
+{
+    VTSIM_ASSERT(grid < maxGrids, "grid id ", grid, " out of range");
+    if (grid >= grids_.size())
+        grids_.resize(grid + 1);
+    grids_[grid].kernel = &kernel;
+    grids_[grid].launch = &launch;
 
     const std::uint32_t warps_per_cta = launch.warpsPerCta();
     const std::uint32_t regs_per_warp =
@@ -172,19 +213,20 @@ SmCore::launchKernel(const Kernel &kernel, const LaunchParams &launch,
         VTSIM_FATAL("one CTA of kernel '", kernel.name(),
                     "' exceeds the SM capacity limit");
     }
-    vt_.configureKernel(fp);
+    vt_.configureGrid(grid, fp);
 }
 
 bool
-SmCore::canAdmitCta() const
+SmCore::canAdmitCta(GridId grid) const
 {
-    return kernel_ != nullptr && vt_.canAdmit();
+    return grid < grids_.size() && grids_[grid].kernel != nullptr &&
+           vt_.canAdmit(grid);
 }
 
 void
-SmCore::admitCta(const CtaAssignment &assignment, Cycle now)
+SmCore::admitCta(const CtaAssignment &assignment, Cycle now, GridId grid)
 {
-    VTSIM_ASSERT(canAdmitCta(), "admitCta without canAdmitCta");
+    VTSIM_ASSERT(canAdmitCta(grid), "admitCta without canAdmitCta");
     onExternalEvent();
 
     VirtualCtaId slot;
@@ -196,15 +238,18 @@ SmCore::admitCta(const CtaAssignment &assignment, Cycle now)
         ctas_.emplace_back();
     }
 
+    const Kernel &kernel = *grids_[grid].kernel;
+    const LaunchParams &launch = *grids_[grid].launch;
     VirtualCta &cta = ctas_[slot];
     cta.valid = true;
+    cta.grid = grid;
     cta.age = nextCtaAge_++;
     cta.pendingOffChipTotal = 0;
-    const std::uint32_t tpc = launch_->threadsPerCta();
+    const std::uint32_t tpc = launch.threadsPerCta();
     cta.func.init(assignment.linearId, assignment.idx, tpc,
-                  kernel_->regsPerThread(), kernel_->sharedBytesPerCta());
+                  kernel.regsPerThread(), kernel.sharedBytesPerCta());
 
-    const std::uint32_t warps = launch_->warpsPerCta();
+    const std::uint32_t warps = launch.warpsPerCta();
     cta.warps.assign(warps, WarpContext());
     cta.warpsAlive = warps;
     cta.schedWarps.assign(config_.numSchedulers, {});
@@ -217,7 +262,7 @@ SmCore::admitCta(const CtaAssignment &assignment, Cycle now)
         const std::uint32_t sched =
             (cta.age * warps + w) % config_.numSchedulers;
         cta.warps[w].init(slot, w, ActiveMask::firstLanes(live),
-                          kernel_->regsPerThread(), sched);
+                          kernel.regsPerThread(), sched);
         cta.schedWarps[sched].push_back(w);
         ++cta.aliveBySched[sched];
     }
@@ -231,7 +276,36 @@ SmCore::admitCta(const CtaAssignment &assignment, Cycle now)
 
     ++residentCount_;
     barriers_.ctaLaunched(slot);
-    vt_.onAdmit(slot, now);
+    vt_.onAdmit(slot, now, grid);
+}
+
+std::uint32_t
+SmCore::forcePreemptGrid(GridId grid, std::uint32_t max_ctas, Cycle now)
+{
+    onExternalEvent();
+    std::uint32_t swapped = 0;
+    for (VirtualCtaId slot = 0;
+         slot < ctas_.size() && swapped < max_ctas; ++slot) {
+        const VirtualCta &cta = ctas_[slot];
+        if (!cta.valid || cta.grid != grid)
+            continue;
+        if (vt_.state(slot) != CtaState::Active)
+            continue;
+        vt_.forceSwapOut(slot, now);
+        ++swapped;
+    }
+    return swapped;
+}
+
+bool
+SmCore::hasInactiveCta(GridId grid) const
+{
+    for (VirtualCtaId slot = 0; slot < ctas_.size(); ++slot) {
+        const VirtualCta &cta = ctas_[slot];
+        if (cta.valid && cta.grid == grid && !vt_.isIssuable(slot))
+            return true;
+    }
+    return false;
 }
 
 bool
@@ -337,7 +411,8 @@ SmCore::tick(Cycle now)
                 VirtualCta &cta = ctas_[slot];
                 const std::uint32_t w = key & 0xff;
                 WarpContext &warp = cta.warps[w];
-                const Instruction &inst = kernel_->at(warp.stack().pc());
+                const Instruction &inst =
+                    kernelOf(cta)->at(warp.stack().pc());
                 const bool can_issue =
                     warp.readyAt() <= now &&
                     (!inst.isGlobalMem() || ldst_ok) &&
@@ -396,13 +471,14 @@ SmCore::tick(Cycle now)
                         continue;
                     if (!warp.atBarrier())
                         all_barrier = false;
-                    const bool can_issue = warpCanIssueLocal(warp, now);
+                    const bool can_issue =
+                        warpCanIssueLocal(cta, warp, now);
                     if (warp.pendingOffChip() > 0 && !can_issue)
                         any_mem_blocked = true;
                     if (!can_issue)
                         continue;
                     const Instruction &inst =
-                        kernel_->at(warp.stack().pc());
+                        kernelOf(cta)->at(warp.stack().pc());
                     if (!budgetAllows(inst, budgets))
                         continue;
                     const std::uint64_t key = cta.age * 256 + w;
@@ -496,7 +572,8 @@ SmCore::classifyIssueBubble(std::uint32_t scheduler, Cycle now) const
                 continue;
             if (!warp.atBarrier())
                 all_barrier = false;
-            if (warp.pendingOffChip() > 0 && !warpCanIssueLocal(warp, now))
+            if (warp.pendingOffChip() > 0 &&
+                !warpCanIssueLocal(cta, warp, now))
                 any_mem_blocked = true;
         }
     }
@@ -520,11 +597,12 @@ SmCore::classifyIssueBubbleFast(std::uint32_t scheduler, Cycle now) const
     bool mem_blocked = false;
     std::uint32_t ready_offchip = 0;
     for (const std::uint64_t key : ready_[scheduler]) {
-        const WarpContext &warp = ctas_[key >> 8].warps[key & 0xff];
+        const VirtualCta &cta = ctas_[key >> 8];
+        const WarpContext &warp = cta.warps[key & 0xff];
         if (warp.pendingOffChip() == 0)
             continue;
         ++ready_offchip;
-        const Instruction &inst = kernel_->at(warp.stack().pc());
+        const Instruction &inst = kernelOf(cta)->at(warp.stack().pc());
         if (warp.readyAt() > now || (inst.isGlobalMem() && !ldst_ok) ||
             (inst.isSharedMem() && !shmem_.canAccept(now))) {
             mem_blocked = true;
@@ -603,13 +681,14 @@ SmCore::computeNextEvent(Cycle now)
     if (config_.incrementalReadySets) {
         for (std::uint32_t s = 0; s < config_.numSchedulers; ++s) {
             for (const std::uint64_t key : ready_[s]) {
-                const WarpContext &warp =
-                    ctas_[key >> 8].warps[key & 0xff];
+                const VirtualCta &cta = ctas_[key >> 8];
+                const WarpContext &warp = cta.warps[key & 0xff];
                 if (warp.readyAt() > now) {
                     next = std::min(next, warp.readyAt());
                     continue;
                 }
-                const Instruction &inst = kernel_->at(warp.stack().pc());
+                const Instruction &inst =
+                    kernelOf(cta)->at(warp.stack().pc());
                 if ((!inst.isGlobalMem() || ldst_.canAccept()) &&
                     (!inst.isSharedMem() || shmem_.canAccept(now))) {
                     return now;
@@ -627,7 +706,7 @@ SmCore::computeNextEvent(Cycle now)
                 continue;
             if (warp.readyAt() > now)
                 next = std::min(next, warp.readyAt());
-            else if (warpCanIssueLocal(warp, now))
+            else if (warpCanIssueLocal(cta, warp, now))
                 return now;
         }
     }
@@ -704,20 +783,24 @@ SmCore::issueWarp(VirtualCta &cta, VirtualCtaId slot, WarpContext &warp,
     // oracle-checked against the legacy interpreter), legacy switch
     // interpreter behind the flag. Bit-identical either way.
     ExecResult &res = execScratch_;
+    const Kernel &kernel = *kernelOf(cta);
+    const LaunchParams &launch = *launchOf(cta);
     if (config_.microcodeEnabled) {
         if (microOracleEnabled()) {
-            executeMicroChecked(kernel_->micro(), inst, pc, w, mask,
-                                cta.func, *gmem_, *launch_, res);
+            executeMicroChecked(kernel.micro(), inst, pc, w, mask,
+                                cta.func, *gmem_, launch, res);
         } else {
-            executeMicroInto(kernel_->micro(), pc, w, mask, cta.func,
-                             *gmem_, *launch_, res);
+            executeMicroInto(kernel.micro(), pc, w, mask, cta.func,
+                             *gmem_, launch, res);
         }
     } else {
-        res = execute(inst, w, mask, cta.func, *gmem_, *launch_);
+        res = execute(inst, w, mask, cta.func, *gmem_, launch);
     }
     warp.countIssue();
     ++instructionsIssued_;
     threadInstructions_ += mask.count();
+    ++gridInstructions_[cta.grid];
+    gridThreadInstructions_[cta.grid] += mask.count();
     warp.setReadyAt(now + 1);
 
     switch (inst.funcUnit()) {
@@ -782,7 +865,8 @@ SmCore::issueWarp(VirtualCta &cta, VirtualCtaId slot, WarpContext &warp,
                                         inst.hasDst() ? inst.dst : noReg,
                                         res.globalAccesses});
             }
-            ldst_.issueGlobal(slot, w, inst, res.globalAccesses);
+            ldst_.issueGlobal(slot, w, inst, res.globalAccesses,
+                              cta.grid);
         }
         warp.stack().advance();
         break;
@@ -856,6 +940,7 @@ SmCore::finishCta(VirtualCtaId slot, Cycle now)
     VTSIM_ASSERT(residentCount_ > 0, "resident underflow");
     --residentCount_;
     ++ctasCompleted_;
+    ++gridCtasCompleted_[cta.grid];
 }
 
 bool
@@ -952,7 +1037,7 @@ SmCore::ctaFullyStalled(VirtualCtaId id) const
     for (const WarpContext &warp : cta.warps) {
         if (warp.done())
             continue;
-        if (warpCanIssueLocal(warp, now_, true))
+        if (warpCanIssueLocal(cta, warp, now_, true))
             return false;
     }
     return true;
@@ -991,7 +1076,7 @@ SmCore::ctaAnyWarpLongStalled(VirtualCtaId id) const
         if (warp.done())
             continue;
         if (warp.pendingOffChip() > 0 &&
-            !warpCanIssueLocal(warp, now_, true)) {
+            !warpCanIssueLocal(cta, warp, now_, true)) {
             return true;
         }
     }
@@ -1013,7 +1098,7 @@ SmCore::refreshWarp(VirtualCtaId slot, std::uint32_t w)
     if (!cta.valid)
         return;
     const WarpContext &warp = cta.warps[w];
-    const bool want = vt_.isIssuable(slot) && warpReadyMember(warp);
+    const bool want = vt_.isIssuable(slot) && warpReadyMember(cta, warp);
     std::vector<std::uint64_t> &list = ready_[warp.schedId()];
     const std::uint64_t key = readyKey(slot, w);
     const auto it = std::lower_bound(list.begin(), list.end(), key);
@@ -1063,11 +1148,13 @@ SmCore::onCtaIssuableChanged(VirtualCtaId id, bool issuable)
 }
 
 void
-SmCore::rebindKernel(const Kernel &kernel, const LaunchParams &launch,
-                     GlobalMemory &gmem)
+SmCore::rebindGrid(GridId grid, const Kernel &kernel,
+                   const LaunchParams &launch, GlobalMemory &gmem)
 {
-    kernel_ = &kernel;
-    launch_ = &launch;
+    if (grid >= grids_.size())
+        grids_.resize(grid + 1);
+    grids_[grid].kernel = &kernel;
+    grids_[grid].launch = &launch;
     gmem_ = &gmem;
     cands_.reserve(config_.effMaxWarpsPerSm());
     refs_.reserve(config_.effMaxWarpsPerSm());
@@ -1079,8 +1166,7 @@ SmCore::rebindKernel(const Kernel &kernel, const LaunchParams &launch,
 void
 SmCore::reset()
 {
-    kernel_ = nullptr;
-    launch_ = nullptr;
+    grids_.clear();
     gmem_ = nullptr;
     ldst_.reset();
     shmem_.reset();
@@ -1120,6 +1206,11 @@ SmCore::reset()
     instructionsIssued_.reset();
     threadInstructions_.reset();
     ctasCompleted_.reset();
+    for (GridId g = 0; g < maxGrids; ++g) {
+        gridInstructions_[g].reset();
+        gridThreadInstructions_[g].reset();
+        gridCtasCompleted_[g].reset();
+    }
     stalls_ = {};
 }
 
@@ -1132,6 +1223,7 @@ SmCore::save(Serializer &ser) const
     ser.put<std::uint64_t>(ctas_.size());
     for (const VirtualCta &cta : ctas_) {
         ser.put(cta.valid);
+        ser.put(cta.grid);
         ser.put(cta.age);
         cta.func.save(ser);
         ser.put<std::uint64_t>(cta.warps.size());
@@ -1174,6 +1266,11 @@ SmCore::save(Serializer &ser) const
     saveStat(ser, instructionsIssued_);
     saveStat(ser, threadInstructions_);
     saveStat(ser, ctasCompleted_);
+    for (GridId g = 0; g < maxGrids; ++g) {
+        saveStat(ser, gridInstructions_[g]);
+        saveStat(ser, gridThreadInstructions_[g]);
+        saveStat(ser, gridCtasCompleted_[g]);
+    }
     static_assert(std::is_trivially_copyable_v<StallBreakdown>);
     ser.put(stalls_);
     // The replay slice itself is not machine state (it is reloaded from
@@ -1200,6 +1297,7 @@ SmCore::restore(Deserializer &des)
     ctas_.assign(cta_count, VirtualCta());
     for (VirtualCta &cta : ctas_) {
         des.get(cta.valid);
+        des.get(cta.grid);
         des.get(cta.age);
         cta.func.restore(des);
         const auto warp_count = des.get<std::uint64_t>();
@@ -1246,6 +1344,11 @@ SmCore::restore(Deserializer &des)
     restoreStat(des, instructionsIssued_);
     restoreStat(des, threadInstructions_);
     restoreStat(des, ctasCompleted_);
+    for (GridId g = 0; g < maxGrids; ++g) {
+        restoreStat(des, gridInstructions_[g]);
+        restoreStat(des, gridThreadInstructions_[g]);
+        restoreStat(des, gridCtasCompleted_[g]);
+    }
     des.get(stalls_);
     replayMode_ = des.get<std::uint8_t>() != 0;
     des.get(replayCursor_);
@@ -1292,7 +1395,7 @@ SmCore::verifyReadySets() const
                     continue;
                 barrier += warp.atBarrier() ? 1 : 0;
                 offchip += warp.pendingOffChip() > 0 ? 1 : 0;
-                if (warpReadyMember(warp))
+                if (warpReadyMember(cta, warp))
                     expected.push_back(readyKey(slot, w));
             }
             VTSIM_ASSERT(barrier == cta.barrierBySched[s] &&

@@ -8,6 +8,7 @@
 #ifndef VTSIM_SM_SM_CORE_HH
 #define VTSIM_SM_SM_CORE_HH
 
+#include <array>
 #include <memory>
 #include <queue>
 #include <thread>
@@ -52,24 +53,70 @@ class SmCore : public SimComponent, public LdstClient, public VtCtaQuery
   public:
     SmCore(SmId id, const GpuConfig &config, Interconnect &noc);
 
-    /** Bind the kernel this SM will run (Gpu calls this at launch). */
+    /**
+     * Start binding the grids of one (possibly concurrent) launch: the
+     * SM must be empty; previous bindings are dropped. Follow with one
+     * bindGrid() per co-resident grid.
+     */
+    void beginGridBinding(GlobalMemory &gmem);
+
+    /** Bind grid @p grid's kernel and launch shape and configure its
+     *  CTA footprint in the VT manager. */
+    void bindGrid(GridId grid, const Kernel &kernel,
+                  const LaunchParams &launch);
+
+    /** Bind the single kernel this SM will run (solo launch). */
     void launchKernel(const Kernel &kernel, const LaunchParams &launch,
-                      GlobalMemory &gmem);
+                      GlobalMemory &gmem)
+    {
+        beginGridBinding(gmem);
+        bindGrid(0, kernel, launch);
+    }
 
     /**
-     * Re-attach the kernel/launch/memory bindings after a checkpoint
-     * restore: unlike launchKernel() this neither requires an empty SM
-     * nor reconfigures the VT manager — the restored state already
-     * carries both.
+     * Re-attach one grid's kernel/launch/memory bindings after a
+     * checkpoint restore: unlike bindGrid() this neither requires an
+     * empty SM nor reconfigures the VT manager — the restored state
+     * already carries both.
      */
+    void rebindGrid(GridId grid, const Kernel &kernel,
+                    const LaunchParams &launch, GlobalMemory &gmem);
+
+    /** Solo-restore shorthand for rebindGrid(0, ...). */
     void rebindKernel(const Kernel &kernel, const LaunchParams &launch,
-                      GlobalMemory &gmem);
+                      GlobalMemory &gmem)
+    {
+        rebindGrid(0, kernel, launch, gmem);
+    }
 
-    /** True when another CTA can be admitted right now. */
-    bool canAdmitCta() const;
+    /** True when another CTA of @p grid can be admitted right now. */
+    bool canAdmitCta(GridId grid = 0) const;
 
-    /** Admit one CTA from the dispatcher. */
-    void admitCta(const CtaAssignment &assignment, Cycle now);
+    /** Admit one CTA of @p grid from its dispatcher. */
+    void admitCta(const CtaAssignment &assignment, Cycle now,
+                  GridId grid = 0);
+
+    /**
+     * Preempt-policy hook: force-swap-out up to @p max_ctas Active CTAs
+     * of @p grid (lowest slot first), freeing their scheduling slots
+     * for a higher-priority grid. Returns how many were swapped.
+     * Requires the VT machine (vtEnabled).
+     */
+    std::uint32_t forcePreemptGrid(GridId grid, std::uint32_t max_ctas,
+                                   Cycle now);
+
+    /** A CTA of @p grid is resident here but not Active (swap-frozen or
+     *  parked Inactive) — the preempt policy's signal that vacating an
+     *  active slot on this SM would let @p grid progress. */
+    bool hasInactiveCta(GridId grid) const;
+
+    /** Block/unblock activations of @p grid (preempt policy); forwards
+     *  to the VT manager after settling lazy-tick state. */
+    void setGridActivationBlocked(GridId grid, bool blocked)
+    {
+        onExternalEvent();
+        vt_.setGridActivationBlocked(grid, blocked);
+    }
 
     /** Advance one cycle. */
     void tick(Cycle now) override;
@@ -137,6 +184,10 @@ class SmCore : public SimComponent, public LdstClient, public VtCtaQuery
     std::uint64_t threadInstructions() const
     { return threadInstructions_.value(); }
     std::uint64_t ctasCompleted() const { return ctasCompleted_.value(); }
+    /** CTAs of one grid retired on this SM (concurrent launches; the
+     *  preempt policy's online progress estimate reads this). */
+    std::uint64_t gridCtasCompleted(GridId g) const
+    { return gridCtasCompleted_.at(g).value(); }
     const StallBreakdown &stallBreakdown() const { return stalls_; }
     std::uint32_t maxSimtDepthSeen() const { return maxSimtDepth_; }
     StatGroup &stats() { return stats_; }
@@ -241,6 +292,8 @@ class SmCore : public SimComponent, public LdstClient, public VtCtaQuery
     struct VirtualCta
     {
         bool valid = false;
+        /** Owning grid of a concurrent launch (solo CTAs: grid 0). */
+        GridId grid = 0;
         std::uint64_t age = 0;
         CtaFuncState func;
         std::vector<WarpContext> warps;
@@ -288,7 +341,8 @@ class SmCore : public SimComponent, public LdstClient, public VtCtaQuery
      * clears in a few cycles — for a long-latency stall.
      * Inline (below): called for every warp visit of the issue sweep.
      */
-    bool warpCanIssueLocal(const WarpContext &warp, Cycle now,
+    bool warpCanIssueLocal(const VirtualCta &cta, const WarpContext &warp,
+                           Cycle now,
                            bool ignore_structural = false) const;
     bool budgetAllows(const Instruction &inst,
                       const IssueBudgets &budgets) const;
@@ -325,7 +379,8 @@ class SmCore : public SimComponent, public LdstClient, public VtCtaQuery
      *  the barrier, and no scoreboard hazard at its current PC. Combined
      *  with the CTA's Active state this is the ready-set membership
      *  rule; readyAt and the structural ports stay sweep-time checks. */
-    bool warpReadyMember(const WarpContext &warp) const
+    bool warpReadyMember(const VirtualCta &cta,
+                         const WarpContext &warp) const
     {
         if (warp.done() || warp.atBarrier())
             return false;
@@ -334,11 +389,17 @@ class SmCore : public SimComponent, public LdstClient, public VtCtaQuery
         // the refresh-after-writeback path).
         if (warp.scoreboard().pendingCount() == 0)
             return true;
-        const Instruction &inst = kernel_->at(warp.stack().pc());
+        const Instruction &inst = kernelOf(cta)->at(warp.stack().pc());
         if (inst.isExit())
             return false;
         return !warp.scoreboard().hasHazard(inst);
     }
+
+    /** Kernel / launch shape of the grid a CTA belongs to. */
+    const Kernel *kernelOf(const VirtualCta &cta) const
+    { return grids_[cta.grid].kernel; }
+    const LaunchParams *launchOf(const VirtualCta &cta) const
+    { return grids_[cta.grid].launch; }
 
     /** Re-derive warp (slot, w)'s ready-set membership and insert or
      *  remove its key accordingly. Idempotent; called after every state
@@ -373,10 +434,18 @@ class SmCore : public SimComponent, public LdstClient, public VtCtaQuery
 #endif
     }
 
+    /** One co-resident grid's bindings. Pointers owned by the Gpu's
+     *  launch context; stable for the run's duration. */
+    struct GridBinding
+    {
+        const Kernel *kernel = nullptr;
+        const LaunchParams *launch = nullptr;
+    };
+
     SmId id_;
     const GpuConfig &config_;
-    const Kernel *kernel_ = nullptr;
-    const LaunchParams *launch_ = nullptr;
+    /** Grids of the current launch, indexed by GridId (solo: size 1). */
+    std::vector<GridBinding> grids_;
     GlobalMemory *gmem_ = nullptr;
 
     LdstUnit ldst_;
@@ -456,6 +525,12 @@ class SmCore : public SimComponent, public LdstClient, public VtCtaQuery
     Counter instructionsIssued_;
     Counter threadInstructions_;
     Counter ctasCompleted_;
+    /** Per-grid splits of the three counters above (concurrent
+     *  launches); the aggregates keep counting everything, so solo
+     *  stats are untouched. */
+    std::array<Counter, maxGrids> gridInstructions_;
+    std::array<Counter, maxGrids> gridThreadInstructions_;
+    std::array<Counter, maxGrids> gridCtasCompleted_;
     StallBreakdown stalls_;
     telemetry::TraceJsonWriter *traceJson_ = nullptr;
 
@@ -480,12 +555,12 @@ class SmCore : public SimComponent, public LdstClient, public VtCtaQuery
 };
 
 inline bool
-SmCore::warpCanIssueLocal(const WarpContext &warp, Cycle now,
-                          bool ignore_structural) const
+SmCore::warpCanIssueLocal(const VirtualCta &cta, const WarpContext &warp,
+                          Cycle now, bool ignore_structural) const
 {
     if (warp.done() || warp.atBarrier() || warp.readyAt() > now)
         return false;
-    const Instruction &inst = kernel_->at(warp.stack().pc());
+    const Instruction &inst = kernelOf(cta)->at(warp.stack().pc());
     if (inst.isExit() && warp.scoreboard().pendingCount() > 0)
         return false; // Retire only with all writes landed.
     if (warp.scoreboard().hasHazard(inst))

@@ -28,11 +28,13 @@ StatRegistry::addGroup(const StatGroup &group)
 }
 
 void
-StatRegistry::setRole(const std::string &path, KernelStatRole role)
+StatRegistry::setRole(const std::string &path, KernelStatRole role,
+                      std::int32_t grid)
 {
     for (auto &probe : scalars_) {
         if (probe.path == path) {
             probe.role = role;
+            probe.grid = grid;
             return;
         }
     }

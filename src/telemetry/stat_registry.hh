@@ -63,6 +63,11 @@ class StatRegistry
         const Counter *counter = nullptr;
         const std::uint64_t *value = nullptr;
         KernelStatRole role = KernelStatRole::None;
+        /** Grid this probe attributes to: -1 for the aggregate counters
+         *  (the solo-run stats), 0..maxGrids-1 for the per-grid split of
+         *  concurrent launches. StatsSnapshot::delta sums only aggregate
+         *  probes; deltaGrid sums only the matching grid's. */
+        std::int32_t grid = -1;
 
         std::uint64_t read() const
         { return counter ? counter->value() : *value; }
@@ -89,8 +94,11 @@ class StatRegistry
      */
     void addGroup(const StatGroup &group);
 
-    /** Tag the scalar probe at @p path with @p role; fatal if absent. */
-    void setRole(const std::string &path, KernelStatRole role);
+    /** Tag the scalar probe at @p path with @p role; fatal if absent.
+     *  @p grid attributes the probe to one grid of a concurrent launch
+     *  (-1 = aggregate; see ScalarProbe::grid). */
+    void setRole(const std::string &path, KernelStatRole role,
+                 std::int32_t grid = -1);
 
     const std::vector<ScalarProbe> &scalars() const { return scalars_; }
     const std::vector<DistProbe> &dists() const { return dists_; }

@@ -9,6 +9,7 @@
 
 #include "common/log.hh"
 #include "config/gpu_config.hh"
+#include "config/sim_mode.hh"
 
 namespace vtsim {
 namespace {
@@ -141,6 +142,68 @@ TEST(GpuConfig, PolicyNames)
     EXPECT_EQ(toString(VtSwapTrigger::AnyWarpStalled), "any-warp-stalled");
     EXPECT_EQ(toString(VtSwapInPolicy::ReadyFirst), "ready-first");
     EXPECT_EQ(toString(VtSwapInPolicy::OldestFirst), "oldest-first");
+}
+
+TEST(SimMode, MatrixAcceptsValidCombinations)
+{
+    EXPECT_TRUE(validateSimMode({}).empty());
+
+    SimModeSpec replay_resume; // Replay checkpoints resume in replay.
+    replay_resume.replayTrace = true;
+    replay_resume.restore = true;
+    EXPECT_TRUE(validateSimMode(replay_resume).empty());
+
+    SimModeSpec corun_ckpt; // Co-runs checkpoint and preempt freely.
+    corun_ckpt.numGrids = 3;
+    corun_ckpt.checkpointEvery = 1000;
+    corun_ckpt.restore = true;
+    EXPECT_TRUE(validateSimMode(corun_ckpt).empty());
+
+    SimModeSpec preempt_vt;
+    preempt_vt.numGrids = 2;
+    preempt_vt.preemptPolicy = true;
+    preempt_vt.vtEnabled = true;
+    EXPECT_TRUE(validateSimMode(preempt_vt).empty());
+
+    // Preempt policy with one grid degenerates to a solo run; no VT
+    // machine is needed because nothing ever preempts.
+    SimModeSpec solo_preempt;
+    solo_preempt.preemptPolicy = true;
+    EXPECT_TRUE(validateSimMode(solo_preempt).empty());
+}
+
+TEST(SimMode, MatrixRejectsInvalidCombinations)
+{
+    SimModeSpec record_replay;
+    record_replay.recordTrace = true;
+    record_replay.replayTrace = true;
+    EXPECT_FALSE(validateSimMode(record_replay).empty());
+    EXPECT_THROW(requireValidSimMode(record_replay), FatalError);
+
+    SimModeSpec record_corun;
+    record_corun.recordTrace = true;
+    record_corun.numGrids = 2;
+    EXPECT_FALSE(validateSimMode(record_corun).empty());
+
+    SimModeSpec record_ckpt;
+    record_ckpt.recordTrace = true;
+    record_ckpt.checkpointEvery = 500;
+    EXPECT_FALSE(validateSimMode(record_ckpt).empty());
+
+    SimModeSpec record_restore;
+    record_restore.recordTrace = true;
+    record_restore.restore = true;
+    EXPECT_FALSE(validateSimMode(record_restore).empty());
+
+    SimModeSpec replay_corun;
+    replay_corun.replayTrace = true;
+    replay_corun.numGrids = 2;
+    EXPECT_FALSE(validateSimMode(replay_corun).empty());
+
+    SimModeSpec preempt_no_vt;
+    preempt_no_vt.numGrids = 2;
+    preempt_no_vt.preemptPolicy = true;
+    EXPECT_FALSE(validateSimMode(preempt_no_vt).empty());
 }
 
 } // namespace

@@ -198,6 +198,38 @@ TEST(ServiceProtocol, ParsesSimThreads)
     EXPECT_EQ(plain.spec.simThreads, 0u);
 }
 
+TEST(ServiceProtocol, ParsesMultiKernelSubmit)
+{
+    const auto req = service::parseRequest(
+        "{\"op\":\"submit\",\"kernels\":[\"vecadd\",\"bfs\"],"
+        "\"share_policy\":\"spatial\"}");
+    ASSERT_EQ(req.spec.kernels.size(), 2u);
+    EXPECT_EQ(req.spec.kernels[0], "vecadd");
+    EXPECT_EQ(req.spec.kernels[1], "bfs");
+    EXPECT_EQ(req.spec.workload, "vecadd"); // Mirrors kernels[0].
+    EXPECT_EQ(req.spec.sharePolicy, SharePolicy::Spatial);
+
+    // Default policy, classic single-kernel spec stays untouched.
+    const auto plain = service::parseRequest(
+        "{\"op\":\"submit\",\"workload\":\"vecadd\"}");
+    EXPECT_TRUE(plain.spec.kernels.empty());
+    EXPECT_EQ(plain.spec.sharePolicy, SharePolicy::VtFill);
+
+    const char *bad[] = {
+        // workload and kernels are exclusive.
+        "{\"op\":\"submit\",\"workload\":\"vecadd\","
+        "\"kernels\":[\"bfs\"]}",
+        // kernels must be a non-empty string array.
+        "{\"op\":\"submit\",\"kernels\":[]}",
+        "{\"op\":\"submit\",\"kernels\":[1,2]}",
+        // Unknown policy names are a protocol error.
+        "{\"op\":\"submit\",\"kernels\":[\"vecadd\",\"bfs\"],"
+        "\"share_policy\":\"round-robin\"}",
+    };
+    for (const char *line : bad)
+        EXPECT_THROW(service::parseRequest(line), ProtocolError) << line;
+}
+
 TEST(ServiceProtocol, KernelStatsRoundTrip)
 {
     const Baseline base = runUninterrupted("vecadd", 0);
@@ -337,6 +369,155 @@ TEST(JobService, PreemptedJobResumesBitIdentically)
     EXPECT_GE(lowSnap.preemptions, 1u);
     expectIdenticalStats(longBase.stats, lowSnap.stats,
                          "preempted+resumed job");
+}
+
+/** Direct launchConcurrent oracle with the service's default config. */
+KernelStats
+coRunUninterrupted(const std::vector<std::string> &names,
+                   SharePolicy policy, std::uint32_t scale,
+                   std::vector<GridStats> &grids)
+{
+    Gpu gpu{GpuConfig::fermiLike()};
+    std::vector<std::unique_ptr<Workload>> wls;
+    std::vector<Kernel> kernels;
+    for (const auto &name : names) {
+        wls.push_back(makeWorkload(name, scale));
+        kernels.push_back(wls.back()->buildKernel());
+    }
+    std::vector<GridLaunch> launches;
+    for (std::size_t g = 0; g < wls.size(); ++g) {
+        GridLaunch gl;
+        gl.kernel = &kernels[g];
+        gl.params = wls[g]->prepare(gpu.memory());
+        gl.priority = std::uint32_t(g);
+        launches.push_back(std::move(gl));
+    }
+    const KernelStats stats = gpu.launchConcurrent(launches, policy);
+    for (std::size_t g = 0; g < wls.size(); ++g)
+        EXPECT_TRUE(wls[g]->verify(gpu.memory())) << names[g];
+    grids = gpu.gridStats();
+    return stats;
+}
+
+TEST(JobService, MultiKernelJobReportsPerGridStats)
+{
+    std::vector<GridStats> base_grids;
+    const KernelStats base = coRunUninterrupted(
+        {"vecadd", "bfs"}, SharePolicy::VtFill, 0, base_grids);
+
+    ServiceConfig config;
+    config.workers = 1;
+    config.preemptEvery = 0; // Uninterrupted oracle comparison.
+    config.spoolDir = tempSpool("multikernel");
+    JobService service(config);
+
+    JobSpec spec;
+    spec.kernels = {"vecadd", "bfs"};
+    spec.workload = spec.kernels.front();
+    spec.scale = 0;
+    spec.sharePolicy = SharePolicy::VtFill;
+    const auto accepted = service.submit(spec, Priority::Normal);
+    ASSERT_TRUE(accepted.ok()) << accepted.error;
+    const JobSnapshot snap = service.wait(accepted.id);
+    ASSERT_EQ(snap.state, JobState::Done);
+    EXPECT_TRUE(snap.verified);
+    expectIdenticalStats(base, snap.stats, "multi-kernel job");
+    ASSERT_EQ(snap.grids.size(), 2u);
+    for (std::size_t g = 0; g < snap.grids.size(); ++g) {
+        EXPECT_EQ(snap.grids[g].kernelName, base_grids[g].kernelName);
+        expectIdenticalStats(base_grids[g].stats, snap.grids[g].stats,
+                             "grid " + std::to_string(g));
+    }
+}
+
+TEST(JobService, MultiKernelPreemptedJobResumesBitIdentically)
+{
+    std::vector<GridStats> base_grids;
+    const KernelStats base = coRunUninterrupted(
+        {"bfs", "stencil"}, SharePolicy::VtFill, 0, base_grids);
+
+    ServiceConfig config;
+    config.workers = 1;
+    config.preemptEvery = 500;
+    config.spoolDir = tempSpool("multipreempt");
+    JobService service(config);
+
+    JobSpec longJob;
+    longJob.kernels = {"bfs", "stencil"};
+    longJob.workload = longJob.kernels.front();
+    longJob.scale = 0;
+    const auto low = service.submit(longJob, Priority::Low);
+    ASSERT_TRUE(low.ok()) << low.error;
+    spinUntilStarted(service, low.id);
+
+    JobSpec tiny;
+    tiny.workload = "vecadd";
+    tiny.scale = 0;
+    const auto high = service.submit(tiny, Priority::High);
+    ASSERT_TRUE(high.ok());
+    ASSERT_EQ(service.wait(high.id).state, JobState::Done);
+
+    const JobSnapshot snap = service.wait(low.id);
+    ASSERT_EQ(snap.state, JobState::Done);
+    EXPECT_TRUE(snap.verified);
+    expectIdenticalStats(base, snap.stats, "parked co-run");
+    ASSERT_EQ(snap.grids.size(), 2u);
+    for (std::size_t g = 0; g < snap.grids.size(); ++g) {
+        expectIdenticalStats(base_grids[g].stats, snap.grids[g].stats,
+                             "parked co-run grid " + std::to_string(g));
+    }
+}
+
+TEST(JobService, MultiKernelSubmitValidation)
+{
+    ServiceConfig config;
+    config.workers = 1;
+    config.spoolDir = tempSpool("multivalidate");
+    JobService service(config);
+
+    // Beyond the grid limit.
+    JobSpec over;
+    over.kernels.assign(maxGrids + 1, "vecadd");
+    over.workload = "vecadd";
+    const auto rejected = service.submit(over, Priority::Normal);
+    EXPECT_FALSE(rejected.ok());
+    EXPECT_NE(rejected.error.find("kernels"), std::string::npos)
+        << rejected.error;
+
+    // Recording does not compose with co-runs (mode matrix).
+    JobSpec rec;
+    rec.kernels = {"vecadd", "bfs"};
+    rec.workload = "vecadd";
+    rec.recordTrace = tempSpool("multivalidate") + "-trace.bin";
+    const auto rec_rejected = service.submit(rec, Priority::Normal);
+    EXPECT_FALSE(rec_rejected.ok());
+    EXPECT_NE(rec_rejected.error.find("concurrent"), std::string::npos)
+        << rec_rejected.error;
+
+    // Preempt policy without the VT machine (mode matrix).
+    JobSpec pre;
+    pre.kernels = {"vecadd", "bfs"};
+    pre.workload = "vecadd";
+    pre.sharePolicy = SharePolicy::Preempt;
+    const auto pre_rejected = service.submit(pre, Priority::Normal);
+    EXPECT_FALSE(pre_rejected.ok());
+    EXPECT_NE(pre_rejected.error.find("vtEnabled"), std::string::npos)
+        << pre_rejected.error;
+
+    // An unknown co-runner name is caught at admission.
+    JobSpec bad;
+    bad.kernels = {"vecadd", "no-such-benchmark"};
+    bad.workload = "vecadd";
+    const auto bad_rejected = service.submit(bad, Priority::Normal);
+    EXPECT_FALSE(bad_rejected.ok());
+
+    // None of the rejections poisoned the service.
+    JobSpec good;
+    good.workload = "vecadd";
+    good.scale = 0;
+    const auto accepted = service.submit(good, Priority::Normal);
+    ASSERT_TRUE(accepted.ok());
+    EXPECT_EQ(service.wait(accepted.id).state, JobState::Done);
 }
 
 TEST(JobService, CrashedJobRetriesFromCheckpoint)

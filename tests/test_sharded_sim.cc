@@ -32,13 +32,18 @@ struct GpuTestAccess
     static std::vector<std::vector<std::uint8_t>> captureImages(Gpu &gpu)
     { return gpu.captureShardImages(); }
 
-    static std::uint64_t dispatched(const Gpu &gpu)
-    { return gpu.dispatcher_->dispatched(); }
+    static std::vector<std::uint64_t> dispatched(const Gpu &gpu)
+    {
+        std::vector<std::uint64_t> out;
+        for (const auto &ctx : gpu.grids_)
+            out.push_back(ctx.dispatcher->dispatched());
+        return out;
+    }
 
     static void verifyEpoch(Gpu &gpu,
                             const std::vector<std::vector<std::uint8_t>> &pre,
-                            std::uint64_t pre_dispatched, Cycle from,
-                            Cycle to)
+                            const std::vector<std::uint64_t> &pre_dispatched,
+                            Cycle from, Cycle to)
     { gpu.verifyShardEpoch(pre, pre_dispatched, from, to); }
 };
 
@@ -294,7 +299,7 @@ TEST(ShardOracle, DetectsInjectedDivergence)
     launchOn(gpu, "vecadd"); // Leaves a dispatcher + settled machine.
 
     const auto pre = GpuTestAccess::captureImages(gpu);
-    const std::uint64_t dispatched = GpuTestAccess::dispatched(gpu);
+    const auto dispatched = GpuTestAccess::dispatched(gpu);
 
     // An empty epoch over untouched state verifies clean.
     GpuTestAccess::verifyEpoch(gpu, pre, dispatched, 5, 5);

@@ -209,10 +209,16 @@ TEST(StatRegistry, ExposesComponentGroupPaths)
     }
 
     // Every KernelStats-feeding role is wired once per SM (or per
-    // partition for the memory-side roles).
+    // partition for the memory-side roles) at the aggregate level;
+    // roles with a per-grid split add one probe per grid slot on top.
     std::map<telemetry::KernelStatRole, unsigned> role_counts;
-    for (const auto &probe : reg.scalars())
-        ++role_counts[probe.role];
+    std::map<telemetry::KernelStatRole, unsigned> grid_counts;
+    for (const auto &probe : reg.scalars()) {
+        if (probe.grid < 0)
+            ++role_counts[probe.role];
+        else
+            ++grid_counts[probe.role];
+    }
     EXPECT_EQ(role_counts[telemetry::KernelStatRole::WarpInstructions],
               gpu.numSms());
     EXPECT_EQ(role_counts[telemetry::KernelStatRole::StallMem],
@@ -221,6 +227,11 @@ TEST(StatRegistry, ExposesComponentGroupPaths)
               gpu.numSms());
     EXPECT_EQ(role_counts[telemetry::KernelStatRole::L2Hits], 2u);
     EXPECT_EQ(role_counts[telemetry::KernelStatRole::DramBytes], 2u);
+    EXPECT_EQ(grid_counts[telemetry::KernelStatRole::WarpInstructions],
+              gpu.numSms() * maxGrids);
+    EXPECT_EQ(grid_counts[telemetry::KernelStatRole::StallMem], 0u);
+    EXPECT_EQ(grid_counts[telemetry::KernelStatRole::L2Hits],
+              2u * maxGrids);
 }
 
 TEST(StatRegistry, KernelStatsMatchComponentGetters)

@@ -21,6 +21,11 @@
  *   --sim-threads N       shard each job's simulation across N threads
  *                         (bit-identical results; the daemon rejects
  *                         requests beyond its --max-sim-threads)
+ *   --kernels a,b         submit one concurrent job co-running these
+ *                         workloads (instead of <workload>); results
+ *                         include one per-grid stats line per kernel
+ *   --share-policy P      spatial | vt-fill | preempt CTA-slot sharing
+ *                         for a --kernels job (default vt-fill)
  *   --inject-fail N       test hook: fail the first N attempts
  *   --no-wait             submit and print job ids without waiting
  *   --local               do not contact a daemon: run the exact same
@@ -62,7 +67,9 @@ usage()
                  "         [--bypass-l1] [--throttle] [--fast-forward]\n"
                  "         [--stats-interval N] [--checkpoint-every N] "
                  "[--inject-fail N]\n"
-                 "         [--sim-threads N] [--no-wait] [--local]\n"
+                 "         [--sim-threads N] [--kernels a,b "
+                 "[--share-policy spatial|vt-fill|preempt]]\n"
+                 "         [--no-wait] [--local]\n"
                  "       vtsim-submit --status | --ping | --metrics | "
                  "--shutdown [--socket PATH]\n");
     std::exit(2);
@@ -98,6 +105,8 @@ try {
     long checkpoint_every = -1;
     long inject_fail = -1;
     long sim_threads = -1;
+    std::vector<std::string> kernels;
+    std::string share_policy;
     bool no_wait = false;
     bool local = false;
     enum class Mode { Submit, Status, Ping, Metrics, Shutdown } mode =
@@ -165,6 +174,10 @@ try {
             inject_fail = next_count(i, "--inject-fail");
         else if (a == "--sim-threads")
             sim_threads = next_count(i, "--sim-threads");
+        else if (a == "--kernels")
+            kernels = splitCsv(next_value(i));
+        else if (a == "--share-policy")
+            share_policy = next_value(i);
         else if (a == "--no-wait")
             no_wait = true;
         else if (a == "--local")
@@ -199,8 +212,14 @@ try {
         std::printf("%s\n", reply.dump().c_str());
         return 0;
     }
-    if (target.empty())
-        usage();
+    if (target.empty() == kernels.empty())
+        usage(); // Exactly one of <workload> / --kernels.
+    if (!kernels.empty() && local) {
+        std::fprintf(stderr, "vtsim-submit: --local runs the "
+                             "single-kernel batch runner; it does not "
+                             "take --kernels\n");
+        return 2;
+    }
 
     // Build every submit request up front: both modes consume the
     // identical JSON, so the service run and the --local run start
@@ -209,7 +228,17 @@ try {
     const auto make_submit = [&](const std::string &workload, bool vt) {
         Json::Object o;
         o["op"] = Json("submit");
-        o["workload"] = Json(workload);
+        if (!kernels.empty()) {
+            // One concurrent job: `kernels` replaces `workload`.
+            Json::Array names;
+            for (const auto &k : kernels)
+                names.push_back(Json(k));
+            o["kernels"] = Json(std::move(names));
+            if (!share_policy.empty())
+                o["share_policy"] = Json(share_policy);
+        } else {
+            o["workload"] = Json(workload);
+        }
         o["priority"] = Json(priority);
         if (scale >= 0)
             o["scale"] = Json(std::int64_t(scale));
@@ -228,7 +257,9 @@ try {
             o["sim_threads"] = Json(std::int64_t(sim_threads));
         submits.push_back(Json(std::move(o)).dump());
     };
-    if (target == "fig3") {
+    if (!kernels.empty()) {
+        make_submit("", false);
+    } else if (target == "fig3") {
         auto names = benchmarkNames();
         if (!benchmarks.empty())
             names = benchmarks;
@@ -307,6 +338,14 @@ try {
         }
         result_line(job_specs[i],
                     kernelStatsFromJson(*reply.find("stats")));
+        if (const Json *grids = reply.find("grids")) {
+            for (const Json &g : grids->asArray()) {
+                std::printf("  grid %s prio=%lld stats=%s\n",
+                            g.find("kernel")->asString().c_str(),
+                            (long long)g.find("priority")->asInt(),
+                            g.find("stats")->dump().c_str());
+            }
+        }
     }
     return 0;
 } catch (const std::exception &e) {

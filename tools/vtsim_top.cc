@@ -204,6 +204,25 @@ render(const Frame &frame)
                         int(j.find("retries")->asDouble()),
                         j.find("wait_seconds")->asDouble(),
                         j.find("wall_seconds")->asDouble());
+            // A multi-kernel job lists one line per resident grid.
+            const Json *grids = j.find("grids");
+            if (!grids)
+                continue;
+            const Json *policy = j.find("share_policy");
+            for (const Json &g : grids->asArray()) {
+                const Json *ipc = g.find("ipc");
+                const Json *ctas = g.find("ctas_completed");
+                std::printf("  grid%lld %-12s %-8s",
+                            (long long)g.find("grid")->asInt(),
+                            g.find("kernel")->asString().c_str(),
+                            policy ? policy->asString().c_str() : "");
+                if (ipc && ctas) {
+                    std::printf("  ipc %5.2f  ctas %lld",
+                                ipc->asDouble(),
+                                (long long)ctas->asInt());
+                }
+                std::printf("\n");
+            }
         }
     }
 
