@@ -1,0 +1,1132 @@
+#include "fabric/coordinator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logger.hh"
+#include "service/protocol.hh"
+#include "telemetry/prometheus.hh"
+
+namespace vtsim::fabric {
+
+using service::Json;
+
+namespace {
+
+/** Raw checkpoint bytes per migration chunk: base64 of 32 KiB is
+ *  ~43.7 KiB, comfortably inside the 64 KiB request-line cap with the
+ *  JSON envelope around it. */
+constexpr std::uint64_t kMigrateChunkBytes = 32 * 1024;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::string
+stringField(const Json &doc, const char *key)
+{
+    const Json *v = doc.find(key);
+    return v && v->isString() ? v->asString() : std::string();
+}
+
+std::uint64_t
+intField(const Json &doc, const char *key, std::uint64_t fallback = 0)
+{
+    const Json *v = doc.find(key);
+    return v && v->isInt() ? std::uint64_t(v->asInt()) : fallback;
+}
+
+bool
+replyOk(const Json &reply)
+{
+    const Json *ok = reply.find("ok");
+    return ok && ok->isBool() && ok->asBool();
+}
+
+std::string
+rejectedReply(const std::string &reason, std::uint64_t retry_after_ms)
+{
+    Json::Object o;
+    o["ok"] = Json(false);
+    o["rejected"] = Json(reason);
+    o["retry_after_ms"] = Json(retry_after_ms);
+    return Json(std::move(o)).dump();
+}
+
+} // namespace
+
+Coordinator::Coordinator(CoordinatorConfig config)
+    : config_(std::move(config)),
+      server_(
+          LineServerConfig{"", config_.listen, true, config_.authToken,
+                           "vtsim-coord"},
+          [this](int fd, const std::string &line) {
+              return handleLine(fd, line);
+          }),
+      started_(std::chrono::steady_clock::now())
+{
+    statsGroup_.addCounter("jobs_submitted", &submitted_,
+                           "jobs admitted into the fabric");
+    statsGroup_.addCounter("dispatches", &dispatches_,
+                           "job placements onto a daemon");
+    statsGroup_.addCounter("steals", &steals_,
+                           "queued jobs yanked from a deep daemon and "
+                           "resubmitted to an idle one");
+    statsGroup_.addCounter("migrations", &migrations_,
+                           "parked jobs whose checkpoint image moved "
+                           "to another daemon");
+    statsGroup_.addCounter("throttles", &throttles_,
+                           "submits rejected by tenant rate limiting "
+                           "or quota");
+    statsGroup_.addCounter("rejected_busy", &rejectedBusy_,
+                           "submits rejected by the backlog bound");
+    statsGroup_.addCounter("node_losses", &nodeLosses_,
+                           "daemons declared lost on heartbeat "
+                           "timeout");
+    statsGroup_.addCounter("jobs_completed", &completed_,
+                           "fabric jobs finished with verified "
+                           "results");
+    statsGroup_.addCounter("jobs_failed", &failed_,
+                           "fabric jobs that ended failed");
+    statsGroup_.addValue("nodes_alive", &nodesAlive_,
+                         "registered daemons currently heartbeating");
+    statsGroup_.addValue("jobs_pending", &jobsPending_,
+                         "admitted jobs not yet placed on a daemon");
+    statsGroup_.addValue("jobs_dispatched", &jobsDispatched_,
+                         "jobs currently placed on a daemon");
+    registry_.addGroup(statsGroup_);
+
+    if (!config_.eventLogPath.empty())
+        evlog_ = std::make_unique<service::EventLog>(
+            config_.eventLogPath);
+}
+
+Coordinator::~Coordinator()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopMaintenance_ = true;
+        maintCv_.notify_all();
+        doneCv_.notify_all(); // Unblock stranded wait ops.
+    }
+    if (maintenance_.joinable())
+        maintenance_.join();
+}
+
+void
+Coordinator::start()
+{
+    server_.start();
+    if (evlog_) {
+        evlog_->emit("coord_start",
+                     {{"listen", Json(config_.listen.host + ":" +
+                                      std::to_string(boundPort()))}});
+    }
+    maintenance_ = std::thread([this] { maintenanceLoop(); });
+}
+
+void
+Coordinator::serve()
+{
+    server_.serve();
+}
+
+void
+Coordinator::requestStop()
+{
+    server_.requestStop();
+}
+
+void
+Coordinator::shutdown()
+{
+    std::call_once(shutdownOnce_, [this] {
+        std::unique_lock<std::mutex> lk(mu_);
+        draining_ = true;
+        if (evlog_)
+            evlog_->emit("drain");
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(config_.drainTimeoutMs);
+        // The maintenance thread keeps dispatching and polling while
+        // we wait here, so pending work drains rather than hangs.
+        doneCv_.wait_until(lk, deadline, [this] {
+            for (const auto &[gid, job] : jobs_) {
+                if (job->state != FabricJob::State::Terminal)
+                    return false;
+            }
+            return true;
+        });
+        stopMaintenance_ = true;
+        maintCv_.notify_all();
+        doneCv_.notify_all(); // Unblock stranded wait ops.
+        lk.unlock();
+        if (maintenance_.joinable())
+            maintenance_.join();
+        if (evlog_)
+            evlog_->emit("service_stop");
+    });
+}
+
+// --------------------------------------------------------------------
+// Request handling (connection threads)
+// --------------------------------------------------------------------
+
+bool
+Coordinator::handleLine(int fd, const std::string &line)
+{
+    Json doc;
+    try {
+        doc = Json::parse(line);
+    } catch (const std::exception &e) {
+        return sendLine(fd, service::errorReply(e.what()));
+    }
+    const std::string op = stringField(doc, "op");
+    try {
+        if (op == "submit")
+            return handleSubmit(fd, doc, line);
+        if (op == "register")
+            return handleRegister(fd, doc);
+        if (op == "heartbeat")
+            return handleHeartbeat(fd, doc);
+        if (op == "wait")
+            return handleWait(fd, doc);
+        if (op == "query")
+            return handleQuery(fd, doc);
+        if (op == "status")
+            return sendLine(fd, statusJson().dump());
+        if (op == "metrics") {
+            Json::Object o;
+            o["ok"] = Json(true);
+            o["op"] = Json("metrics");
+            o["body"] = Json(metricsText());
+            return sendLine(fd, Json(std::move(o)).dump());
+        }
+        if (op == "ping") {
+            Json::Object o;
+            o["ok"] = Json(true);
+            o["op"] = Json("ping");
+            return sendLine(fd, Json(std::move(o)).dump());
+        }
+        if (op == "shutdown") {
+            Json::Object o;
+            o["ok"] = Json(true);
+            o["state"] = Json("draining");
+            sendLine(fd, Json(std::move(o)).dump());
+            requestStop();
+            return false;
+        }
+    } catch (const std::exception &e) {
+        return sendLine(fd, service::errorReply(e.what()));
+    }
+    return sendLine(fd,
+                    service::errorReply("unknown op '" + op + "'"));
+}
+
+bool
+Coordinator::handleSubmit(int fd, const Json &doc,
+                          const std::string &line)
+{
+    // Validate with the daemon parser before admitting: a submit the
+    // target daemon would reject should bounce here, at admission,
+    // not after dispatch. Coordinator-only keys (tenant, affinity)
+    // and the token ride through as ignored unknowns.
+    service::Request req;
+    try {
+        req = service::parseRequest(line);
+    } catch (const std::exception &e) {
+        return sendLine(fd, service::errorReply(e.what()));
+    }
+    if (req.resumeXfer != 0) {
+        return sendLine(fd, service::errorReply(
+                                "resume_xfer is a daemon-level op"));
+    }
+    std::string tenant = stringField(doc, "tenant");
+    if (tenant.empty())
+        tenant = "default";
+    const std::string affinity = stringField(doc, "affinity");
+
+    std::lock_guard<std::mutex> lk(mu_);
+    if (draining_) {
+        Json::Object o;
+        o["ok"] = Json(false);
+        o["rejected"] = Json("shutting_down");
+        return sendLine(fd, Json(std::move(o)).dump());
+    }
+    std::uint64_t submit_seq = 0;
+    if (evlog_) {
+        submit_seq = evlog_->emit(
+            "submit",
+            {{"workload", Json(req.spec.workload)},
+             {"scale", Json(req.spec.scale)},
+             {"priority", Json(service::toString(req.priority))},
+             {"tenant", Json(tenant)}});
+    }
+    const auto throttle = [&](const std::string &reason,
+                              std::uint64_t retry_ms) {
+        Tenant &t = tenants_[tenant];
+        ++t.throttled;
+        if (evlog_) {
+            evlog_->emit("throttle",
+                         {{"parent", Json(submit_seq)},
+                          {"tenant", Json(tenant)},
+                          {"reason", Json(reason)},
+                          {"retry_after_ms", Json(retry_ms)}});
+        }
+        return sendLine(fd, rejectedReply(reason, retry_ms));
+    };
+
+    // Backlog bound: queue-depth-driven backpressure. The hint grows
+    // with the overshoot so clients back off harder the deeper the
+    // backlog gets.
+    if (jobsPending_ >= config_.maxBacklog) {
+        ++rejectedBusy_;
+        const std::uint64_t retry_ms = std::min<std::uint64_t>(
+            2000, 50 * (jobsPending_ - config_.maxBacklog + 1));
+        return throttle("busy", retry_ms);
+    }
+
+    Tenant &tenant_state = tenants_[tenant];
+    const auto now = std::chrono::steady_clock::now();
+    if (config_.tenantRate > 0.0) {
+        if (!tenant_state.seeded) {
+            tenant_state.tokens = config_.tenantBurst;
+            tenant_state.seeded = true;
+        } else {
+            const double dt = std::chrono::duration<double>(
+                                  now - tenant_state.lastRefill)
+                                  .count();
+            tenant_state.tokens =
+                std::min(config_.tenantBurst,
+                         tenant_state.tokens +
+                             dt * config_.tenantRate);
+        }
+        tenant_state.lastRefill = now;
+        if (tenant_state.tokens < 1.0) {
+            ++throttles_;
+            const std::uint64_t retry_ms =
+                std::uint64_t(std::ceil((1.0 - tenant_state.tokens) /
+                                        config_.tenantRate * 1e3));
+            return throttle("throttled", std::max<std::uint64_t>(
+                                             retry_ms, 1));
+        }
+        tenant_state.tokens -= 1.0;
+    }
+    if (config_.tenantQuota > 0 &&
+        tenant_state.inFlight >= config_.tenantQuota) {
+        ++throttles_;
+        return throttle("tenant_quota", 200);
+    }
+
+    auto job = std::make_unique<FabricJob>();
+    job->gid = nextGid_++;
+    job->seq = nextSeq_++;
+    job->tenant = tenant;
+    job->affinity = affinity;
+    job->workload = req.spec.workload;
+    job->priority = service::toString(req.priority);
+    Json::Object body = doc.asObject();
+    body.erase("token"); // The coordinator re-stamps its own.
+    body.erase("tenant");
+    body.erase("affinity");
+    job->submitBody = std::move(body);
+    job->lastEventSeq = submit_seq;
+    FabricJob &ref = *job;
+    jobs_.emplace(ref.gid, std::move(job));
+    ++tenant_state.inFlight;
+    ++tenant_state.submitted;
+    ++submitted_;
+    eventJobLocked(ref, "admit",
+                   {{"workload", Json(ref.workload)},
+                    {"scale", Json(req.spec.scale)},
+                    {"priority", Json(ref.priority)},
+                    {"tenant", Json(ref.tenant)}});
+    noteGaugesLocked();
+    maintCv_.notify_all(); // Wake dispatch.
+    Json::Object o;
+    o["ok"] = Json(true);
+    o["job"] = Json(ref.gid);
+    return sendLine(fd, Json(std::move(o)).dump());
+}
+
+bool
+Coordinator::handleRegister(int fd, const Json &doc)
+{
+    const std::string name = stringField(doc, "node");
+    const std::string addr_text = stringField(doc, "addr");
+    if (name.empty() || addr_text.empty()) {
+        return sendLine(fd, service::errorReply(
+                                "register needs \"node\" and \"addr\""));
+    }
+    HostPort addr;
+    try {
+        addr = parseHostPort(addr_text);
+    } catch (const std::exception &e) {
+        return sendLine(fd, service::errorReply(e.what()));
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    Node &node = nodes_[name];
+    node.name = name;
+    node.addr = addr;
+    node.workers = unsigned(intField(doc, "workers", 1));
+    node.lastBeat = std::chrono::steady_clock::now();
+    node.alive = true;
+    node.sentSinceBeat = 0;
+    if (evlog_) {
+        evlog_->emit("register", {{"node", Json(name)},
+                                  {"addr", Json(addr.str())},
+                                  {"workers", Json(node.workers)}});
+    }
+    logging::info("vtsim-coord", "node '", name, "' registered at ",
+                  addr.str(), " (", node.workers, " workers)");
+    noteGaugesLocked();
+    maintCv_.notify_all();
+    Json::Object o;
+    o["ok"] = Json(true);
+    o["node"] = Json(name);
+    return sendLine(fd, Json(std::move(o)).dump());
+}
+
+bool
+Coordinator::handleHeartbeat(int fd, const Json &doc)
+{
+    const std::string name = stringField(doc, "node");
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = nodes_.find(name);
+    if (it == nodes_.end()) {
+        // A coordinator restart forgot this node; the agent tears its
+        // session down on this reply and re-registers.
+        return sendLine(fd, service::errorReply("unknown node '" +
+                                                name + "'"));
+    }
+    Node &node = it->second;
+    node.queueDepth = intField(doc, "queue_depth");
+    node.running = intField(doc, "running");
+    node.parked = intField(doc, "parked");
+    node.lastBeat = std::chrono::steady_clock::now();
+    if (!node.alive) {
+        node.alive = true;
+        logging::info("vtsim-coord", "node '", name, "' is back");
+    }
+    node.sentSinceBeat = 0;
+    noteGaugesLocked();
+    Json::Object o;
+    o["ok"] = Json(true);
+    return sendLine(fd, Json(std::move(o)).dump());
+}
+
+bool
+Coordinator::handleWait(int fd, const Json &doc)
+{
+    const std::uint64_t gid = intField(doc, "job");
+    std::unique_lock<std::mutex> lk(mu_);
+    const auto it = jobs_.find(gid);
+    if (it == jobs_.end()) {
+        return sendLine(fd, service::errorReply(
+                                "unknown job " + std::to_string(gid)));
+    }
+    FabricJob &job = *it->second;
+    doneCv_.wait(lk, [this, &job] {
+        return job.state == FabricJob::State::Terminal ||
+               stopMaintenance_;
+    });
+    if (job.state != FabricJob::State::Terminal) {
+        return sendLine(fd, service::errorReply(
+                                "coordinator shutting down"));
+    }
+    return sendLine(fd, job.result.dump());
+}
+
+bool
+Coordinator::handleQuery(int fd, const Json &doc)
+{
+    const std::uint64_t gid = intField(doc, "job");
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = jobs_.find(gid);
+    if (it == jobs_.end()) {
+        return sendLine(fd, service::errorReply(
+                                "unknown job " + std::to_string(gid)));
+    }
+    return sendLine(fd, queryLocked(*it->second).dump());
+}
+
+Json
+Coordinator::queryLocked(const FabricJob &job) const
+{
+    if (job.state == FabricJob::State::Terminal)
+        return job.result;
+    Json::Object o;
+    o["ok"] = Json(true);
+    o["job"] = Json(job.gid);
+    o["workload"] = Json(job.workload);
+    o["tenant"] = Json(job.tenant);
+    o["priority"] = Json(job.priority);
+    if (job.state == FabricJob::State::Pending) {
+        o["state"] = Json("pending");
+    } else {
+        o["state"] = Json(job.localState.empty() ? "dispatched"
+                                                 : job.localState);
+        o["node"] = Json(job.node);
+    }
+    return Json(std::move(o));
+}
+
+// --------------------------------------------------------------------
+// Maintenance thread: node health, dispatch, stealing, polling
+// --------------------------------------------------------------------
+
+void
+Coordinator::maintenanceLoop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            maintCv_.wait_for(
+                lk,
+                std::chrono::milliseconds(config_.maintenanceIntervalMs),
+                [this] { return stopMaintenance_; });
+            if (stopMaintenance_)
+                return;
+        }
+        try {
+            checkNodeTimeouts();
+            dispatchRound();
+            stealRound();
+            pollRound();
+        } catch (const std::exception &e) {
+            // Nothing a daemon does may take the coordinator down.
+            logging::error("vtsim-coord", "maintenance: ", e.what());
+        }
+    }
+}
+
+void
+Coordinator::checkNodeTimeouts()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto now = std::chrono::steady_clock::now();
+    for (auto &[name, node] : nodes_) {
+        if (!node.alive)
+            continue;
+        const auto silent =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - node.lastBeat)
+                .count();
+        if (silent < config_.heartbeatTimeoutMs)
+            continue;
+        node.alive = false;
+        ++nodeLosses_;
+        // Re-dispatch the node's in-flight jobs from scratch: their
+        // images died with the node, and deterministic simulation
+        // makes the rerun's results identical anyway.
+        std::uint64_t requeued = 0;
+        for (auto &[gid, job] : jobs_) {
+            if (job->state != FabricJob::State::Dispatched ||
+                job->node != name)
+                continue;
+            job->state = FabricJob::State::Pending;
+            job->node.clear();
+            job->localId = 0;
+            job->localState.clear();
+            ++requeued;
+        }
+        if (evlog_) {
+            evlog_->emit("node_lost", {{"node", Json(name)},
+                                       {"requeued", Json(requeued)}});
+        }
+        logging::warn("vtsim-coord", "node '", name, "' lost (silent ",
+                      silent, " ms); requeued ", requeued, " jobs");
+    }
+    noteGaugesLocked();
+}
+
+service::Client *
+Coordinator::nodeClient(const std::string &name)
+{
+    HostPort addr;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        const auto it = nodes_.find(name);
+        if (it == nodes_.end() || !it->second.alive)
+            return nullptr;
+        addr = it->second.addr;
+    }
+    auto cached = clients_.find(name);
+    if (cached != clients_.end() && cached->second.addr == addr.str())
+        return cached->second.client.get();
+    clients_.erase(name);
+    try {
+        // Bounded IO: daemon-side ops used by the coordinator (submit,
+        // query, yank, chunk transfer) all answer promptly; a wedged
+        // daemon must not wedge the maintenance thread.
+        auto client = std::make_unique<service::Client>(
+            addr, config_.authToken, 2000, 10000);
+        auto *raw = client.get();
+        clients_[name] = CachedClient{addr.str(), std::move(client)};
+        return raw;
+    } catch (const std::exception &) {
+        return nullptr;
+    }
+}
+
+void
+Coordinator::dropNodeClient(const std::string &name)
+{
+    clients_.erase(name);
+}
+
+std::unique_ptr<Json>
+Coordinator::nodeRequest(const std::string &node, const Json &req)
+{
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        service::Client *client = nodeClient(node);
+        if (!client)
+            return nullptr;
+        try {
+            return std::make_unique<Json>(client->request(req));
+        } catch (const std::exception &) {
+            // Stale cached connection (daemon restarted): reconnect
+            // once; a second failure means the node is really gone.
+            dropNodeClient(node);
+        }
+    }
+    return nullptr;
+}
+
+void
+Coordinator::dispatchRound()
+{
+    struct Plan
+    {
+        std::uint64_t gid = 0;
+        std::string node;
+        Json submit;
+    };
+    std::vector<Plan> plans;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        // Tenants with pending work, in admission order per tenant.
+        std::map<std::string, std::vector<FabricJob *>> pending;
+        for (auto &[gid, job] : jobs_) {
+            if (job->state == FabricJob::State::Pending)
+                pending[job->tenant].push_back(job.get());
+        }
+        if (pending.empty())
+            return;
+        // Fair share: round-robin across tenants, resuming after the
+        // tenant served last so no tenant's backlog starves another's.
+        std::vector<std::string> order;
+        for (const auto &[tenant, list] : pending)
+            order.push_back(tenant);
+        std::size_t start = 0;
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            if (order[i] > lastServedTenant_) {
+                start = i;
+                break;
+            }
+        }
+        const auto loadPerWorker = [](const Node &n) {
+            const double load = double(n.queueDepth + n.running +
+                                       n.sentSinceBeat);
+            return load / double(std::max(1u, n.workers));
+        };
+        std::map<std::string, std::size_t> cursor;
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (std::size_t i = 0; i < order.size(); ++i) {
+                const std::string &tenant =
+                    order[(start + i) % order.size()];
+                auto &list = pending[tenant];
+                std::size_t &next = cursor[tenant];
+                if (next >= list.size())
+                    continue;
+                FabricJob &job = *list[next];
+                // Placement: affinity hint, then workload locality,
+                // then least load per worker.
+                const Node *target = nullptr;
+                if (!job.affinity.empty()) {
+                    const auto it = nodes_.find(job.affinity);
+                    if (it != nodes_.end() && it->second.alive)
+                        target = &it->second;
+                }
+                if (!target) {
+                    const auto hint =
+                        lastNodeForWorkload_.find(job.workload);
+                    if (hint != lastNodeForWorkload_.end()) {
+                        const auto it = nodes_.find(hint->second);
+                        if (it != nodes_.end() && it->second.alive &&
+                            loadPerWorker(it->second) < 1.0)
+                            target = &it->second;
+                    }
+                }
+                if (!target) {
+                    double best = 0.0;
+                    for (const auto &[name, node] : nodes_) {
+                        if (!node.alive)
+                            continue;
+                        const double score = loadPerWorker(node);
+                        if (!target || score < best) {
+                            target = &node;
+                            best = score;
+                        }
+                    }
+                }
+                if (!target)
+                    return; // No live node: nothing dispatches.
+                ++next;
+                progress = true;
+                lastServedTenant_ = tenant;
+                nodes_[target->name].sentSinceBeat += 1;
+                Json::Object body = job.submitBody;
+                plans.push_back(
+                    Plan{job.gid, target->name,
+                         Json(std::move(body))});
+            }
+        }
+    }
+    for (Plan &plan : plans) {
+        const auto reply = nodeRequest(plan.node, plan.submit);
+        std::lock_guard<std::mutex> lk(mu_);
+        const auto it = jobs_.find(plan.gid);
+        if (it == jobs_.end())
+            continue;
+        FabricJob &job = *it->second;
+        if (job.state != FabricJob::State::Pending)
+            continue;
+        if (!reply || !replyOk(*reply)) {
+            // Daemon unreachable or its queue is full: the job stays
+            // pending and the next round tries again (possibly on
+            // another node). A validation error is permanent: fail.
+            if (reply && reply->find("error")) {
+                job.state = FabricJob::State::Terminal;
+                Json::Object o = reply->asObject();
+                o["job"] = Json(job.gid);
+                job.result = Json(std::move(o));
+                ++failed_;
+                --tenants_[job.tenant].inFlight;
+                eventJobLocked(
+                    job, "fail",
+                    {{"reason",
+                      Json(stringField(*reply, "error"))}});
+                doneCv_.notify_all();
+            }
+            noteGaugesLocked();
+            continue;
+        }
+        job.state = FabricJob::State::Dispatched;
+        job.node = plan.node;
+        job.localId = intField(*reply, "job");
+        job.localState = "queued";
+        lastNodeForWorkload_[job.workload] = plan.node;
+        ++dispatches_;
+        eventJobLocked(job, "dispatch",
+                       {{"node", Json(plan.node)},
+                        {"local_job", Json(job.localId)}});
+        noteGaugesLocked();
+    }
+}
+
+void
+Coordinator::stealRound()
+{
+    struct Plan
+    {
+        std::uint64_t gid = 0;
+        std::string from, to;
+        std::uint64_t localId = 0;
+        Json submit;
+    };
+    Plan plan;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        // An idle node has a free worker and nothing queued; a deep
+        // node has waiting work. One steal per round keeps decisions
+        // based on fresh heartbeats.
+        const Node *idle = nullptr;
+        for (const auto &[name, node] : nodes_) {
+            if (node.alive && node.queueDepth == 0 &&
+                node.sentSinceBeat == 0 &&
+                node.running < node.workers) {
+                idle = &node;
+                break;
+            }
+        }
+        if (!idle)
+            return;
+        // Victim: a queued or parked fabric job on the deepest other
+        // node; prefer parked (a migration carries its progress).
+        FabricJob *victim = nullptr;
+        std::uint64_t victim_depth = 0;
+        bool victim_parked = false;
+        for (auto &[gid, job] : jobs_) {
+            if (job->state != FabricJob::State::Dispatched)
+                continue;
+            if (job->node == idle->name)
+                continue;
+            if (job->localState != "queued" &&
+                job->localState != "parked")
+                continue;
+            const auto node_it = nodes_.find(job->node);
+            if (node_it == nodes_.end() || !node_it->second.alive)
+                continue;
+            const Node &src = node_it->second;
+            if (src.queueDepth == 0)
+                continue;
+            const bool parked = job->localState == "parked";
+            if (!victim || (parked && !victim_parked) ||
+                (parked == victim_parked &&
+                 src.queueDepth > victim_depth)) {
+                victim = job.get();
+                victim_depth = src.queueDepth;
+                victim_parked = parked;
+            }
+        }
+        if (!victim)
+            return;
+        plan.gid = victim->gid;
+        plan.from = victim->node;
+        plan.to = idle->name;
+        plan.localId = victim->localId;
+        plan.submit = Json(Json::Object(victim->submitBody));
+        // Reserve the idle slot so dispatch does not race it.
+        nodes_[idle->name].sentSinceBeat += 1;
+    }
+
+    // Yank first: losing the race (the job started running or
+    // finished meanwhile) is a clean no-op.
+    Json::Object yank;
+    yank["op"] = Json("yank");
+    yank["job"] = Json(plan.localId);
+    const auto yanked = nodeRequest(plan.from, Json(std::move(yank)));
+    if (!yanked || !replyOk(*yanked)) {
+        std::lock_guard<std::mutex> lk(mu_);
+        // Stale view: force the poller to refresh this job.
+        const auto it = jobs_.find(plan.gid);
+        if (it != jobs_.end() &&
+            it->second->state == FabricJob::State::Dispatched)
+            it->second->localState.clear();
+        return;
+    }
+    const bool has_image = [&] {
+        const Json *image = yanked->find("image");
+        return image && image->isBool() && image->asBool();
+    }();
+    const std::uint64_t image_bytes = intField(*yanked, "ckpt_bytes");
+
+    std::uint64_t xfer = 0;
+    if (has_image) {
+        // Migration: ship the vtsim-ckpt-v1 image chunk by chunk into
+        // a staged transfer on the target daemon.
+        Json::Object begin;
+        begin["op"] = Json("ckpt_begin");
+        const auto began = nodeRequest(plan.to, Json(std::move(begin)));
+        if (!began || !replyOk(*began))
+            return; // Image still on the source; job stays migrated
+                    // there until an operator intervenes — rare, and
+                    // the next submit of the batch is unaffected.
+        xfer = intField(*began, "xfer");
+        std::uint64_t offset = 0;
+        while (offset < image_bytes) {
+            Json::Object read;
+            read["op"] = Json("ckpt_read");
+            read["job"] = Json(plan.localId);
+            read["offset"] = Json(offset);
+            read["len"] = Json(kMigrateChunkBytes);
+            const auto chunk =
+                nodeRequest(plan.from, Json(std::move(read)));
+            if (!chunk || !replyOk(*chunk))
+                return;
+            const std::string data = stringField(*chunk, "data");
+            const std::uint64_t bytes = intField(*chunk, "bytes");
+            if (bytes == 0)
+                break;
+            Json::Object put;
+            put["op"] = Json("ckpt_chunk");
+            put["xfer"] = Json(xfer);
+            put["data"] = Json(data);
+            const auto stored =
+                nodeRequest(plan.to, Json(std::move(put)));
+            if (!stored || !replyOk(*stored))
+                return;
+            offset += bytes;
+        }
+        Json::Object release;
+        release["op"] = Json("release");
+        release["job"] = Json(plan.localId);
+        nodeRequest(plan.from, Json(std::move(release)));
+    }
+
+    Json::Object submit = plan.submit.asObject();
+    if (xfer != 0)
+        submit["resume_xfer"] = Json(xfer);
+    const auto reply = nodeRequest(plan.to, Json(std::move(submit)));
+
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = jobs_.find(plan.gid);
+    if (it == jobs_.end())
+        return;
+    FabricJob &job = *it->second;
+    if (!reply || !replyOk(*reply)) {
+        // The idle daemon would not take it: re-dispatch from scratch
+        // next round (the image, if any, was already released).
+        job.state = FabricJob::State::Pending;
+        job.node.clear();
+        job.localId = 0;
+        job.localState.clear();
+        noteGaugesLocked();
+        return;
+    }
+    job.node = plan.to;
+    job.localId = intField(*reply, "job");
+    job.localState = "queued";
+    lastNodeForWorkload_[job.workload] = plan.to;
+    Node &from_node = nodes_[plan.from];
+    Node &to_node = nodes_[plan.to];
+    if (has_image) {
+        ++migrations_;
+        ++from_node.migrationsOut;
+        ++to_node.migrationsIn;
+        eventJobLocked(job, "migrate",
+                       {{"from", Json(plan.from)},
+                        {"to", Json(plan.to)},
+                        {"bytes", Json(image_bytes)}});
+        logging::info("vtsim-coord", "migrated job ", job.gid,
+                      " (", image_bytes, " ckpt bytes) ", plan.from,
+                      " -> ", plan.to);
+    } else {
+        ++steals_;
+        ++from_node.stealsOut;
+        ++to_node.stealsIn;
+        eventJobLocked(job, "steal", {{"from", Json(plan.from)},
+                                      {"to", Json(plan.to)}});
+        logging::info("vtsim-coord", "stole job ", job.gid, " ",
+                      plan.from, " -> ", plan.to);
+    }
+    // The source's queue shrank; keep the local estimate honest until
+    // its next heartbeat.
+    if (from_node.queueDepth > 0)
+        --from_node.queueDepth;
+}
+
+void
+Coordinator::pollRound()
+{
+    struct Probe
+    {
+        std::uint64_t gid = 0;
+        std::string node;
+        std::uint64_t localId = 0;
+    };
+    std::vector<Probe> probes;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (const auto &[gid, job] : jobs_) {
+            if (job->state == FabricJob::State::Dispatched)
+                probes.push_back(
+                    Probe{gid, job->node, job->localId});
+        }
+    }
+    for (const Probe &probe : probes) {
+        Json::Object query;
+        query["op"] = Json("query");
+        query["job"] = Json(probe.localId);
+        const auto reply =
+            nodeRequest(probe.node, Json(std::move(query)));
+        if (!reply || !replyOk(*reply))
+            continue; // Node loss is the heartbeat checker's job.
+        const std::string state = stringField(*reply, "state");
+
+        std::lock_guard<std::mutex> lk(mu_);
+        const auto it = jobs_.find(probe.gid);
+        if (it == jobs_.end())
+            continue;
+        FabricJob &job = *it->second;
+        // The steal path may have moved the job while this probe was
+        // in flight: only commit observations that still match.
+        if (job.state != FabricJob::State::Dispatched ||
+            job.node != probe.node || job.localId != probe.localId)
+            continue;
+        if (state == "done" || state == "failed" ||
+            state == "cancelled") {
+            Json::Object o = reply->asObject();
+            o["job"] = Json(job.gid);
+            o["node"] = Json(job.node);
+            job.result = Json(std::move(o));
+            job.state = FabricJob::State::Terminal;
+            job.localState = state;
+            --tenants_[job.tenant].inFlight;
+            if (state == "done") {
+                ++completed_;
+                const Json *stats = reply->find("stats");
+                const std::uint64_t cycles =
+                    stats ? intField(*stats, "cycles") : 0;
+                const Json *wall = reply->find("wall_seconds");
+                const double wall_ms =
+                    wall && wall->isNumber() ? 1e3 * wall->asDouble()
+                                             : 0.0;
+                const Json *verified = reply->find("verified");
+                eventJobLocked(
+                    job, "finish",
+                    {{"cycles", Json(cycles)},
+                     {"wall_ms", Json(wall_ms)},
+                     {"verified", Json(verified && verified->isBool() &&
+                                       verified->asBool())}});
+            } else {
+                ++failed_;
+                eventJobLocked(
+                    job, "fail",
+                    {{"reason", Json(stringField(*reply, "reason"))}});
+            }
+            noteGaugesLocked();
+            doneCv_.notify_all();
+        } else if (state == "migrated") {
+            // Only the coordinator yanks, and the steal path rewrites
+            // the mapping synchronously — seeing "migrated" here means
+            // this probe raced a steal; the mapping check above will
+            // reject the next commit anyway.
+            continue;
+        } else if (!state.empty()) {
+            job.localState = state;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Introspection
+// --------------------------------------------------------------------
+
+void
+Coordinator::eventJobLocked(FabricJob &job, const char *event,
+                            Json::Object fields)
+{
+    if (!evlog_)
+        return;
+    job.lastEventSeq = evlog_->emitJob(event, job.gid,
+                                       job.lastEventSeq,
+                                       std::move(fields));
+}
+
+void
+Coordinator::noteGaugesLocked()
+{
+    std::uint64_t pending = 0, dispatched = 0, alive = 0;
+    for (const auto &[gid, job] : jobs_) {
+        if (job->state == FabricJob::State::Pending)
+            ++pending;
+        else if (job->state == FabricJob::State::Dispatched)
+            ++dispatched;
+    }
+    for (const auto &[name, node] : nodes_) {
+        if (node.alive)
+            ++alive;
+    }
+    jobsPending_ = pending;
+    jobsDispatched_ = dispatched;
+    nodesAlive_ = alive;
+}
+
+Json
+Coordinator::statusJson() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Json::Array nodes;
+    for (const auto &[name, node] : nodes_) {
+        Json::Object n;
+        n["node"] = Json(name);
+        n["addr"] = Json(node.addr.str());
+        n["workers"] = Json(node.workers);
+        n["queue_depth"] = Json(node.queueDepth);
+        n["running"] = Json(node.running);
+        n["parked"] = Json(node.parked);
+        n["alive"] = Json(node.alive);
+        n["steals_in"] = Json(node.stealsIn);
+        n["steals_out"] = Json(node.stealsOut);
+        n["migrations_in"] = Json(node.migrationsIn);
+        n["migrations_out"] = Json(node.migrationsOut);
+        nodes.push_back(Json(std::move(n)));
+    }
+    Json::Array tenants;
+    for (const auto &[name, tenant] : tenants_) {
+        Json::Object t;
+        t["tenant"] = Json(name);
+        t["in_flight"] = Json(std::uint64_t(tenant.inFlight));
+        t["submitted"] = Json(tenant.submitted);
+        t["throttled"] = Json(tenant.throttled);
+        tenants.push_back(Json(std::move(t)));
+    }
+    Json::Object jobs;
+    jobs["submitted"] = Json(submitted_.value());
+    jobs["pending"] = Json(jobsPending_);
+    jobs["dispatched"] = Json(jobsDispatched_);
+    jobs["completed"] = Json(completed_.value());
+    jobs["failed"] = Json(failed_.value());
+
+    Json::Object fabric;
+    fabric["nodes"] = Json(std::move(nodes));
+    fabric["tenants"] = Json(std::move(tenants));
+    fabric["jobs"] = Json(std::move(jobs));
+    fabric["dispatches"] = Json(dispatches_.value());
+    fabric["steals"] = Json(steals_.value());
+    fabric["migrations"] = Json(migrations_.value());
+    fabric["throttles"] = Json(throttles_.value());
+    fabric["rejected_busy"] = Json(rejectedBusy_.value());
+    fabric["node_losses"] = Json(nodeLosses_.value());
+
+    Json::Array job_list;
+    for (const auto &[gid, job] : jobs_) {
+        Json::Object j;
+        j["job"] = Json(gid);
+        j["workload"] = Json(job->workload);
+        j["tenant"] = Json(job->tenant);
+        j["priority"] = Json(job->priority);
+        switch (job->state) {
+          case FabricJob::State::Pending:
+            j["state"] = Json("pending");
+            break;
+          case FabricJob::State::Dispatched:
+            j["state"] = Json(job->localState.empty()
+                                  ? "dispatched"
+                                  : job->localState);
+            j["node"] = Json(job->node);
+            break;
+          case FabricJob::State::Terminal:
+            j["state"] = Json(job->localState);
+            j["node"] = Json(job->node);
+            break;
+        }
+        job_list.push_back(Json(std::move(j)));
+    }
+
+    Json::Object o;
+    o["ok"] = Json(true);
+    o["op"] = Json("status");
+    o["uptime_seconds"] = Json(secondsSince(started_));
+    o["fabric"] = Json(std::move(fabric));
+    o["job_list"] = Json(std::move(job_list));
+    return Json(std::move(o));
+}
+
+Json
+Coordinator::statsJsonSection() const
+{
+    Json status_obj = statusJson();
+    const Json *fabric = status_obj.find("fabric");
+    return fabric ? *fabric : Json(Json::Object{});
+}
+
+std::string
+Coordinator::metricsText() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::ostringstream os;
+    telemetry::writePrometheus(os, registry_);
+    return os.str();
+}
+
+} // namespace vtsim::fabric

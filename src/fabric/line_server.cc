@@ -1,0 +1,242 @@
+#include "fabric/line_server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logger.hh"
+#include "service/json.hh"
+
+namespace vtsim::fabric {
+
+namespace {
+
+std::string
+oneLineError(const std::string &message)
+{
+    service::Json::Object o;
+    o["ok"] = service::Json(false);
+    o["error"] = service::Json(message);
+    return service::Json(std::move(o)).dump();
+}
+
+} // namespace
+
+LineServer::LineServer(LineServerConfig config, Handler handler)
+    : config_(std::move(config)), handler_(std::move(handler))
+{}
+
+LineServer::~LineServer()
+{
+    requestStop();
+    serveJoin();
+    for (const int fd : listenFds_)
+        ::close(fd);
+    if (!config_.unixPath.empty()) {
+        std::error_code ec;
+        std::filesystem::remove(config_.unixPath, ec);
+    }
+}
+
+void
+LineServer::start()
+{
+    if (config_.unixPath.empty() && !config_.tcpEnabled)
+        throw TransportError(config_.name +
+                             ": no listener configured");
+    if (!config_.unixPath.empty())
+        listenFds_.push_back(listenUnix(config_.unixPath));
+    if (config_.tcpEnabled) {
+        const int fd = listenTcp(config_.tcp);
+        tcpPort_ = boundPort(fd);
+        listenFds_.push_back(fd);
+    }
+}
+
+void
+LineServer::serve()
+{
+    std::vector<pollfd> pfds;
+    for (const int fd : listenFds_)
+        pfds.push_back(pollfd{fd, POLLIN, 0});
+    while (!stop_.load(std::memory_order_relaxed)) {
+        for (auto &p : pfds)
+            p.revents = 0;
+        const int rc = ::poll(pfds.data(), nfds_t(pfds.size()), 500);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            logging::error(config_.name.c_str(), "poll(): ",
+                           std::strerror(errno));
+            break;
+        }
+        if (rc == 0)
+            continue;
+        for (const pollfd &p : pfds) {
+            if (!(p.revents & (POLLIN | POLLERR | POLLHUP)))
+                continue;
+            const int fd = ::accept(p.fd, nullptr, nullptr);
+            if (fd < 0) {
+                if (stop_.load(std::memory_order_relaxed))
+                    return serveJoin();
+                if (errno == EINTR || errno == ECONNABORTED ||
+                    errno == EAGAIN || errno == EWOULDBLOCK) {
+                    // Transient: the connection died between poll and
+                    // accept, or another thread raced us to it.
+                    continue;
+                }
+                if (errno == EMFILE || errno == ENFILE) {
+                    // Descriptor exhaustion is load, not protocol: back
+                    // off briefly so the kernel queue drains and an
+                    // in-flight connection can close, instead of
+                    // spinning through accept_error with no delay.
+                    logging::warn(config_.name.c_str(),
+                                  "accept(): ", std::strerror(errno),
+                                  " (backing off 50ms)");
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
+                    continue;
+                }
+                logging::error(config_.name.c_str(), "accept(): ",
+                               std::strerror(errno));
+                if (errorHook_)
+                    errorHook_(std::strerror(errno));
+                return serveJoin();
+            }
+            if (stop_.load(std::memory_order_relaxed)) {
+                ::close(fd);
+                return serveJoin();
+            }
+            std::lock_guard<std::mutex> lk(connMu_);
+            connFds_.insert(fd);
+            connections_.emplace_back(
+                [this, fd] { serveConnection(fd); });
+        }
+    }
+    serveJoin();
+}
+
+void
+LineServer::serveJoin()
+{
+    // Long-lived connections (heartbeat sessions, pollers) sit in
+    // recv() indefinitely: shut their sockets down so every connection
+    // thread unblocks, then join. In-flight replies still finish — a
+    // handler mid-write is past the recv this interrupts. The join
+    // happens outside connMu_: exiting threads take it to deregister
+    // their fd.
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lk(connMu_);
+        for (const int fd : connFds_)
+            ::shutdown(fd, SHUT_RDWR);
+        threads.swap(connections_);
+    }
+    for (auto &t : threads) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+void
+LineServer::requestStop()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    // Unblocks accept()/poll(); shutdown(2) is async-signal-safe, so a
+    // SIGTERM handler may call requestStop directly.
+    for (const int fd : listenFds_)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+LineServer::serveConnection(int fd)
+{
+    std::string buffer;
+    char chunk[4096];
+    bool open = true;
+    while (open) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break; // Disconnect (mid-request included): just drop it.
+        buffer.append(chunk, std::size_t(n));
+        std::size_t start = 0;
+        for (;;) {
+            const std::size_t nl = buffer.find('\n', start);
+            if (nl == std::string::npos)
+                break;
+            std::string line = buffer.substr(start, nl - start);
+            start = nl + 1;
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            bool keep = false;
+            try {
+                keep = dispatchLine(fd, line);
+            } catch (const std::exception &e) {
+                // A peer that vanished mid-reply (EPIPE from
+                // sendLine) must not take the thread down; drop the
+                // connection and keep serving the rest.
+                logging::debug(config_.name.c_str(),
+                               "connection dropped: ", e.what());
+            }
+            if (!keep) {
+                open = false;
+                break;
+            }
+        }
+        buffer.erase(0, start);
+        if (buffer.size() > kMaxLineBytes) {
+            // An unterminated line already over the cap: reject it
+            // without waiting for (or buffering) the rest.
+            try {
+                sendLine(fd, oneLineError(
+                                 "request exceeds the 64 KiB line "
+                                 "limit"));
+            } catch (const std::exception &) {
+            }
+            break;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lk(connMu_);
+        connFds_.erase(fd);
+    }
+    ::close(fd);
+}
+
+bool
+LineServer::dispatchLine(int fd, const std::string &line)
+{
+    if (line.size() > kMaxLineBytes) {
+        sendLine(fd,
+                 oneLineError("request exceeds the 64 KiB line limit"));
+        return false;
+    }
+    if (!config_.authToken.empty()) {
+        // The token rides inside the request object; a line that does
+        // not even parse cannot be authenticated, so it is refused the
+        // same way — before any handler sees it.
+        bool authorized = false;
+        try {
+            const service::Json doc = service::Json::parse(line);
+            const service::Json *token = doc.find("token");
+            authorized = token && token->isString() &&
+                         token->asString() == config_.authToken;
+        } catch (const std::exception &) {
+            authorized = false;
+        }
+        if (!authorized) {
+            sendLine(fd, oneLineError("unauthorized"));
+            return false;
+        }
+    }
+    return handler_(fd, line);
+}
+
+} // namespace vtsim::fabric

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The shared NDJSON line server of the vtsim fabric: one accept loop
+ * over any mix of Unix-domain and TCP listeners, one thread per
+ * connection, newline framing with the protocol's 64 KiB request-line
+ * cap, and optional bearer-token authentication — everything the
+ * vtsimd daemon and the vtsim-coord coordinator have in common, with
+ * the per-op dispatch left to a handler callback.
+ *
+ * Robustness contract (inherited from the original Unix-socket
+ * daemon): nothing a client sends may take the server down. Malformed
+ * lines are the handler's problem to answer; oversized lines are
+ * rejected here without parsing and the connection closed (the stream
+ * can no longer be trusted to be line-synchronized); a wrong or
+ * missing bearer token on an authenticated server draws one
+ * "unauthorized" error reply and a close, before any handler runs.
+ *
+ * The accept loop treats EINTR, ECONNABORTED and file-descriptor
+ * exhaustion (EMFILE/ENFILE) as transient: logged, a brief sleep for
+ * the fd-pressure cases so a busy loop cannot starve the process, and
+ * the loop keeps serving. Only unexpected accept errors stop it.
+ */
+
+#ifndef VTSIM_FABRIC_LINE_SERVER_HH
+#define VTSIM_FABRIC_LINE_SERVER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fabric/transport.hh"
+
+namespace vtsim::fabric {
+
+struct LineServerConfig
+{
+    /** Unix-domain listener path; empty = no Unix listener. */
+    std::string unixPath;
+    /** TCP listener; enabled when tcpEnabled. Port 0 binds an
+     *  ephemeral port (boundTcpPort() reads it back). */
+    HostPort tcp;
+    bool tcpEnabled = false;
+    /**
+     * Bearer token: when non-empty, every request line must be a JSON
+     * object carrying "token" equal to it. Applies to both listeners —
+     * a fabric daemon moves checkpoint images, so its Unix socket is
+     * not implicitly trusted either.
+     */
+    std::string authToken;
+    /** Log tag ("vtsimd", "vtsim-coord"). */
+    std::string name = "line-server";
+};
+
+class LineServer
+{
+  public:
+    /** Longest accepted request line; longer ones are rejected
+     *  without parsing. */
+    static constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
+    /**
+     * Handle one authenticated request line; reply with sendLine(fd,
+     * ...). Return false to close the connection (shutdown ops,
+     * unrecoverable framing). Called from connection threads
+     * concurrently — the handler synchronizes itself.
+     */
+    using Handler = std::function<bool(int fd, const std::string &line)>;
+
+    /** Called on non-transient accept errors (evlog hook); may be
+     *  empty. */
+    using ErrorHook = std::function<void(const std::string &error)>;
+
+    LineServer(LineServerConfig config, Handler handler);
+
+    /** Stops accepting and joins connection threads. */
+    ~LineServer();
+
+    /** Bind every configured listener. Throws TransportError. */
+    void start();
+
+    /**
+     * Accept-and-serve until requestStop(). Joins the connection
+     * threads before returning, so replies in flight finish.
+     */
+    void serve();
+
+    /** Ask serve() to return. Safe from signal handlers and
+     *  connection threads. */
+    void requestStop();
+
+    /** After start(): the TCP port actually bound (ephemeral
+     *  resolution), 0 when no TCP listener. */
+    std::uint16_t boundTcpPort() const { return tcpPort_; }
+
+    const std::string &unixPath() const { return config_.unixPath; }
+
+    void setErrorHook(ErrorHook hook) { errorHook_ = std::move(hook); }
+
+  private:
+    void serveConnection(int fd);
+    /** Join (and forget) every connection thread spawned so far. */
+    void serveJoin();
+    /** Token check + line-cap enforcement, then the handler. */
+    bool dispatchLine(int fd, const std::string &line);
+
+    LineServerConfig config_;
+    Handler handler_;
+    ErrorHook errorHook_;
+    std::vector<int> listenFds_;
+    std::uint16_t tcpPort_ = 0;
+    std::atomic<bool> stop_{false};
+    std::mutex connMu_;
+    std::vector<std::thread> connections_;
+    /** Open connection sockets: shut down at join time so threads
+     *  blocked in recv() on long-lived sessions unblock. */
+    std::set<int> connFds_;
+};
+
+} // namespace vtsim::fabric
+
+#endif // VTSIM_FABRIC_LINE_SERVER_HH

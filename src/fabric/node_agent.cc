@@ -1,0 +1,126 @@
+#include "fabric/node_agent.hh"
+
+#include <algorithm>
+
+#include "common/logger.hh"
+#include "service/client.hh"
+#include "service/service.hh"
+
+namespace vtsim::fabric {
+
+using service::Json;
+
+NodeAgent::NodeAgent(service::JobService &service,
+                     NodeAgentConfig config)
+    : service_(service), config_(std::move(config))
+{}
+
+NodeAgent::~NodeAgent()
+{
+    stop();
+}
+
+void
+NodeAgent::start()
+{
+    thread_ = std::thread([this] { run(); });
+}
+
+void
+NodeAgent::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+        cv_.notify_all();
+    }
+    if (thread_.joinable())
+        thread_.join();
+}
+
+bool
+NodeAgent::sleepFor(int ms)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    return !cv_.wait_for(lk, std::chrono::milliseconds(ms),
+                         [this] { return stop_; });
+}
+
+void
+NodeAgent::run()
+{
+    int backoff = 200;
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (stop_)
+                return;
+        }
+        try {
+            session();
+            backoff = 200; // A session ran: reset the reconnect pace.
+        } catch (const std::exception &e) {
+            logging::warn("node-agent", "coordinator link down (",
+                          e.what(), "); retrying");
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (stop_)
+                return;
+        }
+        if (!sleepFor(backoff))
+            return;
+        backoff = std::min(backoff * 2, 5000);
+    }
+}
+
+void
+NodeAgent::session()
+{
+    // Heartbeats are short request/replies: a bounded IO timeout keeps
+    // a wedged coordinator from hanging this thread forever.
+    service::Client client(config_.coordinator, config_.token, 3000,
+                           5000);
+    {
+        const auto counts = service_.counts();
+        Json::Object reg;
+        reg["op"] = Json("register");
+        reg["node"] = Json(config_.node);
+        reg["addr"] = Json(config_.advertise.str());
+        reg["workers"] = Json(counts.workers);
+        const Json reply = client.request(Json(std::move(reg)));
+        const Json *ok = reply.find("ok");
+        if (!ok || !ok->isBool() || !ok->asBool()) {
+            const Json *err = reply.find("error");
+            throw std::runtime_error(
+                "register rejected: " +
+                (err && err->isString() ? err->asString()
+                                        : reply.dump()));
+        }
+        logging::info("node-agent", "registered '", config_.node,
+                      "' (advertising ", config_.advertise.str(),
+                      ") with coordinator ",
+                      config_.coordinator.str());
+    }
+    for (;;) {
+        if (!sleepFor(config_.heartbeatMs))
+            return;
+        const auto counts = service_.counts();
+        Json::Object hb;
+        hb["op"] = Json("heartbeat");
+        hb["node"] = Json(config_.node);
+        hb["queue_depth"] = Json(counts.queueDepth);
+        hb["running"] = Json(counts.running);
+        hb["parked"] = Json(counts.parked);
+        const Json reply = client.request(Json(std::move(hb)));
+        const Json *ok = reply.find("ok");
+        if (!ok || !ok->isBool() || !ok->asBool()) {
+            // A coordinator that restarted no longer knows this node:
+            // tear the session down and re-register.
+            throw std::runtime_error("heartbeat rejected: " +
+                                     reply.dump());
+        }
+    }
+}
+
+} // namespace vtsim::fabric

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The daemon's membership thread in a vtsim fabric: dials the
+ * coordinator, registers this daemon (name, dial-back address, worker
+ * count), then heartbeats its load (queue depth, running, parked) on a
+ * fixed cadence so the coordinator can dispatch, steal and detect node
+ * loss. Connection failures are retried with backoff forever — a
+ * daemon outliving a coordinator restart simply re-registers.
+ */
+
+#ifndef VTSIM_FABRIC_NODE_AGENT_HH
+#define VTSIM_FABRIC_NODE_AGENT_HH
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "fabric/transport.hh"
+
+namespace vtsim::service {
+class JobService;
+}
+
+namespace vtsim::fabric {
+
+struct NodeAgentConfig
+{
+    /** Fleet-unique daemon name (vtsimd --node). */
+    std::string node;
+    /** Where the coordinator listens (vtsimd --coordinator). */
+    HostPort coordinator;
+    /** Where the coordinator dials this daemon back — the daemon's
+     *  TCP listener as reachable from the coordinator's host
+     *  (vtsimd --advertise; defaults to 127.0.0.1:<listen-tcp port>). */
+    HostPort advertise;
+    /** Fleet bearer token (shared by daemons and coordinator). */
+    std::string token;
+    int heartbeatMs = 500;
+};
+
+class NodeAgent
+{
+  public:
+    NodeAgent(service::JobService &service, NodeAgentConfig config);
+
+    /** Joins the heartbeat thread (as stop()). */
+    ~NodeAgent();
+
+    /** Spawn the register/heartbeat thread. */
+    void start();
+
+    /** Stop heartbeating and join. Idempotent. */
+    void stop();
+
+  private:
+    void run();
+    /** One connect + register + heartbeat session; returns on error
+     *  (caller reconnects) or stop. */
+    void session();
+    /** Interruptible sleep; false when stop() was requested. */
+    bool sleepFor(int ms);
+
+    service::JobService &service_;
+    NodeAgentConfig config_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+} // namespace vtsim::fabric
+
+#endif // VTSIM_FABRIC_NODE_AGENT_HH

@@ -1,0 +1,336 @@
+#include "fabric/transport.hh"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace vtsim::fabric {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &what)
+{
+    throw TransportError(what + ": " + std::strerror(errno));
+}
+
+void
+setIoTimeout(int fd, int timeout_ms)
+{
+    if (timeout_ms <= 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+sockaddr_in
+toSockaddr(const HostPort &addr)
+{
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(addr.port);
+    if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+        // "localhost" is the one name worth resolving without pulling
+        // in a resolver; everything else must be a dotted quad.
+        if (addr.host == "localhost") {
+            sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        } else {
+            throw TransportError("bad IPv4 address '" + addr.host +
+                                 "' (use a dotted quad or localhost)");
+        }
+    }
+    return sa;
+}
+
+} // namespace
+
+HostPort
+parseHostPort(const std::string &text)
+{
+    HostPort out;
+    std::string port_text = text;
+    const std::size_t colon = text.rfind(':');
+    if (colon != std::string::npos) {
+        if (colon > 0)
+            out.host = text.substr(0, colon);
+        port_text = text.substr(colon + 1);
+    }
+    if (port_text.empty() ||
+        port_text.find_first_not_of("0123456789") != std::string::npos)
+        throw TransportError("bad port in '" + text + "'");
+    const unsigned long port = std::stoul(port_text);
+    if (port > 65535)
+        throw TransportError("port out of range in '" + text + "'");
+    out.port = std::uint16_t(port);
+    return out;
+}
+
+int
+listenTcp(const HostPort &addr)
+{
+    const sockaddr_in sa = toSockaddr(addr);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fail("socket()");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&sa),
+               sizeof(sa)) != 0) {
+        const std::string msg = "bind('" + addr.str() + "')";
+        ::close(fd);
+        fail(msg);
+    }
+    if (::listen(fd, 64) != 0) {
+        const std::string msg = "listen('" + addr.str() + "')";
+        ::close(fd);
+        fail(msg);
+    }
+    return fd;
+}
+
+int
+listenUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw TransportError("socket path too long: '" + path + "'");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fail("socket()");
+    // A stale socket file from a crashed daemon would fail the bind.
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const std::string msg = "bind('" + path + "')";
+        ::close(fd);
+        fail(msg);
+    }
+    if (::listen(fd, 64) != 0) {
+        const std::string msg = "listen('" + path + "')";
+        ::close(fd);
+        fail(msg);
+    }
+    return fd;
+}
+
+std::uint16_t
+boundPort(int listen_fd)
+{
+    sockaddr_in sa{};
+    socklen_t len = sizeof(sa);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr *>(&sa),
+                      &len) != 0)
+        fail("getsockname()");
+    return ntohs(sa.sin_port);
+}
+
+int
+connectTcp(const HostPort &addr, int timeout_ms, int io_timeout_ms)
+{
+    const sockaddr_in sa = toSockaddr(addr);
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0)
+        fail("socket()");
+    const auto refuse = [&](const std::string &why) -> int {
+        ::close(fd);
+        throw TransportError("cannot connect to " + addr.str() + ": " +
+                             why);
+    };
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&sa),
+                  sizeof(sa)) != 0) {
+        if (errno != EINPROGRESS)
+            return refuse(std::strerror(errno));
+        pollfd pfd{fd, POLLOUT, 0};
+        int rc;
+        do {
+            rc = ::poll(&pfd, 1, timeout_ms);
+        } while (rc < 0 && errno == EINTR);
+        if (rc == 0)
+            return refuse("connect timed out");
+        if (rc < 0)
+            return refuse(std::strerror(errno));
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+            err != 0)
+            return refuse(std::strerror(err ? err : errno));
+    }
+    // Back to blocking: reads/writes are bounded by SO_*TIMEO instead.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    setIoTimeout(fd, io_timeout_ms);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw TransportError("socket path too long: '" + path + "'");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fail("socket()");
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw TransportError("cannot connect to vtsimd at '" + path +
+                             "': " + std::strerror(err));
+    }
+    return fd;
+}
+
+bool
+sendLine(int fd, std::string line)
+{
+    line.push_back('\n');
+    std::size_t off = 0;
+    while (off < line.size()) {
+        // MSG_NOSIGNAL: a peer that hung up must cost us an EPIPE,
+        // not a process-wide SIGPIPE.
+        const ssize_t n = ::send(fd, line.data() + off,
+                                 line.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += std::size_t(n);
+    }
+    return true;
+}
+
+bool
+LineReader::readLine(std::string &out)
+{
+    char chunk[4096];
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            out = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            if (!out.empty() && out.back() == '\r')
+                out.pop_back();
+            return true;
+        }
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                throw TransportError("read timed out");
+            throw TransportError(std::string("recv(): ") +
+                                 std::strerror(errno));
+        }
+        if (n == 0)
+            return false; // Peer hung up between lines.
+        buffer_.append(chunk, std::size_t(n));
+    }
+}
+
+namespace {
+constexpr char kB64[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+} // namespace
+
+std::string
+base64Encode(const std::uint8_t *data, std::size_t size)
+{
+    std::string out;
+    out.reserve((size + 2) / 3 * 4);
+    std::size_t i = 0;
+    for (; i + 3 <= size; i += 3) {
+        const std::uint32_t v = std::uint32_t(data[i]) << 16 |
+                                std::uint32_t(data[i + 1]) << 8 |
+                                data[i + 2];
+        out.push_back(kB64[v >> 18]);
+        out.push_back(kB64[(v >> 12) & 63]);
+        out.push_back(kB64[(v >> 6) & 63]);
+        out.push_back(kB64[v & 63]);
+    }
+    if (i + 1 == size) {
+        const std::uint32_t v = std::uint32_t(data[i]) << 16;
+        out.push_back(kB64[v >> 18]);
+        out.push_back(kB64[(v >> 12) & 63]);
+        out.append("==");
+    } else if (i + 2 == size) {
+        const std::uint32_t v = std::uint32_t(data[i]) << 16 |
+                                std::uint32_t(data[i + 1]) << 8;
+        out.push_back(kB64[v >> 18]);
+        out.push_back(kB64[(v >> 12) & 63]);
+        out.push_back(kB64[(v >> 6) & 63]);
+        out.push_back('=');
+    }
+    return out;
+}
+
+std::string
+base64Encode(const std::vector<std::uint8_t> &data)
+{
+    return base64Encode(data.data(), data.size());
+}
+
+std::vector<std::uint8_t>
+base64Decode(const std::string &text)
+{
+    if (text.size() % 4 != 0)
+        throw TransportError("base64 length not a multiple of 4");
+    static const auto value = [] {
+        std::array<std::int8_t, 256> table{};
+        table.fill(-1);
+        for (int i = 0; i < 64; ++i)
+            table[std::uint8_t(kB64[i])] = std::int8_t(i);
+        return table;
+    }();
+    std::vector<std::uint8_t> out;
+    out.reserve(text.size() / 4 * 3);
+    for (std::size_t i = 0; i < text.size(); i += 4) {
+        int pad = 0;
+        std::uint32_t v = 0;
+        for (int j = 0; j < 4; ++j) {
+            const char c = text[i + j];
+            if (c == '=') {
+                // Padding legal only in the final two positions of the
+                // final quad.
+                if (i + 4 != text.size() || j < 2)
+                    throw TransportError("base64 padding misplaced");
+                ++pad;
+                v <<= 6;
+                continue;
+            }
+            if (pad > 0 || value[std::uint8_t(c)] < 0)
+                throw TransportError("bad base64 character");
+            v = v << 6 | std::uint32_t(value[std::uint8_t(c)]);
+        }
+        out.push_back(std::uint8_t(v >> 16));
+        if (pad < 2)
+            out.push_back(std::uint8_t(v >> 8));
+        if (pad < 1)
+            out.push_back(std::uint8_t(v));
+    }
+    return out;
+}
+
+} // namespace vtsim::fabric

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Socket-level plumbing of the distributed vtsim fabric: TCP and
+ * Unix-domain listeners/connectors with explicit timeouts, plus the
+ * base64 codec the checkpoint-migration protocol uses to ship
+ * vtsim-ckpt-v1 images inside NDJSON lines.
+ *
+ * Everything here is transport, not protocol: bytes and file
+ * descriptors in, no JSON knowledge. The NDJSON framing (line split,
+ * 64 KiB request cap, bearer-token check) lives one layer up in
+ * fabric/line_server.hh, shared by the vtsimd daemon and the
+ * vtsim-coord coordinator.
+ *
+ * Timeout contract: every connect and read takes a millisecond budget
+ * and throws TransportError when it runs out — a dead peer must cost
+ * the caller a bounded wait, never a wedged loop. Writes inherit the
+ * same bound through SO_SNDTIMEO.
+ */
+
+#ifndef VTSIM_FABRIC_TRANSPORT_HH
+#define VTSIM_FABRIC_TRANSPORT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vtsim::fabric {
+
+/** A socket-layer failure (refused, reset, timed out, bad address). */
+class TransportError : public std::runtime_error
+{
+  public:
+    explicit TransportError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** "host:port" split; host defaults to 127.0.0.1 for a bare ":port"
+ *  or "port". Throws TransportError on a malformed port. */
+struct HostPort
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    std::string str() const
+    { return host + ":" + std::to_string(port); }
+};
+
+HostPort parseHostPort(const std::string &text);
+
+/**
+ * Bind and listen on @p addr (IPv4, SO_REUSEADDR). Port 0 binds an
+ * ephemeral port; read it back with boundPort(). Returns the listening
+ * fd; throws TransportError on failure.
+ */
+int listenTcp(const HostPort &addr);
+
+/** Bind and listen on a Unix-domain socket path (stale file removed
+ *  first). Returns the listening fd; throws TransportError. */
+int listenUnix(const std::string &path);
+
+/** The local port a listening TCP fd actually bound (ephemeral
+ *  resolution). Throws TransportError. */
+std::uint16_t boundPort(int listen_fd);
+
+/**
+ * Connect to @p addr within @p timeout_ms (non-blocking connect +
+ * poll). The returned fd carries SO_RCVTIMEO/SO_SNDTIMEO of
+ * @p io_timeout_ms so later reads and writes are bounded too.
+ * Throws TransportError (message names the errno) on failure.
+ */
+int connectTcp(const HostPort &addr, int timeout_ms,
+               int io_timeout_ms);
+
+/** Connect to a Unix-domain socket path; throws TransportError. */
+int connectUnix(const std::string &path);
+
+/**
+ * Send @p line plus a trailing newline, whole (MSG_NOSIGNAL, EINTR
+ * retried). False on a peer that hung up or a send timeout.
+ */
+bool sendLine(int fd, std::string line);
+
+/**
+ * Buffered newline-delimited reader over one fd. readLine() blocks up
+ * to the fd's SO_RCVTIMEO (set by connectTcp; unbounded on fds that
+ * did not opt in) and throws TransportError on timeout — EOF is
+ * reported as false, not an exception, because a peer closing between
+ * requests is normal.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /** Next line into @p out (newline stripped); false on EOF. */
+    bool readLine(std::string &out);
+
+  private:
+    int fd_;
+    std::string buffer_;
+};
+
+/** RFC 4648 base64 (with padding) — checkpoint chunks in JSON. */
+std::string base64Encode(const std::uint8_t *data, std::size_t size);
+std::string base64Encode(const std::vector<std::uint8_t> &data);
+
+/** Strict decode: rejects bad characters, bad padding, bad length.
+ *  Throws TransportError — corrupt migration data must fail loudly. */
+std::vector<std::uint8_t> base64Decode(const std::string &text);
+
+} // namespace vtsim::fabric
+
+#endif // VTSIM_FABRIC_TRANSPORT_HH

@@ -1,40 +1,26 @@
 #include "service/client.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <random>
 #include <stdexcept>
+#include <thread>
 
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 namespace vtsim::service {
 
 Client::Client(const std::string &socket_path)
-{
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (socket_path.size() >= sizeof(addr.sun_path)) {
-        throw std::runtime_error("socket path too long: '" +
-                                 socket_path + "'");
-    }
-    std::memcpy(addr.sun_path, socket_path.c_str(),
-                socket_path.size() + 1);
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0) {
-        throw std::runtime_error(std::string("socket(): ") +
-                                 std::strerror(errno));
-    }
-    if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        const int err = errno;
-        ::close(fd_);
-        fd_ = -1;
-        throw std::runtime_error("cannot connect to vtsimd at '" +
-                                 socket_path + "': " +
-                                 std::strerror(err));
-    }
-}
+    : fd_(fabric::connectUnix(socket_path))
+{}
+
+Client::Client(const fabric::HostPort &addr, std::string token,
+               int connect_timeout_ms, int io_timeout_ms)
+    : fd_(fabric::connectTcp(addr, connect_timeout_ms, io_timeout_ms)),
+      token_(std::move(token))
+{}
 
 Client::~Client()
 {
@@ -45,7 +31,15 @@ Client::~Client()
 Json
 Client::request(const Json &request)
 {
-    const std::string reply = requestRaw(request.dump());
+    std::string line;
+    if (!token_.empty() && request.isObject()) {
+        Json::Object o = request.asObject();
+        o["token"] = Json(token_);
+        line = Json(std::move(o)).dump();
+    } else {
+        line = request.dump();
+    }
+    const std::string reply = requestRaw(line);
     if (reply.empty())
         throw std::runtime_error("vtsimd closed the connection");
     return Json::parse(reply);
@@ -54,19 +48,8 @@ Client::request(const Json &request)
 std::string
 Client::requestRaw(const std::string &line)
 {
-    std::string out = line;
-    out.push_back('\n');
-    std::size_t off = 0;
-    while (off < out.size()) {
-        const ssize_t n = ::send(fd_, out.data() + off,
-                                 out.size() - off, MSG_NOSIGNAL);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            throw std::runtime_error("send to vtsimd failed");
-        }
-        off += std::size_t(n);
-    }
+    if (!fabric::sendLine(fd_, line))
+        throw std::runtime_error("send to vtsimd failed");
     return readLine();
 }
 
@@ -93,9 +76,38 @@ Client::readLine()
         const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
         if (n < 0 && errno == EINTR)
             continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            throw fabric::TransportError("reply read timed out");
         if (n <= 0)
             return std::string(); // Daemon hung up.
         buffer_.append(chunk, std::size_t(n));
+    }
+}
+
+std::unique_ptr<Client>
+connectTcpWithRetry(const fabric::HostPort &addr,
+                    const std::string &token,
+                    const RetryPolicy &policy, int connect_timeout_ms,
+                    int io_timeout_ms)
+{
+    std::mt19937 rng{std::random_device{}()};
+    int delay = policy.baseDelayMs;
+    for (int attempt = 1;; ++attempt) {
+        try {
+            return std::make_unique<Client>(addr, token,
+                                            connect_timeout_ms,
+                                            io_timeout_ms);
+        } catch (const fabric::TransportError &) {
+            if (attempt >= policy.attempts)
+                throw;
+        }
+        // Full jitter on a doubling, capped delay: concurrent clients
+        // hitting a restarting daemon spread out instead of stampeding
+        // it in lockstep.
+        std::uniform_int_distribution<int> jitter(delay / 2, delay);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(jitter(rng)));
+        delay = std::min(delay * 2, policy.maxDelayMs);
     }
 }
 

@@ -1,165 +1,71 @@
 #include "service/daemon.hh"
 
-#include <cerrno>
-#include <cstring>
 #include <filesystem>
+#include <fstream>
 
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include "common/logger.hh"
+#include "fabric/transport.hh"
 #include "service/protocol.hh"
 
 namespace vtsim::service {
 
+namespace {
+
+using fabric::sendLine;
+
+std::string
+okReply(Json::Object fields)
+{
+    fields["ok"] = Json(true);
+    return Json(std::move(fields)).dump();
+}
+
+} // namespace
+
 Daemon::Daemon(JobService &service, std::string socket_path)
-    : service_(service), path_(std::move(socket_path))
+    : Daemon(service, DaemonConfig{std::move(socket_path), {}, false, {}})
 {}
 
-Daemon::~Daemon()
+Daemon::Daemon(JobService &service, DaemonConfig config)
+    : service_(service),
+      server_(
+          fabric::LineServerConfig{std::move(config.socketPath),
+                                   config.tcp, config.tcpEnabled,
+                                   std::move(config.authToken),
+                                   "vtsimd"},
+          [this](int fd, const std::string &line) {
+              return handleLine(fd, line);
+          })
 {
-    requestStop();
-    {
-        std::lock_guard<std::mutex> lk(connMu_);
-        for (auto &t : connections_) {
-            if (t.joinable())
-                t.join();
-        }
-        connections_.clear();
-    }
-    if (listenFd_ >= 0)
-        ::close(listenFd_);
-    if (!path_.empty()) {
-        std::error_code ec;
-        std::filesystem::remove(path_, ec);
-    }
+    server_.setErrorHook([this](const std::string &error) {
+        if (EventLog *log = service_.eventLog())
+            log->emit("accept_error", {{"error", Json(error)}});
+    });
 }
 
 void
 Daemon::start()
 {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path_.size() >= sizeof(addr.sun_path)) {
-        throw std::runtime_error("socket path too long: '" + path_ +
-                                 "'");
+    server_.start();
+    if (EventLog *log = service_.eventLog()) {
+        Json::Object fields;
+        if (!server_.unixPath().empty())
+            fields["socket"] = Json(server_.unixPath());
+        if (server_.boundTcpPort() != 0)
+            fields["tcp_port"] = Json(unsigned(server_.boundTcpPort()));
+        log->emit("listening", std::move(fields));
     }
-    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
-
-    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listenFd_ < 0) {
-        throw std::runtime_error(std::string("socket(): ") +
-                                 std::strerror(errno));
-    }
-    // A stale socket file from a crashed daemon would fail the bind.
-    std::error_code ec;
-    std::filesystem::remove(path_, ec);
-    if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
-               sizeof(addr)) != 0) {
-        throw std::runtime_error("bind('" + path_ +
-                                 "'): " + std::strerror(errno));
-    }
-    if (::listen(listenFd_, 16) != 0) {
-        throw std::runtime_error("listen('" + path_ +
-                                 "'): " + std::strerror(errno));
-    }
-    if (EventLog *log = service_.eventLog())
-        log->emit("listening", {{"socket", Json(path_)}});
 }
 
 void
 Daemon::serve()
 {
-    for (;;) {
-        const int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0) {
-            if (stop_.load(std::memory_order_relaxed))
-                break;
-            if (errno == EINTR || errno == ECONNABORTED)
-                continue;
-            logging::error("vtsimd", "accept(): ",
-                           std::strerror(errno));
-            if (EventLog *log = service_.eventLog()) {
-                log->emit("accept_error",
-                          {{"error",
-                            Json(std::string(std::strerror(errno)))}});
-            }
-            break;
-        }
-        if (stop_.load(std::memory_order_relaxed)) {
-            ::close(fd);
-            break;
-        }
-        std::lock_guard<std::mutex> lk(connMu_);
-        connections_.emplace_back(
-            [this, fd] { serveConnection(fd); });
-    }
-    // Let in-flight replies finish before the caller tears the
-    // service down.
-    std::lock_guard<std::mutex> lk(connMu_);
-    for (auto &t : connections_) {
-        if (t.joinable())
-            t.join();
-    }
-    connections_.clear();
+    server_.serve();
 }
 
 void
 Daemon::requestStop()
 {
-    stop_.store(true, std::memory_order_relaxed);
-    // Unblocks accept(); shutdown() is async-signal-safe, so the
-    // vtsimd SIGTERM handler may call requestStop directly.
-    if (listenFd_ >= 0)
-        ::shutdown(listenFd_, SHUT_RDWR);
-}
-
-void
-Daemon::serveConnection(int fd)
-{
-    std::string buffer;
-    char chunk[4096];
-    bool open = true;
-    while (open) {
-        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n <= 0)
-            break; // Disconnect (mid-request included): just drop it.
-        buffer.append(chunk, std::size_t(n));
-        std::size_t start = 0;
-        for (;;) {
-            const std::size_t nl = buffer.find('\n', start);
-            if (nl == std::string::npos)
-                break;
-            std::string line = buffer.substr(start, nl - start);
-            start = nl + 1;
-            if (!line.empty() && line.back() == '\r')
-                line.pop_back();
-            if (line.empty())
-                continue;
-            if (line.size() > kMaxLineBytes) {
-                sendLine(fd, errorReply(
-                                 "request exceeds the 64 KiB line "
-                                 "limit"));
-                open = false;
-                break;
-            }
-            if (!handleLine(fd, line)) {
-                open = false;
-                break;
-            }
-        }
-        buffer.erase(0, start);
-        if (buffer.size() > kMaxLineBytes) {
-            // An unterminated line already over the cap: reject it
-            // without waiting for (or buffering) the rest.
-            sendLine(fd,
-                     errorReply("request exceeds the 64 KiB line "
-                                "limit"));
-            break;
-        }
-    }
-    ::close(fd);
+    server_.requestStop();
 }
 
 bool
@@ -176,21 +82,8 @@ Daemon::handleLine(int fd, const std::string &line)
 
     try {
         switch (req.op) {
-          case Request::Op::Submit: {
-            const auto outcome = service_.submit(req.spec, req.priority);
-            Json::Object o;
-            if (outcome.ok()) {
-                o["ok"] = Json(true);
-                o["job"] = Json(outcome.id);
-            } else {
-                o["ok"] = Json(false);
-                if (!outcome.rejected.empty())
-                    o["rejected"] = Json(outcome.rejected);
-                else
-                    o["error"] = Json(outcome.error);
-            }
-            return sendLine(fd, Json(std::move(o)).dump());
-          }
+          case Request::Op::Submit:
+            return handleSubmit(fd, req);
           case Request::Op::Wait:
             return sendLine(fd,
                             snapshotToJson(service_.wait(req.job)).dump());
@@ -211,26 +104,31 @@ Daemon::handleLine(int fd, const std::string &line)
             }
             return sendLine(fd, Json(std::move(o)).dump());
           }
-          case Request::Op::Ping: {
-            Json::Object o;
-            o["ok"] = Json(true);
-            o["op"] = Json("ping");
-            return sendLine(fd, Json(std::move(o)).dump());
+          case Request::Op::Yank:
+            return handleYank(fd, req);
+          case Request::Op::CkptRead:
+            return handleCkptRead(fd, req);
+          case Request::Op::CkptBegin:
+            return handleCkptBegin(fd);
+          case Request::Op::CkptChunk:
+            return handleCkptChunk(fd, req);
+          case Request::Op::Release: {
+            std::string error;
+            if (!service_.releaseImage(req.job, error))
+                return sendLine(fd, errorReply(error));
+            return sendLine(fd, okReply({{"job", Json(req.job)}}));
           }
+          case Request::Op::Ping:
+            return sendLine(fd, okReply({{"op", Json("ping")}}));
           case Request::Op::Metrics: {
             // The Prometheus text (multi-line) rides inside the JSON
             // string: NDJSON framing keeps the reply one line.
-            Json::Object o;
-            o["ok"] = Json(true);
-            o["op"] = Json("metrics");
-            o["body"] = Json(service_.metricsText());
-            return sendLine(fd, Json(std::move(o)).dump());
+            return sendLine(
+                fd, okReply({{"op", Json("metrics")},
+                             {"body", Json(service_.metricsText())}}));
           }
           case Request::Op::Shutdown: {
-            Json::Object o;
-            o["ok"] = Json(true);
-            o["state"] = Json("draining");
-            sendLine(fd, Json(std::move(o)).dump());
+            sendLine(fd, okReply({{"state", Json("draining")}}));
             requestStop();
             return false;
           }
@@ -242,23 +140,123 @@ Daemon::handleLine(int fd, const std::string &line)
 }
 
 bool
-Daemon::sendLine(int fd, std::string line)
+Daemon::handleSubmit(int fd, Request &req)
 {
-    line.push_back('\n');
-    std::size_t off = 0;
-    while (off < line.size()) {
-        // MSG_NOSIGNAL: a client that hung up must cost us an EPIPE,
-        // not a process-wide SIGPIPE.
-        const ssize_t n = ::send(fd, line.data() + off,
-                                 line.size() - off, MSG_NOSIGNAL);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            return false;
+    if (req.resumeXfer != 0) {
+        // Resolve the staged transfer into a spool-file path; the
+        // transfer id is one-shot.
+        std::lock_guard<std::mutex> lk(xferMu_);
+        const auto it = xfers_.find(req.resumeXfer);
+        if (it == xfers_.end()) {
+            return sendLine(
+                fd, errorReply("unknown resume_xfer " +
+                               std::to_string(req.resumeXfer)));
         }
-        off += std::size_t(n);
+        req.spec.resumeFrom = it->second.path;
+        xfers_.erase(it);
     }
-    return true;
+    const auto outcome = service_.submit(req.spec, req.priority);
+    Json::Object o;
+    if (outcome.ok()) {
+        o["ok"] = Json(true);
+        o["job"] = Json(outcome.id);
+    } else {
+        o["ok"] = Json(false);
+        if (!outcome.rejected.empty())
+            o["rejected"] = Json(outcome.rejected);
+        else
+            o["error"] = Json(outcome.error);
+    }
+    return sendLine(fd, Json(std::move(o)).dump());
+}
+
+bool
+Daemon::handleYank(int fd, const Request &req)
+{
+    const auto outcome = service_.yank(req.job);
+    if (!outcome.ok)
+        return sendLine(fd, errorReply(outcome.error));
+    return sendLine(
+        fd, okReply({{"job", Json(req.job)},
+                     {"image", Json(outcome.hasImage)},
+                     {"ckpt_bytes", Json(outcome.imageBytes)}}));
+}
+
+bool
+Daemon::handleCkptRead(int fd, const Request &req)
+{
+    std::vector<std::uint8_t> chunk;
+    std::uint64_t total = 0;
+    std::string error;
+    if (!service_.readImageChunk(req.job, req.offset, req.len, chunk,
+                                 total, error))
+        return sendLine(fd, errorReply(error));
+    return sendLine(
+        fd, okReply({{"data", Json(fabric::base64Encode(chunk))},
+                     {"bytes", Json(std::uint64_t(chunk.size()))},
+                     {"total", Json(total)}}));
+}
+
+bool
+Daemon::handleCkptBegin(int fd)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(service_.config().spoolDir, ec);
+    std::uint64_t id;
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lk(xferMu_);
+        id = nextXfer_++;
+        path = service_.config().spoolDir + "/xfer-" +
+               std::to_string(id) + ".ckpt";
+        xfers_.emplace(id, Xfer{path, 0});
+    }
+    // Truncate-create now so a zero-chunk transfer still resolves to a
+    // real (empty, hence rejected at submit) file.
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        std::lock_guard<std::mutex> lk(xferMu_);
+        xfers_.erase(id);
+        return sendLine(fd, errorReply("cannot open staging file '" +
+                                       path + "'"));
+    }
+    return sendLine(fd, okReply({{"xfer", Json(id)}}));
+}
+
+bool
+Daemon::handleCkptChunk(int fd, const Request &req)
+{
+    std::vector<std::uint8_t> data;
+    try {
+        data = fabric::base64Decode(req.data);
+    } catch (const std::exception &e) {
+        return sendLine(fd, errorReply(e.what()));
+    }
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lk(xferMu_);
+        const auto it = xfers_.find(req.xfer);
+        if (it == xfers_.end()) {
+            return sendLine(fd,
+                            errorReply("unknown xfer " +
+                                       std::to_string(req.xfer)));
+        }
+        path = it->second.path;
+        it->second.bytes += data.size();
+    }
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    if (!data.empty())
+        os.write(reinterpret_cast<const char *>(data.data()),
+                 std::streamsize(data.size()));
+    if (!os.flush()) {
+        return sendLine(fd, errorReply("short write to staging file '" +
+                                       path + "'"));
+    }
+    std::lock_guard<std::mutex> lk(xferMu_);
+    const auto it = xfers_.find(req.xfer);
+    const std::uint64_t bytes =
+        it != xfers_.end() ? it->second.bytes : 0;
+    return sendLine(fd, okReply({{"bytes", Json(bytes)}}));
 }
 
 } // namespace vtsim::service

@@ -86,11 +86,14 @@ struct BatchMeta
 /**
  * Write the whole document: schema tag, the batch header (@p meta),
  * the optional @p service section (pass nullptr for plain batch
- * output), then one entry per run in order.
+ * output), the optional @p fabric section (the coordinator's fleet
+ * telemetry; vtsim-coord --stats-json), then one entry per run in
+ * order.
  */
 void writeStatsJson(std::ostream &os,
                     const std::vector<RunRecord> &runs,
-                    const Json *service, const BatchMeta &meta);
+                    const Json *service, const BatchMeta &meta,
+                    const Json *fabric = nullptr);
 
 } // namespace vtsim::service
 

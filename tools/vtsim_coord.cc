@@ -1,0 +1,192 @@
+/**
+ * @file
+ * vtsim-coord — the distributed-fabric coordinator. Federates N vtsimd
+ * daemons (each run with --listen-tcp --node --coordinator) behind one
+ * TCP submit endpoint: clients talk the same NDJSON protocol as to a
+ * single daemon, while the coordinator does fair-share admission,
+ * locality-aware dispatch, work stealing, and cross-daemon checkpoint
+ * migration (src/fabric/coordinator.hh).
+ *
+ * Usage:
+ *   vtsim-coord [--listen [HOST:]PORT] [--token SECRET] [--evlog PATH]
+ *               [--stats-json PATH] [--tenant-rate R] [--tenant-burst B]
+ *               [--tenant-quota N] [--max-backlog N]
+ *               [--heartbeat-timeout MS] [--log-level LEVEL]
+ *
+ *   --listen [HOST:]PORT  TCP endpoint for clients and daemons
+ *                         (default 127.0.0.1:7774; port 0 binds an
+ *                         ephemeral port, printed at startup)
+ *   --token SECRET        fleet bearer token; required on every
+ *                         request line when set, and stamped on every
+ *                         daemon-bound request
+ *   --evlog PATH          vtsim-evlog-v1 lifecycle log (dispatch,
+ *                         steal, migrate, throttle, node_lost, ...)
+ *   --stats-json PATH     on shutdown, write a vtsim-stats-v1 document
+ *                         whose "fabric" section holds the fleet
+ *                         telemetry (runs stay with the daemons)
+ *   --tenant-rate R       per-tenant token-bucket refill in submits/s;
+ *                         0 disables rate limiting (default 0)
+ *   --tenant-burst B      token-bucket burst capacity (default 8)
+ *   --tenant-quota N      per-tenant in-flight fair-share quota;
+ *                         0 = unlimited (default 64)
+ *   --max-backlog N       pending-job bound; beyond it submits get
+ *                         rejected:busy with retry_after_ms
+ *                         (default 256)
+ *   --heartbeat-timeout MS
+ *                         declare a daemon lost after this silence
+ *                         (default 3000)
+ *   --log-level LEVEL     debug|info|warn|error|off (default info)
+ *
+ * Exits after a client's "shutdown" op (draining dispatched jobs
+ * first) or on SIGINT/SIGTERM.
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/logger.hh"
+#include "fabric/coordinator.hh"
+#include "service/stats_json.hh"
+
+namespace {
+
+vtsim::fabric::Coordinator *g_coord = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_coord)
+        g_coord->requestStop();
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: vtsim-coord [--listen [HOST:]PORT] [--token SECRET]\n"
+        "                   [--evlog PATH] [--stats-json PATH]\n"
+        "                   [--tenant-rate R] [--tenant-burst B] "
+        "[--tenant-quota N]\n"
+        "                   [--max-backlog N] [--heartbeat-timeout "
+        "MS]\n"
+        "                   [--log-level debug|info|warn|error|off]\n");
+    std::exit(2);
+}
+
+double
+parseNumber(const char *text, const char *what)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || v < 0.0) {
+        std::fprintf(stderr, "vtsim-coord: invalid %s '%s'\n", what,
+                     text);
+        std::exit(2);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    namespace fabric = vtsim::fabric;
+    namespace logging = vtsim::logging;
+
+    std::string listen = "127.0.0.1:7774";
+    std::string stats_json_path;
+    fabric::CoordinatorConfig config;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--listen")
+            listen = value();
+        else if (arg == "--token")
+            config.authToken = value();
+        else if (arg == "--evlog")
+            config.eventLogPath = value();
+        else if (arg == "--stats-json")
+            stats_json_path = value();
+        else if (arg == "--tenant-rate")
+            config.tenantRate = parseNumber(value(), "--tenant-rate");
+        else if (arg == "--tenant-burst")
+            config.tenantBurst = parseNumber(value(), "--tenant-burst");
+        else if (arg == "--tenant-quota")
+            config.tenantQuota = std::size_t(
+                parseNumber(value(), "--tenant-quota"));
+        else if (arg == "--max-backlog")
+            config.maxBacklog =
+                std::size_t(parseNumber(value(), "--max-backlog"));
+        else if (arg == "--heartbeat-timeout")
+            config.heartbeatTimeoutMs =
+                int(parseNumber(value(), "--heartbeat-timeout"));
+        else if (arg == "--log-level") {
+            try {
+                logging::setLevel(logging::parseLevel(value()));
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "vtsim-coord: %s\n", e.what());
+                return 2;
+            }
+        } else
+            usage();
+    }
+
+    try {
+        const auto started = std::chrono::steady_clock::now();
+        config.listen = fabric::parseHostPort(
+            listen.find(':') == std::string::npos ? "127.0.0.1:" + listen
+                                                  : listen);
+        fabric::Coordinator coord(config);
+        coord.start();
+        g_coord = &coord;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        std::signal(SIGPIPE, SIG_IGN);
+
+        logging::info("vtsim-coord", "listening on ",
+                      config.listen.host, ":", coord.boundPort(),
+                      config.authToken.empty() ? " (no token)"
+                                               : " (token auth)");
+        coord.serve();
+        logging::info("vtsim-coord", "draining...");
+        coord.shutdown();
+        g_coord = nullptr;
+
+        if (!stats_json_path.empty()) {
+            std::ofstream os(stats_json_path);
+            if (!os) {
+                logging::error("vtsim-coord",
+                               "cannot open stats-json file '",
+                               stats_json_path, "'");
+                return 1;
+            }
+            const vtsim::service::Json fabric_section =
+                coord.statsJsonSection();
+            vtsim::service::BatchMeta meta;
+            meta.wallMs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              started)
+                              .count() *
+                          1e3;
+            vtsim::service::writeStatsJson(os, {}, nullptr, meta,
+                                           &fabric_section);
+            logging::info("vtsim-coord", "wrote ", stats_json_path);
+        }
+    } catch (const std::exception &e) {
+        logging::error("vtsim-coord", e.what());
+        return 1;
+    }
+    return 0;
+}
